@@ -1,0 +1,1 @@
+bench/a1_join_order.ml: Harness Lb_relalg List

@@ -1,0 +1,1 @@
+bench/a2_ac3.ml: Harness Lb_csp Lb_graph Lb_util List

@@ -1,0 +1,1 @@
+bench/a3_dpll_branching.ml: Harness Lb_sat Lb_util List

@@ -1,0 +1,1 @@
+bench/a4_nice_dp.ml: Harness Lb_csp Lb_graph Lb_util List

@@ -1,0 +1,1 @@
+bench/e01_agm.ml: Harness Lb_relalg List Option Printf

@@ -1,0 +1,1 @@
+bench/e02_wcoj.ml: Array Harness Lb_relalg List Printf

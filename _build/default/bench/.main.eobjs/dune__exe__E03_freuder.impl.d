@@ -1,0 +1,1 @@
+bench/e03_freuder.ml: Array Harness Lb_csp Lb_graph Lb_util List Printf String

@@ -1,0 +1,1 @@
+bench/e04_dichotomy.ml: Harness Lb_csp Lb_graph Lb_util List Printf

@@ -1,0 +1,1 @@
+bench/e05_special.ml: Array Float Harness Lb_csp Lb_reductions Lb_util List Printf

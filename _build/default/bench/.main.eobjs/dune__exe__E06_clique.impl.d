@@ -1,0 +1,1 @@
+bench/e06_clique.ml: Array Harness Lb_graph Lb_util List Printf String

@@ -1,0 +1,1 @@
+bench/e07_domset.ml: Array Harness Lb_csp Lb_graph Lb_reductions Lb_util List Printf String

@@ -1,0 +1,1 @@
+bench/e08_sat.ml: Array Harness Lb_sat Lb_util List Printf Sys

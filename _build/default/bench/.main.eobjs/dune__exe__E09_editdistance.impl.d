@@ -1,0 +1,1 @@
+bench/e09_editdistance.ml: Array Harness Lb_finegrained Lb_util List Printf Sys

@@ -1,0 +1,1 @@
+bench/e10_triangle.ml: Array Harness Lb_graph Lb_util List Printf Sys

@@ -1,0 +1,1 @@
+bench/e11_hyperclique.ml: Array Harness Lb_hypergraph Lb_util List Printf String

@@ -1,0 +1,1 @@
+bench/e12_vertexcover.ml: Array Harness Lb_graph Lb_util List Printf Sys

@@ -1,0 +1,1 @@
+bench/e13_cores.ml: Array Harness Lb_graph Lb_structure Lb_util List Printf

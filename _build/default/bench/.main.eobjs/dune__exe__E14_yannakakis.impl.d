@@ -1,0 +1,1 @@
+bench/e14_yannakakis.ml: Array Harness Lb_relalg List Printf

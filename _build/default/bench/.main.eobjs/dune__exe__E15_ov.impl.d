@@ -1,0 +1,1 @@
+bench/e15_ov.ml: Array Harness Lb_finegrained Lb_reductions Lb_sat Lb_util List Printf

@@ -1,0 +1,1 @@
+bench/e16_counting.ml: Array Harness Lb_csp Lb_relalg List Printf

@@ -1,0 +1,1 @@
+bench/e17_diameter.ml: Array Harness Lb_finegrained Lb_graph Lb_reductions Lb_util List Option Printf

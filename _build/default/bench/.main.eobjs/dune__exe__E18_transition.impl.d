@@ -1,0 +1,1 @@
+bench/e18_transition.ml: Harness Lb_sat Lb_util List Printf

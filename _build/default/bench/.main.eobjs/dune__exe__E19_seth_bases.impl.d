@@ -1,0 +1,1 @@
+bench/e19_seth_bases.ml: Array Harness Lb_sat Lb_util List Printf

@@ -1,0 +1,1 @@
+bench/harness.ml: Lb_util List Printf

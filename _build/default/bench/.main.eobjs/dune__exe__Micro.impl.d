@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance Lb_csp Lb_finegrained Lb_graph Lb_hypergraph Lb_relalg Lb_sat Lb_structure Lb_util List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,57 @@
+(* A4 (ablation) - the two implementations of Theorem 4.2's DP: direct
+   per-bag enumeration (Freuder) vs the introduce/forget/join normal
+   form (Freuder_nice).  Same counts always; the normal form trades the
+   |D|^{bag} enumeration at every bag for incremental +-one-vertex
+   tables, which wins when domains are large and bags overlap heavily,
+   and loses its node-count overhead on small instances. *)
+
+module Gen = Lb_csp.Generators
+module Prng = Lb_util.Prng
+
+let run () =
+  let rows = ref [] in
+  List.iter
+    (fun (nvars, width, d) ->
+      let rng = Prng.create (nvars + d) in
+      let csp, g, _ =
+        Gen.bounded_treewidth rng ~nvars ~width ~domain_size:d ~density:0.4
+          ~plant:true
+      in
+      let _, order = Lb_graph.Treewidth.heuristic_upper_bound g in
+      let td = Lb_graph.Tree_decomposition.of_elimination_order g order in
+      let c1 = ref 0 and c2 = ref 0 in
+      let t_direct =
+        Harness.median_time 3 (fun () ->
+            c1 := Lb_csp.Freuder.count ~decomposition:td csp)
+      in
+      let t_nice =
+        Harness.median_time 3 (fun () ->
+            c2 := Lb_csp.Freuder_nice.count ~decomposition:td csp)
+      in
+      assert (!c1 = !c2);
+      rows :=
+        [
+          string_of_int nvars;
+          string_of_int width;
+          string_of_int d;
+          Harness.secs t_direct;
+          Harness.secs t_nice;
+        ]
+        :: !rows)
+    [ (30, 2, 8); (30, 2, 24); (30, 3, 8); (60, 2, 16) ];
+  Harness.table
+    [ "|V|"; "width"; "|D|"; "direct DP (Freuder)"; "nice-form DP" ]
+    (List.rev !rows);
+  Harness.verdict true
+    "identical counts on every instance (the property tests enforce \
+     this); the implementations trade per-bag enumeration against \
+     incremental tables - both are the same O(|V| * D^{k+1}) algorithm \
+     of Theorem 4.2"
+
+let experiment =
+  {
+    Harness.id = "A4";
+    title = "Ablation: direct vs introduce/forget/join treewidth DP";
+    claim = "two faces of Theorem 4.2's algorithm; equal answers, shifted constants";
+    run;
+  }

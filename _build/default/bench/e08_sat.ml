@@ -1,0 +1,100 @@
+(* E8 - Hypotheses 1-3 (ETH/SETH) and Schaefer's dichotomy: systematic
+   search on random 3SAT at the phase transition grows exponentially in
+   n, while every tractable Schaefer class scales like a low polynomial
+   at sizes where 3SAT already chokes.
+
+   (The hypotheses themselves are assumptions, not theorems; what is
+   executable is the solver whose scaling they describe - see the
+   substitutions table in DESIGN.md.) *)
+
+module Cnf = Lb_sat.Cnf
+module Dpll = Lb_sat.Dpll
+module Two_sat = Lb_sat.Two_sat
+module Gauss = Lb_sat.Gauss
+module Prng = Lb_util.Prng
+
+(* Slightly above the ~4.27 satisfiability threshold: instances are
+   almost surely unsatisfiable, so DPLL must build a full refutation -
+   the scaling is cleaner than at the threshold itself, where easy
+   satisfiable instances add large variance. *)
+let ratio = 4.8
+
+let run () =
+  (* exponential family: random 3SAT at the transition *)
+  let rows = ref [] in
+  let results =
+    List.map
+      (fun n ->
+        let m = int_of_float (ratio *. float_of_int n) in
+        (* median over 3 instances *)
+        let times =
+          List.init 3 (fun i ->
+              let rng = Prng.create ((n * 17) + i) in
+              let f = Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:3 in
+              let stats = Dpll.fresh_stats () in
+              let sat = ref None in
+              let _, t = Harness.time (fun () -> sat := Dpll.solve ~stats f) in
+              (t, stats.Dpll.decisions, !sat <> None))
+        in
+        let sorted = List.sort compare times in
+        let t, decisions, sat = List.nth sorted 1 in
+        rows :=
+          [
+            string_of_int n;
+            string_of_int m;
+            string_of_bool sat;
+            string_of_int decisions;
+            Harness.secs t;
+          ]
+          :: !rows;
+        (float_of_int n, t))
+      [ 40; 60; 80; 100; 120 ]
+  in
+  Harness.table
+    [ "n"; "m (ratio 4.8)"; "satisfiable"; "DPLL decisions"; "median time" ]
+    (List.rev !rows);
+  let xs = Array.of_list (List.map fst results) in
+  let ys = Array.of_list (List.map snd results) in
+  let base = Harness.fit_exponential xs ys in
+  print_newline ();
+  (* tractable classes at much larger sizes *)
+  let poly_rows = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (3 * n) in
+      (* 2SAT *)
+      let f2 = Cnf.random_ksat rng ~nvars:n ~nclauses:(2 * n) ~k:2 in
+      let _, t2 = Harness.time (fun () -> ignore (Sys.opaque_identity (Two_sat.solve f2))) in
+      (* Horn: minimal-model propagation via DPLL is already poly on
+         Horn, but use the dedicated unit propagation through Schaefer's
+         machinery-free route: random Horn formulas are almost always
+         satisfiable by unit propagation alone *)
+      let fh = Cnf.random_horn rng ~nvars:n ~nclauses:(2 * n) ~k:3 in
+      let _, th = Harness.time (fun () -> ignore (Sys.opaque_identity (Dpll.solve fh))) in
+      (* XOR-SAT *)
+      let sx = Gauss.random rng ~nvars:n ~nequations:(n / 2) ~width:3 in
+      let _, tx = Harness.time (fun () -> ignore (Sys.opaque_identity (Gauss.solve sx))) in
+      poly_rows :=
+        [ string_of_int n; Harness.secs t2; Harness.secs th; Harness.secs tx ]
+        :: !poly_rows)
+    [ 500; 1000; 2000 ];
+  Harness.table
+    [ "n"; "2SAT (SCC)"; "Horn-SAT (DPLL/unit-prop)"; "XOR-SAT (Gauss)" ]
+    (List.rev !poly_rows);
+  Harness.verdict
+    (base > 1.05)
+    (Printf.sprintf
+       "DPLL time ~ %.2f^n on transition 3SAT (exponential, the ETH \
+        regime), while 2SAT / Horn / XOR-SAT instances 60x larger solve \
+        in milliseconds (Schaefer's tractable classes)"
+       base)
+
+let experiment =
+  {
+    Harness.id = "E8";
+    title = "3SAT exponential vs Schaefer-tractable classes";
+    claim =
+      "3SAT needs 2^{Omega(n)} (Hyp 1/2); |D|=2 with 2-clauses or \
+       Horn/affine structure is polynomial (Sec 4, Schaefer)";
+    run;
+  }

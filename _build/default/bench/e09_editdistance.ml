@@ -1,0 +1,73 @@
+(* E9 - Section 7 (fine-grained): the textbook quadratic edit-distance DP
+   is SETH-optimal (Backurs-Indyk): no O(n^{2-eps}) algorithm.  We fit
+   the DP's exponent (claim: 2) and contrast the banded O(n d) variant,
+   which the lower bound does not forbid because it is parameterized by
+   the distance d, plus the word-parallel LCS whose n^2/62 work is the
+   "polylog shaving" the conditional lower bound permits. *)
+
+module Ed = Lb_finegrained.Edit_distance
+module Lcs = Lb_finegrained.Lcs
+module Prng = Lb_util.Prng
+
+let run () =
+  let rows = ref [] in
+  let results =
+    List.map
+      (fun n ->
+        let rng = Prng.create n in
+        let a = Ed.random_string rng n 4 in
+        let b = Ed.random_string rng n 4 in
+        let d = ref 0 in
+        let t = Harness.median_time 3 (fun () -> d := Ed.quadratic a b) in
+        (* banded run on a pair with small true distance *)
+        let a2, b2 = Ed.mutated_pair rng n 4 8 in
+        let tb = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Ed.banded a2 b2 ~band:16))) in
+        let tl = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Lcs.bitparallel a b))) in
+        let tq = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Lcs.quadratic a b))) in
+        rows :=
+          [
+            string_of_int n;
+            string_of_int !d;
+            Harness.secs t;
+            Harness.secs tb;
+            Harness.secs tq;
+            Harness.secs tl;
+          ]
+          :: !rows;
+        (float_of_int n, t, tb))
+      [ 500; 1000; 2000; 4000 ]
+  in
+  Harness.table
+    [
+      "n";
+      "distance";
+      "edit DP O(n^2)";
+      "banded (d<=16)";
+      "LCS DP O(n^2)";
+      "LCS bit-parallel";
+    ]
+    (List.rev !rows);
+  let xs = Array.of_list (List.map (fun (n, _, _) -> n) results) in
+  let ys = Array.of_list (List.map (fun (_, t, _) -> t) results) in
+  let yb = Array.of_list (List.map (fun (_, _, t) -> t) results) in
+  let e_quad = Harness.fit_power xs ys in
+  let e_band = Harness.fit_power xs yb in
+  Harness.verdict
+    (e_quad > 1.7 && e_band < 1.5)
+    (Printf.sprintf
+       "full DP ~ n^%.2f (SETH-optimal shape: 2); banded ~ n^%.2f (linear \
+        in n for bounded distance - not excluded by the lower bound); \
+        bit-parallel LCS shaves a ~62x constant without changing the \
+        exponent"
+       e_quad e_band)
+
+let experiment =
+  {
+    Harness.id = "E9";
+    title = "Edit distance: the quadratic SETH-optimal DP";
+    claim =
+      "edit distance has no O(n^{2-eps}) algorithm under SETH \
+       (Backurs-Indyk, Sec 7); parameterized and word-parallel variants \
+       move constants, not the exponent";
+    run;
+  }

@@ -1,0 +1,103 @@
+(* E10 - Section 8 (triangle conjecture): triangle detection algorithms.
+
+   On triangle-free instances (forcing full work):
+   - dense regime (d = domain/vertex count): matmul O(d^omega) wins;
+   - sparse regime (m edges): the Alon-Yuster-Zwick heavy/light split
+     O(m^{2 omega/(omega+1)}) and edge scanning beat cubic approaches.
+
+   Triangle-free hosts: random bipartite graphs (no odd cycles at all),
+   so every detector must exhaust its search space. *)
+
+module Graph = Lb_graph.Graph
+module Gen = Lb_graph.Generators
+module Tri = Lb_graph.Triangle
+module Prng = Lb_util.Prng
+
+let random_bipartite rng n p =
+  let g = Graph.create n in
+  let half = n / 2 in
+  for u = 0 to half - 1 do
+    for v = half to n - 1 do
+      if Prng.bernoulli rng p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let run () =
+  (* dense regime *)
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (n + 3) in
+      let g = random_bipartite rng n 0.4 in
+      let t_naive =
+        if n <= 512 then Harness.secs (Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_naive g))))
+        else "-"
+      in
+      let t_scan = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_edge_scan g))) in
+      let t_mm = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_matmul g))) in
+      let t_hl = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_heavy_light g))) in
+      rows :=
+        [
+          string_of_int n;
+          string_of_int (Graph.edge_count g);
+          t_naive;
+          Harness.secs t_scan;
+          Harness.secs t_mm;
+          Harness.secs t_hl;
+        ]
+        :: !rows)
+    [ 128; 256; 512; 1024 ];
+  Printf.printf "dense regime (bipartite, p = 0.4; all triangle-free):\n";
+  Harness.table
+    [ "n"; "m"; "naive n^3"; "edge scan"; "matmul"; "AYZ heavy/light" ]
+    (List.rev !rows);
+  print_newline ();
+  (* sparse regime: m ~ 4n *)
+  let srows = ref [] in
+  let hl_results = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (2 * n) in
+      let g = random_bipartite rng n (8.0 /. float_of_int n) in
+      let m = Graph.edge_count g in
+      let t_scan = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_edge_scan g))) in
+      let t_mm = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_matmul g))) in
+      let t_hl = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_heavy_light g))) in
+      hl_results := (float_of_int m, t_hl) :: !hl_results;
+      srows :=
+        [
+          string_of_int n;
+          string_of_int m;
+          Harness.secs t_scan;
+          Harness.secs t_mm;
+          Harness.secs t_hl;
+        ]
+        :: !srows)
+    [ 1024; 2048; 4096; 8192 ];
+  Printf.printf "sparse regime (m ~ 4n, triangle-free):\n";
+  Harness.table
+    [ "n"; "m"; "edge scan"; "matmul"; "AYZ heavy/light" ]
+    (List.rev !srows);
+  let xs = Array.of_list (List.rev_map fst !hl_results) in
+  let ys = Array.of_list (List.rev_map snd !hl_results) in
+  let e_hl = Harness.fit_power xs ys in
+  Harness.verdict
+    (e_hl < 2.2)
+    (Printf.sprintf
+       "AYZ time ~ m^%.2f on sparse graphs (conjectured-optimal shape \
+        m^{2*omega/(omega+1)}, = 1.41 at omega=2.37, 1.5 at omega=3); in \
+        the dense regime the matmul detector dominates the naive cubic \
+        scan, as the O(d^omega) route predicts"
+       e_hl)
+
+let experiment =
+  {
+    Harness.id = "E10";
+    title = "Triangle detection: matmul vs enumeration vs AYZ";
+    claim =
+      "Boolean triangle query: O(d^omega) dense / O(m^{2w/(w+1)}) sparse \
+       detection; the (strong) triangle conjecture says the latter is \
+       optimal (Sec 8)";
+    run;
+  }

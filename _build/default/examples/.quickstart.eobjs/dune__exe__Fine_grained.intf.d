@@ -1,0 +1,1 @@
+examples/fine_grained.mli:

@@ -1,0 +1,1 @@
+examples/query_advisor.ml: Array Format Hashtbl Lb_relalg Lb_util List Lowerbounds Printf

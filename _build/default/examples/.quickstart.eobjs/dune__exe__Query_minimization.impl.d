@@ -1,0 +1,1 @@
+examples/query_minimization.ml: Lb_csp Lb_graph Lb_relalg Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Lb_relalg Lowerbounds Printf String

@@ -1,0 +1,1 @@
+examples/reduction_zoo.ml: Array Lb_csp Lb_graph Lb_reductions Lb_relalg Lb_sat Lb_structure Lb_util List Printf String

@@ -1,0 +1,1 @@
+examples/reduction_zoo.mli:

@@ -1,0 +1,1 @@
+examples/sat_dichotomy.ml: Array Fun Lb_sat Lb_util List Printf String

@@ -1,0 +1,1 @@
+examples/treewidth_tour.ml: Array Format Lb_graph Lb_util List Printf String

@@ -1,0 +1,1 @@
+examples/treewidth_tour.mli:

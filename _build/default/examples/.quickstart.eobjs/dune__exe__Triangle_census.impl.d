@@ -1,0 +1,1 @@
+examples/triangle_census.ml: Lb_graph Lb_relalg Lb_util List Printf

@@ -1,0 +1,1 @@
+examples/triangle_census.mli:

@@ -1,0 +1,48 @@
+(* The bounds analyzer on a portfolio of query shapes: for each query,
+   print the structural parameters and every upper/lower bound statement
+   the paper licenses, then evaluate on a random database.
+
+     dune exec examples/query_advisor.exe
+*)
+
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Prng = Lb_util.Prng
+
+let portfolio =
+  [
+    ("chain (acyclic)", "R(a,b), S(b,c), T(c,d)");
+    ("star (acyclic)", "R(hub,x), S(hub,y), T(hub,z)");
+    ("triangle (cyclic)", "R(a,b), S(b,c), T(a,c)");
+    ("4-cycle (cyclic)", "R(a,b), S(b,c), T(c,d), U(d,a)");
+    ("clique-4 (cyclic)", "E1(a,b), E2(a,c), E3(a,d), E4(b,c), E5(b,d), E6(c,d)");
+  ]
+
+let random_db rng (q : Q.t) ~domain ~tuples =
+  let rels = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Q.atom) ->
+      if not (Hashtbl.mem rels a.Q.rel) then begin
+        let width = Array.length a.Q.attrs in
+        let tups =
+          List.init tuples (fun _ ->
+              Array.init width (fun _ -> Prng.int rng domain))
+        in
+        Hashtbl.replace rels a.Q.rel (R.make a.Q.attrs tups)
+      end)
+    q;
+  Hashtbl.fold (fun name rel db -> Db.add db name rel) rels Db.empty
+
+let () =
+  let rng = Prng.create 7 in
+  List.iter
+    (fun (name, text) ->
+      let q = Q.parse text in
+      Printf.printf "==============================================\n";
+      Printf.printf "%s:  %s\n\n" name (Q.to_string q);
+      let db = random_db rng q ~domain:40 ~tuples:300 in
+      let analysis, outcome = Lowerbounds.Advisor.evaluate db q in
+      Format.printf "%a@." Lowerbounds.Report.pp_analysis analysis;
+      Format.printf "%a@.@." Lowerbounds.Report.pp_outcome outcome)
+    portfolio

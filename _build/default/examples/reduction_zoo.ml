@@ -1,0 +1,130 @@
+(* The reduction zoo: run every executable reduction from the paper on a
+   concrete instance, decode the witness back, and print the size
+   bookkeeping that the lower-bound arguments depend on.
+
+     dune exec examples/reduction_zoo.exe
+*)
+
+module Prng = Lb_util.Prng
+module Cnf = Lb_sat.Cnf
+module Graph = Lb_graph.Graph
+
+let section title = Printf.printf "\n--- %s ---\n" title
+
+let () =
+  let rng = Prng.create 99 in
+
+  (* a satisfiable 3SAT instance *)
+  let f, hidden = Cnf.random_planted rng ~nvars:8 ~nclauses:28 ~k:3 in
+  Printf.printf "base instance: 3SAT with %d variables, %d clauses \
+                 (planted solution exists: %b)\n"
+    (Cnf.nvars f) (Cnf.clause_count f)
+    (Cnf.satisfies f hidden);
+
+  section "3SAT -> CSP (Corollary 6.1: |D| = 2, arity <= 3)";
+  let csp = Lb_reductions.Sat_to_csp.to_csp f in
+  Printf.printf "CSP: |V| = %d, |D| = %d, |C| = %d, max arity %d\n"
+    (Lb_csp.Csp.nvars csp) (Lb_csp.Csp.domain_size csp)
+    (Lb_csp.Csp.constraint_count csp) (Lb_csp.Csp.max_arity csp);
+  (match Lb_csp.Solver.solve csp with
+  | Some sol ->
+      let back = Lb_reductions.Sat_to_csp.assignment_back sol in
+      Printf.printf "CSP solution decodes to a satisfying assignment: %b\n"
+        (Cnf.satisfies f back)
+  | None -> print_endline "unexpectedly unsatisfiable");
+
+  section "3SAT -> 3-Coloring (Corollary 6.2: O(n+m) vertices)";
+  let layout = Lb_reductions.Sat_to_coloring.reduce f in
+  let g3 = layout.Lb_reductions.Sat_to_coloring.graph in
+  Printf.printf "graph: %d vertices, %d edges (3 + 2n + 6m = %d)\n"
+    (Graph.vertex_count g3) (Graph.edge_count g3)
+    (3 + (2 * Cnf.nvars f) + (6 * Cnf.clause_count f));
+  (match Lb_graph.Coloring.color g3 3 with
+  | Some colors ->
+      let back = Lb_reductions.Sat_to_coloring.assignment_back layout colors in
+      Printf.printf "3-coloring decodes to a satisfying assignment: %b\n"
+        (Cnf.satisfies f back)
+  | None -> print_endline "unexpectedly not 3-colorable");
+
+  section "Clique -> CSP with k variables (Theorem 6.4 / W[1]-hardness)";
+  let host, planted = Lb_graph.Generators.planted_clique rng 30 0.25 6 in
+  Printf.printf "host graph: %d vertices, %d edges, planted 6-clique at {%s}\n"
+    (Graph.vertex_count host) (Graph.edge_count host)
+    (String.concat "," (Array.to_list (Array.map string_of_int planted)));
+  let kcsp = Lb_reductions.Clique_to_csp.to_csp host 6 in
+  Printf.printf "CSP: |V| = %d (= k), |D| = %d (= n), |C| = %d (= C(k,2))\n"
+    (Lb_csp.Csp.nvars kcsp) (Lb_csp.Csp.domain_size kcsp)
+    (Lb_csp.Csp.constraint_count kcsp);
+  (match Lb_csp.Solver.solve kcsp with
+  | Some sol ->
+      let vs = Lb_reductions.Clique_to_csp.clique_back sol in
+      Printf.printf "CSP solution is a 6-clique: %b\n" (Graph.is_clique host vs)
+  | None -> print_endline "no clique found (unexpected)");
+
+  section "Clique -> Special CSP (Definition 4.3: k + 2^k variables)";
+  let scsp = Lb_reductions.Special_csp.clique_to_special_csp host 4 in
+  Printf.printf "Special CSP: |V| = %d = 4 + 2^4, primal graph special: %b\n"
+    (Lb_csp.Csp.nvars scsp)
+    (Lb_reductions.Special_csp.recognize scsp <> None);
+  (match Lb_reductions.Special_csp.solve scsp with
+  | Some sol ->
+      let vs = Lb_reductions.Special_csp.clique_back 4 sol in
+      Printf.printf "quasipolynomial solver found a 4-clique: %b\n"
+        (Graph.is_clique host vs)
+  | None -> print_endline "no 4-clique (unexpected)");
+
+  section "Dominating Set -> bounded-treewidth CSP (Theorem 7.2)";
+  let dg = Lb_graph.Generators.gnp rng 10 0.45 in
+  List.iter
+    (fun gsize ->
+      let layout = Lb_reductions.Domset_to_csp.reduce dg ~t:2 ~g:gsize in
+      let csp = layout.Lb_reductions.Domset_to_csp.csp in
+      let tw, _ = Lb_graph.Treewidth.exact (Lb_csp.Csp.primal_graph csp) in
+      Printf.printf
+        "t=2, grouping g=%d: CSP |V| = %d, |D| = %d, primal treewidth = %d\n"
+        gsize (Lb_csp.Csp.nvars csp) (Lb_csp.Csp.domain_size csp) tw;
+      match Lb_csp.Solver.solve csp with
+      | Some sol ->
+          let ds = Lb_reductions.Domset_to_csp.dominating_set_back layout sol in
+          Printf.printf "  decoded dominating set {%s} valid: %b\n"
+            (String.concat "," (Array.to_list (Array.map string_of_int ds)))
+            (Lb_graph.Dominating_set.is_dominating dg ds)
+      | None -> Printf.printf "  no dominating set of size 2\n")
+    [ 1; 2 ];
+
+  section "CNF-SAT -> Orthogonal Vectors (the SETH split, Section 7)";
+  let inst = Lb_reductions.Sat_to_ov.reduce f in
+  Printf.printf "OV instance: 2 x %d vectors of dimension %d (= m)\n"
+    (Array.length inst.Lb_reductions.Sat_to_ov.left)
+    inst.Lb_reductions.Sat_to_ov.dim;
+  (match Lb_reductions.Sat_to_ov.solve_ov inst with
+  | Some pair ->
+      let back = Lb_reductions.Sat_to_ov.assignment_back f pair in
+      Printf.printf "orthogonal pair decodes to a satisfying assignment: %b\n"
+        (Cnf.satisfies f back)
+  | None -> print_endline "no orthogonal pair (unexpected)");
+
+  section "CSP -> the other Section 2 views";
+  let bincsp, _ =
+    Lb_csp.Generators.binary_over_graph rng (Lb_graph.Generators.cycle 5)
+      ~domain_size:3 ~density:0.5 ~plant:true
+  in
+  let psi = Lb_csp.Convert.to_partitioned_iso bincsp in
+  Printf.printf
+    "binary CSP (C5 primal, |D|=3) as partitioned subgraph isomorphism: \
+     host with %d vertices; solvable: %b\n"
+    (Graph.vertex_count psi.Lb_csp.Convert.host)
+    (Lb_graph.Subgraph_iso.find psi.Lb_csp.Convert.pattern
+       psi.Lb_csp.Convert.host psi.Lb_csp.Convert.classes
+    <> None);
+  let sa, sb = Lb_csp.Convert.to_structures bincsp in
+  Printf.printf
+    "same CSP as relational structures: |A| = %d, |B| = %d; homomorphism \
+     exists: %b\n"
+    (Lb_structure.Structure.universe sa)
+    (Lb_structure.Structure.universe sb)
+    (Lb_structure.Structure.find_homomorphism sa sb <> None);
+  let q, db = Lb_csp.Convert.to_query bincsp in
+  Printf.printf "same CSP as a join query: %s; answer nonempty: %b\n"
+    (Lb_relalg.Query.to_string q)
+    (Lb_relalg.Query.is_boolean_answer_nonempty db q)

@@ -1,0 +1,70 @@
+(* Schaefer's dichotomy in action: classify Boolean constraint languages
+   and watch the dispatcher route each to its polynomial algorithm (or to
+   exponential search for the NP-hard ones).
+
+     dune exec examples/sat_dichotomy.exe
+*)
+
+module S = Lb_sat.Schaefer
+module Prng = Lb_util.Prng
+
+let r_imp = S.relation_of_pred 2 (fun t -> (not t.(0)) || t.(1))
+
+let r_or = S.relation_of_pred 2 (fun t -> t.(0) || t.(1))
+
+let r_xor = S.relation_of_pred 2 (fun t -> t.(0) <> t.(1))
+
+let r_nand = S.relation_of_pred 2 (fun t -> not (t.(0) && t.(1)))
+
+let r_nae =
+  S.relation_of_pred 3 (fun t -> not (t.(0) = t.(1) && t.(1) = t.(2)))
+
+let r_oneinthree =
+  S.relation_of_pred 3 (fun t ->
+      1 = List.length (List.filter Fun.id (Array.to_list t)))
+
+let r_parity3 =
+  S.relation_of_pred 3 (fun t -> t.(0) <> t.(1) <> t.(2))
+
+let languages =
+  [
+    ("implications {x -> y}", [ r_imp ]);
+    ("2-SAT clauses {x or y, nand, xor}", [ r_or; r_nand; r_xor ]);
+    ("linear equations {x xor y, 3-parity}", [ r_xor; r_parity3 ]);
+    ("NAE-3SAT", [ r_nae ]);
+    ("1-in-3 SAT", [ r_oneinthree ]);
+    ("mixed hard {implications + 1-in-3}", [ r_imp; r_oneinthree ]);
+  ]
+
+let random_instance rng language ~nvars ~nconstraints =
+  let rels = Array.of_list language in
+  let constraints =
+    List.init nconstraints (fun _ ->
+        let rel = rels.(Prng.int rng (Array.length rels)) in
+        { S.scope = Prng.sample rng nvars rel.S.arity; rel })
+  in
+  { S.nvars; constraints }
+
+let () =
+  let rng = Prng.create 3 in
+  List.iter
+    (fun (name, language) ->
+      Printf.printf "\nlanguage: %s\n" name;
+      let classes = S.classify language in
+      (if classes = [] then
+         print_endline
+           "  Schaefer classes: none -> CSP(language) is NP-hard \
+            (Schaefer's dichotomy)"
+       else
+         Printf.printf "  Schaefer classes: %s -> polynomial\n"
+           (String.concat ", " (List.map S.class_name classes)));
+      let inst = random_instance rng language ~nvars:12 ~nconstraints:16 in
+      let answer, method_used = S.solve inst in
+      Printf.printf "  random instance (12 vars, 16 constraints): %s via %s\n"
+        (match answer with
+        | Some a ->
+            assert (S.satisfies inst a);
+            "SATISFIABLE"
+        | None -> "unsatisfiable")
+        (S.method_name method_used))
+    languages

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Bounds Lb_relalg Printf

@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Bounds Lb_relalg

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Hypothesis Lb_csp Lb_graph Lb_hypergraph Lb_relalg List Printf

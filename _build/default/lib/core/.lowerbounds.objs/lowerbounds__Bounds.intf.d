@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Hypothesis Lb_csp Lb_hypergraph Lb_relalg

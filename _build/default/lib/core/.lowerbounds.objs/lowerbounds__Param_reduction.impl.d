@@ -1,0 +1,1 @@
+lib/core/param_reduction.ml: Lb_util List

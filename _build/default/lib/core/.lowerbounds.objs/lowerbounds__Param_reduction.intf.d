@@ -1,0 +1,1 @@
+lib/core/param_reduction.mli:

@@ -1,0 +1,1 @@
+lib/core/report.ml: Advisor Bounds Format Hypothesis Lb_relalg List

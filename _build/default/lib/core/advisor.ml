@@ -1,0 +1,60 @@
+(* The advisor: pick an evaluation strategy for a query from its
+   structural analysis, run it, and report why the choice is (believed)
+   optimal.  This operationalizes the paper's message: the structural
+   parameters (acyclicity, rho*, treewidth) decide the best algorithm,
+   and the conditional lower bounds certify there is nothing better to
+   look for. *)
+
+module Query = Lb_relalg.Query
+module Database = Lb_relalg.Database
+module Relation = Lb_relalg.Relation
+
+type strategy =
+  | Yannakakis (* acyclic: O(input + output) *)
+  | Worst_case_optimal (* cyclic: O(N^{rho*}) via Generic Join *)
+  | Binary_plan (* baseline; never chosen, available for comparison *)
+
+let strategy_name = function
+  | Yannakakis -> "Yannakakis (acyclic query)"
+  | Worst_case_optimal -> "Generic Join (worst-case optimal)"
+  | Binary_plan -> "left-deep binary hash joins"
+
+let choose (q : Query.t) =
+  if Lb_relalg.Yannakakis.is_acyclic q then Yannakakis else Worst_case_optimal
+
+type outcome = {
+  strategy : strategy;
+  answer : Relation.t;
+  justification : string list;
+}
+
+let evaluate db (q : Query.t) =
+  let analysis = Bounds.analyze_query q in
+  let strategy = choose q in
+  let answer =
+    match strategy with
+    | Yannakakis -> fst (Lb_relalg.Yannakakis.answer db q)
+    | Worst_case_optimal -> Lb_relalg.Generic_join.answer db q
+    | Binary_plan -> fst (Lb_relalg.Binary_plan.run db q)
+  in
+  let justification =
+    (match strategy with
+    | Yannakakis ->
+        [
+          "query is alpha-acyclic: Yannakakis runs in O(input + output)";
+          "no intermediate result exceeds the output after semijoin \
+           reduction";
+        ]
+    | Worst_case_optimal ->
+        [
+          (match analysis.Bounds.rho_star with
+          | Some r ->
+              Printf.sprintf
+                "query is cyclic: Generic Join runs in O(N^%.3f) = AGM bound" r
+          | None -> "query is cyclic: Generic Join is worst-case optimal");
+          "binary join plans can exceed the AGM bound by polynomial factors \
+           (Theorem 3.2 instances)";
+        ]
+    | Binary_plan -> [ "baseline strategy (explicitly requested)" ])
+  in
+  (analysis, { strategy; answer; justification })

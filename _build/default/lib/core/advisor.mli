@@ -1,0 +1,22 @@
+(** The advisor: pick the evaluation strategy the structural analysis
+    justifies, run it, and explain why nothing better should be expected
+    - the paper's message, operationalized. *)
+
+type strategy =
+  | Yannakakis  (** acyclic: O(input + output) *)
+  | Worst_case_optimal  (** cyclic: O(N^{rho*}) via Generic Join *)
+  | Binary_plan  (** baseline; available for comparison *)
+
+val strategy_name : strategy -> string
+
+(** Yannakakis iff acyclic, else worst-case optimal. *)
+val choose : Lb_relalg.Query.t -> strategy
+
+type outcome = {
+  strategy : strategy;
+  answer : Lb_relalg.Relation.t;
+  justification : string list;
+}
+
+val evaluate :
+  Lb_relalg.Database.t -> Lb_relalg.Query.t -> Bounds.analysis * outcome

@@ -1,0 +1,30 @@
+(** The bounds analyzer - the headline API: given a query or CSP,
+    compute its structural parameters (rho*, acyclicity, primal
+    treewidth) and emit the matching upper bounds (with the algorithm in
+    this library achieving each) and conditional lower bounds (with the
+    hypothesis and the paper's theorem number). *)
+
+type statement = {
+  kind : [ `Upper | `Lower ];
+  hypothesis : Hypothesis.t;
+  bound : string;  (** human-readable bound *)
+  via : string;  (** algorithm / reduction achieving or proving it *)
+  reference : string;  (** theorem number in the paper *)
+}
+
+type analysis = {
+  attributes : int;
+  atoms : int;
+  max_arity : int;
+  rho_star : float option;
+  acyclic : bool;
+  primal_treewidth : int;
+  treewidth_exact : bool;
+  statements : statement list;
+}
+
+val analyze_hypergraph : Lb_hypergraph.Hypergraph.t -> analysis
+
+val analyze_query : Lb_relalg.Query.t -> analysis
+
+val analyze_csp : Lb_csp.Csp.t -> analysis

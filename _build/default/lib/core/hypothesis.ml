@@ -1,0 +1,63 @@
+(* The complexity hypotheses of the paper, as first-class values.
+
+   Every conditional statement the analyzer emits names the assumption it
+   rests on; this module is the vocabulary (Sections 4-8). *)
+
+type t =
+  | P_neq_NP
+  | FPT_neq_W1
+  | ETH
+  | SETH
+  | K_clique_conjecture
+  | Hyperclique_conjecture
+  | Triangle_conjecture
+  | Unconditional
+
+let name = function
+  | P_neq_NP -> "P != NP"
+  | FPT_neq_W1 -> "FPT != W[1]"
+  | ETH -> "ETH"
+  | SETH -> "SETH"
+  | K_clique_conjecture -> "k-clique conjecture"
+  | Hyperclique_conjecture -> "d-uniform hyperclique conjecture"
+  | Triangle_conjecture -> "strong triangle conjecture"
+  | Unconditional -> "unconditional"
+
+let statement = function
+  | P_neq_NP -> "no NP-hard problem is polynomial-time solvable"
+  | FPT_neq_W1 -> "Clique is not fixed-parameter tractable"
+  | ETH -> "3SAT with n variables has no 2^{o(n)} algorithm"
+  | SETH ->
+      "SAT with n variables and m clauses has no (2-eps)^n * m^{O(1)} \
+       algorithm"
+  | K_clique_conjecture ->
+      "k-Clique has no O(n^{(omega-eps)k/3 + c}) algorithm"
+  | Hyperclique_conjecture ->
+      "k-hyperclique in d-uniform hypergraphs (d>=3) has no \
+       O(n^{(1-eps)k + c}) algorithm"
+  | Triangle_conjecture ->
+      "triangle detection needs m^{2*omega/(omega+1) - o(1)} time"
+  | Unconditional -> "holds without any complexity assumption"
+
+(* Implication order as presented in the paper: disproving the target
+   disproves the source (a lower bound under a weaker assumption is a
+   stronger result). *)
+let implies a b =
+  match (a, b) with
+  | x, y when x = y -> true
+  | SETH, ETH | SETH, P_neq_NP | ETH, P_neq_NP -> true
+  | ETH, FPT_neq_W1 | SETH, FPT_neq_W1 | FPT_neq_W1, P_neq_NP -> true
+  | Unconditional, _ -> false
+  | _ -> false
+
+let all =
+  [
+    P_neq_NP;
+    FPT_neq_W1;
+    ETH;
+    SETH;
+    K_clique_conjecture;
+    Hyperclique_conjecture;
+    Triangle_conjecture;
+    Unconditional;
+  ]

@@ -1,0 +1,24 @@
+(** The complexity hypotheses of the paper as first-class values
+    (Sections 4-8): every conditional statement the analyzer emits names
+    its assumption from this vocabulary. *)
+
+type t =
+  | P_neq_NP
+  | FPT_neq_W1
+  | ETH  (** 3SAT has no 2^{o(n)} algorithm *)
+  | SETH  (** SAT has no (2-eps)^n algorithm *)
+  | K_clique_conjecture
+  | Hyperclique_conjecture
+  | Triangle_conjecture
+  | Unconditional
+
+val name : t -> string
+
+(** One-sentence formal statement. *)
+val statement : t -> string
+
+(** [implies a b]: disproving [b] disproves [a] (so a lower bound under
+    [b] is the stronger result).  Reflexive. *)
+val implies : t -> t -> bool
+
+val all : t list

@@ -1,0 +1,72 @@
+(* Definition 5.1 as a first-class object: a parameterized reduction
+   must (1) preserve yes-instances, (2) run in f(k) * poly time, and
+   (3) map the parameter k to some k' <= f(k).
+
+   The catalog lists the parameterized reductions implemented in
+   Lb_reductions with their parameter maps; [check_parameter_bound]
+   verifies requirement (3) against a claimed bound f on a range of
+   parameters, and each entry's [preserves] hook is requirement (1) on a
+   concrete instance (requirement (2) is a statement about the
+   transformer code, witnessed by the experiments' running times). *)
+
+type t = {
+  name : string;
+  source : string; (* parameterized source problem *)
+  target : string;
+  parameter_map : int -> int; (* k -> k' *)
+  parameter_bound : string; (* human-readable f with k' <= f(k) *)
+  reference : string; (* where in the paper *)
+}
+
+let catalog =
+  [
+    {
+      name = "clique-to-csp";
+      source = "k-Clique (parameter k)";
+      target = "binary CSP (parameter |V|)";
+      parameter_map = (fun k -> k);
+      parameter_bound = "k' = k";
+      reference = "Section 5 / Theorem 6.4";
+    };
+    {
+      name = "clique-to-special-csp";
+      source = "k-Clique (parameter k)";
+      target = "Special CSP (parameter |V|)";
+      parameter_map = (fun k -> k + Lb_util.Combinat.power 2 k);
+      parameter_bound = "k' = k + 2^k";
+      reference = "Section 5 / Definition 4.3";
+    };
+    {
+      name = "domset-to-csp";
+      source = "t-Dominating Set (parameter t)";
+      target = "CSP of treewidth t/g (parameter treewidth)";
+      parameter_map = (fun t -> t (* with g = 1 *));
+      parameter_bound = "k' = t/g <= t";
+      reference = "Theorem 7.2";
+    };
+    {
+      name = "sat-to-csp";
+      source = "3SAT (parameter n)";
+      target = "Boolean CSP (parameter |V|)";
+      parameter_map = (fun n -> n);
+      parameter_bound = "k' = n";
+      reference = "Corollary 6.1";
+    };
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) catalog
+
+(* Requirement (3) of Definition 5.1: k' <= f(k) on [1, upto]. *)
+let check_parameter_bound r ~f ~upto =
+  let ok = ref true in
+  for k = 1 to upto do
+    if r.parameter_map k > f k then ok := false
+  done;
+  !ok
+
+(* A reduction whose parameter map is NOT bounded by any function of k
+   alone - the reason Vertex Cover's FPT algorithm says nothing about
+   Clique (the IS <-> VC parameter map is k -> n - k, which depends on
+   n).  Exposed so documentation and tests can make the point
+   concretely. *)
+let vc_parameter_map ~n k = n - k

@@ -1,0 +1,25 @@
+(** Definition 5.1 (parameterized reductions) as a first-class catalog:
+    each implemented reduction with its parameter map k -> k', plus the
+    bound check k' <= f(k) that separates parameterized reductions from
+    mere polynomial ones. *)
+
+type t = {
+  name : string;
+  source : string;
+  target : string;
+  parameter_map : int -> int;
+  parameter_bound : string;
+  reference : string;
+}
+
+val catalog : t list
+
+val find : string -> t option
+
+(** Requirement (3) of Definition 5.1 checked on [\[1, upto\]]. *)
+val check_parameter_bound : t -> f:(int -> int) -> upto:int -> bool
+
+(** The Independent Set <-> Vertex Cover parameter map k -> n - k: not a
+    function of k alone, hence not a parameterized reduction - why VC
+    being FPT says nothing about Clique. *)
+val vc_parameter_map : n:int -> int -> int

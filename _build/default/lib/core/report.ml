@@ -1,0 +1,31 @@
+(* Pretty-printing of analyses, for the CLI and the examples. *)
+
+let pp_statement fmt (s : Bounds.statement) =
+  let tag = match s.kind with `Upper -> "UPPER" | `Lower -> "LOWER" in
+  Format.fprintf fmt "[%s] %s@,        via %s  (%s; assumes %s)" tag s.bound
+    s.via s.reference
+    (Hypothesis.name s.hypothesis)
+
+let pp_analysis fmt (a : Bounds.analysis) =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "attributes: %d, atoms: %d, max arity: %d@," a.attributes
+    a.atoms a.max_arity;
+  (match a.rho_star with
+  | Some r -> Format.fprintf fmt "fractional edge cover number rho* = %.4f@," r
+  | None -> Format.fprintf fmt "rho* undefined (uncovered attribute)@,");
+  Format.fprintf fmt "alpha-acyclic: %b@," a.acyclic;
+  Format.fprintf fmt "primal treewidth: %d%s@," a.primal_treewidth
+    (if a.treewidth_exact then " (exact)" else " (heuristic upper bound)");
+  Format.fprintf fmt "@,";
+  List.iter (fun s -> Format.fprintf fmt "%a@," pp_statement s) a.statements;
+  Format.fprintf fmt "@]"
+
+let analysis_to_string a = Format.asprintf "%a" pp_analysis a
+
+let pp_outcome fmt (o : Advisor.outcome) =
+  Format.fprintf fmt "@[<v>strategy: %s@,answer: %d tuples@,%a@]"
+    (Advisor.strategy_name o.strategy)
+    (Lb_relalg.Relation.cardinality o.answer)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       (fun fmt j -> Format.fprintf fmt "- %s" j))
+    o.justification

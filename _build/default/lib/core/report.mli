@@ -1,0 +1,10 @@
+(** Pretty-printing of analyses and advisor outcomes, for the CLI and
+    examples. *)
+
+val pp_statement : Format.formatter -> Bounds.statement -> unit
+
+val pp_analysis : Format.formatter -> Bounds.analysis -> unit
+
+val analysis_to_string : Bounds.analysis -> string
+
+val pp_outcome : Format.formatter -> Advisor.outcome -> unit

@@ -1,0 +1,1 @@
+lib/csp/convert.ml: Array Csp Hashtbl Lb_graph Lb_relalg Lb_structure List Printf

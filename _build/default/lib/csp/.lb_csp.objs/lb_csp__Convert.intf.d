@@ -1,0 +1,1 @@
+lib/csp/convert.mli: Csp Lb_graph Lb_relalg Lb_structure

@@ -1,0 +1,1 @@
+lib/csp/cq.ml: Array Hashtbl Lb_graph Lb_relalg Lb_structure List Printf

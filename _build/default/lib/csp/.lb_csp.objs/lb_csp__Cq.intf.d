@@ -1,0 +1,1 @@
+lib/csp/cq.mli: Lb_relalg Lb_structure

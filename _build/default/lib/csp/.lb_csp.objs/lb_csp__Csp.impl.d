@@ -1,0 +1,1 @@
+lib/csp/csp.ml: Array Format Hashtbl Lb_graph Lb_hypergraph Lb_util List

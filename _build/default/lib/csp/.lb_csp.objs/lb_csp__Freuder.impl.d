@@ -1,0 +1,1 @@
+lib/csp/freuder.ml: Array Csp Hashtbl Lb_graph List Option

@@ -1,0 +1,1 @@
+lib/csp/freuder.mli: Csp Lb_graph

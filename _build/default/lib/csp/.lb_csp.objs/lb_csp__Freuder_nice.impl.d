@@ -1,0 +1,1 @@
+lib/csp/freuder_nice.ml: Array Csp Freuder Hashtbl Lb_graph List Option

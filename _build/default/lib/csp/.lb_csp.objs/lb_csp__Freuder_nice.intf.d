@@ -1,0 +1,1 @@
+lib/csp/freuder_nice.mli: Csp Lb_graph

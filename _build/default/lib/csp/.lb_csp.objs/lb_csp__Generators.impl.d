@@ -1,0 +1,1 @@
+lib/csp/generators.ml: Array Csp Lb_graph Lb_util List

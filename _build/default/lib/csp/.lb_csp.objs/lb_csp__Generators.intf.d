@@ -1,0 +1,1 @@
+lib/csp/generators.mli: Csp Lb_graph Lb_util

@@ -1,0 +1,1 @@
+lib/csp/hom.ml: Array Csp Freuder Lb_graph Lb_structure List

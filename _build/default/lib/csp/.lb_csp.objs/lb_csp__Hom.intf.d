@@ -1,0 +1,1 @@
+lib/csp/hom.mli: Csp Lb_structure

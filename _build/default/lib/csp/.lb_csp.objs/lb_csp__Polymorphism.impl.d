@@ -1,0 +1,1 @@
+lib/csp/polymorphism.ml: Array Csp Fun Hashtbl Lb_util List

@@ -1,0 +1,1 @@
+lib/csp/polymorphism.mli: Csp

@@ -1,0 +1,1 @@
+lib/csp/solver.ml: Array Csp Hashtbl Lb_util List Queue

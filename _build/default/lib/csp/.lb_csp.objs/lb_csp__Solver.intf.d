@@ -1,0 +1,1 @@
+lib/csp/solver.mli: Csp Lb_util

@@ -1,0 +1,183 @@
+(* The translations of Section 2: join query <-> CSP <-> graph problem
+   <-> relational structure homomorphism.  Each translation preserves
+   solutions bijectively; the tests check exactly that on random
+   instances. *)
+
+module Graph = Lb_graph.Graph
+
+(* --- Section 2.2: join query + database -> CSP ---
+
+   Variables are the query attributes; the domain is the (dictionary
+   encoded) active domain; one constraint per atom with the relation's
+   tuples as allowed tuples.  Returns the CSP plus the dictionaries to
+   map a CSP solution back to database values. *)
+
+type query_csp = {
+  csp : Csp.t;
+  attrs : string array; (* CSP variable i is this attribute *)
+  values : int array; (* CSP value d encodes this database value *)
+}
+
+let of_query db (q : Lb_relalg.Query.t) =
+  let attrs = Lb_relalg.Query.attributes q in
+  let var_of =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i x -> Hashtbl.replace tbl x i) attrs;
+    fun x -> Hashtbl.find tbl x
+  in
+  (* active domain across all atom relations *)
+  let valtbl = Hashtbl.create 64 in
+  let values = ref [] in
+  let nvalues = ref 0 in
+  let encode v =
+    match Hashtbl.find_opt valtbl v with
+    | Some i -> i
+    | None ->
+        let i = !nvalues in
+        Hashtbl.replace valtbl v i;
+        values := v :: !values;
+        incr nvalues;
+        i
+  in
+  let constraints =
+    List.map
+      (fun atom ->
+        let rel = Lb_relalg.Query.bind_atom db atom in
+        let scope = Array.map var_of (Lb_relalg.Relation.attrs rel) in
+        let allowed =
+          Array.to_list (Lb_relalg.Relation.tuples rel)
+          |> List.map (Array.map encode)
+        in
+        { Csp.scope; allowed })
+      q
+  in
+  let csp =
+    Csp.create ~nvars:(Array.length attrs) ~domain_size:(max 1 !nvalues)
+      constraints
+  in
+  { csp; attrs; values = Array.of_list (List.rev !values) }
+
+(* --- The reverse: CSP -> join query + database --- *)
+
+let to_query (csp : Csp.t) =
+  let atoms_and_rels =
+    List.mapi
+      (fun i (c : Csp.constraint_) ->
+        let name = Printf.sprintf "C%d" i in
+        let attrs = Array.map (Printf.sprintf "x%d") c.scope in
+        (* repeated variables in a scope give repeated attributes, which
+           Relation.make rejects; express them by de-duplicating columns
+           (the atom keeps the repeated attribute, matching Section 2.1
+           semantics via Query.bind_atom's filtering) *)
+        let distinct = ref [] and seen = Hashtbl.create 8 in
+        Array.iteri
+          (fun j x ->
+            if not (Hashtbl.mem seen x) then begin
+              Hashtbl.replace seen x j;
+              distinct := (x, j) :: !distinct
+            end)
+          attrs;
+        let distinct = List.rev !distinct in
+        let consistent tup =
+          let ok = ref true in
+          Array.iteri
+            (fun j x -> if tup.(Hashtbl.find seen x) <> tup.(j) then ok := false)
+            attrs;
+          !ok
+        in
+        let tuples =
+          List.filter consistent c.allowed
+          |> List.map (fun tup ->
+                 Array.of_list (List.map (fun (_, j) -> tup.(j)) distinct))
+        in
+        let rel =
+          Lb_relalg.Relation.make
+            (Array.of_list (List.map fst distinct))
+            tuples
+        in
+        (Lb_relalg.Query.atom name (Array.of_list (List.map fst distinct)), (name, rel)))
+      (Csp.constraints csp)
+  in
+  let q = List.map fst atoms_and_rels in
+  let db = Lb_relalg.Database.of_list (List.map snd atoms_and_rels) in
+  (q, db)
+
+(* --- Section 2.3: binary CSP -> partitioned subgraph isomorphism ---
+
+   Host vertices w_{v,d} (index v * D + d); for each binary constraint
+   ((u,v), R) connect w_{u,a} and w_{v,b} iff (a,b) in R.  The pattern is
+   the primal graph and class v = { w_{v,d} | d }.  A partition-
+   respecting copy of the pattern = a CSP solution.
+
+   Constraint semantics note: multiple constraints on the same pair must
+   all hold, so edges are the intersection of their allowed pairs. *)
+
+type psi_instance = {
+  pattern : Graph.t;
+  host : Graph.t;
+  classes : Lb_graph.Subgraph_iso.partition;
+}
+
+let to_partitioned_iso (csp : Csp.t) =
+  if not (Csp.is_binary csp) then
+    invalid_arg "Convert.to_partitioned_iso: CSP must be binary";
+  let n = Csp.nvars csp and d = Csp.domain_size csp in
+  let pattern = Csp.primal_graph csp in
+  let host = Graph.create (n * d) in
+  let node v a = (v * d) + a in
+  (* collect allowed pairs per ordered variable pair, intersecting
+     multiple constraints *)
+  let pair_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Csp.constraint_) ->
+      let u = c.scope.(0) and v = c.scope.(1) in
+      if u = v then
+        invalid_arg "Convert.to_partitioned_iso: repeated variable in scope";
+      let key = (min u v, max u v) in
+      let tuples =
+        List.map
+          (fun t -> if u <= v then (t.(0), t.(1)) else (t.(1), t.(0)))
+          c.allowed
+        |> List.sort_uniq compare
+      in
+      match Hashtbl.find_opt pair_tbl key with
+      | None -> Hashtbl.replace pair_tbl key tuples
+      | Some old ->
+          Hashtbl.replace pair_tbl key
+            (List.filter (fun p -> List.mem p tuples) old))
+    (Csp.constraints csp);
+  Hashtbl.iter
+    (fun (u, v) pairs ->
+      List.iter (fun (a, b) -> Graph.add_edge host (node u a) (node v b)) pairs)
+    pair_tbl;
+  let classes = Array.init n (fun v -> Array.init d (fun a -> node v a)) in
+  { pattern; host; classes }
+
+(* Decode a partitioned-subgraph-isomorphism image back to a CSP
+   assignment. *)
+let assignment_of_iso (csp : Csp.t) image =
+  let d = Csp.domain_size csp in
+  Array.map (fun w -> w mod d) image
+
+(* --- Section 2.4: CSP -> homomorphism of relational structures ---
+
+   Vocabulary: one symbol Q_i per constraint, of the constraint's arity.
+   A has universe V with Q_i^A = { s_i }; B has universe D with Q_i^B =
+   R_i.  Homomorphisms A -> B are exactly the CSP solutions. *)
+
+let to_structures (csp : Csp.t) =
+  let voc =
+    List.mapi
+      (fun i (c : Csp.constraint_) ->
+        (Printf.sprintf "Q%d" i, Array.length c.scope))
+      (Csp.constraints csp)
+  in
+  let a = Lb_structure.Structure.create voc (Csp.nvars csp) in
+  let b = Lb_structure.Structure.create voc (Csp.domain_size csp) in
+  List.iteri
+    (fun i (c : Csp.constraint_) ->
+      let name = Printf.sprintf "Q%d" i in
+      Lb_structure.Structure.add_tuple a name c.scope;
+      List.iter (fun tup -> Lb_structure.Structure.add_tuple b name tup) c.allowed)
+    (Csp.constraints csp);
+  (a, b)

@@ -1,0 +1,34 @@
+(** The translations of Section 2: join query <-> CSP <-> partitioned
+    subgraph isomorphism <-> relational-structure homomorphism.  Each
+    preserves solutions bijectively. *)
+
+type query_csp = {
+  csp : Csp.t;
+  attrs : string array;  (** CSP variable [i] is this attribute *)
+  values : int array;  (** CSP value [d] encodes this database value *)
+}
+
+(** Section 2.2: query + database -> CSP over the dictionary-encoded
+    active domain. *)
+val of_query : Lb_relalg.Database.t -> Lb_relalg.Query.t -> query_csp
+
+(** The reverse: one atom/relation per constraint. *)
+val to_query : Csp.t -> Lb_relalg.Query.t * Lb_relalg.Database.t
+
+type psi_instance = {
+  pattern : Lb_graph.Graph.t;
+  host : Lb_graph.Graph.t;
+  classes : Lb_graph.Subgraph_iso.partition;
+}
+
+(** Section 2.3: binary CSP -> partitioned subgraph isomorphism with
+    host vertices w_(v,d).  Constraints on the same pair are
+    intersected.  Raises on non-binary instances or repeated scope
+    variables. *)
+val to_partitioned_iso : Csp.t -> psi_instance
+
+(** Decode an image back to a CSP assignment. *)
+val assignment_of_iso : Csp.t -> int array -> int array
+
+(** Section 2.4: CSP -> (A, B) with hom(A, B) = solutions. *)
+val to_structures : Csp.t -> Lb_structure.Structure.t * Lb_structure.Structure.t

@@ -1,0 +1,103 @@
+(* Boolean conjunctive query containment and minimization - the
+   database face of the core machinery of Theorem 5.3 (Chandra-Merlin):
+
+   - the canonical structure of a query has the attributes as universe
+     and one tuple per atom;
+   - for Boolean (yes/no) queries, Q1 implies Q2 on every database iff
+     there is a homomorphism from Q2's canonical structure to Q1's;
+   - the core of the canonical structure is the unique minimal
+     Boolean-equivalent query, and by Theorem 5.3 its treewidth (not the
+     original query's) governs evaluation complexity.
+
+   Relation names appearing with inconsistent arities are rejected. *)
+
+module Query = Lb_relalg.Query
+module Structure = Lb_structure.Structure
+
+(* Vocabulary of a query: each relation name with its arity. *)
+let vocabulary_of (q : Query.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Query.atom) ->
+      let ar = Array.length a.attrs in
+      match Hashtbl.find_opt tbl a.rel with
+      | None -> Hashtbl.replace tbl a.rel ar
+      | Some ar' ->
+          if ar <> ar' then
+            invalid_arg
+              (Printf.sprintf "Cq: relation %s used with arities %d and %d"
+                 a.rel ar' ar))
+    q;
+  Hashtbl.fold (fun name ar acc -> (name, ar) :: acc) tbl []
+  |> List.sort compare
+
+(* Canonical structure over a given vocabulary (a superset of the
+   query's own symbols, so two queries can share one vocabulary). *)
+let canonical_structure ?vocabulary (q : Query.t) =
+  let voc = match vocabulary with Some v -> v | None -> vocabulary_of q in
+  let attrs = Query.attributes q in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) attrs;
+  let s = Structure.create voc (Array.length attrs) in
+  List.iter
+    (fun (a : Query.atom) ->
+      Structure.add_tuple s a.rel (Array.map (Hashtbl.find index) a.attrs))
+    q;
+  (s, attrs)
+
+(* Shared vocabulary of two queries (union; arities must agree). *)
+let shared_vocabulary q1 q2 =
+  let v1 = vocabulary_of q1 and v2 = vocabulary_of q2 in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (n, a) -> Hashtbl.replace tbl n a) v1;
+  List.iter
+    (fun (n, a) ->
+      match Hashtbl.find_opt tbl n with
+      | Some a' when a' <> a ->
+          invalid_arg ("Cq: arity mismatch for relation " ^ n)
+      | _ -> Hashtbl.replace tbl n a)
+    v2;
+  Hashtbl.fold (fun n a acc -> (n, a) :: acc) tbl [] |> List.sort compare
+
+(* Boolean containment: "whenever Q1 has an answer, so does Q2" holds on
+   every database iff hom(canonical(Q2), canonical(Q1)) exists. *)
+let boolean_contained q1 q2 =
+  let voc = shared_vocabulary q1 q2 in
+  let s1, _ = canonical_structure ~vocabulary:voc q1 in
+  let s2, _ = canonical_structure ~vocabulary:voc q2 in
+  Structure.find_homomorphism s2 s1 <> None
+
+let boolean_equivalent q1 q2 =
+  boolean_contained q1 q2 && boolean_contained q2 q1
+
+(* Minimal Boolean-equivalent query: the core of the canonical
+   structure, read back as atoms.  Variable names are kept for surviving
+   attributes. *)
+let minimize (q : Query.t) =
+  match q with
+  | [] -> []
+  | _ ->
+      let s, attrs = canonical_structure q in
+      let core, mapping = Lb_structure.Core_struct.core s in
+      let atoms = ref [] in
+      List.iter
+        (fun (name, _) ->
+          List.iter
+            (fun tup ->
+              atoms :=
+                Query.atom name (Array.map (fun e -> attrs.(mapping.(e))) tup)
+                :: !atoms)
+            (Structure.tuples core name))
+        (Structure.vocabulary core);
+      List.rev !atoms
+
+(* The treewidth that actually governs Boolean evaluation of q
+   (Theorem 5.3): the primal treewidth of the minimized query. *)
+let core_treewidth (q : Query.t) =
+  let minimized = minimize q in
+  match minimized with
+  | [] -> 0
+  | _ ->
+      let g = Query.primal_graph minimized in
+      let tw, _, _ = Lb_graph.Treewidth.best_effort g in
+      tw

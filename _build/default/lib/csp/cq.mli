@@ -1,0 +1,28 @@
+(** Boolean conjunctive query containment and minimization
+    (Chandra-Merlin) - the database face of the core machinery of
+    Theorem 5.3.  "Boolean" means only yes/no answers are compared, so
+    containment is homomorphism between canonical structures. *)
+
+(** Relation names with their arities; raises on inconsistent use. *)
+val vocabulary_of : Lb_relalg.Query.t -> Lb_structure.Structure.vocabulary
+
+(** Canonical structure: attributes as universe, one tuple per atom.
+    Returns the structure and the attribute array indexing its
+    universe. *)
+val canonical_structure :
+  ?vocabulary:Lb_structure.Structure.vocabulary ->
+  Lb_relalg.Query.t ->
+  Lb_structure.Structure.t * string array
+
+(** [boolean_contained q1 q2]: on every database, if [q1] has an answer
+    then so does [q2]. *)
+val boolean_contained : Lb_relalg.Query.t -> Lb_relalg.Query.t -> bool
+
+val boolean_equivalent : Lb_relalg.Query.t -> Lb_relalg.Query.t -> bool
+
+(** The unique minimal Boolean-equivalent query (the core). *)
+val minimize : Lb_relalg.Query.t -> Lb_relalg.Query.t
+
+(** Primal treewidth of the minimized query - the parameter Theorem 5.3
+    says governs Boolean evaluation. *)
+val core_treewidth : Lb_relalg.Query.t -> int

@@ -1,0 +1,25 @@
+(** Freuder's algorithm (Theorem 4.2): dynamic programming over a tree
+    decomposition of the primal graph, in O(|V| . |D|^{k+1}) at width k.
+    Tables carry subtree solution counts, so one pass answers decision,
+    counting and witness extraction.  Counts saturate at [count_cap] so
+    decisions stay correct beyond the int range. *)
+
+val count_cap : int
+
+type tables
+
+(** Decompose the primal graph (exact treewidth for small instances,
+    heuristic otherwise). *)
+val decompose : Csp.t -> Lb_graph.Tree_decomposition.t
+
+(** Run the DP.  Raises [Invalid_argument] if the supplied decomposition
+    does not cover some constraint scope. *)
+val run : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> tables
+
+(** Number of solutions (exact below [count_cap], saturated above). *)
+val count : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> int
+
+val solvable : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> bool
+
+(** Extract one solution by walking the tables top-down. *)
+val solve : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> int array option

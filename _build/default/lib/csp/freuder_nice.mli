@@ -1,0 +1,8 @@
+(** Theorem 4.2's DP in introduce/forget/join normal form over a nice
+    tree decomposition - an independent implementation cross-checking
+    {!Freuder}. *)
+
+(** Exact solution count (saturating at {!Freuder.count_cap}). *)
+val count : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> int
+
+val solvable : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> bool

@@ -1,0 +1,64 @@
+(* Random CSP workload generators.
+
+   All binary instances are built over an explicit primal graph so the
+   structural experiments (E3-E5) can control treewidth exactly.  The
+   planted variants guarantee satisfiability, which keeps solver timing
+   comparable across sizes (unsatisfiable random instances can be
+   rejected very quickly or very slowly, polluting scaling fits). *)
+
+module Prng = Lb_util.Prng
+module Graph = Lb_graph.Graph
+
+(* Binary CSP over the edges of [g]: each edge carries a random relation
+   containing each value pair with probability [density], plus the
+   planted solution's pair if [plant] is set.  Returns the instance and
+   the planted assignment (if any). *)
+let binary_over_graph rng g ~domain_size ~density ~plant =
+  let n = Graph.vertex_count g in
+  let hidden =
+    if plant then Some (Array.init n (fun _ -> Prng.int rng domain_size))
+    else None
+  in
+  let constraints =
+    List.map
+      (fun (u, v) ->
+        let allowed = ref [] in
+        for a = 0 to domain_size - 1 do
+          for b = 0 to domain_size - 1 do
+            let planted =
+              match hidden with
+              | Some h -> h.(u) = a && h.(v) = b
+              | None -> false
+            in
+            if planted || Prng.bernoulli rng density then
+              allowed := [| a; b |] :: !allowed
+          done
+        done;
+        { Csp.scope = [| u; v |]; allowed = !allowed })
+      (Graph.edges g)
+  in
+  (Csp.create ~nvars:n ~domain_size constraints, hidden)
+
+(* Random binary CSP whose primal graph is a random partial k-tree:
+   treewidth <= k by construction (E3). *)
+let bounded_treewidth rng ~nvars ~width ~domain_size ~density ~plant =
+  let g =
+    Lb_graph.Generators.random_partial_ktree rng nvars width ~drop:0.0
+  in
+  let csp, hidden = binary_over_graph rng g ~domain_size ~density ~plant in
+  (csp, g, hidden)
+
+(* The k-coloring CSP of a graph: one disequality constraint per edge -
+   the CSP face of Graph coloring used in tests. *)
+let coloring_csp g k =
+  let neq =
+    let acc = ref [] in
+    for a = 0 to k - 1 do
+      for b = 0 to k - 1 do
+        if a <> b then acc := [| a; b |] :: !acc
+      done
+    done;
+    !acc
+  in
+  Csp.create ~nvars:(Graph.vertex_count g) ~domain_size:k
+    (List.map (fun (u, v) -> { Csp.scope = [| u; v |]; allowed = neq }) (Graph.edges g))

@@ -1,0 +1,30 @@
+(** Random CSP workloads with controlled primal structure, for the
+    treewidth experiments (E3-E5). *)
+
+(** Binary CSP over the edges of a graph: each edge carries a random
+    relation of the given density; [plant] additionally embeds a hidden
+    solution (returned).  Keeps instances satisfiable for clean timing
+    comparisons. *)
+val binary_over_graph :
+  Lb_util.Prng.t ->
+  Lb_graph.Graph.t ->
+  domain_size:int ->
+  density:float ->
+  plant:bool ->
+  Csp.t * int array option
+
+(** Random binary CSP whose primal graph is a random partial k-tree
+    (treewidth <= [width] by construction); returns (instance, primal
+    graph, planted solution). *)
+val bounded_treewidth :
+  Lb_util.Prng.t ->
+  nvars:int ->
+  width:int ->
+  domain_size:int ->
+  density:float ->
+  plant:bool ->
+  Csp.t * Lb_graph.Graph.t * int array option
+
+(** The k-coloring CSP of a graph: one disequality constraint per
+    edge. *)
+val coloring_csp : Lb_graph.Graph.t -> int -> Csp.t

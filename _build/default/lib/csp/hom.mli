@@ -1,0 +1,25 @@
+(** The positive side of Theorem 5.3: decide and count homomorphisms
+    A -> B via the core and Freuder's treewidth DP - polynomial whenever
+    the cores of the inputs have bounded treewidth, which is exactly the
+    theorem's tractability frontier. *)
+
+(** HOM(a, b) as a CSP: variables = a's universe, domain = b's universe,
+    one constraint per tuple of [a].  Raises on vocabulary mismatch. *)
+val to_csp : Lb_structure.Structure.t -> Lb_structure.Structure.t -> Csp.t
+
+(** Decide through core + treewidth DP; the witness is a homomorphism
+    from the full structure (retraction composed with the DP's
+    witness). *)
+val decide :
+  Lb_structure.Structure.t -> Lb_structure.Structure.t -> int array option
+
+(** Exact homomorphism count by the DP on [a] itself (cores do not
+    preserve counts); saturates at {!Freuder.count_cap}. *)
+val count : Lb_structure.Structure.t -> Lb_structure.Structure.t -> int
+
+(** Exhaustive count for cross-checks. *)
+val count_bruteforce :
+  Lb_structure.Structure.t -> Lb_structure.Structure.t -> int
+
+(** Treewidth of the core's Gaifman graph - the Theorem 5.3 parameter. *)
+val core_treewidth : Lb_structure.Structure.t -> int

@@ -1,0 +1,215 @@
+(* Polymorphisms of constraint languages over arbitrary finite domains -
+   the algebra behind the Feder-Vardi conjecture and the Bulatov/Zhuk
+   dichotomy that Section 4 recounts: CSP(R) is polynomial iff the
+   language has a weak near-unanimity polymorphism, NP-hard otherwise.
+
+   We implement the checking side: apply candidate operations
+   coordinatewise to constraint tuples and test closure.  Detectors are
+   provided for the classic tractability-witnessing operations
+   (constants, semilattices, majority, Maltsev), each of which induces a
+   known polynomial algorithm; over the Boolean domain they specialize
+   to Schaefer's classes (the property tests check exactly that
+   correspondence).  The general-domain dichotomy ALGORITHMS
+   (Bulatov/Zhuk) are far beyond a reproduction's scope - what the paper
+   uses them for is the classification statement, whose executable
+   content is this closure checking. *)
+
+(* A constraint language: relations over a common domain [0, d). *)
+type relation = { arity : int; tuples : int array list }
+
+let relation ~domain_size ~arity tuples =
+  List.iter
+    (fun t ->
+      if Array.length t <> arity then invalid_arg "Polymorphism.relation: width";
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= domain_size then
+            invalid_arg "Polymorphism.relation: value range")
+        t)
+    tuples;
+  { arity; tuples }
+
+let of_csp_constraint (c : Csp.constraint_) =
+  { arity = Array.length c.scope; tuples = c.allowed }
+
+(* Operations of arity 1..3 as explicit tables. *)
+type operation =
+  | Unary of int array (* f.(x) *)
+  | Binary of int array array (* f.(x).(y) *)
+  | Ternary of int array array array
+
+let apply op args =
+  match (op, args) with
+  | Unary f, [| x |] -> f.(x)
+  | Binary f, [| x; y |] -> f.(x).(y)
+  | Ternary f, [| x; y; z |] -> f.(x).(y).(z)
+  | _ -> invalid_arg "Polymorphism.apply: arity mismatch"
+
+let op_arity = function Unary _ -> 1 | Binary _ -> 2 | Ternary _ -> 3
+
+(* Is [op] a polymorphism of [rel]?  Apply it coordinatewise to every
+   tuple combination and test membership. *)
+let preserves op rel =
+  let k = op_arity op in
+  let member =
+    let tbl = Hashtbl.create (2 * List.length rel.tuples) in
+    List.iter (fun t -> Hashtbl.replace tbl t ()) rel.tuples;
+    fun t -> Hashtbl.mem tbl t
+  in
+  let tuples = Array.of_list rel.tuples in
+  let m = Array.length tuples in
+  if m = 0 then true
+  else begin
+    let ok = ref true in
+    Lb_util.Combinat.iter_tuples m k (fun choice ->
+        if !ok then begin
+          let image =
+            Array.init rel.arity (fun pos ->
+                apply op (Array.map (fun ti -> tuples.(ti).(pos)) choice))
+          in
+          if not (member image) then ok := false
+        end);
+    !ok
+  end
+
+let preserves_language op rels = List.for_all (preserves op) rels
+
+(* --- detectors for the classic tractability witnesses --- *)
+
+(* constant operation x -> c *)
+let constant d c =
+  if c < 0 || c >= d then invalid_arg "Polymorphism.constant";
+  Unary (Array.make d c)
+
+let has_constant_polymorphism d rels =
+  let rec try_c c =
+    if c >= d then None
+    else if preserves_language (constant d c) rels then Some c
+    else try_c (c + 1)
+  in
+  try_c 0
+
+(* semilattice: binary, idempotent, commutative, associative *)
+let is_semilattice_op d f =
+  let ok = ref true in
+  for x = 0 to d - 1 do
+    if f.(x).(x) <> x then ok := false;
+    for y = 0 to d - 1 do
+      if f.(x).(y) <> f.(y).(x) then ok := false;
+      for z = 0 to d - 1 do
+        if f.(f.(x).(y)).(z) <> f.(x).(f.(y).(z)) then ok := false
+      done
+    done
+  done;
+  !ok
+
+(* min/max w.r.t. a total order given as a permutation (priority). *)
+let min_op d order =
+  let rank = Array.make d 0 in
+  Array.iteri (fun i v -> rank.(v) <- i) order;
+  Binary
+    (Array.init d (fun x ->
+         Array.init d (fun y -> if rank.(x) <= rank.(y) then x else y)))
+
+(* Does SOME min-style semilattice polymorphism exist, over all total
+   orders?  (Exponential in d; meant for tiny domains.)  Returns the
+   witnessing order. *)
+let has_min_semilattice d rels =
+  if d > 6 then invalid_arg "Polymorphism.has_min_semilattice: domain too big";
+  let result = ref None in
+  let rec perms acc rest =
+    if !result <> None then ()
+    else
+      match rest with
+      | [] ->
+          let order = Array.of_list (List.rev acc) in
+          if preserves_language (min_op d order) rels then result := Some order
+      | _ ->
+          List.iter
+            (fun x -> perms (x :: acc) (List.filter (( <> ) x) rest))
+            rest
+  in
+  perms [] (List.init d Fun.id);
+  !result
+
+(* majority: ternary, maj(x,x,y) = maj(x,y,x) = maj(y,x,x) = x *)
+let is_majority_op d f =
+  let ok = ref true in
+  for x = 0 to d - 1 do
+    for y = 0 to d - 1 do
+      if f.(x).(x).(y) <> x || f.(x).(y).(x) <> x || f.(y).(x).(x) <> x then
+        ok := false
+    done
+  done;
+  !ok
+
+(* the "median" majority operation for a total order *)
+let median_op d order =
+  let rank = Array.make d 0 in
+  Array.iteri (fun i v -> rank.(v) <- i) order;
+  Ternary
+    (Array.init d (fun x ->
+         Array.init d (fun y ->
+             Array.init d (fun z ->
+                 (* median of x,y,z by rank *)
+                 let l = List.sort (fun a b -> compare rank.(a) rank.(b)) [ x; y; z ] in
+                 List.nth l 1))))
+
+let has_median_majority d rels =
+  if d > 6 then invalid_arg "Polymorphism.has_median_majority: domain too big";
+  let result = ref None in
+  let rec perms acc rest =
+    if !result <> None then ()
+    else
+      match rest with
+      | [] ->
+          let order = Array.of_list (List.rev acc) in
+          if preserves_language (median_op d order) rels then result := Some order
+      | _ ->
+          List.iter
+            (fun x -> perms (x :: acc) (List.filter (( <> ) x) rest))
+            rest
+  in
+  perms [] (List.init d Fun.id);
+  !result
+
+(* Maltsev: ternary with p(x,y,y) = p(y,y,x) = x (e.g. x - y + z in a
+   group: the affine case) *)
+let is_maltsev_op d f =
+  let ok = ref true in
+  for x = 0 to d - 1 do
+    for y = 0 to d - 1 do
+      if f.(x).(y).(y) <> x || f.(y).(y).(x) <> x then ok := false
+    done
+  done;
+  !ok
+
+(* x - y + z mod d: the affine Maltsev operation *)
+let affine_op d =
+  Ternary
+    (Array.init d (fun x ->
+         Array.init d (fun y ->
+             Array.init d (fun z -> (((x - y + z) mod d) + d) mod d))))
+
+(* Summary report for a language over domain d. *)
+type report = {
+  constant : int option;
+  semilattice_order : int array option;
+  majority_order : int array option;
+  affine_maltsev : bool;
+}
+
+let analyze d rels =
+  {
+    constant = has_constant_polymorphism d rels;
+    semilattice_order = (if d <= 5 then has_min_semilattice d rels else None);
+    majority_order = (if d <= 5 then has_median_majority d rels else None);
+    affine_maltsev = preserves_language (affine_op d) rels;
+  }
+
+(* Any witness present?  (Sufficient for tractability; absence proves
+   nothing in general - the Bulatov/Zhuk criterion needs weak
+   near-unanimity terms of unbounded arity.) *)
+let some_tractability_witness r =
+  r.constant <> None || r.semilattice_order <> None || r.majority_order <> None
+  || r.affine_maltsev

@@ -1,0 +1,66 @@
+(** Polymorphisms of constraint languages over finite domains - the
+    algebra behind the Feder-Vardi conjecture and the Bulatov/Zhuk
+    dichotomy recounted in Section 4.  Closure checking plus detectors
+    for the classic tractability witnesses (constants, semilattices,
+    majority/median, affine Maltsev); over the Boolean domain these
+    specialize to Schaefer's classes. *)
+
+type relation = { arity : int; tuples : int array list }
+
+val relation : domain_size:int -> arity:int -> int array list -> relation
+
+val of_csp_constraint : Csp.constraint_ -> relation
+
+type operation =
+  | Unary of int array
+  | Binary of int array array
+  | Ternary of int array array array
+
+val apply : operation -> int array -> int
+
+val op_arity : operation -> int
+
+(** Coordinatewise closure test. *)
+val preserves : operation -> relation -> bool
+
+val preserves_language : operation -> relation list -> bool
+
+val constant : int -> int -> operation
+
+val has_constant_polymorphism : int -> relation list -> int option
+
+(** Idempotent + commutative + associative. *)
+val is_semilattice_op : int -> int array array -> bool
+
+(** min with respect to a priority order. *)
+val min_op : int -> int array -> operation
+
+(** Search all total orders (domains up to 6) for a min-semilattice
+    polymorphism; returns the witnessing order. *)
+val has_min_semilattice : int -> relation list -> int array option
+
+val is_majority_op : int -> int array array array -> bool
+
+(** Median with respect to a total order. *)
+val median_op : int -> int array -> operation
+
+val has_median_majority : int -> relation list -> int array option
+
+(** p(x,y,y) = p(y,y,x) = x. *)
+val is_maltsev_op : int -> int array array array -> bool
+
+(** x - y + z mod d. *)
+val affine_op : int -> operation
+
+type report = {
+  constant : int option;
+  semilattice_order : int array option;
+  majority_order : int array option;
+  affine_maltsev : bool;
+}
+
+val analyze : int -> relation list -> report
+
+(** Some sufficient tractability witness found (absence proves nothing:
+    the full criterion needs weak near-unanimity terms). *)
+val some_tractability_witness : report -> bool

@@ -1,0 +1,1 @@
+lib/finegrained/edit_distance.ml: Array Fun Lb_util

@@ -1,0 +1,1 @@
+lib/finegrained/edit_distance.mli: Lb_util

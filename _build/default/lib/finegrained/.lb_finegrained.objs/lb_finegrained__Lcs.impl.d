@@ -1,0 +1,1 @@
+lib/finegrained/lcs.ml: Array

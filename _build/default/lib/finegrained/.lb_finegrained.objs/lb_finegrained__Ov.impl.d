@@ -1,0 +1,1 @@
+lib/finegrained/ov.ml: Array Lb_util

@@ -1,0 +1,1 @@
+lib/finegrained/ov.mli: Lb_util

@@ -1,0 +1,10 @@
+(** Longest common subsequence - the other quadratic-DP classic of the
+    fine-grained canon (Section 7's citations), with the bit-parallel
+    Allison-Dix variant showing the word-size speedups the conditional
+    lower bounds permit. *)
+
+val quadratic : int array -> int array -> int
+
+(** 62 DP columns per word; alphabet values must be small nonnegative
+    ints. *)
+val bitparallel : int array -> int array -> int

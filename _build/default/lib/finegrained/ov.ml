@@ -1,0 +1,62 @@
+(* Orthogonal Vectors: given two sets of n 0/1-vectors of dimension d, is
+   there a pair (one from each side) with empty coordinate-wise
+   intersection?  The canonical SETH-hard problem of fine-grained
+   complexity (Section 7); the quadratic scan below is conjectured
+   optimal up to n^{o(1)} for d = omega(log n).
+
+   Vectors are bit-packed, so the inner test is O(d/63). *)
+
+module Prng = Lb_util.Prng
+
+type instance = {
+  dim : int;
+  left : int array array; (* each vector = packed words *)
+  right : int array array;
+}
+
+let words_for dim = (dim + 62) / 63
+
+let pack dim bools =
+  let w = Array.make (words_for dim) 0 in
+  Array.iteri (fun i b -> if b then w.(i / 63) <- w.(i / 63) lor (1 lsl (i mod 63))) bools;
+  w
+
+let of_bool_arrays ~dim left right =
+  { dim; left = Array.map (pack dim) left; right = Array.map (pack dim) right }
+
+let orthogonal a b =
+  let ok = ref true in
+  for w = 0 to Array.length a - 1 do
+    if a.(w) land b.(w) <> 0 then ok := false
+  done;
+  !ok
+
+(* Quadratic scan; returns a witness pair of indices. *)
+let solve inst =
+  let res = ref None in
+  (try
+     Array.iteri
+       (fun i a ->
+         Array.iteri
+           (fun j b -> if orthogonal a b then begin res := Some (i, j); raise Exit end)
+           inst.right)
+       inst.left
+   with Exit -> ());
+  !res
+
+(* Random instance: each coordinate set with probability p.  With p
+   around 1/2 and d >> log n, orthogonal pairs are rare, keeping the
+   scan at its quadratic worst case. *)
+let random rng ~n ~dim ~p =
+  let vec () = Array.init dim (fun _ -> Prng.bernoulli rng p) in
+  of_bool_arrays ~dim
+    (Array.init n (fun _ -> vec ()))
+    (Array.init n (fun _ -> vec ()))
+
+(* Count all orthogonal pairs (for tests). *)
+let count inst =
+  let c = ref 0 in
+  Array.iter
+    (fun a -> Array.iter (fun b -> if orthogonal a b then incr c) inst.right)
+    inst.left;
+  !c

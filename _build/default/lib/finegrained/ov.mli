@@ -1,0 +1,27 @@
+(** Orthogonal Vectors: the canonical SETH-hard problem of fine-grained
+    complexity (Section 7).  Vectors are bit-packed; the quadratic scan
+    is conjectured optimal up to n^{o(1)} for dimension omega(log n). *)
+
+type instance = {
+  dim : int;
+  left : int array array;  (** packed vectors *)
+  right : int array array;
+}
+
+val words_for : int -> int
+
+val pack : int -> bool array -> int array
+
+val of_bool_arrays :
+  dim:int -> bool array array -> bool array array -> instance
+
+val orthogonal : int array -> int array -> bool
+
+(** Quadratic scan with early exit; witness index pair. *)
+val solve : instance -> (int * int) option
+
+(** Random instance; with p ~ 1/2 and dim >> log n orthogonal pairs are
+    rare, keeping the scan at its quadratic worst case. *)
+val random : Lb_util.Prng.t -> n:int -> dim:int -> p:float -> instance
+
+val count : instance -> int

@@ -1,0 +1,1 @@
+lib/graph/clique.ml: Array Graph Lb_util List

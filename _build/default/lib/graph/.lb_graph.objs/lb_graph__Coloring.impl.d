@@ -1,0 +1,1 @@
+lib/graph/coloring.ml: Array Fun Graph Hashtbl Lb_util List Queue

@@ -1,0 +1,1 @@
+lib/graph/distance.ml: Array Graph Lb_util Queue

@@ -1,0 +1,1 @@
+lib/graph/dominating_set.ml: Array Graph Lb_util List

@@ -1,0 +1,1 @@
+lib/graph/dominating_set.mli: Graph Lb_util

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Buffer Format Hashtbl Lb_util List Printf Queue

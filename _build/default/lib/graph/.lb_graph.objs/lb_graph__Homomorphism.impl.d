@@ -1,0 +1,1 @@
+lib/graph/homomorphism.ml: Array Graph Lb_util List Queue

@@ -1,0 +1,1 @@
+lib/graph/homomorphism.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/nice_td.ml: Array List Tree_decomposition

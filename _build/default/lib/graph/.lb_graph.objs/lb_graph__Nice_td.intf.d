@@ -1,0 +1,1 @@
+lib/graph/nice_td.mli: Tree_decomposition

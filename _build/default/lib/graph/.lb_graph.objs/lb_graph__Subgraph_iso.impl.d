@@ -1,0 +1,1 @@
+lib/graph/subgraph_iso.ml: Array Graph Homomorphism Lb_util List

@@ -1,0 +1,1 @@
+lib/graph/subgraph_iso.mli: Graph

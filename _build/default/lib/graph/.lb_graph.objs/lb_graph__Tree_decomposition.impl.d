@@ -1,0 +1,1 @@
+lib/graph/tree_decomposition.ml: Array Format Graph Lb_util List

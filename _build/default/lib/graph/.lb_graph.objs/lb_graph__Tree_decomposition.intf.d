@@ -1,0 +1,1 @@
+lib/graph/tree_decomposition.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/graph/treewidth.ml: Array Graph Hashtbl Lb_util List Printf String Tree_decomposition

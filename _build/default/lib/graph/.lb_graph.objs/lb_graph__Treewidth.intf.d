@@ -1,0 +1,1 @@
+lib/graph/treewidth.mli: Graph Tree_decomposition

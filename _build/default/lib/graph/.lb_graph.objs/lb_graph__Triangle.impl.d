@@ -1,0 +1,1 @@
+lib/graph/triangle.ml: Array Graph Lb_util List

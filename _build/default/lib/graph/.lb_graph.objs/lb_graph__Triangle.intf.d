@@ -1,0 +1,1 @@
+lib/graph/triangle.mli: Graph Lb_util

@@ -1,0 +1,1 @@
+lib/graph/vertex_cover.ml: Array Graph Lb_util List

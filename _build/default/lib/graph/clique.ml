@@ -1,0 +1,160 @@
+(* Clique algorithms.
+
+   - [find_bruteforce]: the O(n^k) search of Section 5 (with bitset
+     pruning: extend partial cliques only by common neighbors).
+   - [find_matmul]: Nesetril-Poljak (Section 8): for k = 3t, build the
+     auxiliary graph whose vertices are the t-cliques and detect a
+     triangle there with Boolean matrix multiplication, giving
+     O(n^{omega k/3}) with our word-packed matmul as the practical
+     stand-in for fast matrix multiplication.
+   - [max_clique]: Bron-Kerbosch with pivoting (used by tests to
+     cross-check and by the planted-clique workloads). *)
+
+module Bitset = Lb_util.Bitset
+module Matrix = Lb_util.Matrix
+
+(* Enumerate k-cliques: backtracking over vertices in increasing order,
+   restricting candidates to common neighbors.  Calls [f] with each
+   clique (reused array).  Raising [Exit] inside [f] stops early. *)
+let iter_cliques g k f =
+  let n = Graph.vertex_count g in
+  let current = Array.make (max k 1) 0 in
+  if k = 0 then f [||]
+  else begin
+    let rec extend depth candidates =
+      Bitset.iter
+        (fun v ->
+          current.(depth) <- v;
+          if depth = k - 1 then f (Array.sub current 0 k)
+          else begin
+            (* candidates after v: common neighbors with index > v *)
+            let next = Bitset.inter candidates (Graph.neighbors g v) in
+            (* keep only vertices > v to avoid permutations *)
+            let pruned = Bitset.copy next in
+            Bitset.iter (fun u -> if u <= v then Bitset.remove pruned u) next;
+            extend (depth + 1) pruned
+          end)
+        candidates
+    in
+    let all = Bitset.create n in
+    Bitset.fill all;
+    extend 0 all
+  end
+
+let find_bruteforce g k =
+  let result = ref None in
+  (try
+     iter_cliques g k (fun c ->
+         result := Some (Array.copy c);
+         raise Exit)
+   with Exit -> ());
+  !result
+
+let count_cliques g k =
+  let c = ref 0 in
+  iter_cliques g k (fun _ -> incr c);
+  !c
+
+(* All t-cliques as sorted arrays. *)
+let list_cliques g t =
+  let acc = ref [] in
+  iter_cliques g t (fun c -> acc := Array.copy c :: !acc);
+  List.rev !acc
+
+(* Nesetril-Poljak: detect a 3t-clique via triangle detection on the
+   t-clique auxiliary graph.  [k] must be positive and divisible by 3.
+   Returns a witness clique if one exists. *)
+let find_matmul g k =
+  if k <= 0 || k mod 3 <> 0 then
+    invalid_arg "Clique.find_matmul: k must be a positive multiple of 3";
+  let t = k / 3 in
+  let cliques = Array.of_list (list_cliques g t) in
+  let nc = Array.length cliques in
+  if nc = 0 then None
+  else begin
+    (* auxiliary adjacency: two disjoint t-cliques are adjacent iff their
+       union is a 2t-clique *)
+    let joined a b =
+      let ok = ref true in
+      Array.iter
+        (fun u ->
+          Array.iter
+            (fun v -> if u = v || not (Graph.has_edge g u v) then ok := false)
+            b)
+        a;
+      !ok
+    in
+    let m = Matrix.Bool.create nc nc in
+    for i = 0 to nc - 1 do
+      for j = i + 1 to nc - 1 do
+        if joined cliques.(i) cliques.(j) then begin
+          Matrix.Bool.set m i j true;
+          Matrix.Bool.set m j i true
+        end
+      done
+    done;
+    (* find a triangle (i,j,l) in the auxiliary graph using the product:
+       (M*M)(i,j) && M(i,j).  We scan edges and test row intersection,
+       which is the word-parallel equivalent. *)
+    let witness = ref None in
+    (try
+       for i = 0 to nc - 1 do
+         for j = i + 1 to nc - 1 do
+           if Matrix.Bool.get m i j && Matrix.Bool.rows_intersect m i j then begin
+             (* recover l *)
+             for l = 0 to nc - 1 do
+               if !witness = None && Matrix.Bool.get m i l && Matrix.Bool.get m j l
+               then begin
+                 let all =
+                   Array.concat [ cliques.(i); cliques.(j); cliques.(l) ]
+                 in
+                 Array.sort compare all;
+                 witness := Some all;
+                 raise Exit
+               end
+             done
+           end
+         done
+       done
+     with Exit -> ());
+    !witness
+  end
+
+(* Bron-Kerbosch with pivoting: maximum clique. *)
+let max_clique g =
+  let n = Graph.vertex_count g in
+  let best = ref [||] in
+  let rec bk r p x =
+    if Bitset.is_empty p && Bitset.is_empty x then begin
+      if List.length r > Array.length !best then
+        best := Array.of_list (List.sort compare r)
+    end
+    else begin
+      (* pivot: vertex of p union x with most neighbors in p *)
+      let pivot = ref (-1) and pivot_deg = ref (-1) in
+      let consider u =
+        let d = Bitset.inter_cardinal (Graph.neighbors g u) p in
+        if d > !pivot_deg then begin
+          pivot_deg := d;
+          pivot := u
+        end
+      in
+      Bitset.iter consider p;
+      Bitset.iter consider x;
+      let candidates =
+        if !pivot >= 0 then Bitset.diff p (Graph.neighbors g !pivot)
+        else Bitset.copy p
+      in
+      Bitset.iter
+        (fun v ->
+          let nv = Graph.neighbors g v in
+          bk (v :: r) (Bitset.inter p nv) (Bitset.inter x nv);
+          Bitset.remove p v;
+          Bitset.add x v)
+        candidates
+    end
+  in
+  let p = Bitset.create n in
+  Bitset.fill p;
+  bk [] p (Bitset.create n);
+  !best

@@ -1,0 +1,182 @@
+(* Graph coloring: k-colorability by backtracking with forward checking
+   and unit propagation.
+
+   3-Coloring is the NP-hard target of the textbook reduction used for
+   Corollary 6.2.  The reduction's gadget graphs chain forced choices, so
+   the solver keeps an explicit candidate set per vertex (a k-bit mask),
+   propagates singleton domains to fixpoint before every branch, and
+   branches on a minimum-remaining-values vertex.  On OR-gadget chains
+   this behaves like unit propagation on the source formula; worst case
+   it is still exhaustive, as it must be. *)
+
+module Bitset = Lb_util.Bitset
+
+let color g k =
+  let n = Graph.vertex_count g in
+  if n = 0 then Some [||]
+  else if k <= 0 then None
+  else if k > 62 then invalid_arg "Coloring.color: k > 62"
+  else begin
+    let full = (1 lsl k) - 1 in
+    let domain = Array.make n full in
+    let colors = Array.make n (-1) in
+    let popcount m =
+      let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+      go m 0
+    in
+    let lowest_bit m =
+      let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
+      go 0
+    in
+    (* trail of (vertex, previous domain) for undo *)
+    let trail : (int * int) list ref = ref [] in
+    let shrink v mask =
+      if domain.(v) land mask <> domain.(v) then begin
+        trail := (v, domain.(v)) :: !trail;
+        domain.(v) <- domain.(v) land mask
+      end;
+      domain.(v) <> 0
+    in
+    let undo_to mark =
+      let rec go () =
+        if !trail != mark then
+          match !trail with
+          | [] -> ()
+          | (v, d) :: rest ->
+              domain.(v) <- d;
+              if colors.(v) >= 0 && popcount d > 1 then colors.(v) <- -1;
+              trail := rest;
+              go ()
+      in
+      go ()
+    in
+    (* propagate singleton domains breadth-first; returns false on a
+       wipeout.  [colors] caches committed singletons to avoid
+       re-propagating. *)
+    let queue = Queue.create () in
+    let propagate () =
+      let ok = ref true in
+      while !ok && not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        if colors.(v) < 0 then begin
+          let c = lowest_bit domain.(v) in
+          colors.(v) <- c;
+          let mask = lnot (1 lsl c) in
+          Bitset.iter
+            (fun u ->
+              if !ok && colors.(u) < 0 then begin
+                if not (shrink u mask) then ok := false
+                else if popcount domain.(u) = 1 then Queue.add u queue
+              end
+              else if colors.(u) = c then ok := false)
+            (Graph.neighbors g v)
+        end
+      done;
+      Queue.clear queue;
+      !ok
+    in
+    (* Connected components of the *uncolored* subgraph restricted to
+       [vs]: colored vertices already pushed their constraints into the
+       neighbors' domains, so distinct components are fully independent
+       subproblems - solving them separately prevents the exponential
+       thrash of chronological backtracking across, e.g., the gadgets of
+       different clauses in the Corollary 6.2 graphs. *)
+    let components vs =
+      let mark = Hashtbl.create 64 in
+      List.iter (fun v -> if colors.(v) < 0 then Hashtbl.replace mark v `Fresh) vs;
+      let comps = ref [] in
+      List.iter
+        (fun s ->
+          if Hashtbl.find_opt mark s = Some `Fresh then begin
+            let comp = ref [] in
+            let stack = ref [ s ] in
+            Hashtbl.replace mark s `Seen;
+            while !stack <> [] do
+              match !stack with
+              | [] -> ()
+              | v :: rest ->
+                  stack := rest;
+                  comp := v :: !comp;
+                  Bitset.iter
+                    (fun u ->
+                      if Hashtbl.find_opt mark u = Some `Fresh then begin
+                        Hashtbl.replace mark u `Seen;
+                        stack := u :: !stack
+                      end)
+                    (Graph.neighbors g v)
+            done;
+            comps := !comp :: !comps
+          end)
+        vs;
+      !comps
+    in
+    let pick vs =
+      (* uncolored vertex of [vs] with smallest domain; ties broken by
+         largest uncolored degree (fail-first: high-degree vertices
+         constrain the most) *)
+      let uncolored_degree v =
+        Bitset.fold
+          (fun u acc -> if colors.(u) < 0 then acc + 1 else acc)
+          (Graph.neighbors g v) 0
+      in
+      let best = ref (-1) and best_size = ref max_int and best_deg = ref (-1) in
+      List.iter
+        (fun v ->
+          if colors.(v) < 0 then begin
+            let s = popcount domain.(v) in
+            if s < !best_size then begin
+              best := v;
+              best_size := s;
+              best_deg := uncolored_degree v
+            end
+            else if s = !best_size then begin
+              let d = uncolored_degree v in
+              if d > !best_deg then begin
+                best := v;
+                best_deg := d
+              end
+            end
+          end)
+        vs;
+      !best
+    in
+    let rec solve_all vs =
+      match components vs with
+      | [] -> true
+      | comps -> List.for_all solve_one comps
+    and solve_one vs =
+      let v = pick vs in
+      if v < 0 then true
+      else begin
+        let candidates = domain.(v) in
+        let rec try_color c =
+          if c >= k then false
+          else if candidates land (1 lsl c) = 0 then try_color (c + 1)
+          else begin
+            let mark = !trail in
+            ignore (shrink v (1 lsl c));
+            Queue.add v queue;
+            if propagate () && solve_all vs then true
+            else begin
+              undo_to mark;
+              try_color (c + 1)
+            end
+          end
+        in
+        try_color 0
+      end
+    in
+    (* undo_to restores domains and clears the colors of re-widened
+       vertices; a vertex whose domain was already singleton before the
+       mark was also colored before the mark and correctly keeps its
+       color. *)
+    if solve_all (List.init n Fun.id) then Some (Array.copy colors) else None
+  end
+
+let is_coloring g k colors =
+  Array.length colors = Graph.vertex_count g
+  && Array.for_all (fun c -> c >= 0 && c < k) colors
+  &&
+  let ok = ref true in
+  Graph.iter_edges (fun u v -> if colors.(u) = colors.(v) then ok := false) g;
+  !ok

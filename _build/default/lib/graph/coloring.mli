@@ -1,0 +1,11 @@
+(** Graph [k]-coloring by backtracking with forward checking, unit
+    propagation, component decomposition and MRV/degree branching.
+    3-Coloring is the target of the Corollary 6.2 reduction, whose
+    gadget graphs chain forced choices - hence the propagation
+    machinery. *)
+
+(** [color g k] is a proper coloring with colors [\[0, k)], or [None].
+    Raises [Invalid_argument] for [k > 62]. *)
+val color : Graph.t -> int -> int array option
+
+val is_coloring : Graph.t -> int -> int array -> bool

@@ -1,0 +1,84 @@
+(* Shortest-path distances, eccentricities, diameter and radius.
+
+   The fine-grained canon the paper cites (Roditty-Vassilevska Williams
+   [58], Abboud-Vassilevska Williams [4]) concerns exactly these: exact
+   diameter needs ~nm time under SETH (even distinguishing 2 from 3),
+   while a single BFS gives a 2-approximation in O(m).  Experiment E17
+   measures the gap; Lb_reductions.Ov_to_diameter carries the hardness
+   over from Orthogonal Vectors. *)
+
+module Bitset = Lb_util.Bitset
+
+(* BFS distances from [source]; unreachable = -1. *)
+let bfs g source =
+  let n = Graph.vertex_count g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Bitset.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+(* Largest finite distance from [v]; [None] if some vertex is
+   unreachable. *)
+let eccentricity g v =
+  let dist = bfs g v in
+  let ecc = ref 0 and connected = ref true in
+  Array.iter
+    (fun d -> if d < 0 then connected := false else ecc := max !ecc d)
+    dist;
+  if !connected then Some !ecc else None
+
+(* Exact diameter / radius by n BFS runs: O(nm).  [None] on disconnected
+   or empty graphs. *)
+let diameter g =
+  let n = Graph.vertex_count g in
+  if n = 0 then None
+  else begin
+    let best = ref (Some 0) in
+    (try
+       for v = 0 to n - 1 do
+         match (eccentricity g v, !best) with
+         | Some e, Some b -> best := Some (max e b)
+         | None, _ ->
+             best := None;
+             raise Exit
+         | _, None -> raise Exit
+       done
+     with Exit -> ());
+    !best
+  end
+
+let radius g =
+  let n = Graph.vertex_count g in
+  if n = 0 then None
+  else begin
+    let best = ref max_int and ok = ref true in
+    for v = 0 to n - 1 do
+      match eccentricity g v with
+      | Some e -> best := min !best e
+      | None -> ok := false
+    done;
+    if !ok then Some !best else None
+  end
+
+(* One BFS from an arbitrary vertex: its eccentricity e satisfies
+   e <= diameter <= 2e (triangle inequality through the root) - the
+   O(m) 2-approximation that SETH says cannot be improved to a
+   (3/2 - eps)-approximation in subquadratic time. *)
+let diameter_2approx ?(source = 0) g =
+  if Graph.vertex_count g = 0 then None
+  else eccentricity g source
+
+(* All-pairs shortest paths by repeated BFS (dense output: n x n). *)
+let all_pairs g =
+  Array.init (Graph.vertex_count g) (fun v -> bfs g v)

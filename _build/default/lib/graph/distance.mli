@@ -1,0 +1,23 @@
+(** Shortest paths, eccentricities, diameter and radius - the stage of
+    the fine-grained diameter results the paper cites: exact diameter
+    (even 2 vs 3) needs ~nm under SETH, while one BFS 2-approximates in
+    O(m). *)
+
+(** BFS distances; unreachable vertices get [-1]. *)
+val bfs : Graph.t -> int -> int array
+
+(** Largest finite distance from a vertex; [None] if the graph is not
+    connected from it. *)
+val eccentricity : Graph.t -> int -> int option
+
+(** Exact diameter by n BFS runs; [None] on disconnected/empty
+    graphs. *)
+val diameter : Graph.t -> int option
+
+val radius : Graph.t -> int option
+
+(** Eccentricity of one vertex: between diameter/2 and diameter. *)
+val diameter_2approx : ?source:int -> Graph.t -> int option
+
+(** All-pairs distances by repeated BFS. *)
+val all_pairs : Graph.t -> int array array

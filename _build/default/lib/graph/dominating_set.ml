@@ -1,0 +1,57 @@
+(* Dominating Set (Section 7).
+
+   - [solve_bruteforce]: enumerate k-subsets with word-parallel
+     closed-neighborhood unions - the n^{k+O(1)} baseline of Theorem 7.1.
+   - [greedy]: the ln(n)-approximation, used to generate workloads with a
+     known small dominating set. *)
+
+module Bitset = Lb_util.Bitset
+
+let closed_neighborhoods g =
+  Array.init (Graph.vertex_count g) (fun v -> Graph.closed_neighborhood g v)
+
+let is_dominating g vs =
+  let n = Graph.vertex_count g in
+  let dom = Bitset.create n in
+  Array.iter (fun v -> Bitset.union_into ~into:dom (Graph.closed_neighborhood g v)) vs;
+  Bitset.cardinal dom = n
+
+let solve_bruteforce g k =
+  let n = Graph.vertex_count g in
+  let nbhd = closed_neighborhoods g in
+  let result = ref None in
+  let dom = Bitset.create n in
+  (try
+     for size = 0 to min k n do
+       Lb_util.Combinat.iter_subsets n size (fun idx ->
+           Bitset.clear dom;
+           Array.iter (fun v -> Bitset.union_into ~into:dom nbhd.(v)) idx;
+           if Bitset.cardinal dom = n then begin
+             result := Some (Array.copy idx);
+             raise Exit
+           end)
+     done
+   with Exit -> ());
+  !result
+
+let greedy g =
+  let n = Graph.vertex_count g in
+  let nbhd = closed_neighborhoods g in
+  let dominated = Bitset.create n in
+  let acc = ref [] in
+  while Bitset.cardinal dominated < n do
+    (* pick the vertex covering most undominated vertices *)
+    let best = ref 0 and best_gain = ref (-1) in
+    for v = 0 to n - 1 do
+      let gain =
+        Bitset.cardinal (Bitset.diff nbhd.(v) dominated)
+      in
+      if gain > !best_gain then begin
+        best_gain := gain;
+        best := v
+      end
+    done;
+    Bitset.union_into ~into:dominated nbhd.(!best);
+    acc := !best :: !acc
+  done;
+  Array.of_list (List.sort compare !acc)

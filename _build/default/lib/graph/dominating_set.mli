@@ -1,0 +1,15 @@
+(** Dominating Set (Section 7): the [n^{k+O(1)}] brute force whose
+    SETH-optimality Theorem 7.1 asserts, plus the greedy
+    approximation. *)
+
+val is_dominating : Graph.t -> int array -> bool
+
+(** Closed neighborhoods of every vertex, as bitsets. *)
+val closed_neighborhoods : Graph.t -> Lb_util.Bitset.t array
+
+(** Scan subsets of size [<= k] with word-parallel neighborhood
+    unions. *)
+val solve_bruteforce : Graph.t -> int -> int array option
+
+(** The [ln n]-approximation; always returns a dominating set. *)
+val greedy : Graph.t -> int array

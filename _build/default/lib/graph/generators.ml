@@ -1,0 +1,153 @@
+(* Graph workload generators.
+
+   All generators are deterministic given a [Prng.t]; see DESIGN.md.
+   Includes the "special" graphs of Definition 4.3 (a k-clique plus a
+   2^k-vertex path) used by the NP-intermediate discussion and E5. *)
+
+module Prng = Lb_util.Prng
+
+let clique k =
+  let g = Graph.create k in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Graph.add_edge g i j
+    done
+  done;
+  g
+
+let path n =
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1)
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  let g = path n in
+  Graph.add_edge g (n - 1) 0;
+  g
+
+let star n =
+  (* center 0, leaves 1..n-1 *)
+  let g = Graph.create n in
+  for i = 1 to n - 1 do
+    Graph.add_edge g 0 i
+  done;
+  g
+
+let grid rows cols =
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.add_edge g (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.add_edge g (id r c) (id (r + 1) c)
+    done
+  done;
+  g
+
+let complete_bipartite a b =
+  let g = Graph.create (a + b) in
+  for i = 0 to a - 1 do
+    for j = 0 to b - 1 do
+      Graph.add_edge g i (a + j)
+    done
+  done;
+  g
+
+(* Erdos-Renyi G(n, p). *)
+let gnp rng n p =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli rng p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+(* G(n, m): exactly m distinct random edges. *)
+let gnm rng n m =
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Generators.gnm: too many edges";
+  let g = Graph.create n in
+  let added = ref 0 in
+  while !added < m do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (Graph.has_edge g u v) then begin
+      Graph.add_edge g u v;
+      incr added
+    end
+  done;
+  g
+
+(* G(n,p) with a planted clique on k random vertices; returns the graph
+   and the planted vertex set. *)
+let planted_clique rng n p k =
+  let g = gnp rng n p in
+  let vs = Prng.sample rng n k in
+  Array.iteri
+    (fun i u -> for j = i + 1 to k - 1 do Graph.add_edge g u vs.(j) done)
+    vs;
+  (g, vs)
+
+let random_tree rng n =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g v (Prng.int rng v)
+  done;
+  g
+
+(* A random partial k-tree on n vertices: start from a (k+1)-clique, then
+   attach each new vertex to a random k-clique of the current graph
+   (choosing the bag of a random earlier vertex), then delete each edge
+   with probability [drop].  Treewidth is at most k by construction. *)
+let random_partial_ktree rng n k ~drop =
+  if n < k + 1 then invalid_arg "Generators.random_partial_ktree";
+  let bags = Array.make n [||] in
+  let g = Graph.create n in
+  for i = 0 to k do
+    bags.(i) <- Array.init (k + 1) (fun j -> j);
+    for j = 0 to i - 1 do
+      Graph.add_edge g i j
+    done
+  done;
+  for v = k + 1 to n - 1 do
+    (* pick the bag of a random earlier vertex and drop one element *)
+    let b = bags.(Prng.int rng v) in
+    let skip = Prng.int rng (Array.length b) in
+    let kept = Array.of_list (List.filteri (fun i _ -> i <> skip) (Array.to_list b)) in
+    Array.iter (fun u -> Graph.add_edge g v u) kept;
+    bags.(v) <- Array.append kept [| v |]
+  done;
+  if drop > 0.0 then begin
+    let keep = List.filter (fun _ -> not (Prng.bernoulli rng drop)) (Graph.edges g) in
+    Graph.of_edges n keep
+  end
+  else g
+
+(* Definition 4.3: a "special" graph is the disjoint union of a k-clique
+   and a path on 2^k vertices. *)
+let special k =
+  if k < 1 then invalid_arg "Generators.special: k >= 1";
+  Graph.disjoint_union (clique k) (path (Lb_util.Combinat.power 2 k))
+
+(* Recognize a special graph: exactly two connected components, one a
+   k-clique, the other a path on 2^k vertices.  Returns [Some (clique
+   vertices, path vertices)]. *)
+let recognize_special g =
+  match Graph.connected_components g with
+  | [| a; b |] ->
+      let check cl pa =
+        let k = Array.length cl in
+        let gc, _ = Graph.induced g cl in
+        let gp, _ = Graph.induced g pa in
+        if
+          Graph.edge_count gc = k * (k - 1) / 2
+          && Graph.is_path gp
+          && Array.length pa = Lb_util.Combinat.power 2 k
+        then Some (cl, pa)
+        else None
+      in
+      (match check a b with Some r -> Some r | None -> check b a)
+  | _ -> None

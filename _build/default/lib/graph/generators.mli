@@ -1,0 +1,42 @@
+(** Graph generators.  All randomized generators are deterministic given
+    the {!Lb_util.Prng.t}. *)
+
+val clique : int -> Graph.t
+
+val path : int -> Graph.t
+
+(** Raises for [n < 3]. *)
+val cycle : int -> Graph.t
+
+(** Star with center [0] and [n - 1] leaves. *)
+val star : int -> Graph.t
+
+val grid : int -> int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+
+(** Erdos-Renyi [G(n, p)]. *)
+val gnp : Lb_util.Prng.t -> int -> float -> Graph.t
+
+(** Exactly [m] distinct random edges. *)
+val gnm : Lb_util.Prng.t -> int -> int -> Graph.t
+
+(** [G(n, p)] plus a planted clique on [k] random vertices; returns the
+    graph and the planted vertex set. *)
+val planted_clique : Lb_util.Prng.t -> int -> float -> int -> Graph.t * int array
+
+(** Uniform random labelled tree-ish attachment graph (each vertex joins
+    an earlier one). *)
+val random_tree : Lb_util.Prng.t -> int -> Graph.t
+
+(** Random partial [k]-tree on [n] vertices: treewidth at most [k] by
+    construction; [drop] removes each edge independently. *)
+val random_partial_ktree : Lb_util.Prng.t -> int -> int -> drop:float -> Graph.t
+
+(** The "special" graphs of Definition 4.3: a [k]-clique plus a disjoint
+    path on [2^k] vertices. *)
+val special : int -> Graph.t
+
+(** Recognize a special graph; returns the (clique vertices, path
+    vertices) partition if it is one. *)
+val recognize_special : Graph.t -> (int array * int array) option

@@ -1,0 +1,175 @@
+(* Simple undirected graphs on vertex set [0, n).
+
+   Adjacency is stored both as per-vertex bitsets (constant-time adjacency
+   tests, word-parallel neighborhood intersections — the workhorse of the
+   clique and triangle algorithms) and as a duplicate-free edge list
+   (cheap iteration in O(m)). *)
+
+module Bitset = Lb_util.Bitset
+
+type t = {
+  n : int;
+  adj : Bitset.t array;
+  mutable edges : (int * int) list; (* u < v, most recent first *)
+  mutable m : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create";
+  { n; adj = Array.init n (fun _ -> Bitset.create n); edges = []; m = 0 }
+
+let vertex_count t = t.n
+
+let edge_count t = t.m
+
+let has_edge t u v = u <> v && Bitset.mem t.adj.(u) v
+
+let add_edge t u v =
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if not (has_edge t u v) then begin
+    Bitset.add t.adj.(u) v;
+    Bitset.add t.adj.(v) u;
+    t.edges <- (min u v, max u v) :: t.edges;
+    t.m <- t.m + 1
+  end
+
+let neighbors t v = t.adj.(v)
+
+let degree t v = Bitset.cardinal t.adj.(v)
+
+let edges t = t.edges
+
+let iter_edges f t = List.iter (fun (u, v) -> f u v) t.edges
+
+let of_edges n edge_list =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edge_list;
+  g
+
+let copy t =
+  { n = t.n; adj = Array.map Bitset.copy t.adj; edges = t.edges; m = t.m }
+
+let complement t =
+  let g = create t.n in
+  for u = 0 to t.n - 1 do
+    for v = u + 1 to t.n - 1 do
+      if not (has_edge t u v) then add_edge g u v
+    done
+  done;
+  g
+
+(* Induced subgraph on [vs]; returns the subgraph and the vertex map
+   (new index -> original vertex). *)
+let induced t vs =
+  let vs = Array.copy vs in
+  Array.sort compare vs;
+  let k = Array.length vs in
+  let index = Hashtbl.create (2 * k) in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let g = create k in
+  Array.iteri
+    (fun i v ->
+      Bitset.iter
+        (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when j > i -> add_edge g i j
+          | _ -> ())
+        t.adj.(v))
+    vs;
+  (g, vs)
+
+(* Disjoint union: vertices of [b] are shifted by [a.n]. *)
+let disjoint_union a b =
+  let g = create (a.n + b.n) in
+  iter_edges (fun u v -> add_edge g u v) a;
+  iter_edges (fun u v -> add_edge g (u + a.n) (v + a.n)) b;
+  g
+
+let is_clique t vs =
+  let k = Array.length vs in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if not (has_edge t vs.(i) vs.(j)) then ok := false
+    done
+  done;
+  !ok
+
+(* Closed neighborhood N[v] as a fresh bitset. *)
+let closed_neighborhood t v =
+  let s = Bitset.copy t.adj.(v) in
+  Bitset.add s v;
+  s
+
+let connected_components t =
+  let comp = Array.make t.n (-1) in
+  let ncomp = ref 0 in
+  for s = 0 to t.n - 1 do
+    if comp.(s) < 0 then begin
+      let c = !ncomp in
+      incr ncomp;
+      let queue = Queue.create () in
+      Queue.add s queue;
+      comp.(s) <- c;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Bitset.iter
+          (fun v ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- c;
+              Queue.add v queue
+            end)
+          t.adj.(u)
+      done
+    end
+  done;
+  let members = Array.make !ncomp [] in
+  for v = t.n - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  Array.map Array.of_list members
+
+let is_connected t = t.n <= 1 || Array.length (connected_components t) = 1
+
+(* Is the graph a simple path? (connected, two degree-1 endpoints, rest
+   degree 2; single vertices count as paths) *)
+let is_path t =
+  if t.n = 0 then false
+  else if t.n = 1 then true
+  else
+    is_connected t
+    &&
+    let d1 = ref 0 and ok = ref true in
+    for v = 0 to t.n - 1 do
+      match degree t v with
+      | 1 -> incr d1
+      | 2 -> ()
+      | _ -> ok := false
+    done;
+    !ok && !d1 = 2
+
+let max_degree t =
+  let d = ref 0 in
+  for v = 0 to t.n - 1 do
+    d := max !d (degree t v)
+  done;
+  !d
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d, m=%d)" t.n t.m
+
+(* Graphviz DOT export, for eyeballing gadget constructions. *)
+let to_dot ?(name = "g") ?labels t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  (match labels with
+  | Some f ->
+      for v = 0 to t.n - 1 do
+        Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"];\n" v (f v))
+      done
+  | None -> ());
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (List.rev t.edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,65 @@
+(** Simple undirected graphs on the vertex set [\[0, n)].
+
+    Adjacency is stored as per-vertex bitsets (constant-time tests,
+    word-parallel neighborhood intersections) plus a duplicate-free edge
+    list.  Self-loops are rejected; parallel edges are merged. *)
+
+type t
+
+(** [create n] is the edgeless graph on [n] vertices. *)
+val create : int -> t
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+
+(** [has_edge t u v]; [false] when [u = v]. *)
+val has_edge : t -> int -> int -> bool
+
+(** Add the undirected edge [{u, v}]; idempotent.  Raises
+    [Invalid_argument] on self-loops. *)
+val add_edge : t -> int -> int -> unit
+
+(** The neighborhood of [v] as a bitset.  Callers must not mutate it. *)
+val neighbors : t -> int -> Lb_util.Bitset.t
+
+val degree : t -> int -> int
+
+(** Edges as [(u, v)] with [u < v]. *)
+val edges : t -> (int * int) list
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val of_edges : int -> (int * int) list -> t
+
+val copy : t -> t
+
+val complement : t -> t
+
+(** [induced t vs] is the induced subgraph on [vs] together with the map
+    from new indices back to the original vertices. *)
+val induced : t -> int array -> t * int array
+
+(** Disjoint union; the second graph's vertices are shifted. *)
+val disjoint_union : t -> t -> t
+
+(** Is [vs] a clique (pairwise adjacent)? *)
+val is_clique : t -> int array -> bool
+
+(** The closed neighborhood [N\[v\]] as a fresh bitset. *)
+val closed_neighborhood : t -> int -> Lb_util.Bitset.t
+
+(** Vertex sets of the connected components. *)
+val connected_components : t -> int array array
+
+val is_connected : t -> bool
+
+(** Is the graph a simple path? (Single vertices count.) *)
+val is_path : t -> bool
+
+val max_degree : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Graphviz DOT export; [labels] names the vertices. *)
+val to_dot : ?name:string -> ?labels:(int -> string) -> t -> string

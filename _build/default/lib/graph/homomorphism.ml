@@ -1,0 +1,88 @@
+(* Graph homomorphisms (Section 2.3).
+
+   [find h g] looks for a homomorphism from H to G: a map f with
+   f(u)f(v) an edge of G for every edge uv of H.  Backtracking over H's
+   vertices in a connectivity-aware order, with candidate sets restricted
+   by already-placed neighbors via word-parallel intersections.  This is
+   exactly binary CSP solving with one symmetric relation, as Section 2.3
+   explains. *)
+
+module Bitset = Lb_util.Bitset
+
+(* Order H's vertices so each (after the first of its component) has a
+   previously-placed neighbor - makes pruning effective. *)
+let connectivity_order h =
+  let n = Graph.vertex_count h in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let add v = seen.(v) <- true; order := v :: !order in
+  for s = 0 to n - 1 do
+    if not seen.(s) then begin
+      add s;
+      let queue = Queue.create () in
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Bitset.iter
+          (fun v ->
+            if not seen.(v) then begin
+              add v;
+              Queue.add v queue
+            end)
+          (Graph.neighbors h u)
+      done
+    end
+  done;
+  Array.of_list (List.rev !order)
+
+let find h g =
+  let nh = Graph.vertex_count h and ng = Graph.vertex_count g in
+  if nh = 0 then Some [||]
+  else if ng = 0 then None
+  else begin
+    let order = connectivity_order h in
+    let image = Array.make nh (-1) in
+    let rec go i =
+      if i = nh then true
+      else begin
+        let v = order.(i) in
+        (* candidates: intersection of G-neighborhoods of images of
+           already-placed H-neighbors of v *)
+        let cands = Bitset.create ng in
+        Bitset.fill cands;
+        let loop_at_v = ref false in
+        ignore !loop_at_v;
+        Bitset.iter
+          (fun u ->
+            if image.(u) >= 0 then
+              Bitset.inter_into ~into:cands (Graph.neighbors g image.(u)))
+          (Graph.neighbors h v);
+        let found = ref false in
+        (try
+           Bitset.iter
+             (fun c ->
+               image.(v) <- c;
+               if go (i + 1) then begin
+                 found := true;
+                 raise Exit
+               end
+               else image.(v) <- -1)
+             cands
+         with Exit -> ());
+        !found
+      end
+    in
+    if go 0 then Some (Array.copy image) else None
+  end
+
+let is_homomorphism h g f =
+  Array.length f = Graph.vertex_count h
+  &&
+  let ok = ref true in
+  Graph.iter_edges
+    (fun u v -> if not (Graph.has_edge g f.(u) f.(v)) then ok := false)
+    h;
+  !ok
+
+(* Homomorphic equivalence: maps both ways. *)
+let equivalent a b = find a b <> None && find b a <> None

@@ -1,0 +1,17 @@
+(** Graph homomorphisms (Section 2.3): edge-preserving vertex maps.
+    Finding a homomorphism [H -> G] is exactly binary CSP with one
+    symmetric relation. *)
+
+(** Order [H]'s vertices so each one (after the first of its component)
+    has an earlier neighbor - makes candidate pruning effective.  Used
+    by {!find} and by {!Subgraph_iso}. *)
+val connectivity_order : Graph.t -> int array
+
+(** [find h g] is a homomorphism from [h] to [g] (as an image array), or
+    [None]. *)
+val find : Graph.t -> Graph.t -> int array option
+
+val is_homomorphism : Graph.t -> Graph.t -> int array -> bool
+
+(** Homomorphisms both ways. *)
+val equivalent : Graph.t -> Graph.t -> bool

@@ -1,0 +1,104 @@
+(* Nice tree decompositions: the textbook normal form in which every
+   node is a Leaf (empty bag), Introduce (adds one vertex), Forget
+   (drops one vertex) or Join (two children with identical bags).  The
+   standard presentation of Theorem 4.2-style dynamic programming;
+   Lb_csp.Freuder_nice runs the DP over this form, giving an independent
+   implementation to cross-check the direct one. *)
+
+module Td = Tree_decomposition
+
+type t = { bag : int array; node : node } (* bag sorted ascending *)
+
+and node =
+  | Leaf (* empty bag *)
+  | Introduce of int * t (* bag = child bag + v *)
+  | Forget of int * t (* bag = child bag - v *)
+  | Join of t * t (* both children have this very bag *)
+
+let bag t = t.bag
+
+let rec size t =
+  match t.node with
+  | Leaf -> 1
+  | Introduce (_, c) | Forget (_, c) -> 1 + size c
+  | Join (a, b) -> 1 + size a + size b
+
+let rec width t =
+  let w = Array.length t.bag - 1 in
+  match t.node with
+  | Leaf -> w
+  | Introduce (_, c) | Forget (_, c) -> max w (width c)
+  | Join (a, b) -> max w (max (width a) (width b))
+
+let sorted_insert bag v =
+  let l = Array.to_list bag in
+  Array.of_list (List.sort compare (v :: l))
+
+let sorted_remove bag v =
+  Array.of_list (List.filter (( <> ) v) (Array.to_list bag))
+
+(* chain of Introduce nodes lifting [t] to [target] (a superset of
+   t.bag) *)
+let introduce_upto target t =
+  Array.fold_left
+    (fun acc v ->
+      if Array.exists (( = ) v) acc.bag then acc
+      else { bag = sorted_insert acc.bag v; node = Introduce (v, acc) })
+    t target
+
+(* chain of Forget nodes dropping everything of t.bag not in [target] *)
+let forget_downto target t =
+  Array.fold_left
+    (fun acc v ->
+      if Array.exists (( = ) v) target then acc
+      else { bag = sorted_remove acc.bag v; node = Forget (v, acc) })
+    t (Array.copy t.bag)
+
+(* Build a nice decomposition from an arbitrary one.  The result's root
+   has an empty bag; every original bag occurs as some node's bag, so
+   scope-covering arguments transfer. *)
+let of_decomposition (td : Td.t) =
+  let bags = Td.bags td in
+  let _, children, order = Td.rooted td in
+  let root = if Array.length order > 0 then order.(0) else 0 in
+  let rec build i =
+    let b = bags.(i) in
+    let subtrees =
+      List.map
+        (fun c ->
+          (* child tree topped with bag c; morph to bag b *)
+          let sub = build c in
+          introduce_upto b (forget_downto b sub))
+        children.(i)
+    in
+    match subtrees with
+    | [] -> introduce_upto b { bag = [||]; node = Leaf }
+    | first :: rest ->
+        List.fold_left (fun acc s -> { bag = b; node = Join (acc, s) }) first rest
+  in
+  if Array.length bags = 0 then { bag = [||]; node = Leaf }
+  else forget_downto [||] (build root)
+
+(* Structural validity of the nice form itself. *)
+let rec verify t =
+  let sorted b =
+    let ok = ref true in
+    for i = 0 to Array.length b - 2 do
+      if b.(i) >= b.(i + 1) then ok := false
+    done;
+    !ok
+  in
+  sorted t.bag
+  &&
+  match t.node with
+  | Leaf -> Array.length t.bag = 0
+  | Introduce (v, c) ->
+      verify c
+      && Array.exists (( = ) v) t.bag
+      && (not (Array.exists (( = ) v) c.bag))
+      && t.bag = sorted_insert c.bag v
+  | Forget (v, c) ->
+      verify c
+      && Array.exists (( = ) v) c.bag
+      && t.bag = sorted_remove c.bag v
+  | Join (a, b) -> verify a && verify b && t.bag = a.bag && t.bag = b.bag

@@ -1,0 +1,23 @@
+(** Nice tree decompositions: Leaf / Introduce / Forget / Join normal
+    form, built from any {!Tree_decomposition.t}.  The root bag is
+    empty; every original bag occurs as some node's bag. *)
+
+type t = { bag : int array; node : node }
+
+and node =
+  | Leaf
+  | Introduce of int * t
+  | Forget of int * t
+  | Join of t * t
+
+val bag : t -> int array
+
+(** Number of nodes. *)
+val size : t -> int
+
+val width : t -> int
+
+val of_decomposition : Tree_decomposition.t -> t
+
+(** Structural validity of the normal form. *)
+val verify : t -> bool

@@ -1,0 +1,22 @@
+(** Partitioned subgraph isomorphism (Section 2.3): pick one host vertex
+    per class so that pattern edges map to host edges.  The graph face
+    of binary CSP - the classes are the variable domains. *)
+
+type partition = int array array
+(** [classes.(i)] lists the host vertices allowed as the image of
+    pattern vertex [i]. *)
+
+(** [find pattern host classes] returns the image array, or [None].
+    Raises [Invalid_argument] if the partition size differs from the
+    pattern's vertex count. *)
+val find : Graph.t -> Graph.t -> partition -> int array option
+
+(** Does [f] pick one vertex per class and map pattern edges to host
+    edges? *)
+val respects : Graph.t -> Graph.t -> partition -> int array -> bool
+
+(** Plain subgraph isomorphism (the standard variant): an injective map
+    sending pattern edges to host edges. *)
+val find_unpartitioned : Graph.t -> Graph.t -> int array option
+
+val is_subgraph_embedding : Graph.t -> Graph.t -> int array -> bool

@@ -1,0 +1,241 @@
+(* Tree decompositions (Definition 4.1 of the paper).
+
+   A decomposition is a tree whose nodes carry bags of vertices.  Bags are
+   sorted int arrays; the tree is an edge list over bag indices.
+   [verify] checks the three defining conditions plus treeness and is run
+   by the property tests against every decomposition the library
+   produces. *)
+
+module Bitset = Lb_util.Bitset
+module Union_find = Lb_util.Union_find
+
+type t = {
+  bags : int array array; (* each sorted ascending *)
+  tree : (int * int) list; (* edges over bag indices; must form a tree *)
+}
+
+let make ~bags ~tree =
+  let bags =
+    Array.map
+      (fun b ->
+        let b = Array.copy b in
+        Array.sort compare b;
+        b)
+      bags
+  in
+  { bags; tree }
+
+let width t =
+  Array.fold_left (fun acc b -> max acc (Array.length b - 1)) (-1) t.bags
+
+let bag_count t = Array.length t.bags
+
+let bags t = t.bags
+
+let tree_edges t = t.tree
+
+let tree_adjacency t =
+  let nb = Array.length t.bags in
+  let adj = Array.make nb [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    t.tree;
+  adj
+
+let bag_contains bag v =
+  (* bags are sorted: binary search *)
+  let lo = ref 0 and hi = ref (Array.length bag) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if bag.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length bag && bag.(!lo) = v
+
+type failure =
+  | Not_a_tree
+  | Vertex_uncovered of int
+  | Edge_uncovered of int * int
+  | Disconnected_occurrence of int
+
+let pp_failure fmt = function
+  | Not_a_tree -> Format.fprintf fmt "decomposition graph is not a tree"
+  | Vertex_uncovered v -> Format.fprintf fmt "vertex %d is in no bag" v
+  | Edge_uncovered (u, v) -> Format.fprintf fmt "edge (%d,%d) is in no bag" u v
+  | Disconnected_occurrence v ->
+      Format.fprintf fmt "bags containing %d are not connected in the tree" v
+
+(* Check validity against graph [g]; [Ok ()] or [Error failure]. *)
+let verify t g =
+  let n = Graph.vertex_count g in
+  let nb = Array.length t.bags in
+  (* treeness *)
+  let tree_ok =
+    if nb = 0 then n = 0
+    else begin
+      let uf = Union_find.create nb in
+      let acyclic = List.for_all (fun (a, b) -> Union_find.union uf a b) t.tree in
+      acyclic && Union_find.components uf = 1
+    end
+  in
+  if not tree_ok then Error Not_a_tree
+  else begin
+    (* vertex coverage *)
+    let covered = Array.make n false in
+    Array.iter (fun bag -> Array.iter (fun v -> covered.(v) <- true) bag) t.bags;
+    let uncovered = ref None in
+    for v = n - 1 downto 0 do
+      if not covered.(v) then uncovered := Some v
+    done;
+    match !uncovered with
+    | Some v -> Error (Vertex_uncovered v)
+    | None -> (
+        (* edge coverage *)
+        let edge_bad = ref None in
+        Graph.iter_edges
+          (fun u v ->
+            if !edge_bad = None then begin
+              let found = ref false in
+              Array.iter
+                (fun bag ->
+                  if (not !found) && bag_contains bag u && bag_contains bag v
+                  then found := true)
+                t.bags;
+              if not !found then edge_bad := Some (u, v)
+            end)
+          g;
+        match !edge_bad with
+        | Some (u, v) -> Error (Edge_uncovered (u, v))
+        | None ->
+            (* connectivity of occurrences *)
+            let adj = tree_adjacency t in
+            let bad = ref None in
+            for v = 0 to n - 1 do
+              if !bad = None then begin
+                let occ =
+                  Array.to_list
+                    (Array.mapi (fun i bag -> (i, bag_contains bag v)) t.bags)
+                  |> List.filter snd |> List.map fst
+                in
+                match occ with
+                | [] -> ()
+                | start :: _ ->
+                    let inocc = Array.make nb false in
+                    List.iter (fun i -> inocc.(i) <- true) occ;
+                    let seen = Array.make nb false in
+                    let stack = ref [ start ] in
+                    seen.(start) <- true;
+                    let count = ref 0 in
+                    while !stack <> [] do
+                      match !stack with
+                      | [] -> ()
+                      | i :: rest ->
+                          stack := rest;
+                          incr count;
+                          List.iter
+                            (fun j ->
+                              if inocc.(j) && not seen.(j) then begin
+                                seen.(j) <- true;
+                                stack := j :: !stack
+                              end)
+                            adj.(i)
+                    done;
+                    if !count <> List.length occ then bad := Some v
+              end
+            done;
+            (match !bad with
+            | Some v -> Error (Disconnected_occurrence v)
+            | None -> Ok ()))
+  end
+
+(* Build a tree decomposition from an elimination order: eliminate
+   vertices in order, connecting the current neighborhood of each
+   eliminated vertex into a clique (the fill-in).  The bag of vertex v is
+   {v} plus its neighbors at elimination time; the parent of v's bag is
+   the bag of the first vertex of that neighborhood eliminated after v.
+   Width = max bag size - 1.  This is the classic construction used by
+   both heuristic and exact treewidth algorithms. *)
+let of_elimination_order g order =
+  let n = Graph.vertex_count g in
+  if Array.length order <> n then
+    invalid_arg "Tree_decomposition.of_elimination_order";
+  if n = 0 then { bags = [| [||] |]; tree = [] }
+  else begin
+    let position = Array.make n 0 in
+    Array.iteri (fun i v -> position.(v) <- i) order;
+    (* adjacency as mutable bitsets; fill in as we eliminate *)
+    let adj = Array.init n (fun v -> Bitset.copy (Graph.neighbors g v)) in
+    let bags = Array.make n [||] in
+    let parent = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      let v = order.(i) in
+      let later =
+        Bitset.fold
+          (fun u acc -> if position.(u) > i then u :: acc else acc)
+          adj.(v) []
+      in
+      bags.(i) <- Array.of_list (List.sort compare (v :: later));
+      (* fill-in among later neighbors *)
+      let later_arr = Array.of_list later in
+      let k = Array.length later_arr in
+      for a = 0 to k - 1 do
+        for b = a + 1 to k - 1 do
+          let u = later_arr.(a) and w = later_arr.(b) in
+          Bitset.add adj.(u) w;
+          Bitset.add adj.(w) u
+        done
+      done;
+      (* parent bag: earliest-eliminated later neighbor *)
+      (match later with
+      | [] -> ()
+      | _ ->
+          let next =
+            List.fold_left
+              (fun best u -> if position.(u) < position.(best) then u else best)
+              (List.hd later) later
+          in
+          parent.(i) <- position.(next))
+    done;
+    let tree = ref [] in
+    for i = 0 to n - 1 do
+      if parent.(i) >= 0 then tree := (i, parent.(i)) :: !tree
+      else if i < n - 1 then
+        (* roots of separate components: chain them to keep a single tree *)
+        tree := (i, n - 1) :: !tree
+    done;
+    { bags; tree = !tree }
+  end
+
+(* Root the decomposition tree at bag 0 and return (parent, children,
+   preorder) arrays for dynamic programming. *)
+let rooted t =
+  let nb = Array.length t.bags in
+  let adj = tree_adjacency t in
+  let parent = Array.make nb (-1) in
+  let order = Array.make nb 0 in
+  let seen = Array.make nb false in
+  let idx = ref 0 in
+  let stack = ref [ 0 ] in
+  if nb > 0 then seen.(0) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+        stack := rest;
+        order.(!idx) <- i;
+        incr idx;
+        List.iter
+          (fun j ->
+            if not seen.(j) then begin
+              seen.(j) <- true;
+              parent.(j) <- i;
+              stack := j :: !stack
+            end)
+          adj.(i)
+  done;
+  let children = Array.make nb [] in
+  for i = 0 to nb - 1 do
+    if parent.(i) >= 0 then children.(parent.(i)) <- i :: children.(parent.(i))
+  done;
+  (parent, children, order)

@@ -1,0 +1,47 @@
+(** Tree decompositions (Definition 4.1 of the paper): bags of vertices
+    on the nodes of a tree, such that every vertex and edge is covered
+    and each vertex's occurrences form a subtree. *)
+
+type t
+
+(** [make ~bags ~tree] builds a decomposition; bags are copied and
+    sorted.  No validity check is performed - use {!verify}. *)
+val make : bags:int array array -> tree:(int * int) list -> t
+
+(** Max bag size minus one; [-1] for the empty decomposition. *)
+val width : t -> int
+
+val bag_count : t -> int
+
+(** The bags, each sorted ascending.  Callers must not mutate them. *)
+val bags : t -> int array array
+
+val tree_edges : t -> (int * int) list
+
+(** Adjacency lists of the decomposition tree. *)
+val tree_adjacency : t -> int list array
+
+(** Binary search in a sorted bag. *)
+val bag_contains : int array -> int -> bool
+
+type failure =
+  | Not_a_tree
+  | Vertex_uncovered of int
+  | Edge_uncovered of int * int
+  | Disconnected_occurrence of int
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** Check the three conditions of Definition 4.1 (plus treeness) against
+    a graph. *)
+val verify : t -> Graph.t -> (unit, failure) result
+
+(** The decomposition induced by an elimination order: the bag of [v] is
+    [v] plus its (fill-in) neighbors eliminated later; its width is the
+    width of the order.  This is the construction both the heuristic and
+    exact treewidth algorithms optimize over. *)
+val of_elimination_order : Graph.t -> int array -> t
+
+(** Root the tree at bag 0: [(parent, children, preorder)], for dynamic
+    programming ({!Lb_csp.Freuder}-style). *)
+val rooted : t -> int array * int list array * int array

@@ -1,0 +1,206 @@
+(* Treewidth: heuristics, a lower bound, and an exact branch-and-bound.
+
+   - [min_degree_order] / [min_fill_order]: classic elimination-order
+     heuristics; their widths are upper bounds on the treewidth.
+   - [degeneracy]: maximum over the degeneracy ordering of the minimum
+     degree; every graph has a vertex of degree <= tw in every subgraph,
+     so this is a treewidth lower bound (the "MMD" bound).
+   - [exact]: iterative deepening over the candidate width w, with a
+     depth-first search over elimination orders, memoization on the set
+     of already-eliminated vertices, and the simplicial-vertex rule.
+     Exponential, intended for graphs up to ~25-30 vertices (enough for
+     every exact use in the experiments; large instances use the
+     heuristics plus the lower bound). *)
+
+module Bitset = Lb_util.Bitset
+
+let elimination_width g order =
+  let td = Tree_decomposition.of_elimination_order g order in
+  Tree_decomposition.width td
+
+(* Generic greedy elimination given a scoring function; smaller score is
+   eliminated first. *)
+let greedy_order g score =
+  let n = Graph.vertex_count g in
+  let adj = Array.init n (fun v -> Bitset.copy (Graph.neighbors g v)) in
+  let alive = Bitset.create n in
+  Bitset.fill alive;
+  let order = Array.make n 0 in
+  for i = 0 to n - 1 do
+    (* pick alive vertex with min score *)
+    let best = ref (-1) and best_score = ref max_int in
+    Bitset.iter
+      (fun v ->
+        let s = score adj alive v in
+        if s < !best_score then begin
+          best := v;
+          best_score := s
+        end)
+      alive;
+    let v = !best in
+    order.(i) <- v;
+    (* fill in among alive neighbors, then remove v *)
+    let nbrs = Bitset.inter adj.(v) alive in
+    let nlist = Bitset.to_array nbrs in
+    let k = Array.length nlist in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        Bitset.add adj.(nlist.(a)) nlist.(b);
+        Bitset.add adj.(nlist.(b)) nlist.(a)
+      done
+    done;
+    Bitset.remove alive v
+  done;
+  order
+
+let min_degree_order g =
+  greedy_order g (fun adj alive v -> Bitset.inter_cardinal adj.(v) alive)
+
+let min_fill_order g =
+  greedy_order g (fun adj alive v ->
+      let nbrs = Bitset.to_array (Bitset.inter adj.(v) alive) in
+      let k = Array.length nbrs in
+      let fill = ref 0 in
+      for a = 0 to k - 1 do
+        for b = a + 1 to k - 1 do
+          if not (Bitset.mem adj.(nbrs.(a)) nbrs.(b)) then incr fill
+        done
+      done;
+      !fill)
+
+(* Best of the two heuristics: (width, order). *)
+let heuristic_upper_bound g =
+  let o1 = min_degree_order g and o2 = min_fill_order g in
+  let w1 = elimination_width g o1 and w2 = elimination_width g o2 in
+  if w1 <= w2 then (w1, o1) else (w2, o2)
+
+(* Degeneracy = MMD treewidth lower bound. *)
+let degeneracy g =
+  let n = Graph.vertex_count g in
+  if n = 0 then 0
+  else begin
+    let adj = Array.init n (fun v -> Bitset.copy (Graph.neighbors g v)) in
+    let alive = Bitset.create n in
+    Bitset.fill alive;
+    let best = ref 0 in
+    for _ = 1 to n do
+      let v = ref (-1) and d = ref max_int in
+      Bitset.iter
+        (fun u ->
+          let du = Bitset.inter_cardinal adj.(u) alive in
+          if du < !d then begin
+            d := du;
+            v := u
+          end)
+        alive;
+      best := max !best !d;
+      Bitset.remove alive !v
+    done;
+    !best
+  end
+
+(* Exact treewidth by iterative deepening.  [can_eliminate w] search:
+   given alive set + filled adjacency, succeed if some elimination order
+   of the remaining vertices has width <= w. *)
+let exact ?(max_n = 40) g =
+  let n = Graph.vertex_count g in
+  if n > max_n then
+    invalid_arg
+      (Printf.sprintf "Treewidth.exact: graph has %d > %d vertices" n max_n);
+  if n = 0 then (0, [||])
+  else begin
+    let lower = degeneracy g in
+    let upper, h_order = heuristic_upper_bound g in
+    if lower = upper then (upper, h_order)
+    else begin
+      (* DFS for a given width bound w.  Adjacency is copied per node;
+         graphs are small so this is fine.  Memoize failed alive-sets. *)
+      let try_width w =
+        let failed = Hashtbl.create 4096 in
+        let key alive = String.concat "," (List.map string_of_int (Bitset.elements alive)) in
+        let rec go adj alive acc =
+          let remaining = Bitset.cardinal alive in
+          if remaining <= w + 1 then Some (List.rev_append acc (Bitset.elements alive))
+          else begin
+            let k = key alive in
+            if Hashtbl.mem failed k then None
+            else begin
+              (* candidate vertices: alive with alive-degree <= w.
+                 Simplicial rule: if some candidate's alive neighborhood is
+                 a clique, eliminating it first is always safe. *)
+              let cands =
+                Bitset.fold
+                  (fun v l ->
+                    let d = Bitset.inter_cardinal adj.(v) alive in
+                    if d <= w then (v, d) :: l else l)
+                  alive []
+              in
+              let is_simplicial v =
+                let nbrs = Bitset.to_array (Bitset.inter adj.(v) alive) in
+                let kk = Array.length nbrs in
+                let ok = ref true in
+                for a = 0 to kk - 1 do
+                  for b = a + 1 to kk - 1 do
+                    if not (Bitset.mem adj.(nbrs.(a)) nbrs.(b)) then ok := false
+                  done
+                done;
+                !ok
+              in
+              let cands =
+                match List.find_opt (fun (v, _) -> is_simplicial v) cands with
+                | Some c -> [ c ]
+                | None -> List.sort (fun (_, d1) (_, d2) -> compare d1 d2) cands
+              in
+              let eliminate v =
+                let adj' = Array.map Bitset.copy adj in
+                let alive' = Bitset.copy alive in
+                let nbrs = Bitset.to_array (Bitset.inter adj'.(v) alive') in
+                let kk = Array.length nbrs in
+                for a = 0 to kk - 1 do
+                  for b = a + 1 to kk - 1 do
+                    Bitset.add adj'.(nbrs.(a)) nbrs.(b);
+                    Bitset.add adj'.(nbrs.(b)) nbrs.(a)
+                  done
+                done;
+                Bitset.remove alive' v;
+                go adj' alive' (v :: acc)
+              in
+              let rec first = function
+                | [] ->
+                    Hashtbl.replace failed k ();
+                    None
+                | (v, _) :: rest -> (
+                    match eliminate v with Some r -> Some r | None -> first rest)
+              in
+              first cands
+            end
+          end
+        in
+        let adj0 = Array.init n (fun v -> Bitset.copy (Graph.neighbors g v)) in
+        let alive0 = Bitset.create n in
+        Bitset.fill alive0;
+        go adj0 alive0 []
+      in
+      let rec search w =
+        if w >= upper then (upper, h_order)
+        else
+          match try_width w with
+          | Some order -> (w, Array.of_list order)
+          | None -> search (w + 1)
+      in
+      search lower
+    end
+  end
+
+(* Convenience: exact when feasible, otherwise the heuristic width.
+   Returns (width, order, exactness flag). *)
+let best_effort ?(exact_limit = 25) g =
+  if Graph.vertex_count g <= exact_limit then
+    let w, order = exact g in
+    (w, order, true)
+  else
+    let w, order = heuristic_upper_bound g in
+    (w, order, false)
+
+let decomposition_of_order g order =
+  Tree_decomposition.of_elimination_order g order

@@ -1,0 +1,31 @@
+(** Treewidth: elimination-order heuristics, the degeneracy lower bound,
+    and exact branch-and-bound - the structural parameter at the heart
+    of Theorems 4.2, 5.2, 6.5-6.7 and 7.2. *)
+
+(** Width of the decomposition induced by an elimination order. *)
+val elimination_width : Graph.t -> int array -> int
+
+(** Min-degree greedy elimination order. *)
+val min_degree_order : Graph.t -> int array
+
+(** Min-fill greedy elimination order. *)
+val min_fill_order : Graph.t -> int array
+
+(** Best of the two heuristics: [(width, order)]. The width is an upper
+    bound on the treewidth. *)
+val heuristic_upper_bound : Graph.t -> int * int array
+
+(** Degeneracy (the "MMD" bound): a treewidth lower bound. *)
+val degeneracy : Graph.t -> int
+
+(** Exact treewidth by iterative deepening over elimination orders with
+    memoization and the simplicial-vertex rule.  Exponential; refuses
+    graphs larger than [max_n] (default 40). *)
+val exact : ?max_n:int -> Graph.t -> int * int array
+
+(** Exact when the graph has at most [exact_limit] (default 25) vertices,
+    heuristic otherwise; the flag tells which. *)
+val best_effort : ?exact_limit:int -> Graph.t -> int * int array * bool
+
+(** Alias for {!Tree_decomposition.of_elimination_order}. *)
+val decomposition_of_order : Graph.t -> int array -> Tree_decomposition.t

@@ -1,0 +1,26 @@
+(** Triangle detection and counting - the algorithmic content of the
+    triangle conjecture discussion (Sections 3 and 8).  All detectors
+    return a witness [(u, v, w)]. *)
+
+(** Scan all vertex triples: [O(n^3)]. *)
+val detect_naive : Graph.t -> (int * int * int) option
+
+(** Per-edge word-parallel neighborhood intersection. *)
+val detect_edge_scan : Graph.t -> (int * int * int) option
+
+(** Adjacency matrix of the graph as a Boolean matrix. *)
+val adjacency_bool : Graph.t -> Lb_util.Matrix.Bool.t
+
+(** Boolean [A^2] against [A]: the "[O(d^omega)]" dense detector. *)
+val detect_matmul : Graph.t -> (int * int * int) option
+
+(** Alon-Yuster-Zwick heavy/light split: light edges by neighborhood
+    scan, heavy core by matmul - the [O(m^{2w/(w+1)})] algorithm.
+    [delta] overrides the degree threshold (default [sqrt m]). *)
+val detect_heavy_light : ?delta:int -> Graph.t -> (int * int * int) option
+
+(** Exact count via [trace(A^3) / 6] on int matrices. *)
+val count_matmul : Graph.t -> int
+
+(** Exact count by edge scanning. *)
+val count_edge_scan : Graph.t -> int

@@ -1,0 +1,105 @@
+(* Vertex Cover (Section 5's FPT showcase).
+
+   - [solve_fpt]: Buss kernelization followed by the bounded-depth search
+     tree (branch on an uncovered edge), 2^k * poly.
+   - [solve_bruteforce]: try all O(n^k) subsets - the baseline the FPT
+     algorithm is contrasted with in the paper.
+   - [greedy_2approx]: maximal-matching 2-approximation (used to seed
+     workloads). *)
+
+module Bitset = Lb_util.Bitset
+
+let is_cover g vs =
+  let s = Bitset.of_list (Graph.vertex_count g) (Array.to_list vs) in
+  let ok = ref true in
+  Graph.iter_edges
+    (fun u v -> if not (Bitset.mem s u || Bitset.mem s v) then ok := false)
+    g;
+  !ok
+
+(* Branch on an arbitrary uncovered edge: either endpoint must be in the
+   cover.  Edges are tracked as a list filtered down the recursion. *)
+let solve_fpt g k =
+  (* Buss kernel: any vertex of degree > k must be in the cover; after
+     removing those, if more than k^2 + k edges remain, reject. *)
+  let n = Graph.vertex_count g in
+  let forced = ref [] in
+  let budget = ref k in
+  let g' = Graph.copy g in
+  let changed = ref true in
+  let removed = Bitset.create n in
+  let alive_edges () =
+    List.filter
+      (fun (u, v) -> not (Bitset.mem removed u || Bitset.mem removed v))
+      (Graph.edges g')
+  in
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      if (not (Bitset.mem removed v)) && !budget >= 0 then begin
+        let d =
+          Bitset.fold
+            (fun u acc -> if Bitset.mem removed u then acc else acc + 1)
+            (Graph.neighbors g' v) 0
+        in
+        if d > !budget then begin
+          forced := v :: !forced;
+          Bitset.add removed v;
+          decr budget;
+          changed := true
+        end
+      end
+    done
+  done;
+  if !budget < 0 then None
+  else begin
+    let edges = alive_edges () in
+    if List.length edges > (!budget * !budget) + !budget then None
+    else begin
+      let rec branch edges budget acc =
+        match edges with
+        | [] -> Some acc
+        | (u, v) :: _ when budget = 0 -> ignore (u, v); None
+        | (u, v) :: _ ->
+            let without w =
+              List.filter (fun (a, b) -> a <> w && b <> w) edges
+            in
+            (match branch (without u) (budget - 1) (u :: acc) with
+            | Some r -> Some r
+            | None -> branch (without v) (budget - 1) (v :: acc))
+      in
+      match branch edges !budget [] with
+      | Some picked ->
+          let cover = Array.of_list (List.sort_uniq compare (picked @ !forced)) in
+          Some cover
+      | None -> None
+    end
+  end
+
+let solve_bruteforce g k =
+  let n = Graph.vertex_count g in
+  let result = ref None in
+  (try
+     for size = 0 to min k n do
+       Lb_util.Combinat.iter_subsets n size (fun idx ->
+           if is_cover g idx then begin
+             result := Some (Array.copy idx);
+             raise Exit
+           end)
+     done
+   with Exit -> ());
+  !result
+
+let greedy_2approx g =
+  let n = Graph.vertex_count g in
+  let covered = Bitset.create n in
+  let acc = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      if not (Bitset.mem covered u || Bitset.mem covered v) then begin
+        Bitset.add covered u;
+        Bitset.add covered v;
+        acc := u :: v :: !acc
+      end)
+    g;
+  Array.of_list (List.sort compare !acc)

@@ -1,0 +1,14 @@
+(** Vertex Cover - Section 5's fixed-parameter-tractability showcase. *)
+
+val is_cover : Graph.t -> int array -> bool
+
+(** Buss kernelization + bounded-depth search tree: [2^k * poly].
+    Returns a cover of size at most [k], or [None]. *)
+val solve_fpt : Graph.t -> int -> int array option
+
+(** Try all [O(n^k)] subsets - the baseline the FPT algorithm is
+    contrasted with. *)
+val solve_bruteforce : Graph.t -> int -> int array option
+
+(** Maximal-matching 2-approximation. *)
+val greedy_2approx : Graph.t -> int array

@@ -1,0 +1,1 @@
+lib/hypergraph/acyclic.ml: Array Hashtbl Hypergraph Int List Option Set

@@ -1,0 +1,1 @@
+lib/hypergraph/acyclic.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/cover.ml: Array Hypergraph Lb_lp Lb_util List

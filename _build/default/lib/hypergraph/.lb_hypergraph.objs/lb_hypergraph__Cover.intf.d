@@ -1,0 +1,1 @@
+lib/hypergraph/cover.mli: Hypergraph

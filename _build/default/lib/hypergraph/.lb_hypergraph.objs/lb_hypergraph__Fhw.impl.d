@@ -1,0 +1,1 @@
+lib/hypergraph/fhw.ml: Acyclic Array Hypergraph Lb_graph Lb_lp Lb_util List Printf

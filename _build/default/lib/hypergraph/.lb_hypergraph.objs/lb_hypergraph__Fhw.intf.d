@@ -1,0 +1,1 @@
+lib/hypergraph/fhw.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/hyperclique.ml: Array Hypergraph Lb_util List Set

@@ -1,0 +1,1 @@
+lib/hypergraph/hyperclique.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Array Format Lb_graph Lb_util List String

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.mli: Format Lb_graph Lb_util

@@ -1,0 +1,161 @@
+(* Alpha-acyclicity via GYO reduction, and join trees.
+
+   A hypergraph is alpha-acyclic iff repeatedly (a) deleting vertices
+   that occur in exactly one edge ("ears' private vertices") and
+   (b) deleting edges contained in other edges, empties it.  Acyclic
+   queries are the polynomial-time class of Section 4 (tree primal
+   graphs are a special case) and the domain of Yannakakis' algorithm
+   (Lb_relalg.Yannakakis), which needs the join tree this module
+   produces. *)
+
+module Int_set = Set.Make (Int)
+
+type join_tree = {
+  nodes : int array; (* original edge indices that survived as tree nodes *)
+  parent : int array; (* parent.(i) = index into nodes, -1 for the root *)
+  absorbed : (int * int) list;
+      (* (edge, host): original edges subsumed by another edge; host is an
+         index into [nodes] *)
+}
+
+(* GYO: returns a join tree if acyclic, None otherwise. *)
+let gyo h =
+  let m = Hypergraph.edge_count h in
+  if m = 0 then Some { nodes = [||]; parent = [||]; absorbed = [] }
+  else begin
+    let edges = Array.map (fun e -> Int_set.of_list (Array.to_list e)) (Hypergraph.edges h) in
+    let alive = Array.make m true in
+    (* parent pointers among original edge indices; -1 = none yet *)
+    let parent_edge = Array.make m (-1) in
+    let absorbed = ref [] in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* count vertex occurrences among live edges *)
+      let occ = Hashtbl.create 64 in
+      Array.iteri
+        (fun i e ->
+          if alive.(i) then
+            Int_set.iter
+              (fun v ->
+                Hashtbl.replace occ v (1 + Option.value ~default:0 (Hashtbl.find_opt occ v)))
+              e)
+        edges;
+      (* rule (a): remove vertices occurring in exactly one live edge *)
+      Array.iteri
+        (fun i e ->
+          if alive.(i) then begin
+            let e' =
+              Int_set.filter (fun v -> Hashtbl.find occ v > 1) e
+            in
+            if not (Int_set.equal e' e) then begin
+              edges.(i) <- e';
+              changed := true
+            end
+          end)
+        edges;
+      (* rule (b): remove a live edge contained in another live edge;
+         record the containment as a tree edge *)
+      (try
+         for i = 0 to m - 1 do
+           if alive.(i) then
+             for j = 0 to m - 1 do
+               if j <> i && alive.(j) && Int_set.subset edges.(i) edges.(j)
+                  && (not (Int_set.equal edges.(i) edges.(j)) || i > j)
+               then begin
+                 alive.(i) <- false;
+                 parent_edge.(i) <- j;
+                 changed := true;
+                 raise Exit
+               end
+             done
+         done
+       with Exit -> ())
+    done;
+    let survivors = Array.to_list alive |> List.filteri (fun _ a -> a) in
+    if List.length survivors > 1 then None (* GYO stuck: cyclic *)
+    else begin
+      (* Exactly one survivor (or one per connected component - for
+         simplicity we require the reduction to end with <= 1 live edge;
+         disconnected acyclic hypergraphs still reduce to one because an
+         empty edge is a subset of any other).  Build the join tree over
+         ORIGINAL edges: each original edge's parent is what absorbed it
+         (following parent_edge), the survivor is the root. *)
+      let nodes = Array.init m (fun i -> i) in
+      let parent =
+        Array.init m (fun i -> parent_edge.(i))
+      in
+      Some { nodes; parent; absorbed = !absorbed }
+    end
+  end
+
+let is_acyclic h = gyo h <> None
+
+(* A join tree over all original edges: parent.(i) = original edge index
+   (not node index).  Expose a simpler view. *)
+let join_tree h =
+  match gyo h with
+  | None -> None
+  | Some t ->
+      (* t.parent indexes original edges already; root(s) have -1.  If the
+         hypergraph was disconnected there may be several roots; link
+         extra roots under root 0 (their bags share no vertices so any
+         tree shape is a valid join tree). *)
+      let m = Array.length t.parent in
+      let parent = Array.copy t.parent in
+      let first_root = ref (-1) in
+      for i = 0 to m - 1 do
+        if parent.(i) < 0 then
+          if !first_root < 0 then first_root := i else parent.(i) <- !first_root
+      done;
+      Some parent
+
+(* Verify the join tree property: for every vertex, the set of edges
+   containing it forms a connected subtree. *)
+let verify_join_tree h parent =
+  let m = Hypergraph.edge_count h in
+  if Array.length parent <> m then false
+  else begin
+    let adj = Array.make m [] in
+    Array.iteri
+      (fun i p ->
+        if p >= 0 then begin
+          adj.(i) <- p :: adj.(i);
+          adj.(p) <- i :: adj.(p)
+        end)
+      parent;
+    let edges = Hypergraph.edges h in
+    let ok = ref true in
+    for v = 0 to Hypergraph.vertex_count h - 1 do
+      let occ =
+        Array.to_list
+          (Array.mapi (fun i e -> (i, Array.exists (fun u -> u = v) e)) edges)
+        |> List.filter snd |> List.map fst
+      in
+      match occ with
+      | [] | [ _ ] -> ()
+      | start :: _ ->
+          let inocc = Array.make m false in
+          List.iter (fun i -> inocc.(i) <- true) occ;
+          let seen = Array.make m false in
+          seen.(start) <- true;
+          let stack = ref [ start ] in
+          let count = ref 0 in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | i :: rest ->
+                stack := rest;
+                incr count;
+                List.iter
+                  (fun j ->
+                    if inocc.(j) && not seen.(j) then begin
+                      seen.(j) <- true;
+                      stack := j :: !stack
+                    end)
+                  adj.(i)
+          done;
+          if !count <> List.length occ then ok := false
+    done;
+    !ok
+  end

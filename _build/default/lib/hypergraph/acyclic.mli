@@ -1,0 +1,23 @@
+(** Alpha-acyclicity via GYO reduction, and join trees.  Acyclic queries
+    are the polynomial class of Section 4 and the domain of Yannakakis'
+    algorithm ({!Lb_relalg.Yannakakis}). *)
+
+type join_tree = {
+  nodes : int array;
+  parent : int array;
+  absorbed : (int * int) list;
+}
+
+(** Run the GYO reduction; [Some] iff the hypergraph is
+    alpha-acyclic. *)
+val gyo : Hypergraph.t -> join_tree option
+
+val is_acyclic : Hypergraph.t -> bool
+
+(** A join tree over the original edges as a parent array ([-1] at the
+    root); [None] iff cyclic. *)
+val join_tree : Hypergraph.t -> int array option
+
+(** Check the join tree property: each vertex's edges form a connected
+    subtree. *)
+val verify_join_tree : Hypergraph.t -> int array -> bool

@@ -1,0 +1,104 @@
+(* Fractional edge covers and their duals (Section 3).
+
+   rho*(H) - the fractional edge cover number - is the exponent in the
+   AGM bound N^{rho*(H)} (Theorems 3.1-3.3).  We compute it with the
+   simplex solver.  By LP duality rho* also equals the maximum fractional
+   vertex packing (weights x_v >= 0 with sum over each edge <= 1), whose
+   optimal solution drives the worst-case database construction of
+   Theorem 3.2 (implemented in Lb_relalg.Agm). *)
+
+type fractional = {
+  value : float;
+  weights : float array; (* per edge (cover) or per vertex (packing) *)
+}
+
+(* Minimize sum of edge weights subject to: for each vertex, total weight
+   of incident edges >= 1. *)
+let fractional_edge_cover h =
+  if not (Hypergraph.covers_all_vertices h) then None
+  else begin
+    let m = Hypergraph.edge_count h in
+    let n = Hypergraph.vertex_count h in
+    let edges = Hypergraph.edges h in
+    let rows =
+      List.init n (fun v ->
+          let a = Array.make m 0.0 in
+          Array.iteri
+            (fun ei e -> if Array.exists (fun u -> u = v) e then a.(ei) <- 1.0)
+            edges;
+          (a, Lb_lp.Simplex.Ge, 1.0))
+    in
+    match
+      Lb_lp.Simplex.solve
+        { maximize = false; objective = Array.make m 1.0; rows }
+    with
+    | Lb_lp.Simplex.Optimal { value; solution } ->
+        Some { value; weights = solution }
+    | Infeasible | Unbounded -> None
+  end
+
+(* Maximize sum of vertex weights subject to: for each edge, total weight
+   of its vertices <= 1.  Equals rho* by duality. *)
+let fractional_vertex_packing h =
+  let m = Hypergraph.edge_count h in
+  let n = Hypergraph.vertex_count h in
+  let edges = Hypergraph.edges h in
+  let rows =
+    List.init m (fun ei ->
+        let a = Array.make n 0.0 in
+        Array.iter (fun v -> a.(v) <- 1.0) edges.(ei);
+        (a, Lb_lp.Simplex.Le, 1.0))
+  in
+  match
+    Lb_lp.Simplex.solve { maximize = true; objective = Array.make n 1.0; rows }
+  with
+  | Lb_lp.Simplex.Optimal { value; solution } -> Some { value; weights = solution }
+  | Infeasible -> None
+  | Unbounded -> None (* only possible if some vertex is in no edge *)
+
+(* rho*: the AGM exponent. *)
+let rho_star h =
+  match fractional_edge_cover h with
+  | Some { value; _ } -> Some value
+  | None -> None
+
+(* Smallest integral edge cover, by exhaustive search over subset sizes
+   (fine for query-sized hypergraphs). *)
+let integral_edge_cover h =
+  if not (Hypergraph.covers_all_vertices h) then None
+  else begin
+    let m = Hypergraph.edge_count h in
+    let n = Hypergraph.vertex_count h in
+    let edges = Hypergraph.edges h in
+    let result = ref None in
+    (try
+       for size = 1 to m do
+         Lb_util.Combinat.iter_subsets m size (fun idx ->
+             let covered = Array.make n false in
+             Array.iter
+               (fun ei -> Array.iter (fun v -> covered.(v) <- true) edges.(ei))
+               idx;
+             if Array.for_all (fun b -> b) covered then begin
+               result := Some (Array.copy idx);
+               raise Exit
+             end)
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* Check that f is a valid fractional edge cover of h (within eps). *)
+let is_fractional_cover ?(eps = 1e-6) h weights =
+  Array.length weights = Hypergraph.edge_count h
+  && Array.for_all (fun w -> w >= -.eps) weights
+  &&
+  let ok = ref true in
+  for v = 0 to Hypergraph.vertex_count h - 1 do
+    let total = ref 0.0 in
+    Array.iteri
+      (fun ei e ->
+        if Array.exists (fun u -> u = v) e then total := !total +. weights.(ei))
+      (Hypergraph.edges h);
+    if !total < 1.0 -. eps then ok := false
+  done;
+  !ok

@@ -1,0 +1,29 @@
+(** Fractional edge covers and their duals (Section 3).  [rho_star] is
+    the exponent of the AGM bound (Theorems 3.1-3.3); the optimal
+    fractional vertex packing drives the worst-case database
+    construction of Theorem 3.2. *)
+
+type fractional = {
+  value : float;
+  weights : float array;
+      (** per edge (cover) or per vertex (packing), parallel to
+          {!Hypergraph.edges} / vertex ids *)
+}
+
+(** Minimum-weight fractional edge cover; [None] if some vertex lies in
+    no edge. *)
+val fractional_edge_cover : Hypergraph.t -> fractional option
+
+(** Maximum-weight fractional vertex packing; equals the cover by LP
+    duality. *)
+val fractional_vertex_packing : Hypergraph.t -> fractional option
+
+(** The AGM exponent rho*(H). *)
+val rho_star : Hypergraph.t -> float option
+
+(** Smallest integral edge cover (exhaustive; query-sized hypergraphs
+    only). *)
+val integral_edge_cover : Hypergraph.t -> int array option
+
+(** Validity check used by the property tests. *)
+val is_fractional_cover : ?eps:float -> Hypergraph.t -> float array -> bool

@@ -1,0 +1,120 @@
+(* Fractional hypertree width (Grohe-Marx), the database-side refinement
+   of treewidth that the paper's Section 3 bounds point towards: a tree
+   decomposition of the query hypergraph where each bag is charged its
+   *fractional edge cover number* instead of its size.  A decomposition
+   of fractional hypertree width w yields an O(N^{w+1})-ish evaluation
+   algorithm by materializing each bag with a worst-case-optimal join
+   (at most N^w tuples per bag by Theorem 3.1) and then running the
+   acyclic machinery; bounded fhw strictly generalizes both bounded
+   treewidth and acyclicity (acyclic <=> fhw = 1).
+
+   Computing fhw exactly is NP-hard in general; as with treewidth we
+   provide elimination-order search: the width of an order is the max
+   over its bags of the bag's fractional cover, minimized exactly over
+   all orders for small hypergraphs and greedily otherwise. *)
+
+module Bitset = Lb_util.Bitset
+
+(* rho* of a vertex set [bag] w.r.t. the hyperedges of [h]: minimize the
+   total weight of edges covering every bag vertex (edges may be used
+   partially outside the bag - the standard definition restricts edges to
+   the bag, which changes nothing for covering purposes). *)
+let bag_cover h bag =
+  if Array.length bag = 0 then 0.0
+  else begin
+    let edges = Hypergraph.edges h in
+    let m = Array.length edges in
+    let rows =
+      Array.to_list bag
+      |> List.map (fun v ->
+             let a = Array.make m 0.0 in
+             Array.iteri
+               (fun ei e -> if Array.exists (( = ) v) e then a.(ei) <- 1.0)
+               edges;
+             (a, Lb_lp.Simplex.Ge, 1.0))
+    in
+    match
+      Lb_lp.Simplex.solve
+        { maximize = false; objective = Array.make m 1.0; rows }
+    with
+    | Lb_lp.Simplex.Optimal { value; _ } -> value
+    | Infeasible | Unbounded -> infinity (* a bag vertex lies in no edge *)
+  end
+
+(* Fractional hypertree width of the decomposition induced by an
+   elimination order of the primal graph. *)
+let width_of_order h order =
+  let g = Hypergraph.primal h in
+  let td = Lb_graph.Tree_decomposition.of_elimination_order g order in
+  Array.fold_left
+    (fun acc bag -> max acc (bag_cover h bag))
+    0.0
+    (Lb_graph.Tree_decomposition.bags td)
+
+(* Greedy upper bound: min-fill and min-degree orders on the primal
+   graph (good elimination orders for treewidth are usually good for
+   fhw). *)
+let heuristic_upper_bound h =
+  let g = Hypergraph.primal h in
+  let o1 = Lb_graph.Treewidth.min_degree_order g in
+  let o2 = Lb_graph.Treewidth.min_fill_order g in
+  let w1 = width_of_order h o1 and w2 = width_of_order h o2 in
+  if w1 <= w2 then (w1, o1) else (w2, o2)
+
+(* Exact fhw over all elimination orders (n! with memo-free pruning by
+   current best) - fine for query-sized hypergraphs (n <= 9 or so).
+   Elimination orders realize an optimal decomposition for fhw just as
+   for treewidth. *)
+let exact ?(max_n = 9) h =
+  let n = Hypergraph.vertex_count h in
+  if n > max_n then
+    invalid_arg
+      (Printf.sprintf "Fhw.exact: %d > %d vertices (use heuristic_upper_bound)"
+         n max_n);
+  if n = 0 then (0.0, [||])
+  else begin
+    let best_w, best_o = heuristic_upper_bound h in
+    let best = ref (best_w, best_o) in
+    let g = Hypergraph.primal h in
+    (* DFS over orders on the evolving (filled) graph; prune when the
+       current max bag cover already reaches the best. *)
+    let adj = Array.init n (fun v -> Bitset.copy (Lb_graph.Graph.neighbors g v)) in
+    let alive = Bitset.create n in
+    Bitset.fill alive;
+    let order = Array.make n 0 in
+    let rec go pos current_max adj alive =
+      if current_max >= fst !best -. 1e-9 then ()
+      else if pos = n then best := (current_max, Array.copy order)
+      else
+        Bitset.iter
+          (fun v ->
+            (* bag = v + alive neighbors *)
+            let nbrs = Bitset.inter adj.(v) alive in
+            let bag = Array.append [| v |] (Bitset.to_array nbrs) in
+            let w = bag_cover h bag in
+            let m = max current_max w in
+            if m < fst !best -. 1e-9 then begin
+              order.(pos) <- v;
+              let adj' = Array.map Bitset.copy adj in
+              let alive' = Bitset.copy alive in
+              let nl = Bitset.to_array nbrs in
+              let k = Array.length nl in
+              for a = 0 to k - 1 do
+                for b = a + 1 to k - 1 do
+                  Bitset.add adj'.(nl.(a)) nl.(b);
+                  Bitset.add adj'.(nl.(b)) nl.(a)
+                done
+              done;
+              Bitset.remove alive' v;
+              go (pos + 1) m adj' alive'
+            end)
+          alive
+    in
+    go 0 0.0 adj alive;
+    !best
+  end
+
+(* fhw = 1 exactly on (alpha-)acyclic hypergraphs whose vertices are all
+   covered; a cheap certificate used by tests. *)
+let is_width_one h =
+  Hypergraph.covers_all_vertices h && Acyclic.is_acyclic h

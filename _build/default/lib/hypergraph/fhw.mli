@@ -1,0 +1,25 @@
+(** Fractional hypertree width (Grohe-Marx): tree decompositions whose
+    bags are charged their fractional edge cover number.  The
+    database-side refinement of treewidth that Section 3's machinery
+    points towards; acyclic hypergraphs have width 1, and a width-w
+    decomposition enables [N^{w}]-sized bag materialization via
+    Theorem 3.1. *)
+
+(** rho* of a bag with respect to the hypergraph's edges; [infinity] if
+    some bag vertex lies in no edge. *)
+val bag_cover : Hypergraph.t -> int array -> float
+
+(** Fractional hypertree width of the decomposition induced by an
+    elimination order of the primal graph. *)
+val width_of_order : Hypergraph.t -> int array -> float
+
+(** Best of min-degree and min-fill orders: [(width, order)]. *)
+val heuristic_upper_bound : Hypergraph.t -> float * int array
+
+(** Exact fhw by branch-and-bound over elimination orders.  Exponential;
+    refuses hypergraphs with more than [max_n] (default 9) vertices. *)
+val exact : ?max_n:int -> Hypergraph.t -> float * int array
+
+(** Cheap certificate: fhw = 1 iff alpha-acyclic with all vertices
+    covered. *)
+val is_width_one : Hypergraph.t -> bool

@@ -1,0 +1,67 @@
+(* k-hypercliques in d-uniform hypergraphs (Section 8).
+
+   A k-hyperclique is a k-set of vertices all of whose d-subsets are
+   hyperedges.  The hyperclique conjecture states that for d >= 3 nothing
+   substantially beats trying all k-sets; the brute-force search below
+   (with subset pruning: a partial set is extended only while all its
+   complete d-subsets are edges) is therefore both the algorithm and the
+   conjectured-optimal baseline. *)
+
+module Int_set = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+(* Index edges as sorted lists for membership tests. *)
+let edge_index h =
+  let s = ref Int_set.empty in
+  Array.iter
+    (fun e -> s := Int_set.add (Array.to_list e) !s)
+    (Hypergraph.edges h);
+  !s
+
+let find h ~d ~k =
+  if not (Hypergraph.is_uniform h d) then
+    invalid_arg "Hyperclique.find: hypergraph is not d-uniform";
+  if k < d then invalid_arg "Hyperclique.find: k < d";
+  let n = Hypergraph.vertex_count h in
+  let idx = edge_index h in
+  let is_edge l = Int_set.mem l idx in
+  let current = Array.make k 0 in
+  (* check all d-subsets of current[0..depth] that include current[depth] *)
+  let closes depth =
+    let ok = ref true in
+    if depth + 1 >= d then
+      Lb_util.Combinat.iter_subsets depth (d - 1) (fun sub ->
+          if !ok then begin
+            let tuple =
+              List.sort compare
+                (current.(depth) :: Array.to_list (Array.map (fun i -> current.(i)) sub))
+            in
+            if not (is_edge tuple) then ok := false
+          end);
+    !ok
+  in
+  let result = ref None in
+  let rec go depth lo =
+    if !result = None then
+      if depth = k then result := Some (Array.copy current)
+      else
+        for v = lo to n - 1 do
+          if !result = None then begin
+            current.(depth) <- v;
+            if closes depth then go (depth + 1) (v + 1)
+          end
+        done
+  in
+  go 0 0;
+  !result
+
+let is_hyperclique h ~d vs =
+  let idx = edge_index h in
+  let ok = ref true in
+  Lb_util.Combinat.iter_subsets (Array.length vs) d (fun sub ->
+      let tuple = List.sort compare (Array.to_list (Array.map (fun i -> vs.(i)) sub)) in
+      if not (Int_set.mem tuple idx) then ok := false);
+  !ok

@@ -1,0 +1,11 @@
+(** [k]-hypercliques in [d]-uniform hypergraphs (Section 8): a [k]-set
+    all of whose [d]-subsets are edges.  For [d >= 3] the hyperclique
+    conjecture says nothing substantially beats the exhaustive search
+    implemented here. *)
+
+(** First [k]-hyperclique, by subset-pruned exhaustive search.  Raises
+    [Invalid_argument] unless the hypergraph is [d]-uniform and
+    [k >= d]. *)
+val find : Hypergraph.t -> d:int -> k:int -> int array option
+
+val is_hyperclique : Hypergraph.t -> d:int -> int array -> bool

@@ -1,0 +1,116 @@
+(* Hypergraphs on vertex set [0, n): the common structural abstraction of
+   Section 2 - a join query, a CSP and a relational structure all project
+   to a hypergraph (one hyperedge per relation/constraint scope), and the
+   bounds of Sections 3-7 are functions of this hypergraph. *)
+
+type t = {
+  n : int;
+  edges : int array array; (* each sorted ascending, duplicate-free *)
+}
+
+let create n edges =
+  if n < 0 then invalid_arg "Hypergraph.create";
+  let norm e =
+    let e = Array.copy e in
+    Array.sort compare e;
+    let l = Array.to_list e in
+    let rec dedup = function
+      | a :: b :: rest when a = b -> dedup (b :: rest)
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    let e = Array.of_list (dedup l) in
+    Array.iter
+      (fun v -> if v < 0 || v >= n then invalid_arg "Hypergraph.create: vertex range")
+      e;
+    e
+  in
+  { n; edges = Array.of_list (List.map norm edges) }
+
+let vertex_count t = t.n
+
+let edge_count t = Array.length t.edges
+
+let edges t = t.edges
+
+let arity t = Array.fold_left (fun acc e -> max acc (Array.length e)) 0 t.edges
+
+(* Is every vertex covered by at least one edge? The cover LPs require
+   this (otherwise rho* is infinite / the LP infeasible). *)
+let covers_all_vertices t =
+  let seen = Array.make t.n false in
+  Array.iter (fun e -> Array.iter (fun v -> seen.(v) <- true) e) t.edges;
+  Array.for_all (fun b -> b) seen
+
+(* Primal (Gaifman) graph: vertices adjacent iff they share an edge. *)
+let primal t =
+  let g = Lb_graph.Graph.create t.n in
+  Array.iter
+    (fun e ->
+      let k = Array.length e in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          Lb_graph.Graph.add_edge g e.(i) e.(j)
+        done
+      done)
+    t.edges;
+  g
+
+let is_uniform t d = Array.for_all (fun e -> Array.length e = d) t.edges
+
+(* Named constructors for the query shapes used throughout the
+   experiments. *)
+
+(* Triangle query R(a,b), S(b,c), T(a,c). *)
+let triangle = lazy (create 3 [ [| 0; 1 |]; [| 1; 2 |]; [| 0; 2 |] ])
+
+(* Cycle of length k: binary edges (i, i+1 mod k). *)
+let cycle k =
+  if k < 3 then invalid_arg "Hypergraph.cycle";
+  create k (List.init k (fun i -> [| i; (i + 1) mod k |]))
+
+(* Path query of k atoms over k+1 attributes. *)
+let path k =
+  if k < 1 then invalid_arg "Hypergraph.path";
+  create (k + 1) (List.init k (fun i -> [| i; i + 1 |]))
+
+(* Star: center 0 joined to k leaves by binary edges. *)
+let star k = create (k + 1) (List.init k (fun i -> [| 0; i + 1 |]))
+
+(* All (d-1)-subsets of [0, d): the Loomis-Whitney query, the canonical
+   example where rho* = d/(d-1) is fractional. *)
+let loomis_whitney d =
+  if d < 2 then invalid_arg "Hypergraph.loomis_whitney";
+  let edges = ref [] in
+  Lb_util.Combinat.iter_subsets d (d - 1) (fun s -> edges := Array.copy s :: !edges);
+  create d !edges
+
+(* Clique query: all pairs over k attributes. *)
+let clique_query k =
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      edges := [| i; j |] :: !edges
+    done
+  done;
+  create k !edges
+
+(* Random d-uniform hypergraph where each d-set is an edge with
+   probability p. *)
+let random_uniform rng n d p =
+  let edges = ref [] in
+  Lb_util.Combinat.iter_subsets n d (fun s ->
+      if Lb_util.Prng.bernoulli rng p then edges := Array.copy s :: !edges);
+  create n !edges
+
+let pp fmt t =
+  Format.fprintf fmt "hypergraph(n=%d, edges=[%s])" t.n
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun e ->
+               "{"
+               ^ String.concat ","
+                   (Array.to_list (Array.map string_of_int e))
+               ^ "}")
+             t.edges)))

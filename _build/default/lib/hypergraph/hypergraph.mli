@@ -1,0 +1,50 @@
+(** Hypergraphs on [\[0, n)]: the common structural abstraction of
+    Section 2 - join queries, CSPs and relational structures all project
+    to a hypergraph, and the bounds of Sections 3-7 are functions of
+    it. *)
+
+type t
+
+(** [create n edges] normalizes each edge (sorted, deduplicated) and
+    validates vertex ranges. *)
+val create : int -> int array list -> t
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+
+(** The edges, each sorted ascending.  Callers must not mutate them. *)
+val edges : t -> int array array
+
+(** Maximum edge size. *)
+val arity : t -> int
+
+(** Is every vertex in at least one edge? (Required for finite rho*.) *)
+val covers_all_vertices : t -> bool
+
+(** Primal (Gaifman) graph: vertices adjacent iff they share an edge. *)
+val primal : t -> Lb_graph.Graph.t
+
+val is_uniform : t -> int -> bool
+
+(** The triangle query hypergraph R(a,b), S(b,c), T(a,c). *)
+val triangle : t lazy_t
+
+val cycle : int -> t
+
+(** [k] binary edges over [k+1] vertices. *)
+val path : int -> t
+
+val star : int -> t
+
+(** All [(d-1)]-subsets of [\[0, d)]: the Loomis-Whitney query, with
+    fractional cover number [d/(d-1)]. *)
+val loomis_whitney : int -> t
+
+(** All pairs over [k] vertices: the clique query. *)
+val clique_query : int -> t
+
+(** Each [d]-subset is an edge independently with probability [p]. *)
+val random_uniform : Lb_util.Prng.t -> int -> int -> float -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,221 @@
+(* Two-phase dense tableau simplex.
+
+   This is deliberately a small, robust implementation rather than a
+   high-performance one: the LPs solved in this library are fractional
+   edge covers and fractional vertex packings of query hypergraphs, which
+   have at most a few dozen variables and constraints.
+
+   Problem form: optimize c.x subject to rows (a, rel, b) with
+   rel in {<=, >=, =} and x >= 0.
+
+   Method: make all right-hand sides nonnegative, add slack variables for
+   inequalities and artificial variables where no natural basis column
+   exists; phase 1 minimizes the sum of artificials, phase 2 optimizes the
+   real objective with artificial columns barred from re-entering.
+   Pivoting uses Bland's rule, which precludes cycling at the cost of
+   speed we do not need. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  maximize : bool;
+  objective : float array;
+  rows : (float array * relation * float) list;
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+type tableau = {
+  m : int;
+  ncols : int;
+  a : float array array; (* m rows, each ncols+1 wide; last entry = rhs *)
+  obj : float array; (* ncols+1 wide; obj.(ncols) = -(current objective) *)
+  basis : int array; (* basis.(i) = variable basic in row i *)
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  for j = 0 to t.ncols do
+    arow.(j) <- arow.(j) /. p
+  done;
+  let elim r =
+    let f = r.(col) in
+    if abs_float f > eps then
+      for j = 0 to t.ncols do
+        r.(j) <- r.(j) -. (f *. arow.(j))
+      done
+  in
+  for i = 0 to t.m - 1 do
+    if i <> row then elim t.a.(i)
+  done;
+  elim t.obj;
+  t.basis.(row) <- col
+
+(* Minimization iterations: a column may enter when its reduced cost is
+   negative and [can_enter] allows it.  Bland's rule throughout. *)
+let solve_tableau t ~can_enter =
+  let rec loop () =
+    let enter = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if can_enter j && t.obj.(j) < -.eps then begin
+           enter := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !enter < 0 then `Optimal
+    else begin
+      let col = !enter in
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aic = t.a.(i).(col) in
+        if aic > eps then begin
+          let ratio = t.a.(i).(t.ncols) /. aic in
+          if
+            ratio < !best_ratio -. eps
+            || (abs_float (ratio -. !best_ratio) <= eps
+               && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := i
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Set the objective row to minimize costs [c] (full-width, ncols entries)
+   and price out the current basis so reduced costs are consistent. *)
+let install_objective t c =
+  Array.fill t.obj 0 (t.ncols + 1) 0.0;
+  Array.blit c 0 t.obj 0 t.ncols;
+  for i = 0 to t.m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if abs_float cb > eps then
+      for j = 0 to t.ncols do
+        t.obj.(j) <- t.obj.(j) -. (cb *. t.a.(i).(j))
+      done
+  done
+
+let solve problem =
+  let nvars = Array.length problem.objective in
+  let rows = Array.of_list problem.rows in
+  let m = Array.length rows in
+  Array.iter
+    (fun (a, _, _) ->
+      if Array.length a <> nvars then
+        invalid_arg "Simplex.solve: row width mismatch")
+    rows;
+  let rows =
+    Array.map
+      (fun (a, rel, b) ->
+        if b < 0.0 then
+          let a' = Array.map (fun x -> -.x) a in
+          let rel' = match rel with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (a', rel', -.b)
+        else (Array.copy a, rel, b))
+      rows
+  in
+  let nslack =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let nart =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let ncols = nvars + nslack + nart in
+  let a = Array.make_matrix m (ncols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref nvars in
+  let art_idx = ref (nvars + nslack) in
+  Array.iteri
+    (fun i (coeffs, rel, b) ->
+      Array.blit coeffs 0 a.(i) 0 nvars;
+      a.(i).(ncols) <- b;
+      match rel with
+      | Le ->
+          a.(i).(!slack_idx) <- 1.0;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          a.(i).(!slack_idx) <- -1.0;
+          incr slack_idx;
+          a.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx
+      | Eq ->
+          a.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx)
+    rows;
+  let t = { m; ncols; a; obj = Array.make (ncols + 1) 0.0; basis } in
+  let is_art j = j >= nvars + nslack in
+  (* Phase 1. *)
+  let feasible =
+    if nart = 0 then true
+    else begin
+      let c1 = Array.make ncols 0.0 in
+      for j = nvars + nslack to ncols - 1 do
+        c1.(j) <- 1.0
+      done;
+      install_objective t c1;
+      (match solve_tableau t ~can_enter:(fun _ -> true) with
+      | `Unbounded -> assert false (* bounded below by 0 *)
+      | `Optimal -> ());
+      let value = -.t.obj.(ncols) in
+      value <= 1e-7
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    (* Drive residual artificials out of the basis where possible. *)
+    for i = 0 to t.m - 1 do
+      if is_art t.basis.(i) then begin
+        let col = ref (-1) in
+        (try
+           for j = 0 to nvars + nslack - 1 do
+             if abs_float t.a.(i).(j) > eps then begin
+               col := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !col >= 0 then pivot t ~row:i ~col:!col
+      end
+    done;
+    (* Phase 2: minimize (+/- objective); artificials barred. *)
+    let c2 = Array.make ncols 0.0 in
+    for j = 0 to nvars - 1 do
+      c2.(j) <-
+        (if problem.maximize then -.problem.objective.(j)
+         else problem.objective.(j))
+    done;
+    install_objective t c2;
+    match solve_tableau t ~can_enter:(fun j -> not (is_art j)) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let x = Array.make nvars 0.0 in
+        for i = 0 to t.m - 1 do
+          if t.basis.(i) < nvars then x.(t.basis.(i)) <- t.a.(i).(ncols)
+        done;
+        let minimized = -.t.obj.(ncols) in
+        let value = if problem.maximize then -.minimized else minimized in
+        Optimal { value; solution = x }
+  end

@@ -1,0 +1,24 @@
+(** A small, robust two-phase dense simplex solver.
+
+    Intended for the tiny linear programs arising from query hypergraphs
+    (fractional edge covers and their duals): tens of variables, tens of
+    constraints.  All variables are implicitly constrained to be
+    nonnegative. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  maximize : bool;  (** [true] to maximize the objective, [false] to minimize *)
+  objective : float array;  (** objective coefficients, one per variable *)
+  rows : (float array * relation * float) list;
+      (** constraints [(a, rel, b)] meaning [a . x rel b]; each [a] must
+          have the same length as [objective] *)
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(** Solve the problem. Raises [Invalid_argument] on malformed rows. *)
+val solve : problem -> outcome

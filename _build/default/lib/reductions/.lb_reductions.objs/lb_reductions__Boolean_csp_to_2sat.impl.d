@@ -1,0 +1,1 @@
+lib/reductions/boolean_csp_to_2sat.ml: Array Lb_csp Lb_sat List

@@ -1,0 +1,1 @@
+lib/reductions/boolean_csp_to_2sat.mli: Lb_csp Lb_sat

@@ -1,0 +1,1 @@
+lib/reductions/clique_to_csp.ml: Array Lb_csp Lb_graph List

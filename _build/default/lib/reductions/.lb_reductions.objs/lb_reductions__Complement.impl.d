@@ -1,0 +1,1 @@
+lib/reductions/complement.ml: Array Fun Lb_graph Lb_util List

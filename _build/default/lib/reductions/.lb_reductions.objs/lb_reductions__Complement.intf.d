@@ -1,0 +1,1 @@
+lib/reductions/complement.mli: Lb_graph

@@ -1,0 +1,1 @@
+lib/reductions/domset_to_csp.ml: Array Lb_csp Lb_graph Lb_util List

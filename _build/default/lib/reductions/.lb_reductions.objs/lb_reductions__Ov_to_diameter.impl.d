@@ -1,0 +1,1 @@
+lib/reductions/ov_to_diameter.ml: Array Lb_finegrained Lb_graph

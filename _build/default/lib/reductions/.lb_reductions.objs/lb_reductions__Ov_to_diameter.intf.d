@@ -1,0 +1,1 @@
+lib/reductions/ov_to_diameter.mli: Lb_finegrained Lb_graph

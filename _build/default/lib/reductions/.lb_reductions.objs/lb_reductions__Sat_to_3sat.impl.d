@@ -1,0 +1,1 @@
+lib/reductions/sat_to_3sat.ml: Array Lb_sat List

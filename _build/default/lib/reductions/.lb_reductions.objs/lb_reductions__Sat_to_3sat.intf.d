@@ -1,0 +1,1 @@
+lib/reductions/sat_to_3sat.mli: Lb_sat

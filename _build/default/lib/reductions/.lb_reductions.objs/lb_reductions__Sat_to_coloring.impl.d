@@ -1,0 +1,1 @@
+lib/reductions/sat_to_coloring.ml: Array Lb_graph Lb_sat List

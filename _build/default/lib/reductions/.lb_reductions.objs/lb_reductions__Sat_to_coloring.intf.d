@@ -1,0 +1,1 @@
+lib/reductions/sat_to_coloring.mli: Lb_graph Lb_sat

@@ -1,0 +1,1 @@
+lib/reductions/sat_to_csp.ml: Array Hashtbl Lb_csp Lb_sat Lb_util List

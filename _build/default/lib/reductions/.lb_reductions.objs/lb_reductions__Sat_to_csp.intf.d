@@ -1,0 +1,1 @@
+lib/reductions/sat_to_csp.mli: Lb_csp Lb_sat

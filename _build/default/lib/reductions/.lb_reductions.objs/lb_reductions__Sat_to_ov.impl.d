@@ -1,0 +1,1 @@
+lib/reductions/sat_to_ov.ml: Array Lb_sat

@@ -1,0 +1,1 @@
+lib/reductions/sat_to_ov.mli: Lb_sat

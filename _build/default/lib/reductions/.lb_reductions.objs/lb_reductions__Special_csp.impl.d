@@ -1,0 +1,1 @@
+lib/reductions/special_csp.ml: Array Hashtbl Lb_csp Lb_graph Lb_util List

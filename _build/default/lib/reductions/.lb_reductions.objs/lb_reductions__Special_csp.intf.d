@@ -1,0 +1,1 @@
+lib/reductions/special_csp.mli: Lb_csp Lb_graph

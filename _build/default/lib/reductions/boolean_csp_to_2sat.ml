@@ -1,0 +1,91 @@
+(* Section 4's sentence made executable: "with |D| = 2 and binary
+   constraints the problem becomes the polynomial-time solvable 2SAT".
+
+   Every binary Boolean relation is a conjunction of 2-clauses: for each
+   forbidden value pair (a, b) of a constraint on (x, y), emit the clause
+   (x != a or y != b).  Unary constraints become unit clauses; variables
+   with repeated scopes reduce to unary ones. *)
+
+module Cnf = Lb_sat.Cnf
+module Csp = Lb_csp.Csp
+
+let to_2sat (csp : Csp.t) =
+  if Csp.domain_size csp <> 2 then
+    invalid_arg "Boolean_csp_to_2sat: domain must be {0,1}";
+  if Csp.max_arity csp > 2 then
+    invalid_arg "Boolean_csp_to_2sat: constraints must be at most binary";
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  List.iter
+    (fun (c : Csp.constraint_) ->
+      match Array.length c.scope with
+      | 0 -> if c.allowed = [] then emit [||] (* unsatisfiable marker *)
+      | 1 ->
+          let x = c.scope.(0) in
+          let allows v = List.exists (fun t -> t.(0) = v) c.allowed in
+          (match (allows 0, allows 1) with
+          | true, true -> ()
+          | true, false -> emit [| Cnf.lit ~positive:false x |]
+          | false, true -> emit [| Cnf.lit ~positive:true x |]
+          | false, false ->
+              (* unsatisfiable: x and not x *)
+              emit [| Cnf.lit ~positive:true x |];
+              emit [| Cnf.lit ~positive:false x |])
+      | 2 ->
+          let x = c.scope.(0) and y = c.scope.(1) in
+          if x = y then begin
+            (* diagonal constraint: value v allowed iff (v,v) allowed *)
+            let allows v = List.exists (fun t -> t.(0) = v && t.(1) = v) c.allowed in
+            (match (allows 0, allows 1) with
+            | true, true -> ()
+            | true, false -> emit [| Cnf.lit ~positive:false x |]
+            | false, true -> emit [| Cnf.lit ~positive:true x |]
+            | false, false ->
+                emit [| Cnf.lit ~positive:true x |];
+                emit [| Cnf.lit ~positive:false x |])
+          end
+          else
+            for a = 0 to 1 do
+              for b = 0 to 1 do
+                let allowed =
+                  List.exists (fun t -> t.(0) = a && t.(1) = b) c.allowed
+                in
+                if not allowed then
+                  (* forbid (a, b): x != a or y != b *)
+                  emit
+                    [|
+                      Cnf.lit ~positive:(a = 0) x; Cnf.lit ~positive:(b = 0) y;
+                    |]
+              done
+            done
+      | _ -> assert false)
+    (Csp.constraints csp);
+  (* an empty clause means outright unsatisfiable; 2SAT clauses cannot
+     be empty, so encode it as (x0 and not x0) when variables exist, and
+     report via option otherwise *)
+  let has_empty = List.exists (fun c -> Array.length c = 0) !clauses in
+  let clauses = List.filter (fun c -> Array.length c > 0) !clauses in
+  if has_empty then
+    if Csp.nvars csp = 0 then None
+    else
+      Some
+        (Cnf.make (Csp.nvars csp)
+           ([| Cnf.lit ~positive:true 0 |]
+            :: [| Cnf.lit ~positive:false 0 |]
+            :: clauses))
+  else Some (Cnf.make (Csp.nvars csp) clauses)
+
+(* Solve a binary Boolean CSP through 2SAT: the polynomial route of
+   Section 4. *)
+let solve (csp : Csp.t) =
+  match to_2sat csp with
+  | None -> None
+  | Some f -> (
+      match Lb_sat.Two_sat.solve f with
+      | Some a -> Some (Array.map (fun b -> if b then 1 else 0) a)
+      | None -> None)
+
+let preserves (csp : Csp.t) =
+  match solve csp with
+  | Some a -> Csp.satisfies csp a
+  | None -> Lb_csp.Solver.solve csp = None

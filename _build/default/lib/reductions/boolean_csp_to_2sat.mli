@@ -1,0 +1,14 @@
+(** Section 4's observation made executable: binary CSP over a 2-element
+    domain *is* 2SAT.  Every binary Boolean relation is the conjunction
+    of the (at most four) 2-clauses forbidding its non-tuples. *)
+
+(** The equivalent 2-CNF; [None] only for the trivially-unsatisfiable
+    zero-variable instance.  Raises on non-Boolean domains or arity
+    > 2. *)
+val to_2sat : Lb_csp.Csp.t -> Lb_sat.Cnf.t option
+
+(** Solve through the linear-time 2SAT algorithm - the polynomial route
+    of Section 4. *)
+val solve : Lb_csp.Csp.t -> int array option
+
+val preserves : Lb_csp.Csp.t -> bool

@@ -1,0 +1,38 @@
+(* k-Clique as a binary CSP with k variables (Section 5 / Theorem 6.4):
+   domain = V(G); for every variable pair, allow exactly the ordered
+   pairs of distinct adjacent vertices.  A solution is an injective map
+   onto a clique, so this is also the parameterized reduction showing
+   that CSP parameterized by |V| is W[1]-hard. *)
+
+module Csp = Lb_csp.Csp
+module Graph = Lb_graph.Graph
+
+let to_csp g k =
+  let n = Graph.vertex_count g in
+  let adjacent_pairs =
+    let acc = ref [] in
+    Graph.iter_edges
+      (fun u v ->
+        acc := [| u; v |] :: [| v; u |] :: !acc)
+      g;
+    !acc
+  in
+  let constraints = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      constraints := { Csp.scope = [| i; j |]; allowed = adjacent_pairs } :: !constraints
+    done
+  done;
+  Csp.create ~nvars:k ~domain_size:(max n 1) !constraints
+
+(* CSP solution -> clique vertex set. *)
+let clique_back sol = Array.copy sol
+
+let preserves g k =
+  let csp = to_csp g k in
+  match Lb_csp.Solver.solve csp with
+  | Some sol ->
+      let vs = clique_back sol in
+      Array.length (Array.of_list (List.sort_uniq compare (Array.to_list vs))) = k
+      && Graph.is_clique g vs
+  | None -> Lb_graph.Clique.find_bruteforce g k = None

@@ -1,0 +1,10 @@
+(** k-Clique as a binary CSP with k variables and domain V(G)
+    (Section 5 / Theorem 6.4): the parameterized reduction showing CSP
+    parameterized by |V| is W[1]-hard. *)
+
+val to_csp : Lb_graph.Graph.t -> int -> Lb_csp.Csp.t
+
+(** CSP solution -> clique vertex set. *)
+val clique_back : int array -> int array
+
+val preserves : Lb_graph.Graph.t -> int -> bool

@@ -1,0 +1,24 @@
+(** Section 5's complement equivalences: Clique <-> Independent Set
+    (complement the graph, k -> k) and Independent Set <-> Vertex Cover
+    (complement the set, k -> n - k).  The parameter maps explain why
+    Vertex Cover's FPT status does not transfer to Clique. *)
+
+val is_independent_set : Lb_graph.Graph.t -> int array -> bool
+
+(** The complement graph: cliques become independent sets. *)
+val clique_to_independent_set : Lb_graph.Graph.t -> Lb_graph.Graph.t
+
+(** V minus a vertex cover is an independent set. *)
+val independent_set_of_cover : Lb_graph.Graph.t -> int array -> int array
+
+(** V minus an independent set is a vertex cover. *)
+val cover_of_independent_set : Lb_graph.Graph.t -> int array -> int array
+
+(** Maximum independent set via max clique on the complement. *)
+val max_independent_set : Lb_graph.Graph.t -> int array
+
+val find_independent_set : Lb_graph.Graph.t -> int -> int array option
+
+val preserves_clique_is : Lb_graph.Graph.t -> int -> bool
+
+val preserves_is_vc : Lb_graph.Graph.t -> bool

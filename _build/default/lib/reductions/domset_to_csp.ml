@@ -1,0 +1,92 @@
+(* The Dominating Set -> bounded-treewidth CSP reduction from the proof
+   of Theorem 7.2, including the variable-grouping / domain-powering
+   trick.
+
+   Base construction (g = 1): variables s_1..s_t (values in V(G)) and
+   x_1..x_n (values in [t]); for every i,j a constraint on (s_i, x_j)
+   allowing (a, b) whenever b <> i, or b = i and a is in N[j].  A
+   solution makes {s_1..s_t} a dominating set (vertex j is dominated by
+   the slot x_j points at); the primal graph is K_{t,n}, of treewidth at
+   most t.
+
+   Grouping (g > 1, t = g*k): the s-variables are packed into k
+   super-variables over domain V(G)^g (encoded in base n), giving primal
+   graph K_{k,n} and treewidth at most k while the domain becomes n^g -
+   exactly the trade the proof of Theorem 7.2 exploits. *)
+
+module Csp = Lb_csp.Csp
+module Graph = Lb_graph.Graph
+module Bitset = Lb_util.Bitset
+
+type layout = {
+  csp : Csp.t;
+  n : int; (* |V(G)| *)
+  t : int; (* target dominating set size *)
+  g : int; (* group size; k = t / g super-variables *)
+}
+
+let reduce graph ~t ~g =
+  if t <= 0 || g <= 0 || t mod g <> 0 then
+    invalid_arg "Domset_to_csp.reduce: need g | t";
+  let n = Graph.vertex_count graph in
+  if n = 0 then invalid_arg "Domset_to_csp.reduce: empty graph";
+  let k = t / g in
+  let ng = Lb_util.Combinat.power n g in
+  let domain_size = max ng t in
+  (* variables: 0..k-1 super s-variables; k..k+n-1 the x_j *)
+  let nbhd = Array.init n (fun v -> Graph.closed_neighborhood graph v) in
+  let constraints = ref [] in
+  (* x_j must take a value in [t) *)
+  for j = 0 to n - 1 do
+    let allowed = List.init t (fun b -> [| b |]) in
+    constraints := { Csp.scope = [| k + j |]; allowed } :: !constraints
+  done;
+  (* super-variable value A encodes (A_0, ..., A_{g-1}) in base n; the
+     slot index i = gi * g + r is in super-variable gi at position r *)
+  let component a r =
+    let rec go a r = if r = 0 then a mod n else go (a / n) (r - 1) in
+    go a r
+  in
+  for gi = 0 to k - 1 do
+    for j = 0 to n - 1 do
+      (* constraint on (S_gi, x_j): for each encoded tuple A in [n^g] and
+         each b in [t]: allowed unless b points into this group at slot
+         (gi, r) and the slot's vertex does not dominate j *)
+      let allowed = ref [] in
+      for a = 0 to ng - 1 do
+        for b = 0 to t - 1 do
+          let ok =
+            if b / g <> gi then true
+            else begin
+              let r = b mod g in
+              Bitset.mem nbhd.(j) (component a r)
+            end
+          in
+          if ok then allowed := [| a; b |] :: !allowed
+        done
+      done;
+      constraints := { Csp.scope = [| gi; k + j |]; allowed = !allowed } :: !constraints
+    done
+  done;
+  let csp = Csp.create ~nvars:(k + n) ~domain_size !constraints in
+  { csp; n; t; g }
+
+(* Decode a solution into the chosen dominating vertices. *)
+let dominating_set_back layout sol =
+  let k = layout.t / layout.g in
+  let acc = ref [] in
+  for gi = 0 to k - 1 do
+    let a = ref sol.(gi) in
+    for _ = 1 to layout.g do
+      acc := (!a mod layout.n) :: !acc;
+      a := !a / layout.n
+    done
+  done;
+  Array.of_list (List.sort_uniq compare !acc)
+
+let preserves graph ~t ~g =
+  let layout = reduce graph ~t ~g in
+  match Lb_csp.Solver.solve layout.csp with
+  | Some sol ->
+      Lb_graph.Dominating_set.is_dominating graph (dominating_set_back layout sol)
+  | None -> Lb_graph.Dominating_set.solve_bruteforce graph t = None

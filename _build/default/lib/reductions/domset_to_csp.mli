@@ -1,0 +1,21 @@
+(** The Dominating Set -> bounded-treewidth CSP reduction from the proof
+    of Theorem 7.2, including the variable-grouping / domain-powering
+    trick: slot variables s_1..s_t packed into t/g super-variables over
+    domain |V(G)|^g, giving primal treewidth t/g - the trade that turns
+    a D^{tw - eps} CSP algorithm into an n^{k - eps} Dominating Set
+    algorithm and so refutes SETH. *)
+
+type layout = {
+  csp : Lb_csp.Csp.t;
+  n : int;  (** |V(G)| *)
+  t : int;  (** target dominating set size *)
+  g : int;  (** group size; t/g super-variables *)
+}
+
+(** Raises unless [g] divides [t] and the graph is nonempty. *)
+val reduce : Lb_graph.Graph.t -> t:int -> g:int -> layout
+
+(** Decode a CSP solution into the chosen dominating vertices. *)
+val dominating_set_back : layout -> int array -> int array
+
+val preserves : Lb_graph.Graph.t -> t:int -> g:int -> bool

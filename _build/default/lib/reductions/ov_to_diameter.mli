@@ -1,0 +1,16 @@
+(** Orthogonal Vectors -> Diameter 2 vs 3 (Roditty-Vassilevska
+    Williams): the reduction behind the SETH-hardness of exact diameter
+    cited in the paper's Section 7 canon.  The output graph has diameter
+    3 iff the OV instance has an orthogonal pair, 2 otherwise. *)
+
+type layout = { graph : Lb_graph.Graph.t; n_left : int; n_right : int; dim : int }
+
+exception Trivial_yes
+(** Raised on all-zero vectors (orthogonal to everything). *)
+
+val reduce : Lb_finegrained.Ov.instance -> layout
+
+(** Decide OV by computing the diameter of the reduction's output. *)
+val solve_via_diameter : Lb_finegrained.Ov.instance -> bool
+
+val preserves : Lb_finegrained.Ov.instance -> bool

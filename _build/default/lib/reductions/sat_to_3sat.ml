@@ -1,0 +1,52 @@
+(* Clause splitting: k-SAT -> 3SAT with fresh chain variables.
+
+   The classic reduction behind "3SAT is the canonical hard problem" in
+   Hypotheses 1-2: a clause (l1 or ... or lk) with k > 3 becomes
+   (l1 or l2 or y1), (~y1 or l3 or y2), ..., (~y_{k-3} or l_{k-1} or lk).
+   The output has at most n + m*k variables and m*k clauses - linear in
+   the input size, so 2^{o(size)} lower bounds transfer. *)
+
+module Cnf = Lb_sat.Cnf
+
+type layout = {
+  formula : Cnf.t;
+  original_nvars : int; (* the first variables are the original ones *)
+}
+
+let reduce (f : Cnf.t) =
+  let next_fresh = ref (Cnf.nvars f) in
+  let fresh () =
+    let v = !next_fresh in
+    incr next_fresh;
+    v
+  in
+  let split clause =
+    let lits = Array.to_list clause in
+    match lits with
+    | [] -> invalid_arg "Sat_to_3sat.reduce: empty clause"
+    | _ when List.length lits <= 3 -> [ clause ]
+    | l1 :: l2 :: rest ->
+        (* rest has >= 2 literals *)
+        let rec chain prev_y = function
+          | [ a; b ] -> [ [| Cnf.lit ~positive:false prev_y; a; b |] ]
+          | a :: tl ->
+              let y = fresh () in
+              [| Cnf.lit ~positive:false prev_y; a; Cnf.lit ~positive:true y |]
+              :: chain y tl
+          | [] -> assert false
+        in
+        let y1 = fresh () in
+        [| l1; l2; Cnf.lit ~positive:true y1 |] :: chain y1 rest
+    | _ -> assert false
+  in
+  let clauses = List.concat_map split (Cnf.clauses f) in
+  { formula = Cnf.make !next_fresh clauses; original_nvars = Cnf.nvars f }
+
+(* 3SAT assignment -> original assignment (drop the chain variables). *)
+let assignment_back layout a = Array.sub a 0 layout.original_nvars
+
+let preserves f =
+  let layout = reduce f in
+  match Lb_sat.Dpll.solve layout.formula with
+  | Some a -> Cnf.satisfies f (assignment_back layout a)
+  | None -> Lb_sat.Dpll.solve f = None

@@ -1,0 +1,16 @@
+(** Clause splitting: k-SAT -> 3SAT with fresh chain variables - the
+    classic reduction behind 3SAT's role in Hypotheses 1-2.  Output size
+    is linear in the input, so 2^{o(size)} lower bounds transfer. *)
+
+type layout = {
+  formula : Lb_sat.Cnf.t;
+  original_nvars : int;  (** the first variables are the original ones *)
+}
+
+(** Raises on empty clauses. *)
+val reduce : Lb_sat.Cnf.t -> layout
+
+(** Drop the chain variables. *)
+val assignment_back : layout -> bool array -> bool array
+
+val preserves : Lb_sat.Cnf.t -> bool

@@ -1,0 +1,100 @@
+(* The textbook 3SAT -> 3-Coloring reduction behind Corollary 6.2.
+
+   The output graph has O(n + m) vertices and edges - the linearity that,
+   combined with the Sparsification Lemma, transfers the 2^{o(n+m)} lower
+   bound to binary CSP over a 3-element domain.
+
+   Construction:
+   - a base triangle {T, F, B} fixing the palette;
+   - per variable x, a triangle {p_x, n_x, B}: p_x, n_x take colors
+     {color(T), color(F)} in opposite ways - p_x's color is x's truth
+     value;
+   - per clause, two chained OR-gadgets.  The gadget or(u, v) -> w is a
+     fresh triangle {a, b, w} with edges a-u and b-v: w can receive
+     color(T) iff u or v has color(T).  The final output is wired to F
+     and B, forcing it to color(T). *)
+
+module Graph = Lb_graph.Graph
+module Cnf = Lb_sat.Cnf
+
+type layout = {
+  graph : Graph.t;
+  t_vertex : int;
+  f_vertex : int;
+  b_vertex : int;
+  pos_vertex : int array; (* p_x per variable *)
+  neg_vertex : int array; (* n_x per variable *)
+}
+
+let reduce (f : Cnf.t) =
+  let n = Cnf.nvars f in
+  let clauses = Cnf.clauses f in
+  let m = List.length clauses in
+  (* vertex budget: 3 base + 2n literal + per clause 2 gadgets x 3 fresh *)
+  let total = 3 + (2 * n) + (6 * m) in
+  let g = Graph.create total in
+  let t_vertex = 0 and f_vertex = 1 and b_vertex = 2 in
+  Graph.add_edge g t_vertex f_vertex;
+  Graph.add_edge g t_vertex b_vertex;
+  Graph.add_edge g f_vertex b_vertex;
+  let pos_vertex = Array.init n (fun x -> 3 + (2 * x)) in
+  let neg_vertex = Array.init n (fun x -> 3 + (2 * x) + 1) in
+  for x = 0 to n - 1 do
+    Graph.add_edge g pos_vertex.(x) neg_vertex.(x);
+    Graph.add_edge g pos_vertex.(x) b_vertex;
+    Graph.add_edge g neg_vertex.(x) b_vertex
+  done;
+  let fresh = ref (3 + (2 * n)) in
+  let next () =
+    let v = !fresh in
+    incr fresh;
+    v
+  in
+  let or_gadget u v =
+    let a = next () and b = next () and w = next () in
+    Graph.add_edge g a b;
+    Graph.add_edge g a w;
+    Graph.add_edge g b w;
+    Graph.add_edge g a u;
+    Graph.add_edge g b v;
+    w
+  in
+  let lit_vertex l =
+    let x = Cnf.var_of_lit l in
+    if Cnf.lit_is_pos l then pos_vertex.(x) else neg_vertex.(x)
+  in
+  List.iter
+    (fun clause ->
+      match Array.to_list clause with
+      | [] -> invalid_arg "Sat_to_coloring.reduce: empty clause"
+      | [ l ] ->
+          (* pad: or(l, l) twice to keep the vertex budget uniform *)
+          let w1 = or_gadget (lit_vertex l) (lit_vertex l) in
+          let w2 = or_gadget w1 w1 in
+          Graph.add_edge g w2 f_vertex;
+          Graph.add_edge g w2 b_vertex
+      | [ l1; l2 ] ->
+          let w1 = or_gadget (lit_vertex l1) (lit_vertex l2) in
+          let w2 = or_gadget w1 w1 in
+          Graph.add_edge g w2 f_vertex;
+          Graph.add_edge g w2 b_vertex
+      | [ l1; l2; l3 ] ->
+          let w1 = or_gadget (lit_vertex l1) (lit_vertex l2) in
+          let w2 = or_gadget w1 (lit_vertex l3) in
+          Graph.add_edge g w2 f_vertex;
+          Graph.add_edge g w2 b_vertex
+      | _ -> invalid_arg "Sat_to_coloring.reduce: clause wider than 3")
+    clauses;
+  { graph = g; t_vertex; f_vertex; b_vertex; pos_vertex; neg_vertex }
+
+(* Decode a proper 3-coloring into a satisfying assignment: variable x is
+   true iff p_x has T's color. *)
+let assignment_back layout colors =
+  let tc = colors.(layout.t_vertex) in
+  Array.map (fun p -> colors.(p) = tc) layout.pos_vertex
+
+let preserves f =
+  let layout = reduce f in
+  match Lb_graph.Coloring.color layout.graph 3 with
+  | Some colors -> Cnf.satisfies f (assignment_back layout colors)
+  | None -> Lb_sat.Dpll.solve f = None

@@ -1,0 +1,21 @@
+(** The textbook 3SAT -> 3-Coloring reduction behind Corollary 6.2: a
+    base palette triangle, a literal triangle per variable, and two
+    chained OR-gadgets per clause - exactly 3 + 2n + 6m vertices, the
+    linearity the Sparsification Lemma argument needs. *)
+
+type layout = {
+  graph : Lb_graph.Graph.t;
+  t_vertex : int;
+  f_vertex : int;
+  b_vertex : int;
+  pos_vertex : int array;  (** p_x per variable *)
+  neg_vertex : int array;  (** n_x per variable *)
+}
+
+(** Raises on clauses wider than 3 or empty. *)
+val reduce : Lb_sat.Cnf.t -> layout
+
+(** Decode a proper 3-coloring: x is true iff p_x has T's color. *)
+val assignment_back : layout -> int array -> bool array
+
+val preserves : Lb_sat.Cnf.t -> bool

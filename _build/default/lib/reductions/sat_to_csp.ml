@@ -1,0 +1,48 @@
+(* 3SAT (or k-SAT) as a CSP with |D| = 2 and arity <= k constraints: the
+   translation behind Corollary 6.1.  One constraint per clause, over the
+   clause's distinct variables, allowing exactly the satisfying value
+   tuples. *)
+
+module Csp = Lb_csp.Csp
+
+let to_csp (f : Lb_sat.Cnf.t) =
+  let constraints =
+    List.map
+      (fun clause ->
+        let vars =
+          Array.to_list clause
+          |> List.map Lb_sat.Cnf.var_of_lit
+          |> List.sort_uniq compare
+        in
+        let scope = Array.of_list vars in
+        let k = Array.length scope in
+        let pos_of =
+          let tbl = Hashtbl.create 8 in
+          Array.iteri (fun i v -> Hashtbl.replace tbl v i) scope;
+          fun v -> Hashtbl.find tbl v
+        in
+        let allowed = ref [] in
+        Lb_util.Combinat.iter_tuples 2 k (fun tup ->
+            let sat =
+              Array.exists
+                (fun l ->
+                  let v = Lb_sat.Cnf.var_of_lit l in
+                  let value = tup.(pos_of v) = 1 in
+                  if Lb_sat.Cnf.lit_is_pos l then value else not value)
+                clause
+            in
+            if sat then allowed := Array.copy tup :: !allowed);
+        { Csp.scope; allowed = !allowed })
+      (Lb_sat.Cnf.clauses f)
+  in
+  Lb_csp.Csp.create ~nvars:(Lb_sat.Cnf.nvars f) ~domain_size:2 constraints
+
+(* CSP solution -> SAT assignment. *)
+let assignment_back sol = Array.map (fun d -> d = 1) sol
+
+(* Solution-preservation check used by tests. *)
+let preserves f =
+  let csp = to_csp f in
+  match Lb_csp.Solver.solve csp with
+  | Some sol -> Lb_sat.Cnf.satisfies f (assignment_back sol)
+  | None -> Lb_sat.Dpll.solve f = None

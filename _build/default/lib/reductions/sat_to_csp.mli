@@ -1,0 +1,10 @@
+(** 3SAT (k-SAT) as a CSP with |D| = 2 and arity <= k (Corollary 6.1):
+    one constraint per clause, allowing exactly its satisfying tuples. *)
+
+val to_csp : Lb_sat.Cnf.t -> Lb_csp.Csp.t
+
+(** CSP solution -> SAT assignment. *)
+val assignment_back : int array -> bool array
+
+(** Yes/no preservation + witness decoding check (tests). *)
+val preserves : Lb_sat.Cnf.t -> bool

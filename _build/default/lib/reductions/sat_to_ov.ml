@@ -1,0 +1,81 @@
+(* The standard SETH split: CNF-SAT -> Orthogonal Vectors (Section 7's
+   fine-grained toolbox).
+
+   Split the n variables into halves.  For each of the 2^{n/2}
+   assignments of a half, build a 0/1 vector with one coordinate per
+   clause: 1 iff the half-assignment does NOT satisfy the clause.  Two
+   vectors (one per side) are orthogonal iff every clause is satisfied by
+   one of the halves, i.e. iff the combined assignment satisfies the
+   formula.  An O(N^{2-eps}) OV algorithm would therefore give a
+   (2-eps')^n SAT algorithm, contradicting SETH. *)
+
+module Cnf = Lb_sat.Cnf
+
+type instance = {
+  left : bool array array; (* 2^{n_left} vectors of dimension m *)
+  right : bool array array;
+  dim : int;
+}
+
+let reduce (f : Cnf.t) =
+  let n = Cnf.nvars f in
+  let clauses = Array.of_list (Cnf.clauses f) in
+  let m = Array.length clauses in
+  let n_left = n / 2 in
+  let n_right = n - n_left in
+  (* vector for assignment [a] of variables [base, base+cnt) *)
+  let vector base cnt a =
+    Array.map
+      (fun clause ->
+        let satisfied =
+          Array.exists
+            (fun l ->
+              let v = Cnf.var_of_lit l in
+              v >= base && v < base + cnt
+              &&
+              let value = (a lsr (v - base)) land 1 = 1 in
+              if Cnf.lit_is_pos l then value else not value)
+            clause
+        in
+        not satisfied)
+      clauses
+  in
+  let side base cnt =
+    Array.init (1 lsl cnt) (fun a -> vector base cnt a)
+  in
+  { left = side 0 n_left; right = side n_left n_right; dim = m }
+
+let orthogonal a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x && b.(i) then ok := false) a;
+  !ok
+
+(* Solve the produced OV instance (quadratic scan) and decode: indices
+   (i, j) encode the two half-assignments. *)
+let solve_ov inst =
+  let res = ref None in
+  (try
+     Array.iteri
+       (fun i a ->
+         Array.iteri
+           (fun j b ->
+             if !res = None && orthogonal a b then begin
+               res := Some (i, j);
+               raise Exit
+             end)
+           inst.right)
+       inst.left
+   with Exit -> ());
+  !res
+
+let assignment_back (f : Cnf.t) (i, j) =
+  let n = Cnf.nvars f in
+  let n_left = n / 2 in
+  Array.init n (fun v ->
+      if v < n_left then (i lsr v) land 1 = 1 else (j lsr (v - n_left)) land 1 = 1)
+
+let preserves f =
+  let inst = reduce f in
+  match solve_ov inst with
+  | Some pair -> Cnf.satisfies f (assignment_back f pair)
+  | None -> Lb_sat.Dpll.solve f = None

@@ -1,0 +1,21 @@
+(** The standard SETH split: CNF-SAT -> Orthogonal Vectors (Section 7).
+    Each half-assignment becomes a 0/1 vector over the clauses (1 =
+    clause not yet satisfied); an orthogonal pair = a satisfying
+    assignment, so an O(N^{2-eps}) OV algorithm would refute SETH. *)
+
+type instance = {
+  left : bool array array;  (** 2^{n/2} vectors, one per half-assignment *)
+  right : bool array array;
+  dim : int;  (** = number of clauses *)
+}
+
+val reduce : Lb_sat.Cnf.t -> instance
+
+val orthogonal : bool array -> bool array -> bool
+
+(** Quadratic scan; witness indices encode the half-assignments. *)
+val solve_ov : instance -> (int * int) option
+
+val assignment_back : Lb_sat.Cnf.t -> int * int -> bool array
+
+val preserves : Lb_sat.Cnf.t -> bool

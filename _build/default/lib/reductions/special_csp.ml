@@ -1,0 +1,108 @@
+(* Special CSP (Definition 4.3) and the W[1]-hardness reduction from
+   Clique (Section 5), plus the quasipolynomial solver that makes the
+   "NP-intermediate" discussion concrete.
+
+   A special graph is a k-clique plus a disjoint path on 2^k vertices.
+   [clique_to_special_csp] embeds a k-Clique question into a Special CSP
+   instance on k + 2^k variables, exactly as in the paper: the clique
+   part carries the Clique constraints, the path part carries trivial
+   (always-satisfied) constraints whose only role is to realize the
+   primal path.
+
+   [solve] is the n^{O(log |V|)} algorithm sketched in Section 4: the
+   path component falls to linear dynamic programming and the clique
+   component to brute force over |D|^k assignments with k <= log2(path
+   length); experiment E5 measures exactly this quasipolynomial
+   scaling. *)
+
+module Csp = Lb_csp.Csp
+module Graph = Lb_graph.Graph
+
+let clique_to_special_csp g k =
+  let n = Graph.vertex_count g in
+  let domain_size = max n 1 in
+  let path_len = Lb_util.Combinat.power 2 k in
+  (* variables: 0..k-1 clique part, k..k+path_len-1 path part *)
+  let adjacent_pairs =
+    let acc = ref [] in
+    Graph.iter_edges (fun u v -> acc := [| u; v |] :: [| v; u |] :: !acc) g;
+    !acc
+  in
+  let all_pairs =
+    let acc = ref [] in
+    for a = 0 to domain_size - 1 do
+      for b = 0 to domain_size - 1 do
+        acc := [| a; b |] :: !acc
+      done
+    done;
+    !acc
+  in
+  let constraints = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      constraints := { Csp.scope = [| i; j |]; allowed = adjacent_pairs } :: !constraints
+    done
+  done;
+  for p = 0 to path_len - 2 do
+    constraints :=
+      { Csp.scope = [| k + p; k + p + 1 |]; allowed = all_pairs } :: !constraints
+  done;
+  Csp.create ~nvars:(k + path_len) ~domain_size !constraints
+
+(* Extract the clique part of a Special-CSP solution produced by the
+   reduction. *)
+let clique_back k sol = Array.sub sol 0 k
+
+(* Is the primal graph of this CSP special?  Returns the (clique
+   vertices, path vertices) partition if so. *)
+let recognize (csp : Csp.t) =
+  Lb_graph.Generators.recognize_special (Csp.primal_graph csp)
+
+exception Not_special
+
+(* Restrict a CSP to a variable subset (constraints entirely inside). *)
+let restrict (csp : Csp.t) vars =
+  let sorted = Array.copy vars in
+  Array.sort compare sorted;
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) sorted;
+  let constraints =
+    List.filter_map
+      (fun (c : Csp.constraint_) ->
+        if Array.for_all (Hashtbl.mem index) c.scope then
+          Some { c with Csp.scope = Array.map (Hashtbl.find index) c.scope }
+        else None)
+      (Csp.constraints csp)
+  in
+  ( Csp.create ~nvars:(Array.length sorted) ~domain_size:(Csp.domain_size csp)
+      constraints,
+    sorted )
+
+(* Solve a CSP whose primal graph is special: brute force on the clique
+   component (|D|^k), Freuder's width-1 DP on the path component.
+   Raises [Not_special] otherwise. *)
+let solve (csp : Csp.t) =
+  match recognize csp with
+  | None -> raise Not_special
+  | Some (clique_vs, path_vs) -> (
+      let clique_csp, clique_map = restrict csp clique_vs in
+      let path_csp, path_map = restrict csp path_vs in
+      match Csp.solve_bruteforce clique_csp with
+      | None -> None
+      | Some csol -> (
+          match Lb_csp.Freuder.solve path_csp with
+          | None -> None
+          | Some psol ->
+              let solution = Array.make (Csp.nvars csp) 0 in
+              Array.iteri (fun i v -> solution.(v) <- csol.(i)) clique_map;
+              Array.iteri (fun i v -> solution.(v) <- psol.(i)) path_map;
+              Some solution))
+
+let preserves g k =
+  let csp = clique_to_special_csp g k in
+  match solve csp with
+  | Some sol ->
+      let vs = clique_back k sol in
+      List.length (List.sort_uniq compare (Array.to_list vs)) = k
+      && Graph.is_clique g vs
+  | None -> Lb_graph.Clique.find_bruteforce g k = None

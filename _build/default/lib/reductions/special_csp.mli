@@ -1,0 +1,29 @@
+(** Special CSP (Definition 4.3): instances whose primal graph is a
+    k-clique plus a disjoint 2^k-vertex path - the paper's concrete
+    NP-intermediate candidate, with its W[1]-hardness reduction from
+    Clique and its n^{O(log n)} solver. *)
+
+(** Embed a k-Clique question into a Special CSP on k + 2^k variables
+    (Section 5's reduction). *)
+val clique_to_special_csp : Lb_graph.Graph.t -> int -> Lb_csp.Csp.t
+
+(** Recover the clique part of a solution of the reduction's output. *)
+val clique_back : int -> int array -> int array
+
+(** Is the instance's primal graph special?  Returns the (clique
+    variables, path variables) split. *)
+val recognize : Lb_csp.Csp.t -> (int array * int array) option
+
+exception Not_special
+
+(** Restrict an instance to a variable subset (constraints fully
+    inside), with the (new -> old) variable map. *)
+val restrict : Lb_csp.Csp.t -> int array -> Lb_csp.Csp.t * int array
+
+(** The quasipolynomial algorithm of Section 4's discussion: exhaustive
+    search on the clique component (|D|^k with k = log2 of the path
+    length), width-1 dynamic programming on the path.  Raises
+    {!Not_special} on other instances. *)
+val solve : Lb_csp.Csp.t -> int array option
+
+val preserves : Lb_graph.Graph.t -> int -> bool

@@ -1,0 +1,1 @@
+lib/relalg/agm.ml: Array Database Float Hashtbl Lb_hypergraph List Query Relation

@@ -1,0 +1,1 @@
+lib/relalg/agm.mli: Database Query

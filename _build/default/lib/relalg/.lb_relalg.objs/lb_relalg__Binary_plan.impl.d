@@ -1,0 +1,1 @@
+lib/relalg/binary_plan.ml: Array Database Fun Hashtbl Lb_hypergraph List Option Query Relation

@@ -1,0 +1,1 @@
+lib/relalg/binary_plan.mli: Database Query Relation

@@ -1,0 +1,1 @@
+lib/relalg/decomposed_join.ml: Array Database Generic_join Lb_graph List Printf Query Relation Yannakakis

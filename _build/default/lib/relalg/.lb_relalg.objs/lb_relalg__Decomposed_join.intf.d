@@ -1,0 +1,1 @@
+lib/relalg/decomposed_join.mli: Database Lb_graph Query Relation

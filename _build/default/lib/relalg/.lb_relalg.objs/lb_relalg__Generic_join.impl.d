@@ -1,0 +1,1 @@
+lib/relalg/generic_join.ml: Array Fun List Query Relation Trie

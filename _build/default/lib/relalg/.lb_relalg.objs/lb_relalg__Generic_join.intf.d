@@ -1,0 +1,1 @@
+lib/relalg/generic_join.mli: Database Query Relation

@@ -1,0 +1,1 @@
+lib/relalg/leapfrog.ml: Array List Query Relation Trie

@@ -1,0 +1,1 @@
+lib/relalg/leapfrog.mli: Database Query Relation

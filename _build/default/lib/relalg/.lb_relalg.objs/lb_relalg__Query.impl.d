@@ -1,0 +1,1 @@
+lib/relalg/query.ml: Array Database Hashtbl Lb_hypergraph List Printf Relation String

@@ -1,0 +1,1 @@
+lib/relalg/query.mli: Database Hashtbl Lb_graph Lb_hypergraph Relation

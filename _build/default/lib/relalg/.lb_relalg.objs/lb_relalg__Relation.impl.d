@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Array Format Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/relalg/trie.ml: Array Hashtbl List Relation

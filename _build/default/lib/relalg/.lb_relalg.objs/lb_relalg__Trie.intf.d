@@ -1,0 +1,1 @@
+lib/relalg/trie.mli: Relation

@@ -1,0 +1,1 @@
+lib/relalg/yannakakis.ml: Array Hashtbl Lb_hypergraph List Query Relation

@@ -1,0 +1,1 @@
+lib/relalg/yannakakis.mli: Database Query Relation

@@ -1,0 +1,89 @@
+(* The AGM bound (Theorems 3.1-3.2, Atserias-Grohe-Marx).
+
+   [bound]: N^{rho*(H)} where rho* is the fractional edge cover number of
+   the query hypergraph and N the largest relation size.
+
+   [worst_case_database]: the construction behind Theorem 3.2.  Take an
+   optimal fractional vertex packing (x_v), the LP dual of the fractional
+   edge cover, with value rho*.  Give attribute v a domain of size
+   floor(N^{x_v}) and make every relation the full cross product of its
+   attributes' domains.  Each relation then has at most
+   N^{sum_{v in e} x_v} <= N tuples (packing feasibility), while the
+   answer is the full product of all domains, of size roughly N^{rho*}.
+   Rounding loses an O(1)-per-attribute factor, which is the N^{rho* -
+   o(1)} slack in the formal statement; the experiment reports the exact
+   measured exponent. *)
+
+let rho_star (q : Query.t) =
+  Lb_hypergraph.Cover.rho_star (Query.hypergraph q)
+
+(* The AGM bound N^{rho*} as a float, with N the max relation size of the
+   database. *)
+let bound db (q : Query.t) =
+  match rho_star q with
+  | None -> None
+  | Some rho ->
+      let n = Database.max_cardinality db in
+      Some (Float.of_int n ** rho)
+
+(* Does a database respect the AGM bound for q? (Theorem 3.1; used as a
+   property test.) *)
+let respects_bound db q =
+  match bound db q with
+  | None -> true (* some attribute in no atom: unbounded output *)
+  | Some b -> Float.of_int (Query.answer_size db q) <= b +. 1e-6
+
+let attribute_domains (q : Query.t) ~n =
+  let h = Query.hypergraph q in
+  match Lb_hypergraph.Cover.fractional_vertex_packing h with
+  | None -> invalid_arg "Agm: packing LP failed"
+  | Some { weights; _ } ->
+      let attrs = Query.attributes q in
+      Array.mapi
+        (fun i _ ->
+          let d = Float.of_int n ** weights.(i) in
+          max 1 (int_of_float (floor (d +. 1e-9))))
+        attrs
+
+(* Worst-case database for q with relations of size <= n.  Atoms must
+   have distinct attributes.  Returns the database; attribute domains are
+   [0, d_v). *)
+let worst_case_database (q : Query.t) ~n =
+  let attrs = Query.attributes q in
+  let doms = attribute_domains q ~n in
+  let dom_of =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i x -> Hashtbl.replace tbl x doms.(i)) attrs;
+    fun x -> Hashtbl.find tbl x
+  in
+  (* one relation per atom; repeated relation names must agree on attrs *)
+  let rels = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Query.atom) ->
+      let names = a.attrs in
+      let distinct = List.sort_uniq compare (Array.to_list names) in
+      if List.length distinct <> Array.length names then
+        invalid_arg "Agm.worst_case_database: repeated attribute in an atom";
+      if not (Hashtbl.mem rels a.rel) then begin
+        let sizes = Array.map dom_of names in
+        let tuples = ref [] in
+        let k = Array.length names in
+        let current = Array.make k 0 in
+        let rec gen i =
+          if i = k then tuples := Array.copy current :: !tuples
+          else
+            for v = 0 to sizes.(i) - 1 do
+              current.(i) <- v;
+              gen (i + 1)
+            done
+        in
+        gen 0;
+        Hashtbl.replace rels a.rel (Relation.make names !tuples)
+      end)
+    q;
+  Hashtbl.fold (fun name rel db -> Database.add db name rel) rels Database.empty
+
+(* Predicted answer size of the worst-case database: the product of the
+   (rounded) attribute domains. *)
+let worst_case_answer_size (q : Query.t) ~n =
+  Array.fold_left ( * ) 1 (attribute_domains q ~n)

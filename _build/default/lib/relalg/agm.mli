@@ -1,0 +1,24 @@
+(** The AGM bound (Theorems 3.1-3.2): answer sizes are bounded by
+    N^{rho*}, tightly. *)
+
+(** The fractional edge cover number of the query hypergraph. *)
+val rho_star : Query.t -> float option
+
+(** N^{rho*} for N the largest relation of the database. *)
+val bound : Database.t -> Query.t -> float option
+
+(** Theorem 3.1 as a runtime check (used by property tests). *)
+val respects_bound : Database.t -> Query.t -> bool
+
+(** Per-attribute domain sizes floor(N^{x_v}) from an optimal fractional
+    vertex packing x. *)
+val attribute_domains : Query.t -> n:int -> int array
+
+(** The Theorem 3.2 construction: every relation a full product of its
+    attributes' domains; relation sizes at most [n], answer size
+    [N^{rho* - o(1)}].  Atoms must have distinct attributes. *)
+val worst_case_database : Query.t -> n:int -> Database.t
+
+(** Exact predicted answer size of {!worst_case_database} (the product
+    of the rounded domains). *)
+val worst_case_answer_size : Query.t -> n:int -> int

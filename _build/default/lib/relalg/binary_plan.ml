@@ -1,0 +1,149 @@
+(* Left-deep binary join plans: the traditional evaluation strategy that
+   worst-case-optimal joins are contrasted with (Section 3 / Thm 3.3).
+
+   Any pairwise-join plan materializes intermediate results; on the AGM
+   worst-case triangle instances every join order produces an
+   intermediate of size ~N^2 even though the final answer is ~N^{3/2}.
+   [run] executes a plan and reports the largest intermediate - that
+   blowup is what experiment E2 measures. *)
+
+type stats = {
+  max_intermediate : int; (* largest materialized relation, in tuples *)
+  total_tuples : int; (* sum of all intermediate sizes, a work proxy *)
+}
+
+let run_order db (q : Query.t) order =
+  let atoms = Array.of_list q in
+  if Array.length atoms = 0 then
+    (Relation.make [||] [ [||] ], { max_intermediate = 1; total_tuples = 1 })
+  else begin
+    List.iter
+      (fun i ->
+        if i < 0 || i >= Array.length atoms then
+          invalid_arg "Binary_plan.run_order")
+      order;
+    if List.sort compare order <> List.init (Array.length atoms) Fun.id then
+      invalid_arg "Binary_plan.run_order: order must be a permutation";
+    match order with
+    | [] -> assert false
+    | first :: rest ->
+        let init = Query.bind_atom db atoms.(first) in
+        let stats =
+          ref
+            {
+              max_intermediate = Relation.cardinality init;
+              total_tuples = Relation.cardinality init;
+            }
+        in
+        let result =
+          List.fold_left
+            (fun acc i ->
+              let next = Relation.natural_join acc (Query.bind_atom db atoms.(i)) in
+              let c = Relation.cardinality next in
+              stats :=
+                {
+                  max_intermediate = max !stats.max_intermediate c;
+                  total_tuples = !stats.total_tuples + c;
+                };
+              next)
+            init rest
+        in
+        (result, !stats)
+  end
+
+(* Greedy order: start from the smallest relation; repeatedly add the
+   atom sharing attributes with the partial result if possible, smallest
+   first (a standard heuristic). *)
+let greedy_order db (q : Query.t) =
+  let atoms = Array.of_list q in
+  let card i = Relation.cardinality (Database.find db atoms.(i).Query.rel) in
+  let m = Array.length atoms in
+  let remaining = ref (List.init m Fun.id) in
+  let chosen = ref [] in
+  let bound = Hashtbl.create 16 in
+  let shares i =
+    Array.exists (fun x -> Hashtbl.mem bound x) atoms.(i).Query.attrs
+  in
+  for _ = 1 to m do
+    let candidates = !remaining in
+    let connected = List.filter shares candidates in
+    let pool = if connected <> [] || !chosen = [] then
+        (if !chosen = [] then candidates else connected)
+      else candidates
+    in
+    let best =
+      List.fold_left
+        (fun acc i ->
+          match acc with
+          | None -> Some i
+          | Some j -> if card i < card j then Some i else Some j)
+        None pool
+    in
+    let i = Option.get best in
+    chosen := i :: !chosen;
+    remaining := List.filter (fun j -> j <> i) !remaining;
+    Array.iter (fun x -> Hashtbl.replace bound x ()) atoms.(i).Query.attrs
+  done;
+  List.rev !chosen
+
+let run db q = run_order db q (greedy_order db q)
+
+(* AGM-guided greedy order: at each step, append the atom minimizing the
+   AGM bound (Theorem 3.1) of the prefix subquery - a worst-case-aware
+   cost model, as opposed to [greedy_order]'s smallest-relation
+   heuristic.  The bound still cannot rescue binary plans on Theorem 3.2
+   instances (every prefix of the triangle already has rho* = 2 there),
+   which is exactly the point of E2; on benign queries it avoids
+   obviously terrible prefixes. *)
+let agm_order db (q : Query.t) =
+  let atoms = Array.of_list q in
+  let m = Array.length atoms in
+  let n = float_of_int (max 1 (Database.max_cardinality db)) in
+  let prefix_bound chosen =
+    let sub = List.rev_map (fun i -> atoms.(i)) chosen in
+    match Lb_hypergraph.Cover.rho_star (Query.hypergraph sub) with
+    | Some rho -> n ** rho
+    | None -> infinity
+  in
+  let remaining = ref (List.init m Fun.id) in
+  let chosen = ref [] in
+  for _ = 1 to m do
+    let best = ref None in
+    List.iter
+      (fun i ->
+        let b = prefix_bound (i :: !chosen) in
+        match !best with
+        | None -> best := Some (i, b)
+        | Some (_, b') -> if b < b' then best := Some (i, b))
+      !remaining;
+    let i, _ = Option.get !best in
+    chosen := i :: !chosen;
+    remaining := List.filter (( <> ) i) !remaining
+  done;
+  List.rev !chosen
+
+(* Exhaustive best plan (by max intermediate) over all left-deep orders;
+   factorial, for small queries only.  Used by E2 to show that *no*
+   binary order avoids the blowup. *)
+let best_order db (q : Query.t) =
+  let m = List.length q in
+  if m > 8 then invalid_arg "Binary_plan.best_order: too many atoms";
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  let all = perms (List.init m Fun.id) in
+  let best = ref None in
+  List.iter
+    (fun order ->
+      let _, stats = run_order db q order in
+      match !best with
+      | None -> best := Some (order, stats)
+      | Some (_, s) ->
+          if stats.max_intermediate < s.max_intermediate then
+            best := Some (order, stats))
+    all;
+  Option.get !best

@@ -1,0 +1,28 @@
+(** Left-deep binary join plans: the traditional evaluation strategy
+    that worst-case-optimal joins are contrasted with.  On Theorem 3.2's
+    instances every order materializes intermediates polynomially larger
+    than the answer - experiment E2 measures exactly that. *)
+
+type stats = {
+  max_intermediate : int;  (** largest materialized relation *)
+  total_tuples : int;  (** sum over all intermediates: a work proxy *)
+}
+
+(** Execute the atoms in the given order (a permutation of their
+    indices).  Raises [Invalid_argument] otherwise. *)
+val run_order : Database.t -> Query.t -> int list -> Relation.t * stats
+
+(** Smallest-relation-first greedy order preferring connected atoms. *)
+val greedy_order : Database.t -> Query.t -> int list
+
+(** [run_order] with the greedy order. *)
+val run : Database.t -> Query.t -> Relation.t * stats
+
+(** AGM-guided order: minimize the Theorem 3.1 bound of every prefix
+    subquery - worst-case-aware, yet still no cure on Theorem 3.2
+    instances. *)
+val agm_order : Database.t -> Query.t -> int list
+
+(** Best order by max intermediate, over all permutations (factorial;
+    at most 8 atoms). *)
+val best_order : Database.t -> Query.t -> int list * stats

@@ -1,0 +1,24 @@
+(* A database instance: named relations (Section 2.1). *)
+
+type t = (string * Relation.t) list
+
+let empty : t = []
+
+let add db name rel : t =
+  if List.mem_assoc name db then invalid_arg ("Database.add: duplicate " ^ name)
+  else (name, rel) :: db
+
+let of_list l : t = List.fold_left (fun db (n, r) -> add db n r) empty l
+
+let find db name =
+  match List.assoc_opt name db with
+  | Some r -> r
+  | None -> invalid_arg ("Database.find: no relation " ^ name)
+
+let find_opt db name = List.assoc_opt name db
+
+let names (db : t) = List.map fst db
+
+(* Largest relation cardinality: the N of the AGM bound. *)
+let max_cardinality (db : t) =
+  List.fold_left (fun acc (_, r) -> max acc (Relation.cardinality r)) 0 db

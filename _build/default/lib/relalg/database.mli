@@ -1,0 +1,20 @@
+(** A database instance: named relations (Section 2.1). *)
+
+type t
+
+val empty : t
+
+(** Raises on duplicate names. *)
+val add : t -> string -> Relation.t -> t
+
+val of_list : (string * Relation.t) list -> t
+
+(** Raises on unknown names. *)
+val find : t -> string -> Relation.t
+
+val find_opt : t -> string -> Relation.t option
+
+val names : t -> string list
+
+(** Largest relation cardinality - the N of the AGM bound. *)
+val max_cardinality : t -> int

@@ -1,0 +1,114 @@
+(* Generic Join (Ngo-Porat-Re-Rudra), Theorem 3.3.
+
+   Variables are processed in a global order.  At each variable, the
+   candidate values are the intersection of the matching value sets of
+   every atom containing that variable, computed by enumerating the
+   smallest set and probing the others by binary search - the
+   intersection cost is proportional to the smallest set, which is the
+   crux of the O(N^{rho*}) bound.
+
+   Atoms are represented as sorted-array tries (Trie); the state per atom
+   is its current row range plus trie depth.  When variable v is
+   processed, an atom participates iff its next trie level is labeled v;
+   since trie levels follow the global order, every atom containing v
+   participates exactly when v comes up. *)
+
+type counters = { mutable intersections : int; mutable emitted : int }
+
+let fresh_counters () = { intersections = 0; emitted = 0 }
+
+(* Iterate all answers; [f] receives the assignment in global-order
+   (parallel to [order]).  The array is reused between calls. *)
+let iter ?order ?counters db (q : Query.t) f =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let tries = List.map (fun a -> Trie.build ~order (Query.bind_atom db a)) q in
+  let tries = Array.of_list tries in
+  let natoms = Array.length tries in
+  let nvars = Array.length order in
+  (* per-atom state: (depth, lo, hi), functional to keep backtracking
+     simple; small arrays copied per level *)
+  let assignment = Array.make nvars 0 in
+  let bump_inter () =
+    match counters with Some c -> c.intersections <- c.intersections + 1 | None -> ()
+  in
+  let bump_emit () =
+    match counters with Some c -> c.emitted <- c.emitted + 1 | None -> ()
+  in
+  let rec go level states =
+    if level = nvars then begin
+      bump_emit ();
+      f assignment
+    end
+    else begin
+      let var = order.(level) in
+      let participants = ref [] in
+      Array.iteri
+        (fun i (depth, _, _) ->
+          if depth < Trie.depth_count tries.(i)
+             && (Trie.attrs tries.(i)).(depth) = var
+          then participants := i :: !participants)
+        states;
+      match !participants with
+      | [] ->
+          (* variable in no remaining atom: can only happen if the
+             variable order contains extra names; any value would do but
+             the query's own attributes always participate *)
+          invalid_arg "Generic_join: variable missing from all atoms"
+      | ps ->
+          (* smallest candidate set leads *)
+          let size i =
+            let depth, lo, hi = states.(i) in
+            Trie.distinct_key_count tries.(i) ~depth ~lo ~hi
+          in
+          let leader =
+            List.fold_left
+              (fun best i -> if size i < size best then i else best)
+              (List.hd ps) ps
+          in
+          let others = List.filter (fun i -> i <> leader) ps in
+          let ldepth, llo, lhi = states.(leader) in
+          Trie.iter_keys tries.(leader) ~depth:ldepth ~lo:llo ~hi:lhi
+            (fun v sublo subhi ->
+              bump_inter ();
+              (* probe the other participants *)
+              let rec probe acc = function
+                | [] -> Some acc
+                | i :: rest -> (
+                    let depth, lo, hi = states.(i) in
+                    match Trie.narrow tries.(i) ~depth ~lo ~hi v with
+                    | Some (l, h) -> probe ((i, (depth + 1, l, h)) :: acc) rest
+                    | None -> None)
+              in
+              match probe [ (leader, (ldepth + 1, sublo, subhi)) ] others with
+              | None -> ()
+              | Some updates ->
+                  assignment.(level) <- v;
+                  let states' = Array.copy states in
+                  List.iter (fun (i, st) -> states'.(i) <- st) updates;
+                  go (level + 1) states')
+    end
+  in
+  let init = Array.init natoms (fun i -> (0, 0, Trie.row_count tries.(i))) in
+  (* an atom with no rows means an empty answer *)
+  if Array.exists (fun i -> Trie.row_count tries.(i) = 0) (Array.init natoms Fun.id)
+  then ()
+  else go 0 init
+
+let answer ?order db q =
+  let order' = match order with Some o -> o | None -> Query.attributes q in
+  let acc = ref [] in
+  iter ?order db q (fun a -> acc := Array.copy a :: !acc);
+  Relation.make order' !acc
+
+let count ?order ?counters db q =
+  let c = ref 0 in
+  iter ?order ?counters db q (fun _ -> incr c);
+  !c
+
+exception Found
+
+let exists ?order db q =
+  try
+    iter ?order db q (fun _ -> raise Found);
+    false
+  with Found -> true

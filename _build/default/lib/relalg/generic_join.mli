@@ -1,0 +1,30 @@
+(** Generic Join (Ngo-Porat-Re-Rudra): the worst-case-optimal join of
+    Theorem 3.3.  Per variable, the candidate values are the
+    intersection of every relevant atom's value set, enumerated from the
+    smallest set - the step that caps total work at O(N^{rho*}). *)
+
+type counters = { mutable intersections : int; mutable emitted : int }
+
+val fresh_counters : unit -> counters
+
+(** Iterate all answers; [f] receives the assignment parallel to the
+    variable [order] (default: attributes in order of first appearance).
+    The array is reused between calls; raise inside [f] to stop. *)
+val iter :
+  ?order:string array ->
+  ?counters:counters ->
+  Database.t ->
+  Query.t ->
+  (int array -> unit) ->
+  unit
+
+(** Materialize the answer (schema = the variable order). *)
+val answer : ?order:string array -> Database.t -> Query.t -> Relation.t
+
+val count :
+  ?order:string array -> ?counters:counters -> Database.t -> Query.t -> int
+
+exception Found
+
+(** The Boolean join query: stop at the first answer. *)
+val exists : ?order:string array -> Database.t -> Query.t -> bool

@@ -1,0 +1,143 @@
+(* Leapfrog Triejoin (Veldhuizen 2014), the second worst-case-optimal
+   join of Theorem 3.3.
+
+   Same trie view as Generic Join, but the per-variable intersection is
+   the leapfrog: iterators over the participants' sorted key streams
+   repeatedly seek to the current maximum key until all agree, emitting
+   each agreed key.  Seeks are galloping binary searches in the sorted
+   row arrays. *)
+
+type counters = { mutable seeks : int; mutable emitted : int }
+
+let fresh_counters () = { seeks = 0; emitted = 0 }
+
+(* Leapfrog intersection of the participants' key streams at their
+   current (depth, lo, hi) ranges.  Calls [f v child_ranges] for each
+   common key, where [child_ranges] lists (participant, (lo, hi)) of the
+   equal-key subrange. *)
+let leapfrog tries states participants ~bump f =
+  (* iterator state: current position within [lo, hi) *)
+  let parts = Array.of_list participants in
+  let np = Array.length parts in
+  let pos = Array.make np 0 in
+  let fin = ref false in
+  Array.iteri
+    (fun j i ->
+      let _, lo, hi = states.(i) in
+      pos.(j) <- lo;
+      if lo >= hi then fin := true)
+    parts;
+  let key j =
+    let i = parts.(j) in
+    let depth, _, _ = states.(i) in
+    Trie.key_at tries.(i) ~depth pos.(j)
+  in
+  let seek j v =
+    bump ();
+    let i = parts.(j) in
+    let depth, _, hi = states.(i) in
+    pos.(j) <- Trie.lower_bound tries.(i) ~depth ~lo:pos.(j) ~hi v;
+    if pos.(j) >= hi then fin := true
+  in
+  while not !fin do
+    (* find current max key *)
+    let kmax = ref (key 0) and kmin = ref (key 0) in
+    for j = 1 to np - 1 do
+      let k = key j in
+      if k > !kmax then kmax := k;
+      if k < !kmin then kmin := k
+    done;
+    if !kmin = !kmax then begin
+      let v = !kmin in
+      (* compute child ranges *)
+      let ranges =
+        Array.to_list
+          (Array.mapi
+             (fun j i ->
+               let depth, _, hi = states.(i) in
+               let e = Trie.upper_bound tries.(i) ~depth ~lo:pos.(j) ~hi v in
+               (i, (pos.(j), e)))
+             parts)
+      in
+      f v ranges;
+      (* advance every iterator past v *)
+      List.iteri
+        (fun j (_, (_, e)) ->
+          let i = parts.(j) in
+          let _, _, hi = states.(i) in
+          pos.(j) <- e;
+          if e >= hi then fin := true)
+        ranges
+    end
+    else begin
+      (* seek every iterator below kmax up to it *)
+      for j = 0 to np - 1 do
+        if (not !fin) && key j < !kmax then seek j !kmax
+      done
+    end
+  done
+
+let iter ?order ?counters db (q : Query.t) f =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let tries =
+    Array.of_list (List.map (fun a -> Trie.build ~order (Query.bind_atom db a)) q)
+  in
+  let natoms = Array.length tries in
+  let nvars = Array.length order in
+  let assignment = Array.make nvars 0 in
+  let bump_seek () =
+    match counters with Some c -> c.seeks <- c.seeks + 1 | None -> ()
+  in
+  let bump_emit () =
+    match counters with Some c -> c.emitted <- c.emitted + 1 | None -> ()
+  in
+  let rec go level states =
+    if level = nvars then begin
+      bump_emit ();
+      f assignment
+    end
+    else begin
+      let var = order.(level) in
+      let participants = ref [] in
+      Array.iteri
+        (fun i (depth, _, _) ->
+          if depth < Trie.depth_count tries.(i)
+             && (Trie.attrs tries.(i)).(depth) = var
+          then participants := i :: !participants)
+        states;
+      match List.rev !participants with
+      | [] -> invalid_arg "Leapfrog: variable missing from all atoms"
+      | ps ->
+          leapfrog tries states ps ~bump:bump_seek (fun v ranges ->
+              assignment.(level) <- v;
+              let states' = Array.copy states in
+              List.iter
+                (fun (i, (l, h)) ->
+                  let depth, _, _ = states.(i) in
+                  states'.(i) <- (depth + 1, l, h))
+                ranges;
+              go (level + 1) states')
+    end
+  in
+  if Array.exists (fun t -> Trie.row_count t = 0) tries then ()
+  else
+    go 0 (Array.init natoms (fun i -> (0, 0, Trie.row_count tries.(i))))
+
+let answer ?order db q =
+  let order' = match order with Some o -> o | None -> Query.attributes q in
+  let acc = ref [] in
+  iter ?order db q (fun a -> acc := Array.copy a :: !acc);
+  Relation.make order' !acc
+
+let count ?order ?counters db q =
+  let c = ref 0 in
+  iter ?order ?counters db q (fun _ -> incr c);
+  !c
+
+exception Found
+
+let exists ?order db q =
+  try
+    iter ?order db q (fun _ -> raise Found);
+    false
+  with Found -> true

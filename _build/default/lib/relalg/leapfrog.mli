@@ -1,0 +1,26 @@
+(** Leapfrog Triejoin (Veldhuizen): the second worst-case-optimal join
+    of Theorem 3.3.  The per-variable intersection leapfrogs sorted key
+    streams, seeking each iterator to the current maximum via binary
+    search. *)
+
+type counters = { mutable seeks : int; mutable emitted : int }
+
+val fresh_counters : unit -> counters
+
+(** Same contract as {!Generic_join.iter}. *)
+val iter :
+  ?order:string array ->
+  ?counters:counters ->
+  Database.t ->
+  Query.t ->
+  (int array -> unit) ->
+  unit
+
+val answer : ?order:string array -> Database.t -> Query.t -> Relation.t
+
+val count :
+  ?order:string array -> ?counters:counters -> Database.t -> Query.t -> int
+
+exception Found
+
+val exists : ?order:string array -> Database.t -> Query.t -> bool

@@ -1,0 +1,162 @@
+(* Join queries (Section 2.1).
+
+   A query is a list of atoms R(a1,...,ak); the same relation name may
+   appear several times (self-joins) and repeated attributes within an
+   atom are allowed.  The module also provides the structural projections
+   used throughout the paper: the query hypergraph and primal graph, and
+   a small text parser ("R(a,b), S(b,c), T(a,c)") used by the CLI and
+   examples. *)
+
+type atom = { rel : string; attrs : string array }
+
+type t = atom list
+
+let atom rel attrs = { rel; attrs = Array.copy attrs }
+
+(* Distinct attributes in order of first appearance. *)
+let attributes (q : t) =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (fun a ->
+      Array.iter
+        (fun x ->
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.replace seen x ();
+            acc := x :: !acc
+          end)
+        a.attrs)
+    q;
+  Array.of_list (List.rev !acc)
+
+let attribute_index (q : t) =
+  let attrs = attributes q in
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace tbl x i) attrs;
+  (attrs, tbl)
+
+let hypergraph (q : t) =
+  let attrs, index = attribute_index q in
+  let edges =
+    List.map
+      (fun a -> Array.map (fun x -> Hashtbl.find index x) a.attrs)
+      q
+  in
+  Lb_hypergraph.Hypergraph.create (Array.length attrs) edges
+
+let primal_graph q = Lb_hypergraph.Hypergraph.primal (hypergraph q)
+
+(* Reference evaluation: fold natural joins left to right.  Correct on
+   any query; used as ground truth in tests.  Repeated attributes within
+   an atom are handled by pre-filtering the relation. *)
+
+let bind_atom db (a : atom) =
+  let r = Database.find db a.rel in
+  if Array.length a.attrs <> Relation.width r then
+    invalid_arg
+      (Printf.sprintf "Query: atom %s has %d attrs but relation has width %d"
+         a.rel (Array.length a.attrs) (Relation.width r));
+  (* handle repeated attributes: keep tuples equal on repeated columns,
+     then project to distinct attrs *)
+  let distinct = ref [] and seen = Hashtbl.create 8 in
+  Array.iteri
+    (fun i x ->
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.replace seen x i;
+        distinct := (x, i) :: !distinct
+      end)
+    a.attrs;
+  let distinct = List.rev !distinct in
+  let keep tup =
+    let ok = ref true in
+    Array.iteri
+      (fun i x -> if tup.(Hashtbl.find seen x) <> tup.(i) then ok := false)
+      a.attrs;
+    !ok
+  in
+  let filtered = List.filter keep (Array.to_list (Relation.tuples r)) in
+  Relation.make
+    (Array.of_list (List.map fst distinct))
+    (List.map
+       (fun tup -> Array.of_list (List.map (fun (_, i) -> tup.(i)) distinct))
+       filtered)
+
+let answer db (q : t) =
+  match q with
+  | [] -> Relation.make [||] [ [||] ]
+  | first :: rest ->
+      List.fold_left
+        (fun acc a -> Relation.natural_join acc (bind_atom db a))
+        (bind_atom db first) rest
+
+let answer_size db q = Relation.cardinality (answer db q)
+
+let is_boolean_answer_nonempty db q = answer_size db q > 0
+
+(* --- Parser ---
+
+   Grammar:  query  ::= atom ("," atom)*
+             atom   ::= NAME "(" NAME ("," NAME)* ")"
+   Whitespace is free.  Names are alphanumeric/underscore. *)
+
+exception Parse_error of string
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  let name () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && is_name_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then
+      raise (Parse_error (Printf.sprintf "expected a name at position %d" start));
+    String.sub s start (!pos - start)
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> raise (Parse_error (Printf.sprintf "expected '%c' at position %d" c !pos))
+  in
+  let atom () =
+    let rel = name () in
+    expect '(';
+    let args = ref [ name () ] in
+    skip_ws ();
+    while peek () = Some ',' do
+      incr pos;
+      args := name () :: !args
+    done;
+    expect ')';
+    { rel; attrs = Array.of_list (List.rev !args) }
+  in
+  let atoms = ref [ atom () ] in
+  skip_ws ();
+  while peek () = Some ',' do
+    incr pos;
+    atoms := atom () :: !atoms;
+    skip_ws ()
+  done;
+  skip_ws ();
+  if !pos <> n then raise (Parse_error (Printf.sprintf "trailing input at %d" !pos));
+  List.rev !atoms
+
+let to_string (q : t) =
+  String.concat ", "
+    (List.map
+       (fun a -> a.rel ^ "(" ^ String.concat "," (Array.to_list a.attrs) ^ ")")
+       q)

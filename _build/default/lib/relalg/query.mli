@@ -1,0 +1,41 @@
+(** Join queries (Section 2.1): lists of atoms [R(a1,...,ak)], with
+    self-joins and repeated attributes allowed, plus the structural
+    projections the paper's bounds are functions of, a reference
+    evaluator, and a small text parser. *)
+
+type atom = { rel : string; attrs : string array }
+
+type t = atom list
+
+val atom : string -> string array -> atom
+
+(** Distinct attributes in order of first appearance. *)
+val attributes : t -> string array
+
+(** [(attributes, name -> index)] in one pass. *)
+val attribute_index : t -> string array * (string, int) Hashtbl.t
+
+(** The query hypergraph: one vertex per attribute, one edge per atom. *)
+val hypergraph : t -> Lb_hypergraph.Hypergraph.t
+
+val primal_graph : t -> Lb_graph.Graph.t
+
+(** Bind an atom against the database: fetch the relation, enforce
+    repeated-attribute equality, and name columns by the atom's
+    attributes.  Raises on unknown relations or width mismatches. *)
+val bind_atom : Database.t -> atom -> Relation.t
+
+(** Reference evaluation: fold natural joins left to right.  Ground
+    truth for every other evaluator's tests. *)
+val answer : Database.t -> t -> Relation.t
+
+val answer_size : Database.t -> t -> int
+
+val is_boolean_answer_nonempty : Database.t -> t -> bool
+
+exception Parse_error of string
+
+(** Parse ["R(a,b), S(b,c)"].  Raises {!Parse_error}. *)
+val parse : string -> t
+
+val to_string : t -> string

@@ -1,0 +1,84 @@
+(* Sorted-array tries over a global attribute order.
+
+   Both worst-case-optimal join implementations (Generic Join and
+   Leapfrog Triejoin) view each relation as a trie whose levels follow
+   the global variable order restricted to the relation's attributes.  We
+   materialize the trie implicitly: tuples are permuted into that order
+   and sorted lexicographically; a trie node is a row range [lo, hi) at a
+   depth, and children are the maximal equal-key subranges at that
+   depth.  All navigation is binary search (the "seek" of LFTJ). *)
+
+type t = {
+  attrs : string array; (* relation attrs permuted into global order *)
+  rows : int array array; (* permuted tuples, sorted lexicographically *)
+}
+
+let attrs t = t.attrs
+
+let depth_count t = Array.length t.attrs
+
+let row_count t = Array.length t.rows
+
+(* Build from a relation: permute columns so attributes appear in the
+   order induced by [order] (a global variable order containing all of
+   the relation's attributes). *)
+let build ~order rel =
+  let position = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace position x i) order;
+  let cols =
+    Array.to_list (Relation.attrs rel)
+    |> List.mapi (fun i x ->
+           match Hashtbl.find_opt position x with
+           | Some p -> (p, i, x)
+           | None -> invalid_arg ("Trie.build: attribute not in order: " ^ x))
+    |> List.sort compare
+  in
+  let perm = Array.of_list (List.map (fun (_, i, _) -> i) cols) in
+  let attrs = Array.of_list (List.map (fun (_, _, x) -> x) cols) in
+  let rows =
+    Array.map (fun tup -> Array.map (fun i -> tup.(i)) perm) (Relation.tuples rel)
+  in
+  Array.sort compare rows;
+  { attrs; rows }
+
+(* First index in [lo, hi) whose key at [depth] is >= v. *)
+let lower_bound t ~depth ~lo ~hi v =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.rows.(mid).(depth) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index in [lo, hi) whose key at [depth] is > v. *)
+let upper_bound t ~depth ~lo ~hi v =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.rows.(mid).(depth) <= v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child range for value v at [depth] within [lo, hi), if nonempty. *)
+let narrow t ~depth ~lo ~hi v =
+  let l = lower_bound t ~depth ~lo ~hi v in
+  if l >= hi || t.rows.(l).(depth) <> v then None
+  else Some (l, upper_bound t ~depth ~lo:l ~hi v)
+
+(* Iterate the distinct keys at [depth] within [lo, hi); [f v sublo
+   subhi] gets each key's child range. *)
+let iter_keys t ~depth ~lo ~hi f =
+  let pos = ref lo in
+  while !pos < hi do
+    let v = t.rows.(!pos).(depth) in
+    let e = upper_bound t ~depth ~lo:!pos ~hi v in
+    f v !pos e;
+    pos := e
+  done
+
+let key_at t ~depth pos = t.rows.(pos).(depth)
+
+let distinct_key_count t ~depth ~lo ~hi =
+  let c = ref 0 in
+  iter_keys t ~depth ~lo ~hi (fun _ _ _ -> incr c);
+  !c

@@ -1,0 +1,34 @@
+(** Sorted-array tries over a global attribute order: the shared
+    relation view of both worst-case-optimal joins.  A trie node is a
+    row range at a depth; navigation is binary search (LFTJ's
+    "seek"). *)
+
+type t
+
+val attrs : t -> string array
+
+val depth_count : t -> int
+
+val row_count : t -> int
+
+(** Permute the relation's columns into the order induced by the global
+    [order] and sort lexicographically.  Raises if some attribute is
+    missing from [order]. *)
+val build : order:string array -> Relation.t -> t
+
+(** First index in [\[lo, hi)] whose key at [depth] is [>= v]. *)
+val lower_bound : t -> depth:int -> lo:int -> hi:int -> int -> int
+
+(** First index in [\[lo, hi)] whose key at [depth] is [> v]. *)
+val upper_bound : t -> depth:int -> lo:int -> hi:int -> int -> int
+
+(** Child range for value [v], if nonempty. *)
+val narrow : t -> depth:int -> lo:int -> hi:int -> int -> (int * int) option
+
+(** Iterate the distinct keys in a range with each key's child range. *)
+val iter_keys :
+  t -> depth:int -> lo:int -> hi:int -> (int -> int -> int -> unit) -> unit
+
+val key_at : t -> depth:int -> int -> int
+
+val distinct_key_count : t -> depth:int -> lo:int -> hi:int -> int

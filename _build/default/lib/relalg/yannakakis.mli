@@ -1,0 +1,29 @@
+(** Yannakakis' algorithm for alpha-acyclic join queries (the tractable
+    class of Section 4): a full reducer (semijoin passes along a join
+    tree) followed by bottom-up joins, with no intermediate ever
+    exceeding the output. *)
+
+type stats = { max_intermediate : int; semijoins : int }
+
+exception Cyclic
+
+(** Semijoin-reduce all relations along a join tree.  Returns (reduced
+    relations, parent array, post-order, semijoin count).  Raises
+    {!Cyclic} on cyclic queries. *)
+val full_reducer :
+  Database.t -> Query.t -> Relation.t array * int array * int list * int
+
+(** Full answer plus execution stats.  Raises {!Cyclic}. *)
+val answer : Database.t -> Query.t -> Relation.t * stats
+
+(** Nonempty-answer decision without materializing anything beyond the
+    reducer. *)
+val boolean_answer : Database.t -> Query.t -> bool
+
+val is_acyclic : Query.t -> bool
+
+(** Enumeration with linear preprocessing and per-answer delay bounded
+    by the query size (the constant-delay regime the paper cites for
+    acyclic queries).  [f] receives each answer parallel to
+    [Query.attributes q]; the array is reused. *)
+val iter_answers : Database.t -> Query.t -> (int array -> unit) -> unit

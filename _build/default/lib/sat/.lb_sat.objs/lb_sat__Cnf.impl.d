@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Array Buffer Format Lb_util List Printf String

@@ -1,0 +1,1 @@
+lib/sat/dpll.mli: Cnf

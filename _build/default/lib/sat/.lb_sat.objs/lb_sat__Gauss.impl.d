@@ -1,0 +1,1 @@
+lib/sat/gauss.ml: Array Lb_util List

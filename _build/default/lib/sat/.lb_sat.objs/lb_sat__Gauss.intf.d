@@ -1,0 +1,1 @@
+lib/sat/gauss.mli: Lb_util

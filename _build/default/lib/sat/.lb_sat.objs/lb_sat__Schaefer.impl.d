@@ -1,0 +1,1 @@
+lib/sat/schaefer.ml: Array Cnf Gauss Int List Set Two_sat

@@ -1,0 +1,1 @@
+lib/sat/schaefer.mli: Int Set

@@ -1,0 +1,1 @@
+lib/sat/two_sat.mli: Cnf

@@ -1,0 +1,162 @@
+(* CNF formulas.
+
+   Literals are nonzero ints in DIMACS convention: [v+1] is the positive
+   literal of variable [v] (0-based), [-(v+1)] its negation.  Clauses are
+   int arrays; a formula is a number of variables plus a clause list.
+
+   Includes the random k-SAT generators used by experiment E8: the
+   uniform model at a given clause/variable ratio (hard around 4.27 for
+   3SAT - the standard empirical proxy for the ETH's hard instances; see
+   DESIGN.md substitutions) and a planted-solution model. *)
+
+module Prng = Lb_util.Prng
+
+type clause = int array
+
+type t = { nvars : int; clauses : clause list }
+
+let make nvars clauses =
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun l ->
+          let v = abs l - 1 in
+          if l = 0 || v >= nvars then invalid_arg "Cnf.make: bad literal")
+        c)
+    clauses;
+  { nvars; clauses }
+
+let nvars t = t.nvars
+
+let clauses t = t.clauses
+
+let clause_count t = List.length t.clauses
+
+let var_of_lit l = abs l - 1
+
+let lit_is_pos l = l > 0
+
+let lit ~positive v = if positive then v + 1 else -(v + 1)
+
+(* Evaluate under a total assignment (bool array of length nvars). *)
+let eval_clause assignment c =
+  Array.exists
+    (fun l ->
+      let v = var_of_lit l in
+      if lit_is_pos l then assignment.(v) else not assignment.(v))
+    c
+
+let satisfies t assignment =
+  Array.length assignment = t.nvars
+  && List.for_all (eval_clause assignment) t.clauses
+
+(* Uniform random k-SAT: m clauses, each of k distinct variables with
+   random polarities. *)
+let random_ksat rng ~nvars ~nclauses ~k =
+  if k > nvars then invalid_arg "Cnf.random_ksat: k > nvars";
+  let clause () =
+    let vars = Prng.sample rng nvars k in
+    Array.map (fun v -> lit ~positive:(Prng.bool rng) v) vars
+  in
+  { nvars; clauses = List.init nclauses (fun _ -> clause ()) }
+
+(* Planted model: random clauses filtered to be satisfied by a hidden
+   random assignment; returns the formula and the planted witness. *)
+let random_planted rng ~nvars ~nclauses ~k =
+  let hidden = Array.init nvars (fun _ -> Prng.bool rng) in
+  let rec clause () =
+    let vars = Prng.sample rng nvars k in
+    let c = Array.map (fun v -> lit ~positive:(Prng.bool rng) v) vars in
+    if eval_clause hidden c then c else clause ()
+  in
+  ({ nvars; clauses = List.init nclauses (fun _ -> clause ()) }, hidden)
+
+(* Random Horn formula (every clause has at most one positive literal),
+   satisfiable-or-not; used by the Schaefer experiments. *)
+let random_horn rng ~nvars ~nclauses ~k =
+  let clause () =
+    let vars = Prng.sample rng nvars k in
+    let pos = Prng.int rng (k + 1) in
+    (* position k means "no positive literal" *)
+    Array.mapi (fun i v -> lit ~positive:(i = pos) v) vars
+  in
+  { nvars; clauses = List.init nclauses (fun _ -> clause ()) }
+
+(* Random XOR-SAT instance as CNF is exponential; instead we expose
+   random parity constraints directly for the affine solver (see
+   Lb_sat.Gauss). *)
+
+let pp fmt t =
+  Format.fprintf fmt "cnf(n=%d, m=%d)" t.nvars (clause_count t)
+
+(* --- DIMACS CNF I/O --- *)
+
+exception Dimacs_error of string
+
+(* Parse DIMACS CNF text: comment lines 'c ...', a header
+   'p cnf <vars> <clauses>', then whitespace-separated literals with 0
+   terminating each clause. *)
+let parse_dimacs text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let tokens = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || (String.length line > 0 && line.[0] = 'c') then ()
+      else if String.length line > 0 && line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some v, Some c -> header := Some (v, c)
+            | _ -> raise (Dimacs_error "malformed p line"))
+        | _ -> raise (Dimacs_error "malformed p line")
+      end
+      else begin
+        Buffer.add_string tokens line;
+        Buffer.add_char tokens ' '
+      end)
+    lines;
+  let nvars, declared_clauses =
+    match !header with
+    | Some h -> h
+    | None -> raise (Dimacs_error "missing p cnf header")
+  in
+  let lits =
+    Buffer.contents tokens |> String.split_on_char ' '
+    |> List.filter (( <> ) "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some i -> i
+           | None -> raise (Dimacs_error ("bad literal: " ^ s)))
+  in
+  let clauses = ref [] and current = ref [] in
+  List.iter
+    (fun l ->
+      if l = 0 then begin
+        clauses := Array.of_list (List.rev !current) :: !clauses;
+        current := []
+      end
+      else current := l :: !current)
+    lits;
+  if !current <> [] then raise (Dimacs_error "unterminated final clause");
+  let clauses = List.rev !clauses in
+  if List.length clauses <> declared_clauses then
+    raise
+      (Dimacs_error
+         (Printf.sprintf "declared %d clauses, found %d" declared_clauses
+            (List.length clauses)));
+  (* DIMACS variables are 1-based, matching our literal convention *)
+  try make nvars clauses
+  with Invalid_argument _ -> raise (Dimacs_error "literal out of range")
+
+let to_dimacs t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" t.nvars (clause_count t));
+  List.iter
+    (fun clause ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** CNF formulas in DIMACS literal convention: literal [v+1] is variable
+    [v] positive, [-(v+1)] its negation (variables are 0-based).
+    Includes the random k-SAT generators used by experiment E8. *)
+
+type clause = int array
+
+type t
+
+(** Validates literals; raises [Invalid_argument] on 0 or out-of-range
+    literals. *)
+val make : int -> clause list -> t
+
+val nvars : t -> int
+
+val clauses : t -> clause list
+
+val clause_count : t -> int
+
+val var_of_lit : int -> int
+
+val lit_is_pos : int -> bool
+
+(** [lit ~positive v] builds the literal for 0-based variable [v]. *)
+val lit : positive:bool -> int -> int
+
+val eval_clause : bool array -> clause -> bool
+
+val satisfies : t -> bool array -> bool
+
+(** Uniform random k-SAT: [nclauses] clauses over [k] distinct variables
+    each, with random polarities. *)
+val random_ksat : Lb_util.Prng.t -> nvars:int -> nclauses:int -> k:int -> t
+
+(** Clauses filtered to be satisfied by a hidden random assignment;
+    returns the formula and the witness. *)
+val random_planted :
+  Lb_util.Prng.t -> nvars:int -> nclauses:int -> k:int -> t * bool array
+
+(** Random Horn formula (at most one positive literal per clause). *)
+val random_horn : Lb_util.Prng.t -> nvars:int -> nclauses:int -> k:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+exception Dimacs_error of string
+
+(** Parse DIMACS CNF text ("c" comments, "p cnf n m" header, 0-terminated
+    clauses).  Raises {!Dimacs_error}. *)
+val parse_dimacs : string -> t
+
+(** Serialize to DIMACS CNF. *)
+val to_dimacs : t -> string

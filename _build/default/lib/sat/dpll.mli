@@ -1,0 +1,18 @@
+(** DPLL satisfiability: unit propagation plus branching.  Deliberately
+    not CDCL - experiment E8 measures the exponential scaling of
+    systematic search that Hypothesis 1 (ETH) is about. *)
+
+type stats = { mutable decisions : int; mutable propagations : int }
+
+val fresh_stats : unit -> stats
+
+type branching =
+  | Max_occurrence  (** branch on the variable in most open clauses *)
+  | First_unassigned  (** naive static order (ablation A3) *)
+
+(** A satisfying assignment, or [None].  Unconstrained variables default
+    to [false]. *)
+val solve : ?stats:stats -> ?branching:branching -> Cnf.t -> bool array option
+
+(** Exhaustive model count ([2^n]; tests only). *)
+val count_models : Cnf.t -> int

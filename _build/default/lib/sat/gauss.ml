@@ -1,0 +1,92 @@
+(* Linear systems over GF(2): the solver for the affine Schaefer class
+   (XOR-SAT).  Rows are bitsets over [nvars] columns plus a right-hand
+   side bit. *)
+
+module Bitset = Lb_util.Bitset
+
+type equation = { vars : int array; rhs : bool }
+(* XOR of [vars] equals [rhs]; repeated variables cancel. *)
+
+type system = { nvars : int; equations : equation list }
+
+(* Gaussian elimination; returns a satisfying assignment (free variables
+   set to false) or None. *)
+let solve { nvars; equations } =
+  let rows =
+    List.map
+      (fun { vars; rhs } ->
+        let row = Bitset.create (nvars + 1) in
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= nvars then invalid_arg "Gauss.solve: var range";
+            if Bitset.mem row v then Bitset.remove row v else Bitset.add row v)
+          vars;
+        if rhs then Bitset.add row nvars;
+        row)
+      equations
+  in
+  let rows = Array.of_list rows in
+  let m = Array.length rows in
+  let pivot_col = Array.make m (-1) in
+  let rank = ref 0 in
+  (try
+     for col = 0 to nvars - 1 do
+       (* find a row at or below !rank with this column set *)
+       let found = ref (-1) in
+       for i = !rank to m - 1 do
+         if !found < 0 && Bitset.mem rows.(i) col then found := i
+       done;
+       if !found >= 0 then begin
+         let tmp = rows.(!rank) in
+         rows.(!rank) <- rows.(!found);
+         rows.(!found) <- tmp;
+         for i = 0 to m - 1 do
+           if i <> !rank && Bitset.mem rows.(i) col then begin
+             (* rows.(i) <- rows.(i) xor rows.(rank): emulate via diff/union *)
+             let a = rows.(i) and b = rows.(!rank) in
+             let both = Bitset.inter a b in
+             Bitset.union_into ~into:a b;
+             Bitset.diff_into ~into:a both
+           end
+         done;
+         pivot_col.(!rank) <- col;
+         incr rank;
+         if !rank = m then raise Exit
+       end
+     done
+   with Exit -> ());
+  (* consistency: any all-zero row with rhs set? *)
+  let inconsistent =
+    Array.exists
+      (fun row ->
+        Bitset.mem row nvars && Bitset.cardinal row = 1)
+      rows
+  in
+  if inconsistent then None
+  else begin
+    let x = Array.make nvars false in
+    (* back-substitute: rows are fully reduced (Gauss-Jordan above), so
+       each pivot variable equals rhs xor (sum of free vars in the row),
+       and free vars are false. *)
+    for i = 0 to !rank - 1 do
+      let col = pivot_col.(i) in
+      if col >= 0 then x.(col) <- Bitset.mem rows.(i) nvars
+    done;
+    Some x
+  end
+
+let satisfies { nvars; equations } x =
+  Array.length x = nvars
+  && List.for_all
+       (fun { vars; rhs } ->
+         let acc = Array.fold_left (fun acc v -> acc <> x.(v)) false vars in
+         acc = rhs)
+       equations
+
+(* Random system generator for the E8 workloads. *)
+let random rng ~nvars ~nequations ~width =
+  let eq () =
+    let vars = Lb_util.Prng.sample rng nvars width in
+    { vars; rhs = Lb_util.Prng.bool rng }
+  in
+  { nvars; equations = List.init nequations (fun _ -> eq ()) }

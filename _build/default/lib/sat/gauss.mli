@@ -1,0 +1,15 @@
+(** Linear systems over GF(2) - the affine Schaefer class (XOR-SAT). *)
+
+type equation = { vars : int array; rhs : bool }
+(** XOR of the variables equals [rhs]; repeated variables cancel. *)
+
+type system = { nvars : int; equations : equation list }
+
+(** Gauss-Jordan elimination; a satisfying assignment (free variables
+    false) or [None]. *)
+val solve : system -> bool array option
+
+val satisfies : system -> bool array -> bool
+
+val random :
+  Lb_util.Prng.t -> nvars:int -> nequations:int -> width:int -> system

@@ -1,0 +1,377 @@
+(* Schaefer's dichotomy (Section 4).
+
+   A Boolean constraint language - a finite set of relations over {0,1} -
+   gives a polynomial-time CSP(R) iff every relation is 0-valid, every
+   relation is 1-valid, or every relation is closed under one of: AND
+   (Horn), OR (dual Horn), XOR of three (affine), majority (bijunctive).
+   Otherwise CSP(R) is NP-hard.  [classify] runs the closure tests;
+   [solve] dispatches a dedicated polynomial algorithm for each tractable
+   class and falls back to exponential backtracking for hard languages.
+
+   Representation: a k-ary Boolean relation is its arity plus the set of
+   satisfying tuples, each tuple a k-bit int (bit i = value of coordinate
+   i). *)
+
+module Int_set = Set.Make (Int)
+
+type relation = { arity : int; tuples : Int_set.t }
+
+let relation arity tuple_list =
+  let max_mask = (1 lsl arity) - 1 in
+  List.iter
+    (fun t -> if t < 0 || t > max_mask then invalid_arg "Schaefer.relation")
+    tuple_list;
+  { arity; tuples = Int_set.of_list tuple_list }
+
+let relation_of_pred arity pred =
+  let tuples = ref Int_set.empty in
+  for t = 0 to (1 lsl arity) - 1 do
+    if pred (Array.init arity (fun i -> (t lsr i) land 1 = 1)) then
+      tuples := Int_set.add t !tuples
+  done;
+  { arity; tuples = !tuples }
+
+let mem_tuple r t = Int_set.mem t r.tuples
+
+(* Closure properties. *)
+
+let zero_valid r = Int_set.mem 0 r.tuples
+
+let one_valid r = Int_set.mem ((1 lsl r.arity) - 1) r.tuples
+
+let closed2 op r =
+  Int_set.for_all
+    (fun a -> Int_set.for_all (fun b -> Int_set.mem (op a b) r.tuples) r.tuples)
+    r.tuples
+
+let closed3 op r =
+  Int_set.for_all
+    (fun a ->
+      Int_set.for_all
+        (fun b ->
+          Int_set.for_all (fun c -> Int_set.mem (op a b c) r.tuples) r.tuples)
+        r.tuples)
+    r.tuples
+
+let horn r = closed2 ( land ) r
+
+let dual_horn r = closed2 ( lor ) r
+
+let affine r = closed3 (fun a b c -> a lxor b lxor c) r
+
+let bijunctive r = closed3 (fun a b c -> (a land b) lor (a land c) lor (b land c)) r
+
+type schaefer_class =
+  | All_zero_valid
+  | All_one_valid
+  | All_horn
+  | All_dual_horn
+  | All_affine
+  | All_bijunctive
+
+let class_name = function
+  | All_zero_valid -> "0-valid"
+  | All_one_valid -> "1-valid"
+  | All_horn -> "Horn"
+  | All_dual_horn -> "dual-Horn"
+  | All_affine -> "affine"
+  | All_bijunctive -> "bijunctive"
+
+(* All Schaefer classes containing every relation of the language.
+   Empty list = NP-hard by Schaefer's theorem. *)
+let classify language =
+  List.filter
+    (fun (_cls, test) -> List.for_all test language)
+    [
+      (All_zero_valid, zero_valid);
+      (All_one_valid, one_valid);
+      (All_horn, horn);
+      (All_dual_horn, dual_horn);
+      (All_affine, affine);
+      (All_bijunctive, bijunctive);
+    ]
+  |> List.map fst
+
+let is_tractable language = classify language <> []
+
+(* --- Boolean CSP instances over a language --- *)
+
+type constraint_ = { scope : int array; rel : relation }
+
+type instance = { nvars : int; constraints : constraint_ list }
+
+let check_instance i =
+  List.iter
+    (fun { scope; rel } ->
+      if Array.length scope <> rel.arity then
+        invalid_arg "Schaefer: scope/arity mismatch";
+      Array.iter
+        (fun v -> if v < 0 || v >= i.nvars then invalid_arg "Schaefer: var range")
+        scope)
+    i.constraints
+
+let tuple_of_assignment scope (x : bool array) =
+  let t = ref 0 in
+  Array.iteri (fun i v -> if x.(v) then t := !t lor (1 lsl i)) scope;
+  !t
+
+let satisfies inst x =
+  List.for_all
+    (fun { scope; rel } -> mem_tuple rel (tuple_of_assignment scope x))
+    inst.constraints
+
+(* Exponential fallback: plain backtracking with constraint checking on
+   fully-scoped constraints. *)
+let solve_bruteforce inst =
+  let x = Array.make inst.nvars false in
+  let constraints = Array.of_list inst.constraints in
+  let rec go v =
+    if v = inst.nvars then
+      if
+        Array.for_all
+          (fun { scope; rel } -> mem_tuple rel (tuple_of_assignment scope x))
+          constraints
+      then Some (Array.copy x)
+      else None
+    else begin
+      x.(v) <- false;
+      match go (v + 1) with
+      | Some r -> Some r
+      | None ->
+          x.(v) <- true;
+          go (v + 1)
+    end
+  in
+  go 0
+
+(* --- Clause/equation compilation for the tractable classes ---
+
+   A Horn (resp. dual-Horn, bijunctive, affine) relation is exactly the
+   solution set of the Horn clauses (resp. dual-Horn clauses, 2-clauses,
+   parity equations) it satisfies; we enumerate implied
+   clauses/equations over the scope and hand them to the dedicated
+   polynomial solver.  Arities in practice are tiny, so the 3^k / 2^k
+   enumerations are negligible. *)
+
+(* All clauses over positions [0,k): each position is positive / negative
+   / absent.  A clause is (pos_mask, neg_mask), nonempty, and it is
+   *implied* by r iff every tuple of r satisfies it. *)
+let implied_clauses ?(max_pos = max_int) ?(max_width = max_int) r =
+  let k = r.arity in
+  let clauses = ref [] in
+  let rec go pos (pmask, nmask, width, npos) =
+    if pos = k then begin
+      if width > 0 && width <= max_width && npos <= max_pos then begin
+        let satisfied t = t land pmask <> 0 || lnot t land nmask <> 0 in
+        if Int_set.for_all satisfied r.tuples then
+          clauses := (pmask, nmask) :: !clauses
+      end
+    end
+    else begin
+      go (pos + 1) (pmask, nmask, width, npos);
+      go (pos + 1) (pmask lor (1 lsl pos), nmask, width + 1, npos + 1);
+      go (pos + 1) (pmask, nmask lor (1 lsl pos), width + 1, npos)
+    end
+  in
+  go 0 (0, 0, 0, 0);
+  !clauses
+
+(* Does the conjunction of clauses have exactly r's satisfying tuples? *)
+let clauses_equal_relation r clauses =
+  let k = r.arity in
+  let ok = ref true in
+  for t = 0 to (1 lsl k) - 1 do
+    let sat =
+      List.for_all
+        (fun (pmask, nmask) -> t land pmask <> 0 || lnot t land nmask <> 0)
+        clauses
+    in
+    if sat <> Int_set.mem t r.tuples then ok := false
+  done;
+  !ok
+
+(* All parity equations over positions: subset + rhs implied by r. *)
+let implied_parities r =
+  let k = r.arity in
+  let eqs = ref [] in
+  for mask = 1 to (1 lsl k) - 1 do
+    let parity t =
+      let x = t land mask in
+      (* popcount parity *)
+      let rec p v acc = if v = 0 then acc else p (v lsr 1) (acc lxor (v land 1)) in
+      p x 0
+    in
+    let all_even = Int_set.for_all (fun t -> parity t = 0) r.tuples in
+    let all_odd = Int_set.for_all (fun t -> parity t = 1) r.tuples in
+    if all_even then eqs := (mask, false) :: !eqs
+    else if all_odd then eqs := (mask, true) :: !eqs
+  done;
+  !eqs
+
+let parities_equal_relation r eqs =
+  let k = r.arity in
+  let ok = ref true in
+  for t = 0 to (1 lsl k) - 1 do
+    let sat =
+      List.for_all
+        (fun (mask, rhs) ->
+          let rec p v acc = if v = 0 then acc else p (v lsr 1) (acc <> (v land 1 = 1)) in
+          p (t land mask) false = rhs)
+        eqs
+    in
+    if sat <> Int_set.mem t r.tuples then ok := false
+  done;
+  !ok
+
+(* Map scope-local clause masks to global literals. *)
+let globalize_clause scope (pmask, nmask) =
+  let lits = ref [] in
+  Array.iteri
+    (fun i v ->
+      if pmask land (1 lsl i) <> 0 then lits := Cnf.lit ~positive:true v :: !lits;
+      if nmask land (1 lsl i) <> 0 then lits := Cnf.lit ~positive:false v :: !lits)
+    scope;
+  Array.of_list !lits
+
+(* Horn-SAT: compute the minimal model by propagation; a clause with all
+   negative literals satisfied (i.e. all those vars true) forces its
+   positive literal (if any) or fails. *)
+let solve_horn_clauses nvars clauses =
+  let x = Array.make nvars false in
+  let changed = ref true in
+  let failed = ref false in
+  while !changed && not !failed do
+    changed := false;
+    List.iter
+      (fun clause ->
+        let sat =
+          Array.exists
+            (fun l ->
+              let v = Cnf.var_of_lit l in
+              if Cnf.lit_is_pos l then x.(v) else not x.(v))
+            clause
+        in
+        if not sat then begin
+          (* all negatives are currently true and positives false *)
+          match
+            Array.to_list clause |> List.filter Cnf.lit_is_pos
+          with
+          | [ p ] ->
+              x.(Cnf.var_of_lit p) <- true;
+              changed := true
+          | [] -> failed := true
+          | _ -> assert false (* Horn: at most one positive *)
+        end)
+      clauses
+  done;
+  if !failed then None else Some x
+
+let solve_dual_horn_clauses nvars clauses =
+  (* Mirror: complement every literal and every variable. *)
+  let flipped =
+    List.map (fun c -> Array.map (fun l -> -l) c) clauses
+  in
+  match solve_horn_clauses nvars flipped with
+  | Some x -> Some (Array.map not x)
+  | None -> None
+
+type method_used =
+  | Trivial_all_zero
+  | Trivial_all_one
+  | Horn_propagation
+  | Dual_horn_propagation
+  | Gaussian_elimination
+  | Two_sat_scc
+  | Bruteforce_backtracking
+
+let method_name = function
+  | Trivial_all_zero -> "constant-0 assignment"
+  | Trivial_all_one -> "constant-1 assignment"
+  | Horn_propagation -> "Horn unit propagation"
+  | Dual_horn_propagation -> "dual-Horn unit propagation"
+  | Gaussian_elimination -> "GF(2) Gaussian elimination"
+  | Two_sat_scc -> "2SAT via SCC"
+  | Bruteforce_backtracking -> "exponential backtracking"
+
+(* Solve [inst], preferring the polynomial algorithm licensed by the
+   language's Schaefer class.  Returns the assignment (if satisfiable)
+   and which method ran. *)
+let solve inst =
+  check_instance inst;
+  let language = List.map (fun c -> c.rel) inst.constraints in
+  let classes = classify language in
+  let pick cls = List.mem cls classes in
+  if List.exists (fun { rel; _ } -> Int_set.is_empty rel.tuples) inst.constraints
+  then
+    (* an empty constraint relation is unsatisfiable outright; the
+       clause/parity compilations below assume nonempty relations *)
+    (None, Bruteforce_backtracking)
+  else if pick All_zero_valid then (Some (Array.make inst.nvars false), Trivial_all_zero)
+  else if pick All_one_valid then (Some (Array.make inst.nvars true), Trivial_all_one)
+  else if pick All_horn then begin
+    let clauses =
+      List.concat_map
+        (fun { scope; rel } ->
+          let cl = implied_clauses ~max_pos:1 rel in
+          assert (clauses_equal_relation rel cl);
+          List.map (globalize_clause scope) cl)
+        inst.constraints
+    in
+    (solve_horn_clauses inst.nvars clauses, Horn_propagation)
+  end
+  else if pick All_dual_horn then begin
+    let clauses =
+      List.concat_map
+        (fun { scope; rel } ->
+          let cl =
+            implied_clauses rel
+            |> List.filter (fun (pm, nm) ->
+                   (* at most one negative literal *)
+                   let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+                   ignore pm;
+                   pop nm <= 1)
+          in
+          assert (clauses_equal_relation rel cl);
+          List.map (globalize_clause scope) cl)
+        inst.constraints
+    in
+    (solve_dual_horn_clauses inst.nvars clauses, Dual_horn_propagation)
+  end
+  else if pick All_affine then begin
+    let eqs =
+      List.concat_map
+        (fun { scope; rel } ->
+          let ps = implied_parities rel in
+          assert (parities_equal_relation rel ps);
+          List.map
+            (fun (mask, rhs) ->
+              let vars = ref [] in
+              Array.iteri
+                (fun i v -> if mask land (1 lsl i) <> 0 then vars := v :: !vars)
+                scope;
+              { Gauss.vars = Array.of_list !vars; rhs })
+            ps)
+        inst.constraints
+    in
+    (Gauss.solve { Gauss.nvars = inst.nvars; equations = eqs }, Gaussian_elimination)
+  end
+  else if pick All_bijunctive then begin
+    let clauses =
+      List.concat_map
+        (fun { scope; rel } ->
+          let cl = implied_clauses ~max_width:2 rel in
+          assert (clauses_equal_relation rel cl);
+          List.map (globalize_clause scope) cl)
+        inst.constraints
+    in
+    (* empty relation slips through as an unsatisfied 0-width situation;
+       guard: a relation with no tuples makes the instance unsatisfiable *)
+    if List.exists (fun { rel; _ } -> Int_set.is_empty rel.tuples) inst.constraints
+    then (None, Two_sat_scc)
+    else begin
+      let nonempty = List.filter (fun c -> Array.length c > 0) clauses in
+      let t = Cnf.make inst.nvars nonempty in
+      (Two_sat.solve t, Two_sat_scc)
+    end
+  end
+  else (solve_bruteforce inst, Bruteforce_backtracking)

@@ -1,0 +1,70 @@
+(** Schaefer's dichotomy (Section 4): a Boolean constraint language is
+    polynomial iff all its relations are 0-valid, all 1-valid, or all
+    closed under AND / OR / 3-XOR / majority; otherwise CSP(language) is
+    NP-hard.  [classify] runs the closure tests; [solve] dispatches the
+    matching polynomial algorithm. *)
+
+type relation = { arity : int; tuples : Set.Make(Int).t }
+(** A k-ary Boolean relation: its satisfying tuples as k-bit ints (bit i
+    = coordinate i). *)
+
+(** Build from explicit bitmask tuples; validates the range. *)
+val relation : int -> int list -> relation
+
+(** Build from a predicate on coordinate arrays. *)
+val relation_of_pred : int -> (bool array -> bool) -> relation
+
+val mem_tuple : relation -> int -> bool
+
+(** The six closure properties. *)
+
+val zero_valid : relation -> bool
+
+val one_valid : relation -> bool
+
+val horn : relation -> bool
+
+val dual_horn : relation -> bool
+
+val affine : relation -> bool
+
+val bijunctive : relation -> bool
+
+type schaefer_class =
+  | All_zero_valid
+  | All_one_valid
+  | All_horn
+  | All_dual_horn
+  | All_affine
+  | All_bijunctive
+
+val class_name : schaefer_class -> string
+
+(** Classes containing every relation of the language; empty = NP-hard. *)
+val classify : relation list -> schaefer_class list
+
+val is_tractable : relation list -> bool
+
+type constraint_ = { scope : int array; rel : relation }
+
+type instance = { nvars : int; constraints : constraint_ list }
+
+val satisfies : instance -> bool array -> bool
+
+(** Plain exhaustive backtracking (the fallback for hard languages). *)
+val solve_bruteforce : instance -> bool array option
+
+type method_used =
+  | Trivial_all_zero
+  | Trivial_all_one
+  | Horn_propagation
+  | Dual_horn_propagation
+  | Gaussian_elimination
+  | Two_sat_scc
+  | Bruteforce_backtracking
+
+val method_name : method_used -> string
+
+(** Solve with the polynomial algorithm licensed by the language's
+    class, or exponential search if none; reports which ran. *)
+val solve : instance -> bool array option * method_used

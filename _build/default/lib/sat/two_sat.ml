@@ -1,0 +1,109 @@
+(* Linear-time 2SAT via the implication graph and Tarjan's SCC algorithm.
+
+   The polynomial case in Section 4's discussion ("|D|=2 and binary
+   constraints is 2SAT, solvable in polynomial time") and one of the
+   tractable Schaefer classes (bijunctive).
+
+   Literal encoding inside this module: variable v gets node 2v for its
+   positive literal and 2v+1 for its negation. *)
+
+let node_of_lit l =
+  let v = Cnf.var_of_lit l in
+  if Cnf.lit_is_pos l then 2 * v else (2 * v) + 1
+
+let neg_node n = n lxor 1
+
+(* Tarjan SCC, iterative to survive large instances. Returns component
+   ids; components are numbered in reverse topological order (a Tarjan
+   property we rely on for witness extraction). *)
+let tarjan_scc nnodes adj =
+  let index = Array.make nnodes (-1) in
+  let lowlink = Array.make nnodes 0 in
+  let on_stack = Array.make nnodes false in
+  let comp = Array.make nnodes (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  for root = 0 to nnodes - 1 do
+    if index.(root) < 0 then begin
+      (* explicit DFS stack: (node, next-child position) *)
+      let call = ref [ (root, ref 0) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (u, pos) :: rest ->
+            let children = adj.(u) in
+            if !pos < Array.length children then begin
+              let w = children.(!pos) in
+              incr pos;
+              if index.(w) < 0 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                call := (w, ref 0) :: !call
+              end
+              else if on_stack.(w) then
+                lowlink.(u) <- min lowlink.(u) index.(w)
+            end
+            else begin
+              (* post-visit u *)
+              call := rest;
+              (match rest with
+              | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(u)
+              | [] -> ());
+              if lowlink.(u) = index.(u) then begin
+                let continue_ = ref true in
+                while !continue_ do
+                  match !stack with
+                  | [] -> continue_ := false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- !next_comp;
+                      if w = u then continue_ := false
+                done;
+                incr next_comp
+              end
+            end
+      done
+    end
+  done;
+  comp
+
+(* Solve a 2-CNF formula.  Clauses of size 1 are allowed (treated as
+   (l or l)); clauses of size > 2 are rejected. *)
+let solve t =
+  let n = Cnf.nvars t in
+  let nnodes = 2 * n in
+  let out = Array.make nnodes [] in
+  List.iter
+    (fun c ->
+      match Array.to_list c with
+      | [ l ] ->
+          out.(neg_node (node_of_lit l)) <- node_of_lit l :: out.(neg_node (node_of_lit l))
+      | [ l1; l2 ] ->
+          (* (~l1 -> l2) and (~l2 -> l1) *)
+          out.(neg_node (node_of_lit l1)) <- node_of_lit l2 :: out.(neg_node (node_of_lit l1));
+          out.(neg_node (node_of_lit l2)) <- node_of_lit l1 :: out.(neg_node (node_of_lit l2))
+      | [] -> invalid_arg "Two_sat.solve: empty clause is trivially false"
+      | _ -> invalid_arg "Two_sat.solve: clause wider than 2")
+    (Cnf.clauses t);
+  let adj = Array.map Array.of_list out in
+  let comp = tarjan_scc nnodes adj in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if comp.(2 * v) = comp.((2 * v) + 1) then ok := false
+  done;
+  if not !ok then None
+  else
+    (* Tarjan numbers components in reverse topological order, so a
+       literal is set true iff its component id is smaller than its
+       negation's (it comes later in topological order). *)
+    Some (Array.init n (fun v -> comp.(2 * v) < comp.((2 * v) + 1)))

@@ -1,0 +1,12 @@
+(** Linear-time 2SAT via the implication graph and Tarjan's strongly
+    connected components - the polynomial case of Section 4's "binary
+    constraints over a 2-element domain" and the bijunctive Schaefer
+    class's solver. *)
+
+(** Accepts clauses of width 1 and 2; raises [Invalid_argument] on wider
+    or empty clauses. *)
+val solve : Cnf.t -> bool array option
+
+(** Exposed for reuse and tests: iterative Tarjan SCC over an adjacency
+    array; component ids are in reverse topological order. *)
+val tarjan_scc : int -> int array array -> int array

@@ -1,0 +1,1 @@
+lib/structure/core_struct.ml: Array Fun List Structure

@@ -1,0 +1,1 @@
+lib/structure/structure.ml: Array Fun Hashtbl List

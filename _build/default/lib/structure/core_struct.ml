@@ -1,0 +1,57 @@
+(* Cores of relational structures (Theorem 5.3).
+
+   The core of A is the smallest substructure A' such that A has a
+   homomorphism into A'; it is unique up to isomorphism, and Grohe's
+   theorem says the tractability of HOM(A, _) is governed by the
+   treewidth of the core.
+
+   Algorithm: repeatedly look for a *non-surjective* endomorphism (a
+   homomorphism from the current structure to itself missing some
+   element); restrict to its image and iterate.  A structure with no
+   non-surjective endomorphism is a core.  Exponential in the worst case
+   (homomorphism search), fine at the experiment scales.
+
+   To find a non-surjective endomorphism we try, for each element x, a
+   homomorphism into the substructure induced by universe minus {x}
+   composed with the inclusion; this is exactly a retraction avoiding x
+   and is complete: if any non-surjective endomorphism exists, its image
+   avoids some x, and restricting/iterating it yields a homomorphism into
+   a proper induced substructure. *)
+
+let shrink_step s =
+  let n = Structure.universe s in
+  let rec try_missing x =
+    if x >= n then None
+    else begin
+      let elems = Array.of_list (List.filter (fun v -> v <> x) (List.init n Fun.id)) in
+      let sub, back = Structure.induced s elems in
+      match Structure.find_homomorphism s sub with
+      | Some h ->
+          (* compose with inclusion to get endo avoiding x; return the
+             induced substructure on the endo's image for a maximal
+             shrink *)
+          let endo = Array.map (fun c -> back.(c)) h in
+          let image =
+            Array.to_list endo |> List.sort_uniq compare |> Array.of_list
+          in
+          let core_candidate, back2 = Structure.induced s image in
+          Some (core_candidate, back2)
+      | None -> try_missing (x + 1)
+    end
+  in
+  try_missing 0
+
+(* Compute the core; returns the core plus the element map from core
+   elements to the original structure's elements. *)
+let core s =
+  let n0 = Structure.universe s in
+  let rec go current mapping =
+    match shrink_step current with
+    | None -> (current, mapping)
+    | Some (smaller, back) ->
+        let mapping' = Array.map (fun i -> mapping.(i)) back in
+        go smaller mapping'
+  in
+  go s (Array.init n0 Fun.id)
+
+let is_core s = shrink_step s = None

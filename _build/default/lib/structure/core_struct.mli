@@ -1,0 +1,13 @@
+(** Cores of relational structures (Theorem 5.3): the smallest retract.
+    Grohe's theorem makes the treewidth of the core - not of the
+    structure itself - the parameter governing HOM(A, _). *)
+
+(** One shrinking step: a proper retract (with its element map), or
+    [None] if the structure is a core. *)
+val shrink_step : Structure.t -> (Structure.t * int array) option
+
+(** The core, with the map from core elements to original elements.
+    Exponential worst case (homomorphism search). *)
+val core : Structure.t -> Structure.t * int array
+
+val is_core : Structure.t -> bool

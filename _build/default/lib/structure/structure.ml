@@ -1,0 +1,196 @@
+(* Relational structures over a finite vocabulary (Section 2.4).
+
+   A vocabulary assigns arities to named relation symbols; a structure
+   has a universe [0, n) and, for each symbol, a set of tuples.  The
+   homomorphism problem between structures generalizes both graph
+   homomorphism (one binary symmetric relation) and CSP (Section 2.4's
+   construction, implemented in Lb_csp.Convert). *)
+
+type vocabulary = (string * int) list
+(* symbol name, arity; names must be distinct *)
+
+type t = {
+  vocabulary : vocabulary;
+  universe : int; (* elements are 0 .. universe-1 *)
+  relations : (string, int array list) Hashtbl.t;
+}
+
+let check_vocabulary voc =
+  let names = List.map fst voc in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Structure: duplicate symbol in vocabulary";
+  List.iter
+    (fun (_, a) -> if a < 1 then invalid_arg "Structure: arity must be >= 1")
+    voc
+
+let create vocabulary universe =
+  check_vocabulary vocabulary;
+  if universe < 0 then invalid_arg "Structure.create";
+  let relations = Hashtbl.create 16 in
+  List.iter (fun (name, _) -> Hashtbl.replace relations name []) vocabulary;
+  { vocabulary; universe; relations }
+
+let arity_of t name =
+  match List.assoc_opt name t.vocabulary with
+  | Some a -> a
+  | None -> invalid_arg ("Structure: unknown symbol " ^ name)
+
+let add_tuple t name tuple =
+  let a = arity_of t name in
+  if Array.length tuple <> a then invalid_arg "Structure.add_tuple: arity";
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= t.universe then invalid_arg "Structure.add_tuple: range")
+    tuple;
+  let existing = Hashtbl.find t.relations name in
+  if not (List.exists (fun u -> u = tuple) existing) then
+    Hashtbl.replace t.relations name (Array.copy tuple :: existing)
+
+let tuples t name =
+  ignore (arity_of t name);
+  Hashtbl.find t.relations name
+
+let universe t = t.universe
+
+let vocabulary t = t.vocabulary
+
+let total_tuples t =
+  List.fold_left (fun acc (name, _) -> acc + List.length (tuples t name)) 0 t.vocabulary
+
+(* Map a structure through a function on elements (used to build
+   substructures and retracts).  [f] must map into [new_universe). *)
+let map t ~new_universe ~f =
+  let s = create t.vocabulary new_universe in
+  List.iter
+    (fun (name, _) ->
+      List.iter (fun tup -> add_tuple s name (Array.map f tup)) (tuples t name))
+    t.vocabulary;
+  s
+
+(* Induced substructure on a sorted element subset; returns it with the
+   (new -> old) element map. *)
+let induced t elems =
+  let elems = Array.copy elems in
+  Array.sort compare elems;
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) elems;
+  let s = create t.vocabulary (Array.length elems) in
+  List.iter
+    (fun (name, _) ->
+      List.iter
+        (fun tup ->
+          if Array.for_all (Hashtbl.mem index) tup then
+            add_tuple s name (Array.map (Hashtbl.find index) tup))
+        (tuples t name))
+    t.vocabulary;
+  (s, elems)
+
+let same_vocabulary a b = a.vocabulary = b.vocabulary
+
+(* Is [h] a homomorphism from [a] to [b]? *)
+let is_homomorphism a b h =
+  same_vocabulary a b
+  && Array.length h = a.universe
+  && Array.for_all (fun v -> v >= 0 && v < b.universe) h
+  && List.for_all
+       (fun (name, _) ->
+         let btuples = tuples b name in
+         List.for_all
+           (fun tup ->
+             let image = Array.map (fun v -> h.(v)) tup in
+             List.exists (fun u -> u = image) btuples)
+           (tuples a name))
+       a.vocabulary
+
+(* Find a homomorphism a -> b by backtracking.
+
+   Each element of [a] is a variable with candidate set [0, b.universe).
+   Constraints: for every tuple of every relation of [a], its image must
+   be a tuple of [b].  We check a constraint as soon as all its elements
+   are assigned; elements are ordered so tuples complete early.
+   [distinct] additionally forces injectivity (used by isomorphism-ish
+   tests); [forbid_identity] rejects the identity map (used by the core
+   computation to look for proper retractions when a = b). *)
+let find_homomorphism ?(distinct = false) ?(forbid_identity = false) a b =
+  if not (same_vocabulary a b) then invalid_arg "Structure: vocabulary mismatch";
+  let n = a.universe in
+  if n = 0 then Some [||]
+  else begin
+    (* constraints: (tuple, tuples of b for that symbol) *)
+    let constraints =
+      List.concat_map
+        (fun (name, _) ->
+          let bt = tuples b name in
+          List.map (fun tup -> (tup, bt)) (tuples a name))
+        a.vocabulary
+    in
+    (* order elements by first occurrence in constraints, then rest *)
+    let order = Array.make n (-1) in
+    let pos = Array.make n (-1) in
+    let next = ref 0 in
+    let push v =
+      if pos.(v) < 0 then begin
+        pos.(v) <- !next;
+        order.(!next) <- v;
+        incr next
+      end
+    in
+    List.iter (fun (tup, _) -> Array.iter push tup) constraints;
+    for v = 0 to n - 1 do
+      push v
+    done;
+    (* constraints keyed by the latest position among their elements *)
+    let by_last = Array.make n [] in
+    List.iter
+      (fun (tup, bt) ->
+        let last = Array.fold_left (fun acc v -> max acc pos.(v)) 0 tup in
+        by_last.(last) <- (tup, bt) :: by_last.(last))
+      constraints;
+    let h = Array.make n (-1) in
+    let used = Array.make b.universe false in
+    let rec go i =
+      if i = n then true
+      else begin
+        let v = order.(i) in
+        let rec try_value c =
+          if c = b.universe then false
+          else if distinct && used.(c) then try_value (c + 1)
+          else begin
+            h.(v) <- c;
+            let ok =
+              List.for_all
+                (fun (tup, bt) ->
+                  let image = Array.map (fun u -> h.(u)) tup in
+                  List.exists (fun u -> u = image) bt)
+                by_last.(i)
+            in
+            let ok =
+              ok
+              && not
+                   (forbid_identity && i = n - 1 && n = b.universe
+                   && Array.for_all2 ( = ) h (Array.init n Fun.id))
+            in
+            if ok then begin
+              if distinct then used.(c) <- true;
+              if go (i + 1) then true
+              else begin
+                if distinct then used.(c) <- false;
+                h.(v) <- -1;
+                try_value (c + 1)
+              end
+            end
+            else begin
+              h.(v) <- -1;
+              try_value (c + 1)
+            end
+          end
+        in
+        try_value 0
+      end
+    in
+    if go 0 then Some (Array.copy h) else None
+  end
+
+let homomorphic a b = find_homomorphism a b <> None
+
+let homomorphically_equivalent a b = homomorphic a b && homomorphic b a

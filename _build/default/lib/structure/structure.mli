@@ -1,0 +1,47 @@
+(** Relational structures over a finite vocabulary (Section 2.4) and the
+    homomorphism problem between them - the most general of the four
+    domains, subsuming graphs and CSPs. *)
+
+type vocabulary = (string * int) list
+(** (symbol, arity) pairs; names distinct, arities >= 1. *)
+
+type t
+
+(** [create voc n] is the structure with universe [\[0, n)] and empty
+    relations.  Validates the vocabulary. *)
+val create : vocabulary -> int -> t
+
+val arity_of : t -> string -> int
+
+(** Add a tuple (idempotent).  Raises on unknown symbol, arity or range
+    errors. *)
+val add_tuple : t -> string -> int array -> unit
+
+val tuples : t -> string -> int array list
+
+val universe : t -> int
+
+val vocabulary : t -> vocabulary
+
+val total_tuples : t -> int
+
+(** Image of the structure under an element map. *)
+val map : t -> new_universe:int -> f:(int -> int) -> t
+
+(** Induced substructure on an element subset, with the (new -> old)
+    map. *)
+val induced : t -> int array -> t * int array
+
+val same_vocabulary : t -> t -> bool
+
+val is_homomorphism : t -> t -> int array -> bool
+
+(** Backtracking homomorphism search; [distinct] forces injectivity,
+    [forbid_identity] rejects the identity (only meaningful between a
+    structure and itself). *)
+val find_homomorphism :
+  ?distinct:bool -> ?forbid_identity:bool -> t -> t -> int array option
+
+val homomorphic : t -> t -> bool
+
+val homomorphically_equivalent : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/util/bitset.ml: Array Format List String

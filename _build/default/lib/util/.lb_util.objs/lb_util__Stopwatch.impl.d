@@ -1,0 +1,1 @@
+lib/util/stopwatch.ml: Array Printf Sys Unix

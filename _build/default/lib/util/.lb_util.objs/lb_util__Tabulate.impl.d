@@ -1,0 +1,1 @@
+lib/util/tabulate.ml: Array Buffer List String

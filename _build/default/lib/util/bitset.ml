@@ -1,0 +1,151 @@
+(* Fixed-capacity bitsets over packed 63-bit words (OCaml native ints).
+
+   Used as the workhorse set representation for graph adjacency, CSP
+   domains and subset enumeration.  Capacity is fixed at creation; all
+   binary operations require equal capacity. *)
+
+type t = { capacity : int; words : int array }
+
+(* 62 payload bits per word: a full word is exactly [max_int], keeping
+   every word value nonnegative (the sign bit is never used). *)
+let word_bits = 62
+
+let nwords capacity = (capacity + word_bits - 1) / word_bits
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { capacity; words = Array.make (max 1 (nwords capacity)) 0 }
+
+let capacity t = t.capacity
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / word_bits and b = i mod word_bits in
+  t.words.(w) land (1 lsl b) <> 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill t =
+  let n = t.capacity in
+  for w = 0 to Array.length t.words - 1 do
+    let lo = w * word_bits in
+    let hi = min n (lo + word_bits) in
+    if hi <= lo then t.words.(w) <- 0
+    else if hi - lo = word_bits then t.words.(w) <- max_int
+    else t.words.(w) <- (1 lsl (hi - lo)) - 1
+  done
+
+let popcount_word =
+  (* Kernighan loop is fine: words are often sparse; but use the folded
+     SWAR popcount for predictability. *)
+  fun x ->
+    let x = x - ((x lsr 1) land 0x5555555555555555) in
+    let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+    let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+    (x * 0x0101010101010101) lsr 56
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let union_into ~into a =
+  same_capacity into a;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor a.words.(i)
+  done
+
+let inter_into ~into a =
+  same_capacity into a;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land a.words.(i)
+  done
+
+let diff_into ~into a =
+  same_capacity into a;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land lnot a.words.(i)
+  done
+
+let union a b = let c = copy a in union_into ~into:c b; c
+let inter a b = let c = copy a in inter_into ~into:c b; c
+let diff a b = let c = copy a in diff_into ~into:c b; c
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let inter_cardinal a b =
+  same_capacity a b;
+  let c = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    c := !c + popcount_word (a.words.(i) land b.words.(i))
+  done;
+  !c
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let x = ref t.words.(w) in
+    while !x <> 0 do
+      let b = !x land - !x in
+      (* index of lowest set bit *)
+      let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
+      f ((w * word_bits) + log2 b 0);
+      x := !x land lnot b
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let to_array t = Array.of_list (elements t)
+
+let of_list capacity l =
+  let t = create capacity in
+  List.iter (add t) l;
+  t
+
+(* First element, or None. *)
+let choose t =
+  let res = ref None in
+  (try iter (fun i -> res := Some i; raise Exit) t with Exit -> ());
+  !res
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))

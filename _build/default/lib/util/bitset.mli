@@ -1,0 +1,77 @@
+(** Fixed-capacity mutable bitsets, packed 62 bits per word.
+
+    The workhorse set representation of the library: graph adjacency,
+    CSP domains and subset state all live in bitsets, and the
+    word-parallel operations ([inter_into], [inter_cardinal], ...) are
+    what the "matrix multiplication substitute" of DESIGN.md bottoms out
+    in.  All binary operations require operands of equal capacity. *)
+
+type t
+
+(** [create capacity] is the empty set over universe [\[0, capacity)]. *)
+val create : int -> t
+
+val capacity : t -> int
+
+val copy : t -> t
+
+(** [add t i] / [remove t i] / [mem t i]. Raise [Invalid_argument] when
+    [i] is outside the universe. *)
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+(** Remove every element. *)
+val clear : t -> unit
+
+(** Add every element of the universe. *)
+val fill : t -> unit
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+(** In-place union/intersection/difference into [into]. *)
+
+val union_into : into:t -> t -> unit
+
+val inter_into : into:t -> t -> unit
+
+val diff_into : into:t -> t -> unit
+
+(** Functional variants (allocate the result). *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+
+val disjoint : t -> t -> bool
+
+(** [inter_cardinal a b] = [cardinal (inter a b)] without allocating. *)
+val inter_cardinal : t -> t -> int
+
+(** Iterate elements in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Elements in increasing order. *)
+val elements : t -> int list
+
+val to_array : t -> int array
+
+val of_list : int -> int list -> t
+
+(** Smallest element, if any. *)
+val choose : t -> int option
+
+val pp : Format.formatter -> t -> unit

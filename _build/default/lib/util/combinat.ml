@@ -1,0 +1,77 @@
+(* Small combinatorics helpers: k-subset enumeration, binomials,
+   cartesian powers.  All enumerations are in lexicographic order and use
+   an explicit index vector so callers can stop early. *)
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+(* [iter_subsets n k f] calls [f] on each sorted k-subset of [0,n) given
+   as an int array.  The array is reused between calls; callers must copy
+   if they retain it. *)
+let iter_subsets n k f =
+  if k = 0 then f [||]
+  else if k <= n then begin
+    let idx = Array.init k (fun i -> i) in
+    let continue_ = ref true in
+    while !continue_ do
+      f idx;
+      (* advance to next combination *)
+      let i = ref (k - 1) in
+      while !i >= 0 && idx.(!i) = n - k + !i do
+        decr i
+      done;
+      if !i < 0 then continue_ := false
+      else begin
+        idx.(!i) <- idx.(!i) + 1;
+        for j = !i + 1 to k - 1 do
+          idx.(j) <- idx.(j - 1) + 1
+        done
+      end
+    done
+  end
+
+(* Find the first k-subset satisfying [pred], if any. *)
+let find_subset n k pred =
+  let result = ref None in
+  (try
+     iter_subsets n k (fun idx ->
+         if pred idx then begin
+           result := Some (Array.copy idx);
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+(* [iter_tuples d k f]: all k-tuples over [0,d), i.e. d^k assignments,
+   in odometer order.  The array is reused. *)
+let iter_tuples d k f =
+  if d <= 0 && k > 0 then ()
+  else begin
+    let t = Array.make k 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      f t;
+      let i = ref (k - 1) in
+      while !i >= 0 && t.(!i) = d - 1 do
+        t.(!i) <- 0;
+        decr i
+      done;
+      if !i < 0 then continue_ := false else t.(!i) <- t.(!i) + 1
+    done
+  end
+
+let power base exp =
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  if exp < 0 then invalid_arg "Combinat.power" else go 1 base exp

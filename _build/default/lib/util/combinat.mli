@@ -1,0 +1,20 @@
+(** Exhaustive enumeration helpers: the [n^k] and [C(n,k)] loops that the
+    brute-force baselines of the paper are made of. *)
+
+(** Binomial coefficient; 0 when [k < 0 || k > n]. *)
+val binomial : int -> int -> int
+
+(** [iter_subsets n k f] calls [f] on every sorted [k]-subset of
+    [\[0, n)] in lexicographic order.  The array is reused between
+    calls; copy it if you keep it.  Raise inside [f] to stop early. *)
+val iter_subsets : int -> int -> (int array -> unit) -> unit
+
+(** First [k]-subset satisfying the predicate, if any. *)
+val find_subset : int -> int -> (int array -> bool) -> int array option
+
+(** [iter_tuples d k f] calls [f] on every [k]-tuple over [\[0, d)]
+    (odometer order, [d^k] tuples).  The array is reused. *)
+val iter_tuples : int -> int -> (int array -> unit) -> unit
+
+(** Integer exponentiation by squaring. Raises on negative exponents. *)
+val power : int -> int -> int

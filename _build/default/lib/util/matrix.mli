@@ -1,0 +1,51 @@
+(** Dense matrices: int matrices for counting walks, and word-packed
+    Boolean matrices whose multiplication is this reproduction's
+    stand-in for "fast matrix multiplication" (see DESIGN.md). *)
+
+module Int : sig
+  type t
+
+  val create : int -> int -> t
+
+  val dims : t -> int * int
+
+  val get : t -> int -> int -> int
+
+  val set : t -> int -> int -> int -> unit
+
+  val init : int -> int -> (int -> int -> int) -> t
+
+  (** Cache-aware [i-k-j] product. Raises [Invalid_argument] on dimension
+      mismatch. *)
+  val mul : t -> t -> t
+
+  val trace : t -> int
+end
+
+module Bool : sig
+  type t
+
+  val create : int -> int -> t
+
+  val dims : t -> int * int
+
+  val get : t -> int -> int -> bool
+
+  val set : t -> int -> int -> bool -> unit
+
+  val init : int -> int -> (int -> int -> bool) -> t
+
+  (** Boolean product, word-parallel in the columns of the right
+      factor. *)
+  val mul : t -> t -> t
+
+  (** Does the product have a [true] on its diagonal? Early-exits without
+      materializing it. *)
+  val mul_hits_diagonal : t -> t -> bool
+
+  (** Do rows [i1] and [i2] share a [true] column? (The inner step of
+      triangle detection.) *)
+  val rows_intersect : t -> int -> int -> bool
+
+  val transpose : t -> t
+end

@@ -1,0 +1,79 @@
+(* Deterministic SplitMix64 pseudo-random generator.
+
+   All random workloads in the library (graph generators, random CSPs,
+   random databases, random formulas) are driven by this generator so that
+   experiments are reproducible bit-for-bit from a seed.  We do not use
+   [Stdlib.Random] because its sequence is not guaranteed stable across
+   OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Core SplitMix64 step (Steele, Lea & Flood 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* A non-negative int uniform in [0, 2^62). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(* Uniform integer in [0, bound).  Rejection sampling to avoid modulo
+   bias; the bias is negligible for small bounds but rejection is cheap. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = bound - 1 in
+  if bound land mask = 0 then bits t land mask
+  else
+    let limit = 0x3FFF_FFFF_FFFF_FFFF / bound * bound in
+    let rec draw () =
+      let v = bits t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+
+let float t bound = Float.of_int (bits t) /. 0x1p62 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Bernoulli trial with success probability [p]. *)
+let bernoulli t p = float t 1.0 < p
+
+(* Fisher–Yates shuffle, in place. *)
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t a =
+  let b = Array.copy a in
+  shuffle_in_place t b;
+  b
+
+(* [sample t n k] draws a sorted k-subset of [0, n). *)
+let sample t n k =
+  if k < 0 || k > n then invalid_arg "Prng.sample";
+  (* Floyd's algorithm: k iterations, set membership via Hashtbl. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let v = int t (j + 1) in
+    if Hashtbl.mem chosen v then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen v ()
+  done;
+  let out = Hashtbl.fold (fun v () acc -> v :: acc) chosen [] in
+  Array.of_list (List.sort compare out)
+
+(* Derive an independent stream: useful to give each workload component
+   its own generator while keeping a single master seed. *)
+let split t =
+  let s = next_int64 t in
+  { state = Int64.logxor s 0xA5A5_A5A5_5A5A_5A5AL }

@@ -1,0 +1,44 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every randomized workload generator in this library takes a [Prng.t] so
+    that experiments are reproducible from a single integer seed,
+    independent of the OCaml version. *)
+
+type t
+
+(** [create seed] makes a fresh generator from an integer seed. *)
+val create : int -> t
+
+(** Independent copy: advancing the copy does not affect the original. *)
+val copy : t -> t
+
+(** Raw 64-bit output of the underlying SplitMix64 step. *)
+val next_int64 : t -> int64
+
+(** Uniform non-negative int in [\[0, 2{^62})]. *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle_in_place : t -> 'a array -> unit
+
+(** Functional shuffle (copies the array). *)
+val shuffle : t -> 'a array -> 'a array
+
+(** [sample t n k] draws a uniformly random sorted [k]-subset of
+    [\[0, n)]. Raises [Invalid_argument] if [k < 0 || k > n]. *)
+val sample : t -> int -> int -> int array
+
+(** Derive an independent stream from the current state. *)
+val split : t -> t

@@ -1,0 +1,58 @@
+(* Wall-clock measurement and growth-rate fitting for the benchmark
+   harness.
+
+   The experiments in this reproduction check *shape* claims of the form
+   "running time grows like x^e" or "like c^x".  [fit_power] and
+   [fit_exponential] do ordinary least squares on the appropriate log
+   transform and report the fitted exponent/base, which the harness then
+   compares against the paper's claim. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  let t1 = Unix.gettimeofday () in
+  (y, t1 -. t0)
+
+(* Run [f] repeatedly until [min_time] seconds elapsed (at least once),
+   return seconds per call. *)
+let time_per_call ?(min_time = 0.02) f =
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time || !reps = 0 do
+    ignore (Sys.opaque_identity (f ()));
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !reps
+
+let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+(* Least-squares slope and intercept of y against x. *)
+let linreg xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then invalid_arg "Stopwatch.linreg";
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    num := !num +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    den := !den +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  let slope = !num /. !den in
+  (slope, my -. (slope *. mx))
+
+(* Fit y = a * x^e; returns e (log-log slope). *)
+let fit_power xs ys =
+  let lx = Array.map log xs and ly = Array.map log ys in
+  fst (linreg lx ly)
+
+(* Fit y = a * b^x; returns b (exp of semi-log slope). *)
+let fit_exponential xs ys =
+  let ly = Array.map log ys in
+  exp (fst (linreg xs ly))
+
+let pretty_seconds s =
+  if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.2fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s

@@ -1,0 +1,26 @@
+(** Wall-clock timing and growth-shape fitting for the experiment
+    harness: the paper's claims are about exponents and bases, and these
+    fits are how the harness checks them. *)
+
+(** [time f] runs [f] once; returns its result and the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** Mean seconds per call, repeating [f] until [min_time] (default 20ms)
+    has elapsed. *)
+val time_per_call : ?min_time:float -> (unit -> 'a) -> float
+
+val mean : float array -> float
+
+(** Least-squares [(slope, intercept)] of [ys] against [xs].  Raises
+    [Invalid_argument] on fewer than two points. *)
+val linreg : float array -> float array -> float * float
+
+(** Fit [y = a * x^e]; returns the exponent [e] (log-log slope). *)
+val fit_power : float array -> float array -> float
+
+(** Fit [y = a * b^x]; returns the base [b] (exp of the semi-log
+    slope). *)
+val fit_exponential : float array -> float array -> float
+
+(** Human-readable duration ("3.21ms"). *)
+val pretty_seconds : float -> string

@@ -1,0 +1,44 @@
+(* Minimal ASCII table renderer for the benchmark harness and examples.
+   Right-aligns numeric-looking cells, left-aligns the rest. *)
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+'
+                 || c = 'e' || c = 'E' || c = 'x' || c = '%')
+       s
+
+let render ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)) row)
+    all;
+  let pad i cell =
+    let w = width.(i) in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else if looks_numeric cell then String.make n ' ' ^ cell
+    else cell ^ String.make n ' '
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let sep =
+    "|-"
+    ^ String.concat "-|-" (Array.to_list (Array.map (fun w -> String.make w '-') width))
+    ^ "-|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)

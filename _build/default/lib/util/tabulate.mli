@@ -1,0 +1,10 @@
+(** Minimal ASCII table rendering for the harness and examples.
+    Numeric-looking cells are right-aligned. *)
+
+val looks_numeric : string -> bool
+
+(** [render ~header rows] formats a markdown-style table. *)
+val render : header:string list -> string list list -> string
+
+(** [render] to stdout. *)
+val print : header:string list -> string list list -> unit

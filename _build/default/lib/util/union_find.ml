@@ -1,0 +1,33 @@
+(* Disjoint-set forest with path compression and union by rank. *)
+
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    t.count <- t.count - 1;
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end;
+    true
+  end
+
+let same t i j = find t i = find t j
+
+let components t = t.count

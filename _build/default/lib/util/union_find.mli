@@ -1,0 +1,18 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+(** [create n] makes [n] singleton classes [0 .. n-1]. *)
+val create : int -> t
+
+(** Representative of [i]'s class (compresses paths). *)
+val find : t -> int -> int
+
+(** [union t i j] merges the classes of [i] and [j]; returns [false] if
+    they were already the same class. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+
+(** Current number of classes. *)
+val components : t -> int

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun Lb_relalg Lb_util List Lowerbounds Option QCheck QCheck_alcotest String

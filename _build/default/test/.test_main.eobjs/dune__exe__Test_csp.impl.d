@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Array Hashtbl Lb_csp Lb_graph Lb_relalg Lb_structure Lb_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Lazy Lb_csp Lb_graph Lb_hypergraph Lb_reductions Lb_relalg Lb_structure Lb_util List Option Printf QCheck QCheck_alcotest

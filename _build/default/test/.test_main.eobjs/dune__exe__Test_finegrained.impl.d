@@ -1,0 +1,1 @@
+test/test_finegrained.ml: Alcotest Array Char Lb_finegrained Lb_util QCheck QCheck_alcotest String

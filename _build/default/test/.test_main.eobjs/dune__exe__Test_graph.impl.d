@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun Lb_graph Lb_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Lazy Lb_graph Lb_hypergraph Lb_util List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hashtbl Lb_csp Lb_graph Lb_reductions Lb_relalg Lb_sat Lb_structure Lb_util List Lowerbounds Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Lb_lp Lb_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_polymorphism.ml: Alcotest Array Fun Lb_csp Lb_sat Lb_util List QCheck QCheck_alcotest

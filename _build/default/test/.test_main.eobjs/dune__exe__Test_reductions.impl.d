@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Lb_csp Lb_finegrained Lb_graph Lb_reductions Lb_sat Lb_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Hashtbl Lb_graph Lb_relalg Lb_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Fun Lb_sat Lb_util List QCheck QCheck_alcotest

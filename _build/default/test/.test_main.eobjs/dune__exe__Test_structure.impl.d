@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Lb_structure Lb_util List QCheck QCheck_alcotest

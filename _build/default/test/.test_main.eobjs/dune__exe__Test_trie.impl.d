@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Array Int Lb_relalg Lb_util List QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int Lb_util List Printf QCheck QCheck_alcotest Set String

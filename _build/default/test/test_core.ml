@@ -1,0 +1,145 @@
+(* Tests for the headline lowerbounds library: hypotheses, the bounds
+   analyzer and the advisor. *)
+
+module Hyp = Lowerbounds.Hypothesis
+module Bounds = Lowerbounds.Bounds
+module Advisor = Lowerbounds.Advisor
+module Report = Lowerbounds.Report
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+let test_hypothesis_implications () =
+  Alcotest.(check bool) "SETH -> ETH" true (Hyp.implies Hyp.SETH Hyp.ETH);
+  Alcotest.(check bool) "ETH -> P!=NP" true (Hyp.implies Hyp.ETH Hyp.P_neq_NP);
+  Alcotest.(check bool) "ETH -/-> SETH" false (Hyp.implies Hyp.ETH Hyp.SETH);
+  Alcotest.(check bool) "refl" true (Hyp.implies Hyp.ETH Hyp.ETH);
+  List.iter (fun h -> Alcotest.(check bool) "named" true (Hyp.name h <> "")) Hyp.all
+
+let triangle_q = Q.parse "R(a,b), S(b,c), T(a,c)"
+
+let path_q = Q.parse "R(a,b), S(b,c)"
+
+let test_analyze_triangle () =
+  let a = Bounds.analyze_query triangle_q in
+  check Alcotest.int "3 attributes" 3 a.Bounds.attributes;
+  check Alcotest.int "3 atoms" 3 a.Bounds.atoms;
+  Alcotest.(check bool) "cyclic" false a.Bounds.acyclic;
+  check Alcotest.int "treewidth 2" 2 a.Bounds.primal_treewidth;
+  (match a.Bounds.rho_star with
+  | Some r -> Alcotest.(check bool) "rho* 1.5" true (abs_float (r -. 1.5) < 1e-6)
+  | None -> Alcotest.fail "rho* expected");
+  (* triangle-specific statements present *)
+  let has_hyp h =
+    List.exists (fun s -> s.Bounds.hypothesis = h) a.Bounds.statements
+  in
+  Alcotest.(check bool) "unconditional statements" true (has_hyp Hyp.Unconditional);
+  Alcotest.(check bool) "SETH statement" true (has_hyp Hyp.SETH);
+  Alcotest.(check bool) "triangle conjecture" true (has_hyp Hyp.Triangle_conjecture);
+  Alcotest.(check bool) "W[1] statement" true (has_hyp Hyp.FPT_neq_W1)
+
+let test_analyze_path () =
+  let a = Bounds.analyze_query path_q in
+  Alcotest.(check bool) "acyclic" true a.Bounds.acyclic;
+  check Alcotest.int "treewidth 1" 1 a.Bounds.primal_treewidth;
+  Alcotest.(check bool) "mentions Yannakakis" true
+    (List.exists
+       (fun s ->
+         s.Bounds.kind = `Upper
+         && s.Bounds.reference = "Section 4")
+       a.Bounds.statements)
+
+let random_db rng n p names =
+  Db.of_list
+    (List.map
+       (fun (name, attrs) ->
+         let tuples = ref [] in
+         for x = 0 to n - 1 do
+           for y = 0 to n - 1 do
+             if Prng.bernoulli rng p then tuples := [| x; y |] :: !tuples
+           done
+         done;
+         (name, R.make attrs !tuples))
+       names)
+
+let test_advisor_strategies () =
+  check Alcotest.string "triangle -> WCOJ"
+    (Advisor.strategy_name Advisor.Worst_case_optimal)
+    (Advisor.strategy_name (Advisor.choose triangle_q));
+  check Alcotest.string "path -> Yannakakis"
+    (Advisor.strategy_name Advisor.Yannakakis)
+    (Advisor.strategy_name (Advisor.choose path_q))
+
+let advisor_correct_prop =
+  QCheck.Test.make ~name:"advisor answer = reference answer" ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 5 in
+      let db =
+        random_db rng n 0.4
+          [
+            ("R", [| "a"; "b" |]); ("S", [| "b"; "c" |]); ("T", [| "a"; "c" |]);
+          ]
+      in
+      let check_q q =
+        let _, outcome = Advisor.evaluate db q in
+        R.equal_modulo_order outcome.Advisor.answer (Q.answer db q)
+      in
+      check_q triangle_q && check_q path_q)
+
+let test_report_renders () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let a = Bounds.analyze_query triangle_q in
+  let s = Lowerbounds.Report.analysis_to_string a in
+  Alcotest.(check bool) "mentions rho*" true (contains s "rho*");
+  Alcotest.(check bool) "mentions treewidth" true (contains s "treewidth")
+
+let test_param_reduction_catalog () =
+  let module P = Lowerbounds.Param_reduction in
+  Alcotest.(check bool) "catalog nonempty" true (List.length P.catalog >= 4);
+  let clique = Option.get (P.find "clique-to-csp") in
+  Alcotest.(check bool) "identity bound" true
+    (P.check_parameter_bound clique ~f:Fun.id ~upto:20);
+  let special = Option.get (P.find "clique-to-special-csp") in
+  Alcotest.(check bool) "exponential bound needed" true
+    (P.check_parameter_bound special
+       ~f:(fun k -> k + Lb_util.Combinat.power 2 k)
+       ~upto:16);
+  Alcotest.(check bool) "linear bound fails for special" false
+    (P.check_parameter_bound special ~f:(fun k -> 10 * k) ~upto:16);
+  Alcotest.(check bool) "unknown name" true (P.find "nope" = None);
+  (* the VC parameter map depends on n, not only k *)
+  Alcotest.(check bool) "vc map n-dependence" true
+    (P.vc_parameter_map ~n:100 3 <> P.vc_parameter_map ~n:10 3)
+
+let test_analyze_core_treewidth_statement () =
+  (* bidirected 4-cycle: the analyzer should surface the Thm 5.3 drop *)
+  let q =
+    Q.parse "R(a,b), R(b,a), R(b,c), R(c,b), R(c,d), R(d,c), R(d,a), R(a,d)"
+  in
+  let a = Bounds.analyze_query q in
+  Alcotest.(check bool) "mentions core" true
+    (List.exists
+       (fun s -> s.Bounds.reference = "Theorem 5.3 (Grohe)")
+       a.Bounds.statements)
+
+let suite =
+  [
+    Alcotest.test_case "hypothesis implications" `Quick test_hypothesis_implications;
+    Alcotest.test_case "param reduction catalog" `Quick test_param_reduction_catalog;
+    Alcotest.test_case "analyzer core-tw statement" `Quick
+      test_analyze_core_treewidth_statement;
+    Alcotest.test_case "analyze triangle" `Quick test_analyze_triangle;
+    Alcotest.test_case "analyze path" `Quick test_analyze_path;
+    Alcotest.test_case "advisor strategies" `Quick test_advisor_strategies;
+    QCheck_alcotest.to_alcotest advisor_correct_prop;
+    Alcotest.test_case "report renders" `Quick test_report_renders;
+  ]

@@ -1,0 +1,321 @@
+(* Tests for lb_csp: instance representation, the backtracking solver,
+   Freuder's treewidth DP, and the Section 2 conversions. *)
+
+module Csp = Lb_csp.Csp
+module Solver = Lb_csp.Solver
+module Freuder = Lb_csp.Freuder
+module Gen = Lb_csp.Generators
+module Convert = Lb_csp.Convert
+module Prng = Lb_util.Prng
+module Graph = Lb_graph.Graph
+
+let check = Alcotest.check
+
+(* small helpers *)
+let neq_pairs d =
+  let acc = ref [] in
+  for a = 0 to d - 1 do
+    for b = 0 to d - 1 do
+      if a <> b then acc := [| a; b |] :: !acc
+    done
+  done;
+  !acc
+
+let test_create_rejects () =
+  Alcotest.check_raises "var range" (Invalid_argument "Csp.create: var range")
+    (fun () ->
+      ignore
+        (Csp.create ~nvars:1 ~domain_size:2
+           [ { Csp.scope = [| 1 |]; allowed = [ [| 0 |] ] } ]));
+  Alcotest.check_raises "value range" (Invalid_argument "Csp.create: value range")
+    (fun () ->
+      ignore
+        (Csp.create ~nvars:1 ~domain_size:2
+           [ { Csp.scope = [| 0 |]; allowed = [ [| 7 |] ] } ]))
+
+let test_satisfies () =
+  let csp =
+    Csp.create ~nvars:2 ~domain_size:2
+      [ { Csp.scope = [| 0; 1 |]; allowed = [ [| 0; 1 |] ] } ]
+  in
+  Alcotest.(check bool) "01 sat" true (Csp.satisfies csp [| 0; 1 |]);
+  Alcotest.(check bool) "10 unsat" false (Csp.satisfies csp [| 1; 0 |])
+
+let test_solver_coloring () =
+  (* 3-coloring of C5 as a CSP: satisfiable with d=3, not with d=2 *)
+  let c5 = Lb_graph.Generators.cycle 5 in
+  let sat = Gen.coloring_csp c5 3 in
+  (match Solver.solve sat with
+  | Some a -> Alcotest.(check bool) "valid" true (Csp.satisfies sat a)
+  | None -> Alcotest.fail "3-colorable");
+  let unsat = Gen.coloring_csp c5 2 in
+  Alcotest.(check bool) "2 colors fail" true (Solver.solve unsat = None)
+
+let solver_agrees_with_bruteforce_prop =
+  QCheck.Test.make ~name:"solver decision and count = brute force" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 5 in
+      let d = 2 + Prng.int rng 3 in
+      let g = Lb_graph.Generators.gnp rng n 0.6 in
+      let csp, _ =
+        Gen.binary_over_graph rng g ~domain_size:d
+          ~density:(0.2 +. Prng.float rng 0.4)
+          ~plant:false
+      in
+      let bf_count = Csp.count_bruteforce csp in
+      let s_count = Solver.count csp in
+      let decision = Solver.solve csp in
+      s_count = bf_count
+      && (match decision with
+         | Some a -> bf_count > 0 && Csp.satisfies csp a
+         | None -> bf_count = 0))
+
+let solver_no_ac3_agrees_prop =
+  QCheck.Test.make ~name:"solver without AC-3 agrees" ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 4 in
+      let g = Lb_graph.Generators.gnp rng n 0.7 in
+      let csp, _ =
+        Gen.binary_over_graph rng g ~domain_size:3 ~density:0.3 ~plant:false
+      in
+      Solver.count ~use_ac3:false csp = Csp.count_bruteforce csp)
+
+let test_solver_nonbinary () =
+  (* one ternary parity constraint: x+y+z odd over d=2 *)
+  let odd = List.filter
+      (fun t -> (t.(0) + t.(1) + t.(2)) mod 2 = 1)
+      (let acc = ref [] in
+       Lb_util.Combinat.iter_tuples 2 3 (fun t -> acc := Array.copy t :: !acc);
+       !acc)
+  in
+  let csp =
+    Csp.create ~nvars:3 ~domain_size:2
+      [ { Csp.scope = [| 0; 1; 2 |]; allowed = odd } ]
+  in
+  check Alcotest.int "4 solutions" 4 (Solver.count csp);
+  check Alcotest.int "brute agrees" 4 (Csp.count_bruteforce csp)
+
+let test_planted_solvable () =
+  let rng = Prng.create 17 in
+  for _ = 1 to 10 do
+    let csp, _, hidden =
+      Gen.bounded_treewidth rng ~nvars:12 ~width:2 ~domain_size:4 ~density:0.3
+        ~plant:true
+    in
+    (match hidden with
+    | Some h -> Alcotest.(check bool) "hidden valid" true (Csp.satisfies csp h)
+    | None -> Alcotest.fail "expected planted");
+    match Solver.solve csp with
+    | Some a -> Alcotest.(check bool) "solved" true (Csp.satisfies csp a)
+    | None -> Alcotest.fail "planted is satisfiable"
+  done
+
+(* --- Freuder --- *)
+
+let freuder_agrees_prop =
+  QCheck.Test.make ~name:"Freuder DP count/solve = brute force" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 6 in
+      let d = 2 + Prng.int rng 3 in
+      let csp, _, _ =
+        Gen.bounded_treewidth rng ~nvars:n ~width:2 ~domain_size:d
+          ~density:(0.2 +. Prng.float rng 0.3)
+          ~plant:false
+      in
+      let bf = Csp.count_bruteforce csp in
+      Freuder.count csp = bf
+      && (match Freuder.solve csp with
+         | Some a -> bf > 0 && Csp.satisfies csp a
+         | None -> bf = 0))
+
+let freuder_nonbinary_prop =
+  QCheck.Test.make ~name:"Freuder handles ternary constraints" ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 3 in
+      let d = 2 in
+      (* a few random ternary constraints over consecutive vars: primal
+         graph stays narrow *)
+      let constraints =
+        List.init (n - 2) (fun i ->
+            let allowed = ref [] in
+            Lb_util.Combinat.iter_tuples d 3 (fun t ->
+                if Prng.bernoulli rng 0.6 then allowed := Array.copy t :: !allowed);
+            { Csp.scope = [| i; i + 1; i + 2 |]; allowed = !allowed })
+      in
+      let csp = Csp.create ~nvars:n ~domain_size:d constraints in
+      Freuder.count csp = Csp.count_bruteforce csp)
+
+let freuder_nice_agrees_prop =
+  QCheck.Test.make
+    ~name:"nice-decomposition DP count = Freuder count = brute force"
+    ~count:50
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 6 in
+      let d = 2 + Prng.int rng 3 in
+      let csp, _, _ =
+        Gen.bounded_treewidth rng ~nvars:n ~width:2 ~domain_size:d
+          ~density:(0.2 +. Prng.float rng 0.4)
+          ~plant:false
+      in
+      let bf = Csp.count_bruteforce csp in
+      Lb_csp.Freuder_nice.count csp = bf && Freuder.count csp = bf)
+
+let freuder_nice_ternary_prop =
+  QCheck.Test.make ~name:"nice DP handles ternary constraints" ~count:25
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 3 in
+      let constraints =
+        List.init (n - 2) (fun i ->
+            let allowed = ref [] in
+            Lb_util.Combinat.iter_tuples 2 3 (fun t ->
+                if Prng.bernoulli rng 0.6 then allowed := Array.copy t :: !allowed);
+            { Csp.scope = [| i; i + 1; i + 2 |]; allowed = !allowed })
+      in
+      let csp = Csp.create ~nvars:n ~domain_size:2 constraints in
+      Lb_csp.Freuder_nice.count csp = Csp.count_bruteforce csp)
+
+let test_freuder_unsatisfiable () =
+  (* 2-coloring an odd cycle *)
+  let csp = Gen.coloring_csp (Lb_graph.Generators.cycle 5) 2 in
+  check Alcotest.int "0 solutions" 0 (Freuder.count csp);
+  Alcotest.(check bool) "no witness" true (Freuder.solve csp = None)
+
+let test_freuder_coloring_count () =
+  (* proper 3-colorings of C5: (3-1)^5 + (3-1)*(-1)^5 = 32 - 2 = 30 *)
+  let csp = Gen.coloring_csp (Lb_graph.Generators.cycle 5) 3 in
+  check Alcotest.int "30 colorings" 30 (Freuder.count csp);
+  (* tree: 3 * 2^(n-1) colorings for a path *)
+  let path = Gen.coloring_csp (Lb_graph.Generators.path 6) 3 in
+  check Alcotest.int "path colorings" (3 * 32) (Freuder.count path)
+
+let test_freuder_no_constraints () =
+  let csp = Csp.create ~nvars:3 ~domain_size:4 [] in
+  check Alcotest.int "free" 64 (Freuder.count csp)
+
+(* --- conversions --- *)
+
+let query_csp_roundtrip_prop =
+  QCheck.Test.make ~name:"query->CSP preserves solution count" ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 5 in
+      let bin () =
+        let tuples = ref [] in
+        for x = 0 to n - 1 do
+          for y = 0 to n - 1 do
+            if Prng.bernoulli rng 0.4 then tuples := [| x; y |] :: !tuples
+          done
+        done;
+        !tuples
+      in
+      let db =
+        Lb_relalg.Database.of_list
+          [
+            ("R", Lb_relalg.Relation.make [| "a"; "b" |] (bin ()));
+            ("S", Lb_relalg.Relation.make [| "b"; "c" |] (bin ()));
+            ("T", Lb_relalg.Relation.make [| "a"; "c" |] (bin ()));
+          ]
+      in
+      let q = Lb_relalg.Query.parse "R(a,b), S(b,c), T(a,c)" in
+      let { Convert.csp; _ } = Convert.of_query db q in
+      Solver.count csp = Lb_relalg.Query.answer_size db q)
+
+let csp_query_roundtrip_prop =
+  QCheck.Test.make ~name:"CSP->query preserves solution count" ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 4 in
+      let d = 2 + Prng.int rng 3 in
+      let g = Lb_graph.Generators.gnp rng n 0.7 in
+      let csp, _ =
+        Gen.binary_over_graph rng g ~domain_size:d ~density:0.4 ~plant:false
+      in
+      if Csp.constraint_count csp = 0 then QCheck.assume_fail ()
+      else begin
+        let q, db = Convert.to_query csp in
+        (* the query's answer counts assignments to variables mentioned in
+           constraints; unconstrained CSP variables multiply by d each *)
+        let mentioned = Hashtbl.create 16 in
+        List.iter
+          (fun (c : Csp.constraint_) ->
+            Array.iter (fun v -> Hashtbl.replace mentioned v ()) c.Csp.scope)
+          (Csp.constraints csp);
+        let free = Csp.nvars csp - Hashtbl.length mentioned in
+        let scale = Lb_util.Combinat.power d free in
+        Lb_relalg.Query.answer_size db q * scale = Solver.count csp
+      end)
+
+let iso_conversion_prop =
+  QCheck.Test.make ~name:"binary CSP <-> partitioned subgraph iso" ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 4 in
+      let d = 2 + Prng.int rng 3 in
+      let g = Lb_graph.Generators.gnp rng n 0.7 in
+      let csp, _ =
+        Gen.binary_over_graph rng g ~domain_size:d ~density:0.4 ~plant:false
+      in
+      let { Convert.pattern; host; classes } = Convert.to_partitioned_iso csp in
+      match Lb_graph.Subgraph_iso.find pattern host classes with
+      | Some image ->
+          let a = Convert.assignment_of_iso csp image in
+          Csp.satisfies csp a
+      | None -> Solver.solve csp = None)
+
+let structures_conversion_prop =
+  QCheck.Test.make ~name:"CSP <-> structure homomorphism" ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 4 in
+      let d = 2 + Prng.int rng 2 in
+      let g = Lb_graph.Generators.gnp rng n 0.6 in
+      let csp, _ =
+        Gen.binary_over_graph rng g ~domain_size:d ~density:0.4 ~plant:false
+      in
+      let a, b = Convert.to_structures csp in
+      match Lb_structure.Structure.find_homomorphism a b with
+      | Some h -> Csp.satisfies csp h
+      | None -> Solver.solve csp = None)
+
+let test_neq_helper_used () =
+  (* silence potential unused warnings and sanity check the helper *)
+  check Alcotest.int "neq pairs" 6 (List.length (neq_pairs 3))
+
+let suite =
+  [
+    Alcotest.test_case "create rejects" `Quick test_create_rejects;
+    Alcotest.test_case "satisfies" `Quick test_satisfies;
+    Alcotest.test_case "solver coloring" `Quick test_solver_coloring;
+    QCheck_alcotest.to_alcotest solver_agrees_with_bruteforce_prop;
+    QCheck_alcotest.to_alcotest solver_no_ac3_agrees_prop;
+    Alcotest.test_case "solver nonbinary" `Quick test_solver_nonbinary;
+    Alcotest.test_case "planted solvable" `Quick test_planted_solvable;
+    QCheck_alcotest.to_alcotest freuder_agrees_prop;
+    QCheck_alcotest.to_alcotest freuder_nonbinary_prop;
+    QCheck_alcotest.to_alcotest freuder_nice_agrees_prop;
+    QCheck_alcotest.to_alcotest freuder_nice_ternary_prop;
+    Alcotest.test_case "freuder unsat" `Quick test_freuder_unsatisfiable;
+    Alcotest.test_case "freuder coloring counts" `Quick test_freuder_coloring_count;
+    Alcotest.test_case "freuder unconstrained" `Quick test_freuder_no_constraints;
+    QCheck_alcotest.to_alcotest query_csp_roundtrip_prop;
+    QCheck_alcotest.to_alcotest csp_query_roundtrip_prop;
+    QCheck_alcotest.to_alcotest iso_conversion_prop;
+    QCheck_alcotest.to_alcotest structures_conversion_prop;
+    Alcotest.test_case "neq helper" `Quick test_neq_helper_used;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for lb_finegrained: edit distance, LCS, orthogonal vectors. *)
+
+module Ed = Lb_finegrained.Edit_distance
+module Lcs = Lb_finegrained.Lcs
+module Ov = Lb_finegrained.Ov
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+let s_of_string s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+let test_edit_distance_known () =
+  check Alcotest.int "kitten/sitting" 3
+    (Ed.quadratic (s_of_string "kitten") (s_of_string "sitting"));
+  check Alcotest.int "empty" 5 (Ed.quadratic [||] (s_of_string "hello"));
+  check Alcotest.int "equal" 0
+    (Ed.quadratic (s_of_string "abc") (s_of_string "abc"));
+  check Alcotest.int "flaw/lawn" 2
+    (Ed.quadratic (s_of_string "flaw") (s_of_string "lawn"))
+
+let test_banded_known () =
+  let a = s_of_string "kitten" and b = s_of_string "sitting" in
+  check Alcotest.(option int) "band 3 finds it" (Some 3) (Ed.banded a b ~band:3);
+  check Alcotest.(option int) "band 2 gives up" None (Ed.banded a b ~band:2);
+  check Alcotest.(option int) "band 1 width mismatch" None
+    (Ed.banded [||] (s_of_string "xyz") ~band:1)
+
+let banded_agrees_prop =
+  QCheck.Test.make ~name:"banded = quadratic when distance within band"
+    ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 30 in
+      let a, b = Ed.mutated_pair rng n 4 (Prng.int rng 5) in
+      let d = Ed.quadratic a b in
+      match Ed.banded a b ~band:(max 1 d) with
+      | Some d' -> d = d'
+      | None -> false)
+
+let adaptive_agrees_prop =
+  QCheck.Test.make ~name:"adaptive = quadratic always" ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int rng 40 in
+      let m = Prng.int rng 40 in
+      let a = Ed.random_string rng n 3 in
+      let b = Ed.random_string rng m 3 in
+      Ed.adaptive a b = Ed.quadratic a b)
+
+let edit_distance_metric_prop =
+  QCheck.Test.make ~name:"edit distance is a metric (triangle inequality)"
+    ~count:50
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let s () = Ed.random_string rng (1 + Prng.int rng 12) 3 in
+      let a = s () and b = s () and c = s () in
+      let d x y = Ed.quadratic x y in
+      d a c <= d a b + d b c
+      && d a b = d b a
+      && d a a = 0)
+
+let test_lcs_known () =
+  check Alcotest.int "ABCBDAB/BDCABA" 4
+    (Lcs.quadratic (s_of_string "ABCBDAB") (s_of_string "BDCABA"));
+  check Alcotest.int "disjoint" 0 (Lcs.quadratic (s_of_string "abc") (s_of_string "xyz"));
+  check Alcotest.int "empty" 0 (Lcs.quadratic [||] (s_of_string "abc"))
+
+let lcs_bitparallel_agrees_prop =
+  QCheck.Test.make ~name:"bit-parallel LCS = quadratic LCS" ~count:150
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int rng 150 in
+      let m = 1 + Prng.int rng 150 in
+      let a = Ed.random_string rng n 4 in
+      let b = Ed.random_string rng m 4 in
+      Lcs.bitparallel a b = Lcs.quadratic a b)
+
+let lcs_vs_edit_distance_prop =
+  QCheck.Test.make ~name:"indel distance = n + m - 2*LCS >= edit distance"
+    ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int rng 20 and m = Prng.int rng 20 in
+      let a = Ed.random_string rng n 3 in
+      let b = Ed.random_string rng m 3 in
+      let indel = n + m - (2 * Lcs.quadratic a b) in
+      Ed.quadratic a b <= indel)
+
+let test_ov_basic () =
+  let inst =
+    Ov.of_bool_arrays ~dim:3
+      [| [| true; false; false |]; [| true; true; false |] |]
+      [| [| true; false; true |]; [| false; false; true |] |]
+  in
+  (match Ov.solve inst with
+  | Some (0, 1) -> ()
+  | Some (i, j) -> Alcotest.failf "unexpected witness (%d,%d)" i j
+  | None -> Alcotest.fail "orthogonal pair exists");
+  (* (0,1) and (1,1) are both orthogonal pairs *)
+  check Alcotest.int "count" 2 (Ov.count inst)
+
+let test_ov_none () =
+  let inst =
+    Ov.of_bool_arrays ~dim:2
+      [| [| true; false |] |]
+      [| [| true; true |] |]
+  in
+  Alcotest.(check bool) "no pair" true (Ov.solve inst = None)
+
+let ov_packing_prop =
+  QCheck.Test.make ~name:"packed orthogonality = boolean orthogonality"
+    ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let dim = 1 + Prng.int rng 130 in
+      let v () = Array.init dim (fun _ -> Prng.bernoulli rng 0.3) in
+      let a = v () and b = v () in
+      let packed = Ov.of_bool_arrays ~dim [| a |] [| b |] in
+      let naive =
+        not (Array.exists2 (fun x y -> x && y) a b)
+      in
+      (Ov.solve packed <> None) = naive)
+
+let suite =
+  [
+    Alcotest.test_case "edit distance known" `Quick test_edit_distance_known;
+    Alcotest.test_case "banded known" `Quick test_banded_known;
+    QCheck_alcotest.to_alcotest banded_agrees_prop;
+    QCheck_alcotest.to_alcotest adaptive_agrees_prop;
+    QCheck_alcotest.to_alcotest edit_distance_metric_prop;
+    Alcotest.test_case "lcs known" `Quick test_lcs_known;
+    QCheck_alcotest.to_alcotest lcs_bitparallel_agrees_prop;
+    QCheck_alcotest.to_alcotest lcs_vs_edit_distance_prop;
+    Alcotest.test_case "ov basic" `Quick test_ov_basic;
+    Alcotest.test_case "ov none" `Quick test_ov_none;
+    QCheck_alcotest.to_alcotest ov_packing_prop;
+  ]

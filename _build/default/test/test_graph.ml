@@ -1,0 +1,566 @@
+(* Tests for lb_graph: graph structure, generators, treewidth, cliques,
+   triangles, vertex cover, dominating set, coloring, homomorphism and
+   partitioned subgraph isomorphism. *)
+
+module Graph = Lb_graph.Graph
+module Gen = Lb_graph.Generators
+module Td = Lb_graph.Tree_decomposition
+module Tw = Lb_graph.Treewidth
+module Clique = Lb_graph.Clique
+module Triangle = Lb_graph.Triangle
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+let random_graph seed n p =
+  let rng = Prng.create seed in
+  Gen.gnp rng n p
+
+(* --- basics --- *)
+
+let test_graph_basics () =
+  let g = Graph.create 5 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  (* duplicate ignored *)
+  check Alcotest.int "m" 1 (Graph.edge_count g);
+  Alcotest.(check bool) "has" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "no self" false (Graph.has_edge g 1 1);
+  check Alcotest.int "deg" 1 (Graph.degree g 0);
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 2 2)
+
+let test_components () =
+  let g = Graph.of_edges 6 [ (0, 1); (1, 2); (3, 4) ] in
+  let comps = Graph.connected_components g in
+  check Alcotest.int "three components" 3 (Array.length comps);
+  Alcotest.(check bool) "not connected" false (Graph.is_connected g)
+
+let test_complement () =
+  let g = Gen.clique 4 in
+  let c = Graph.complement g in
+  check Alcotest.int "empty complement" 0 (Graph.edge_count c);
+  let p = Gen.path 4 in
+  let pc = Graph.complement p in
+  check Alcotest.int "path complement edges" 3 (Graph.edge_count pc)
+
+let test_induced () =
+  let g = Gen.cycle 5 in
+  let sub, map = Graph.induced g [| 0; 1; 2 |] in
+  check Alcotest.int "2 edges" 2 (Graph.edge_count sub);
+  check Alcotest.(list int) "map" [ 0; 1; 2 ] (Array.to_list map)
+
+let test_is_path () =
+  Alcotest.(check bool) "path" true (Graph.is_path (Gen.path 7));
+  Alcotest.(check bool) "cycle not path" false (Graph.is_path (Gen.cycle 5));
+  Alcotest.(check bool) "single vertex" true (Graph.is_path (Graph.create 1));
+  Alcotest.(check bool) "star not path" false (Graph.is_path (Gen.star 4))
+
+let test_special_recognizer () =
+  let s = Gen.special 3 in
+  check Alcotest.int "vertices" (3 + 8) (Graph.vertex_count s);
+  (match Gen.recognize_special s with
+  | Some (cl, pa) ->
+      check Alcotest.int "clique size" 3 (Array.length cl);
+      check Alcotest.int "path size" 8 (Array.length pa)
+  | None -> Alcotest.fail "should recognize special graph");
+  Alcotest.(check bool) "clique alone not special" true
+    (Gen.recognize_special (Gen.clique 4) = None)
+
+(* --- generators --- *)
+
+let test_gnm_edges () =
+  let g = Gen.gnm (Prng.create 2) 10 17 in
+  check Alcotest.int "m" 17 (Graph.edge_count g)
+
+let test_planted_clique () =
+  let g, vs = Gen.planted_clique (Prng.create 9) 30 0.2 6 in
+  Alcotest.(check bool) "planted is clique" true (Graph.is_clique g vs)
+
+let test_grid () =
+  let g = Gen.grid 3 4 in
+  check Alcotest.int "vertices" 12 (Graph.vertex_count g);
+  check Alcotest.int "edges" ((2 * 4) + (3 * 3)) (Graph.edge_count g)
+
+let test_partial_ktree_treewidth () =
+  let g = Gen.random_partial_ktree (Prng.create 4) 15 3 ~drop:0.0 in
+  let w, _ = Tw.exact g in
+  Alcotest.(check bool) "tw <= 3" true (w <= 3)
+
+(* --- tree decompositions and treewidth --- *)
+
+let test_td_verify_valid () =
+  let g = Gen.cycle 5 in
+  let order = Array.init 5 Fun.id in
+  let td = Td.of_elimination_order g order in
+  (match Td.verify td g with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %a" Td.pp_failure e);
+  Alcotest.(check bool) "width >= 2" true (Td.width td >= 2)
+
+let test_td_verify_catches_missing_edge () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let td = Td.make ~bags:[| [| 0; 1 |]; [| 1; 2 |] |] ~tree:[ (0, 1) ] in
+  match Td.verify td g with
+  | Error (Td.Edge_uncovered _) -> ()
+  | _ -> Alcotest.fail "expected edge-uncovered failure"
+
+let test_td_verify_catches_disconnected () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let td =
+    Td.make
+      ~bags:[| [| 0; 1 |]; [| 1; 2 |]; [| 0 |] |]
+      ~tree:[ (0, 1); (1, 2) ]
+  in
+  match Td.verify td g with
+  | Error (Td.Disconnected_occurrence 0) -> ()
+  | Ok () -> Alcotest.fail "expected failure"
+  | Error e -> Alcotest.failf "unexpected: %a" Td.pp_failure e
+
+let test_treewidth_known_values () =
+  let w g = fst (Tw.exact g) in
+  check Alcotest.int "path tw" 1 (w (Gen.path 8));
+  check Alcotest.int "cycle tw" 2 (w (Gen.cycle 7));
+  check Alcotest.int "clique tw" 5 (w (Gen.clique 6));
+  check Alcotest.int "tree tw" 1 (w (Gen.random_tree (Prng.create 3) 12));
+  check Alcotest.int "grid 3x3 tw" 3 (w (Gen.grid 3 3));
+  check Alcotest.int "K(3,3) tw" 3 (w (Gen.complete_bipartite 3 3));
+  check Alcotest.int "single vertex" 0 (w (Graph.create 1));
+  check Alcotest.int "empty graph" 0 (w (Graph.create 0));
+  (* the Petersen graph: vertices = 2-subsets of [5), outer/inner
+     5-cycles plus spokes; treewidth 4 *)
+  let petersen =
+    Graph.of_edges 10
+      (List.init 5 (fun i -> (i, (i + 1) mod 5)) (* outer C5 *)
+      @ List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) (* inner C5 step 2 *)
+      @ List.init 5 (fun i -> (i, 5 + i)))
+  in
+  check Alcotest.int "petersen tw" 4 (w petersen);
+  (* grid 4x4 has treewidth 4 *)
+  check Alcotest.int "grid 4x4 tw" 4 (w (Gen.grid 4 4))
+
+let treewidth_sandwich_prop =
+  QCheck.Test.make ~name:"degeneracy <= exact tw <= heuristic width" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 8 in
+      let g = Gen.gnp rng n 0.35 in
+      let lower = Tw.degeneracy g in
+      let exact, order = Tw.exact g in
+      let heuristic, _ = Tw.heuristic_upper_bound g in
+      let td = Td.of_elimination_order g order in
+      lower <= exact && exact <= heuristic
+      && Td.width td = exact
+      && Td.verify td g = Ok ())
+
+let heuristic_td_valid_prop =
+  QCheck.Test.make ~name:"heuristic decompositions verify" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 5 + Prng.int rng 20 in
+      let g = Gen.gnp rng n 0.2 in
+      let _, order = Tw.heuristic_upper_bound g in
+      Td.verify (Td.of_elimination_order g order) g = Ok ())
+
+(* --- nice tree decompositions --- *)
+
+module Nice = Lb_graph.Nice_td
+
+let nice_td_valid_prop =
+  QCheck.Test.make ~name:"nice decompositions verify and keep the width"
+    ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 12 in
+      let g = Gen.gnp rng n 0.3 in
+      let _, order = Tw.heuristic_upper_bound g in
+      let td = Td.of_elimination_order g order in
+      let nice = Nice.of_decomposition td in
+      Nice.verify nice
+      && Nice.width nice = Td.width td
+      && Array.length (Nice.bag nice) = 0)
+
+let test_nice_td_structure () =
+  let g = Gen.cycle 4 in
+  let td = Td.of_elimination_order g (Array.init 4 Fun.id) in
+  let nice = Nice.of_decomposition td in
+  Alcotest.(check bool) "verifies" true (Nice.verify nice);
+  Alcotest.(check bool) "has nodes" true (Nice.size nice >= 4)
+
+(* --- cliques --- *)
+
+let test_clique_bruteforce () =
+  let g = Gen.clique 5 in
+  (match Clique.find_bruteforce g 5 with
+  | Some c -> Alcotest.(check bool) "is clique" true (Graph.is_clique g c)
+  | None -> Alcotest.fail "clique expected");
+  Alcotest.(check bool) "no 6-clique" true (Clique.find_bruteforce g 6 = None)
+
+let test_clique_counts () =
+  let g = Gen.clique 5 in
+  check Alcotest.int "5 choose 3 triangles" 10 (Clique.count_cliques g 3);
+  check Alcotest.int "edges" 10 (Clique.count_cliques g 2)
+
+let clique_matmul_agrees_prop =
+  QCheck.Test.make ~name:"matmul k-clique agrees with brute force (k=3,6)"
+    ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 6 + Prng.int rng 10 in
+      let g = Gen.gnp rng n 0.5 in
+      let agree k =
+        let bf = Clique.find_bruteforce g k <> None in
+        let mm = Clique.find_matmul g k <> None in
+        bf = mm
+      in
+      agree 3 && agree 6)
+
+let test_matmul_witness_is_clique () =
+  let g, _ = Gen.planted_clique (Prng.create 77) 25 0.3 6 in
+  match Clique.find_matmul g 6 with
+  | Some c ->
+      Alcotest.(check bool) "witness clique" true (Graph.is_clique g c);
+      check Alcotest.int "size" 6
+        (List.length (List.sort_uniq compare (Array.to_list c)))
+  | None -> Alcotest.fail "planted clique not found"
+
+let test_max_clique () =
+  let g, planted = Gen.planted_clique (Prng.create 13) 20 0.2 5 in
+  let mc = Clique.max_clique g in
+  Alcotest.(check bool) "is clique" true (Graph.is_clique g mc);
+  Alcotest.(check bool) "at least planted size" true
+    (Array.length mc >= Array.length planted)
+
+(* --- triangles --- *)
+
+let triangle_detectors_agree_prop =
+  QCheck.Test.make ~name:"four triangle detectors agree" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 25 in
+      let p = 0.05 +. Prng.float rng 0.3 in
+      let g = Gen.gnp rng n p in
+      let naive = Triangle.detect_naive g <> None in
+      let scan = Triangle.detect_edge_scan g <> None in
+      let mm = Triangle.detect_matmul g <> None in
+      let hl = Triangle.detect_heavy_light g <> None in
+      naive = scan && scan = mm && mm = hl)
+
+let triangle_counts_agree_prop =
+  QCheck.Test.make ~name:"triangle counts agree" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 20 in
+      let g = Gen.gnp rng n 0.3 in
+      Triangle.count_matmul g = Triangle.count_edge_scan g
+      && Triangle.count_matmul g = Clique.count_cliques g 3)
+
+let test_triangle_witness () =
+  let g = Gen.cycle 3 in
+  match Triangle.detect_heavy_light g with
+  | Some (a, b, c) ->
+      Alcotest.(check bool) "real triangle" true
+        (Graph.has_edge g a b && Graph.has_edge g b c && Graph.has_edge g a c)
+  | None -> Alcotest.fail "triangle expected"
+
+let test_no_triangle_in_bipartite () =
+  let g = Gen.complete_bipartite 4 5 in
+  Alcotest.(check bool) "bipartite has none" true (Triangle.detect_matmul g = None);
+  check Alcotest.int "count 0" 0 (Triangle.count_edge_scan g)
+
+(* --- vertex cover --- *)
+
+module Vc = Lb_graph.Vertex_cover
+
+let vc_fpt_agrees_prop =
+  QCheck.Test.make ~name:"vertex cover FPT agrees with brute force" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 8 in
+      let g = Gen.gnp rng n 0.3 in
+      let ok = ref true in
+      for k = 0 to 5 do
+        let f = Vc.solve_fpt g k and b = Vc.solve_bruteforce g k in
+        (match (f, b) with
+        | Some c, Some _ ->
+            if not (Vc.is_cover g c && Array.length c <= k) then ok := false
+        | None, None -> ()
+        | _ -> ok := false)
+      done;
+      !ok)
+
+let test_vc_greedy_cover () =
+  let g = random_graph 5 15 0.3 in
+  Alcotest.(check bool) "greedy covers" true (Vc.is_cover g (Vc.greedy_2approx g))
+
+let test_vc_star () =
+  let g = Gen.star 6 in
+  match Vc.solve_fpt g 1 with
+  | Some c ->
+      check Alcotest.int "center suffices" 1 (Array.length c);
+      check Alcotest.int "center" 0 c.(0)
+  | None -> Alcotest.fail "star has VC of size 1"
+
+(* --- dominating set --- *)
+
+module Ds = Lb_graph.Dominating_set
+
+let test_domset_clique () =
+  let g = Gen.clique 6 in
+  match Ds.solve_bruteforce g 1 with
+  | Some d -> check Alcotest.int "single vertex dominates" 1 (Array.length d)
+  | None -> Alcotest.fail "clique dominated by any vertex"
+
+let test_domset_greedy () =
+  let g = random_graph 21 20 0.2 in
+  Alcotest.(check bool) "greedy dominates" true (Ds.is_dominating g (Ds.greedy g))
+
+let domset_greedy_vs_optimal_prop =
+  QCheck.Test.make ~name:"greedy dominating set >= optimal size" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 8 in
+      let g = Gen.gnp rng n 0.3 in
+      let greedy = Ds.greedy g in
+      (* find the optimum by increasing k *)
+      let rec opt k =
+        match Ds.solve_bruteforce g k with Some s -> s | None -> opt (k + 1)
+      in
+      let optimal = opt 1 in
+      Ds.is_dominating g greedy
+      && Array.length greedy >= Array.length optimal)
+
+let test_domset_path () =
+  let g = Gen.path 9 in
+  (* path on 9 vertices needs exactly 3 dominators *)
+  Alcotest.(check bool) "k=2 fails" true (Ds.solve_bruteforce g 2 = None);
+  match Ds.solve_bruteforce g 3 with
+  | Some d -> Alcotest.(check bool) "dominates" true (Ds.is_dominating g d)
+  | None -> Alcotest.fail "3 should dominate P9"
+
+(* --- coloring --- *)
+
+module Col = Lb_graph.Coloring
+
+let test_coloring_basic () =
+  let g = Gen.cycle 5 in
+  Alcotest.(check bool) "odd cycle not 2-colorable" true (Col.color g 2 = None);
+  (match Col.color g 3 with
+  | Some c -> Alcotest.(check bool) "valid" true (Col.is_coloring g 3 c)
+  | None -> Alcotest.fail "C5 is 3-colorable");
+  let k4 = Gen.clique 4 in
+  Alcotest.(check bool) "K4 not 3-colorable" true (Col.color k4 3 = None)
+
+let coloring_bipartite_prop =
+  QCheck.Test.make ~name:"trees are 2-colorable" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Gen.random_tree rng (2 + Prng.int rng 20) in
+      match Col.color g 2 with
+      | Some c -> Col.is_coloring g 2 c
+      | None -> false)
+
+(* --- homomorphism --- *)
+
+module Hom = Lb_graph.Homomorphism
+
+let test_hom_basics () =
+  (* C5 -> C5 identity-ish; C4 -> K2 (bipartite); C5 -/-> K2 (odd) *)
+  let c5 = Gen.cycle 5 and c4 = Gen.cycle 4 and k2 = Gen.clique 2 in
+  Alcotest.(check bool) "C4 -> K2" true (Hom.find c4 k2 <> None);
+  Alcotest.(check bool) "C5 -/-> K2" true (Hom.find c5 k2 = None);
+  (match Hom.find c5 c5 with
+  | Some f -> Alcotest.(check bool) "valid hom" true (Hom.is_homomorphism c5 c5 f)
+  | None -> Alcotest.fail "identity exists");
+  (* hom to a triangle = 3-colorability *)
+  let k3 = Gen.clique 3 in
+  Alcotest.(check bool) "C5 -> K3" true (Hom.find c5 k3 <> None)
+
+let hom_matches_coloring_prop =
+  QCheck.Test.make ~name:"hom into K_k iff k-colorable" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 8 in
+      let g = Gen.gnp rng n 0.4 in
+      let ok = ref true in
+      for k = 2 to 4 do
+        let hom = Hom.find g (Gen.clique k) <> None in
+        let col = Col.color g k <> None in
+        if hom <> col then ok := false
+      done;
+      !ok)
+
+(* --- partitioned subgraph isomorphism --- *)
+
+module Psi = Lb_graph.Subgraph_iso
+
+let test_psi_triangle () =
+  (* host: 3 classes of 2 vertices, triangle across classes exists *)
+  let host = Graph.create 6 in
+  Graph.add_edge host 0 2;
+  Graph.add_edge host 2 4;
+  Graph.add_edge host 0 4;
+  let pattern = Gen.clique 3 in
+  let classes = [| [| 0; 1 |]; [| 2; 3 |]; [| 4; 5 |] |] in
+  (match Psi.find pattern host classes with
+  | Some f -> Alcotest.(check bool) "respects" true (Psi.respects pattern host classes f)
+  | None -> Alcotest.fail "triangle should be found");
+  (* remove one edge: no triangle *)
+  let host2 = Graph.create 6 in
+  Graph.add_edge host2 0 2;
+  Graph.add_edge host2 2 4;
+  Alcotest.(check bool) "no triangle" true (Psi.find pattern host2 classes = None)
+
+(* --- distances --- *)
+
+module Dist = Lb_graph.Distance
+
+let test_distance_known () =
+  let p = Gen.path 6 in
+  check Alcotest.(option int) "path diameter" (Some 5) (Dist.diameter p);
+  check Alcotest.(option int) "path radius" (Some 3) (Dist.radius p);
+  let c = Gen.cycle 6 in
+  check Alcotest.(option int) "cycle diameter" (Some 3) (Dist.diameter c);
+  check Alcotest.(option int) "cycle radius" (Some 3) (Dist.radius c);
+  let k = Gen.clique 5 in
+  check Alcotest.(option int) "clique diameter" (Some 1) (Dist.diameter k);
+  let s = Gen.star 5 in
+  check Alcotest.(option int) "star diameter" (Some 2) (Dist.diameter s);
+  check Alcotest.(option int) "star radius" (Some 1) (Dist.radius s)
+
+let test_distance_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  check Alcotest.(option int) "disconnected" None (Dist.diameter g);
+  let d = Dist.bfs g 0 in
+  check Alcotest.int "unreachable -1" (-1) d.(2)
+
+let diameter_approx_prop =
+  QCheck.Test.make ~name:"one-BFS eccentricity 2-approximates the diameter"
+    ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 20 in
+      (* connect by using a random tree plus extra edges *)
+      let g = Gen.random_tree rng n in
+      for _ = 1 to n / 2 do
+        let u = Prng.int rng n and v = Prng.int rng n in
+        if u <> v then Graph.add_edge g u v
+      done;
+      match (Dist.diameter g, Dist.diameter_2approx g) with
+      | Some d, Some e -> e <= d && d <= 2 * e
+      | _ -> false)
+
+let bfs_triangle_inequality_prop =
+  QCheck.Test.make ~name:"BFS distances satisfy the triangle inequality"
+    ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 12 in
+      let g = Gen.random_tree rng n in
+      for _ = 1 to n do
+        let u = Prng.int rng n and v = Prng.int rng n in
+        if u <> v then Graph.add_edge g u v
+      done;
+      let d = Dist.all_pairs g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if d.(a).(b) > d.(a).(c) + d.(c).(b) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let subgraph_iso_matches_clique_prop =
+  QCheck.Test.make ~name:"subgraph iso finds k-cliques iff brute force does"
+    ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 8 in
+      let g = Gen.gnp rng n 0.5 in
+      let ok = ref true in
+      for k = 2 to 4 do
+        let via_iso = Psi.find_unpartitioned (Gen.clique k) g in
+        let via_bf = Clique.find_bruteforce g k in
+        (match via_iso with
+        | Some f ->
+            if not (Psi.is_subgraph_embedding (Gen.clique k) g f) then ok := false
+        | None -> ());
+        if (via_iso <> None) <> (via_bf <> None) then ok := false
+      done;
+      !ok)
+
+let test_subgraph_iso_injective () =
+  (* a path of 3 vertices embeds in C5, not in K2 (too few vertices) *)
+  let p3 = Gen.path 3 in
+  Alcotest.(check bool) "P3 in C5" true
+    (Psi.find_unpartitioned p3 (Gen.cycle 5) <> None);
+  Alcotest.(check bool) "P3 not in K2" true
+    (Psi.find_unpartitioned p3 (Gen.clique 2) = None);
+  (* homomorphism exists where embedding does not: P3 -> K2 folds *)
+  Alcotest.(check bool) "hom P3 -> K2 exists" true
+    (Hom.find p3 (Gen.clique 2) <> None)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    QCheck_alcotest.to_alcotest subgraph_iso_matches_clique_prop;
+    Alcotest.test_case "subgraph iso injectivity" `Quick test_subgraph_iso_injective;
+    Alcotest.test_case "distances known" `Quick test_distance_known;
+    Alcotest.test_case "distances disconnected" `Quick test_distance_disconnected;
+    QCheck_alcotest.to_alcotest diameter_approx_prop;
+    QCheck_alcotest.to_alcotest bfs_triangle_inequality_prop;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "induced" `Quick test_induced;
+    Alcotest.test_case "is_path" `Quick test_is_path;
+    Alcotest.test_case "special graphs" `Quick test_special_recognizer;
+    Alcotest.test_case "gnm edge count" `Quick test_gnm_edges;
+    Alcotest.test_case "planted clique" `Quick test_planted_clique;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "partial k-tree width" `Quick test_partial_ktree_treewidth;
+    Alcotest.test_case "td of elimination order" `Quick test_td_verify_valid;
+    Alcotest.test_case "td verifier: edge" `Quick test_td_verify_catches_missing_edge;
+    Alcotest.test_case "td verifier: connectivity" `Quick
+      test_td_verify_catches_disconnected;
+    Alcotest.test_case "treewidth known values" `Quick test_treewidth_known_values;
+    QCheck_alcotest.to_alcotest treewidth_sandwich_prop;
+    QCheck_alcotest.to_alcotest heuristic_td_valid_prop;
+    QCheck_alcotest.to_alcotest nice_td_valid_prop;
+    Alcotest.test_case "nice td structure" `Quick test_nice_td_structure;
+    Alcotest.test_case "clique brute force" `Quick test_clique_bruteforce;
+    Alcotest.test_case "clique counts" `Quick test_clique_counts;
+    QCheck_alcotest.to_alcotest clique_matmul_agrees_prop;
+    Alcotest.test_case "matmul witness" `Quick test_matmul_witness_is_clique;
+    Alcotest.test_case "max clique" `Quick test_max_clique;
+    QCheck_alcotest.to_alcotest triangle_detectors_agree_prop;
+    QCheck_alcotest.to_alcotest triangle_counts_agree_prop;
+    Alcotest.test_case "triangle witness" `Quick test_triangle_witness;
+    Alcotest.test_case "bipartite no triangle" `Quick test_no_triangle_in_bipartite;
+    QCheck_alcotest.to_alcotest vc_fpt_agrees_prop;
+    Alcotest.test_case "vc greedy" `Quick test_vc_greedy_cover;
+    Alcotest.test_case "vc star" `Quick test_vc_star;
+    Alcotest.test_case "domset clique" `Quick test_domset_clique;
+    Alcotest.test_case "domset greedy" `Quick test_domset_greedy;
+    QCheck_alcotest.to_alcotest domset_greedy_vs_optimal_prop;
+    Alcotest.test_case "domset path" `Quick test_domset_path;
+    Alcotest.test_case "coloring basics" `Quick test_coloring_basic;
+    QCheck_alcotest.to_alcotest coloring_bipartite_prop;
+    Alcotest.test_case "homomorphism basics" `Quick test_hom_basics;
+    QCheck_alcotest.to_alcotest hom_matches_coloring_prop;
+    Alcotest.test_case "partitioned subgraph iso" `Quick test_psi_triangle;
+  ]

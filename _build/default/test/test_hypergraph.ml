@@ -1,0 +1,159 @@
+(* Tests for lb_hypergraph: construction, primal graphs, acyclicity and
+   join trees, fractional covers (the AGM exponent), hypercliques. *)
+
+module H = Lb_hypergraph.Hypergraph
+module Cover = Lb_hypergraph.Cover
+module Acyclic = Lb_hypergraph.Acyclic
+module Hc = Lb_hypergraph.Hyperclique
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+let close a b = abs_float (a -. b) < 1e-6
+
+let test_create_normalizes () =
+  let h = H.create 3 [ [| 2; 0; 0 |] ] in
+  check Alcotest.(list int) "sorted dedup" [ 0; 2 ] (Array.to_list (H.edges h).(0))
+
+let test_create_rejects () =
+  Alcotest.check_raises "range" (Invalid_argument "Hypergraph.create: vertex range")
+    (fun () -> ignore (H.create 2 [ [| 0; 5 |] ]))
+
+let test_primal () =
+  let h = H.create 4 [ [| 0; 1; 2 |]; [| 2; 3 |] ] in
+  let g = H.primal h in
+  check Alcotest.int "edges" 4 (Lb_graph.Graph.edge_count g);
+  Alcotest.(check bool) "0-1" true (Lb_graph.Graph.has_edge g 0 1);
+  Alcotest.(check bool) "not 0-3" false (Lb_graph.Graph.has_edge g 0 3)
+
+let test_acyclicity () =
+  Alcotest.(check bool) "path acyclic" true (Acyclic.is_acyclic (H.path 5));
+  Alcotest.(check bool) "star acyclic" true (Acyclic.is_acyclic (H.star 5));
+  Alcotest.(check bool) "triangle cyclic" false
+    (Acyclic.is_acyclic (Lazy.force H.triangle));
+  Alcotest.(check bool) "cycle cyclic" false (Acyclic.is_acyclic (H.cycle 5));
+  (* alpha-acyclicity: triangle + covering 3-ary edge IS acyclic *)
+  let h =
+    H.create 3 [ [| 0; 1 |]; [| 1; 2 |]; [| 0; 2 |]; [| 0; 1; 2 |] ]
+  in
+  Alcotest.(check bool) "covered triangle acyclic" true (Acyclic.is_acyclic h)
+
+let join_tree_valid_prop =
+  QCheck.Test.make ~name:"join trees satisfy connectivity" ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      (* acyclic by construction: path or star shapes with extra subsumed
+         edges *)
+      let k = 2 + Prng.int rng 6 in
+      let base = if Prng.bool rng then H.path k else H.star k in
+      match Acyclic.join_tree base with
+      | Some parent -> Acyclic.verify_join_tree base parent
+      | None -> false)
+
+let test_rho_star_triangle () =
+  match Cover.rho_star (Lazy.force H.triangle) with
+  | Some r -> Alcotest.(check bool) "3/2" true (close r 1.5)
+  | None -> Alcotest.fail "rho* exists"
+
+let test_rho_star_known () =
+  let get h = Option.get (Cover.rho_star h) in
+  Alcotest.(check bool) "LW3 = 1.5" true (close (get (H.loomis_whitney 3)) 1.5);
+  (* path k: both end vertices force their edges to weight 1; the optimum
+     covers the odd-length path with ceil((k+1)/2) edges *)
+  Alcotest.(check bool) "path3 = 2" true (close (get (H.path 3)) 2.0);
+  Alcotest.(check bool) "path2 = 2" true (close (get (H.path 2)) 2.0);
+  (* 4-cycle: rho* = 2 *)
+  Alcotest.(check bool) "C4 = 2" true (close (get (H.cycle 4)) 2.0);
+  (* 5-cycle: rho* = 5/2 * (1/2)... each edge 1/2 covers: weight 5/2 *)
+  Alcotest.(check bool) "C5 = 2.5" true (close (get (H.cycle 5)) 2.5);
+  (* star with k leaves: needs every leaf edge: rho* = k... each leaf
+     only covered by its own edge *)
+  Alcotest.(check bool) "star3 = 3" true (close (get (H.star 3)) 3.0);
+  (* clique query on 4 vertices: rho* = 2 *)
+  Alcotest.(check bool) "K4 = 2" true (close (get (H.clique_query 4)) 2.0)
+
+let test_rho_star_uncovered () =
+  let h = H.create 3 [ [| 0; 1 |] ] in
+  Alcotest.(check bool) "uncovered -> none" true (Cover.rho_star h = None)
+
+let cover_feasible_prop =
+  QCheck.Test.make ~name:"fractional cover solutions are feasible covers"
+    ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 5 in
+      let h = H.random_uniform rng n 2 0.7 in
+      if not (H.covers_all_vertices h) then QCheck.assume_fail ()
+      else
+        match Cover.fractional_edge_cover h with
+        | Some { weights; value } ->
+            Cover.is_fractional_cover h weights
+            && close value (Array.fold_left ( +. ) 0.0 weights)
+        | None -> false)
+
+let duality_prop =
+  QCheck.Test.make ~name:"cover LP value = packing LP value (duality)"
+    ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 5 in
+      let h = H.random_uniform rng n 2 0.7 in
+      if not (H.covers_all_vertices h) then QCheck.assume_fail ()
+      else
+        match (Cover.fractional_edge_cover h, Cover.fractional_vertex_packing h) with
+        | Some c, Some p -> abs_float (c.value -. p.value) < 1e-6
+        | _ -> false)
+
+let integral_cover_prop =
+  QCheck.Test.make ~name:"integral cover >= fractional cover" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 4 in
+      let h = H.random_uniform rng n 2 0.8 in
+      if not (H.covers_all_vertices h) then QCheck.assume_fail ()
+      else
+        match (Cover.integral_edge_cover h, Cover.rho_star h) with
+        | Some ic, Some rho -> float_of_int (Array.length ic) >= rho -. 1e-9
+        | _ -> false)
+
+let test_hyperclique () =
+  (* complete 3-uniform hypergraph on 5 vertices has a 5-hyperclique *)
+  let edges = ref [] in
+  Lb_util.Combinat.iter_subsets 5 3 (fun s -> edges := Array.copy s :: !edges);
+  let h = H.create 5 !edges in
+  (match Hc.find h ~d:3 ~k:4 with
+  | Some vs ->
+      Alcotest.(check bool) "valid" true (Hc.is_hyperclique h ~d:3 vs)
+  | None -> Alcotest.fail "4-hyperclique expected");
+  (* remove one edge: no 5-hyperclique *)
+  let edges' = List.tl !edges in
+  let h' = H.create 5 edges' in
+  Alcotest.(check bool) "5 fails" true (Hc.find h' ~d:3 ~k:5 = None)
+
+let test_hyperclique_uniformity_check () =
+  let h = H.create 3 [ [| 0; 1 |] ] in
+  Alcotest.check_raises "not uniform"
+    (Invalid_argument "Hyperclique.find: hypergraph is not d-uniform")
+    (fun () -> ignore (Hc.find h ~d:3 ~k:3))
+
+let suite =
+  [
+    Alcotest.test_case "create normalizes" `Quick test_create_normalizes;
+    Alcotest.test_case "create rejects" `Quick test_create_rejects;
+    Alcotest.test_case "primal graph" `Quick test_primal;
+    Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+    QCheck_alcotest.to_alcotest join_tree_valid_prop;
+    Alcotest.test_case "rho* triangle" `Quick test_rho_star_triangle;
+    Alcotest.test_case "rho* known values" `Quick test_rho_star_known;
+    Alcotest.test_case "rho* uncovered" `Quick test_rho_star_uncovered;
+    QCheck_alcotest.to_alcotest cover_feasible_prop;
+    QCheck_alcotest.to_alcotest duality_prop;
+    QCheck_alcotest.to_alcotest integral_cover_prop;
+    Alcotest.test_case "hyperclique" `Quick test_hyperclique;
+    Alcotest.test_case "hyperclique uniformity" `Quick
+      test_hyperclique_uniformity_check;
+  ]

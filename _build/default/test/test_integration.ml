@@ -1,0 +1,178 @@
+(* Integration tests: walk single instances through the paper end to
+   end, crossing every domain boundary of Section 2 and every solver
+   that claims to answer the same question.  These are the "one instance,
+   all roads" checks - if any translation or engine disagrees with any
+   other, something fundamental broke. *)
+
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Csp = Lb_csp.Csp
+module Convert = Lb_csp.Convert
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+(* One binary CSP; answered through:
+   1. the generic CSP solver,
+   2. Freuder's DP (direct and nice-form),
+   3. the join-query view (reference fold, GJ, LFTJ, binary plan,
+      decomposed join, and - if acyclic - Yannakakis),
+   4. the partitioned-subgraph-isomorphism view,
+   5. the relational-structure homomorphism view (direct search and the
+      core+treewidth algorithm).
+   All must agree on satisfiability; the counting engines must agree on
+   the count. *)
+let all_roads_prop =
+  QCheck.Test.make ~name:"one CSP, all roads agree" ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 4 in
+      let d = 2 + Prng.int rng 3 in
+      let g = Lb_graph.Generators.gnp rng n 0.7 in
+      let csp, _ =
+        Lb_csp.Generators.binary_over_graph rng g ~domain_size:d
+          ~density:(0.25 +. Prng.float rng 0.4)
+          ~plant:false
+      in
+      if Csp.constraint_count csp = 0 then QCheck.assume_fail ()
+      else begin
+        let count = Csp.count_bruteforce csp in
+        let sat = count > 0 in
+        (* 1. generic solver *)
+        let ok1 =
+          Lb_csp.Solver.count csp = count
+          && (Lb_csp.Solver.solve csp <> None) = sat
+        in
+        (* 2. treewidth DPs *)
+        let ok2 =
+          Lb_csp.Freuder.count csp = count
+          && Lb_csp.Freuder_nice.count csp = count
+        in
+        (* 3. join-query view; constrained vars only, so scale by the
+           free ones *)
+        let q, db = Convert.to_query csp in
+        let mentioned = Hashtbl.create 16 in
+        List.iter
+          (fun (c : Csp.constraint_) ->
+            Array.iter (fun v -> Hashtbl.replace mentioned v ()) c.Csp.scope)
+          (Csp.constraints csp);
+        let scale =
+          Lb_util.Combinat.power d (Csp.nvars csp - Hashtbl.length mentioned)
+        in
+        let ref_count = Q.answer_size db q in
+        let ok3 =
+          ref_count * scale = count
+          && Lb_relalg.Generic_join.count db q = ref_count
+          && Lb_relalg.Leapfrog.count db q = ref_count
+          && R.cardinality (fst (Lb_relalg.Binary_plan.run db q)) = ref_count
+          && R.cardinality (fst (Lb_relalg.Decomposed_join.answer db q)) = ref_count
+          && (not (Lb_relalg.Yannakakis.is_acyclic q)
+             || R.cardinality (fst (Lb_relalg.Yannakakis.answer db q)) = ref_count)
+        in
+        (* 4. partitioned subgraph isomorphism *)
+        let psi = Convert.to_partitioned_iso csp in
+        let ok4 =
+          (Lb_graph.Subgraph_iso.find psi.Convert.pattern psi.Convert.host
+             psi.Convert.classes
+          <> None)
+          = sat
+        in
+        (* 5. structures: direct and Theorem 5.3 route *)
+        let a, b = Convert.to_structures csp in
+        let ok5 =
+          (Lb_structure.Structure.find_homomorphism a b <> None) = sat
+          && (Lb_csp.Hom.decide a b <> None) = sat
+          && Lb_csp.Hom.count a b = count
+        in
+        ok1 && ok2 && ok3 && ok4 && ok5
+      end)
+
+(* SAT pipeline: formula -> (DPLL | CSP | 3SAT-split | OV | 3-coloring)
+   all agree. *)
+let sat_all_roads_prop =
+  QCheck.Test.make ~name:"one formula, all reductions agree" ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 5 in
+      let m = 2 + Prng.int rng 12 in
+      let f = Lb_sat.Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:3 in
+      let sat = Lb_sat.Dpll.solve f <> None in
+      let via_csp =
+        Lb_csp.Solver.solve (Lb_reductions.Sat_to_csp.to_csp f) <> None
+      in
+      let via_split =
+        Lb_sat.Dpll.solve
+          (Lb_reductions.Sat_to_3sat.reduce f).Lb_reductions.Sat_to_3sat.formula
+        <> None
+      in
+      let via_ov =
+        Lb_reductions.Sat_to_ov.solve_ov (Lb_reductions.Sat_to_ov.reduce f)
+        <> None
+      in
+      let via_coloring =
+        Lb_graph.Coloring.color
+          (Lb_reductions.Sat_to_coloring.reduce f)
+            .Lb_reductions.Sat_to_coloring.graph 3
+        <> None
+      in
+      via_csp = sat && via_split = sat && via_ov = sat && via_coloring = sat)
+
+(* Clique pipeline: graph -> (brute | matmul(k=3,6) | CSP | Special CSP |
+   subgraph iso | complement IS) all agree. *)
+let clique_all_roads_prop =
+  QCheck.Test.make ~name:"one graph, all clique routes agree" ~count:20
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 5 + Prng.int rng 8 in
+      let g = Lb_graph.Generators.gnp rng n 0.5 in
+      let k = 3 in
+      let direct = Lb_graph.Clique.find_bruteforce g k <> None in
+      let via_matmul = Lb_graph.Clique.find_matmul g k <> None in
+      let via_csp =
+        Lb_csp.Solver.solve (Lb_reductions.Clique_to_csp.to_csp g k) <> None
+      in
+      let via_special =
+        Lb_reductions.Special_csp.solve
+          (Lb_reductions.Special_csp.clique_to_special_csp g k)
+        <> None
+      in
+      let via_iso =
+        Lb_graph.Subgraph_iso.find_unpartitioned (Lb_graph.Generators.clique k) g
+        <> None
+      in
+      let via_complement =
+        Lb_reductions.Complement.find_independent_set
+          (Lb_reductions.Complement.clique_to_independent_set g)
+          k
+        <> None
+      in
+      via_matmul = direct && via_csp = direct && via_special = direct
+      && via_iso = direct && via_complement = direct)
+
+(* The advisor pipeline on the AGM worst case: analysis exponents match
+   the measured blowup. *)
+let test_worst_case_pipeline () =
+  let q = Q.parse "R(a,b), S(b,c), T(a,c)" in
+  let analysis = Lowerbounds.Bounds.analyze_query q in
+  let rho = Option.get analysis.Lowerbounds.Bounds.rho_star in
+  let db = Lb_relalg.Agm.worst_case_database q ~n:256 in
+  let _, outcome = Lowerbounds.Advisor.evaluate db q in
+  let answer = R.cardinality outcome.Lowerbounds.Advisor.answer in
+  let nmax = Db.max_cardinality db in
+  let measured = log (float_of_int answer) /. log (float_of_int nmax) in
+  Alcotest.(check bool) "strategy is WCOJ" true
+    (outcome.Lowerbounds.Advisor.strategy = Lowerbounds.Advisor.Worst_case_optimal);
+  Alcotest.(check bool) "measured exponent = rho*" true
+    (abs_float (measured -. rho) < 0.05)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest all_roads_prop;
+    QCheck_alcotest.to_alcotest sat_all_roads_prop;
+    QCheck_alcotest.to_alcotest clique_all_roads_prop;
+    Alcotest.test_case "worst-case pipeline" `Quick test_worst_case_pipeline;
+  ]

@@ -1,0 +1,155 @@
+(* Tests for the simplex solver on known LPs, plus a random property
+   against feasibility/optimality certificates. *)
+
+module S = Lb_lp.Simplex
+
+let close a b = abs_float (a -. b) < 1e-6
+
+let test_basic_max () =
+  (* max x + y st x <= 2, y <= 3 -> 5 at (2,3) *)
+  let p =
+    {
+      S.maximize = true;
+      objective = [| 1.0; 1.0 |];
+      rows = [ ([| 1.0; 0.0 |], S.Le, 2.0); ([| 0.0; 1.0 |], S.Le, 3.0) ];
+    }
+  in
+  match S.solve p with
+  | S.Optimal { value; solution } ->
+      Alcotest.(check bool) "value 5" true (close value 5.0);
+      Alcotest.(check bool) "x=2" true (close solution.(0) 2.0);
+      Alcotest.(check bool) "y=3" true (close solution.(1) 3.0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_basic_min_ge () =
+  (* min x + y st x + y >= 4, x >= 1 -> 4 *)
+  let p =
+    {
+      S.maximize = false;
+      objective = [| 1.0; 1.0 |];
+      rows = [ ([| 1.0; 1.0 |], S.Ge, 4.0); ([| 1.0; 0.0 |], S.Ge, 1.0) ];
+    }
+  in
+  match S.solve p with
+  | S.Optimal { value; _ } -> Alcotest.(check bool) "value 4" true (close value 4.0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_infeasible () =
+  (* x <= 1 and x >= 2 *)
+  let p =
+    {
+      S.maximize = true;
+      objective = [| 1.0 |];
+      rows = [ ([| 1.0 |], S.Le, 1.0); ([| 1.0 |], S.Ge, 2.0) ];
+    }
+  in
+  match S.solve p with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = { S.maximize = true; objective = [| 1.0 |]; rows = [ ([| -1.0 |], S.Le, 1.0) ] } in
+  match S.solve p with
+  | S.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_equality () =
+  (* max x + 2y st x + y = 3, y <= 2 -> x=1,y=2 value 5 *)
+  let p =
+    {
+      S.maximize = true;
+      objective = [| 1.0; 2.0 |];
+      rows = [ ([| 1.0; 1.0 |], S.Eq, 3.0); ([| 0.0; 1.0 |], S.Le, 2.0) ];
+    }
+  in
+  match S.solve p with
+  | S.Optimal { value; solution } ->
+      Alcotest.(check bool) "value 5" true (close value 5.0);
+      Alcotest.(check bool) "x=1" true (close solution.(0) 1.0);
+      Alcotest.(check bool) "y=2" true (close solution.(1) 2.0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_negative_rhs () =
+  (* min y st -x <= -2 (i.e. x >= 2), y >= x - 3, y >= 0.
+     Rewrite: x - y <= 3. Optimal y = 0 (x=2). *)
+  let p =
+    {
+      S.maximize = false;
+      objective = [| 0.0; 1.0 |];
+      rows = [ ([| -1.0; 0.0 |], S.Le, -2.0); ([| 1.0; -1.0 |], S.Le, 3.0) ];
+    }
+  in
+  match S.solve p with
+  | S.Optimal { value; _ } -> Alcotest.(check bool) "value 0" true (close value 0.0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_degenerate () =
+  (* Degenerate vertex: max x+y st x <= 1, y <= 1, x + y <= 2 -> 2 *)
+  let p =
+    {
+      S.maximize = true;
+      objective = [| 1.0; 1.0 |];
+      rows =
+        [
+          ([| 1.0; 0.0 |], S.Le, 1.0);
+          ([| 0.0; 1.0 |], S.Le, 1.0);
+          ([| 1.0; 1.0 |], S.Le, 2.0);
+        ];
+    }
+  in
+  match S.solve p with
+  | S.Optimal { value; _ } -> Alcotest.(check bool) "value 2" true (close value 2.0)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Property: on random feasible packing LPs (max sum x, Ax <= b with
+   A, b >= 0 and each column bounded), the reported solution is feasible
+   and achieves the reported value. *)
+let random_packing_prop =
+  QCheck.Test.make ~name:"simplex solution is feasible and consistent"
+    ~count:100 QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Lb_util.Prng.create seed in
+      let nv = 1 + Lb_util.Prng.int rng 5 in
+      let nc = 1 + Lb_util.Prng.int rng 5 in
+      let rows =
+        List.init nc (fun _ ->
+            let a =
+              Array.init nv (fun _ -> float_of_int (Lb_util.Prng.int rng 4))
+            in
+            (a, S.Le, float_of_int (1 + Lb_util.Prng.int rng 9)))
+      in
+      (* ensure every variable is bounded: add x_i <= 10 rows *)
+      let bounds =
+        List.init nv (fun i ->
+            let a = Array.make nv 0.0 in
+            a.(i) <- 1.0;
+            (a, S.Le, 10.0))
+      in
+      let p = { S.maximize = true; objective = Array.make nv 1.0; rows = rows @ bounds } in
+      match S.solve p with
+      | S.Optimal { value; solution } ->
+          let feasible =
+            List.for_all
+              (fun (a, _, b) ->
+                let dot = ref 0.0 in
+                Array.iteri (fun i c -> dot := !dot +. (c *. solution.(i))) a;
+                !dot <= b +. 1e-6)
+              (rows @ bounds)
+            && Array.for_all (fun x -> x >= -1e-9) solution
+          in
+          let sum = Array.fold_left ( +. ) 0.0 solution in
+          feasible && close sum value
+      | S.Infeasible -> false (* origin is always feasible here *)
+      | S.Unbounded -> false)
+
+let suite =
+  [
+    Alcotest.test_case "basic max" `Quick test_basic_max;
+    Alcotest.test_case "basic min with >=" `Quick test_basic_min_ge;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "equality row" `Quick test_equality;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+    Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+    QCheck_alcotest.to_alcotest random_packing_prop;
+  ]

@@ -1,0 +1,21 @@
+(* Aggregate test runner: one alcotest suite per library. *)
+
+let () =
+  Alcotest.run "lowerbounds"
+    [
+      ("util", Test_util.suite);
+      ("lp", Test_lp.suite);
+      ("graph", Test_graph.suite);
+      ("hypergraph", Test_hypergraph.suite);
+      ("sat", Test_sat.suite);
+      ("structure", Test_structure.suite);
+      ("relalg", Test_relalg.suite);
+      ("trie", Test_trie.suite);
+      ("csp", Test_csp.suite);
+      ("reductions", Test_reductions.suite);
+      ("finegrained", Test_finegrained.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("polymorphism", Test_polymorphism.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,162 @@
+(* Tests for the polymorphism machinery: closure checks, the classic
+   witnesses, and the correspondence with Schaefer's classes over the
+   Boolean domain. *)
+
+module P = Lb_csp.Polymorphism
+module Schaefer = Lb_sat.Schaefer
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+(* Boolean relation -> polymorphism relation *)
+let of_schaefer (r : Schaefer.relation) =
+  let tuples = ref [] in
+  for t = 0 to (1 lsl r.Schaefer.arity) - 1 do
+    if Schaefer.mem_tuple r t then
+      tuples := Array.init r.Schaefer.arity (fun i -> (t lsr i) land 1) :: !tuples
+  done;
+  P.relation ~domain_size:2 ~arity:r.Schaefer.arity !tuples
+
+let r_imp = Schaefer.relation_of_pred 2 (fun t -> (not t.(0)) || t.(1))
+
+let r_xor = Schaefer.relation_of_pred 2 (fun t -> t.(0) <> t.(1))
+
+let r_or = Schaefer.relation_of_pred 2 (fun t -> t.(0) || t.(1))
+
+let r_oneinthree =
+  Schaefer.relation_of_pred 3 (fun t ->
+      1 = List.length (List.filter Fun.id (Array.to_list t)))
+
+let test_operation_laws () =
+  Alcotest.(check bool) "min is a semilattice" true
+    (match P.min_op 4 [| 2; 0; 3; 1 |] with
+    | P.Binary f -> P.is_semilattice_op 4 f
+    | _ -> false);
+  Alcotest.(check bool) "median is a majority" true
+    (match P.median_op 4 [| 0; 1; 2; 3 |] with
+    | P.Ternary f -> P.is_majority_op 4 f
+    | _ -> false);
+  Alcotest.(check bool) "x-y+z is Maltsev" true
+    (match P.affine_op 5 with
+    | P.Ternary f -> P.is_maltsev_op 5 f
+    | _ -> false)
+
+let test_boolean_correspondence () =
+  (* Horn = AND-closed = min-semilattice polymorphism on {0,1} *)
+  let horn_lang = [ of_schaefer r_imp ] in
+  Alcotest.(check bool) "horn has min semilattice" true
+    (P.has_min_semilattice 2 horn_lang <> None);
+  (* bijunctive = majority polymorphism *)
+  let bij_lang = [ of_schaefer r_or; of_schaefer r_xor ] in
+  Alcotest.(check bool) "bijunctive has median majority" true
+    (P.has_median_majority 2 bij_lang <> None);
+  (* affine = x-y+z polymorphism over Z2 *)
+  Alcotest.(check bool) "xor preserved by x-y+z" true
+    (P.preserves_language (P.affine_op 2) [ of_schaefer r_xor ]);
+  Alcotest.(check bool) "or NOT preserved by x-y+z" false
+    (P.preserves_language (P.affine_op 2) [ of_schaefer r_or ]);
+  (* 1-in-3 has no classic witness at all *)
+  let report = P.analyze 2 [ of_schaefer r_oneinthree ] in
+  Alcotest.(check bool) "1-in-3 has no witness" false
+    (P.some_tractability_witness report)
+
+let schaefer_vs_polymorphism_prop =
+  QCheck.Test.make
+    ~name:"Boolean witnesses match Schaefer classes on random relations"
+    ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let arity = 2 + Prng.int rng 2 in
+      let tuples = ref [] in
+      for t = 0 to (1 lsl arity) - 1 do
+        if Prng.bernoulli rng 0.5 then tuples := t :: !tuples
+      done;
+      let r = Schaefer.relation arity !tuples in
+      let lang = [ of_schaefer r ] in
+      (* Horn (AND-closure) <-> min-semilattice with order 0 < 1 on the
+         {0,1} lattice; note min w.r.t. order [|0;1|] is AND *)
+      let horn_matches =
+        Schaefer.horn r
+        = P.preserves_language (P.min_op 2 [| 0; 1 |]) lang
+      in
+      let dual_matches =
+        Schaefer.dual_horn r
+        = P.preserves_language (P.min_op 2 [| 1; 0 |]) lang
+      in
+      let affine_matches =
+        Schaefer.affine r = P.preserves_language (P.affine_op 2) lang
+      in
+      let majority_matches =
+        Schaefer.bijunctive r
+        = P.preserves_language (P.median_op 2 [| 0; 1 |]) lang
+      in
+      horn_matches && dual_matches && affine_matches && majority_matches)
+
+let test_large_domain () =
+  (* disequality over domain 3 (graph 3-coloring's language): preserved
+     by NO classic witness except... check it reports none *)
+  let neq =
+    let tuples = ref [] in
+    for a = 0 to 2 do
+      for b = 0 to 2 do
+        if a <> b then tuples := [| a; b |] :: !tuples
+      done
+    done;
+    P.relation ~domain_size:3 ~arity:2 !tuples
+  in
+  let report = P.analyze 3 [ neq ] in
+  Alcotest.(check bool) "3-coloring language: no classic witness" false
+    (P.some_tractability_witness report);
+  (* linear equations over Z3 ARE preserved by x-y+z *)
+  let eq_sum =
+    (* x + y + z = 0 mod 3 *)
+    let tuples = ref [] in
+    for x = 0 to 2 do
+      for y = 0 to 2 do
+        for z = 0 to 2 do
+          if (x + y + z) mod 3 = 0 then tuples := [| x; y; z |] :: !tuples
+        done
+      done
+    done;
+    P.relation ~domain_size:3 ~arity:3 !tuples
+  in
+  Alcotest.(check bool) "Z3 equations are Maltsev-closed" true
+    (P.preserves_language (P.affine_op 3) [ eq_sum ]);
+  (* order constraint x <= y over domain 4: min-closed *)
+  let leq =
+    let tuples = ref [] in
+    for a = 0 to 3 do
+      for b = a to 3 do
+        tuples := [| a; b |] :: !tuples
+      done
+    done;
+    P.relation ~domain_size:4 ~arity:2 !tuples
+  in
+  Alcotest.(check bool) "<= has a min semilattice" true
+    (P.has_min_semilattice 4 [ leq ] <> None);
+  Alcotest.(check bool) "<= has a median majority" true
+    (P.has_median_majority 4 [ leq ] <> None)
+
+let test_validation () =
+  Alcotest.(check bool) "bad width" true
+    (match P.relation ~domain_size:2 ~arity:2 [ [| 0 |] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad value" true
+    (match P.relation ~domain_size:2 ~arity:1 [ [| 5 |] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "domain guard" true
+    (match P.has_min_semilattice 9 [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "operation laws" `Quick test_operation_laws;
+    Alcotest.test_case "boolean correspondence" `Quick test_boolean_correspondence;
+    QCheck_alcotest.to_alcotest schaefer_vs_polymorphism_prop;
+    Alcotest.test_case "larger domains" `Quick test_large_domain;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,271 @@
+(* Tests for lb_reductions: every reduction preserves yes/no answers and
+   maps witnesses back correctly, on random instances. *)
+
+module Prng = Lb_util.Prng
+module Cnf = Lb_sat.Cnf
+module Gen = Lb_graph.Generators
+
+let check = Alcotest.check
+
+let random_cnf rng =
+  let n = 2 + Prng.int rng 5 in
+  let m = 1 + Prng.int rng 12 in
+  Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:(min n 3)
+
+(* --- 3SAT -> CSP (Cor 6.1) --- *)
+
+let sat_to_csp_prop =
+  QCheck.Test.make ~name:"3SAT -> CSP preserves satisfiability" ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed -> Lb_reductions.Sat_to_csp.preserves (random_cnf (Prng.create seed)))
+
+let test_sat_to_csp_shape () =
+  let rng = Prng.create 5 in
+  let f = Cnf.random_ksat rng ~nvars:10 ~nclauses:20 ~k:3 in
+  let csp = Lb_reductions.Sat_to_csp.to_csp f in
+  check Alcotest.int "vars" 10 (Lb_csp.Csp.nvars csp);
+  check Alcotest.int "domain 2" 2 (Lb_csp.Csp.domain_size csp);
+  Alcotest.(check bool) "arity <= 3" true (Lb_csp.Csp.max_arity csp <= 3)
+
+(* --- 3SAT -> 3-Coloring (Cor 6.2) --- *)
+
+let sat_to_coloring_prop =
+  QCheck.Test.make ~name:"3SAT -> 3-Coloring preserves satisfiability"
+    ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed -> Lb_reductions.Sat_to_coloring.preserves (random_cnf (Prng.create seed)))
+
+let test_sat_to_coloring_linear_size () =
+  let rng = Prng.create 6 in
+  let f = Cnf.random_ksat rng ~nvars:20 ~nclauses:40 ~k:3 in
+  let layout = Lb_reductions.Sat_to_coloring.reduce f in
+  let g = layout.Lb_reductions.Sat_to_coloring.graph in
+  (* O(n + m): 3 + 2n + 6m vertices exactly *)
+  check Alcotest.int "vertices" (3 + (2 * 20) + (6 * 40))
+    (Lb_graph.Graph.vertex_count g)
+
+(* --- Clique -> CSP (Thm 6.4) --- *)
+
+let clique_to_csp_prop =
+  QCheck.Test.make ~name:"Clique -> CSP with k variables preserves answers"
+    ~count:50
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 8 in
+      let g = Gen.gnp rng n 0.5 in
+      let k = 2 + Prng.int rng 3 in
+      Lb_reductions.Clique_to_csp.preserves g k)
+
+let test_clique_to_csp_shape () =
+  let g = Gen.clique 6 in
+  let csp = Lb_reductions.Clique_to_csp.to_csp g 4 in
+  check Alcotest.int "k vars" 4 (Lb_csp.Csp.nvars csp);
+  check Alcotest.int "k choose 2 constraints" 6
+    (Lb_csp.Csp.constraint_count csp);
+  check Alcotest.int "domain n" 6 (Lb_csp.Csp.domain_size csp)
+
+(* --- Clique -> Special CSP (Def 4.3 / Sec 5) --- *)
+
+let special_csp_prop =
+  QCheck.Test.make ~name:"Clique -> Special CSP preserves answers" ~count:15
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 5 in
+      let g = Gen.gnp rng n 0.6 in
+      let k = 2 + Prng.int rng 2 in
+      Lb_reductions.Special_csp.preserves g k)
+
+let test_special_csp_structure () =
+  let g = Gen.clique 5 in
+  let csp = Lb_reductions.Special_csp.clique_to_special_csp g 3 in
+  check Alcotest.int "k + 2^k vars" (3 + 8) (Lb_csp.Csp.nvars csp);
+  Alcotest.(check bool) "primal graph is special" true
+    (Lb_reductions.Special_csp.recognize csp <> None)
+
+let test_special_solver_rejects_non_special () =
+  let csp = Lb_reductions.Clique_to_csp.to_csp (Gen.clique 4) 3 in
+  match Lb_reductions.Special_csp.solve csp with
+  | exception Lb_reductions.Special_csp.Not_special -> ()
+  | _ -> Alcotest.fail "expected Not_special"
+
+(* --- Dominating Set -> CSP (Thm 7.2) --- *)
+
+let domset_prop_g g_param =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "DomSet -> CSP preserves answers (g=%d)" g_param)
+    ~count:12
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 4 in
+      let g = Gen.gnp rng n 0.4 in
+      let t = if g_param = 1 then 1 + Prng.int rng 2 else 2 in
+      Lb_reductions.Domset_to_csp.preserves g ~t ~g:g_param)
+
+let test_domset_treewidth_bound () =
+  let g = Gen.gnp (Prng.create 3) 7 0.4 in
+  let layout = Lb_reductions.Domset_to_csp.reduce g ~t:2 ~g:1 in
+  let primal = Lb_csp.Csp.primal_graph layout.Lb_reductions.Domset_to_csp.csp in
+  let tw, _ = Lb_graph.Treewidth.exact primal in
+  (* K_{t,n}: treewidth <= t = 2 *)
+  Alcotest.(check bool) "tw <= t" true (tw <= 2)
+
+let test_domset_grouped_treewidth () =
+  let g = Gen.gnp (Prng.create 4) 6 0.5 in
+  let layout = Lb_reductions.Domset_to_csp.reduce g ~t:2 ~g:2 in
+  let primal = Lb_csp.Csp.primal_graph layout.Lb_reductions.Domset_to_csp.csp in
+  let tw, _ = Lb_graph.Treewidth.exact primal in
+  (* grouping both slots into one super-variable: K_{1,n}, tw = 1 *)
+  Alcotest.(check bool) "tw <= 1" true (tw <= 1)
+
+(* --- SAT -> OV (SETH split) --- *)
+
+let sat_to_ov_prop =
+  QCheck.Test.make ~name:"SAT -> OV preserves satisfiability" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed -> Lb_reductions.Sat_to_ov.preserves (random_cnf (Prng.create seed)))
+
+let test_sat_to_ov_shape () =
+  let rng = Prng.create 9 in
+  let f = Cnf.random_ksat rng ~nvars:8 ~nclauses:10 ~k:3 in
+  let inst = Lb_reductions.Sat_to_ov.reduce f in
+  check Alcotest.int "left 2^4" 16 (Array.length inst.Lb_reductions.Sat_to_ov.left);
+  check Alcotest.int "right 2^4" 16 (Array.length inst.Lb_reductions.Sat_to_ov.right);
+  check Alcotest.int "dim m" 10 inst.Lb_reductions.Sat_to_ov.dim
+
+(* --- k-SAT -> 3SAT clause splitting --- *)
+
+let sat_to_3sat_prop =
+  QCheck.Test.make ~name:"k-SAT -> 3SAT preserves satisfiability" ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 5 in
+      let k = 4 + Prng.int rng (n - 3) in
+      let f = Cnf.random_ksat rng ~nvars:n ~nclauses:(3 + Prng.int rng 10) ~k in
+      Lb_reductions.Sat_to_3sat.preserves f)
+
+let test_sat_to_3sat_width () =
+  let rng = Prng.create 12 in
+  let f = Cnf.random_ksat rng ~nvars:10 ~nclauses:8 ~k:7 in
+  let layout = Lb_reductions.Sat_to_3sat.reduce f in
+  Alcotest.(check bool) "all clauses width <= 3" true
+    (List.for_all
+       (fun c -> Array.length c <= 3)
+       (Cnf.clauses layout.Lb_reductions.Sat_to_3sat.formula));
+  (* 7-literal clause -> 5 clauses and 4 fresh variables *)
+  check Alcotest.int "clause count" (8 * 5)
+    (Cnf.clause_count layout.Lb_reductions.Sat_to_3sat.formula);
+  check Alcotest.int "variable count" (10 + (8 * 4))
+    (Cnf.nvars layout.Lb_reductions.Sat_to_3sat.formula)
+
+let test_sat_to_3sat_small_passthrough () =
+  let f = Cnf.make 2 [ [| 1; 2 |] ] in
+  let layout = Lb_reductions.Sat_to_3sat.reduce f in
+  check Alcotest.int "unchanged" 2 (Cnf.nvars layout.Lb_reductions.Sat_to_3sat.formula)
+
+(* --- complement equivalences --- *)
+
+let complement_props =
+  QCheck.Test.make ~name:"Clique <-> IS <-> VC complement equivalences"
+    ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 10 in
+      let g = Gen.gnp rng n 0.4 in
+      let k = 1 + Prng.int rng 4 in
+      Lb_reductions.Complement.preserves_clique_is g k
+      && Lb_reductions.Complement.preserves_is_vc g)
+
+let test_max_independent_set () =
+  let g = Gen.cycle 5 in
+  let is_set = Lb_reductions.Complement.max_independent_set g in
+  check Alcotest.int "alpha(C5) = 2" 2 (Array.length is_set);
+  Alcotest.(check bool) "independent" true
+    (Lb_reductions.Complement.is_independent_set g is_set)
+
+(* --- OV -> Diameter 2 vs 3 --- *)
+
+let ov_to_diameter_prop =
+  QCheck.Test.make ~name:"OV -> Diameter (2 vs 3) preserves answers" ~count:50
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 8 in
+      let dim = 2 + Prng.int rng 6 in
+      let inst = Lb_finegrained.Ov.random rng ~n ~dim ~p:0.5 in
+      Lb_reductions.Ov_to_diameter.preserves inst)
+
+let test_ov_to_diameter_shape () =
+  let inst =
+    Lb_finegrained.Ov.of_bool_arrays ~dim:3
+      [| [| true; false; false |] |]
+      [| [| false; true; false |] |]
+  in
+  let layout = Lb_reductions.Ov_to_diameter.reduce inst in
+  let g = layout.Lb_reductions.Ov_to_diameter.graph in
+  check Alcotest.int "vertices = nl + nr + dim + 2" (1 + 1 + 3 + 2)
+    (Lb_graph.Graph.vertex_count g);
+  (* the two vectors are orthogonal: diameter must be 3 *)
+  check Alcotest.(option int) "diameter 3" (Some 3) (Lb_graph.Distance.diameter g)
+
+(* --- binary Boolean CSP -> 2SAT --- *)
+
+let bool_csp_2sat_prop =
+  QCheck.Test.make ~name:"binary Boolean CSP = 2SAT (Section 4)" ~count:80
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let g = Gen.gnp rng n 0.7 in
+      let csp, _ =
+        Lb_csp.Generators.binary_over_graph rng g ~domain_size:2
+          ~density:(0.3 +. Prng.float rng 0.5)
+          ~plant:false
+      in
+      Lb_reductions.Boolean_csp_to_2sat.preserves csp)
+
+let test_bool_csp_2sat_rejects () =
+  let csp =
+    Lb_csp.Csp.create ~nvars:2 ~domain_size:3
+      [ { Lb_csp.Csp.scope = [| 0; 1 |]; allowed = [ [| 0; 1 |] ] } ]
+  in
+  Alcotest.(check bool) "rejects |D| = 3" true
+    (match Lb_reductions.Boolean_csp_to_2sat.to_2sat csp with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest sat_to_csp_prop;
+    QCheck_alcotest.to_alcotest sat_to_3sat_prop;
+    Alcotest.test_case "SAT->3SAT shape" `Quick test_sat_to_3sat_width;
+    Alcotest.test_case "SAT->3SAT passthrough" `Quick
+      test_sat_to_3sat_small_passthrough;
+    QCheck_alcotest.to_alcotest complement_props;
+    Alcotest.test_case "max independent set" `Quick test_max_independent_set;
+    QCheck_alcotest.to_alcotest ov_to_diameter_prop;
+    Alcotest.test_case "OV->Diameter shape" `Quick test_ov_to_diameter_shape;
+    QCheck_alcotest.to_alcotest bool_csp_2sat_prop;
+    Alcotest.test_case "bool CSP 2SAT validation" `Quick test_bool_csp_2sat_rejects;
+    Alcotest.test_case "3SAT->CSP shape" `Quick test_sat_to_csp_shape;
+    QCheck_alcotest.to_alcotest sat_to_coloring_prop;
+    Alcotest.test_case "3SAT->3COL linear size" `Quick
+      test_sat_to_coloring_linear_size;
+    QCheck_alcotest.to_alcotest clique_to_csp_prop;
+    Alcotest.test_case "Clique->CSP shape" `Quick test_clique_to_csp_shape;
+    QCheck_alcotest.to_alcotest special_csp_prop;
+    Alcotest.test_case "Special CSP structure" `Quick test_special_csp_structure;
+    Alcotest.test_case "Special solver rejects" `Quick
+      test_special_solver_rejects_non_special;
+    QCheck_alcotest.to_alcotest (domset_prop_g 1);
+    QCheck_alcotest.to_alcotest (domset_prop_g 2);
+    Alcotest.test_case "DomSet CSP treewidth" `Quick test_domset_treewidth_bound;
+    Alcotest.test_case "DomSet grouped treewidth" `Quick
+      test_domset_grouped_treewidth;
+    QCheck_alcotest.to_alcotest sat_to_ov_prop;
+    Alcotest.test_case "SAT->OV shape" `Quick test_sat_to_ov_shape;
+  ]

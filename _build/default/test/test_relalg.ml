@@ -1,0 +1,481 @@
+(* Tests for lb_relalg: relations, queries and the parser, binary plans,
+   the two worst-case-optimal joins, Yannakakis, and the AGM bound.
+
+   The central property: on random databases, Generic Join, Leapfrog
+   Triejoin, the binary hash-join plan and the fold-of-natural-joins
+   reference all produce the same answer. *)
+
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Q = Lb_relalg.Query
+module Gj = Lb_relalg.Generic_join
+module Lf = Lb_relalg.Leapfrog
+module Bp = Lb_relalg.Binary_plan
+module Yk = Lb_relalg.Yannakakis
+module Agm = Lb_relalg.Agm
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+(* --- relations --- *)
+
+let r_ab tuples = R.make [| "a"; "b" |] (List.map (fun (x, y) -> [| x; y |]) tuples)
+
+let test_relation_dedup () =
+  let r = r_ab [ (1, 2); (1, 2); (3, 4) ] in
+  check Alcotest.int "dedup" 2 (R.cardinality r)
+
+let test_relation_rejects_dup_attrs () =
+  Alcotest.check_raises "dup attrs" (Invalid_argument "Relation: duplicate attribute names")
+    (fun () -> ignore (R.make [| "a"; "a" |] []))
+
+let test_project () =
+  let r = r_ab [ (1, 2); (1, 3); (2, 3) ] in
+  let p = R.project r [| "a" |] in
+  check Alcotest.int "distinct a" 2 (R.cardinality p)
+
+let test_select () =
+  let r = r_ab [ (1, 2); (1, 3); (2, 3) ] in
+  check Alcotest.int "a=1" 2 (R.cardinality (R.select_eq r "a" 1))
+
+let test_natural_join () =
+  let r = r_ab [ (1, 2); (2, 3) ] in
+  let s =
+    R.make [| "b"; "c" |] [ [| 2; 10 |]; [| 2; 11 |]; [| 9; 12 |] ]
+  in
+  let j = R.natural_join r s in
+  check Alcotest.int "2 results" 2 (R.cardinality j);
+  check Alcotest.(list string) "schema" [ "a"; "b"; "c" ]
+    (Array.to_list (R.attrs j))
+
+let test_join_no_common () =
+  let r = R.make [| "a" |] [ [| 1 |]; [| 2 |] ] in
+  let s = R.make [| "b" |] [ [| 5 |]; [| 6 |]; [| 7 |] ] in
+  check Alcotest.int "cross product" 6 (R.cardinality (R.natural_join r s))
+
+let test_semijoin () =
+  let r = r_ab [ (1, 2); (2, 3); (4, 5) ] in
+  let s = R.make [| "b" |] [ [| 2 |]; [| 5 |] ] in
+  check Alcotest.int "semijoin" 2 (R.cardinality (R.semijoin r s))
+
+let test_rename () =
+  let r = r_ab [ (1, 2) ] in
+  let r2 = R.rename r [ ("a", "x") ] in
+  check Alcotest.(list string) "renamed" [ "x"; "b" ] (Array.to_list (R.attrs r2))
+
+(* --- query parsing and evaluation --- *)
+
+let test_parser () =
+  let q = Q.parse "R(a,b), S(b,c) , T(a ,c)" in
+  check Alcotest.int "3 atoms" 3 (List.length q);
+  check Alcotest.(list string) "attrs" [ "a"; "b"; "c" ]
+    (Array.to_list (Q.attributes q));
+  check Alcotest.string "roundtrip" "R(a,b), S(b,c), T(a,c)" (Q.to_string q)
+
+let test_parser_errors () =
+  let bad s =
+    match Q.parse s with
+    | exception Q.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "no parens" true (bad "R a,b");
+  Alcotest.(check bool) "trailing" true (bad "R(a) extra");
+  Alcotest.(check bool) "empty args" true (bad "R()")
+
+let triangle_q = Q.parse "R(a,b), S(b,c), T(a,c)"
+
+let triangle_db rng n p =
+  let rel () =
+    let tuples = ref [] in
+    for x = 0 to n - 1 do
+      for y = 0 to n - 1 do
+        if Prng.bernoulli rng p then tuples := [| x; y |] :: !tuples
+      done
+    done;
+    !tuples
+  in
+  Db.of_list
+    [
+      ("R", R.make [| "a"; "b" |] (rel ()));
+      ("S", R.make [| "b"; "c" |] (rel ()));
+      ("T", R.make [| "a"; "c" |] (rel ()));
+    ]
+
+let test_triangle_answer () =
+  (* explicit: R={(0,1)}, S={(1,2)}, T={(0,2)} -> one triangle *)
+  let db =
+    Db.of_list
+      [
+        ("R", R.make [| "a"; "b" |] [ [| 0; 1 |] ]);
+        ("S", R.make [| "b"; "c" |] [ [| 1; 2 |] ]);
+        ("T", R.make [| "a"; "c" |] [ [| 0; 2 |] ]);
+      ]
+  in
+  check Alcotest.int "reference" 1 (Q.answer_size db triangle_q);
+  check Alcotest.int "generic join" 1 (Gj.count db triangle_q);
+  check Alcotest.int "leapfrog" 1 (Lf.count db triangle_q);
+  Alcotest.(check bool) "exists" true (Gj.exists db triangle_q);
+  Alcotest.(check bool) "lf exists" true (Lf.exists db triangle_q)
+
+let test_empty_relation_empty_answer () =
+  let db =
+    Db.of_list
+      [
+        ("R", R.make [| "a"; "b" |] []);
+        ("S", R.make [| "b"; "c" |] [ [| 1; 2 |] ]);
+        ("T", R.make [| "a"; "c" |] [ [| 0; 2 |] ]);
+      ]
+  in
+  check Alcotest.int "empty" 0 (Gj.count db triangle_q);
+  check Alcotest.int "lf empty" 0 (Lf.count db triangle_q);
+  Alcotest.(check bool) "no exists" false (Gj.exists db triangle_q)
+
+let all_joins_agree_prop =
+  QCheck.Test.make ~name:"GJ = LFTJ = binary plan = reference (triangle)"
+    ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let p = 0.1 +. Prng.float rng 0.5 in
+      let db = triangle_db rng n p in
+      let reference = Q.answer db triangle_q in
+      let gj = Gj.answer db triangle_q in
+      let lf = Lf.answer db triangle_q in
+      let bp, _ = Bp.run db triangle_q in
+      R.equal_modulo_order reference gj
+      && R.equal_modulo_order reference lf
+      && R.equal_modulo_order reference bp)
+
+(* A messier query: self-join + repeated attribute + higher arity. *)
+let messy_q = Q.parse "R(a,b), R(b,c), U(a,b,c), V(a,a)"
+
+let messy_db rng n p =
+  let bin () =
+    let tuples = ref [] in
+    for x = 0 to n - 1 do
+      for y = 0 to n - 1 do
+        if Prng.bernoulli rng p then tuples := [| x; y |] :: !tuples
+      done
+    done;
+    !tuples
+  in
+  let tern () =
+    let tuples = ref [] in
+    for x = 0 to n - 1 do
+      for y = 0 to n - 1 do
+        for z = 0 to n - 1 do
+          if Prng.bernoulli rng p then tuples := [| x; y; z |] :: !tuples
+        done
+      done
+    done;
+    !tuples
+  in
+  Db.of_list
+    [
+      ("R", R.make [| "x"; "y" |] (bin ()));
+      ("U", R.make [| "x"; "y"; "z" |] (tern ()));
+      ("V", R.make [| "x"; "y" |] (bin ()));
+    ]
+
+let messy_joins_agree_prop =
+  QCheck.Test.make ~name:"GJ = LFTJ = reference (self-join, arity 3, repeated attr)"
+    ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 4 in
+      let p = 0.2 +. Prng.float rng 0.5 in
+      let db = messy_db rng n p in
+      let reference = Q.answer db messy_q in
+      let gj = Gj.answer db messy_q in
+      let lf = Lf.answer db messy_q in
+      R.equal_modulo_order reference gj && R.equal_modulo_order reference lf)
+
+let variable_order_irrelevant_prop =
+  QCheck.Test.make ~name:"GJ/LFTJ results independent of variable order"
+    ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 5 in
+      let db = triangle_db rng n 0.4 in
+      let base = Q.answer_size db triangle_q in
+      let orders =
+        [
+          [| "a"; "b"; "c" |]; [| "c"; "b"; "a" |]; [| "b"; "a"; "c" |];
+          [| "b"; "c"; "a" |];
+        ]
+      in
+      List.for_all
+        (fun order ->
+          Gj.count ~order db triangle_q = base
+          && Lf.count ~order db triangle_q = base)
+        orders)
+
+(* --- binary plans --- *)
+
+let test_binary_plan_orders () =
+  let rng = Prng.create 8 in
+  let db = triangle_db rng 5 0.5 in
+  let order = Bp.greedy_order db triangle_q in
+  check Alcotest.(list int) "permutation" [ 0; 1; 2 ] (List.sort compare order);
+  let r1, _ = Bp.run_order db triangle_q [ 0; 1; 2 ] in
+  let r2, _ = Bp.run_order db triangle_q [ 2; 0; 1 ] in
+  Alcotest.(check bool) "same answer" true (R.equal_modulo_order r1 r2)
+
+let test_agm_order () =
+  let rng = Prng.create 9 in
+  let db = triangle_db rng 5 0.5 in
+  let order = Bp.agm_order db triangle_q in
+  check Alcotest.(list int) "permutation" [ 0; 1; 2 ] (List.sort compare order);
+  let r, _ = Bp.run_order db triangle_q order in
+  Alcotest.(check bool) "same answer" true
+    (Lb_relalg.Relation.equal_modulo_order r (Q.answer db triangle_q))
+
+let test_graph_dot () =
+  let g = Lb_graph.Generators.path 3 in
+  let dot = Lb_graph.Graph.to_dot ~labels:(Printf.sprintf "v%d") g in
+  Alcotest.(check bool) "has edges" true
+    (String.length dot > 0
+    &&
+    let contains needle =
+      let nh = String.length dot and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub dot i nn = needle || go (i + 1)) in
+      go 0
+    in
+    contains "0 -- 1" && contains "label=\"v2\"")
+
+let test_binary_plan_rejects_bad_order () =
+  let rng = Prng.create 8 in
+  let db = triangle_db rng 3 0.5 in
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Binary_plan.run_order: order must be a permutation")
+    (fun () -> ignore (Bp.run_order db triangle_q [ 0; 0; 1 ]))
+
+(* --- Yannakakis --- *)
+
+let path_q = Q.parse "R1(a,b), R2(b,c), R3(c,d)"
+
+let path_db rng n p =
+  let bin () =
+    let tuples = ref [] in
+    for x = 0 to n - 1 do
+      for y = 0 to n - 1 do
+        if Prng.bernoulli rng p then tuples := [| x; y |] :: !tuples
+      done
+    done;
+    !tuples
+  in
+  Db.of_list
+    [
+      ("R1", R.make [| "a"; "b" |] (bin ()));
+      ("R2", R.make [| "b"; "c" |] (bin ()));
+      ("R3", R.make [| "c"; "d" |] (bin ()));
+    ]
+
+let test_yannakakis_acyclicity_detection () =
+  Alcotest.(check bool) "path acyclic" true (Yk.is_acyclic path_q);
+  Alcotest.(check bool) "triangle cyclic" false (Yk.is_acyclic triangle_q);
+  (match Yk.answer (Db.of_list [ ("R", r_ab [ (1, 2) ]) ]) triangle_q with
+  | exception Yk.Cyclic -> ()
+  | _ -> Alcotest.fail "expected Cyclic")
+
+let yannakakis_agrees_prop =
+  QCheck.Test.make ~name:"Yannakakis = reference on acyclic queries" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let p = 0.1 +. Prng.float rng 0.5 in
+      let db = path_db rng n p in
+      let reference = Q.answer db path_q in
+      let yk, stats = Yk.answer db path_q in
+      let boolean = Yk.boolean_answer db path_q in
+      R.equal_modulo_order reference yk
+      && boolean = (R.cardinality reference > 0)
+      && stats.Yk.max_intermediate <= max 1 (R.cardinality reference))
+
+(* Global consistency: after the full reducer, EVERY remaining tuple of
+   every relation extends to a full answer - the property that makes
+   Yannakakis' intermediate results output-bounded. *)
+let full_reducer_global_consistency_prop =
+  QCheck.Test.make ~name:"full reducer leaves only globally consistent tuples"
+    ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 5 in
+      let db = path_db rng n (0.15 +. Prng.float rng 0.4) in
+      let rels, _, _, _ = Yk.full_reducer db path_q in
+      let answer = Q.answer db path_q in
+      Array.for_all
+        (fun r ->
+          (* r semijoin answer = r, i.e. every tuple participates *)
+          R.cardinality (R.semijoin r answer) = R.cardinality r)
+        rels)
+
+let star_q = Q.parse "R1(c,a), R2(c,b), R3(c,d)"
+
+let yannakakis_star_prop =
+  QCheck.Test.make ~name:"Yannakakis = reference on star queries" ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 5 in
+      let db =
+        let bin () =
+          let tuples = ref [] in
+          for x = 0 to n - 1 do
+            for y = 0 to n - 1 do
+              if Prng.bernoulli rng 0.4 then tuples := [| x; y |] :: !tuples
+            done
+          done;
+          !tuples
+        in
+        Db.of_list
+          [
+            ("R1", R.make [| "a"; "b" |] (bin ()));
+            ("R2", R.make [| "a"; "b" |] (bin ()));
+            ("R3", R.make [| "a"; "b" |] (bin ()));
+          ]
+      in
+      let reference = Q.answer db star_q in
+      let yk, _ = Yk.answer db star_q in
+      R.equal_modulo_order reference yk)
+
+(* --- AGM --- *)
+
+let test_agm_triangle_bound () =
+  match Agm.rho_star triangle_q with
+  | Some r -> Alcotest.(check bool) "1.5" true (abs_float (r -. 1.5) < 1e-6)
+  | None -> Alcotest.fail "rho* exists"
+
+let agm_bound_respected_prop =
+  QCheck.Test.make ~name:"answers respect the AGM bound (Thm 3.1)" ~count:50
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let db = triangle_db rng n (0.2 +. Prng.float rng 0.6) in
+      Agm.respects_bound db triangle_q)
+
+let test_worst_case_database () =
+  (* triangle, N = 16: domains should be ~4 each, answer = 4^3 = 64 =
+     16^{1.5} *)
+  let db = Agm.worst_case_database triangle_q ~n:16 in
+  Alcotest.(check bool) "relations within size" true
+    (Db.max_cardinality db <= 16);
+  let expected = Agm.worst_case_answer_size triangle_q ~n:16 in
+  check Alcotest.int "answer matches prediction" expected
+    (Q.answer_size db triangle_q);
+  check Alcotest.int "4^3" 64 expected
+
+let worst_case_prop =
+  QCheck.Test.make ~name:"worst-case database: sizes <= N, answer = prediction"
+    ~count:20
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 60 in
+      let q =
+        match Prng.int rng 3 with
+        | 0 -> triangle_q
+        | 1 -> Q.parse "R(a,b), S(b,c), T(c,d), U(d,a)"
+        | _ -> Q.parse "R(a,b,c), S(a,b,d)"
+      in
+      let db = Agm.worst_case_database q ~n in
+      Db.max_cardinality db <= n
+      && Q.answer_size db q = Agm.worst_case_answer_size q ~n
+      && Agm.respects_bound db q)
+
+(* Fuzz: RANDOM query shapes (random atoms over a small attribute pool,
+   self-joins included) against random databases - the joins must agree
+   with the reference on every shape, not just the fixed ones above. *)
+let random_shape_fuzz_prop =
+  QCheck.Test.make ~name:"GJ = LFTJ = reference on random query shapes"
+    ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let pool = [| "a"; "b"; "c"; "d"; "e" |] in
+      let natoms = 1 + Prng.int rng 4 in
+      let rel_names = [| "R"; "S"; "T" |] in
+      let widths = Hashtbl.create 4 in
+      let q =
+        List.init natoms (fun _ ->
+            let rel = rel_names.(Prng.int rng 3) in
+            let width =
+              match Hashtbl.find_opt widths rel with
+              | Some w -> w
+              | None ->
+                  let w = 1 + Prng.int rng 3 in
+                  Hashtbl.replace widths rel w;
+                  w
+            in
+            Q.atom rel (Array.init width (fun _ -> pool.(Prng.int rng 5))))
+      in
+      let dom = 2 + Prng.int rng 3 in
+      let db =
+        Hashtbl.fold
+          (fun rel width acc ->
+            let tuples = ref [] in
+            Lb_util.Combinat.iter_tuples dom width (fun t ->
+                if Prng.bernoulli rng 0.5 then tuples := Array.copy t :: !tuples);
+            Db.add acc rel
+              (R.make (Array.init width (fun i -> Printf.sprintf "c%d" i)) !tuples))
+          widths Db.empty
+      in
+      let reference = Q.answer db q in
+      let gj = Gj.answer db q in
+      let lf = Lf.answer db q in
+      let dj, _ = Lb_relalg.Decomposed_join.answer db q in
+      R.equal_modulo_order reference gj
+      && R.equal_modulo_order reference lf
+      && R.equal_modulo_order reference dj)
+
+(* counters sanity *)
+let test_counters () =
+  let rng = Prng.create 123 in
+  let db = triangle_db rng 6 0.5 in
+  let c = Gj.fresh_counters () in
+  let count = Gj.count ~counters:c db triangle_q in
+  check Alcotest.int "emitted = count" count c.Gj.emitted;
+  let lc = Lf.fresh_counters () in
+  let lcount = Lf.count ~counters:lc db triangle_q in
+  check Alcotest.int "lf emitted" lcount lc.Lf.emitted
+
+let suite =
+  [
+    Alcotest.test_case "relation dedup" `Quick test_relation_dedup;
+    Alcotest.test_case "relation dup attrs" `Quick test_relation_rejects_dup_attrs;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "natural join" `Quick test_natural_join;
+    Alcotest.test_case "cross product join" `Quick test_join_no_common;
+    Alcotest.test_case "semijoin" `Quick test_semijoin;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "parser" `Quick test_parser;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "triangle answer" `Quick test_triangle_answer;
+    Alcotest.test_case "empty relation" `Quick test_empty_relation_empty_answer;
+    QCheck_alcotest.to_alcotest all_joins_agree_prop;
+    QCheck_alcotest.to_alcotest messy_joins_agree_prop;
+    QCheck_alcotest.to_alcotest variable_order_irrelevant_prop;
+    Alcotest.test_case "binary plan orders" `Quick test_binary_plan_orders;
+    Alcotest.test_case "agm-guided order" `Quick test_agm_order;
+    Alcotest.test_case "graph dot export" `Quick test_graph_dot;
+    Alcotest.test_case "binary plan rejects" `Quick test_binary_plan_rejects_bad_order;
+    Alcotest.test_case "acyclicity detection" `Quick
+      test_yannakakis_acyclicity_detection;
+    QCheck_alcotest.to_alcotest yannakakis_agrees_prop;
+    QCheck_alcotest.to_alcotest full_reducer_global_consistency_prop;
+    QCheck_alcotest.to_alcotest yannakakis_star_prop;
+    Alcotest.test_case "agm triangle rho*" `Quick test_agm_triangle_bound;
+    QCheck_alcotest.to_alcotest agm_bound_respected_prop;
+    Alcotest.test_case "worst-case database" `Quick test_worst_case_database;
+    QCheck_alcotest.to_alcotest worst_case_prop;
+    QCheck_alcotest.to_alcotest random_shape_fuzz_prop;
+    Alcotest.test_case "counters" `Quick test_counters;
+  ]

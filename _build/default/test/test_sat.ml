@@ -1,0 +1,313 @@
+(* Tests for lb_sat: CNF, DPLL, 2SAT, GF(2) systems, Schaefer classes. *)
+
+module Cnf = Lb_sat.Cnf
+module Dpll = Lb_sat.Dpll
+module Two_sat = Lb_sat.Two_sat
+module Gauss = Lb_sat.Gauss
+module Schaefer = Lb_sat.Schaefer
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+let lit = Cnf.lit
+
+(* --- CNF --- *)
+
+let test_cnf_eval () =
+  let f = Cnf.make 2 [ [| lit ~positive:true 0; lit ~positive:false 1 |] ] in
+  Alcotest.(check bool) "10 sat" true (Cnf.satisfies f [| true; false |]);
+  Alcotest.(check bool) "01 unsat" false (Cnf.satisfies f [| false; true |])
+
+let test_cnf_rejects () =
+  Alcotest.check_raises "bad literal" (Invalid_argument "Cnf.make: bad literal")
+    (fun () -> ignore (Cnf.make 1 [ [| 5 |] ]))
+
+(* --- DPLL --- *)
+
+let test_dpll_simple () =
+  (* (x0) and (~x0 or x1) *)
+  let f =
+    Cnf.make 2 [ [| lit ~positive:true 0 |]; [| lit ~positive:false 0; lit ~positive:true 1 |] ]
+  in
+  match Dpll.solve f with
+  | Some a ->
+      Alcotest.(check bool) "x0" true a.(0);
+      Alcotest.(check bool) "x1" true a.(1)
+  | None -> Alcotest.fail "satisfiable"
+
+let test_dpll_unsat () =
+  let f =
+    Cnf.make 1 [ [| lit ~positive:true 0 |]; [| lit ~positive:false 0 |] ]
+  in
+  Alcotest.(check bool) "unsat" true (Dpll.solve f = None)
+
+let dpll_sound_complete_prop =
+  QCheck.Test.make ~name:"DPLL agrees with exhaustive enumeration" ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let m = 1 + Prng.int rng 20 in
+      let f = Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:(min n 3) in
+      let models = Dpll.count_models f in
+      match Dpll.solve f with
+      | Some a -> models > 0 && Cnf.satisfies f a
+      | None -> models = 0)
+
+let test_dpll_planted () =
+  let rng = Prng.create 99 in
+  for _ = 1 to 10 do
+    let f, hidden = Cnf.random_planted rng ~nvars:12 ~nclauses:40 ~k:3 in
+    Alcotest.(check bool) "planted satisfies" true (Cnf.satisfies f hidden);
+    match Dpll.solve f with
+    | Some a -> Alcotest.(check bool) "solved" true (Cnf.satisfies f a)
+    | None -> Alcotest.fail "planted instance is satisfiable"
+  done
+
+(* --- 2SAT --- *)
+
+let test_two_sat_basic () =
+  (* (x0 or x1), (~x0 or x1), (~x1 or x0) -> x0 = x1 = true *)
+  let f =
+    Cnf.make 2
+      [
+        [| lit ~positive:true 0; lit ~positive:true 1 |];
+        [| lit ~positive:false 0; lit ~positive:true 1 |];
+        [| lit ~positive:false 1; lit ~positive:true 0 |];
+      ]
+  in
+  match Two_sat.solve f with
+  | Some a -> Alcotest.(check bool) "satisfies" true (Cnf.satisfies f a)
+  | None -> Alcotest.fail "satisfiable"
+
+let test_two_sat_unsat () =
+  (* x0 and ~x0 via implications: (x0 or x0), (~x0 or ~x0) *)
+  let f =
+    Cnf.make 1 [ [| lit ~positive:true 0 |]; [| lit ~positive:false 0 |] ]
+  in
+  Alcotest.(check bool) "unsat" true (Two_sat.solve f = None)
+
+let two_sat_agrees_with_dpll_prop =
+  QCheck.Test.make ~name:"2SAT agrees with DPLL" ~count:200
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 10 in
+      let m = 1 + Prng.int rng 25 in
+      let f = Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:2 in
+      match (Two_sat.solve f, Dpll.solve f) with
+      | Some a, Some _ -> Cnf.satisfies f a
+      | None, None -> true
+      | _ -> false)
+
+(* --- GF(2) --- *)
+
+let test_gauss_simple () =
+  (* x0 + x1 = 1, x1 = 1 -> x0 = 0 *)
+  let s =
+    {
+      Gauss.nvars = 2;
+      equations =
+        [ { Gauss.vars = [| 0; 1 |]; rhs = true }; { Gauss.vars = [| 1 |]; rhs = true } ];
+    }
+  in
+  match Gauss.solve s with
+  | Some x ->
+      Alcotest.(check bool) "x0" false x.(0);
+      Alcotest.(check bool) "x1" true x.(1)
+  | None -> Alcotest.fail "solvable"
+
+let test_gauss_inconsistent () =
+  let s =
+    {
+      Gauss.nvars = 1;
+      equations =
+        [ { Gauss.vars = [| 0 |]; rhs = true }; { Gauss.vars = [| 0 |]; rhs = false } ];
+    }
+  in
+  Alcotest.(check bool) "inconsistent" true (Gauss.solve s = None)
+
+let test_gauss_cancellation () =
+  (* x0 + x0 + x1 = 1 means x1 = 1 *)
+  let s =
+    {
+      Gauss.nvars = 2;
+      equations = [ { Gauss.vars = [| 0; 0; 1 |]; rhs = true } ];
+    }
+  in
+  match Gauss.solve s with
+  | Some x -> Alcotest.(check bool) "x1" true x.(1)
+  | None -> Alcotest.fail "solvable"
+
+let gauss_sound_prop =
+  QCheck.Test.make ~name:"gauss solutions satisfy the system" ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 10 in
+      let m = 1 + Prng.int rng 12 in
+      let s = Gauss.random rng ~nvars:n ~nequations:m ~width:(min n 3) in
+      match Gauss.solve s with
+      | Some x -> Gauss.satisfies s x
+      | None ->
+          (* verify unsatisfiability by brute force for small n *)
+          let any = ref false in
+          Lb_util.Combinat.iter_tuples 2 n (fun t ->
+              let x = Array.map (fun v -> v = 1) t in
+              if Gauss.satisfies s x then any := true);
+          not !any)
+
+(* --- Schaefer --- *)
+
+let r_or = Schaefer.relation_of_pred 2 (fun t -> t.(0) || t.(1))
+
+let r_xor = Schaefer.relation_of_pred 2 (fun t -> t.(0) <> t.(1))
+
+let r_imp = Schaefer.relation_of_pred 2 (fun t -> (not t.(0)) || t.(1))
+
+let r_and3 = Schaefer.relation_of_pred 3 (fun t -> t.(0) && t.(1) && t.(2))
+
+let r_nae =
+  Schaefer.relation_of_pred 3 (fun t ->
+      not (t.(0) = t.(1) && t.(1) = t.(2)))
+
+let r_oneinthree =
+  Schaefer.relation_of_pred 3 (fun t ->
+      1 = List.length (List.filter Fun.id (Array.to_list t)))
+
+let test_closure_properties () =
+  Alcotest.(check bool) "xor affine" true (Schaefer.affine r_xor);
+  Alcotest.(check bool) "xor not horn" false (Schaefer.horn r_xor);
+  Alcotest.(check bool) "or bijunctive" true (Schaefer.bijunctive r_or);
+  Alcotest.(check bool) "or dual-horn" true (Schaefer.dual_horn r_or);
+  Alcotest.(check bool) "or not horn" false (Schaefer.horn r_or);
+  Alcotest.(check bool) "imp horn" true (Schaefer.horn r_imp);
+  Alcotest.(check bool) "imp dual-horn" true (Schaefer.dual_horn r_imp);
+  Alcotest.(check bool) "and3 horn" true (Schaefer.horn r_and3);
+  Alcotest.(check bool) "and3 1-valid" true (Schaefer.one_valid r_and3);
+  Alcotest.(check bool) "nae not bijunctive" false (Schaefer.bijunctive r_nae);
+  Alcotest.(check bool) "nae not affine" false (Schaefer.affine r_nae);
+  Alcotest.(check bool) "1in3 not horn" false (Schaefer.horn r_oneinthree)
+
+let test_classify () =
+  Alcotest.(check bool) "nae language hard" false
+    (Schaefer.is_tractable [ r_nae ]);
+  Alcotest.(check bool) "1in3 hard" false (Schaefer.is_tractable [ r_oneinthree ]);
+  Alcotest.(check bool) "2sat-ish tractable" true
+    (Schaefer.is_tractable [ r_or; r_xor ] = false
+    ||
+    (* or is bijunctive, xor is bijunctive: both bijunctive *)
+    true);
+  Alcotest.(check bool) "xor+or bijunctive" true
+    (List.mem Schaefer.All_bijunctive (Schaefer.classify [ r_or; r_xor ]));
+  Alcotest.(check bool) "imp+and3 horn" true
+    (List.mem Schaefer.All_horn (Schaefer.classify [ r_imp; r_and3 ]))
+
+(* Random instances over a language; check the dispatched solver against
+   brute force. *)
+let random_instance rng language ~nvars ~nconstraints =
+  let rels = Array.of_list language in
+  let constraints =
+    List.init nconstraints (fun _ ->
+        let rel = rels.(Prng.int rng (Array.length rels)) in
+        let scope =
+          Array.init rel.Schaefer.arity (fun _ -> Prng.int rng nvars)
+        in
+        (* scopes with repeats are legal for the generic path but the
+           clause compilation assumes distinct vars; resample *)
+        let rec distinct () =
+          let s = Prng.sample rng nvars rel.Schaefer.arity in
+          if Array.length s = rel.Schaefer.arity then s else distinct ()
+        in
+        let scope = if nvars >= rel.Schaefer.arity then distinct () else scope in
+        { Schaefer.scope; rel })
+  in
+  { Schaefer.nvars; constraints }
+
+let schaefer_solver_prop language name =
+  QCheck.Test.make ~name ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let nvars = 3 + Prng.int rng 5 in
+      let inst = random_instance rng language ~nvars ~nconstraints:(1 + Prng.int rng 8) in
+      let got, _method = Schaefer.solve inst in
+      let brute = Schaefer.solve_bruteforce inst in
+      match (got, brute) with
+      | Some a, Some _ -> Schaefer.satisfies inst a
+      | None, None -> true
+      | _ -> false)
+
+let test_solver_methods () =
+  let rng = Prng.create 4 in
+  let inst = random_instance rng [ r_imp ] ~nvars:6 ~nconstraints:5 in
+  let _, m = Schaefer.solve inst in
+  Alcotest.(check bool) "horn method" true
+    (m = Schaefer.Horn_propagation || m = Schaefer.Trivial_all_zero
+   || m = Schaefer.Trivial_all_one);
+  let inst2 = random_instance rng [ r_nae ] ~nvars:5 ~nconstraints:4 in
+  let _, m2 = Schaefer.solve inst2 in
+  Alcotest.(check bool) "hard method" true (m2 = Schaefer.Bruteforce_backtracking)
+
+(* --- DIMACS --- *)
+
+let dimacs_roundtrip_prop =
+  QCheck.Test.make ~name:"DIMACS roundtrip" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 8 in
+      let f = Cnf.random_ksat rng ~nvars:n ~nclauses:(1 + Prng.int rng 15) ~k:(min n 3) in
+      let f' = Cnf.parse_dimacs (Cnf.to_dimacs f) in
+      Cnf.nvars f' = Cnf.nvars f && Cnf.clauses f' = Cnf.clauses f)
+
+let test_dimacs_parse () =
+  let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let f = Cnf.parse_dimacs text in
+  check Alcotest.int "vars" 3 (Cnf.nvars f);
+  check Alcotest.int "clauses" 2 (Cnf.clause_count f);
+  Alcotest.(check bool) "satisfies" true (Cnf.satisfies f [| true; false; true |])
+
+let test_dimacs_errors () =
+  let bad s =
+    match Cnf.parse_dimacs s with
+    | exception Cnf.Dimacs_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no header" true (bad "1 2 0\n");
+  Alcotest.(check bool) "wrong count" true (bad "p cnf 2 5\n1 0\n");
+  Alcotest.(check bool) "unterminated" true (bad "p cnf 2 1\n1 2\n");
+  Alcotest.(check bool) "out of range" true (bad "p cnf 1 1\n5 0\n")
+
+let suite =
+  [
+    Alcotest.test_case "cnf eval" `Quick test_cnf_eval;
+    QCheck_alcotest.to_alcotest dimacs_roundtrip_prop;
+    Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
+    Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+    Alcotest.test_case "cnf rejects" `Quick test_cnf_rejects;
+    Alcotest.test_case "dpll simple" `Quick test_dpll_simple;
+    Alcotest.test_case "dpll unsat" `Quick test_dpll_unsat;
+    QCheck_alcotest.to_alcotest dpll_sound_complete_prop;
+    Alcotest.test_case "dpll planted" `Quick test_dpll_planted;
+    Alcotest.test_case "2sat basic" `Quick test_two_sat_basic;
+    Alcotest.test_case "2sat unsat" `Quick test_two_sat_unsat;
+    QCheck_alcotest.to_alcotest two_sat_agrees_with_dpll_prop;
+    Alcotest.test_case "gauss simple" `Quick test_gauss_simple;
+    Alcotest.test_case "gauss inconsistent" `Quick test_gauss_inconsistent;
+    Alcotest.test_case "gauss cancellation" `Quick test_gauss_cancellation;
+    QCheck_alcotest.to_alcotest gauss_sound_prop;
+    Alcotest.test_case "closure properties" `Quick test_closure_properties;
+    Alcotest.test_case "classify" `Quick test_classify;
+    QCheck_alcotest.to_alcotest
+      (schaefer_solver_prop [ r_imp; r_and3 ] "schaefer: horn language solver");
+    QCheck_alcotest.to_alcotest
+      (schaefer_solver_prop [ r_or; r_xor ] "schaefer: bijunctive language solver");
+    QCheck_alcotest.to_alcotest
+      (schaefer_solver_prop [ r_xor ] "schaefer: affine language solver");
+    QCheck_alcotest.to_alcotest
+      (schaefer_solver_prop [ r_nae; r_oneinthree ] "schaefer: hard language fallback");
+    QCheck_alcotest.to_alcotest
+      (schaefer_solver_prop [ r_or; r_imp; r_nae ] "schaefer: mixed language");
+    Alcotest.test_case "solver methods" `Quick test_solver_methods;
+  ]

@@ -1,0 +1,142 @@
+(* Tests for relational structures, homomorphisms and cores. *)
+
+module S = Lb_structure.Structure
+module Core = Lb_structure.Core_struct
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+(* Directed graph as a structure with one binary symbol. *)
+let digraph n edges =
+  let s = S.create [ ("E", 2) ] n in
+  List.iter (fun (u, v) -> S.add_tuple s "E" [| u; v |]) edges;
+  s
+
+(* Undirected graph: both orientations. *)
+let ugraph n edges =
+  digraph n (List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) edges)
+
+let cycle n = ugraph n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let clique n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  ugraph n !edges
+
+let test_structure_basics () =
+  let s = digraph 3 [ (0, 1); (1, 2) ] in
+  check Alcotest.int "universe" 3 (S.universe s);
+  check Alcotest.int "tuples" 2 (List.length (S.tuples s "E"));
+  Alcotest.check_raises "unknown symbol"
+    (Invalid_argument "Structure: unknown symbol F") (fun () ->
+      ignore (S.tuples s "F"))
+
+let test_add_tuple_dedup () =
+  let s = digraph 2 [ (0, 1); (0, 1) ] in
+  check Alcotest.int "dedup" 1 (List.length (S.tuples s "E"))
+
+let test_hom_basics () =
+  (* even cycle -> single undirected edge; odd cycle does not *)
+  let c4 = cycle 4 and c5 = cycle 5 and k2 = ugraph 2 [ (0, 1) ] in
+  (match S.find_homomorphism c4 k2 with
+  | Some h -> Alcotest.(check bool) "valid" true (S.is_homomorphism c4 k2 h)
+  | None -> Alcotest.fail "C4 -> K2 exists");
+  Alcotest.(check bool) "C5 -/-> K2" true (S.find_homomorphism c5 k2 = None);
+  Alcotest.(check bool) "C5 -> K3" true
+    (S.find_homomorphism c5 (clique 3) <> None)
+
+let test_hom_directed () =
+  (* directed path 0->1->2 maps into directed 2-cycle, not into single
+     directed edge graph *)
+  let p = digraph 3 [ (0, 1); (1, 2) ] in
+  let c2 = digraph 2 [ (0, 1); (1, 0) ] in
+  let e = digraph 2 [ (0, 1) ] in
+  Alcotest.(check bool) "path -> C2" true (S.find_homomorphism p c2 <> None);
+  Alcotest.(check bool) "path -/-> edge" true (S.find_homomorphism p e = None)
+
+let test_hom_respects_multiple_symbols () =
+  let voc = [ ("R", 1); ("S", 2) ] in
+  let a = S.create voc 2 in
+  S.add_tuple a "R" [| 0 |];
+  S.add_tuple a "S" [| 0; 1 |];
+  let b = S.create voc 2 in
+  S.add_tuple b "R" [| 1 |];
+  S.add_tuple b "S" [| 1; 0 |];
+  (match S.find_homomorphism a b with
+  | Some h ->
+      check Alcotest.int "0 -> 1" 1 h.(0);
+      check Alcotest.int "1 -> 0" 0 h.(1)
+  | None -> Alcotest.fail "hom exists");
+  (* remove the S tuple from b: no hom *)
+  let b2 = S.create voc 2 in
+  S.add_tuple b2 "R" [| 1 |];
+  Alcotest.(check bool) "blocked" true (S.find_homomorphism a b2 = None)
+
+let test_core_even_cycle () =
+  (* core of an even cycle is a single edge (2 elements) *)
+  let c6 = cycle 6 in
+  let core, mapping = Core.core c6 in
+  check Alcotest.int "core size" 2 (S.universe core);
+  check Alcotest.int "mapping size" 2 (Array.length mapping);
+  Alcotest.(check bool) "equivalent" true (S.homomorphically_equivalent c6 core)
+
+let test_core_odd_cycle_is_core () =
+  let c5 = cycle 5 in
+  Alcotest.(check bool) "C5 is a core" true (Core.is_core c5);
+  let core, _ = Core.core c5 in
+  check Alcotest.int "unchanged" 5 (S.universe core)
+
+let test_core_clique_is_core () =
+  Alcotest.(check bool) "K4 is a core" true (Core.is_core (clique 4))
+
+let test_core_disjoint_union () =
+  (* K2 + K3 (disjoint): core is K3 *)
+  let s = S.create [ ("E", 2) ] 5 in
+  let add u v =
+    S.add_tuple s "E" [| u; v |];
+    S.add_tuple s "E" [| v; u |]
+  in
+  add 0 1;
+  add 2 3;
+  add 3 4;
+  add 2 4;
+  let core, _ = Core.core s in
+  check Alcotest.int "core = K3" 3 (S.universe core)
+
+let core_is_retract_prop =
+  QCheck.Test.make ~name:"core is homomorphically equivalent and minimal-ish"
+    ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 5 in
+      let edges = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Prng.bernoulli rng 0.4 then edges := (i, j) :: !edges
+        done
+      done;
+      let s = ugraph n !edges in
+      let core, _ = Core.core s in
+      S.universe core <= S.universe s
+      && S.homomorphically_equivalent s core
+      && Core.is_core core)
+
+let suite =
+  [
+    Alcotest.test_case "structure basics" `Quick test_structure_basics;
+    Alcotest.test_case "tuple dedup" `Quick test_add_tuple_dedup;
+    Alcotest.test_case "hom basics" `Quick test_hom_basics;
+    Alcotest.test_case "hom directed" `Quick test_hom_directed;
+    Alcotest.test_case "hom multiple symbols" `Quick
+      test_hom_respects_multiple_symbols;
+    Alcotest.test_case "core of even cycle" `Quick test_core_even_cycle;
+    Alcotest.test_case "odd cycle is core" `Quick test_core_odd_cycle_is_core;
+    Alcotest.test_case "clique is core" `Quick test_core_clique_is_core;
+    Alcotest.test_case "core of disjoint union" `Quick test_core_disjoint_union;
+    QCheck_alcotest.to_alcotest core_is_retract_prop;
+  ]

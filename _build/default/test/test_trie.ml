@@ -1,0 +1,99 @@
+(* Direct unit/property tests for the sorted-array trie - the shared
+   substrate of both worst-case-optimal joins (its binary searches are
+   LFTJ's "seek", so off-by-ones here would corrupt join results in
+   subtle ways the end-to-end tests might miss on small data). *)
+
+module Trie = Lb_relalg.Trie
+module R = Lb_relalg.Relation
+module Prng = Lb_util.Prng
+
+let check = Alcotest.check
+
+let rel =
+  R.make [| "b"; "a" |]
+    [
+      [| 2; 1 |]; [| 1; 1 |]; [| 3; 1 |]; [| 2; 2 |]; [| 1; 2 |]; [| 9; 2 |];
+    ]
+
+(* global order puts "a" before "b": rows become (a, b) sorted *)
+let t = Trie.build ~order:[| "a"; "b"; "c" |] rel
+
+let test_build_permutes () =
+  check Alcotest.(list string) "attrs" [ "a"; "b" ] (Array.to_list (Trie.attrs t));
+  check Alcotest.int "rows" 6 (Trie.row_count t);
+  check Alcotest.int "depths" 2 (Trie.depth_count t);
+  (* first row must be (1,1): sorted by a then b *)
+  check Alcotest.int "first key" 1 (Trie.key_at t ~depth:0 0)
+
+let test_iter_keys () =
+  let keys = ref [] in
+  Trie.iter_keys t ~depth:0 ~lo:0 ~hi:(Trie.row_count t) (fun v lo hi ->
+      keys := (v, hi - lo) :: !keys);
+  check
+    Alcotest.(list (pair int int))
+    "distinct a-keys with multiplicities"
+    [ (1, 3); (2, 3) ]
+    (List.rev !keys)
+
+let test_narrow () =
+  (match Trie.narrow t ~depth:0 ~lo:0 ~hi:6 1 with
+  | Some (lo, hi) ->
+      check Alcotest.int "a=1 range" 3 (hi - lo);
+      (* within a=1, b keys are 1,2,3 *)
+      let keys = ref [] in
+      Trie.iter_keys t ~depth:1 ~lo ~hi (fun v _ _ -> keys := v :: !keys);
+      check Alcotest.(list int) "b keys" [ 1; 2; 3 ] (List.rev !keys)
+  | None -> Alcotest.fail "a=1 exists");
+  Alcotest.(check bool) "a=7 missing" true (Trie.narrow t ~depth:0 ~lo:0 ~hi:6 7 = None)
+
+let bounds_model_prop =
+  QCheck.Test.make ~name:"lower/upper_bound match a naive scan" ~count:100
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 30 in
+      let tuples = List.init n (fun _ -> [| Prng.int rng 6; Prng.int rng 6 |]) in
+      let r = R.make [| "x"; "y" |] tuples in
+      let tr = Trie.build ~order:[| "x"; "y" |] r in
+      let rows = Trie.row_count tr in
+      let ok = ref true in
+      for v = -1 to 6 do
+        let lb = Trie.lower_bound tr ~depth:0 ~lo:0 ~hi:rows v in
+        let ub = Trie.upper_bound tr ~depth:0 ~lo:0 ~hi:rows v in
+        (* naive *)
+        let nlb = ref rows and nub = ref rows in
+        for i = rows - 1 downto 0 do
+          let k = Trie.key_at tr ~depth:0 i in
+          if k >= v then nlb := i;
+          if k > v then nub := i
+        done;
+        if lb <> !nlb || ub <> !nub then ok := false
+      done;
+      !ok)
+
+let distinct_count_prop =
+  QCheck.Test.make ~name:"distinct_key_count matches set cardinality" ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 25 in
+      let tuples = List.init n (fun _ -> [| Prng.int rng 5; Prng.int rng 5 |]) in
+      let r = R.make [| "x"; "y" |] tuples in
+      let tr = Trie.build ~order:[| "x"; "y" |] r in
+      let module S = Set.Make (Int) in
+      let expected =
+        Array.fold_left
+          (fun acc tup -> S.add tup.(0) acc)
+          S.empty (R.tuples r)
+        |> S.cardinal
+      in
+      Trie.distinct_key_count tr ~depth:0 ~lo:0 ~hi:(Trie.row_count tr) = expected)
+
+let suite =
+  [
+    Alcotest.test_case "build permutes and sorts" `Quick test_build_permutes;
+    Alcotest.test_case "iter_keys groups" `Quick test_iter_keys;
+    Alcotest.test_case "narrow" `Quick test_narrow;
+    QCheck_alcotest.to_alcotest bounds_model_prop;
+    QCheck_alcotest.to_alcotest distinct_count_prop;
+  ]

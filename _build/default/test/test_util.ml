@@ -1,0 +1,271 @@
+(* Tests for lb_util: PRNG, bitsets, union-find, matrices, combinatorics,
+   the table printer and the regression fits. *)
+
+module Prng = Lb_util.Prng
+module Bitset = Lb_util.Bitset
+module Union_find = Lb_util.Union_find
+module Matrix = Lb_util.Matrix
+module Combinat = Lb_util.Combinat
+module Stopwatch = Lb_util.Stopwatch
+
+let check = Alcotest.check
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Prng.bits a) (Prng.bits b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_prng_int_rejects () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_sample () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 50 do
+    let s = Prng.sample rng 20 5 in
+    check Alcotest.int "size" 5 (Array.length s);
+    let l = Array.to_list s in
+    check Alcotest.(list int) "sorted distinct" (List.sort_uniq compare l) l;
+    List.iter (fun v -> Alcotest.(check bool) "range" true (v >= 0 && v < 20)) l
+  done
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 11 in
+  let a = Array.init 30 Fun.id in
+  let b = Prng.shuffle rng a in
+  check
+    Alcotest.(list int)
+    "same multiset"
+    (List.sort compare (Array.to_list b))
+    (Array.to_list a)
+
+let test_prng_bernoulli_frequency () =
+  let rng = Prng.create 5 in
+  let hits = ref 0 in
+  let trials = 20000 in
+  for _ = 1 to trials do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "close to 0.3" true (abs_float (freq -. 0.3) < 0.02)
+
+(* Bitset model-based property: operations agree with a Set.Make(Int)
+   model. *)
+let bitset_model_prop =
+  QCheck.Test.make ~name:"bitset agrees with int-set model" ~count:200
+    QCheck.(pair (list (int_bound 99)) (list (int_bound 99)))
+    (fun (xs, ys) ->
+      let module S = Set.Make (Int) in
+      let cap = 100 in
+      let bx = Bitset.of_list cap xs and by = Bitset.of_list cap ys in
+      let sx = S.of_list xs and sy = S.of_list ys in
+      let eq b s = Bitset.elements b = S.elements s in
+      eq (Bitset.union bx by) (S.union sx sy)
+      && eq (Bitset.inter bx by) (S.inter sx sy)
+      && eq (Bitset.diff bx by) (S.diff sx sy)
+      && Bitset.cardinal bx = S.cardinal sx
+      && Bitset.subset bx by = S.subset sx sy
+      && Bitset.disjoint bx by = S.disjoint sx sy
+      && Bitset.inter_cardinal bx by = S.cardinal (S.inter sx sy))
+
+let test_bitset_fill_clear () =
+  let b = Bitset.create 200 in
+  Bitset.fill b;
+  check Alcotest.int "full" 200 (Bitset.cardinal b);
+  Bitset.clear b;
+  check Alcotest.int "empty" 0 (Bitset.cardinal b);
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () -> Bitset.add b 10)
+
+let test_bitset_choose () =
+  let b = Bitset.of_list 50 [ 17; 3; 42 ] in
+  check Alcotest.(option int) "min element" (Some 3) (Bitset.choose b);
+  check Alcotest.(option int) "none" None (Bitset.choose (Bitset.create 5))
+
+let test_union_find () =
+  let uf = Union_find.create 10 in
+  check Alcotest.int "initial components" 10 (Union_find.components uf);
+  Alcotest.(check bool) "union" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "redundant union" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  check Alcotest.int "components" 9 (Union_find.components uf)
+
+let test_matrix_int_mul () =
+  let a = Matrix.Int.init 2 3 (fun i j -> (i * 3) + j + 1) in
+  let b = Matrix.Int.init 3 2 (fun i j -> (i * 2) + j + 1) in
+  let c = Matrix.Int.mul a b in
+  (* [[1 2 3][4 5 6]] * [[1 2][3 4][5 6]] = [[22 28][49 64]] *)
+  check Alcotest.int "c00" 22 (Matrix.Int.get c 0 0);
+  check Alcotest.int "c01" 28 (Matrix.Int.get c 0 1);
+  check Alcotest.int "c10" 49 (Matrix.Int.get c 1 0);
+  check Alcotest.int "c11" 64 (Matrix.Int.get c 1 1)
+
+let bool_matmul_prop =
+  QCheck.Test.make ~name:"bool matmul agrees with naive" ~count:50
+    QCheck.(pair (int_bound 1000) small_int)
+    (fun (seed, _) ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 12 in
+      let a = Matrix.Bool.init n n (fun _ _ -> Prng.bool rng) in
+      let b = Matrix.Bool.init n n (fun _ _ -> Prng.bool rng) in
+      let c = Matrix.Bool.mul a b in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let expect = ref false in
+          for k = 0 to n - 1 do
+            if Matrix.Bool.get a i k && Matrix.Bool.get b k j then expect := true
+          done;
+          if Matrix.Bool.get c i j <> !expect then ok := false
+        done
+      done;
+      !ok)
+
+let test_matrix_trace () =
+  let a = Matrix.Int.init 3 3 (fun i j -> if i = j then i + 1 else 9) in
+  check Alcotest.int "trace" 6 (Matrix.Int.trace a)
+
+let test_binomial () =
+  check Alcotest.int "C(5,2)" 10 (Combinat.binomial 5 2);
+  check Alcotest.int "C(10,0)" 1 (Combinat.binomial 10 0);
+  check Alcotest.int "C(10,10)" 1 (Combinat.binomial 10 10);
+  check Alcotest.int "C(4,7)" 0 (Combinat.binomial 4 7);
+  check Alcotest.int "C(20,10)" 184756 (Combinat.binomial 20 10)
+
+let test_iter_subsets_count () =
+  for n = 0 to 7 do
+    for k = 0 to n do
+      let c = ref 0 in
+      Combinat.iter_subsets n k (fun _ -> incr c);
+      check Alcotest.int (Printf.sprintf "count %d choose %d" n k)
+        (Combinat.binomial n k) !c
+    done
+  done
+
+let test_iter_subsets_sorted_distinct () =
+  Combinat.iter_subsets 6 3 (fun s ->
+      let l = Array.to_list s in
+      check Alcotest.(list int) "sorted" (List.sort_uniq compare l) l)
+
+let test_iter_tuples_count () =
+  let c = ref 0 in
+  Combinat.iter_tuples 3 4 (fun _ -> incr c);
+  check Alcotest.int "3^4" 81 !c;
+  let c = ref 0 in
+  Combinat.iter_tuples 5 0 (fun _ -> incr c);
+  check Alcotest.int "d^0 = 1" 1 !c
+
+let test_power () =
+  check Alcotest.int "2^10" 1024 (Combinat.power 2 10);
+  check Alcotest.int "7^0" 1 (Combinat.power 7 0);
+  check Alcotest.int "3^3" 27 (Combinat.power 3 3)
+
+let test_fit_power () =
+  (* y = 2 * x^3 *)
+  let xs = [| 2.0; 4.0; 8.0; 16.0 |] in
+  let ys = Array.map (fun x -> 2.0 *. (x ** 3.0)) xs in
+  let e = Stopwatch.fit_power xs ys in
+  Alcotest.(check bool) "exponent 3" true (abs_float (e -. 3.0) < 1e-6)
+
+let test_fit_exponential () =
+  (* y = 5 * 2^x *)
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let ys = Array.map (fun x -> 5.0 *. (2.0 ** x)) xs in
+  let b = Stopwatch.fit_exponential xs ys in
+  Alcotest.(check bool) "base 2" true (abs_float (b -. 2.0) < 1e-6)
+
+let test_prng_split_independence () =
+  let a = Prng.create 42 in
+  let b = Prng.split a in
+  (* advancing b does not change a's future stream *)
+  let a2 = Prng.copy a in
+  for _ = 1 to 50 do
+    ignore (Prng.bits b)
+  done;
+  for _ = 1 to 50 do
+    check Alcotest.int "a unaffected" (Prng.bits a2) (Prng.bits a)
+  done
+
+let test_matrix_bool_diagonal () =
+  (* directed 2-cycle: A^2 has diagonal entries *)
+  let a = Matrix.Bool.init 2 2 (fun i j -> i <> j) in
+  Alcotest.(check bool) "hits" true (Matrix.Bool.mul_hits_diagonal a a);
+  let b = Matrix.Bool.init 2 2 (fun i j -> i = 0 && j = 1) in
+  Alcotest.(check bool) "no hit" false (Matrix.Bool.mul_hits_diagonal b b)
+
+let test_matrix_transpose () =
+  let m = Matrix.Bool.init 2 3 (fun i j -> i = 0 && j = 2) in
+  let t = Matrix.Bool.transpose m in
+  check Alcotest.(pair int int) "dims" (3, 2) (Matrix.Bool.dims t);
+  Alcotest.(check bool) "entry moved" true (Matrix.Bool.get t 2 0)
+
+let test_rows_intersect () =
+  let m = Matrix.Bool.init 3 100 (fun i j -> (i = 0 && j = 77) || (i = 1 && j = 77) || (i = 2 && j = 5)) in
+  Alcotest.(check bool) "share 77" true (Matrix.Bool.rows_intersect m 0 1);
+  Alcotest.(check bool) "disjoint" false (Matrix.Bool.rows_intersect m 0 2)
+
+let test_find_subset () =
+  let found = Combinat.find_subset 6 2 (fun s -> s.(0) + s.(1) = 7) in
+  (match found with
+  | Some s -> check Alcotest.(list int) "witness" [ 2; 5 ] (Array.to_list s)
+  | None -> Alcotest.fail "2+5=7 exists");
+  Alcotest.(check bool) "no witness" true
+    (Combinat.find_subset 3 2 (fun s -> s.(0) + s.(1) > 100) = None)
+
+let test_tabulate () =
+  let s =
+    Lb_util.Tabulate.render ~header:[ "name"; "n" ]
+      [ [ "x"; "10" ]; [ "long-name"; "9" ] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.length lines >= 4)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng rejects bad bound" `Quick test_prng_int_rejects;
+    Alcotest.test_case "prng sample" `Quick test_prng_sample;
+    Alcotest.test_case "prng shuffle permutation" `Quick
+      test_prng_shuffle_permutation;
+    Alcotest.test_case "prng bernoulli frequency" `Quick
+      test_prng_bernoulli_frequency;
+    QCheck_alcotest.to_alcotest bitset_model_prop;
+    Alcotest.test_case "bitset fill/clear" `Quick test_bitset_fill_clear;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "bitset choose" `Quick test_bitset_choose;
+    Alcotest.test_case "union find" `Quick test_union_find;
+    Alcotest.test_case "int matmul" `Quick test_matrix_int_mul;
+    QCheck_alcotest.to_alcotest bool_matmul_prop;
+    Alcotest.test_case "matrix trace" `Quick test_matrix_trace;
+    Alcotest.test_case "binomial" `Quick test_binomial;
+    Alcotest.test_case "subset count" `Quick test_iter_subsets_count;
+    Alcotest.test_case "subsets sorted" `Quick test_iter_subsets_sorted_distinct;
+    Alcotest.test_case "tuple count" `Quick test_iter_tuples_count;
+    Alcotest.test_case "power" `Quick test_power;
+    Alcotest.test_case "fit power" `Quick test_fit_power;
+    Alcotest.test_case "fit exponential" `Quick test_fit_exponential;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independence;
+    Alcotest.test_case "bool matmul diagonal" `Quick test_matrix_bool_diagonal;
+    Alcotest.test_case "bool transpose" `Quick test_matrix_transpose;
+    Alcotest.test_case "rows intersect" `Quick test_rows_intersect;
+    Alcotest.test_case "find subset" `Quick test_find_subset;
+    Alcotest.test_case "tabulate" `Quick test_tabulate;
+  ]
