@@ -45,7 +45,7 @@ let run () =
             ]
             :: !rows)
         orders)
-    [ 64; 256 ];
+    (Harness.sizes [ 64; 256 ]);
   Harness.table
     [ "N"; "variable order"; "|answer|"; "intersections"; "time" ]
     (List.rev !rows);

@@ -64,7 +64,7 @@ let run () =
           string_of_bool (!r_on <> None);
         ]
         :: !rows)
-    [ (40, 2); (80, 2); (40, 3); (80, 3) ];
+    (Harness.sizes [ (40, 2); (80, 2); (40, 3); (80, 3) ]);
   Harness.table
     [ "|V|"; "ktree width"; "with AC-3"; "without AC-3"; "satisfiable" ]
     (List.rev !rows);

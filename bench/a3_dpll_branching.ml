@@ -40,7 +40,7 @@ let run () =
           Harness.secs t2;
         ]
         :: !rows)
-    [ 30; 40; 50 ];
+    (Harness.sizes [ 30; 40; 50 ]);
   Harness.table
     [
       "n";

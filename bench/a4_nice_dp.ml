@@ -38,7 +38,7 @@ let run () =
           Harness.secs t_nice;
         ]
         :: !rows)
-    [ (30, 2, 8); (30, 2, 24); (30, 3, 8); (60, 2, 16) ];
+    (Harness.sizes [ (30, 2, 8); (30, 2, 24); (30, 3, 8); (60, 2, 16) ]);
   Harness.table
     [ "|V|"; "width"; "|D|"; "direct DP (Freuder)"; "nice-form DP" ]
     (List.rev !rows);

@@ -48,7 +48,7 @@ let run () =
               Harness.f3 exponent;
             ]
             :: !rows)
-        ns)
+        (Harness.sizes ns))
     queries;
   Harness.table
     [ "query"; "N(target)"; "N(actual)"; "rho*"; "|answer|"; "N^rho*"; "exponent" ]

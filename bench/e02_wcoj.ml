@@ -6,8 +6,16 @@
    ({0} x [N]) u ([N] x {0}) (2N+... tuples each).  Every pairwise join
    contains the N^2 cross product of the two broom handles, yet the
    answer has only O(N) tuples.  We measure wall time of Generic Join
-   and LFTJ, and the best (minimum over all 6 join orders!) intermediate
-   size of binary plans, then fit growth exponents in N. *)
+   and LFTJ (sequential and on a Domain pool of 2 and 4), and the best
+   (minimum over all 6 join orders!) intermediate size of binary plans,
+   then fit growth exponents in N.
+
+   The broom is also a worst case for naive parallel partitioning: the
+   value 0 of the first variable carries about half the total join work,
+   so these rows double as a check that the parallel driver's skew
+   splitting keeps the partitions balanced.  (Note: measured scaling is
+   bounded by the cores the machine actually exposes; per-domain
+   counters are merged, so answer counts are bit-identical.) *)
 
 module Q = Lb_relalg.Query
 module R = Lb_relalg.Relation
@@ -15,6 +23,7 @@ module Db = Lb_relalg.Database
 module Gj = Lb_relalg.Generic_join
 module Lf = Lb_relalg.Leapfrog
 module Bp = Lb_relalg.Binary_plan
+module Pool = Lb_util.Pool
 
 let triangle = Q.parse "R(a,b), S(b,c), T(a,c)"
 
@@ -35,15 +44,55 @@ let broom_db n =
     ]
 
 let run () =
-  let ns = [ 50; 100; 200; 400 ] in
+  let ns = Harness.sizes [ 50; 100; 200; 400 ] in
+  let nmax = List.fold_left max 0 ns in
   let rows = ref [] in
   let bp_inters = ref [] in
+  (* Pools are scoped to their own measurements: on machines with few
+     cores, even *idle* domains tax the stop-the-world minor collector,
+     which would distort the sequential timings. *)
   List.iter
     (fun n ->
       let db = broom_db n in
-      let answer, gj_t = Harness.time (fun () -> Gj.count db triangle) in
-      let answer_lf, lf_t = Harness.time (fun () -> Lf.count db triangle) in
-      assert (answer = answer_lf);
+      let answer = ref 0 in
+      let gj_t =
+        Harness.median_time 3 (fun () -> answer := Gj.count db triangle)
+      in
+      let answer = !answer in
+      let lf_t =
+        Harness.median_time 3 (fun () ->
+            let c = Lf.count db triangle in
+            assert (c = answer))
+      in
+      let gj2_t =
+        Pool.with_pool 2 (fun pool ->
+            Harness.median_time 3 (fun () ->
+                let c = Gj.count ~pool db triangle in
+                assert (c = answer)))
+      in
+      let gj4_t, lf4_t =
+        Pool.with_pool 4 (fun pool ->
+            let g =
+              Harness.median_time 3 (fun () ->
+                  let c = Gj.count ~pool db triangle in
+                  assert (c = answer))
+            in
+            let l =
+              Harness.median_time 3 (fun () ->
+                  let c = Lf.count ~pool db triangle in
+                  assert (c = answer))
+            in
+            (g, l))
+      in
+      if n = nmax then begin
+        Harness.metric "E2.generic_join.seconds" gj_t;
+        Harness.metric "E2.leapfrog.seconds" lf_t;
+        Harness.metric "E2.generic_join_2dom.seconds" gj2_t;
+        Harness.metric "E2.generic_join_4dom.seconds" gj4_t;
+        Harness.metric "E2.leapfrog_4dom.seconds" lf4_t;
+        Harness.metric "E2.N" (float_of_int n);
+        Harness.metric "E2.answer" (float_of_int answer)
+      end;
       let (_, best_stats), bp_t =
         Harness.time (fun () -> Bp.best_order db triangle)
       in
@@ -54,6 +103,8 @@ let run () =
           string_of_int answer;
           Harness.secs gj_t;
           Harness.secs lf_t;
+          Harness.secs gj2_t;
+          Harness.secs gj4_t;
           string_of_int best_stats.Bp.max_intermediate;
           Harness.secs bp_t;
         ]
@@ -65,6 +116,8 @@ let run () =
       "|answer|";
       "GenericJoin";
       "Leapfrog";
+      "GJ 2 dom";
+      "GJ 4 dom";
       "best binary max-intermediate";
       "binary time (6 orders)";
     ]

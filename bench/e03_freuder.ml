@@ -30,7 +30,13 @@ let bench_domain_sweep width domains nvars =
 let run () =
   (* domain sweeps per width *)
   let nvars = 40 in
-  let specs = [ (1, [ 8; 16; 32; 64 ]); (2, [ 8; 16; 32 ]); (3, [ 4; 8; 16 ]) ] in
+  let specs =
+    [
+      (1, Harness.sizes [ 8; 16; 32; 64 ]);
+      (2, Harness.sizes [ 8; 16; 32 ]);
+      (3, Harness.sizes [ 4; 8; 16 ]);
+    ]
+  in
   let rows = ref [] in
   let verdict_parts = ref [] in
   List.iter
@@ -71,7 +77,7 @@ let run () =
         let td = Lb_graph.Tree_decomposition.of_elimination_order g order in
         let _, t = Harness.time (fun () -> Freuder.count ~decomposition:td csp) in
         (nv, t))
-      [ 25; 50; 100; 200 ]
+      (Harness.sizes [ 25; 50; 100; 200 ])
   in
   print_newline ();
   Harness.table [ "|V| (k=2, D=8)"; "Freuder time" ]

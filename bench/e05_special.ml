@@ -74,7 +74,7 @@ let run () =
           ]
           :: !rows;
         (k, t))
-      [ 2; 3; 4; 5 ]
+      (Harness.sizes [ 2; 3; 4; 5 ])
   in
   Harness.table
     [ "k"; "|V| = k + 2^k"; "|D|"; "satisfiable"; "solve time"; "|D|^k" ]

@@ -36,7 +36,7 @@ let run () =
       let xs = Array.of_list (List.map fst results) in
       let ys = Array.of_list (List.map snd results) in
       fits := (k, Harness.fit_power xs ys) :: !fits)
-    [ (3, [ 64; 128; 256; 512 ]); (4, [ 32; 64; 128; 192 ]) ];
+    [ (3, Harness.sizes [ 64; 128; 256; 512 ]); (4, Harness.sizes [ 32; 64; 128; 192 ]) ];
   Harness.table [ "k"; "n"; "#k-cliques"; "enumeration time" ] (List.rev !rows);
   print_newline ();
   (* Detection race, k = 6, on complete 5-partite (Turan) graphs: dense,
@@ -70,7 +70,7 @@ let run () =
           Harness.secs t_mm;
         ]
         :: !race_rows)
-    [ 30; 40; 50 ];
+    (Harness.sizes [ 30; 40; 50 ]);
   Harness.table
     [ "n (k=6, Turan 5-partite)"; "6-clique?"; "brute force"; "matmul (NP'85)" ]
     (List.rev !race_rows);

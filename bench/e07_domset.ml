@@ -45,7 +45,7 @@ let run () =
       let xs = Array.of_list (List.map fst results) in
       let ys = Array.of_list (List.map snd results) in
       fits := (k, Harness.fit_power xs ys) :: !fits)
-    [ (2, [ 100; 200; 400; 800 ]); (3, [ 50; 100; 150; 200 ]) ];
+    [ (2, Harness.sizes [ 100; 200; 400; 800 ]); (3, Harness.sizes [ 50; 100; 150; 200 ]) ];
   Harness.table [ "k"; "n"; "k-domset exists"; "brute-force time" ] (List.rev !rows);
   print_newline ();
   (* the Theorem 7.2 reduction *)
@@ -79,7 +79,7 @@ let run () =
           Harness.secs time_csp;
         ]
         :: !red_rows)
-    [ (2, 1); (2, 2); (3, 1) ];
+    (Harness.sizes [ (2, 1); (2, 2); (3, 1) ]);
   Harness.table
     [ "t"; "group g"; "CSP |V|"; "CSP |D|"; "primal tw"; "answers agree"; "CSP solve" ]
     (List.rev !red_rows);

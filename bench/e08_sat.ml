@@ -48,7 +48,7 @@ let run () =
           ]
           :: !rows;
         (float_of_int n, t))
-      [ 40; 60; 80; 100; 120 ]
+      (Harness.sizes [ 40; 60; 80; 100; 120 ])
   in
   Harness.table
     [ "n"; "m (ratio 4.8)"; "satisfiable"; "DPLL decisions"; "median time" ]
@@ -77,7 +77,7 @@ let run () =
       poly_rows :=
         [ string_of_int n; Harness.secs t2; Harness.secs th; Harness.secs tx ]
         :: !poly_rows)
-    [ 500; 1000; 2000 ];
+    (Harness.sizes [ 500; 1000; 2000 ]);
   Harness.table
     [ "n"; "2SAT (SCC)"; "Horn-SAT (DPLL/unit-prop)"; "XOR-SAT (Gauss)" ]
     (List.rev !poly_rows);

@@ -35,7 +35,7 @@ let run () =
           ]
           :: !rows;
         (float_of_int n, t, tb))
-      [ 500; 1000; 2000; 4000 ]
+      (Harness.sizes [ 500; 1000; 2000; 4000 ])
   in
   Harness.table
     [

@@ -12,6 +12,28 @@ module Graph = Lb_graph.Graph
 module Gen = Lb_graph.Generators
 module Tri = Lb_graph.Triangle
 module Prng = Lb_util.Prng
+module Pool = Lb_util.Pool
+module Q = Lb_relalg.Query
+module Rel = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Gj = Lb_relalg.Generic_join
+
+(* The triangle query R(a,b), S(b,c), T(a,c) over the symmetrized edge
+   relation counts each triangle 6 times (once per vertex ordering). *)
+let triangle_db g =
+  let tuples = ref [] in
+  Graph.iter_edges
+    (fun u v -> tuples := [| u; v |] :: [| v; u |] :: !tuples)
+    g;
+  let rel attrs = Rel.make attrs !tuples in
+  Db.of_list
+    [
+      ("R", rel [| "a"; "b" |]);
+      ("S", rel [| "b"; "c" |]);
+      ("T", rel [| "a"; "c" |]);
+    ]
+
+let triangle_q = Q.parse "R(a,b), S(b,c), T(a,c)"
 
 let random_bipartite rng n p =
   let g = Graph.create n in
@@ -47,7 +69,7 @@ let run () =
           Harness.secs t_hl;
         ]
         :: !rows)
-    [ 128; 256; 512; 1024 ];
+    (Harness.sizes [ 128; 256; 512; 1024 ]);
   Printf.printf "dense regime (bipartite, p = 0.4; all triangle-free):\n";
   Harness.table
     [ "n"; "m"; "naive n^3"; "edge scan"; "matmul"; "AYZ heavy/light" ]
@@ -74,11 +96,60 @@ let run () =
           Harness.secs t_hl;
         ]
         :: !srows)
-    [ 1024; 2048; 4096; 8192 ];
+    (Harness.sizes [ 1024; 2048; 4096; 8192 ]);
   Printf.printf "sparse regime (m ~ 4n, triangle-free):\n";
   Harness.table
     [ "n"; "m"; "edge scan"; "matmul"; "AYZ heavy/light" ]
     (List.rev !srows);
+  print_newline ();
+  (* The same Boolean triangle query through the worst-case-optimal join
+     engine: Generic Join over the symmetrized edge relation, sequential
+     and on a Domain pool (pools are scoped tightly - idle domains tax
+     the minor collector on small machines). *)
+  let wrows = ref [] in
+  let wns = Harness.sizes [ 256; 512; 1024 ] in
+  let wmax = List.fold_left max 0 wns in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (n + 3) in
+      let g = random_bipartite rng n 0.4 in
+      let db = triangle_db g in
+      let cnt = ref 0 in
+      let t1 = Harness.median_time 3 (fun () -> cnt := Gj.count db triangle_q) in
+      let t2 =
+        Pool.with_pool 2 (fun pool ->
+            Harness.median_time 3 (fun () ->
+                assert (Gj.count ~pool db triangle_q = !cnt)))
+      in
+      let t4 =
+        Pool.with_pool 4 (fun pool ->
+            Harness.median_time 3 (fun () ->
+                assert (Gj.count ~pool db triangle_q = !cnt)))
+      in
+      assert (!cnt = 0);
+      (* triangle-free host *)
+      if n = wmax then begin
+        Harness.metric "E10.gj_triangle.seconds" t1;
+        Harness.metric "E10.gj_triangle_2dom.seconds" t2;
+        Harness.metric "E10.gj_triangle_4dom.seconds" t4;
+        Harness.metric "E10.gj_triangle.n" (float_of_int n)
+      end;
+      wrows :=
+        [
+          string_of_int n;
+          string_of_int (Graph.edge_count g);
+          Harness.secs t1;
+          Harness.secs t2;
+          Harness.secs t4;
+        ]
+        :: !wrows)
+    wns;
+  Printf.printf
+    "WCOJ route (Generic Join, count = 6x triangles; %d core(s) exposed):\n"
+    (Domain.recommended_domain_count ());
+  Harness.table
+    [ "n"; "m"; "GJ"; "GJ 2 dom"; "GJ 4 dom" ]
+    (List.rev !wrows);
   let xs = Array.of_list (List.rev_map fst !hl_results) in
   let ys = Array.of_list (List.rev_map snd !hl_results) in
   let e_hl = Harness.fit_power xs ys in

@@ -39,7 +39,7 @@ let run () =
       | None -> assert false);
       fpt_results := (float_of_int n, t) :: !fpt_results;
       rows := [ string_of_int n; string_of_int k; Harness.secs t ] :: !rows)
-    [ 200; 400; 800; 1600 ];
+    (Harness.sizes [ 200; 400; 800; 1600 ]);
   Printf.printf "FPT branching (k = %d fixed, n growing):\n" k;
   Harness.table [ "n"; "k"; "FPT time" ] (List.rev !rows);
   print_newline ();
@@ -55,7 +55,7 @@ let run () =
       cmp_rows :=
         [ string_of_int n; string_of_int kk; Harness.secs t_b; Harness.secs t_f ]
         :: !cmp_rows)
-    [ 16; 24; 32 ];
+    (Harness.sizes [ 16; 24; 32 ]);
   Printf.printf "brute force n^k vs FPT 2^k (k = 4):\n";
   Harness.table [ "n"; "k"; "brute n^k"; "FPT 2^k" ] (List.rev !cmp_rows);
   let xs = Array.of_list (List.rev_map fst !fpt_results) in

@@ -88,7 +88,7 @@ let run () =
           string_of_bool (!direct <> None);
         ]
         :: !rows)
-    [ (2, 4); (3, 6); (4, 8); (5, 10) ];
+    (Harness.sizes [ (2, 4); (3, 6); (4, 8); (5, 10) ]);
   Harness.table
     [
       "structure A";

@@ -60,7 +60,7 @@ let run () =
           Harness.secs t_gj;
         ]
         :: !rows)
-    [ 1024; 4096; 16384 ];
+    (Harness.sizes [ 1024; 4096; 16384 ]);
   Harness.table
     [
       "N";

@@ -32,7 +32,7 @@ let run () =
           ]
           :: !rows;
         (float_of_int n, t))
-      [ 512; 1024; 2048; 4096 ]
+      (Harness.sizes [ 512; 1024; 2048; 4096 ])
   in
   Harness.table [ "n (vectors/side)"; "dim"; "pair found"; "scan time" ] (List.rev !rows);
   print_newline ();
@@ -61,7 +61,7 @@ let run () =
           Harness.secs t_ov;
         ]
         :: !red_rows)
-    [ 12; 16; 20 ];
+    (Harness.sizes [ 12; 16; 20 ]);
   Printf.printf "SAT -> OV split reduction (vectors per side = 2^{n/2}):\n";
   Harness.table
     [ "SAT n"; "vectors/side"; "dim = m"; "satisfiable"; "reduce"; "OV scan" ]

@@ -76,7 +76,7 @@ let run () =
           Harness.secs t_bool;
         ]
         :: !rows)
-    [ 16; 64; 144 ];
+    (Harness.sizes [ 16; 64; 144 ]);
   Harness.table
     [
       "N";

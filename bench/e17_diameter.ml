@@ -44,7 +44,7 @@ let run () =
           Harness.secs t_apx;
         ]
         :: !rows)
-    [ 500; 1000; 2000 ];
+    (Harness.sizes [ 500; 1000; 2000 ]);
   Harness.table
     [ "n"; "m ~ 3n"; "diameter"; "exact (n BFS)"; "1-BFS estimate"; "approx time" ]
     (List.rev !rows);
@@ -71,7 +71,7 @@ let run () =
           Harness.secs t;
         ]
         :: !red_rows)
-    [ 64; 128; 256 ];
+    (Harness.sizes [ 64; 128; 256 ]);
   Printf.printf "OV -> Diameter (2 vs 3) reduction:\n";
   Harness.table
     [ "vectors/side"; "orthogonal pair"; "diameter"; "decide via diameter" ]

@@ -46,7 +46,7 @@ let run () =
               ]
               :: !rows;
             (float_of_int n, median))
-          ns
+          (Harness.sizes ns)
       in
       let xs = Array.of_list (List.map fst pts) in
       let ys = Array.of_list (List.map snd pts) in

@@ -19,6 +19,41 @@ let register e = registry := e :: !registry
 
 let all () = List.rev !registry
 
+(* --- smoke mode ---
+
+   Under [--smoke] every experiment runs at tiny sizes so the whole
+   suite finishes in seconds; the dune [bench-smoke] alias runs it under
+   [dune runtest] as a regression canary for the harness itself. *)
+
+let smoke = ref false
+
+let rec take k = function
+  | [] -> []
+  | x :: tl -> if k <= 0 then [] else x :: take (k - 1) tl
+
+(* [sizes xs] is [xs] normally; in smoke mode only the first [keep]
+   entries (2 by default - the growth-fit code needs two points). *)
+let sizes ?(keep = 2) xs = if !smoke then take keep xs else xs
+
+(* --- named metrics, dumped as JSON by [--bench-json] for trajectory
+   tracking across PRs --- *)
+
+let metrics : (string * float) list ref = ref []
+
+let metric name v = metrics := (name, v) :: !metrics
+
+let metrics_to_file path =
+  let oc = open_out path in
+  let items = List.rev !metrics in
+  let n = List.length items in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %.9f%s\n" k v (if i < n - 1 then "," else ""))
+    items;
+  output_string oc "}\n";
+  close_out oc
+
 let banner (e : experiment) =
   Printf.printf "\n=== %s: %s ===\n" e.id e.title;
   Printf.printf "Paper claim: %s\n\n" e.claim

@@ -40,11 +40,16 @@ let () =
   let only = ref [] in
   let list_only = ref false in
   let micro = ref false in
+  let bench_json = ref "" in
   let spec =
     [
       ("-e", Arg.String (fun s -> only := s :: !only), "EID run one experiment (repeatable)");
       ("--list", Arg.Set list_only, " list experiments");
       ("--micro", Arg.Set micro, " also run the Bechamel micro suite");
+      ("--smoke", Arg.Set Harness.smoke, " run every experiment at tiny sizes");
+      ( "--bench-json",
+        Arg.Set_string bench_json,
+        "FILE write recorded timing metrics as JSON" );
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -78,6 +83,13 @@ let () =
         Printf.printf "(%s elapsed)\n" (Lb_util.Stopwatch.pretty_seconds (Unix.gettimeofday () -. t1)))
       selected;
     if !micro then Micro.run ();
+    if !bench_json <> "" then begin
+      (match Harness.metrics_to_file !bench_json with
+      | () -> Printf.printf "\nWrote metrics to %s.\n" !bench_json
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write metrics: %s\n" msg;
+          exit 1)
+    end;
     Printf.printf "\nAll done in %s.\n"
       (Lb_util.Stopwatch.pretty_seconds (Unix.gettimeofday () -. t0))
   end

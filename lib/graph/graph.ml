@@ -62,7 +62,7 @@ let complement t =
    (new index -> original vertex). *)
 let induced t vs =
   let vs = Array.copy vs in
-  Array.sort compare vs;
+  Array.sort (fun (a : int) b -> if a < b then -1 else if a > b then 1 else 0) vs;
   let k = Array.length vs in
   let index = Hashtbl.create (2 * k) in
   Array.iteri (fun i v -> Hashtbl.replace index v i) vs;

@@ -14,12 +14,14 @@ type t = {
   tree : (int * int) list; (* edges over bag indices; must form a tree *)
 }
 
+let int_compare (a : int) (b : int) = if a < b then -1 else if a > b then 1 else 0
+
 let make ~bags ~tree =
   let bags =
     Array.map
       (fun b ->
         let b = Array.copy b in
-        Array.sort compare b;
+        Array.sort int_compare b;
         b)
       bags
   in
@@ -175,7 +177,7 @@ let of_elimination_order g order =
           (fun u acc -> if position.(u) > i then u :: acc else acc)
           adj.(v) []
       in
-      bags.(i) <- Array.of_list (List.sort compare (v :: later));
+      bags.(i) <- Array.of_list (List.sort int_compare (v :: later));
       (* fill-in among later neighbors *)
       let later_arr = Array.of_list later in
       let k = Array.length later_arr in

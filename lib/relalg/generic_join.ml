@@ -3,112 +3,315 @@
    Variables are processed in a global order.  At each variable, the
    candidate values are the intersection of the matching value sets of
    every atom containing that variable, computed by enumerating the
-   smallest set and probing the others by binary search - the
-   intersection cost is proportional to the smallest set, which is the
-   crux of the O(N^{rho*}) bound.
+   smallest set and probing the others - the intersection cost is
+   proportional to the smallest set, which is the crux of the
+   O(N^{rho*}) bound.
 
-   Atoms are represented as sorted-array tries (Trie); the state per atom
-   is its current row range plus trie depth.  When variable v is
-   processed, an atom participates iff its next trie level is labeled v;
-   since trie levels follow the global order, every atom containing v
-   participates exactly when v comes up. *)
+   Engine layout (the hot path is deliberately allocation-free):
+
+   - Atoms are columnar tries (Trie).  Which atoms participate at each
+     level, and which trie column they expose there, depends only on the
+     schema and the variable order, so both are precomputed into [ctx].
+   - Per-atom state is just a row range (lo, hi); the ranges live in a
+     preallocated stack of flat int arrays, one row per level.
+   - The leader's keys are enumerated in ascending order, so every
+     non-leader keeps a cursor and probes by galloping search from it:
+     total probe cost per level is amortized linear in the ranges
+     scanned, and an exhausted cursor aborts the whole level early.
+
+   An optional [?pool] (Lb_util.Pool) runs [count] and [answer] in
+   parallel: the first variable's candidates are materialized as tasks
+   (heavy candidates are split one level deeper to defuse skew), chunks
+   of tasks are claimed dynamically by the pool's domains, and per-chunk
+   counters and accumulators are merged at the end - so parallel runs
+   produce identical answers and counter totals to sequential ones. *)
+
+module Pool = Lb_util.Pool
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
 let fresh_counters () = { intersections = 0; emitted = 0 }
 
+(* --- precomputed join context --- *)
+
+type ctx = {
+  tries : Trie.t array;
+  nvars : int;
+  natoms : int;
+  participants : int array array;
+      (* participants.(l): atoms whose schema contains order.(l) *)
+  pcols : int array array array;
+      (* pcols.(l).(j): the trie column of participants.(l).(j) at the
+         depth it has reached when level l is processed *)
+}
+
+let make_ctx ?pool ~order db (q : Query.t) =
+  let atoms = Array.of_list q in
+  let natoms = Array.length atoms in
+  let build i = Trie.build ~order (Query.bind_atom db atoms.(i)) in
+  let tries =
+    match pool with
+    | Some p when Pool.size p > 1 && natoms > 1 ->
+        let out = Array.make natoms None in
+        Pool.run p ~chunks:natoms (fun i -> out.(i) <- Some (build i));
+        Array.map Option.get out
+    | _ -> Array.init natoms build
+  in
+  let nvars = Array.length order in
+  let participants = Array.make nvars [||] in
+  let pcols = Array.make nvars [||] in
+  for l = 0 to nvars - 1 do
+    let var = order.(l) in
+    let ids = ref [] in
+    for i = natoms - 1 downto 0 do
+      let ats = Trie.attrs tries.(i) in
+      for d = 0 to Array.length ats - 1 do
+        if ats.(d) = var then ids := (i, d) :: !ids
+      done
+    done;
+    participants.(l) <- Array.of_list (List.map fst !ids);
+    pcols.(l) <-
+      Array.of_list (List.map (fun (i, d) -> Trie.column tries.(i) d) !ids)
+  done;
+  { tries; nvars; natoms; participants; pcols }
+
+let has_empty_atom ctx =
+  let e = ref false in
+  Array.iter (fun t -> if Trie.row_count t = 0 then e := true) ctx.tries;
+  !e
+
+(* --- per-domain workspace --- *)
+
+type ws = {
+  stack : int array array; (* stack.(level): lo, hi per atom, flat *)
+  cursors : int array array; (* cursors.(level): probe cursor per participant *)
+  assignment : int array; (* parallel to the variable order *)
+}
+
+let make_ws ctx =
+  {
+    stack =
+      Array.init (ctx.nvars + 1) (fun _ -> Array.make (max 1 (2 * ctx.natoms)) 0);
+    cursors = Array.init (max 1 ctx.nvars) (fun _ -> Array.make (max 1 ctx.natoms) 0);
+    assignment = Array.make (max 1 ctx.nvars) 0;
+  }
+
+let init_root ctx ws =
+  let st = ws.stack.(0) in
+  for i = 0 to ctx.natoms - 1 do
+    st.(2 * i) <- 0;
+    st.(2 * i + 1) <- Trie.row_count ctx.tries.(i)
+  done
+
+(* Enumerate all extensions of the current partial assignment from
+   [level] up to [stop]; [on_leaf] fires with [ws] holding a complete
+   prefix of length [stop].  [c.intersections] counts enumerated leader
+   keys, as in the textbook cost accounting. *)
+let rec enumerate ctx ws c ~level ~stop on_leaf =
+  if level >= stop then on_leaf ()
+  else begin
+    let ps = ctx.participants.(level) in
+    let np = Array.length ps in
+    if np = 0 then invalid_arg "Generic_join: variable missing from all atoms";
+    let cols = ctx.pcols.(level) in
+    let st = ws.stack.(level) and st' = ws.stack.(level + 1) in
+    Array.blit st 0 st' 0 (2 * ctx.natoms);
+    (* leader: the participant with the smallest current range *)
+    let lj = ref 0 and lsize = ref max_int in
+    for j = 0 to np - 1 do
+      let i = ps.(j) in
+      let s = st.(2 * i + 1) - st.(2 * i) in
+      if s < !lsize then begin
+        lsize := s;
+        lj := j
+      end
+    done;
+    let lj = !lj in
+    let leader = ps.(lj) in
+    let lcol = cols.(lj) in
+    let lhi = st.(2 * leader + 1) in
+    let cur = ws.cursors.(level) in
+    for j = 0 to np - 1 do
+      cur.(j) <- st.(2 * ps.(j))
+    done;
+    let pos = ref st.(2 * leader) in
+    let dead = ref false in
+    while (not !dead) && !pos < lhi do
+      let v = lcol.(!pos) in
+      let e = Trie.gallop_gt lcol !pos lhi v in
+      c.intersections <- c.intersections + 1;
+      (* probe the other participants, galloping from their cursors;
+         leader keys ascend, so cursors only move forward *)
+      let ok = ref true in
+      let j = ref 0 in
+      while !ok && !j < np do
+        if !j <> lj then begin
+          let i = ps.(!j) in
+          let col = cols.(!j) in
+          let hi = st.(2 * i + 1) in
+          let p = Trie.gallop_geq col cur.(!j) hi v in
+          cur.(!j) <- p;
+          if p >= hi then begin
+            (* this stream is exhausted: no later leader key matches *)
+            ok := false;
+            dead := true
+          end
+          else if col.(p) <> v then ok := false
+          else begin
+            st'.(2 * i) <- p;
+            st'.(2 * i + 1) <- Trie.gallop_gt col p hi v
+          end
+        end;
+        incr j
+      done;
+      if !ok then begin
+        st'.(2 * leader) <- !pos;
+        st'.(2 * leader + 1) <- e;
+        ws.assignment.(level) <- v;
+        enumerate ctx ws c ~level:(level + 1) ~stop on_leaf
+      end;
+      pos := e
+    done
+  end
+
+(* --- sequential driver --- *)
+
+let run_seq ctx c f =
+  if not (has_empty_atom ctx) then begin
+    let ws = make_ws ctx in
+    init_root ctx ws;
+    enumerate ctx ws c ~level:0 ~stop:ctx.nvars (fun () ->
+        c.emitted <- c.emitted + 1;
+        f ws.assignment)
+  end
+
 (* Iterate all answers; [f] receives the assignment in global-order
    (parallel to [order]).  The array is reused between calls. *)
 let iter ?order ?counters db (q : Query.t) f =
   let order = match order with Some o -> o | None -> Query.attributes q in
-  let tries = List.map (fun a -> Trie.build ~order (Query.bind_atom db a)) q in
-  let tries = Array.of_list tries in
-  let natoms = Array.length tries in
-  let nvars = Array.length order in
-  (* per-atom state: (depth, lo, hi), functional to keep backtracking
-     simple; small arrays copied per level *)
-  let assignment = Array.make nvars 0 in
-  let bump_inter () =
-    match counters with Some c -> c.intersections <- c.intersections + 1 | None -> ()
-  in
-  let bump_emit () =
-    match counters with Some c -> c.emitted <- c.emitted + 1 | None -> ()
-  in
-  let rec go level states =
-    if level = nvars then begin
-      bump_emit ();
-      f assignment
-    end
-    else begin
-      let var = order.(level) in
-      let participants = ref [] in
-      Array.iteri
-        (fun i (depth, _, _) ->
-          if depth < Trie.depth_count tries.(i)
-             && (Trie.attrs tries.(i)).(depth) = var
-          then participants := i :: !participants)
-        states;
-      match !participants with
-      | [] ->
-          (* variable in no remaining atom: can only happen if the
-             variable order contains extra names; any value would do but
-             the query's own attributes always participate *)
-          invalid_arg "Generic_join: variable missing from all atoms"
-      | ps ->
-          (* smallest candidate set leads *)
-          let size i =
-            let depth, lo, hi = states.(i) in
-            Trie.distinct_key_count tries.(i) ~depth ~lo ~hi
-          in
-          let leader =
-            List.fold_left
-              (fun best i -> if size i < size best then i else best)
-              (List.hd ps) ps
-          in
-          let others = List.filter (fun i -> i <> leader) ps in
-          let ldepth, llo, lhi = states.(leader) in
-          Trie.iter_keys tries.(leader) ~depth:ldepth ~lo:llo ~hi:lhi
-            (fun v sublo subhi ->
-              bump_inter ();
-              (* probe the other participants *)
-              let rec probe acc = function
-                | [] -> Some acc
-                | i :: rest -> (
-                    let depth, lo, hi = states.(i) in
-                    match Trie.narrow tries.(i) ~depth ~lo ~hi v with
-                    | Some (l, h) -> probe ((i, (depth + 1, l, h)) :: acc) rest
-                    | None -> None)
-              in
-              match probe [ (leader, (ldepth + 1, sublo, subhi)) ] others with
-              | None -> ()
-              | Some updates ->
-                  assignment.(level) <- v;
-                  let states' = Array.copy states in
-                  List.iter (fun (i, st) -> states'.(i) <- st) updates;
-                  go (level + 1) states')
-    end
-  in
-  let init = Array.init natoms (fun i -> (0, 0, Trie.row_count tries.(i))) in
-  (* an atom with no rows means an empty answer *)
-  if Array.exists (fun i -> Trie.row_count tries.(i) = 0) (Array.init natoms Fun.id)
-  then ()
-  else go 0 init
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  run_seq (make_ctx ~order db q) c f
 
-let answer ?order db q =
-  let order' = match order with Some o -> o | None -> Query.attributes q in
-  let acc = ref [] in
-  iter ?order db q (fun a -> acc := Array.copy a :: !acc);
-  Relation.make order' !acc
+(* --- parallel driver --- *)
 
-let count ?order ?counters db q =
-  let c = ref 0 in
-  iter ?order ?counters db q (fun _ -> incr c);
-  !c
+(* A task is a fully-probed assignment prefix (1 or 2 variables) plus
+   the per-atom ranges after binding it. *)
+type task = { plen : int; v0 : int; v1 : int; st : int array }
+
+(* Candidates whose smallest participant range at the next level exceeds
+   this are expanded one level deeper at task-generation time, so one
+   heavy first value (skew) cannot serialize the run. *)
+let split_threshold = 64
+
+let gen_tasks ctx ws c =
+  let tasks = ref [] and n = ref 0 in
+  let push plen =
+    incr n;
+    tasks :=
+      {
+        plen;
+        v0 = ws.assignment.(0);
+        v1 = (if plen > 1 then ws.assignment.(1) else 0);
+        st = Array.copy ws.stack.(plen);
+      }
+      :: !tasks
+  in
+  enumerate ctx ws c ~level:0 ~stop:1 (fun () ->
+      let heavy =
+        ctx.nvars >= 2
+        &&
+        let ps = ctx.participants.(1) in
+        let st = ws.stack.(1) in
+        let w = ref max_int in
+        Array.iter
+          (fun i ->
+            let s = st.((2 * i) + 1) - st.(2 * i) in
+            if s < !w then w := s)
+          ps;
+        !w > split_threshold
+      in
+      if heavy then enumerate ctx ws c ~level:1 ~stop:2 (fun () -> push 2)
+      else push 1);
+  (!n, Array.of_list (List.rev !tasks))
+
+(* Run the whole join on [pool]; per-chunk accumulators are created with
+   [make_acc] and filled via [consume acc assignment]; returns them. *)
+let run_par ctx pool c ~make_acc ~consume =
+  let gws = make_ws ctx in
+  init_root ctx gws;
+  let ntasks, tasks = gen_tasks ctx gws c in
+  let per_chunk = max 1 (ntasks / (Pool.size pool * 8)) in
+  let nchunks = (ntasks + per_chunk - 1) / per_chunk in
+  let accs = Array.init nchunks (fun _ -> make_acc ()) in
+  let ctrs = Array.init nchunks (fun _ -> fresh_counters ()) in
+  Pool.run pool ~chunks:nchunks (fun k ->
+      let ws = make_ws ctx in
+      let ck = ctrs.(k) and acc = accs.(k) in
+      let t1 = min ntasks ((k + 1) * per_chunk) in
+      for ti = k * per_chunk to t1 - 1 do
+        let t = tasks.(ti) in
+        ws.assignment.(0) <- t.v0;
+        if t.plen > 1 then ws.assignment.(1) <- t.v1;
+        Array.blit t.st 0 ws.stack.(t.plen) 0 (2 * ctx.natoms);
+        enumerate ctx ws ck ~level:t.plen ~stop:ctx.nvars (fun () ->
+            ck.emitted <- ck.emitted + 1;
+            consume acc ws.assignment)
+      done);
+  Array.iter
+    (fun ck ->
+      c.intersections <- c.intersections + ck.intersections;
+      c.emitted <- c.emitted + ck.emitted)
+    ctrs;
+  accs
+
+(* Parallel execution pays off only past the first variable; fall back
+   to the sequential engine for trivial shapes or a size-1 pool. *)
+let pool_applies ctx = function
+  | Some p when Pool.size p > 1 && ctx.nvars >= 2 -> Some p
+  | _ -> None
+
+let count ?order ?counters ?pool db q =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  let ctx = make_ctx ?pool ~order db q in
+  match pool_applies ctx pool with
+  | Some p when not (has_empty_atom ctx) ->
+      let accs =
+        run_par ctx p c ~make_acc:(fun () -> ref 0) ~consume:(fun r _ -> incr r)
+      in
+      Array.fold_left (fun acc r -> acc + !r) 0 accs
+  | _ ->
+      let n = ref 0 in
+      run_seq ctx c (fun _ -> incr n);
+      !n
+
+let answer ?order ?pool db q =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let c = fresh_counters () in
+  let ctx = make_ctx ?pool ~order db q in
+  let rows =
+    match pool_applies ctx pool with
+    | Some p when not (has_empty_atom ctx) ->
+        let accs =
+          run_par ctx p c
+            ~make_acc:(fun () -> ref [])
+            ~consume:(fun r a -> r := Array.copy a :: !r)
+        in
+        Array.fold_left (fun acc r -> List.rev_append !r acc) [] accs
+    | _ ->
+        let acc = ref [] in
+        run_seq ctx c (fun a -> acc := Array.copy a :: !acc);
+        !acc
+  in
+  Relation.make order rows
 
 exception Found
 
 let exists ?order db q =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let c = fresh_counters () in
+  let ctx = make_ctx ~order db q in
   try
-    iter ?order db q (fun _ -> raise Found);
+    run_seq ctx c (fun _ -> raise Found);
     false
   with Found -> true

@@ -1,7 +1,13 @@
 (** Generic Join (Ngo-Porat-Re-Rudra): the worst-case-optimal join of
     Theorem 3.3.  Per variable, the candidate values are the
     intersection of every relevant atom's value set, enumerated from the
-    smallest set - the step that caps total work at O(N^{rho*}). *)
+    smallest set - the step that caps total work at O(N^{rho*}).
+
+    The engine works over columnar tries with galloping seeks and an
+    allocation-free state stack; [count] and [answer] optionally run on
+    a {!Lb_util.Pool} of domains, partitioning the first variable's
+    candidates (heavy candidates are split one level deeper) and merging
+    per-domain counters, with results identical to a sequential run. *)
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -18,11 +24,25 @@ val iter :
   (int array -> unit) ->
   unit
 
-(** Materialize the answer (schema = the variable order). *)
-val answer : ?order:string array -> Database.t -> Query.t -> Relation.t
+(** Materialize the answer (schema = the variable order).  With [?pool],
+    trie builds and the join itself run across the pool's domains. *)
+val answer :
+  ?order:string array ->
+  ?pool:Lb_util.Pool.t ->
+  Database.t ->
+  Query.t ->
+  Relation.t
 
+(** Count the answers.  With [?pool], runs the Domain-parallel driver;
+    the count and the final counter totals are identical to a sequential
+    run on the same inputs. *)
 val count :
-  ?order:string array -> ?counters:counters -> Database.t -> Query.t -> int
+  ?order:string array ->
+  ?counters:counters ->
+  ?pool:Lb_util.Pool.t ->
+  Database.t ->
+  Query.t ->
+  int
 
 exception Found
 

@@ -1,143 +1,274 @@
 (* Leapfrog Triejoin (Veldhuizen 2014), the second worst-case-optimal
    join of Theorem 3.3.
 
-   Same trie view as Generic Join, but the per-variable intersection is
-   the leapfrog: iterators over the participants' sorted key streams
-   repeatedly seek to the current maximum key until all agree, emitting
-   each agreed key.  Seeks are galloping binary searches in the sorted
-   row arrays. *)
+   Same columnar trie view as Generic Join, but the per-variable
+   intersection is the leapfrog: iterators over the participants' sorted
+   key streams repeatedly seek to the current maximum key until all
+   agree, emitting each agreed key.  Seeks are galloping searches seeded
+   at the iterator's current position, which is what makes the amortized
+   seek cost of LFTJ real.
+
+   The engine shares the design of [Generic_join]: participants and
+   their trie columns per level are precomputed from the schema, the
+   per-atom row ranges live in a preallocated stack of flat int arrays,
+   and nothing allocates on the hot path.  [count]/[answer] accept a
+   [?pool] to run the first variable's candidates Domain-parallel with
+   per-chunk counters merged at the end. *)
+
+module Pool = Lb_util.Pool
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
 let fresh_counters () = { seeks = 0; emitted = 0 }
 
-(* Leapfrog intersection of the participants' key streams at their
-   current (depth, lo, hi) ranges.  Calls [f v child_ranges] for each
-   common key, where [child_ranges] lists (participant, (lo, hi)) of the
-   equal-key subrange. *)
-let leapfrog tries states participants ~bump f =
-  (* iterator state: current position within [lo, hi) *)
-  let parts = Array.of_list participants in
-  let np = Array.length parts in
-  let pos = Array.make np 0 in
-  let fin = ref false in
-  Array.iteri
-    (fun j i ->
-      let _, lo, hi = states.(i) in
-      pos.(j) <- lo;
-      if lo >= hi then fin := true)
-    parts;
-  let key j =
-    let i = parts.(j) in
-    let depth, _, _ = states.(i) in
-    Trie.key_at tries.(i) ~depth pos.(j)
+type ctx = {
+  tries : Trie.t array;
+  nvars : int;
+  natoms : int;
+  participants : int array array;
+  pcols : int array array array;
+}
+
+let make_ctx ?pool ~order db (q : Query.t) =
+  let atoms = Array.of_list q in
+  let natoms = Array.length atoms in
+  let build i = Trie.build ~order (Query.bind_atom db atoms.(i)) in
+  let tries =
+    match pool with
+    | Some p when Pool.size p > 1 && natoms > 1 ->
+        let out = Array.make natoms None in
+        Pool.run p ~chunks:natoms (fun i -> out.(i) <- Some (build i));
+        Array.map Option.get out
+    | _ -> Array.init natoms build
   in
-  let seek j v =
-    bump ();
-    let i = parts.(j) in
-    let depth, _, hi = states.(i) in
-    pos.(j) <- Trie.lower_bound tries.(i) ~depth ~lo:pos.(j) ~hi v;
-    if pos.(j) >= hi then fin := true
-  in
-  while not !fin do
-    (* find current max key *)
-    let kmax = ref (key 0) and kmin = ref (key 0) in
-    for j = 1 to np - 1 do
-      let k = key j in
-      if k > !kmax then kmax := k;
-      if k < !kmin then kmin := k
-    done;
-    if !kmin = !kmax then begin
-      let v = !kmin in
-      (* compute child ranges *)
-      let ranges =
-        Array.to_list
-          (Array.mapi
-             (fun j i ->
-               let depth, _, hi = states.(i) in
-               let e = Trie.upper_bound tries.(i) ~depth ~lo:pos.(j) ~hi v in
-               (i, (pos.(j), e)))
-             parts)
-      in
-      f v ranges;
-      (* advance every iterator past v *)
-      List.iteri
-        (fun j (_, (_, e)) ->
-          let i = parts.(j) in
-          let _, _, hi = states.(i) in
-          pos.(j) <- e;
-          if e >= hi then fin := true)
-        ranges
-    end
-    else begin
-      (* seek every iterator below kmax up to it *)
-      for j = 0 to np - 1 do
-        if (not !fin) && key j < !kmax then seek j !kmax
+  let nvars = Array.length order in
+  let participants = Array.make nvars [||] in
+  let pcols = Array.make nvars [||] in
+  for l = 0 to nvars - 1 do
+    let var = order.(l) in
+    let ids = ref [] in
+    for i = natoms - 1 downto 0 do
+      let ats = Trie.attrs tries.(i) in
+      for d = 0 to Array.length ats - 1 do
+        if ats.(d) = var then ids := (i, d) :: !ids
       done
-    end
+    done;
+    participants.(l) <- Array.of_list (List.map fst !ids);
+    pcols.(l) <-
+      Array.of_list (List.map (fun (i, d) -> Trie.column tries.(i) d) !ids)
+  done;
+  { tries; nvars; natoms; participants; pcols }
+
+let has_empty_atom ctx =
+  let e = ref false in
+  Array.iter (fun t -> if Trie.row_count t = 0 then e := true) ctx.tries;
+  !e
+
+type ws = {
+  stack : int array array;
+  cursors : int array array; (* iterator positions per participant *)
+  assignment : int array;
+}
+
+let make_ws ctx =
+  {
+    stack =
+      Array.init (ctx.nvars + 1) (fun _ -> Array.make (max 1 (2 * ctx.natoms)) 0);
+    cursors = Array.init (max 1 ctx.nvars) (fun _ -> Array.make (max 1 ctx.natoms) 0);
+    assignment = Array.make (max 1 ctx.nvars) 0;
+  }
+
+let init_root ctx ws =
+  let st = ws.stack.(0) in
+  for i = 0 to ctx.natoms - 1 do
+    st.(2 * i) <- 0;
+    st.(2 * i + 1) <- Trie.row_count ctx.tries.(i)
   done
+
+(* Leapfrog the participants' key streams at [level], recursing to
+   [stop]; [c.seeks] counts actual seek operations. *)
+let rec enumerate ctx ws c ~level ~stop on_leaf =
+  if level >= stop then on_leaf ()
+  else begin
+    let ps = ctx.participants.(level) in
+    let np = Array.length ps in
+    if np = 0 then invalid_arg "Leapfrog: variable missing from all atoms";
+    let cols = ctx.pcols.(level) in
+    let st = ws.stack.(level) and st' = ws.stack.(level + 1) in
+    Array.blit st 0 st' 0 (2 * ctx.natoms);
+    let pos = ws.cursors.(level) in
+    let fin = ref false in
+    for j = 0 to np - 1 do
+      let i = ps.(j) in
+      pos.(j) <- st.(2 * i);
+      if st.(2 * i) >= st.(2 * i + 1) then fin := true
+    done;
+    while not !fin do
+      (* current extremes of the key streams *)
+      let kmax = ref cols.(0).(pos.(0)) and kmin = ref cols.(0).(pos.(0)) in
+      for j = 1 to np - 1 do
+        let k = cols.(j).(pos.(j)) in
+        if k > !kmax then kmax := k;
+        if k < !kmin then kmin := k
+      done;
+      if !kmin = !kmax then begin
+        let v = !kmin in
+        (* all agree: bind v, recurse into the equal-key subranges *)
+        for j = 0 to np - 1 do
+          let i = ps.(j) in
+          let e = Trie.gallop_gt cols.(j) pos.(j) st.(2 * i + 1) v in
+          st'.(2 * i) <- pos.(j);
+          st'.(2 * i + 1) <- e
+        done;
+        ws.assignment.(level) <- v;
+        enumerate ctx ws c ~level:(level + 1) ~stop on_leaf;
+        (* advance every iterator past v *)
+        for j = 0 to np - 1 do
+          let i = ps.(j) in
+          pos.(j) <- st'.(2 * i + 1);
+          if pos.(j) >= st.(2 * i + 1) then fin := true
+        done
+      end
+      else begin
+        (* seek every lagging iterator up to the maximum *)
+        let m = !kmax in
+        for j = 0 to np - 1 do
+          if (not !fin) && cols.(j).(pos.(j)) < m then begin
+            c.seeks <- c.seeks + 1;
+            let i = ps.(j) in
+            pos.(j) <- Trie.gallop_geq cols.(j) pos.(j) st.(2 * i + 1) m;
+            if pos.(j) >= st.(2 * i + 1) then fin := true
+          end
+        done
+      end
+    done
+  end
+
+let run_seq ctx c f =
+  if not (has_empty_atom ctx) then begin
+    let ws = make_ws ctx in
+    init_root ctx ws;
+    enumerate ctx ws c ~level:0 ~stop:ctx.nvars (fun () ->
+        c.emitted <- c.emitted + 1;
+        f ws.assignment)
+  end
 
 let iter ?order ?counters db (q : Query.t) f =
   let order = match order with Some o -> o | None -> Query.attributes q in
-  let tries =
-    Array.of_list (List.map (fun a -> Trie.build ~order (Query.bind_atom db a)) q)
-  in
-  let natoms = Array.length tries in
-  let nvars = Array.length order in
-  let assignment = Array.make nvars 0 in
-  let bump_seek () =
-    match counters with Some c -> c.seeks <- c.seeks + 1 | None -> ()
-  in
-  let bump_emit () =
-    match counters with Some c -> c.emitted <- c.emitted + 1 | None -> ()
-  in
-  let rec go level states =
-    if level = nvars then begin
-      bump_emit ();
-      f assignment
-    end
-    else begin
-      let var = order.(level) in
-      let participants = ref [] in
-      Array.iteri
-        (fun i (depth, _, _) ->
-          if depth < Trie.depth_count tries.(i)
-             && (Trie.attrs tries.(i)).(depth) = var
-          then participants := i :: !participants)
-        states;
-      match List.rev !participants with
-      | [] -> invalid_arg "Leapfrog: variable missing from all atoms"
-      | ps ->
-          leapfrog tries states ps ~bump:bump_seek (fun v ranges ->
-              assignment.(level) <- v;
-              let states' = Array.copy states in
-              List.iter
-                (fun (i, (l, h)) ->
-                  let depth, _, _ = states.(i) in
-                  states'.(i) <- (depth + 1, l, h))
-                ranges;
-              go (level + 1) states')
-    end
-  in
-  if Array.exists (fun t -> Trie.row_count t = 0) tries then ()
-  else
-    go 0 (Array.init natoms (fun i -> (0, 0, Trie.row_count tries.(i))))
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  run_seq (make_ctx ~order db q) c f
 
-let answer ?order db q =
-  let order' = match order with Some o -> o | None -> Query.attributes q in
-  let acc = ref [] in
-  iter ?order db q (fun a -> acc := Array.copy a :: !acc);
-  Relation.make order' !acc
+(* --- parallel driver (same task scheme as Generic_join) --- *)
 
-let count ?order ?counters db q =
-  let c = ref 0 in
-  iter ?order ?counters db q (fun _ -> incr c);
-  !c
+type task = { plen : int; v0 : int; v1 : int; st : int array }
+
+let split_threshold = 64
+
+let gen_tasks ctx ws c =
+  let tasks = ref [] and n = ref 0 in
+  let push plen =
+    incr n;
+    tasks :=
+      {
+        plen;
+        v0 = ws.assignment.(0);
+        v1 = (if plen > 1 then ws.assignment.(1) else 0);
+        st = Array.copy ws.stack.(plen);
+      }
+      :: !tasks
+  in
+  enumerate ctx ws c ~level:0 ~stop:1 (fun () ->
+      let heavy =
+        ctx.nvars >= 2
+        &&
+        let ps = ctx.participants.(1) in
+        let st = ws.stack.(1) in
+        let w = ref max_int in
+        Array.iter
+          (fun i ->
+            let s = st.((2 * i) + 1) - st.(2 * i) in
+            if s < !w then w := s)
+          ps;
+        !w > split_threshold
+      in
+      if heavy then enumerate ctx ws c ~level:1 ~stop:2 (fun () -> push 2)
+      else push 1);
+  (!n, Array.of_list (List.rev !tasks))
+
+let run_par ctx pool c ~make_acc ~consume =
+  let gws = make_ws ctx in
+  init_root ctx gws;
+  let ntasks, tasks = gen_tasks ctx gws c in
+  let per_chunk = max 1 (ntasks / (Pool.size pool * 8)) in
+  let nchunks = (ntasks + per_chunk - 1) / per_chunk in
+  let accs = Array.init nchunks (fun _ -> make_acc ()) in
+  let ctrs = Array.init nchunks (fun _ -> fresh_counters ()) in
+  Pool.run pool ~chunks:nchunks (fun k ->
+      let ws = make_ws ctx in
+      let ck = ctrs.(k) and acc = accs.(k) in
+      let t1 = min ntasks ((k + 1) * per_chunk) in
+      for ti = k * per_chunk to t1 - 1 do
+        let t = tasks.(ti) in
+        ws.assignment.(0) <- t.v0;
+        if t.plen > 1 then ws.assignment.(1) <- t.v1;
+        Array.blit t.st 0 ws.stack.(t.plen) 0 (2 * ctx.natoms);
+        enumerate ctx ws ck ~level:t.plen ~stop:ctx.nvars (fun () ->
+            ck.emitted <- ck.emitted + 1;
+            consume acc ws.assignment)
+      done);
+  Array.iter
+    (fun ck ->
+      c.seeks <- c.seeks + ck.seeks;
+      c.emitted <- c.emitted + ck.emitted)
+    ctrs;
+  accs
+
+let pool_applies ctx = function
+  | Some p when Pool.size p > 1 && ctx.nvars >= 2 -> Some p
+  | _ -> None
+
+let count ?order ?counters ?pool db q =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  let ctx = make_ctx ?pool ~order db q in
+  match pool_applies ctx pool with
+  | Some p when not (has_empty_atom ctx) ->
+      let accs =
+        run_par ctx p c ~make_acc:(fun () -> ref 0) ~consume:(fun r _ -> incr r)
+      in
+      Array.fold_left (fun acc r -> acc + !r) 0 accs
+  | _ ->
+      let n = ref 0 in
+      run_seq ctx c (fun _ -> incr n);
+      !n
+
+let answer ?order ?pool db q =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let c = fresh_counters () in
+  let ctx = make_ctx ?pool ~order db q in
+  let rows =
+    match pool_applies ctx pool with
+    | Some p when not (has_empty_atom ctx) ->
+        let accs =
+          run_par ctx p c
+            ~make_acc:(fun () -> ref [])
+            ~consume:(fun r a -> r := Array.copy a :: !r)
+        in
+        Array.fold_left (fun acc r -> List.rev_append !r acc) [] accs
+    | _ ->
+        let acc = ref [] in
+        run_seq ctx c (fun a -> acc := Array.copy a :: !acc);
+        !acc
+  in
+  Relation.make order rows
 
 exception Found
 
 let exists ?order db q =
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let c = fresh_counters () in
+  let ctx = make_ctx ~order db q in
   try
-    iter ?order db q (fun _ -> raise Found);
+    run_seq ctx c (fun _ -> raise Found);
     false
   with Found -> true

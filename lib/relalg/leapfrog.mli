@@ -1,7 +1,9 @@
 (** Leapfrog Triejoin (Veldhuizen): the second worst-case-optimal join
     of Theorem 3.3.  The per-variable intersection leapfrogs sorted key
-    streams, seeking each iterator to the current maximum via binary
-    search. *)
+    streams over columnar tries, seeking each iterator to the current
+    maximum by galloping search from its position.  [count]/[answer]
+    accept a {!Lb_util.Pool} to run Domain-parallel with results and
+    counter totals identical to a sequential run. *)
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
@@ -16,10 +18,20 @@ val iter :
   (int array -> unit) ->
   unit
 
-val answer : ?order:string array -> Database.t -> Query.t -> Relation.t
+val answer :
+  ?order:string array ->
+  ?pool:Lb_util.Pool.t ->
+  Database.t ->
+  Query.t ->
+  Relation.t
 
 val count :
-  ?order:string array -> ?counters:counters -> Database.t -> Query.t -> int
+  ?order:string array ->
+  ?counters:counters ->
+  ?pool:Lb_util.Pool.t ->
+  Database.t ->
+  Query.t ->
+  int
 
 exception Found
 

@@ -12,13 +12,31 @@ type t = {
 
 let check_attrs attrs =
   let l = Array.to_list attrs in
-  if List.length (List.sort_uniq compare l) <> List.length l then
+  if List.length (List.sort_uniq String.compare l) <> List.length l then
     invalid_arg "Relation: duplicate attribute names"
+
+(* Monomorphic lexicographic comparison of int tuples: the dedup paths
+   ([make], [project], [equal]) are warm enough that polymorphic
+   [compare] shows up in profiles. *)
+let compare_tuples (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then if la < lb then -1 else 1
+  else begin
+    let i = ref 0 and r = ref 0 in
+    while !r = 0 && !i < la do
+      let x = a.(!i) and y = b.(!i) in
+      if x < y then r := -1 else if x > y then r := 1;
+      incr i
+    done;
+    !r
+  end
+
+let equal_tuples (a : int array) (b : int array) = compare_tuples a b = 0
 
 module Tuple_set = Set.Make (struct
   type t = int array
 
-  let compare = compare
+  let compare = compare_tuples
 end)
 
 let make attrs tuple_list =
@@ -39,7 +57,7 @@ let cardinality t = Array.length t.tuples
 
 let width t = Array.length t.attrs
 
-let mem t tuple = Array.exists (fun u -> u = tuple) t.tuples
+let mem t tuple = Array.exists (fun u -> equal_tuples u tuple) t.tuples
 
 let attr_index t name =
   let rec go i =
@@ -55,7 +73,8 @@ let has_attr t name = attr_index t name <> None
 let active_domain t =
   let s = Hashtbl.create 64 in
   Array.iter (Array.iter (fun v -> Hashtbl.replace s v ())) t.tuples;
-  Hashtbl.fold (fun v () acc -> v :: acc) s [] |> List.sort compare
+  Hashtbl.fold (fun v () acc -> v :: acc) s []
+  |> List.sort (fun (a : int) b -> if a < b then -1 else if a > b then 1 else 0)
 
 let rename t mapping =
   let attrs' =
@@ -157,8 +176,16 @@ let semijoin a b =
     }
   end
 
+let equal_attrs a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i x -> if not (String.equal x b.(i)) then ok := false) a;
+       !ok
+     end
+
 let equal a b =
-  a.attrs = b.attrs
+  equal_attrs a.attrs b.attrs
   && cardinality a = cardinality b
   && Tuple_set.equal
        (Tuple_set.of_list (Array.to_list a.tuples))
@@ -166,11 +193,12 @@ let equal a b =
 
 (* Same content modulo column order. *)
 let equal_modulo_order a b =
+  let sorted r = List.sort String.compare (Array.to_list r.attrs) in
   Array.length a.attrs = Array.length b.attrs
-  && List.sort compare (Array.to_list a.attrs)
-     = List.sort compare (Array.to_list b.attrs)
-  && equal (project a (Array.of_list (List.sort compare (Array.to_list a.attrs))))
-           (project b (Array.of_list (List.sort compare (Array.to_list b.attrs))))
+  && List.equal String.equal (sorted a) (sorted b)
+  && equal
+       (project a (Array.of_list (sorted a)))
+       (project b (Array.of_list (sorted b)))
 
 let cross_product a b =
   Array.iter

@@ -1,7 +1,8 @@
-(** Sorted-array tries over a global attribute order: the shared
+(** Sorted columnar tries over a global attribute order: the shared
     relation view of both worst-case-optimal joins.  A trie node is a
-    row range at a depth; navigation is binary search (LFTJ's
-    "seek"). *)
+    row range at a depth; storage is one flat [int array] per level
+    (struct-of-arrays), built by a monomorphic lexicographic sort;
+    navigation is galloping search (LFTJ's "seek"). *)
 
 type t
 
@@ -11,10 +12,23 @@ val depth_count : t -> int
 
 val row_count : t -> int
 
+(** The sorted column at a depth.  Exposed for the join engines' hot
+    loops; callers must not mutate it. *)
+val column : t -> int -> int array
+
 (** Permute the relation's columns into the order induced by the global
     [order] and sort lexicographically.  Raises if some attribute is
     missing from [order]. *)
 val build : order:string array -> Relation.t -> t
+
+(** [gallop_geq col lo hi v] is the first index in [\[lo, hi)] with
+    [col.(i) >= v] ([hi] if none), by exponential search from [lo]: the
+    cost is logarithmic in the distance advanced, so repeated seeks with
+    a moving cursor are amortized. *)
+val gallop_geq : int array -> int -> int -> int -> int
+
+(** Same with [col.(i) > v]. *)
+val gallop_gt : int array -> int -> int -> int -> int
 
 (** First index in [\[lo, hi)] whose key at [depth] is [>= v]. *)
 val lower_bound : t -> depth:int -> lo:int -> hi:int -> int -> int

@@ -1,0 +1,135 @@
+(* A small dependency-free pool of OCaml 5 domains.
+
+   The pool runs "parallel for" jobs: [run t ~chunks f] evaluates
+   [f 0 .. f (chunks - 1)], distributing chunk indices dynamically over
+   the pool's domains (plus the calling domain) via an atomic work
+   counter, so skewed chunk costs still balance.  Workers block on a
+   condition variable between jobs - no spinning - which keeps a pool
+   harmless on machines with fewer cores than domains.
+
+   Restrictions: jobs must not call [run] on the same pool from inside a
+   chunk (the pool is a single parallel region, not a task scheduler),
+   and [run] must not be called concurrently from several domains. *)
+
+type t = {
+  size : int; (* total parallelism, including the calling domain *)
+  mutable domains : unit Domain.t array;
+  m : Mutex.t;
+  work : Condition.t; (* signalled when a new job is published *)
+  finished : Condition.t; (* signalled when the last worker retires *)
+  next : int Atomic.t; (* next chunk index to claim *)
+  mutable job : (int -> unit) option;
+  mutable chunks : int;
+  mutable running : int; (* workers still on the current job *)
+  mutable generation : int;
+  mutable stopping : bool;
+  mutable failure : exn option; (* first exception raised by a chunk *)
+}
+
+let size t = t.size
+
+let record_failure t e =
+  Mutex.lock t.m;
+  if t.failure = None then t.failure <- Some e;
+  Mutex.unlock t.m
+
+(* Claim and run chunks until the counter passes [chunks]. *)
+let drain t f chunks =
+  let rec loop () =
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i < chunks then begin
+      f i;
+      loop ()
+    end
+  in
+  try loop () with e -> record_failure t e
+
+let worker t () =
+  let seen = ref 0 in
+  let alive = ref true in
+  while !alive do
+    Mutex.lock t.m;
+    while (not t.stopping) && t.generation = !seen do
+      Condition.wait t.work t.m
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      alive := false
+    end
+    else begin
+      seen := t.generation;
+      let job = t.job and chunks = t.chunks in
+      Mutex.unlock t.m;
+      (match job with Some f -> drain t f chunks | None -> ());
+      Mutex.lock t.m;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.m
+    end
+  done
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      domains = [||];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      next = Atomic.make 0;
+      job = None;
+      chunks = 0;
+      running = 0;
+      generation = 0;
+      stopping = false;
+      failure = None;
+    }
+  in
+  t.domains <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let recommended () = create (Domain.recommended_domain_count ())
+
+let run t ~chunks f =
+  if chunks > 0 then begin
+    if t.size <= 1 || chunks = 1 || Array.length t.domains = 0 then
+      for i = 0 to chunks - 1 do
+        f i
+      done
+    else begin
+      Mutex.lock t.m;
+      t.job <- Some f;
+      t.chunks <- chunks;
+      Atomic.set t.next 0;
+      t.failure <- None;
+      t.running <- Array.length t.domains;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      (* the calling domain participates *)
+      drain t f chunks;
+      Mutex.lock t.m;
+      while t.running > 0 do
+        Condition.wait t.finished t.m
+      done;
+      t.job <- None;
+      let failure = t.failure in
+      Mutex.unlock t.m;
+      match failure with Some e -> raise e | None -> ()
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+(* Run [f pool] with a fresh pool of [size] domains, always shutting the
+   pool down afterwards. *)
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,32 @@
+(** A small dependency-free pool of OCaml 5 domains running "parallel
+    for" jobs with dynamic (work-stealing-style) chunk distribution.
+    Workers block between jobs, so an oversized pool is harmless. *)
+
+type t
+
+(** [create n] spawns a pool of total parallelism [n]: [n - 1] worker
+    domains plus the calling domain, which participates in every job.
+    [create 1] spawns nothing and runs jobs inline.  Raises
+    [Invalid_argument] if [n < 1]. *)
+val create : int -> t
+
+(** A pool sized to [Domain.recommended_domain_count ()]. *)
+val recommended : unit -> t
+
+(** Total parallelism, including the calling domain. *)
+val size : t -> int
+
+(** [run t ~chunks f] evaluates [f i] for every [i] in [0 .. chunks-1];
+    chunk indices are claimed dynamically via an atomic counter, so
+    skewed chunk costs balance.  Blocks until all chunks are done.  If
+    some chunk raises, the first such exception is re-raised here (after
+    all domains retire).  Must not be called from inside a chunk of the
+    same pool, nor concurrently from two domains. *)
+val run : t -> chunks:int -> (int -> unit) -> unit
+
+(** Stop and join the worker domains.  The pool must be idle. *)
+val shutdown : t -> unit
+
+(** [with_pool n f] runs [f] with a fresh pool, shutting it down
+    afterwards even on exceptions. *)
+val with_pool : int -> (t -> 'a) -> 'a

@@ -11,6 +11,7 @@ let () =
       ("structure", Test_structure.suite);
       ("relalg", Test_relalg.suite);
       ("trie", Test_trie.suite);
+      ("join_engine", Test_join_engine.suite);
       ("csp", Test_csp.suite);
       ("reductions", Test_reductions.suite);
       ("finegrained", Test_finegrained.suite);

@@ -237,6 +237,42 @@ let test_tabulate () =
     let lines = String.split_on_char '\n' s in
     List.length lines >= 4)
 
+(* --- Pool: the Domain work-queue behind the parallel join driver --- *)
+
+let test_pool_covers_all_chunks () =
+  Lb_util.Pool.with_pool 4 (fun p ->
+      let hits = Array.make 97 0 in
+      let m = Mutex.create () in
+      Lb_util.Pool.run p ~chunks:97 (fun i ->
+          Mutex.lock m;
+          hits.(i) <- hits.(i) + 1;
+          Mutex.unlock m);
+      Array.iteri
+        (fun i h ->
+          check Alcotest.int (Printf.sprintf "chunk %d ran once" i) 1 h)
+        hits)
+
+let test_pool_reraises () =
+  Lb_util.Pool.with_pool 2 (fun p ->
+      (match
+         Lb_util.Pool.run p ~chunks:16 (fun i ->
+             if i = 7 then failwith "chunk 7")
+       with
+      | () -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> check Alcotest.string "message" "chunk 7" msg);
+      (* the pool must still be usable after a failed job *)
+      let total = Atomic.make 0 in
+      Lb_util.Pool.run p ~chunks:10 (fun i ->
+          ignore (Atomic.fetch_and_add total i));
+      check Alcotest.int "sum after failure" 45 (Atomic.get total))
+
+let test_pool_size_one_inline () =
+  Lb_util.Pool.with_pool 1 (fun p ->
+      check Alcotest.int "size" 1 (Lb_util.Pool.size p);
+      let seen = ref [] in
+      Lb_util.Pool.run p ~chunks:5 (fun i -> seen := i :: !seen);
+      check Alcotest.(list int) "inline, in order" [ 4; 3; 2; 1; 0 ] !seen)
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -268,4 +304,9 @@ let suite =
     Alcotest.test_case "rows intersect" `Quick test_rows_intersect;
     Alcotest.test_case "find subset" `Quick test_find_subset;
     Alcotest.test_case "tabulate" `Quick test_tabulate;
+    Alcotest.test_case "pool covers all chunks" `Quick
+      test_pool_covers_all_chunks;
+    Alcotest.test_case "pool re-raises chunk failure" `Quick test_pool_reraises;
+    Alcotest.test_case "pool of one runs inline" `Quick
+      test_pool_size_one_inline;
   ]
