@@ -23,6 +23,7 @@ let orders =
 
 let run () =
   let rows = ref [] in
+  let inters_total = ref 0 in
   List.iter
     (fun n ->
       let db = Agm.worst_case_database cycle4 ~n in
@@ -35,6 +36,7 @@ let run () =
                 count := Gj.count ~order ~counters:(Gj.fresh_counters ()) db cycle4)
           in
           ignore (Gj.count ~order ~counters db cycle4);
+          inters_total := !inters_total + counters.Gj.intersections;
           rows :=
             [
               string_of_int n;
@@ -46,6 +48,7 @@ let run () =
             :: !rows)
         orders)
     (Harness.sizes [ 64; 256 ]);
+  Harness.counter "A1.intersections_total" !inters_total;
   Harness.table
     [ "N"; "variable order"; "|answer|"; "intersections"; "time" ]
     (List.rev !rows);

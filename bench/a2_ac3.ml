@@ -38,9 +38,10 @@ let instance rng n k =
 
 let run () =
   let rows = ref [] in
+  let nodes_on = ref 0 and nodes_off = ref 0 in
   List.iter
     (fun (n, k) ->
-      let rng = Prng.create (n + k) in
+      let rng = Harness.rng (n + k) in
       let csp = instance rng n k in
       let s_on = Solver.fresh_stats () in
       let r_on = ref None in
@@ -55,6 +56,8 @@ let run () =
             r_off := Solver.solve ~stats:s_off ~use_ac3:false csp)
       in
       assert ((!r_on <> None) = (!r_off <> None));
+      nodes_on := !nodes_on + s_on.Solver.nodes;
+      nodes_off := !nodes_off + s_off.Solver.nodes;
       rows :=
         [
           string_of_int n;
@@ -65,6 +68,8 @@ let run () =
         ]
         :: !rows)
     (Harness.sizes [ (40, 2); (80, 2); (40, 3); (80, 3) ]);
+  Harness.counter "A2.nodes_with_ac3" !nodes_on;
+  Harness.counter "A2.nodes_without_ac3" !nodes_off;
   Harness.table
     [ "|V|"; "ktree width"; "with AC-3"; "without AC-3"; "satisfiable" ]
     (List.rev !rows);

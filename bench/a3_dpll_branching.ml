@@ -12,10 +12,11 @@ module Prng = Lb_util.Prng
 
 let run () =
   let rows = ref [] in
+  let dec_maxocc = ref 0 and dec_first = ref 0 in
   List.iter
     (fun n ->
       let m = int_of_float (4.8 *. float_of_int n) in
-      let rng = Prng.create (n * 3) in
+      let rng = Harness.rng (n * 3) in
       let f = Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:3 in
       let s1 = Dpll.fresh_stats () in
       let r1 = ref None in
@@ -30,6 +31,8 @@ let run () =
             r2 := Dpll.solve ~stats:s2 ~branching:Dpll.First_unassigned f)
       in
       assert ((!r1 <> None) = (!r2 <> None));
+      dec_maxocc := !dec_maxocc + (s1.Dpll.decisions / 3);
+      dec_first := !dec_first + (s2.Dpll.decisions / 3);
       rows :=
         [
           string_of_int n;
@@ -41,6 +44,8 @@ let run () =
         ]
         :: !rows)
     (Harness.sizes [ 30; 40; 50 ]);
+  Harness.counter "A3.decisions_max_occurrence" !dec_maxocc;
+  Harness.counter "A3.decisions_first_unassigned" !dec_first;
   Harness.table
     [
       "n";

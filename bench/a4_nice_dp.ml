@@ -10,9 +10,10 @@ module Prng = Lb_util.Prng
 
 let run () =
   let rows = ref [] in
+  let mtr = Lb_util.Metrics.create () in
   List.iter
     (fun (nvars, width, d) ->
-      let rng = Prng.create (nvars + d) in
+      let rng = Harness.rng (nvars + d) in
       let csp, g, _ =
         Gen.bounded_treewidth rng ~nvars ~width ~domain_size:d ~density:0.4
           ~plant:true
@@ -22,11 +23,11 @@ let run () =
       let c1 = ref 0 and c2 = ref 0 in
       let t_direct =
         Harness.median_time 3 (fun () ->
-            c1 := Lb_csp.Freuder.count ~decomposition:td csp)
+            c1 := Lb_csp.Freuder.count ~decomposition:td ~metrics:mtr csp)
       in
       let t_nice =
         Harness.median_time 3 (fun () ->
-            c2 := Lb_csp.Freuder_nice.count ~decomposition:td csp)
+            c2 := Lb_csp.Freuder_nice.count ~decomposition:td ~metrics:mtr csp)
       in
       assert (!c1 = !c2);
       rows :=
@@ -39,6 +40,7 @@ let run () =
         ]
         :: !rows)
     (Harness.sizes [ (30, 2, 8); (30, 2, 24); (30, 3, 8); (60, 2, 16) ]);
+  Harness.counters_of_metrics "A4" mtr;
   Harness.table
     [ "|V|"; "width"; "|D|"; "direct DP (Freuder)"; "nice-form DP" ]
     (List.rev !rows);

@@ -23,6 +23,7 @@ let queries =
 let run () =
   let rows = ref [] in
   let ok = ref true in
+  let total_answer = ref 0 in
   List.iter
     (fun (name, q, ns) ->
       let rho = Option.get (Agm.rho_star q) in
@@ -31,6 +32,7 @@ let run () =
           let db = Agm.worst_case_database q ~n in
           let nmax = Db.max_cardinality db in
           let answer = Gj.count db q in
+          total_answer := !total_answer + answer;
           let bound = float_of_int nmax ** rho in
           let exponent =
             if nmax > 1 then log (float_of_int answer) /. log (float_of_int nmax)
@@ -50,6 +52,7 @@ let run () =
             :: !rows)
         (Harness.sizes ns))
     queries;
+  Harness.counter "E1.answer_total" !total_answer;
   Harness.table
     [ "query"; "N(target)"; "N(actual)"; "rho*"; "|answer|"; "N^rho*"; "exponent" ]
     (List.rev !rows);

@@ -91,7 +91,13 @@ let run () =
         Harness.metric "E2.generic_join_4dom.seconds" gj4_t;
         Harness.metric "E2.leapfrog_4dom.seconds" lf4_t;
         Harness.metric "E2.N" (float_of_int n);
-        Harness.metric "E2.answer" (float_of_int answer)
+        (* deterministic work counters for the same instance *)
+        let m = Lb_util.Metrics.create () in
+        let gc = Gj.fresh_counters () and lc = Lf.fresh_counters () in
+        ignore (Gj.count ~counters:gc ~metrics:m db triangle);
+        ignore (Lf.count ~counters:lc ~metrics:m db triangle);
+        Harness.counter "E2.answer" answer;
+        Harness.counters_of_metrics "E2" m
       end;
       let (_, best_stats), bp_t =
         Harness.time (fun () -> Bp.best_order db triangle)

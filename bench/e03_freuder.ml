@@ -9,8 +9,8 @@ module Gen = Lb_csp.Generators
 module Freuder = Lb_csp.Freuder
 module Prng = Lb_util.Prng
 
-let bench_domain_sweep width domains nvars =
-  let rng = Prng.create (1000 + width) in
+let bench_domain_sweep m width domains nvars =
+  let rng = Harness.rng (1000 + width) in
   List.map
     (fun d ->
       let csp, g, _ =
@@ -22,7 +22,7 @@ let bench_domain_sweep width domains nvars =
       let _, order = Lb_graph.Treewidth.heuristic_upper_bound g in
       let td = Lb_graph.Tree_decomposition.of_elimination_order g order in
       let count, t =
-        Harness.time (fun () -> Freuder.count ~decomposition:td csp)
+        Harness.time (fun () -> Freuder.count ~decomposition:td ~metrics:m csp)
       in
       (d, count, t))
     domains
@@ -39,9 +39,10 @@ let run () =
   in
   let rows = ref [] in
   let verdict_parts = ref [] in
+  let m = Lb_util.Metrics.create () in
   List.iter
     (fun (width, domains) ->
-      let results = bench_domain_sweep width domains nvars in
+      let results = bench_domain_sweep m width domains nvars in
       List.iter
         (fun (d, count, t) ->
           rows :=
@@ -61,11 +62,12 @@ let run () =
         Printf.sprintf "width %d: time ~ D^%.2f (claim <= %d)" width e (width + 1)
         :: !verdict_parts)
     specs;
+  Harness.counters_of_metrics "E3" m;
   Harness.table
     [ "width k"; "|V|"; "|D|"; "satisfiable"; "Freuder time" ]
     (List.rev !rows);
   (* |V| sweep at width 2, D = 8 *)
-  let rng = Prng.create 77 in
+  let rng = Harness.rng 77 in
   let nv_results =
     List.map
       (fun nv ->

@@ -19,14 +19,15 @@ let instance rng g d =
 
 let run () =
   let d = 8 in
-  let rng = Prng.create 2024 in
+  let rng = Harness.rng 2024 in
   let rows = ref [] in
+  let m = Lb_util.Metrics.create () in
   (* paths with growing length *)
   let path_times =
     List.map
       (fun n ->
         let csp = instance rng (Graph_gen.path n) d in
-        let _, t = Harness.time (fun () -> Freuder.solvable csp) in
+        let _, t = Harness.time (fun () -> Freuder.solvable ~metrics:m csp) in
         (n, t))
       (Harness.sizes [ 8; 16; 32; 64 ])
   in
@@ -39,7 +40,7 @@ let run () =
     List.map
       (fun k ->
         let csp = instance rng (Graph_gen.clique k) d in
-        let _, t = Harness.time (fun () -> Freuder.solvable csp) in
+        let _, t = Harness.time (fun () -> Freuder.solvable ~metrics:m csp) in
         (k, t))
       (* kept full even under --smoke: the exponential-vs-flat verdict
          needs the clique family to reach its blow-up regime, and the
@@ -52,6 +53,7 @@ let run () =
         [ "clique"; string_of_int k; string_of_int (k - 1); string_of_int d; Harness.secs t ]
         :: !rows)
     clique_times;
+  Harness.counters_of_metrics "E4" m;
   Harness.table
     [ "family"; "|V|"; "treewidth"; "|D|"; "solve time" ]
     (List.rev !rows);

@@ -55,14 +55,16 @@ let special_instance rng k d =
 let run () =
   let d = 12 in
   let rows = ref [] in
+  let nsat = ref 0 in
   let results =
     List.map
       (fun k ->
-        let rng = Prng.create (500 + k) in
+        let rng = Harness.rng (500 + k) in
         let csp = special_instance rng k d in
         let nvars = Csp.nvars csp in
         let sat = ref false in
         let t = Harness.median_time 3 (fun () -> sat := Special.solve csp <> None) in
+        if !sat then incr nsat;
         rows :=
           [
             string_of_int k;
@@ -76,6 +78,7 @@ let run () =
         (k, t))
       (Harness.sizes [ 2; 3; 4; 5 ])
   in
+  Harness.counter "E5.satisfiable_instances" !nsat;
   Harness.table
     [ "k"; "|V| = k + 2^k"; "|D|"; "satisfiable"; "solve time"; "|D|^k" ]
     (List.rev !rows);

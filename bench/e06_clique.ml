@@ -14,14 +14,16 @@ module Prng = Lb_util.Prng
 let run () =
   let rows = ref [] in
   let fits = ref [] in
+  let total_cliques = ref 0 in
   List.iter
     (fun (k, ns) ->
       let results =
         List.map
           (fun n ->
-            let g = Gen.gnp (Prng.create (n + (1000 * k))) n 0.5 in
+            let g = Gen.gnp (Harness.rng (n + (1000 * k))) n 0.5 in
             let count = ref 0 in
             let t = Harness.median_time 3 (fun () -> count := Clique.count_cliques g k) in
+            total_cliques := !total_cliques + !count;
             rows :=
               [
                 string_of_int k;
@@ -37,6 +39,7 @@ let run () =
       let ys = Array.of_list (List.map snd results) in
       fits := (k, Harness.fit_power xs ys) :: !fits)
     [ (3, Harness.sizes [ 64; 128; 256; 512 ]); (4, Harness.sizes [ 32; 64; 128; 192 ]) ];
+  Harness.counter "E6.cliques_total" !total_cliques;
   Harness.table [ "k"; "n"; "#k-cliques"; "enumeration time" ] (List.rev !rows);
   print_newline ();
   (* Detection race, k = 6, on complete 5-partite (Turan) graphs: dense,

@@ -16,11 +16,12 @@ module Prng = Lb_util.Prng
 let hard_graph seed n =
   (* sparse-ish random graphs need larger dominating sets, keeping the
      k-subset scan honest *)
-  Gen.gnp (Prng.create seed) n 0.08
+  Gen.gnp (Harness.rng seed) n 0.08
 
 let run () =
   let rows = ref [] in
   let fits = ref [] in
+  let found_total = ref 0 in
   List.iter
     (fun (k, ns) ->
       let results =
@@ -31,6 +32,7 @@ let run () =
             let t =
               Harness.median_time 3 (fun () -> found := Ds.solve_bruteforce g k)
             in
+            if !found <> None then incr found_total;
             rows :=
               [
                 string_of_int k;
@@ -48,18 +50,21 @@ let run () =
     [ (2, Harness.sizes [ 100; 200; 400; 800 ]); (3, Harness.sizes [ 50; 100; 150; 200 ]) ];
   Harness.table [ "k"; "n"; "k-domset exists"; "brute-force time" ] (List.rev !rows);
   print_newline ();
+  Harness.counter "E7.domsets_found" !found_total;
   (* the Theorem 7.2 reduction *)
   let red_rows = ref [] in
+  let m = Lb_util.Metrics.create () in
   List.iter
     (fun (t_target, g_group) ->
-      let graph = Gen.gnp (Prng.create 5) 9 0.25 in
+      let graph = Gen.gnp (Harness.rng 5) 9 0.25 in
       let layout = Red.reduce graph ~t:t_target ~g:g_group in
       let csp = layout.Red.csp in
       let primal = Lb_csp.Csp.primal_graph csp in
       let tw, _ = Lb_graph.Treewidth.exact primal in
       let csp_answer = ref None in
       let time_csp =
-        Harness.median_time 3 (fun () -> csp_answer := Lb_csp.Solver.solve csp)
+        Harness.median_time 3 (fun () ->
+            csp_answer := Lb_csp.Solver.solve ~metrics:m csp)
       in
       let brute = Ds.solve_bruteforce graph t_target in
       let agree = (!csp_answer <> None) = (brute <> None) in
@@ -80,6 +85,7 @@ let run () =
         ]
         :: !red_rows)
     (Harness.sizes [ (2, 1); (2, 2); (3, 1) ]);
+  Harness.counters_of_metrics "E7" m;
   Harness.table
     [ "t"; "group g"; "CSP |V|"; "CSP |D|"; "primal tw"; "answers agree"; "CSP solve" ]
     (List.rev !red_rows);

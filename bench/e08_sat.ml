@@ -22,6 +22,7 @@ let ratio = 4.8
 let run () =
   (* exponential family: random 3SAT at the transition *)
   let rows = ref [] in
+  let mtr = Lb_util.Metrics.create () in
   let results =
     List.map
       (fun n ->
@@ -29,11 +30,13 @@ let run () =
         (* median over 3 instances *)
         let times =
           List.init 3 (fun i ->
-              let rng = Prng.create ((n * 17) + i) in
+              let rng = Harness.rng ((n * 17) + i) in
               let f = Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:3 in
               let stats = Dpll.fresh_stats () in
               let sat = ref None in
-              let _, t = Harness.time (fun () -> sat := Dpll.solve ~stats f) in
+              let _, t =
+                Harness.time (fun () -> sat := Dpll.solve ~stats ~metrics:mtr f)
+              in
               (t, stats.Dpll.decisions, !sat <> None))
         in
         let sorted = List.sort compare times in
@@ -50,6 +53,7 @@ let run () =
         (float_of_int n, t))
       (Harness.sizes [ 40; 60; 80; 100; 120 ])
   in
+  Harness.counters_of_metrics "E8" mtr;
   Harness.table
     [ "n"; "m (ratio 4.8)"; "satisfiable"; "DPLL decisions"; "median time" ]
     (List.rev !rows);
@@ -61,7 +65,7 @@ let run () =
   let poly_rows = ref [] in
   List.iter
     (fun n ->
-      let rng = Prng.create (3 * n) in
+      let rng = Harness.rng (3 * n) in
       (* 2SAT *)
       let f2 = Cnf.random_ksat rng ~nvars:n ~nclauses:(2 * n) ~k:2 in
       let _, t2 = Harness.time (fun () -> ignore (Sys.opaque_identity (Two_sat.solve f2))) in

@@ -11,14 +11,16 @@ module Prng = Lb_util.Prng
 
 let run () =
   let rows = ref [] in
+  let dist_total = ref 0 in
   let results =
     List.map
       (fun n ->
-        let rng = Prng.create n in
+        let rng = Harness.rng n in
         let a = Ed.random_string rng n 4 in
         let b = Ed.random_string rng n 4 in
         let d = ref 0 in
         let t = Harness.median_time 3 (fun () -> d := Ed.quadratic a b) in
+        dist_total := !dist_total + !d;
         (* banded run on a pair with small true distance *)
         let a2, b2 = Ed.mutated_pair rng n 4 8 in
         let tb = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Ed.banded a2 b2 ~band:16))) in
@@ -37,6 +39,7 @@ let run () =
         (float_of_int n, t, tb))
       (Harness.sizes [ 500; 1000; 2000; 4000 ])
   in
+  Harness.counter "E9.distance_total" !dist_total;
   Harness.table
     [
       "n";

@@ -50,7 +50,7 @@ let run () =
   let rows = ref [] in
   List.iter
     (fun n ->
-      let rng = Prng.create (n + 3) in
+      let rng = Harness.rng (n + 3) in
       let g = random_bipartite rng n 0.4 in
       let t_naive =
         if n <= 512 then Harness.secs (Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_naive g))))
@@ -80,7 +80,7 @@ let run () =
   let hl_results = ref [] in
   List.iter
     (fun n ->
-      let rng = Prng.create (2 * n) in
+      let rng = Harness.rng (2 * n) in
       let g = random_bipartite rng n (8.0 /. float_of_int n) in
       let m = Graph.edge_count g in
       let t_scan = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Tri.detect_edge_scan g))) in
@@ -111,7 +111,7 @@ let run () =
   let wmax = List.fold_left max 0 wns in
   List.iter
     (fun n ->
-      let rng = Prng.create (n + 3) in
+      let rng = Harness.rng (n + 3) in
       let g = random_bipartite rng n 0.4 in
       let db = triangle_db g in
       let cnt = ref 0 in
@@ -132,7 +132,11 @@ let run () =
         Harness.metric "E10.gj_triangle.seconds" t1;
         Harness.metric "E10.gj_triangle_2dom.seconds" t2;
         Harness.metric "E10.gj_triangle_4dom.seconds" t4;
-        Harness.metric "E10.gj_triangle.n" (float_of_int n)
+        Harness.metric "E10.gj_triangle.n" (float_of_int n);
+        let mtr = Lb_util.Metrics.create () in
+        ignore (Gj.count ~metrics:mtr db triangle_q);
+        Harness.counter "E10.edges" (Graph.edge_count g);
+        Harness.counters_of_metrics "E10" mtr
       end;
       wrows :=
         [

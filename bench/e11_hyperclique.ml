@@ -47,6 +47,7 @@ let edge_db h =
 let run () =
   let rows = ref [] in
   let fits = ref [] in
+  let cliques_total = ref 0 in
   List.iter
     (fun (k, ns) ->
       let q = hyperclique_query k in
@@ -54,7 +55,7 @@ let run () =
       let results =
         List.map
           (fun n ->
-            let rng = Prng.create ((n * 31) + k) in
+            let rng = Harness.rng ((n * 31) + k) in
             let h = H.random_uniform rng n 3 0.5 in
             let found = ref None in
             let t = Harness.median_time 3 (fun () -> found := Hc.find h ~d:3 ~k) in
@@ -65,6 +66,7 @@ let run () =
             in
             (* the join engine and the brute-force search must agree *)
             assert (!cnt > 0 = (!found <> None));
+            cliques_total := !cliques_total + !cnt;
             let gj4_t =
               Pool.with_pool 4 (fun pool ->
                   Harness.median_time 3 (fun () ->
@@ -89,6 +91,7 @@ let run () =
       let ys = Array.of_list (List.map snd results) in
       fits := (k, Harness.fit_power xs ys) :: !fits)
     [ (4, Harness.sizes [ 16; 24; 32; 48 ]); (5, Harness.sizes [ 16; 24; 32 ]) ];
+  Harness.counter "E11.hypercliques_total" !cliques_total;
   Harness.table
     [ "k"; "n"; "#edges"; "found"; "search time"; "#cliques"; "GJ"; "GJ 4 dom" ]
     (List.rev !rows);

@@ -28,18 +28,22 @@ let run () =
   let k = 8 in
   let rows = ref [] in
   let fpt_results = ref [] in
+  let cover_total = ref 0 in
   List.iter
     (fun n ->
-      let rng = Prng.create (n * 3) in
+      let rng = Harness.rng (n * 3) in
       let g = planted_cover_graph rng n k (4 * n) in
       let cover = ref None in
       let t = Harness.median_time 3 (fun () -> cover := Vc.solve_fpt g k) in
       (match !cover with
-      | Some c -> assert (Vc.is_cover g c)
+      | Some c ->
+          assert (Vc.is_cover g c);
+          cover_total := !cover_total + Array.length c
       | None -> assert false);
       fpt_results := (float_of_int n, t) :: !fpt_results;
       rows := [ string_of_int n; string_of_int k; Harness.secs t ] :: !rows)
     (Harness.sizes [ 200; 400; 800; 1600 ]);
+  Harness.counter "E12.cover_vertices_total" !cover_total;
   Printf.printf "FPT branching (k = %d fixed, n growing):\n" k;
   Harness.table [ "n"; "k"; "FPT time" ] (List.rev !rows);
   print_newline ();
@@ -47,7 +51,7 @@ let run () =
   let cmp_rows = ref [] in
   List.iter
     (fun n ->
-      let rng = Prng.create (n * 7) in
+      let rng = Harness.rng (n * 7) in
       let kk = 4 in
       let g = planted_cover_graph rng n kk (3 * n) in
       let t_b = Harness.median_time 3 (fun () -> ignore (Sys.opaque_identity (Vc.solve_bruteforce g kk))) in

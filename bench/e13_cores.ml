@@ -58,9 +58,10 @@ let host rng m p =
   ugraph_structure m !edges
 
 let run () =
-  let rng = Prng.create 11 in
+  let rng = Harness.rng 11 in
   let b = host rng 24 0.35 in
   let rows = ref [] in
+  let core_total = ref 0 in
   List.iter
     (fun (c, p) ->
       let a = decorated_cycle c p in
@@ -74,6 +75,7 @@ let run () =
         Harness.median_time 3 (fun () -> via_core := S.find_homomorphism core_a b)
       in
       assert ((!direct <> None) = (!via_core <> None));
+      core_total := !core_total + S.universe core_a;
       let tw_a, _ = Lb_graph.Treewidth.exact (gaifman a) in
       let tw_core, _ = Lb_graph.Treewidth.exact (gaifman core_a) in
       rows :=
@@ -89,6 +91,7 @@ let run () =
         ]
         :: !rows)
     (Harness.sizes [ (2, 4); (3, 6); (4, 8); (5, 10) ]);
+  Harness.counter "E13.core_universe_total" !core_total;
   Harness.table
     [
       "structure A";

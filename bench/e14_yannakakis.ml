@@ -39,6 +39,7 @@ let doomed_db n =
 let run () =
   let rows = ref [] in
   let yk_results = ref [] and bp_results = ref [] in
+  let yk_inter = ref 0 and bp_inter = ref 0 in
   List.iter
     (fun n ->
       let db = doomed_db n in
@@ -48,6 +49,8 @@ let run () =
       in
       let _, t_gj = Harness.time (fun () -> Gj.count db path_q) in
       assert (R.cardinality answer = 0);
+      yk_inter := max !yk_inter yk_stats.Yk.max_intermediate;
+      bp_inter := max !bp_inter bp_stats.Bp.max_intermediate;
       yk_results := (float_of_int n, t_yk) :: !yk_results;
       bp_results := (float_of_int n, float_of_int bp_stats.Bp.max_intermediate) :: !bp_results;
       rows :=
@@ -61,6 +64,8 @@ let run () =
         ]
         :: !rows)
     (Harness.sizes [ 1024; 4096; 16384 ]);
+  Harness.counter "E14.yannakakis_max_intermediate" !yk_inter;
+  Harness.counter "E14.binary_max_intermediate" !bp_inter;
   Harness.table
     [
       "N";

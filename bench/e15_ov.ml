@@ -14,15 +14,19 @@ module Prng = Lb_util.Prng
 
 let run () =
   let rows = ref [] in
+  let mtr = Lb_util.Metrics.create () in
   let results =
     List.map
       (fun n ->
-        let rng = Prng.create n in
+        let rng = Harness.rng n in
         (* p and d chosen so orthogonal pairs are rare: full quadratic
            work *)
         let inst = Ov.random rng ~n ~dim:64 ~p:0.5 in
         let witness = ref None in
-        let t = Harness.median_time 3 (fun () -> witness := Ov.solve inst) in
+        let t =
+          Harness.median_time 3 (fun () ->
+              witness := Ov.solve ~metrics:mtr inst)
+        in
         rows :=
           [
             string_of_int n;
@@ -34,13 +38,14 @@ let run () =
         (float_of_int n, t))
       (Harness.sizes [ 512; 1024; 2048; 4096 ])
   in
+  Harness.counters_of_metrics "E15" mtr;
   Harness.table [ "n (vectors/side)"; "dim"; "pair found"; "scan time" ] (List.rev !rows);
   print_newline ();
   (* SAT -> OV *)
   let red_rows = ref [] in
   List.iter
     (fun nv ->
-      let rng = Prng.create (nv * 13) in
+      let rng = Harness.rng (nv * 13) in
       let f =
         Cnf.random_ksat rng ~nvars:nv
           ~nclauses:(int_of_float (4.26 *. float_of_int nv))

@@ -46,6 +46,7 @@ let symmetric_worst_case n =
 
 let run () =
   let rows = ref [] in
+  let answer_total = ref 0 in
   let gj_pts = ref [] and fr_pts = ref [] in
   List.iter
     (fun n ->
@@ -60,6 +61,7 @@ let run () =
         |> snd
       in
       assert (!count_gj = !count_fr);
+      answer_total := !answer_total + !count_gj;
       let nonempty = ref false in
       let t_bool =
         Harness.time (fun () -> nonempty := Dj.boolean_answer db cycle6) |> snd
@@ -77,6 +79,7 @@ let run () =
         ]
         :: !rows)
     (Harness.sizes [ 16; 64; 144 ]);
+  Harness.counter "E16.answer_total" !answer_total;
   Harness.table
     [
       "N";

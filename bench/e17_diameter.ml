@@ -19,10 +19,11 @@ let connected_sparse rng n =
 
 let run () =
   let rows = ref [] in
+  let diam_total = ref 0 in
   let exact_pts = ref [] and approx_pts = ref [] in
   List.iter
     (fun n ->
-      let rng = Prng.create (n + 1) in
+      let rng = Harness.rng (n + 1) in
       let g = connected_sparse rng n in
       let d_exact = ref None in
       let t_exact = Harness.time (fun () -> d_exact := Dist.diameter g) |> snd in
@@ -32,6 +33,7 @@ let run () =
       in
       let de = Option.get !d_exact and da = Option.get !d_apx in
       assert (da <= de && de <= 2 * da);
+      diam_total := !diam_total + de;
       exact_pts := (float_of_int n, t_exact) :: !exact_pts;
       approx_pts := (float_of_int n, t_apx) :: !approx_pts;
       rows :=
@@ -45,6 +47,7 @@ let run () =
         ]
         :: !rows)
     (Harness.sizes [ 500; 1000; 2000 ]);
+  Harness.counter "E17.diameter_total" !diam_total;
   Harness.table
     [ "n"; "m ~ 3n"; "diameter"; "exact (n BFS)"; "1-BFS estimate"; "approx time" ]
     (List.rev !rows);
@@ -53,7 +56,7 @@ let run () =
   let red_rows = ref [] in
   List.iter
     (fun nv ->
-      let rng = Prng.create (nv * 7) in
+      let rng = Harness.rng (nv * 7) in
       let inst = Lb_finegrained.Ov.random rng ~n:nv ~dim:32 ~p:0.5 in
       let ov_answer = Lb_finegrained.Ov.solve inst <> None in
       let via = ref false in

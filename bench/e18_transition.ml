@@ -14,6 +14,7 @@ let run () =
   let n = 60 in
   let per_ratio = 9 in
   let rows = ref [] in
+  let decisions_total = ref 0 in
   let peak = ref (0.0, 0.0) in
   (* smoke keeps the first three ratios, so list them easy / critical /
      easy and sort for display: the verdict still sees the peak at 4.3 *)
@@ -28,7 +29,7 @@ let run () =
       let times = ref [] in
       let decisions = ref 0 in
       for i = 1 to per_ratio do
-        let rng = Prng.create ((int_of_float (ratio *. 100.0) * 131) + i) in
+        let rng = Harness.rng ((int_of_float (ratio *. 100.0) * 131) + i) in
         let f = Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k:3 in
         let stats = Dpll.fresh_stats () in
         let r, t = Lb_util.Stopwatch.time (fun () -> Dpll.solve ~stats f) in
@@ -36,6 +37,7 @@ let run () =
         times := t :: !times;
         decisions := !decisions + stats.Dpll.decisions
       done;
+      decisions_total := !decisions_total + !decisions;
       let median =
         List.nth (List.sort compare !times) (per_ratio / 2)
       in
@@ -50,6 +52,7 @@ let run () =
         ]
         :: !rows)
     ratios;
+  Harness.counter "E18.dpll_decisions_total" !decisions_total;
   Printf.printf "random 3SAT at n = %d, %d instances per ratio:\n" n per_ratio;
   Harness.table
     [ "m/n"; "m"; "satisfiable"; "avg decisions"; "median DPLL time" ]

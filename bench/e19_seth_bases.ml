@@ -23,6 +23,7 @@ let specs =
 
 let run () =
   let rows = ref [] in
+  let mtr = Lb_util.Metrics.create () in
   let bases = ref [] in
   List.iter
     (fun (k, ratio, ns) ->
@@ -32,9 +33,11 @@ let run () =
             let m = int_of_float (ratio *. float_of_int n) in
             let times =
               List.init 3 (fun i ->
-                  let rng = Prng.create ((n * 37) + (k * 1009) + i) in
+                  let rng = Harness.rng ((n * 37) + (k * 1009) + i) in
                   let f = Cnf.random_ksat rng ~nvars:n ~nclauses:m ~k in
-                  snd (Lb_util.Stopwatch.time (fun () -> Dpll.solve f)))
+                  snd
+                    (Lb_util.Stopwatch.time (fun () ->
+                         Dpll.solve ~metrics:mtr f)))
             in
             let median = List.nth (List.sort compare times) 1 in
             rows :=
@@ -52,6 +55,7 @@ let run () =
       let ys = Array.of_list (List.map snd pts) in
       bases := (k, Harness.fit_exponential xs ys) :: !bases)
     specs;
+  Harness.counters_of_metrics "E19" mtr;
   Harness.table [ "k"; "n"; "m"; "median DPLL time" ] (List.rev !rows);
   let bases = List.rev !bases in
   print_newline ();

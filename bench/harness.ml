@@ -35,21 +35,57 @@ let rec take k = function
    entries (2 by default - the growth-fit code needs two points). *)
 let sizes ?(keep = 2) xs = if !smoke then take keep xs else xs
 
+(* --- reproducible randomness ---
+
+   Every experiment derives its generators from one global seed
+   ([--seed], default 1) so that two runs with the same seed produce
+   bit-identical workloads.  [rng salt] mixes the salt into the seed so
+   distinct call sites get independent streams that don't collapse when
+   the seed changes by 1. *)
+
+let seed = ref 1
+
+let rng salt =
+  Lb_util.Prng.create ((!seed * 0x2545F4914F6CDD1D) lxor (salt * 0x9E3779B9))
+
 (* --- named metrics, dumped as JSON by [--bench-json] for trajectory
-   tracking across PRs --- *)
+   tracking across PRs ---
+
+   Two kinds: [metric] records wall-clock derived floats (timings, fitted
+   exponents - nondeterministic run to run); [counter] records
+   deterministic integers (solver tick/work counters - identical across
+   runs with the same seed).  [--counters-only] suppresses the float
+   kind, making the JSON byte-identical for a fixed seed. *)
 
 let metrics : (string * float) list ref = ref []
 
-let metric name v = metrics := (name, v) :: !metrics
+let counters : (string * int) list ref = ref []
+
+let counters_only = ref false
+
+let metric name v = if not !counters_only then metrics := (name, v) :: !metrics
+
+let counter name v = counters := (name, v) :: !counters
+
+(* Record every counter of a metrics sink under [prefix]. *)
+let counters_of_metrics prefix m =
+  List.iter
+    (fun (k, v) -> counter (prefix ^ "." ^ k) v)
+    (Lb_util.Metrics.counters m)
 
 let metrics_to_file path =
   let oc = open_out path in
-  let items = List.rev !metrics in
+  let floats = List.rev_map (fun (k, v) -> (k, `F v)) !metrics in
+  let ints = List.rev_map (fun (k, v) -> (k, `I v)) !counters in
+  let items = floats @ ints in
   let n = List.length items in
   output_string oc "{\n";
   List.iteri
     (fun i (k, v) ->
-      Printf.fprintf oc "  %S: %.9f%s\n" k v (if i < n - 1 then "," else ""))
+      let sep = if i < n - 1 then "," else "" in
+      match v with
+      | `F v -> Printf.fprintf oc "  %S: %.9f%s\n" k v sep
+      | `I v -> Printf.fprintf oc "  %S: %d%s\n" k v sep)
     items;
   output_string oc "}\n";
   close_out oc

@@ -47,9 +47,15 @@ let () =
       ("--list", Arg.Set list_only, " list experiments");
       ("--micro", Arg.Set micro, " also run the Bechamel micro suite");
       ("--smoke", Arg.Set Harness.smoke, " run every experiment at tiny sizes");
+      ( "--seed",
+        Arg.Set_int Harness.seed,
+        "N master seed for every workload generator (default 1)" );
+      ( "--counters-only",
+        Arg.Set Harness.counters_only,
+        " record only deterministic counters (byte-identical JSON per seed)" );
       ( "--bench-json",
         Arg.Set_string bench_json,
-        "FILE write recorded timing metrics as JSON" );
+        "FILE write recorded timing metrics and counters as JSON" );
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))

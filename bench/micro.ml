@@ -13,7 +13,7 @@ module Prng = Lb_util.Prng
 let triangle = Q.parse "R(a,b), S(b,c), T(a,c)"
 
 let triangle_db n =
-  let rng = Prng.create 42 in
+  let rng = Harness.rng 42 in
   let bin () =
     let tuples = ref [] in
     for _ = 1 to n do
@@ -31,7 +31,7 @@ let triangle_db n =
 let tests () =
   let db = triangle_db 2048 in
   let wc_db = Lb_relalg.Agm.worst_case_database triangle ~n:1024 in
-  let rng = Prng.create 7 in
+  let rng = Harness.rng 7 in
   let sat = Lb_sat.Cnf.random_ksat rng ~nvars:20 ~nclauses:85 ~k:3 in
   let sat2 = Lb_sat.Cnf.random_ksat rng ~nvars:2000 ~nclauses:4000 ~k:2 in
   let csp, g, _ =
@@ -40,7 +40,7 @@ let tests () =
   in
   let _, order = Lb_graph.Treewidth.heuristic_upper_bound g in
   let td = Lb_graph.Tree_decomposition.of_elimination_order g order in
-  let dense = Lb_graph.Generators.gnp (Prng.create 5) 256 0.3 in
+  let dense = Lb_graph.Generators.gnp (Harness.rng 5) 256 0.3 in
   let a_str = Lb_finegrained.Edit_distance.random_string rng 512 4 in
   let b_str = Lb_finegrained.Edit_distance.random_string rng 512 4 in
   [
@@ -75,7 +75,7 @@ let tests () =
       (Staged.stage
          (let pq = Q.parse "R(a,b), S(b,c), T(c,d)" in
           let pdb =
-            let rng = Prng.create 21 in
+            let rng = Harness.rng 21 in
             let bin () =
               List.init 2048 (fun _ ->
                   [| Prng.int rng 64; Prng.int rng 64 |])
@@ -105,7 +105,7 @@ let tests () =
           fun () -> Lb_graph.Treewidth.exact petersen));
     Test.make ~name:"schaefer/bijunctive-solve-n50"
       (Staged.stage
-         (let rng2 = Prng.create 33 in
+         (let rng2 = Harness.rng 33 in
           let r_or =
             Lb_sat.Schaefer.relation_of_pred 2 (fun t -> t.(0) || t.(1))
           in
@@ -124,7 +124,7 @@ let tests () =
     Test.make ~name:"gauss/n400-m200"
       (Staged.stage
          (let sx =
-            Lb_sat.Gauss.random (Prng.create 8) ~nvars:400 ~nequations:200
+            Lb_sat.Gauss.random (Harness.rng 8) ~nvars:400 ~nequations:200
               ~width:3
           in
           fun () -> Lb_sat.Gauss.solve sx));

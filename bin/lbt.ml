@@ -242,7 +242,18 @@ let sat_cmd =
     let doc = "DIMACS CNF file ('-' for stdin)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
+  let timeout_arg =
+    let doc =
+      "Wall-clock budget in seconds; when it expires the solver stops \
+       cooperatively and the answer is reported as UNKNOWN (exit 3)."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Print run metrics (decisions, propagations, ...) as JSON." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let run file timeout show_metrics =
     let read_all ic =
       let buf = Buffer.create 4096 in
       (try
@@ -274,32 +285,53 @@ let sat_cmd =
           (Lb_sat.Cnf.nvars f)
           (Lb_sat.Cnf.clause_count f)
           widths;
+        let budget =
+          Option.map (fun s -> Lb_util.Budget.create ~seconds:s ()) timeout
+        in
+        let metrics =
+          if show_metrics then Lb_util.Metrics.create ()
+          else Lb_util.Metrics.disabled
+        in
         let answer =
           if widths <= 2 && List.for_all (fun c -> Array.length c >= 1) (Lb_sat.Cnf.clauses f)
           then begin
             Printf.printf "c dispatching to linear-time 2SAT\n";
-            Lb_sat.Two_sat.solve f
+            Lb_util.Budget.Done (Lb_sat.Two_sat.solve f)
           end
           else begin
             Printf.printf "c dispatching to DPLL\n";
-            Lb_sat.Dpll.solve f
+            Lb_util.Budget.protect (fun () ->
+                Lb_sat.Dpll.solve ?budget ~metrics f)
           end
         in
+        let emit_metrics () =
+          if show_metrics then
+            Printf.printf "c metrics %s\n" (Lb_util.Metrics.to_json metrics)
+        in
         match answer with
-        | Some a ->
+        | Lb_util.Budget.Done (Some a) ->
             print_endline "s SATISFIABLE";
             let lits =
               List.init (Array.length a) (fun v ->
                   string_of_int (if a.(v) then v + 1 else -(v + 1)))
             in
             Printf.printf "v %s 0\n" (String.concat " " lits);
+            emit_metrics ();
             0
-        | None ->
+        | Lb_util.Budget.Done None ->
             print_endline "s UNSATISFIABLE";
-            0)
+            emit_metrics ();
+            0
+        | Lb_util.Budget.Exhausted e ->
+            Printf.printf "c %s\n" (Lb_util.Budget.describe e);
+            print_endline "s UNKNOWN";
+            emit_metrics ();
+            3)
   in
   let doc = "Solve a DIMACS CNF file (2SAT fast path, DPLL otherwise)." in
-  Cmd.v (Cmd.info "sat" ~doc) Term.(const run $ file_arg)
+  Cmd.v
+    (Cmd.info "sat" ~doc)
+    Term.(const run $ file_arg $ timeout_arg $ metrics_arg)
 
 let () =
   let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in

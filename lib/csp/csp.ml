@@ -88,7 +88,10 @@ let hypergraph t =
 (* Exhaustive search in variable order 0..n-1, checking each constraint
    as soon as its last scope variable is assigned.  Worst case
    |D|^{|V|}; the early checks only prune, never skip, assignments. *)
-let solve_bruteforce t =
+let solve_bruteforce ?budget t =
+  let tick () =
+    match budget with Some b -> Lb_util.Budget.tick b | None -> ()
+  in
   let n = t.nvars in
   let by_last = Array.make (max n 1) [] in
   let indexed =
@@ -120,6 +123,7 @@ let solve_bruteforce t =
         let rec try_value d =
           if d = t.domain_size then false
           else begin
+            tick ();
             a.(v) <- d;
             let ok =
               List.for_all
@@ -136,9 +140,13 @@ let solve_bruteforce t =
     if go 0 then Some (Array.copy a) else None
   end
 
-let count_bruteforce t =
+let count_bruteforce ?budget t =
+  let tick () =
+    match budget with Some b -> Lb_util.Budget.tick b | None -> ()
+  in
   let count = ref 0 in
   Lb_util.Combinat.iter_tuples t.domain_size t.nvars (fun a ->
+      tick ();
       if List.for_all (fun c -> constraint_satisfied c a) t.constraints then
         incr count);
   !count

@@ -40,10 +40,13 @@ val primal_graph : t -> Lb_graph.Graph.t
 val hypergraph : t -> Lb_hypergraph.Hypergraph.t
 
 (** Exhaustive search in variable order with early constraint checking;
-    worst case [|D|^{|V|}].  The baseline of Sections 5-7. *)
-val solve_bruteforce : t -> int array option
+    worst case [|D|^{|V|}].  The baseline of Sections 5-7.  Ticks
+    [budget] once per value attempt (raising
+    {!Lb_util.Budget.Budget_exhausted} when spent). *)
+val solve_bruteforce : ?budget:Lb_util.Budget.t -> t -> int array option
 
-(** Exhaustive solution count (tests only). *)
-val count_bruteforce : t -> int
+(** Exhaustive solution count (tests only); ticks [budget] once per
+    assignment. *)
+val count_bruteforce : ?budget:Lb_util.Budget.t -> t -> int
 
 val pp : Format.formatter -> t -> unit

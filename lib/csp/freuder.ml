@@ -12,6 +12,8 @@
    The exponent k+1 is exactly what experiment E3 fits against |D|. *)
 
 module Td = Lb_graph.Tree_decomposition
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
 
 (* Solution counts can exceed the int range (|D|^{|V|} combinations);
    saturate at [count_cap] so decisions ("count > 0") stay correct and
@@ -71,7 +73,11 @@ let separator_positions bag parent_bag =
     bag;
   Array.of_list (List.rev !ps)
 
-let run ?decomposition (csp : Csp.t) =
+let run ?decomposition ?budget ?(metrics = Metrics.disabled) (csp : Csp.t) =
+  (* ticked once per enumerated bag assignment - the |D|^{k+1} unit of
+     Theorem 4.2's cost accounting *)
+  let tick () = match budget with Some b -> Budget.tick b | None -> () in
+  let enumerated = ref 0 in
   let td = match decomposition with Some t -> t | None -> decompose csp in
   let bags = Td.bags td in
   let nb = Array.length bags in
@@ -93,6 +99,10 @@ let run ?decomposition (csp : Csp.t) =
     agg
   in
   (* process bags children-first (reverse preorder) *)
+  Fun.protect ~finally:(fun () ->
+      Metrics.add metrics "freuder.bags" nb;
+      Metrics.add metrics "freuder.bag_assignments" !enumerated)
+  @@ fun () ->
   for oi = nb - 1 downto 0 do
     let b = order.(oi) in
     let bag = bags.(b) in
@@ -142,6 +152,8 @@ let run ?decomposition (csp : Csp.t) =
     let assignment = Array.make k 0 in
     let rec enumerate i =
       if i = k then begin
+        tick ();
+        incr enumerated;
         let ok =
           List.for_all
             (fun (allowed_set, pos) ->
@@ -184,23 +196,25 @@ let run ?decomposition (csp : Csp.t) =
    variable may appear in several children of one bag; the decomposition
    property forces it into the bag itself, hence into both separators,
    so it is never double-counted. *)
-let count ?decomposition (csp : Csp.t) =
+let count ?decomposition ?budget ?metrics (csp : Csp.t) =
   if Csp.nvars csp = 0 then
     (if Csp.constraints csp = [] then 1 else if List.for_all (fun (c : Csp.constraint_) -> c.allowed <> []) (Csp.constraints csp) then 1 else 0)
   else begin
-    let t = run ?decomposition csp in
+    let t = run ?decomposition ?budget ?metrics csp in
     let root = t.order.(0) in
     Hashtbl.fold (fun _ c acc -> sat_add acc c) t.bag_tables.(root) 0
   end
 
-let solvable ?decomposition csp = count ?decomposition csp > 0
+let solvable ?decomposition ?budget ?metrics csp =
+  count ?decomposition ?budget ?metrics csp > 0
 
 (* Extract one solution by walking the tables top-down. *)
-let solve ?decomposition (csp : Csp.t) =
+let solve ?decomposition ?budget ?metrics (csp : Csp.t) =
   let n = Csp.nvars csp in
-  if n = 0 then if count ?decomposition csp > 0 then Some [||] else None
+  if n = 0 then
+    if count ?decomposition ?budget ?metrics csp > 0 then Some [||] else None
   else begin
-    let t = run ?decomposition csp in
+    let t = run ?decomposition ?budget ?metrics csp in
     let td = t.decomposition in
     let bags = Td.bags td in
     let root = t.order.(0) in
@@ -238,3 +252,9 @@ let solve ?decomposition (csp : Csp.t) =
       if walk root then Some solution else None
     end
   end
+
+let count_bounded ?decomposition ?budget ?metrics csp =
+  Budget.protect (fun () -> count ?decomposition ?budget ?metrics csp)
+
+let solve_bounded ?decomposition ?budget ?metrics csp =
+  Budget.protect (fun () -> solve ?decomposition ?budget ?metrics csp)

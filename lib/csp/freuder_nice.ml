@@ -17,6 +17,8 @@
      double-counted. *)
 
 module Nice = Lb_graph.Nice_td
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
 
 let count_cap = Freuder.count_cap
 
@@ -33,7 +35,11 @@ let position bag v =
   Array.iteri (fun i u -> if u = v then p := i) bag;
   !p
 
-let count ?decomposition (csp : Csp.t) =
+let count ?decomposition ?budget ?(metrics = Metrics.disabled) (csp : Csp.t) =
+  (* ticked once per table entry touched at an introduce node - the
+     work unit of the normal-form DP *)
+  let tick () = match budget with Some b -> Budget.tick b | None -> () in
+  let touched = ref 0 in
   if Csp.nvars csp = 0 then
     (if List.for_all (fun (c : Csp.constraint_) -> c.allowed <> [])
           (Csp.constraints csp)
@@ -88,6 +94,8 @@ let count ?decomposition (csp : Csp.t) =
           Hashtbl.iter
             (fun child_assignment cnt ->
               for value = 0 to d - 1 do
+                tick ();
+                incr touched;
                 (* splice value into position vpos *)
                 let k = Array.length bag in
                 let assignment = Array.make k 0 in
@@ -144,9 +152,16 @@ let count ?decomposition (csp : Csp.t) =
        covering check applies (scopes are primal cliques, so any valid
        decomposition of the primal graph covers them) - we reuse its
        validation by construction of [decompose]. *)
+    Fun.protect ~finally:(fun () ->
+        Metrics.add metrics "freuder_nice.introduce_entries" !touched)
+    @@ fun () ->
     let root_table = go nice in
     (* root bag is empty: at most one entry *)
     Hashtbl.fold (fun _ c acc -> sat_add acc c) root_table 0
   end
 
-let solvable ?decomposition csp = count ?decomposition csp > 0
+let solvable ?decomposition ?budget ?metrics csp =
+  count ?decomposition ?budget ?metrics csp > 0
+
+let count_bounded ?decomposition ?budget ?metrics csp =
+  Budget.protect (fun () -> count ?decomposition ?budget ?metrics csp)

@@ -1,8 +1,27 @@
 (** Theorem 4.2's DP in introduce/forget/join normal form over a nice
     tree decomposition - an independent implementation cross-checking
-    {!Freuder}. *)
+    {!Freuder}.  Ticks [budget] once per table entry touched at an
+    introduce node (raising {!Lb_util.Budget.Budget_exhausted});
+    [metrics] receives [freuder_nice.introduce_entries]. *)
 
 (** Exact solution count (saturating at {!Freuder.count_cap}). *)
-val count : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> int
+val count :
+  ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Csp.t ->
+  int
 
-val solvable : ?decomposition:Lb_graph.Tree_decomposition.t -> Csp.t -> bool
+val solvable :
+  ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Csp.t ->
+  bool
+
+val count_bounded :
+  ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Csp.t ->
+  int Lb_util.Budget.outcome

@@ -9,17 +9,45 @@ val to_csp : Lb_structure.Structure.t -> Lb_structure.Structure.t -> Csp.t
 
 (** Decide through core + treewidth DP; the witness is a homomorphism
     from the full structure (retraction composed with the DP's
-    witness). *)
+    witness).  [budget]/[metrics] govern the underlying {!Freuder} DP
+    (raising {!Lb_util.Budget.Budget_exhausted} on exhaustion). *)
 val decide :
-  Lb_structure.Structure.t -> Lb_structure.Structure.t -> int array option
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Lb_structure.Structure.t ->
+  Lb_structure.Structure.t ->
+  int array option
 
 (** Exact homomorphism count by the DP on [a] itself (cores do not
     preserve counts); saturates at {!Freuder.count_cap}. *)
-val count : Lb_structure.Structure.t -> Lb_structure.Structure.t -> int
+val count :
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Lb_structure.Structure.t ->
+  Lb_structure.Structure.t ->
+  int
 
-(** Exhaustive count for cross-checks. *)
+(** Exhaustive count for cross-checks; ticks [budget] per assignment. *)
 val count_bruteforce :
-  Lb_structure.Structure.t -> Lb_structure.Structure.t -> int
+  ?budget:Lb_util.Budget.t ->
+  Lb_structure.Structure.t ->
+  Lb_structure.Structure.t ->
+  int
+
+(** Non-raising forms: budget exhaustion as the typed [Exhausted]. *)
+val decide_bounded :
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Lb_structure.Structure.t ->
+  Lb_structure.Structure.t ->
+  int array option Lb_util.Budget.outcome
+
+val count_bounded :
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Lb_structure.Structure.t ->
+  Lb_structure.Structure.t ->
+  int Lb_util.Budget.outcome
 
 (** Treewidth of the core's Gaifman graph - the Theorem 5.3 parameter. *)
 val core_treewidth : Lb_structure.Structure.t -> int

@@ -7,6 +7,8 @@
    exactly when the paper says they should. *)
 
 module Bitset = Lb_util.Bitset
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
 
 type stats = { mutable nodes : int; mutable prunings : int }
 
@@ -98,7 +100,12 @@ let ac3 (csp : Csp.t) idx domains =
    binary constraints; non-binary constraints are checked once fully
    assigned.  [f] gets the assignment (reused array); raise inside [f]
    to stop early. *)
-let iter_solutions ?stats ?(use_ac3 = true) (csp : Csp.t) f =
+let iter_solutions ?stats ?budget ?(metrics = Metrics.disabled)
+    ?(use_ac3 = true) (csp : Csp.t) f =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  (* ticked once per search node and once per value attempt, so a
+     deadline fires within a quantum of node expansions *)
+  let tick () = match budget with Some b -> Budget.tick b | None -> () in
   let n = Csp.nvars csp in
   let d = Csp.domain_size csp in
   let idx = build_binary_index csp in
@@ -125,14 +132,18 @@ let iter_solutions ?stats ?(use_ac3 = true) (csp : Csp.t) f =
         if Bitset.is_empty domains.(v) then unary_ok := false
       end)
     (Csp.constraints csp);
+  let n0 = stats.nodes and p0 = stats.prunings in
+  Fun.protect ~finally:(fun () ->
+      Metrics.add metrics "csp_solver.nodes" (stats.nodes - n0);
+      Metrics.add metrics "csp_solver.prunings" (stats.prunings - p0))
+  @@ fun () ->
   if !unary_ok && ((not use_ac3) || ac3 csp idx domains) && d > 0 then begin
     let assignment = Array.make n (-1) in
     let bump_node () =
-      match stats with Some s -> s.nodes <- s.nodes + 1 | None -> ()
+      tick ();
+      stats.nodes <- stats.nodes + 1
     in
-    let bump_prune () =
-      match stats with Some s -> s.prunings <- s.prunings + 1 | None -> ()
-    in
+    let bump_prune () = stats.prunings <- stats.prunings + 1 in
     (* neighbors via binary index *)
     let rec go assigned_count =
       if assigned_count = n then begin
@@ -155,6 +166,7 @@ let iter_solutions ?stats ?(use_ac3 = true) (csp : Csp.t) f =
         bump_node ();
         Bitset.iter
           (fun a ->
+            tick ();
             assignment.(v) <- a;
             (* forward check: prune each unassigned neighbor *)
             let saved = ref [] in
@@ -199,13 +211,20 @@ let iter_solutions ?stats ?(use_ac3 = true) (csp : Csp.t) f =
 
 exception Found of int array
 
-let solve ?stats ?use_ac3 csp =
+let solve ?stats ?budget ?metrics ?use_ac3 csp =
   try
-    iter_solutions ?stats ?use_ac3 csp (fun a -> raise (Found (Array.copy a)));
+    iter_solutions ?stats ?budget ?metrics ?use_ac3 csp (fun a ->
+        raise (Found (Array.copy a)));
     None
   with Found a -> Some a
 
-let count ?stats ?use_ac3 csp =
+let count ?stats ?budget ?metrics ?use_ac3 csp =
   let c = ref 0 in
-  iter_solutions ?stats ?use_ac3 csp (fun _ -> incr c);
+  iter_solutions ?stats ?budget ?metrics ?use_ac3 csp (fun _ -> incr c);
   !c
+
+let solve_bounded ?stats ?budget ?metrics ?use_ac3 csp =
+  Budget.protect (fun () -> solve ?stats ?budget ?metrics ?use_ac3 csp)
+
+let count_bounded ?stats ?budget ?metrics ?use_ac3 csp =
+  Budget.protect (fun () -> count ?stats ?budget ?metrics ?use_ac3 csp)

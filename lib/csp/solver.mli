@@ -19,12 +19,52 @@ val pair_allowed : binary_index -> int -> int -> int -> int -> int -> bool
     [false] on a domain wipeout. *)
 val ac3 : Csp.t -> binary_index -> Lb_util.Bitset.t array -> bool
 
-(** Iterate all solutions (assignment array reused; raise to stop). *)
+(** Iterate all solutions (assignment array reused; raise to stop).
+    Ticks [budget] once per search node and per value attempt; raises
+    {!Lb_util.Budget.Budget_exhausted} when it runs out, with [stats]
+    filled to that point.  [metrics] receives per-call
+    [csp_solver.nodes] / [csp_solver.prunings]. *)
 val iter_solutions :
-  ?stats:stats -> ?use_ac3:bool -> Csp.t -> (int array -> unit) -> unit
+  ?stats:stats ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  ?use_ac3:bool ->
+  Csp.t ->
+  (int array -> unit) ->
+  unit
 
 exception Found of int array
 
-val solve : ?stats:stats -> ?use_ac3:bool -> Csp.t -> int array option
+val solve :
+  ?stats:stats ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  ?use_ac3:bool ->
+  Csp.t ->
+  int array option
 
-val count : ?stats:stats -> ?use_ac3:bool -> Csp.t -> int
+val count :
+  ?stats:stats ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  ?use_ac3:bool ->
+  Csp.t ->
+  int
+
+(** Non-raising forms: budget exhaustion reified as
+    [Exhausted] - the typed "unknown" verdict. *)
+val solve_bounded :
+  ?stats:stats ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  ?use_ac3:bool ->
+  Csp.t ->
+  int array option Lb_util.Budget.outcome
+
+val count_bounded :
+  ?stats:stats ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  ?use_ac3:bool ->
+  Csp.t ->
+  int Lb_util.Budget.outcome

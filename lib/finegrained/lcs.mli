@@ -3,8 +3,10 @@
     Allison-Dix variant showing the word-size speedups the conditional
     lower bounds permit. *)
 
-val quadratic : int array -> int array -> int
+(** Both variants tick an optional [?budget] once per DP row, raising
+    {!Lb_util.Budget.Budget_exhausted} when spent. *)
+val quadratic : ?budget:Lb_util.Budget.t -> int array -> int array -> int
 
 (** 62 DP columns per word; alphabet values must be small nonnegative
     ints. *)
-val bitparallel : int array -> int array -> int
+val bitparallel : ?budget:Lb_util.Budget.t -> int array -> int array -> int

@@ -31,18 +31,31 @@ let orthogonal a b =
   done;
   !ok
 
-(* Quadratic scan; returns a witness pair of indices. *)
-let solve inst =
+(* Quadratic scan; returns a witness pair of indices.  The budget is
+   ticked once per left row (each row is O(n d / 63) work), so a
+   deadline interrupts the scan within a quantum of rows; [metrics]
+   counts the pairs actually examined. *)
+let solve ?budget ?(metrics = Lb_util.Metrics.disabled) inst =
   let res = ref None in
+  let pairs = ref 0 in
+  Fun.protect ~finally:(fun () ->
+      Lb_util.Metrics.add metrics "ov.pairs_scanned" !pairs)
+  @@ fun () ->
   (try
      Array.iteri
        (fun i a ->
+         (match budget with Some b -> Lb_util.Budget.tick b | None -> ());
          Array.iteri
-           (fun j b -> if orthogonal a b then begin res := Some (i, j); raise Exit end)
+           (fun j b ->
+             incr pairs;
+             if orthogonal a b then begin res := Some (i, j); raise Exit end)
            inst.right)
        inst.left
    with Exit -> ());
   !res
+
+let solve_bounded ?budget ?metrics inst =
+  Lb_util.Budget.protect (fun () -> solve ?budget ?metrics inst)
 
 (* Random instance: each coordinate set with probability p.  With p
    around 1/2 and d >> log n, orthogonal pairs are rare, keeping the

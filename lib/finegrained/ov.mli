@@ -17,8 +17,22 @@ val of_bool_arrays :
 
 val orthogonal : int array -> int array -> bool
 
-(** Quadratic scan with early exit; witness index pair. *)
-val solve : instance -> (int * int) option
+(** Quadratic scan with early exit; witness index pair.  [?budget] is
+    ticked once per left row (raising
+    {!Lb_util.Budget.Budget_exhausted} when spent); [?metrics] records
+    the [ov.pairs_scanned] delta, also on an interrupted run. *)
+val solve :
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  instance ->
+  (int * int) option
+
+(** [solve] with budget exhaustion reified as [Exhausted]. *)
+val solve_bounded :
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  instance ->
+  (int * int) option Lb_util.Budget.outcome
 
 (** Random instance; with p ~ 1/2 and dim >> log n orthogonal pairs are
     rare, keeping the scan at its quadratic worst case. *)

@@ -27,6 +27,8 @@
    produce identical answers and counter totals to sequential ones. *)
 
 module Pool = Lb_util.Pool
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -43,9 +45,14 @@ type ctx = {
   pcols : int array array array;
       (* pcols.(l).(j): the trie column of participants.(l).(j) at the
          depth it has reached when level l is processed *)
+  bud : Budget.t option;
+      (* ticked once per enumerated leader key; shared across domains
+         in parallel runs (cooperative, so tick totals may undercount
+         under races - exhaustion still fires promptly on every
+         domain) *)
 }
 
-let make_ctx ?pool ~order db (q : Query.t) =
+let make_ctx ?pool ?budget ~order db (q : Query.t) =
   let atoms = Array.of_list q in
   let natoms = Array.length atoms in
   let build i = Trie.build ~order (Query.bind_atom db atoms.(i)) in
@@ -73,7 +80,7 @@ let make_ctx ?pool ~order db (q : Query.t) =
     pcols.(l) <-
       Array.of_list (List.map (fun (i, d) -> Trie.column tries.(i) d) !ids)
   done;
-  { tries; nvars; natoms; participants; pcols }
+  { tries; nvars; natoms; participants; pcols; bud = budget }
 
 let has_empty_atom ctx =
   let e = ref false in
@@ -140,6 +147,7 @@ let rec enumerate ctx ws c ~level ~stop on_leaf =
       let v = lcol.(!pos) in
       let e = Trie.gallop_gt lcol !pos lhi v in
       c.intersections <- c.intersections + 1;
+      (match ctx.bud with Some b -> Budget.tick b | None -> ());
       (* probe the other participants, galloping from their cursors;
          leader keys ascend, so cursors only move forward *)
       let ok = ref true in
@@ -185,12 +193,23 @@ let run_seq ctx c f =
         f ws.assignment)
   end
 
+(* Record the per-call counter deltas into a metrics sink - also when a
+   budget cuts the run short, so partial work is still attributed. *)
+let with_metrics metrics c f =
+  let i0 = c.intersections and e0 = c.emitted in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.add metrics "generic_join.intersections" (c.intersections - i0);
+      Metrics.add metrics "generic_join.emitted" (c.emitted - e0))
+    f
+
 (* Iterate all answers; [f] receives the assignment in global-order
    (parallel to [order]).  The array is reused between calls. *)
-let iter ?order ?counters db (q : Query.t) f =
+let iter ?order ?counters ?budget ?(metrics = Metrics.disabled) db
+    (q : Query.t) f =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
-  run_seq (make_ctx ~order db q) c f
+  with_metrics metrics c (fun () -> run_seq (make_ctx ?budget ~order db q) c f)
 
 (* --- parallel driver --- *)
 
@@ -270,10 +289,11 @@ let pool_applies ctx = function
   | Some p when Pool.size p > 1 && ctx.nvars >= 2 -> Some p
   | _ -> None
 
-let count ?order ?counters ?pool db q =
+let count ?order ?counters ?budget ?(metrics = Metrics.disabled) ?pool db q =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
-  let ctx = make_ctx ?pool ~order db q in
+  let ctx = make_ctx ?pool ?budget ~order db q in
+  with_metrics metrics c @@ fun () ->
   match pool_applies ctx pool with
   | Some p when not (has_empty_atom ctx) ->
       let accs =
@@ -285,11 +305,15 @@ let count ?order ?counters ?pool db q =
       run_seq ctx c (fun _ -> incr n);
       !n
 
-let answer ?order ?pool db q =
+let count_bounded ?order ?counters ?budget ?metrics ?pool db q =
+  Budget.protect (fun () -> count ?order ?counters ?budget ?metrics ?pool db q)
+
+let answer ?order ?budget ?(metrics = Metrics.disabled) ?pool db q =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
-  let ctx = make_ctx ?pool ~order db q in
+  let ctx = make_ctx ?pool ?budget ~order db q in
   let rows =
+    with_metrics metrics c @@ fun () ->
     match pool_applies ctx pool with
     | Some p when not (has_empty_atom ctx) ->
         let accs =
@@ -307,10 +331,10 @@ let answer ?order ?pool db q =
 
 exception Found
 
-let exists ?order db q =
+let exists ?order ?budget db q =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
-  let ctx = make_ctx ~order db q in
+  let ctx = make_ctx ?budget ~order db q in
   try
     run_seq ctx c (fun _ -> raise Found);
     false

@@ -7,7 +7,15 @@
     allocation-free state stack; [count] and [answer] optionally run on
     a {!Lb_util.Pool} of domains, partitioning the first variable's
     candidates (heavy candidates are split one level deeper) and merging
-    per-domain counters, with results identical to a sequential run. *)
+    per-domain counters, with results identical to a sequential run.
+
+    Resource governance: a [?budget] is ticked once per enumerated
+    leader key (the unit the O(N^{rho*}) accounting charges), raising
+    {!Lb_util.Budget.Budget_exhausted} when spent - under a pool, every
+    domain observes the shared budget, so exhaustion stops all of them
+    within a tick.  A [?metrics] sink receives the per-call
+    [generic_join.intersections] / [generic_join.emitted] deltas, also
+    when the run is cut short. *)
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -19,6 +27,8 @@ val fresh_counters : unit -> counters
 val iter :
   ?order:string array ->
   ?counters:counters ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
   Database.t ->
   Query.t ->
   (int array -> unit) ->
@@ -28,6 +38,8 @@ val iter :
     trie builds and the join itself run across the pool's domains. *)
 val answer :
   ?order:string array ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
@@ -39,12 +51,26 @@ val answer :
 val count :
   ?order:string array ->
   ?counters:counters ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   int
 
+(** [count] with budget exhaustion reified as [Exhausted]. *)
+val count_bounded :
+  ?order:string array ->
+  ?counters:counters ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  ?pool:Lb_util.Pool.t ->
+  Database.t ->
+  Query.t ->
+  int Lb_util.Budget.outcome
+
 exception Found
 
 (** The Boolean join query: stop at the first answer. *)
-val exists : ?order:string array -> Database.t -> Query.t -> bool
+val exists :
+  ?order:string array -> ?budget:Lb_util.Budget.t -> Database.t -> Query.t -> bool

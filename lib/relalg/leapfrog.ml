@@ -16,6 +16,8 @@
    per-chunk counters merged at the end. *)
 
 module Pool = Lb_util.Pool
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
@@ -27,9 +29,12 @@ type ctx = {
   natoms : int;
   participants : int array array;
   pcols : int array array array;
+  bud : Budget.t option;
+      (* ticked once per agreed key and per seek; shared across domains
+         in parallel runs (cooperative - see Generic_join) *)
 }
 
-let make_ctx ?pool ~order db (q : Query.t) =
+let make_ctx ?pool ?budget ~order db (q : Query.t) =
   let atoms = Array.of_list q in
   let natoms = Array.length atoms in
   let build i = Trie.build ~order (Query.bind_atom db atoms.(i)) in
@@ -57,7 +62,7 @@ let make_ctx ?pool ~order db (q : Query.t) =
     pcols.(l) <-
       Array.of_list (List.map (fun (i, d) -> Trie.column tries.(i) d) !ids)
   done;
-  { tries; nvars; natoms; participants; pcols }
+  { tries; nvars; natoms; participants; pcols; bud = budget }
 
 let has_empty_atom ctx =
   let e = ref false in
@@ -113,6 +118,7 @@ let rec enumerate ctx ws c ~level ~stop on_leaf =
       done;
       if !kmin = !kmax then begin
         let v = !kmin in
+        (match ctx.bud with Some b -> Budget.tick b | None -> ());
         (* all agree: bind v, recurse into the equal-key subranges *)
         for j = 0 to np - 1 do
           let i = ps.(j) in
@@ -135,6 +141,7 @@ let rec enumerate ctx ws c ~level ~stop on_leaf =
         for j = 0 to np - 1 do
           if (not !fin) && cols.(j).(pos.(j)) < m then begin
             c.seeks <- c.seeks + 1;
+            (match ctx.bud with Some b -> Budget.tick b | None -> ());
             let i = ps.(j) in
             pos.(j) <- Trie.gallop_geq cols.(j) pos.(j) st.(2 * i + 1) m;
             if pos.(j) >= st.(2 * i + 1) then fin := true
@@ -153,10 +160,21 @@ let run_seq ctx c f =
         f ws.assignment)
   end
 
-let iter ?order ?counters db (q : Query.t) f =
+(* Record per-call counter deltas into a metrics sink - also when a
+   budget cuts the run short. *)
+let with_metrics metrics c f =
+  let s0 = c.seeks and e0 = c.emitted in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.add metrics "leapfrog.seeks" (c.seeks - s0);
+      Metrics.add metrics "leapfrog.emitted" (c.emitted - e0))
+    f
+
+let iter ?order ?counters ?budget ?(metrics = Metrics.disabled) db
+    (q : Query.t) f =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
-  run_seq (make_ctx ~order db q) c f
+  with_metrics metrics c (fun () -> run_seq (make_ctx ?budget ~order db q) c f)
 
 (* --- parallel driver (same task scheme as Generic_join) --- *)
 
@@ -227,10 +245,11 @@ let pool_applies ctx = function
   | Some p when Pool.size p > 1 && ctx.nvars >= 2 -> Some p
   | _ -> None
 
-let count ?order ?counters ?pool db q =
+let count ?order ?counters ?budget ?(metrics = Metrics.disabled) ?pool db q =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
-  let ctx = make_ctx ?pool ~order db q in
+  let ctx = make_ctx ?pool ?budget ~order db q in
+  with_metrics metrics c @@ fun () ->
   match pool_applies ctx pool with
   | Some p when not (has_empty_atom ctx) ->
       let accs =
@@ -242,11 +261,15 @@ let count ?order ?counters ?pool db q =
       run_seq ctx c (fun _ -> incr n);
       !n
 
-let answer ?order ?pool db q =
+let count_bounded ?order ?counters ?budget ?metrics ?pool db q =
+  Budget.protect (fun () -> count ?order ?counters ?budget ?metrics ?pool db q)
+
+let answer ?order ?budget ?(metrics = Metrics.disabled) ?pool db q =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
-  let ctx = make_ctx ?pool ~order db q in
+  let ctx = make_ctx ?pool ?budget ~order db q in
   let rows =
+    with_metrics metrics c @@ fun () ->
     match pool_applies ctx pool with
     | Some p when not (has_empty_atom ctx) ->
         let accs =
@@ -264,10 +287,10 @@ let answer ?order ?pool db q =
 
 exception Found
 
-let exists ?order db q =
+let exists ?order ?budget db q =
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
-  let ctx = make_ctx ~order db q in
+  let ctx = make_ctx ?budget ~order db q in
   try
     run_seq ctx c (fun _ -> raise Found);
     false

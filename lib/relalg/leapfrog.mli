@@ -3,7 +3,13 @@
     streams over columnar tries, seeking each iterator to the current
     maximum by galloping search from its position.  [count]/[answer]
     accept a {!Lb_util.Pool} to run Domain-parallel with results and
-    counter totals identical to a sequential run. *)
+    counter totals identical to a sequential run.
+
+    Resource governance mirrors {!Generic_join}: [?budget] is ticked
+    once per agreed key and per seek (raising
+    {!Lb_util.Budget.Budget_exhausted} when spent, on every domain of a
+    parallel run); [?metrics] receives the per-call [leapfrog.seeks] /
+    [leapfrog.emitted] deltas. *)
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
@@ -13,6 +19,8 @@ val fresh_counters : unit -> counters
 val iter :
   ?order:string array ->
   ?counters:counters ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
   Database.t ->
   Query.t ->
   (int array -> unit) ->
@@ -20,6 +28,8 @@ val iter :
 
 val answer :
   ?order:string array ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
@@ -28,11 +38,25 @@ val answer :
 val count :
   ?order:string array ->
   ?counters:counters ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   int
 
+(** [count] with budget exhaustion reified as [Exhausted]. *)
+val count_bounded :
+  ?order:string array ->
+  ?counters:counters ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  ?pool:Lb_util.Pool.t ->
+  Database.t ->
+  Query.t ->
+  int Lb_util.Budget.outcome
+
 exception Found
 
-val exists : ?order:string array -> Database.t -> Query.t -> bool
+val exists :
+  ?order:string array -> ?budget:Lb_util.Budget.t -> Database.t -> Query.t -> bool

@@ -9,21 +9,31 @@
 
    Assignments: 0 = unassigned, 1 = true, -1 = false. *)
 
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
+
 type stats = { mutable decisions : int; mutable propagations : int }
 
 let fresh_stats () = { decisions = 0; propagations = 0 }
 
 type branching = Max_occurrence | First_unassigned
 
-let solve ?stats ?(branching = Max_occurrence) t =
+let solve ?stats ?(branching = Max_occurrence) ?budget
+    ?(metrics = Metrics.disabled) t =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
   let n = Cnf.nvars t in
   let clauses = Array.of_list (Cnf.clauses t) in
   let assign = Array.make n 0 in
+  (* one tick per decision and per propagated unit: fine enough that a
+     wall-clock deadline fires within ~quantum node visits *)
+  let tick () = match budget with Some b -> Budget.tick b | None -> () in
   let record_decision () =
-    match stats with Some s -> s.decisions <- s.decisions + 1 | None -> ()
+    tick ();
+    stats.decisions <- stats.decisions + 1
   in
   let record_prop () =
-    match stats with Some s -> s.propagations <- s.propagations + 1 | None -> ()
+    tick ();
+    stats.propagations <- stats.propagations + 1
   in
   let lit_value l =
     let v = Cnf.var_of_lit l in
@@ -143,7 +153,18 @@ let solve ?stats ?(branching = Max_occurrence) t =
           end
         end
   in
-  if search () then Some (Array.map (fun a -> a = 1) assign) else None
+  (* metrics see the per-call deltas even when the budget interrupts
+     the search mid-way; [stats] likewise stays filled to that point *)
+  let d0 = stats.decisions and p0 = stats.propagations in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.add metrics "dpll.decisions" (stats.decisions - d0);
+      Metrics.add metrics "dpll.propagations" (stats.propagations - p0))
+    (fun () ->
+      if search () then Some (Array.map (fun a -> a = 1) assign) else None)
+
+let solve_bounded ?stats ?branching ?budget ?metrics t =
+  Budget.protect (fun () -> solve ?stats ?branching ?budget ?metrics t)
 
 (* Exhaustive model counting by DPLL-style branching (used only by tests
    on small formulas to cross-check solvers). *)

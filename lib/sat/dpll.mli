@@ -11,8 +11,28 @@ type branching =
   | First_unassigned  (** naive static order (ablation A3) *)
 
 (** A satisfying assignment, or [None].  Unconstrained variables default
-    to [false]. *)
-val solve : ?stats:stats -> ?branching:branching -> Cnf.t -> bool array option
+    to [false].  Ticks [budget] once per decision and per propagated
+    unit and raises {!Lb_util.Budget.Budget_exhausted} when it runs out
+    ([stats] stays filled to the interruption point); use
+    {!solve_bounded} for the non-raising form.  [metrics] receives the
+    per-call [dpll.decisions] / [dpll.propagations] counters. *)
+val solve :
+  ?stats:stats ->
+  ?branching:branching ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Cnf.t ->
+  bool array option
+
+(** [solve] with budget exhaustion reified: [Exhausted] is the
+    "unknown" verdict of a run that was cut off. *)
+val solve_bounded :
+  ?stats:stats ->
+  ?branching:branching ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Cnf.t ->
+  bool array option Lb_util.Budget.outcome
 
 (** Exhaustive model count ([2^n]; tests only). *)
 val count_models : Cnf.t -> int

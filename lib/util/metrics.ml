@@ -1,0 +1,198 @@
+(* Named monotonic counters, gauges and spans.
+
+   The enabled/disabled split is a single immutable bool so the
+   disabled path costs one branch and no allocation; solvers therefore
+   instrument unconditionally and callers opt in by passing a live
+   sink.  Counter storage is a Hashtbl of int refs: [incr] on a hot
+   name is one hash lookup and one in-place increment. *)
+
+type t = {
+  enabled : bool;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+}
+
+let create () =
+  { enabled = true; counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+
+let disabled =
+  { enabled = false; counters = Hashtbl.create 1; gauges = Hashtbl.create 1 }
+
+let is_enabled t = t.enabled
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counters name r;
+      r
+
+let add t name n = if t.enabled then counter_ref t name := !(counter_ref t name) + n
+
+let incr t name = add t name 1
+
+let set_gauge t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace t.gauges name (ref v)
+
+let add_gauge t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := !r +. v
+    | None -> Hashtbl.replace t.gauges name (ref v)
+
+let span t name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      add_gauge t (name ^ ".seconds") (Unix.gettimeofday () -. t0);
+      incr t (name ^ ".calls")
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters
+
+let gauges t = sorted_bindings t.gauges
+
+let find_counter t name = Option.map ( ! ) (Hashtbl.find_opt t.counters name)
+
+let merge_into ~dst src =
+  if dst.enabled then begin
+    Hashtbl.iter (fun k r -> add dst k !r) src.counters;
+    Hashtbl.iter (fun k r -> set_gauge dst k !r) src.gauges
+  end
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges
+
+(* --- JSON --- *)
+
+(* Keys are metric names (no escapes beyond what %S provides); values
+   are ints or floats.  Output is sorted, so equal contents give equal
+   bytes. *)
+let to_json t =
+  let buf = Buffer.create 256 in
+  let items =
+    List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
+    @ List.map (fun (k, v) -> (k, Printf.sprintf "%.9f" v)) (gauges t)
+  in
+  let items = List.sort (fun (a, _) (b, _) -> String.compare a b) items in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\n  %S: %s" k v))
+    items;
+  if items <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+exception Parse_error of string
+
+(* Minimal recursive-descent parse of {"key": number, ...}: enough to
+   validate our own emissions (and the bench harness's), nothing
+   more. *)
+let parse_json s =
+  let incr = Stdlib.incr in
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape";
+            (match s.[!pos + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | '/' -> Buffer.add_char buf '/'
+            | c -> fail (Printf.sprintf "unsupported escape '\\%c'" c));
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  skip_ws ();
+  expect '{';
+  skip_ws ();
+  let items = ref [] in
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec members () =
+      skip_ws ();
+      let k = parse_string () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      let v = parse_number () in
+      items := (k, v) :: !items;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          incr pos;
+          members ()
+      | Some '}' -> incr pos
+      | _ -> fail "expected ',' or '}'"
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  List.rev !items

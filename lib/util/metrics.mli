@@ -1,0 +1,63 @@
+(** Cheap named run metrics: monotonic counters, gauges, and scoped
+    timing spans, with deterministic JSON emission.
+
+    The WCOJ literature reports per-operator counters (seeks, advances,
+    trie descents) as the primary evidence that an engine meets its
+    bound; this module is how the library surfaces them.  A sink is
+    either live or {!disabled}; recording into a disabled sink is a
+    single branch and allocates nothing, so instrumented code paths can
+    be left unconditionally instrumented.  Counters are exact integers
+    and deterministic for a fixed seed; gauges (and spans' seconds)
+    carry measurements that may vary run to run. *)
+
+type t
+
+(** A live sink. *)
+val create : unit -> t
+
+(** The no-op sink: every record is a cheap branch, [to_json] is
+    ["{}"].  Runs with a disabled sink are bit-identical in results to
+    instrumented runs - the sink is never consulted for decisions. *)
+val disabled : t
+
+val is_enabled : t -> bool
+
+(** [incr m name] adds 1 to counter [name] (creating it at 0). *)
+val incr : t -> string -> unit
+
+(** [add m name n] adds [n] to counter [name]. *)
+val add : t -> string -> int -> unit
+
+(** [set_gauge m name v] records the latest value of gauge [name]. *)
+val set_gauge : t -> string -> float -> unit
+
+(** [span m name f] times [f ()], accumulating wall seconds into gauge
+    ["name.seconds"] and bumping counter ["name.calls"] - also on
+    exceptions, so interrupted solver runs still report. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+(** Counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** Gauges, sorted by name. *)
+val gauges : t -> (string * float) list
+
+val find_counter : t -> string -> int option
+
+(** Merge [src] into [dst]: counters add, gauges take [src]'s value. *)
+val merge_into : dst:t -> t -> unit
+
+(** Drop all recorded values (the sink stays enabled). *)
+val clear : t -> unit
+
+(** One flat JSON object sorted by key: counters as integers, gauges
+    as floats.  Deterministic for deterministic contents. *)
+val to_json : t -> string
+
+exception Parse_error of string
+
+(** Parse a flat JSON object of numbers, as produced by [to_json] (or
+    the bench harness); returns key/value pairs in file order.  Raises
+    {!Parse_error} on anything else - it is a validator for our own
+    output, not a general JSON parser. *)
+val parse_json : string -> (string * float) list

@@ -19,4 +19,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("polymorphism", Test_polymorphism.suite);
       ("integration", Test_integration.suite);
+      ("budget", Test_budget.suite);
+      ("property", Test_property.suite);
     ]

@@ -1,0 +1,335 @@
+(* Property-based differential test layer.
+
+   A dependency-free QuickCheck-style runner: every case is generated
+   from an explicit SplitMix64 seed (Lb_util.Prng), failures print the
+   seed and size needed to replay them, and shrinking regenerates the
+   case from the same seed at halved sizes.  The properties are
+   differential: each potentially-clever solver is compared against a
+   brute-force oracle on random instances, and each reduction in
+   lib/reductions round-trips through its [preserves] check.
+
+   Iteration count: LBT_PROP_COUNT in the environment overrides the
+   default (the [test-quick] dune alias sets a reduced count). *)
+
+module Prng = Lb_util.Prng
+module Cnf = Lb_sat.Cnf
+module Dpll = Lb_sat.Dpll
+module Csp = Lb_csp.Csp
+module Gen = Lb_csp.Generators
+module Graph_gen = Lb_graph.Generators
+module Q = Lb_relalg.Query
+module Rel = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Gj = Lb_relalg.Generic_join
+module Lf = Lb_relalg.Leapfrog
+
+(* --- the runner --- *)
+
+type 'a gen = Prng.t -> size:int -> 'a
+
+let default_count =
+  match int_of_string_opt (Sys.getenv "LBT_PROP_COUNT") with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 30
+  | exception Not_found -> 30
+
+(* Deterministic per-case seeds: mixing the case index through a large
+   odd constant keeps the streams independent without any global
+   state. *)
+let case_seed base i = base + (i * 0x1E3779B97F4A7C1)
+
+(* [check ~name ~base gen show prop] runs [default_count] cases of
+   [prop] on instances drawn from [gen] at sizes growing from [min_size]
+   to [max_size].  On failure, the case is regenerated from its own seed
+   at halved sizes for as long as it keeps failing, and the smallest
+   failing (seed, size) pair is reported for replay. *)
+let check ?(min_size = 2) ?(max_size = 10) ~name ~base (g : 'a gen) show prop =
+  let count = default_count in
+  for i = 0 to count - 1 do
+    let seed = case_seed base i in
+    let size = min_size + (i * (max_size - min_size + 1) / max 1 count) in
+    let make size = g (Prng.create seed) ~size in
+    let fails size =
+      match prop (make size) with b -> not b | exception _ -> true
+    in
+    if fails size then begin
+      (* shrink by halving the size, replaying the same seed *)
+      let rec shrink s =
+        let s' = s / 2 in
+        if s' >= min_size && fails s' then shrink s' else s
+      in
+      let s = shrink size in
+      Alcotest.failf
+        "property %s falsified: seed=%d size=%d (replay: gen (Prng.create \
+         %d) ~size:%d)\ninstance: %s"
+        name seed s seed s
+        (show (make s))
+    end
+  done
+
+(* --- generators --- *)
+
+(* Random k-SAT near the hard ratio; nvars tracks the size parameter so
+   shrinking produces genuinely smaller formulas. *)
+let gen_cnf ?(k = 3) ?(ratio = 4.0) () : Cnf.t gen =
+ fun rng ~size ->
+  let nvars = max k (min size 12) in
+  let nclauses = max 1 (int_of_float (ratio *. float_of_int nvars)) in
+  Cnf.random_ksat rng ~nvars ~nclauses ~k
+
+(* Random binary CSP of bounded treewidth (partial k-tree primal
+   graph). *)
+let gen_csp ?(width = 2) ?(domain_size = 3) ?(plant = false) () :
+    Csp.t gen =
+ fun rng ~size ->
+  let nvars = max (width + 1) (min size 8) in
+  let csp, _, _ =
+    Gen.bounded_treewidth rng ~nvars ~width ~domain_size ~density:0.5 ~plant
+  in
+  csp
+
+(* Random conjunctive query + database: 2-5 binary atoms over a small
+   attribute pool (shared variables make the joins non-trivial), with
+   random relations over a domain scaled by [size]. *)
+let gen_cq : (Db.t * Q.t) gen =
+ fun rng ~size ->
+  let nattrs = 2 + Prng.int rng 3 in
+  let attrs = Array.init nattrs (fun i -> Printf.sprintf "x%d" i) in
+  let natoms = 2 + Prng.int rng 3 in
+  let dom = 2 + Prng.int rng (max 1 size) in
+  let atoms = ref [] in
+  let db = ref Db.empty in
+  for a = 0 to natoms - 1 do
+    let u = Prng.int rng nattrs in
+    let v = (u + 1 + Prng.int rng (nattrs - 1)) mod nattrs in
+    let name = Printf.sprintf "R%d" a in
+    let ntuples = 1 + Prng.int rng (2 * dom) in
+    let tuples =
+      List.init ntuples (fun _ -> [| Prng.int rng dom; Prng.int rng dom |])
+    in
+    db := Db.add !db name (Rel.make [| "u"; "v" |] tuples);
+    atoms := Q.atom name [| attrs.(u); attrs.(v) |] :: !atoms
+  done;
+  (!db, !atoms)
+
+let gen_graph ?(p = 0.4) () : Lb_graph.Graph.t gen =
+ fun rng ~size ->
+  let n = max 3 (min size 9) in
+  Graph_gen.gnp rng n p
+
+let show_cnf f =
+  Printf.sprintf "CNF(%d vars, %d clauses)" (Cnf.nvars f) (Cnf.clause_count f)
+
+let show_csp c =
+  Printf.sprintf "CSP(%d vars, |D|=%d, %d constraints)" (Csp.nvars c)
+    (Csp.domain_size c) (Csp.constraint_count c)
+
+let show_cq (_, q) = Q.to_string q
+
+let show_graph g =
+  Printf.sprintf "G(%d vertices, %d edges)" (Lb_graph.Graph.vertex_count g)
+    (Lb_graph.Graph.edge_count g)
+
+(* --- SAT oracles --- *)
+
+let truth_table_sat f =
+  let n = Cnf.nvars f in
+  assert (n <= 16);
+  let a = Array.make n false in
+  let rec search v =
+    if v = n then Cnf.satisfies f a
+    else begin
+      a.(v) <- false;
+      search (v + 1)
+      ||
+      (a.(v) <- true;
+       search (v + 1))
+    end
+  in
+  search 0
+
+let dpll_vs_truth_table () =
+  check ~name:"dpll_vs_truth_table" ~base:0x11 ~max_size:12
+    (gen_cnf ~k:3 ~ratio:4.2 ()) show_cnf (fun f ->
+      match Dpll.solve f with
+      | Some a -> Cnf.satisfies f a && truth_table_sat f
+      | None -> not (truth_table_sat f))
+
+let twosat_vs_dpll () =
+  check ~name:"twosat_vs_dpll" ~base:0x12 ~max_size:12
+    (gen_cnf ~k:2 ~ratio:1.8 ()) show_cnf (fun f ->
+      match (Lb_sat.Two_sat.solve f, Dpll.solve f) with
+      | Some a, Some _ -> Cnf.satisfies f a
+      | None, None -> true
+      | _ -> false)
+
+let count_models_vs_truth_table () =
+  check ~name:"count_models_vs_truth_table" ~base:0x13 ~max_size:8
+    (gen_cnf ~k:3 ~ratio:3.0 ()) show_cnf (fun f ->
+      let n = Cnf.nvars f in
+      let brute = ref 0 in
+      let a = Array.make n false in
+      let rec go v =
+        if v = n then (if Cnf.satisfies f a then incr brute)
+        else begin
+          a.(v) <- false;
+          go (v + 1);
+          a.(v) <- true;
+          go (v + 1)
+        end
+      in
+      go 0;
+      Dpll.count_models f = !brute)
+
+(* --- CSP oracles --- *)
+
+let solver_vs_bruteforce () =
+  check ~name:"csp_solver_vs_bruteforce" ~base:0x21 ~max_size:7
+    (gen_csp ~width:2 ~domain_size:3 ()) show_csp (fun csp ->
+      match (Lb_csp.Solver.solve csp, Csp.solve_bruteforce csp) with
+      | Some a, Some _ -> Csp.satisfies csp a
+      | None, None -> true
+      | _ -> false)
+
+let freuder_vs_bruteforce () =
+  check ~name:"freuder_count_vs_bruteforce" ~base:0x22 ~max_size:7
+    (gen_csp ~width:2 ~domain_size:3 ()) show_csp (fun csp ->
+      Lb_csp.Freuder.count csp = Csp.count_bruteforce csp)
+
+let freuder_nice_vs_bruteforce () =
+  check ~name:"freuder_nice_count_vs_bruteforce" ~base:0x23 ~max_size:7
+    (gen_csp ~width:2 ~domain_size:3 ()) show_csp (fun csp ->
+      Lb_csp.Freuder_nice.count csp = Csp.count_bruteforce csp)
+
+let solver_count_vs_bruteforce () =
+  check ~name:"solver_count_vs_bruteforce" ~base:0x24 ~max_size:7
+    (gen_csp ~width:3 ~domain_size:2 ()) show_csp (fun csp ->
+      Lb_csp.Solver.count csp = Csp.count_bruteforce csp)
+
+(* --- join engines vs the hash-join oracle --- *)
+
+let joins_vs_oracle () =
+  check ~name:"gj_lftj_vs_hash_join" ~base:0x31 ~max_size:8 gen_cq show_cq
+    (fun (db, q) ->
+      let oracle = Q.answer db q in
+      let n = Rel.cardinality oracle in
+      Gj.count db q = n && Lf.count db q = n
+      && Rel.equal_modulo_order (Gj.answer db q) oracle
+      && Rel.equal_modulo_order (Lf.answer db q) oracle)
+
+let joins_parallel_vs_sequential () =
+  check ~name:"gj_pool_vs_sequential" ~base:0x32 ~max_size:8 gen_cq
+    show_cq (fun (db, q) ->
+      let n = Gj.count db q in
+      Lb_util.Pool.with_pool 2 (fun pool ->
+          Gj.count ~pool db q = n && Lf.count ~pool db q = n))
+
+(* --- reduction round-trips --- *)
+
+let red_sat_to_3sat () =
+  check ~name:"sat_to_3sat_preserves" ~base:0x41 ~max_size:10
+    (gen_cnf ~k:3 ~ratio:3.5 ()) show_cnf Lb_reductions.Sat_to_3sat.preserves
+
+let red_sat_to_csp () =
+  check ~name:"sat_to_csp_preserves" ~base:0x42 ~max_size:10
+    (gen_cnf ~k:3 ~ratio:3.5 ()) show_cnf Lb_reductions.Sat_to_csp.preserves
+
+let red_sat_to_coloring () =
+  check ~name:"sat_to_coloring_preserves" ~base:0x43 ~max_size:6
+    (gen_cnf ~k:3 ~ratio:3.0 ()) show_cnf
+    Lb_reductions.Sat_to_coloring.preserves
+
+let red_sat_to_ov () =
+  check ~name:"sat_to_ov_preserves" ~base:0x44 ~max_size:8
+    (gen_cnf ~k:3 ~ratio:4.0 ()) show_cnf Lb_reductions.Sat_to_ov.preserves
+
+let red_boolean_csp_to_2sat () =
+  check ~name:"boolean_csp_to_2sat_preserves" ~base:0x45 ~max_size:8
+    (gen_csp ~width:2 ~domain_size:2 ()) show_csp
+    Lb_reductions.Boolean_csp_to_2sat.preserves
+
+let red_clique_to_csp () =
+  check ~name:"clique_to_csp_preserves" ~base:0x46 ~max_size:8
+    (gen_graph ~p:0.5 ()) show_graph (fun g ->
+      Lb_reductions.Clique_to_csp.preserves g 3)
+
+let red_complement () =
+  check ~name:"complement_preserves" ~base:0x47 ~max_size:9
+    (gen_graph ~p:0.4 ()) show_graph (fun g ->
+      Lb_reductions.Complement.preserves_clique_is g 3
+      && Lb_reductions.Complement.preserves_is_vc g)
+
+let red_domset_to_csp () =
+  check ~name:"domset_to_csp_preserves" ~base:0x48 ~max_size:8
+    (gen_graph ~p:0.35 ()) show_graph (fun g ->
+      Lb_reductions.Domset_to_csp.preserves g ~t:2 ~g:1
+      && Lb_reductions.Domset_to_csp.preserves g ~t:2 ~g:2)
+
+let red_ov_to_diameter () =
+  check ~name:"ov_to_diameter_preserves" ~base:0x49 ~max_size:8
+    (fun rng ~size ->
+      Lb_finegrained.Ov.random rng ~n:(max 2 (min size 8)) ~dim:6 ~p:0.5)
+    (fun inst ->
+      Printf.sprintf "OV(%d/side, dim %d)"
+        (Array.length inst.Lb_finegrained.Ov.left)
+        inst.Lb_finegrained.Ov.dim)
+    (fun inst ->
+      match Lb_reductions.Ov_to_diameter.preserves inst with
+      | ok -> ok
+      | exception Lb_reductions.Ov_to_diameter.Trivial_yes ->
+          (* an all-zero vector is orthogonal to everything *)
+          Lb_finegrained.Ov.solve inst <> None)
+
+let red_special_csp () =
+  check ~name:"special_csp_preserves" ~base:0x4a ~max_size:8
+    (gen_graph ~p:0.5 ()) show_graph (fun g ->
+      Lb_reductions.Special_csp.preserves g 3)
+
+(* The runner itself: a false property must fail, shrink to the minimum
+   size, and report a replayable seed. *)
+let runner_reports_failures () =
+  let saw =
+    try
+      check ~name:"always_false" ~base:0x99 ~min_size:2 ~max_size:64
+        (fun rng ~size -> size + Prng.int rng 1)
+        string_of_int
+        (fun _ -> false);
+      None
+    with e -> Some (Printexc.to_string e)
+  in
+  match saw with
+  | None -> Alcotest.fail "false property went unreported"
+  | Some msg ->
+      Alcotest.(check bool) "reports a replay seed" true
+        (let has sub =
+           let n = String.length msg and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+           go 0
+         in
+         has "seed=" && has "size=2")
+
+let suite =
+  [
+    ("prop: runner reports failures", `Quick, runner_reports_failures);
+    ("prop: DPLL vs truth table", `Quick, dpll_vs_truth_table);
+    ("prop: 2SAT vs DPLL", `Quick, twosat_vs_dpll);
+    ("prop: #models vs truth table", `Quick, count_models_vs_truth_table);
+    ("prop: CSP solver vs brute force", `Quick, solver_vs_bruteforce);
+    ("prop: Freuder DP vs brute force", `Quick, freuder_vs_bruteforce);
+    ( "prop: nice-form DP vs brute force",
+      `Quick,
+      freuder_nice_vs_bruteforce );
+    ("prop: solver count vs brute force", `Quick, solver_count_vs_bruteforce);
+    ("prop: GJ/LFTJ vs hash join", `Quick, joins_vs_oracle);
+    ("prop: pooled joins vs sequential", `Quick, joins_parallel_vs_sequential);
+    ("prop: SAT->3SAT round trip", `Quick, red_sat_to_3sat);
+    ("prop: SAT->CSP round trip", `Quick, red_sat_to_csp);
+    ("prop: 3SAT->coloring round trip", `Quick, red_sat_to_coloring);
+    ("prop: SAT->OV round trip", `Quick, red_sat_to_ov);
+    ("prop: Boolean CSP->2SAT round trip", `Quick, red_boolean_csp_to_2sat);
+    ("prop: clique->CSP round trip", `Quick, red_clique_to_csp);
+    ("prop: complement equivalences", `Quick, red_complement);
+    ("prop: domset->CSP round trip", `Quick, red_domset_to_csp);
+    ("prop: OV->diameter round trip", `Quick, red_ov_to_diameter);
+    ("prop: clique->special CSP round trip", `Quick, red_special_csp);
+  ]
