@@ -29,6 +29,7 @@ let register_all () =
       E17_diameter.experiment;
       E18_transition.experiment;
       E19_seth_bases.experiment;
+      E20_serve.experiment;
       A1_join_order.experiment;
       A2_ac3.experiment;
       A3_dpll_branching.experiment;

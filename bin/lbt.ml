@@ -5,7 +5,11 @@
      worstcase  build the Theorem 3.2 worst-case database and measure it
      evaluate   run the advisor on a random database for a query
      classify   Schaefer-classify a Boolean relation given by tuples
-*)
+     serve      long-lived query service over a line-delimited JSON protocol
+
+   Exit codes are uniform across subcommands: 0 success, 2 invalid
+   input (query/DIMACS parse errors), 3 resource-budget exhaustion,
+   1 other failures. *)
 
 open Cmdliner
 
@@ -15,27 +19,45 @@ let query_arg =
   let doc = "Join query, e.g. \"R(a,b), S(b,c), T(a,c)\"." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
 
-let parse_query s =
-  match Q.parse s with
-  | q -> Ok q
-  | exception Q.Parse_error msg -> Error msg
+(* The one place query parsing and its error handling happen: every
+   query-taking subcommand reports parse errors identically and exits
+   2 (invalid input). *)
+let with_query qtext f =
+  match Q.parse qtext with
+  | exception Q.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      2
+  | q -> f q
 
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run qtext =
-    match parse_query qtext with
-    | Error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
-        1
-    | Ok q ->
-        Printf.printf "query: %s\n\n" (Q.to_string q);
+  let json_arg =
+    let doc =
+      "Emit the analysis as one JSON object (the service's analysis \
+       encoding) instead of the human-readable report."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run qtext json =
+    with_query qtext (fun q ->
         let analysis = Lowerbounds.Bounds.analyze_query q in
-        Format.printf "%a@." Lowerbounds.Report.pp_analysis analysis;
-        0
+        if json then
+          print_endline
+            (Lb_service.Json.to_string
+               (Lb_service.Json.Obj
+                  [
+                    ("query", Lb_service.Json.String (Q.to_string q));
+                    ("analysis", Lb_service.Protocol.analysis_to_json analysis);
+                  ]))
+        else begin
+          Printf.printf "query: %s\n\n" (Q.to_string q);
+          Format.printf "%a@." Lowerbounds.Report.pp_analysis analysis
+        end;
+        0)
   in
   let doc = "Structural analysis and bound statements for a join query." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ query_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ query_arg $ json_arg)
 
 (* --- worstcase --- *)
 
@@ -45,11 +67,7 @@ let worstcase_cmd =
     Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc)
   in
   let run qtext n =
-    match parse_query qtext with
-    | Error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
-        1
-    | Ok q -> (
+    with_query qtext (fun q ->
         match Lb_relalg.Agm.rho_star q with
         | None ->
             Printf.eprintf "rho* undefined: some attribute is in no atom\n";
@@ -91,11 +109,7 @@ let evaluate_cmd =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
   let run qtext tuples domain seed =
-    match parse_query qtext with
-    | Error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
-        1
-    | Ok q ->
+    with_query qtext (fun q ->
         let rng = Lb_util.Prng.create seed in
         let rels = Hashtbl.create 8 in
         List.iter
@@ -117,7 +131,7 @@ let evaluate_cmd =
         let analysis, outcome = Lowerbounds.Advisor.evaluate db q in
         Format.printf "%a@.@.%a@." Lowerbounds.Report.pp_analysis analysis
           Lowerbounds.Report.pp_outcome outcome;
-        0
+        0)
   in
   let doc = "Evaluate a query on a random database with the advisor." in
   Cmd.v
@@ -186,18 +200,14 @@ let classify_cmd =
 
 let minimize_cmd =
   let run qtext =
-    match parse_query qtext with
-    | Error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
-        1
-    | Ok q ->
+    with_query qtext (fun q ->
         let m = Lb_csp.Cq.minimize q in
         Printf.printf "query:      %s\n" (Q.to_string q);
         Printf.printf "minimized:  %s\n" (Q.to_string m);
         let tw, _, _ = Lb_graph.Treewidth.best_effort (Q.primal_graph q) in
         Printf.printf "treewidth:  %d as written, %d after minimization\n" tw
           (Lb_csp.Cq.core_treewidth q);
-        0
+        0)
   in
   let doc =
     "Minimize a Boolean conjunctive query (Chandra-Merlin core); the \
@@ -209,11 +219,7 @@ let minimize_cmd =
 
 let fhw_cmd =
   let run qtext =
-    match parse_query qtext with
-    | Error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
-        1
-    | Ok q ->
+    with_query qtext (fun q ->
         let h = Q.hypergraph q in
         let n = Lb_hypergraph.Hypergraph.vertex_count h in
         (match Lb_hypergraph.Cover.rho_star h with
@@ -230,7 +236,7 @@ let fhw_cmd =
           "=> bags materializable at N^%.2f each; acyclic finish via \
            Yannakakis (Lb_relalg.Decomposed_join)\n"
           w;
-        0
+        0)
   in
   let doc = "Fractional hypertree width of a query hypergraph." in
   Cmd.v (Cmd.info "fhw" ~doc) Term.(const run $ query_arg)
@@ -333,6 +339,98 @@ let sat_cmd =
     (Cmd.info "sat" ~doc)
     Term.(const run $ file_arg $ timeout_arg $ metrics_arg)
 
+(* --- serve: the long-lived query service --- *)
+
+let serve_cmd =
+  let port_arg =
+    let doc =
+      "Listen on a TCP port (loopback).  Without it the server speaks \
+       the protocol on stdin/stdout."
+    in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Address to bind with --port." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let max_pending_arg =
+    let doc =
+      "Admission-control bound: requests beyond this many in one window \
+       are rejected with status \"overloaded\" instead of queued."
+    in
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc)
+  in
+  let plan_cache_arg =
+    let doc = "Plan cache entries (LRU)." in
+    Arg.(value & opt int 256 & info [ "plan-cache" ] ~docv:"N" ~doc)
+  in
+  let result_cache_arg =
+    let doc = "Result cache entries (LRU)." in
+    Arg.(value & opt int 128 & info [ "result-cache" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Default per-request wall-clock budget in milliseconds; exhaustion \
+       answers with status \"timeout\" and partial counters."
+    in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_ticks_arg =
+    let doc = "Default per-request deterministic tick budget." in
+    Arg.(value & opt (some int) None & info [ "max-ticks" ] ~docv:"N" ~doc)
+  in
+  let max_rows_arg =
+    let doc = "Cap on rows returned in a single reply." in
+    Arg.(value & opt int 10_000 & info [ "max-rows" ] ~docv:"N" ~doc)
+  in
+  let pool_arg =
+    let doc =
+      "Domains for parallel execution (1 = sequential, 0 = one per core)."
+    in
+    Arg.(value & opt int 1 & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let run port host max_pending plan_cache result_cache timeout_ms max_ticks
+      max_rows pool_n =
+    let with_pool f =
+      if pool_n = 1 then f None
+      else
+        let pool =
+          if pool_n = 0 then Lb_util.Pool.recommended ()
+          else Lb_util.Pool.create pool_n
+        in
+        Fun.protect ~finally:(fun () -> Lb_util.Pool.shutdown pool) (fun () ->
+            f (Some pool))
+    in
+    with_pool (fun pool ->
+        let config =
+          {
+            Lb_service.Server.max_pending;
+            plan_cache_size = plan_cache;
+            result_cache_size = result_cache;
+            default_timeout_ms = timeout_ms;
+            default_max_ticks = max_ticks;
+            max_rows;
+            pool;
+          }
+        in
+        let server = Lb_service.Server.create ~config () in
+        (match port with
+        | Some port -> Lb_service.Server.serve_tcp ~host server ~port
+        | None -> Lb_service.Server.serve_pipe server Unix.stdin stdout);
+        0)
+  in
+  let doc =
+    "Serve join queries over a line-delimited JSON protocol (stdin or \
+     TCP), planning each query from its structural parameters and \
+     caching plans and results."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ port_arg $ host_arg $ max_pending_arg $ plan_cache_arg
+      $ result_cache_arg $ timeout_arg $ max_ticks_arg $ max_rows_arg
+      $ pool_arg)
+
 let () =
   let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in
   let info = Cmd.info "lbt" ~version:"1.0.0" ~doc in
@@ -347,4 +445,5 @@ let () =
             minimize_cmd;
             fhw_cmd;
             sat_cmd;
+            serve_cmd;
           ]))

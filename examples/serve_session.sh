@@ -1,0 +1,25 @@
+#!/bin/sh
+# A complete `lbt serve` session over stdin/stdout: load a graph, watch
+# the planner pick a WCOJ engine for the (cyclic) triangle query and
+# Yannakakis for the (acyclic) path, see the repeat answered from the
+# result cache, bound a hard query by ticks, mutate the catalog (which
+# invalidates the caches), and read the lifetime stats.
+#
+# Run from the repository root:   sh examples/serve_session.sh
+# The service reads one JSON request per line and replies in kind;
+# piping through `python3 -m json.tool --json-lines` pretty-prints if
+# you have it, but the raw lines are already self-describing.
+
+exec dune exec bin/lbt.exe -- serve <<'EOF'
+{"op":"ping"}
+{"op":"load","name":"E","attrs":["u","v"],"tuples":[[0,1],[1,0],[0,2],[2,0],[1,2],[2,1],[1,3],[3,1],[2,3],[3,2]]}
+{"op":"query","q":"E(x,y), E(y,z), E(z,x)"}
+{"op":"query","q":"E(x,y), E(y,z)","count_only":true}
+{"op":"query","q":"E(x,y), E(y,z), E(z,x)"}
+{"op":"explain","q":"E(x,y), E(y,z), E(z,x)"}
+{"op":"query","q":"E(x,y), E(y,z), E(z,x), E(x,w), E(w,y)","max_ticks":4,"count_only":true}
+{"op":"insert","name":"E","tuples":[[0,3],[3,0]]}
+{"op":"query","q":"E(x,y), E(y,z), E(z,x)","count_only":true}
+{"op":"stats"}
+{"op":"shutdown"}
+EOF

@@ -22,6 +22,14 @@ let pp_analysis fmt (a : Bounds.analysis) =
 
 let analysis_to_string a = Format.asprintf "%a" pp_analysis a
 
+(* One-line rendering for contexts that embed statements in flat lists
+   (the service's plan explanations, JSON output). *)
+let statement_to_string (s : Bounds.statement) =
+  let tag = match s.kind with `Upper -> "UPPER" | `Lower -> "LOWER" in
+  Printf.sprintf "[%s] %s via %s (%s; assumes %s)" tag s.bound s.via
+    s.reference
+    (Hypothesis.name s.hypothesis)
+
 let pp_outcome fmt (o : Advisor.outcome) =
   Format.fprintf fmt "@[<v>strategy: %s@,answer: %d tuples@,%a@]"
     (Advisor.strategy_name o.strategy)

@@ -7,4 +7,8 @@ val pp_analysis : Format.formatter -> Bounds.analysis -> unit
 
 val analysis_to_string : Bounds.analysis -> string
 
+(** One-line rendering of a statement, for flat explanation lists
+    (the query service embeds these in plan explanations). *)
+val statement_to_string : Bounds.statement -> string
+
 val pp_outcome : Format.formatter -> Advisor.outcome -> unit

@@ -1,0 +1,44 @@
+(* Structural cost estimates: exponents of N per strategy, derived from
+   AGM bounds of (sub)queries.  The planner compares these, never raw
+   timings - the point the paper makes is that the structure already
+   decides. *)
+
+let total_input db (q : Query.t) =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (a : Query.atom) ->
+      if Hashtbl.mem seen a.rel then acc
+      else begin
+        Hashtbl.replace seen a.rel ();
+        match Database.find_opt db a.rel with
+        | Some r -> acc + Relation.cardinality r
+        | None -> acc
+      end)
+    0 q
+
+let wcoj_exponent = Agm.rho_star
+
+(* Largest AGM exponent over the prefixes of [order]: after joining the
+   first k atoms the intermediate can reach N^{rho*(prefix)} on
+   worst-case data (Theorem 3.1 is tight per subquery). *)
+let prefix_exponent (q : Query.t) (order : int list) =
+  let atoms = Array.of_list q in
+  let rec go acc prefix = function
+    | [] -> Some acc
+    | i :: rest -> (
+        let prefix = atoms.(i) :: prefix in
+        match Agm.rho_star (List.rev prefix) with
+        | None -> None
+        | Some r -> go (Float.max acc r) prefix rest)
+  in
+  go 0.0 [] order
+
+let binary_exponent db (q : Query.t) =
+  let order = Binary_plan.greedy_order db q in
+  match prefix_exponent q order with
+  | None -> None
+  | Some e -> Some (order, e)
+
+let log10_work db ~exponent =
+  let n = Database.max_cardinality db in
+  if n <= 1 then 0.0 else exponent *. Float.log10 (float_of_int n)

@@ -1,0 +1,30 @@
+(** Structural cost estimates for query planning: the exponents the
+    paper's bounds attach to each evaluation strategy, packaged for the
+    service planner.
+
+    All estimates are data-light: they look only at relation
+    cardinalities and the query hypergraph (rho* of subqueries via
+    {!Agm}), never at value distributions - which is exactly the
+    information the paper's worst-case statements are functions of. *)
+
+(** Sum of the cardinalities of the relations the query mentions
+    (each distinct relation counted once): the "input" of the
+    O(input + output) acyclic bound. *)
+val total_input : Database.t -> Query.t -> int
+
+(** The worst-case-optimal exponent: rho* of the whole query
+    ({!Agm.rho_star}). *)
+val wcoj_exponent : Query.t -> float option
+
+(** [binary_exponent db q] is the greedy left-deep order
+    ({!Binary_plan.greedy_order}) together with the largest AGM
+    exponent over its prefix subqueries - the worst-case size, as an
+    exponent of N, of any intermediate the plan can materialize.
+    Always at least [wcoj_exponent q] because the final prefix is the
+    whole query.  [None] when rho* is undefined. *)
+val binary_exponent : Database.t -> Query.t -> (int list * float) option
+
+(** [log10_work db ~exponent] is [exponent * log10 (max N)]: the
+    log-scale work estimate N^exponent evaluates to, 0 on an empty
+    database. *)
+val log10_work : Database.t -> exponent:float -> float

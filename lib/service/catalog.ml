@@ -1,0 +1,61 @@
+(* Versioned mutable catalog over the immutable Database.t. *)
+
+module Db = Lb_relalg.Database
+module R = Lb_relalg.Relation
+
+type t = { mutable db : Db.t; mutable version : int }
+
+let create () = { db = Db.empty; version = 0 }
+
+let version t = t.version
+
+let database t = t.db
+
+let bump t db =
+  t.db <- db;
+  t.version <- t.version + 1
+
+let without t name =
+  Db.of_list
+    (List.filter_map
+       (fun n -> if n = name then None else Some (n, Db.find t.db n))
+       (Db.names t.db))
+
+let load t ~name ~attrs tuples =
+  match R.make attrs tuples with
+  | exception Invalid_argument msg -> Error msg
+  | rel ->
+      bump t (Db.add (without t name) name rel);
+      Ok (R.cardinality rel)
+
+let insert t ~name tuples =
+  match Db.find_opt t.db name with
+  | None -> Error (Printf.sprintf "no relation %S" name)
+  | Some old -> (
+      let attrs = R.attrs old in
+      let width = R.width old in
+      match
+        List.find_opt (fun tup -> Array.length tup <> width) tuples
+      with
+      | Some tup ->
+          Error
+            (Printf.sprintf "tuple of width %d does not fit %S (width %d)"
+               (Array.length tup) name width)
+      | None -> (
+          match R.make attrs (Array.to_list (R.tuples old) @ tuples) with
+          | exception Invalid_argument msg -> Error msg
+          | rel ->
+              bump t (Db.add (without t name) name rel);
+              Ok (R.cardinality rel)))
+
+let drop t ~name =
+  match Db.find_opt t.db name with
+  | None -> Error (Printf.sprintf "no relation %S" name)
+  | Some _ ->
+      bump t (without t name);
+      Ok ()
+
+let summary t =
+  Db.names t.db
+  |> List.map (fun n -> (n, R.cardinality (Db.find t.db n)))
+  |> List.sort compare

@@ -1,0 +1,29 @@
+(** The server's mutable catalog: a named set of relations with a
+    version counter bumped on every successful mutation.  The version
+    keys the result cache, so cached answers can never leak across a
+    mutation even if an explicit invalidation were missed. *)
+
+type t
+
+val create : unit -> t
+
+(** Starts at 0; +1 per successful [load]/[insert]/[drop]. *)
+val version : t -> int
+
+(** The current immutable database snapshot (safe to share across
+    domains while mutations are quiesced). *)
+val database : t -> Lb_relalg.Database.t
+
+(** Create or replace a relation.  [Ok cardinality] after dedup;
+    [Error] on invalid schemas or ragged tuples (version unchanged). *)
+val load :
+  t -> name:string -> attrs:string array -> int array list -> (int, string) result
+
+(** Add tuples to an existing relation; [Ok cardinality] of the grown
+    relation. *)
+val insert : t -> name:string -> int array list -> (int, string) result
+
+val drop : t -> name:string -> (unit, string) result
+
+(** [(name, cardinality)] sorted by name. *)
+val summary : t -> (string * int) list

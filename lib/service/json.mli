@@ -1,0 +1,47 @@
+(** A small JSON layer for the service's line protocol and the CLI's
+    machine-readable output.
+
+    Printing is canonical: no insignificant whitespace, object fields
+    in the order given, integers bare, non-integral floats in a
+    round-tripping format - so [to_string (parse (to_string v)) =
+    to_string v] holds byte-for-byte, which the protocol fuzz tests
+    rely on and which makes cached replies stable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Parse one JSON value; trailing input (other than whitespace) is an
+    error.  Raises {!Parse_error}.  Numbers without [.]/[e] parse as
+    [Int]; others as [Float]. *)
+val parse : string -> t
+
+(** Canonical single-line rendering. *)
+val to_string : t -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** [member name obj] is the field's value; [None] when absent or when
+    the value is not an object. *)
+val member : string -> t -> t option
+
+(** Typed field accessors: [Error] names the missing/ill-typed field. *)
+val string_field : string -> t -> (string, string) result
+
+val int_field : string -> t -> (int, string) result
+
+(** [Ok default] when the field is absent. *)
+val opt_string_field : string -> t -> (string option, string) result
+
+val opt_int_field : string -> t -> (int option, string) result
+
+val opt_bool_field : ?default:bool -> string -> t -> (bool, string) result
+
+val list_field : string -> t -> (t list, string) result

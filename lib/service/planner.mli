@@ -1,0 +1,54 @@
+(** The structure-aware planner: choose an evaluation engine for a join
+    query from the structural parameters the paper shows are decisive -
+    acyclicity (Yannakakis, O(input + output)), rho* (worst-case-optimal
+    joins at N^{rho*}), and per-prefix AGM exponents (what a binary hash
+    plan risks materializing).
+
+    The choice is deterministic and explainable: every plan carries its
+    predicted exponent and the reasoning, reusing the
+    {!Lowerbounds.Bounds} / {!Lowerbounds.Advisor} vocabulary. *)
+
+type engine =
+  | Yannakakis  (** acyclic only: semijoin reduction + bottom-up joins *)
+  | Generic_join  (** WCOJ, variable-at-a-time intersections *)
+  | Leapfrog  (** WCOJ, sorted-stream leapfrogging *)
+  | Binary_hash  (** left-deep hash joins in a greedy order *)
+
+(** Protocol identifier: ["yannakakis"], ["generic_join"],
+    ["leapfrog"], ["binary_hash"]. *)
+val engine_name : engine -> string
+
+val engine_of_name : string -> (engine, string) result
+
+val all_engines : engine list
+
+type plan = {
+  engine : engine;
+  forced : bool;  (** the client requested this engine explicitly *)
+  acyclic : bool;
+  rho_star : float option;
+  predicted_exponent : float;
+      (** exponent e of the N^e work/size prediction: 1.0 when acyclic,
+          rho* for WCOJ engines, the max prefix-subquery AGM exponent
+          for binary plans *)
+  atom_order : int list option;  (** binary plans: the greedy order *)
+  explanation : string list;
+}
+
+(** Cost-based choice:
+    - acyclic queries run Yannakakis (predicted exponent 1.0);
+    - at most two atoms run a direct hash join (nothing to gain from
+      tries);
+    - cyclic queries of arity <= 2 run Leapfrog, higher arities
+      Generic Join - both at the AGM exponent, which the greedy binary
+      plan's prefix exponent can only match or exceed. *)
+val choose : Lb_relalg.Database.t -> Lb_relalg.Query.t -> plan
+
+(** Plan for a client-forced engine.  [Error] when the engine cannot
+    run the query (Yannakakis on a cyclic query). *)
+val plan_for :
+  engine -> Lb_relalg.Database.t -> Lb_relalg.Query.t -> (plan, string) result
+
+(** The {!Lowerbounds.Advisor} strategy a plan corresponds to, for
+    explanation reuse. *)
+val advisor_strategy : engine -> Lowerbounds.Advisor.strategy

@@ -1,0 +1,230 @@
+(* Typed requests/responses for the line protocol, with a canonical
+   JSON encoding (fixed field order, defaults omitted). *)
+
+type query_opts = {
+  engine : Planner.engine option;
+  count_only : bool;
+  limit : int option;
+  timeout_ms : int option;
+  max_ticks : int option;
+}
+
+let default_opts =
+  {
+    engine = None;
+    count_only = false;
+    limit = None;
+    timeout_ms = None;
+    max_ticks = None;
+  }
+
+type request =
+  | Load of { name : string; attrs : string list; tuples : int list list }
+  | Insert of { name : string; tuples : int list list }
+  | Drop of { name : string }
+  | Query of { text : string; opts : query_opts }
+  | Explain of { text : string }
+  | Stats
+  | Ping
+  | Shutdown
+
+(* --- encoding --- *)
+
+let tuples_to_json tuples =
+  Json.List (List.map (fun t -> Json.List (List.map (fun v -> Json.Int v) t)) tuples)
+
+let encode_request = function
+  | Load { name; attrs; tuples } ->
+      Json.Obj
+        [
+          ("op", Json.String "load");
+          ("name", Json.String name);
+          ("attrs", Json.List (List.map (fun a -> Json.String a) attrs));
+          ("tuples", tuples_to_json tuples);
+        ]
+  | Insert { name; tuples } ->
+      Json.Obj
+        [
+          ("op", Json.String "insert");
+          ("name", Json.String name);
+          ("tuples", tuples_to_json tuples);
+        ]
+  | Drop { name } ->
+      Json.Obj [ ("op", Json.String "drop"); ("name", Json.String name) ]
+  | Query { text; opts } ->
+      let optional name v f = Option.to_list (Option.map (fun x -> (name, f x)) v) in
+      Json.Obj
+        (("op", Json.String "query")
+        :: ("q", Json.String text)
+        :: (optional "engine" opts.engine (fun e ->
+                Json.String (Planner.engine_name e))
+           @ (if opts.count_only then [ ("count_only", Json.Bool true) ] else [])
+           @ optional "limit" opts.limit (fun n -> Json.Int n)
+           @ optional "timeout_ms" opts.timeout_ms (fun n -> Json.Int n)
+           @ optional "max_ticks" opts.max_ticks (fun n -> Json.Int n)))
+  | Explain { text } ->
+      Json.Obj [ ("op", Json.String "explain"); ("q", Json.String text) ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Ping -> Json.Obj [ ("op", Json.String "ping") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let request_to_string r = Json.to_string (encode_request r)
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let decode_tuples v =
+  let* rows = Json.list_field "tuples" v in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Json.List cells :: rest ->
+        let rec cells_go acc' = function
+          | [] -> Ok (List.rev acc')
+          | Json.Int i :: r -> cells_go (i :: acc') r
+          | _ -> Error "tuple values must be integers"
+        in
+        let* row = cells_go [] cells in
+        go (row :: acc) rest
+    | _ -> Error "\"tuples\" must be an array of arrays"
+  in
+  go [] rows
+
+let decode_query_opts v =
+  let* engine_name = Json.opt_string_field "engine" v in
+  let* engine =
+    match engine_name with
+    | None -> Ok None
+    | Some "auto" -> Ok None
+    | Some s ->
+        let* e = Planner.engine_of_name s in
+        Ok (Some e)
+  in
+  let* count_only = Json.opt_bool_field "count_only" v in
+  let* limit = Json.opt_int_field "limit" v in
+  let* timeout_ms = Json.opt_int_field "timeout_ms" v in
+  let* max_ticks = Json.opt_int_field "max_ticks" v in
+  Ok { engine; count_only; limit; timeout_ms; max_ticks }
+
+let decode_request v =
+  match v with
+  | Json.Obj _ -> (
+      let* op = Json.string_field "op" v in
+      match op with
+      | "load" ->
+          let* name = Json.string_field "name" v in
+          let* attrs_json = Json.list_field "attrs" v in
+          let* attrs =
+            List.fold_right
+              (fun a acc ->
+                let* acc = acc in
+                match a with
+                | Json.String s -> Ok (s :: acc)
+                | _ -> Error "\"attrs\" must be an array of strings")
+              attrs_json (Ok [])
+          in
+          let* tuples = decode_tuples v in
+          Ok (Load { name; attrs; tuples })
+      | "insert" ->
+          let* name = Json.string_field "name" v in
+          let* tuples = decode_tuples v in
+          Ok (Insert { name; tuples })
+      | "drop" ->
+          let* name = Json.string_field "name" v in
+          Ok (Drop { name })
+      | "query" ->
+          let* text = Json.string_field "q" v in
+          let* opts = decode_query_opts v in
+          Ok (Query { text; opts })
+      | "explain" ->
+          let* text = Json.string_field "q" v in
+          Ok (Explain { text })
+      | "stats" -> Ok Stats
+      | "ping" -> Ok Ping
+      | "shutdown" -> Ok Shutdown
+      | op -> Error (Printf.sprintf "unknown op %S" op))
+  | _ -> Error "request must be a JSON object"
+
+let request_of_string s =
+  match Json.parse s with
+  | v -> decode_request v
+  | exception Json.Parse_error msg -> Error ("invalid JSON: " ^ msg)
+
+(* --- shared encoders --- *)
+
+let counters_to_json counters =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)
+
+let plan_to_json (p : Planner.plan) =
+  Json.Obj
+    ([
+       ("engine", Json.String (Planner.engine_name p.engine));
+       ("forced", Json.Bool p.forced);
+       ("acyclic", Json.Bool p.acyclic);
+       ( "rho_star",
+         match p.rho_star with Some r -> Json.Float r | None -> Json.Null );
+       ("predicted_exponent", Json.Float p.predicted_exponent);
+     ]
+    @ (match p.atom_order with
+      | Some order ->
+          [ ("atom_order", Json.List (List.map (fun i -> Json.Int i) order)) ]
+      | None -> [])
+    @ [
+        ( "explanation",
+          Json.List (List.map (fun l -> Json.String l) p.explanation) );
+      ])
+
+let analysis_to_json (a : Lowerbounds.Bounds.analysis) =
+  let statement (s : Lowerbounds.Bounds.statement) =
+    Json.Obj
+      [
+        ( "kind",
+          Json.String (match s.kind with `Upper -> "upper" | `Lower -> "lower")
+        );
+        ("bound", Json.String s.bound);
+        ("via", Json.String s.via);
+        ("reference", Json.String s.reference);
+        ( "hypothesis",
+          Json.String (Lowerbounds.Hypothesis.name s.hypothesis) );
+      ]
+  in
+  Json.Obj
+    [
+      ("attributes", Json.Int a.attributes);
+      ("atoms", Json.Int a.atoms);
+      ("max_arity", Json.Int a.max_arity);
+      ( "rho_star",
+        match a.rho_star with Some r -> Json.Float r | None -> Json.Null );
+      ("acyclic", Json.Bool a.acyclic);
+      ("primal_treewidth", Json.Int a.primal_treewidth);
+      ("treewidth_exact", Json.Bool a.treewidth_exact);
+      ("statements", Json.List (List.map statement a.statements));
+    ]
+
+(* --- response builders --- *)
+
+let ok_fields ~op fields =
+  Json.Obj (("status", Json.String "ok") :: ("op", Json.String op) :: fields)
+
+let error_response msg =
+  Json.Obj [ ("status", Json.String "error"); ("message", Json.String msg) ]
+
+let overloaded_response ~pending ~max_pending =
+  Json.Obj
+    [
+      ("status", Json.String "overloaded");
+      ("pending", Json.Int pending);
+      ("max_pending", Json.Int max_pending);
+    ]
+
+let timeout_response ~plan ~reason ~ticks ~elapsed_ms ~partial =
+  Json.Obj
+    [
+      ("status", Json.String "timeout");
+      ("op", Json.String "query");
+      ("plan", plan_to_json plan);
+      ("reason", Json.String reason);
+      ("ticks", Json.Int ticks);
+      ("elapsed_ms", Json.Float elapsed_ms);
+      ("partial", counters_to_json partial);
+    ]

@@ -1,0 +1,65 @@
+(** The `lbt serve` line protocol: one JSON object per line in each
+    direction.
+
+    Requests are typed here with a canonical encoding - optional fields
+    are omitted when they hold their defaults, so
+    [request_to_string (request_of_string s)] is byte-identical to the
+    canonical rendering of [s], which the fuzz tests enforce.
+    Responses are built as {!Json.t} directly (the server owns their
+    shape); the encoders for plans and analyses live here so the CLI's
+    [lbt analyze --json] emits exactly the service's vocabulary. *)
+
+type query_opts = {
+  engine : Planner.engine option;  (** [None] = planner's choice *)
+  count_only : bool;
+  limit : int option;  (** cap on rows returned (not on the answer) *)
+  timeout_ms : int option;
+  max_ticks : int option;  (** deterministic tick budget *)
+}
+
+val default_opts : query_opts
+
+type request =
+  | Load of { name : string; attrs : string list; tuples : int list list }
+      (** create or replace a relation *)
+  | Insert of { name : string; tuples : int list list }
+  | Drop of { name : string }
+  | Query of { text : string; opts : query_opts }
+  | Explain of { text : string }
+  | Stats
+  | Ping
+  | Shutdown
+
+val encode_request : request -> Json.t
+
+val decode_request : Json.t -> (request, string) result
+
+(** Canonical line (no trailing newline). *)
+val request_to_string : request -> string
+
+val request_of_string : string -> (request, string) result
+
+(** {2 Shared encoders} *)
+
+val plan_to_json : Planner.plan -> Json.t
+
+val analysis_to_json : Lowerbounds.Bounds.analysis -> Json.t
+
+val counters_to_json : (string * int) list -> Json.t
+
+(** {2 Response builders} - every reply carries a ["status"] field:
+    ["ok"], ["error"], ["timeout"], or ["overloaded"]. *)
+
+val ok_fields : op:string -> (string * Json.t) list -> Json.t
+
+val error_response : string -> Json.t
+
+val overloaded_response : pending:int -> max_pending:int -> Json.t
+
+val timeout_response :
+  plan:Planner.plan ->
+  reason:string ->
+  ticks:int ->
+  elapsed_ms:float ->
+  partial:(string * int) list ->
+  Json.t

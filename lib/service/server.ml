@@ -1,0 +1,642 @@
+(* The query service.  See server.mli for the execution model; the
+   invariant that keeps the concurrency simple is that all shared
+   mutable state (catalog, caches, lifetime metrics) is touched only in
+   the sequential prepare/finish phases - the parallel phase runs pure
+   engine executions against an immutable database snapshot. *)
+
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
+module Lru = Lb_util.Lru
+module Pool = Lb_util.Pool
+
+type config = {
+  max_pending : int;
+  plan_cache_size : int;
+  result_cache_size : int;
+  default_timeout_ms : int option;
+  default_max_ticks : int option;
+  max_rows : int;
+  pool : Pool.t option;
+}
+
+let default_config =
+  {
+    max_pending = 64;
+    plan_cache_size = 256;
+    result_cache_size = 128;
+    default_timeout_ms = None;
+    default_max_ticks = None;
+    max_rows = 10_000;
+    pool = None;
+  }
+
+(* Cached answer: canonical column order, sorted rows. *)
+type answer = { attributes : string array; rows : int array array }
+
+type t = {
+  config : config;
+  catalog : Catalog.t;
+  plan_cache : (string, Planner.plan) Lru.t;
+  result_cache : (string, answer) Lru.t;
+  metrics : Metrics.t;
+  mutable shutdown : bool;
+}
+
+let create ?(config = default_config) () =
+  if config.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
+  {
+    config;
+    catalog = Catalog.create ();
+    plan_cache = Lru.create config.plan_cache_size;
+    result_cache = Lru.create config.result_cache_size;
+    metrics = Metrics.create ();
+    shutdown = false;
+  }
+
+let catalog t = t.catalog
+
+let metrics t = t.metrics
+
+let shutdown_requested t = t.shutdown
+
+(* --- canonical answers --- *)
+
+(* Project to the query's attribute order and sort lexicographically:
+   every engine then yields byte-identical rows. *)
+let canonical_answer (q : Q.t) (rel : R.t) =
+  let attributes = Q.attributes q in
+  let projected = R.project rel attributes in
+  let rows = Array.copy (R.tuples projected) in
+  Array.sort compare rows;
+  { attributes; rows }
+
+(* --- execution (pure w.r.t. server state) --- *)
+
+type exec_outcome =
+  | Answered of answer
+  | Timed_out of Budget.exhausted
+  | Failed of string
+
+type task = {
+  query : Q.t;
+  canonical : string;
+  plan : Planner.plan;
+  opts : Protocol.query_opts;
+  result_key : string;
+  sink : Metrics.t;
+  budget : Budget.t option;
+  mutable outcome : exec_outcome;
+  mutable elapsed_ms : float;
+  mutable collapsed : bool;
+      (* answered by another task of the same window with the same
+         result key, without its own execution *)
+}
+
+let run_engine ?pool (task : task) db =
+  let q = task.query in
+  let budget = task.budget in
+  let sink = task.sink in
+  match task.plan.Planner.engine with
+  | Planner.Yannakakis ->
+      (* No inner budget hooks: Yannakakis is output-bounded, so a
+         per-answer blowup cannot happen; check the deadline around. *)
+      Option.iter Budget.check budget;
+      let rel, stats = Lb_relalg.Yannakakis.answer db q in
+      Metrics.add sink "yannakakis.semijoins" stats.Lb_relalg.Yannakakis.semijoins;
+      Metrics.add sink "yannakakis.max_intermediate"
+        stats.Lb_relalg.Yannakakis.max_intermediate;
+      Option.iter Budget.check budget;
+      rel
+  | Planner.Generic_join ->
+      Lb_relalg.Generic_join.answer ?budget ~metrics:sink ?pool db q
+  | Planner.Leapfrog ->
+      Lb_relalg.Leapfrog.answer ?budget ~metrics:sink ?pool db q
+  | Planner.Binary_hash ->
+      Option.iter Budget.check budget;
+      let rel, stats =
+        match task.plan.Planner.atom_order with
+        | Some order -> Lb_relalg.Binary_plan.run_order db q order
+        | None -> Lb_relalg.Binary_plan.run db q
+      in
+      Metrics.add sink "binary.max_intermediate"
+        stats.Lb_relalg.Binary_plan.max_intermediate;
+      Metrics.add sink "binary.total_tuples"
+        stats.Lb_relalg.Binary_plan.total_tuples;
+      Option.iter Budget.check budget;
+      rel
+
+let execute ?pool (task : task) db =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match run_engine ?pool task db with
+    | rel -> Answered (canonical_answer task.query rel)
+    | exception Budget.Budget_exhausted e -> Timed_out e
+    | exception Invalid_argument msg -> Failed msg
+    | exception Failure msg -> Failed msg
+  in
+  task.outcome <- outcome;
+  (* microsecond-rounded: enough resolution, shorter replies *)
+  task.elapsed_ms <-
+    Float.round ((Unix.gettimeofday () -. t0) *. 1e6) /. 1e3
+
+(* --- responses --- *)
+
+let answer_fields t (task : task) ~cached (ans : answer) =
+  let opts = task.opts in
+  let count = Array.length ans.rows in
+  let limit =
+    match opts.Protocol.limit with
+    | Some l -> min l t.config.max_rows
+    | None -> t.config.max_rows
+  in
+  let shown = if opts.Protocol.count_only then 0 else min count limit in
+  let row_json r = Json.List (List.map (fun v -> Json.Int v) (Array.to_list r)) in
+  [
+    ("plan", Protocol.plan_to_json task.plan);
+    ("cached", Json.Bool cached);
+    ( "attributes",
+      Json.List
+        (List.map (fun a -> Json.String a) (Array.to_list ans.attributes)) );
+    ("count", Json.Int count);
+  ]
+  @ (if opts.Protocol.count_only then []
+     else
+       [
+         ( "rows",
+           Json.List (List.init shown (fun i -> row_json ans.rows.(i))) );
+         ("truncated", Json.Bool (shown < count));
+       ])
+  @ [ ("elapsed_ms", Json.Float task.elapsed_ms) ]
+
+let query_response t (task : task) ~cached ans ~with_counters =
+  let fields = answer_fields t task ~cached ans in
+  let fields =
+    if with_counters then
+      fields @ [ ("counters", Protocol.counters_to_json (Metrics.counters task.sink)) ]
+    else fields
+  in
+  Protocol.ok_fields ~op:"query" fields
+
+(* --- the window processor --- *)
+
+type item = Req of Protocol.request | Bad of string | Shed
+
+(* Sequential prepare: either a finished reply or a task to execute. *)
+type prepared = Ready of Json.t | Pending of task
+
+let reason_string = function
+  | Budget.Ticks -> "ticks"
+  | Budget.Deadline -> "deadline"
+  | Budget.Cancelled -> "cancelled"
+
+let incr t name = Metrics.incr t.metrics name
+
+let invalidate_caches t =
+  Lru.clear t.plan_cache;
+  Lru.clear t.result_cache;
+  incr t "serve.invalidations"
+
+let mutation_response t op name rows =
+  incr t "serve.mutations";
+  invalidate_caches t;
+  Protocol.ok_fields ~op
+    ([ ("relation", Json.String name) ]
+    @ (match rows with Some n -> [ ("rows", Json.Int n) ] | None -> [])
+    @ [ ("version", Json.Int (Catalog.version t.catalog)) ])
+
+let cache_stats name (c : (_, _) Lru.t) =
+  ( name,
+    Json.Obj
+      [
+        ("entries", Json.Int (Lru.length c));
+        ("capacity", Json.Int (Lru.capacity c));
+        ("hits", Json.Int (Lru.hits c));
+        ("misses", Json.Int (Lru.misses c));
+        ("evictions", Json.Int (Lru.evictions c));
+      ] )
+
+let stats_response t =
+  Protocol.ok_fields ~op:"stats"
+    [
+      ("version", Json.Int (Catalog.version t.catalog));
+      ( "relations",
+        Json.Obj
+          (List.map
+             (fun (n, c) -> (n, Json.Int c))
+             (Catalog.summary t.catalog)) );
+      ( "caches",
+        Json.Obj [ cache_stats "plan" t.plan_cache; cache_stats "result" t.result_cache ]
+      );
+      ("counters", Protocol.counters_to_json (Metrics.counters t.metrics));
+    ]
+
+(* Plan lookup through the plan cache.  The cache key includes the
+   engine choice; forced-infeasible combinations return Error. *)
+let plan_of t (q : Q.t) canonical (engine : Planner.engine option) =
+  let tag = match engine with None -> "auto" | Some e -> Planner.engine_name e in
+  let key = tag ^ "|" ^ canonical in
+  match Lru.find t.plan_cache key with
+  | Some plan ->
+      incr t "serve.cache.plan.hits";
+      Ok plan
+  | None -> (
+      incr t "serve.cache.plan.misses";
+      let db = Catalog.database t.catalog in
+      let planned =
+        match engine with
+        | None -> Ok (Planner.choose db q)
+        | Some e -> Planner.plan_for e db q
+      in
+      match planned with
+      | Ok plan ->
+          Lru.put t.plan_cache key plan;
+          incr t ("serve.plan." ^ Planner.engine_name plan.Planner.engine);
+          Ok plan
+      | Error _ as e -> e)
+
+(* Sequential phase A for a query: parse, plan, consult the result
+   cache; anything that avoids execution is Ready. *)
+let prepare_query t text (opts : Protocol.query_opts) =
+  match Q.parse text with
+  | exception Q.Parse_error msg ->
+      incr t "serve.errors";
+      Ready (Protocol.error_response ("parse error: " ^ msg))
+  | q -> (
+      let canonical = Q.to_string q in
+      match plan_of t q canonical opts.Protocol.engine with
+      | Error msg ->
+          incr t "serve.errors";
+          Ready (Protocol.error_response msg)
+      | Ok plan -> (
+          let result_key =
+            Printf.sprintf "%d|%s" (Catalog.version t.catalog) canonical
+          in
+          let task =
+            {
+              query = q;
+              canonical;
+              plan;
+              opts;
+              result_key;
+              sink = Metrics.create ();
+              budget = None;
+              outcome = Failed "not executed";
+              elapsed_ms = 0.0;
+              collapsed = false;
+            }
+          in
+          match Lru.find t.result_cache result_key with
+          | Some ans ->
+              incr t "serve.cache.result.hits";
+              Ready (query_response t task ~cached:true ans ~with_counters:false)
+          | None ->
+              incr t "serve.cache.result.misses";
+              let ticks =
+                match opts.Protocol.max_ticks with
+                | Some n -> Some n
+                | None -> t.config.default_max_ticks
+              in
+              let seconds =
+                match opts.Protocol.timeout_ms with
+                | Some ms -> Some (float_of_int ms /. 1000.)
+                | None ->
+                    Option.map
+                      (fun ms -> float_of_int ms /. 1000.)
+                      t.config.default_timeout_ms
+              in
+              let budget =
+                match (ticks, seconds) with
+                | None, None -> None
+                | _ -> Some (Budget.create ?ticks ?seconds ())
+              in
+              Pending { task with budget }))
+
+let prepare t (req : Protocol.request) =
+  incr t "serve.requests";
+  match req with
+  | Protocol.Ping -> Ready (Protocol.ok_fields ~op:"ping" [])
+  | Protocol.Shutdown ->
+      t.shutdown <- true;
+      Ready (Protocol.ok_fields ~op:"shutdown" [])
+  | Protocol.Stats -> Ready (stats_response t)
+  | Protocol.Load { name; attrs; tuples } -> (
+      match
+        Catalog.load t.catalog ~name ~attrs:(Array.of_list attrs)
+          (List.map Array.of_list tuples)
+      with
+      | Ok n -> Ready (mutation_response t "load" name (Some n))
+      | Error msg ->
+          incr t "serve.errors";
+          Ready (Protocol.error_response msg))
+  | Protocol.Insert { name; tuples } -> (
+      match Catalog.insert t.catalog ~name (List.map Array.of_list tuples) with
+      | Ok n -> Ready (mutation_response t "insert" name (Some n))
+      | Error msg ->
+          incr t "serve.errors";
+          Ready (Protocol.error_response msg))
+  | Protocol.Drop { name } -> (
+      match Catalog.drop t.catalog ~name with
+      | Ok () -> Ready (mutation_response t "drop" name None)
+      | Error msg ->
+          incr t "serve.errors";
+          Ready (Protocol.error_response msg))
+  | Protocol.Explain { text } -> (
+      incr t "serve.explains";
+      match Q.parse text with
+      | exception Q.Parse_error msg ->
+          incr t "serve.errors";
+          Ready (Protocol.error_response ("parse error: " ^ msg))
+      | q -> (
+          let canonical = Q.to_string q in
+          match plan_of t q canonical None with
+          | Error msg ->
+              incr t "serve.errors";
+              Ready (Protocol.error_response msg)
+          | Ok plan ->
+              Ready
+                (Protocol.ok_fields ~op:"explain"
+                   [
+                     ("query", Json.String canonical);
+                     ("plan", Protocol.plan_to_json plan);
+                     ( "analysis",
+                       Protocol.analysis_to_json
+                         (Lowerbounds.Bounds.analyze_query q) );
+                   ])))
+  | Protocol.Query { text; opts } ->
+      incr t "serve.queries";
+      prepare_query t text opts
+
+(* Sequential phase C: record the outcome into caches/metrics and
+   build the reply. *)
+let finish t (task : task) =
+  Metrics.merge_into ~dst:t.metrics task.sink;
+  match task.outcome with
+  | Answered ans when task.collapsed ->
+      (* Deduplicated within the window: report it as a cache hit. *)
+      incr t "serve.cache.result.hits";
+      query_response t task ~cached:true ans ~with_counters:false
+  | Answered ans ->
+      (* Key still current: mutations are barriers, so the catalog
+         cannot have moved under an executing window. *)
+      Lru.put t.result_cache task.result_key ans;
+      query_response t task ~cached:false ans ~with_counters:true
+  | Timed_out e ->
+      incr t "serve.timeouts";
+      Protocol.timeout_response ~plan:task.plan
+        ~reason:(reason_string e.Budget.reason)
+        ~ticks:e.Budget.ticks
+        ~elapsed_ms:(e.Budget.elapsed *. 1000.)
+        ~partial:(Metrics.counters task.sink)
+  | Failed msg ->
+      incr t "serve.errors";
+      Protocol.error_response msg
+
+(* Run a batch of prepared tasks: windows of >= 2 uncached queries fan
+   out over the pool (engines then run sequentially inside each
+   domain); a lone task keeps the pool for its own engine.
+
+   Duplicate queries inside one window (same result key, and no
+   per-request budget that could make outcomes diverge) collapse onto
+   one execution - the window-level analogue of the result cache. *)
+let run_tasks t (tasks : task list) =
+  let db = Catalog.database t.catalog in
+  let reps = Hashtbl.create 8 in
+  let to_run =
+    List.filter
+      (fun (task : task) ->
+        if Option.is_some task.budget then true
+        else
+          match Hashtbl.find_opt reps task.result_key with
+          | Some _ ->
+              task.collapsed <- true;
+              false
+          | None ->
+              Hashtbl.replace reps task.result_key task;
+              true)
+      tasks
+  in
+  (match to_run with
+  | [] -> ()
+  | [ task ] -> execute ?pool:t.config.pool task db
+  | to_run -> (
+      match t.config.pool with
+      | Some pool when Pool.size pool > 1 ->
+          let arr = Array.of_list to_run in
+          Pool.run pool ~chunks:(Array.length arr) (fun i -> execute arr.(i) db)
+      | _ -> List.iter (fun task -> execute ?pool:t.config.pool task db) to_run));
+  List.iter
+    (fun (task : task) ->
+      if task.collapsed then begin
+        let rep = Hashtbl.find reps task.result_key in
+        task.outcome <- rep.outcome;
+        task.elapsed_ms <- 0.0
+      end)
+    tasks
+
+(* Process a window in order.  Phase A prepares each item sequentially,
+   accumulating uncached queries; barriers (mutations, stats, shutdown)
+   and the end of the window flush the accumulated run - phase B
+   executes it (possibly pool-parallel), phase C records outcomes and
+   fills the reply slots.  Replies come back in item order. *)
+let process t (items : item list) =
+  let n = List.length items in
+  let slots = Array.make n None in
+  let pending = ref [] (* (slot index, task), newest first *) in
+  let flush () =
+    match List.rev !pending with
+    | [] -> ()
+    | batch ->
+        pending := [];
+        run_tasks t (List.map snd batch);
+        List.iter (fun (i, task) -> slots.(i) <- Some (finish t task)) batch
+  in
+  List.iteri
+    (fun i item ->
+      match item with
+      | Shed ->
+          incr t "serve.overloaded";
+          slots.(i) <-
+            Some
+              (Protocol.overloaded_response ~pending:t.config.max_pending
+                 ~max_pending:t.config.max_pending)
+      | Bad msg ->
+          incr t "serve.requests";
+          incr t "serve.errors";
+          slots.(i) <- Some (Protocol.error_response msg)
+      | Req req -> (
+          let barrier =
+            match req with
+            | Protocol.Query _ | Protocol.Explain _ | Protocol.Ping -> false
+            | Protocol.Load _ | Protocol.Insert _ | Protocol.Drop _
+            | Protocol.Stats | Protocol.Shutdown ->
+                true
+          in
+          if barrier then flush ();
+          match prepare t req with
+          | Ready r -> slots.(i) <- Some r
+          | Pending task -> pending := (i, task) :: !pending))
+    items;
+  flush ();
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> Protocol.error_response "internal: unanswered slot")
+       slots)
+
+(* --- public entry points --- *)
+
+let submit_window t reqs =
+  let items =
+    List.mapi
+      (fun i r -> if i < t.config.max_pending then Req r else Shed)
+      reqs
+  in
+  process t items
+
+let handle t req =
+  match submit_window t [ req ] with
+  | [ r ] -> r
+  | _ -> Protocol.error_response "internal: window of one produced no reply"
+
+let handle_line t line =
+  let reply =
+    match Protocol.request_of_string line with
+    | Ok req -> handle t req
+    | Error msg ->
+        incr t "serve.requests";
+        incr t "serve.errors";
+        Protocol.error_response msg
+  in
+  Json.to_string reply
+
+(* --- line-delimited serving over a file descriptor --- *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  bytes : Bytes.t;
+  mutable eof : bool;
+}
+
+let make_reader fd =
+  { fd; buf = Buffer.create 4096; bytes = Bytes.create 4096; eof = false }
+
+let take_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      Some line
+
+(* Blocking refill; false once the peer closed. *)
+let refill r =
+  if r.eof then false
+  else begin
+    let n = Unix.read r.fd r.bytes 0 (Bytes.length r.bytes) in
+    if n = 0 then begin
+      r.eof <- true;
+      false
+    end
+    else begin
+      Buffer.add_subbytes r.buf r.bytes 0 n;
+      true
+    end
+  end
+
+let rec read_line_block r =
+  match take_line r with
+  | Some l -> Some l
+  | None ->
+      if refill r then read_line_block r
+      else if Buffer.length r.buf > 0 then begin
+        let l = Buffer.contents r.buf in
+        Buffer.clear r.buf;
+        Some l
+      end
+      else None
+
+(* More input available without blocking? *)
+let has_pending r =
+  String.contains (Buffer.contents r.buf) '\n'
+  || (not r.eof)
+     &&
+     match Unix.select [ r.fd ] [] [] 0.0 with
+     | [ _ ], _, _ -> true
+     | _ -> false
+
+let is_blank line = String.trim line = ""
+
+(* Hard cap on shed markers per window, so a firehose client cannot
+   grow even the rejection list without bound. *)
+let shed_cap = 10_000
+
+let serve_pipe t fd oc =
+  let r = make_reader fd in
+  let rec loop () =
+    if not t.shutdown then
+      match read_line_block r with
+      | None -> ()
+      | Some first when is_blank first -> loop ()
+      | Some first ->
+          let items = ref [] and accepted = ref 0 and shed = ref 0 in
+          let add line =
+            if not (is_blank line) then
+              if !accepted < t.config.max_pending then begin
+                Stdlib.incr accepted;
+                let item =
+                  match Protocol.request_of_string line with
+                  | Ok req -> Req req
+                  | Error msg -> Bad msg
+                in
+                items := item :: !items
+              end
+              else begin
+                Stdlib.incr shed;
+                items := Shed :: !items
+              end
+          in
+          add first;
+          let rec drain () =
+            if !shed < shed_cap && has_pending r then
+              match read_line_block r with
+              | Some line ->
+                  add line;
+                  drain ()
+              | None -> ()
+          in
+          drain ();
+          List.iter
+            (fun reply ->
+              output_string oc (Json.to_string reply);
+              output_char oc '\n')
+            (process t (List.rev !items));
+          flush oc;
+          loop ()
+  in
+  loop ()
+
+let serve_tcp ?(host = "127.0.0.1") t ~port =
+  let addr = Unix.inet_addr_of_string host in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (addr, port));
+  Unix.listen sock 16;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec accept_loop () =
+        if not t.shutdown then begin
+          let conn, _ = Unix.accept sock in
+          let oc = Unix.out_channel_of_descr conn in
+          (try serve_pipe t conn oc with Unix.Unix_error _ | Sys_error _ -> ());
+          (try flush oc with Sys_error _ -> ());
+          (try Unix.close conn with Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ())

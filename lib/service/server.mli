@@ -1,0 +1,73 @@
+(** The `lbt serve` server: a long-lived catalog plus a request
+    processor with a structure-aware planner, plan/result LRU caches,
+    per-request budgets, admission control, and metrics.
+
+    Requests are processed in {e windows}: the pipe/TCP front end
+    drains every immediately-available line into a window of at most
+    [max_pending] requests and sheds the excess with
+    ["status":"overloaded"] replies - a bounded queue, never unbounded
+    buffering.  Within a window, consecutive read-only requests whose
+    answers are not cached execute concurrently on the configured
+    {!Lb_util.Pool}; catalog mutations, [stats], and [shutdown] are
+    barriers.  Cache and catalog state is touched only from the
+    sequential phases, so the shared {!Lb_util.Lru} caches need no
+    locking.  Responses always come back in request order.
+
+    Caching: a plan cache (canonical query text + engine choice ->
+    plan) and a result cache (catalog version + canonical query text ->
+    sorted answer).  Both are explicitly cleared by every successful
+    [load]/[insert]/[drop]; the result cache is additionally keyed by
+    the catalog version, so even a missed invalidation could not serve
+    a stale answer.  Cached answers are reported with ["cached":true].
+
+    Determinism: answers are projected to the query's attribute order
+    and sorted lexicographically, so equal queries produce
+    byte-identical ["rows"] regardless of the engine that ran them. *)
+
+type config = {
+  max_pending : int;  (** admission-control bound per window *)
+  plan_cache_size : int;
+  result_cache_size : int;
+  default_timeout_ms : int option;  (** per-request wall-clock budget *)
+  default_max_ticks : int option;  (** per-request deterministic budget *)
+  max_rows : int;  (** cap on rows returned in one reply *)
+  pool : Lb_util.Pool.t option;  (** engine / window parallelism *)
+}
+
+(** 64 pending, 256-entry plan cache, 128-entry result cache, no
+    default budgets, 10_000 returned rows, no pool. *)
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val catalog : t -> Catalog.t
+
+(** Server-lifetime metrics sink ([serve.*] counters plus merged
+    per-request engine counters). *)
+val metrics : t -> Lb_util.Metrics.t
+
+(** Set once a [shutdown] request has been processed. *)
+val shutdown_requested : t -> bool
+
+(** Process one request (a window of one). *)
+val handle : t -> Protocol.request -> Json.t
+
+(** Parse one line and process it; never raises - malformed input
+    becomes a ["status":"error"] reply. *)
+val handle_line : t -> string -> string
+
+(** Process a window in request order, applying admission control:
+    requests beyond [max_pending] are shed with
+    ["status":"overloaded"]. *)
+val submit_window : t -> Protocol.request list -> Json.t list
+
+(** Serve line-delimited JSON from a file descriptor, writing replies
+    (one line each, in order) to the channel.  Returns on EOF or after
+    [shutdown]. *)
+val serve_pipe : t -> Unix.file_descr -> out_channel -> unit
+
+(** Accept TCP connections (one at a time) on [host]:[port], serving
+    each with {!serve_pipe} until a [shutdown] request arrives. *)
+val serve_tcp : ?host:string -> t -> port:int -> unit

@@ -1,0 +1,111 @@
+(* Size-bounded LRU cache: a hash table from keys to nodes of an
+   intrusive doubly-linked list ordered by recency.  Every operation is
+   O(1); eviction unlinks the tail. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create cap =
+  if cap < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    cap;
+    table = Hashtbl.create (min cap 64);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+(* Unlink [n] from the recency list (it must be a member). *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+(* Push an unlinked node at the head (most recently used). *)
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      if t.head != Some n then begin
+        unlink t n;
+        push_front t n
+      end;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+      Hashtbl.remove t.table k;
+      unlink t n
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      Hashtbl.remove t.table n.key;
+      unlink t n;
+      t.evictions <- t.evictions + 1
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      if t.head != Some n then begin
+        unlink t n;
+        push_front t n
+      end
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_tail t;
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.head

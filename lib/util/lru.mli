@@ -1,0 +1,50 @@
+(** A size-bounded least-recently-used cache with O(1) [find]/[put]
+    (hash table + intrusive doubly-linked recency list) and built-in
+    hit/miss/eviction counters.
+
+    Built for the query service's plan and result caches, where the
+    counters are part of the observable protocol (cache hit rates are
+    reported per request and per server lifetime), but generic over any
+    hashable key.  Not thread-safe: callers serialize access (the
+    service touches its caches only from the sequential admission
+    phase). *)
+
+type ('k, 'v) t
+
+(** [create capacity] makes an empty cache holding at most [capacity]
+    bindings.  Raises [Invalid_argument] if [capacity < 1]. *)
+val create : int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+
+(** Bindings currently held ([<= capacity]). *)
+val length : ('k, 'v) t -> int
+
+(** [find t k] returns the cached value and marks it most recently
+    used; increments the hit counter, or the miss counter on [None]. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [mem t k] checks presence without touching recency or counters. *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** [put t k v] binds [k], replacing any existing binding, marking it
+    most recently used, and evicting the least recently used binding
+    if the cache is over capacity. *)
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** Remove a binding if present; recency and counters unchanged. *)
+val remove : ('k, 'v) t -> 'k -> unit
+
+(** Drop every binding (an explicit invalidation).  Counters are kept:
+    lifetime hit rates survive cache flushes. *)
+val clear : ('k, 'v) t -> unit
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+(** Bindings dropped by capacity eviction (not [remove]/[clear]). *)
+val evictions : ('k, 'v) t -> int
+
+(** Bindings from most to least recently used. *)
+val to_list : ('k, 'v) t -> ('k * 'v) list

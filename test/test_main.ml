@@ -20,5 +20,6 @@ let () =
       ("polymorphism", Test_polymorphism.suite);
       ("integration", Test_integration.suite);
       ("budget", Test_budget.suite);
+      ("service", Test_service.suite);
       ("property", Test_property.suite);
     ]

@@ -1,0 +1,452 @@
+(* Tests for the query service (lib/service).
+
+   - Planner differential: for random catalogs and queries, the answer
+     produced through the server (planner-chosen engine, and every
+     feasible forced engine) must equal the naive hash-join oracle
+     (Query.answer).
+   - Protocol fuzz: random typed requests encode -> decode -> encode
+     byte-identically, and decode is a left inverse of encode.
+   - Admission control: a window beyond max_pending is shed with
+     "overloaded" replies - the queue never grows past the bound.
+   - The scripted acceptance session: plans match the structure
+     (Yannakakis on the acyclic query, a WCOJ engine on the triangle),
+     repeats hit the result cache, a tick-bounded hard query times out
+     with partial counters, and mutations invalidate the cache. *)
+
+module Json = Lb_service.Json
+module Protocol = Lb_service.Protocol
+module Planner = Lb_service.Planner
+module Catalog = Lb_service.Catalog
+module Server = Lb_service.Server
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Prng = Lb_util.Prng
+module Metrics = Lb_util.Metrics
+
+let check = Alcotest.check
+
+(* --- response plumbing --- *)
+
+let field name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string json)
+
+let status json =
+  match field "status" json with
+  | Json.String s -> s
+  | _ -> Alcotest.fail "non-string status"
+
+let expect_ok ctxt json =
+  if status json <> "ok" then
+    Alcotest.failf "%s: expected ok, got %s" ctxt (Json.to_string json)
+
+let int_of = function Json.Int i -> i | _ -> Alcotest.fail "expected int"
+
+let rows_of_response json =
+  match field "rows" json with
+  | Json.List rows ->
+      List.map
+        (function
+          | Json.List cells -> Array.of_list (List.map int_of cells)
+          | _ -> Alcotest.fail "row is not an array")
+        rows
+  | _ -> Alcotest.fail "rows is not an array"
+
+let engine_of_response json =
+  match Json.member "engine" (field "plan" json) with
+  | Some (Json.String e) -> e
+  | _ -> Alcotest.fail "plan lacks engine"
+
+let cached_of_response json =
+  match field "cached" json with
+  | Json.Bool b -> b
+  | _ -> Alcotest.fail "cached is not a bool"
+
+(* Canonical form of the oracle answer: the server's column order
+   (attributes in order of first appearance) and sorted rows. *)
+let canonical_rows (q : Q.t) (rel : R.t) =
+  let projected = R.project rel (Q.attributes q) in
+  let rows = Array.copy (R.tuples projected) in
+  Array.sort compare rows;
+  Array.to_list rows
+
+(* --- random instances (same family as test_join_engine) --- *)
+
+let var_pool = [| "a"; "b"; "c"; "d" |]
+
+let random_query rng =
+  let nvars = 2 + Prng.int rng 3 in
+  let natoms = 1 + Prng.int rng 3 in
+  List.init natoms (fun i ->
+      let arity = 1 + Prng.int rng 3 in
+      let vs = Array.init arity (fun _ -> var_pool.(Prng.int rng nvars)) in
+      Q.atom (Printf.sprintf "R%d" i) vs)
+
+let random_db rng (q : Q.t) =
+  let dom = 2 + Prng.int rng 4 in
+  Db.of_list
+    (List.map
+       (fun (a : Q.atom) ->
+         let arity = Array.length a.Q.attrs in
+         let nrows =
+           if Prng.bernoulli rng 0.05 then 0 else 1 + Prng.int rng 12
+         in
+         let tuples =
+           List.init nrows (fun _ ->
+               Array.init arity (fun _ -> Prng.int rng dom))
+         in
+         let attrs = Array.init arity (Printf.sprintf "c%d") in
+         (a.Q.rel, R.make attrs tuples))
+       q)
+
+let server_with_db db =
+  let srv = Server.create () in
+  List.iter
+    (fun name ->
+      let rel = Db.find db name in
+      match
+        Catalog.load (Server.catalog srv) ~name ~attrs:(R.attrs rel)
+          (Array.to_list (R.tuples rel))
+      with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "catalog load %s: %s" name msg)
+    (Db.names db);
+  srv
+
+let query_req ?engine text =
+  Protocol.Query
+    { text; opts = { Protocol.default_opts with engine } }
+
+(* --- the differential property --- *)
+
+let test_planner_differential () =
+  for seed = 1 to 60 do
+    let rng = Prng.create (97 * seed) in
+    let q = random_query rng in
+    let db = random_db rng q in
+    let srv = server_with_db db in
+    let expected = canonical_rows q (Q.answer db q) in
+    let engines =
+      None
+      :: List.filter_map
+           (fun e ->
+             if
+               e = Planner.Yannakakis
+               && not (Lb_relalg.Yannakakis.is_acyclic q)
+             then None
+             else Some (Some e))
+           Planner.all_engines
+    in
+    List.iter
+      (fun engine ->
+        let reply = Server.handle srv (query_req ?engine (Q.to_string q)) in
+        let ctxt =
+          Printf.sprintf "seed %d, query %s, engine %s" seed (Q.to_string q)
+            (match engine with
+            | None -> "auto"
+            | Some e -> Planner.engine_name e)
+        in
+        expect_ok ctxt reply;
+        if rows_of_response reply <> expected then
+          Alcotest.failf "%s: answer differs from hash-join oracle" ctxt;
+        check Alcotest.int (ctxt ^ " count") (List.length expected)
+          (int_of (field "count" reply)))
+      engines
+  done
+
+(* --- protocol round-trip fuzz --- *)
+
+let name_pool =
+  [| "R"; "S"; "edge_2"; "we\"ird"; "back\\slash"; "tab\there"; "nl\nline";
+     "ctrl\001"; "caf\xc3\xa9" |]
+
+let random_string rng = name_pool.(Prng.int rng (Array.length name_pool))
+
+let random_tuples rng =
+  let rows = Prng.int rng 4 in
+  let width = 1 + Prng.int rng 3 in
+  List.init rows (fun _ ->
+      List.init width (fun _ -> Prng.int rng 20 - 5))
+
+let random_opts rng =
+  let opt f = if Prng.bool rng then Some (f ()) else None in
+  {
+    Protocol.engine =
+      (if Prng.bool rng then None
+       else
+         Some
+           (List.nth Planner.all_engines
+              (Prng.int rng (List.length Planner.all_engines))));
+    count_only = Prng.bool rng;
+    limit = opt (fun () -> Prng.int rng 1000);
+    timeout_ms = opt (fun () -> 1 + Prng.int rng 10_000);
+    max_ticks = opt (fun () -> 1 + Prng.int rng 1_000_000);
+  }
+
+let random_request rng =
+  match Prng.int rng 8 with
+  | 0 ->
+      Protocol.Load
+        {
+          name = random_string rng;
+          attrs = List.init (1 + Prng.int rng 3) (fun _ -> random_string rng);
+          tuples = random_tuples rng;
+        }
+  | 1 -> Protocol.Insert { name = random_string rng; tuples = random_tuples rng }
+  | 2 -> Protocol.Drop { name = random_string rng }
+  | 3 -> Protocol.Query { text = random_string rng; opts = random_opts rng }
+  | 4 -> Protocol.Explain { text = random_string rng }
+  | 5 -> Protocol.Stats
+  | 6 -> Protocol.Ping
+  | _ -> Protocol.Shutdown
+
+let test_protocol_roundtrip () =
+  for seed = 1 to 500 do
+    let rng = Prng.create (11 * seed) in
+    let req = random_request rng in
+    let line = Protocol.request_to_string req in
+    match Protocol.request_of_string line with
+    | Error msg -> Alcotest.failf "seed %d: decode failed: %s (%s)" seed msg line
+    | Ok req' ->
+        if req' <> req then
+          Alcotest.failf "seed %d: decode is not a left inverse (%s)" seed line;
+        let line' = Protocol.request_to_string req' in
+        check Alcotest.string
+          (Printf.sprintf "seed %d: byte-identical re-encode" seed)
+          line line'
+  done
+
+(* JSON values that did not originate from our encoder also round-trip
+   through parse/print canonically. *)
+let test_json_canonical () =
+  List.iter
+    (fun (input, canonical) ->
+      let v = Json.parse input in
+      check Alcotest.string input canonical (Json.to_string v);
+      check Alcotest.string (input ^ " (idempotent)") canonical
+        (Json.to_string (Json.parse (Json.to_string v))))
+    [
+      ({| { "a" : [ 1, 2.5, -3 ] , "b" : "xA\n" } |},
+       {|{"a":[1,2.5,-3],"b":"xA\n"}|});
+      ("[true,false,null]", "[true,false,null]");
+      ({|"café"|}, "\"caf\xc3\xa9\"");
+      ("1e3", "1000.0");
+      ("{}", "{}");
+    ]
+
+(* --- admission control --- *)
+
+let test_overload_rejection () =
+  let config = { Server.default_config with max_pending = 4 } in
+  let srv = Server.create ~config () in
+  (match
+     Catalog.load (Server.catalog srv) ~name:"R" ~attrs:[| "a"; "b" |]
+       [ [| 1; 2 |]; [| 2; 3 |] ]
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let reqs = List.init 20 (fun _ -> query_req "R(a,b)") in
+  let replies = Server.submit_window srv reqs in
+  check Alcotest.int "one reply per request" 20 (List.length replies);
+  List.iteri
+    (fun i reply ->
+      let expected = if i < 4 then "ok" else "overloaded" in
+      check Alcotest.string (Printf.sprintf "reply %d" i) expected
+        (status reply);
+      if i >= 4 then begin
+        check Alcotest.int "max_pending echoed" 4
+          (int_of (field "max_pending" reply))
+      end)
+    replies;
+  check Alcotest.(option int) "shed count" (Some 16)
+    (Metrics.find_counter (Server.metrics srv) "serve.overloaded")
+
+(* --- the scripted acceptance session --- *)
+
+let handle_ok srv ctxt req =
+  let reply = Server.handle srv req in
+  expect_ok ctxt reply;
+  reply
+
+let load_req name attrs tuples = Protocol.Load { name; attrs; tuples }
+
+let test_scripted_session () =
+  let srv = Server.create () in
+  let handle = Server.handle srv in
+  (* complete directed graph on 5 vertices *)
+  let edges =
+    List.concat_map
+      (fun x -> List.filter_map (fun y -> if x = y then None else Some [ x; y ])
+          [ 0; 1; 2; 3; 4 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  ignore (handle_ok srv "load E" (load_req "E" [ "u"; "v" ] edges));
+  ignore
+    (handle_ok srv "load P1" (load_req "P1" [ "a"; "b" ] [ [ 1; 2 ]; [ 2; 2 ] ]));
+  ignore
+    (handle_ok srv "load P2" (load_req "P2" [ "b"; "c" ] [ [ 2; 7 ]; [ 9; 9 ] ]));
+
+  let triangle = "E(x,y), E(y,z), E(z,x)" in
+  let path = "P1(a,b), P2(b,c)" in
+
+  (* 1. the planner picks a WCOJ engine for the triangle... *)
+  let r1 = handle_ok srv "triangle" (query_req triangle) in
+  let wcoj = engine_of_response r1 in
+  if wcoj <> "leapfrog" && wcoj <> "generic_join" then
+    Alcotest.failf "triangle should run on a WCOJ engine, got %s" wcoj;
+  check Alcotest.bool "first run is uncached" false (cached_of_response r1);
+  (* K5 has 5*4*3 ordered triangles *)
+  check Alcotest.int "triangle count" 60 (int_of (field "count" r1));
+
+  (* ...and Yannakakis for the acyclic query *)
+  let r2 = handle_ok srv "path" (query_req path) in
+  check Alcotest.string "acyclic engine" "yannakakis" (engine_of_response r2);
+  check Alcotest.int "path count" 2 (int_of (field "count" r2));
+
+  (* 2. the second identical query is answered from the result cache *)
+  let r3 = handle_ok srv "triangle again" (query_req triangle) in
+  check Alcotest.bool "second run cached" true (cached_of_response r3);
+  check Alcotest.string "cached rows identical"
+    (Json.to_string (field "rows" r1))
+    (Json.to_string (field "rows" r3));
+  (match
+     Metrics.find_counter (Server.metrics srv) "serve.cache.result.hits"
+   with
+  | Some n when n >= 1 -> ()
+  | other ->
+      Alcotest.failf "expected result-cache hits >= 1, got %s"
+        (match other with None -> "none" | Some n -> string_of_int n));
+
+  (* 3. a deadline-bounded hard query reports a structured timeout with
+        partial counters *)
+  let hard =
+    Protocol.Query
+      {
+        text = triangle ^ ", E(x,w), E(w,y)";
+        opts = { Protocol.default_opts with max_ticks = Some 2 };
+      }
+  in
+  let r4 = handle hard in
+  check Alcotest.string "timeout status" "timeout" (status r4);
+  check Alcotest.string "timeout reason" "ticks"
+    (match field "reason" r4 with Json.String s -> s | _ -> "?");
+  check Alcotest.int "ticks consumed" 2 (int_of (field "ticks" r4));
+  (match field "partial" r4 with
+  | Json.Obj fields ->
+      if fields = [] then Alcotest.fail "partial counters empty"
+  | _ -> Alcotest.fail "partial is not an object");
+  (match Metrics.find_counter (Server.metrics srv) "serve.timeouts" with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "serve.timeouts not incremented");
+
+  (* 4. catalog mutation invalidates the result cache *)
+  ignore
+    (handle_ok srv "insert"
+       (Protocol.Insert { name = "P2"; tuples = [ [ 2; 8 ] ] }));
+  let r5 = handle_ok srv "path after insert" (query_req path) in
+  check Alcotest.bool "post-mutation run is uncached" false
+    (cached_of_response r5);
+  check Alcotest.int "post-mutation count" 4 (int_of (field "count" r5));
+  let r6 = handle_ok srv "triangle after insert" (query_req triangle) in
+  check Alcotest.bool "triangle also invalidated" false
+    (cached_of_response r6);
+
+  (* 5. drop, then querying the dropped relation is an error *)
+  ignore (handle_ok srv "drop" (Protocol.Drop { name = "P1" }));
+  let r7 = handle (query_req path) in
+  check Alcotest.string "query after drop fails" "error" (status r7)
+
+(* --- the pipe front end: windows, shedding, in-order replies --- *)
+
+let test_serve_pipe_session () =
+  let lines =
+    [
+      {|{"op":"load","name":"R","attrs":["a","b"],"tuples":[[1,2],[2,3]]}|};
+      {|{"op":"query","q":"R(a,b)"}|};
+      {|{"op":"query","q":"R(a,b)"}|};
+      "this is not json";
+      {|{"op":"shutdown"}|};
+    ]
+  in
+  let input = String.concat "\n" lines ^ "\n" in
+  let r_in, w_in = Unix.pipe () in
+  let r_out, w_out = Unix.pipe () in
+  let written = Unix.write_substring w_in input 0 (String.length input) in
+  check Alcotest.int "wrote the session" (String.length input) written;
+  Unix.close w_in;
+  let srv = Server.create () in
+  let oc = Unix.out_channel_of_descr w_out in
+  Server.serve_pipe srv r_in oc;
+  flush oc;
+  close_out oc;
+  Unix.close r_in;
+  let ic = Unix.in_channel_of_descr r_out in
+  let replies = List.map (fun _ -> input_line ic) lines in
+  close_in ic;
+  check Alcotest.bool "shutdown reached" true (Server.shutdown_requested srv);
+  let statuses =
+    List.map (fun line -> status (Json.parse line)) replies
+  in
+  check
+    Alcotest.(list string)
+    "statuses in order"
+    [ "ok"; "ok"; "ok"; "error"; "ok" ]
+    statuses;
+  (* both queries were in one window: the duplicate collapses onto one
+     execution and reports as cached *)
+  let q1 = Json.parse (List.nth replies 1)
+  and q2 = Json.parse (List.nth replies 2) in
+  check Alcotest.bool "first uncached" false (cached_of_response q1);
+  check Alcotest.bool "duplicate collapsed to cached" true
+    (cached_of_response q2);
+  check Alcotest.string "identical rows"
+    (Json.to_string (field "rows" q1))
+    (Json.to_string (field "rows" q2))
+
+(* --- count_only / limit shaping --- *)
+
+let test_response_shaping () =
+  let srv = Server.create () in
+  ignore
+    (handle_ok srv "load"
+       (load_req "R" [ "a"; "b" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]));
+  let r =
+    Server.handle srv
+      (Protocol.Query
+         {
+           text = "R(a,b)";
+           opts = { Protocol.default_opts with count_only = true };
+         })
+  in
+  expect_ok "count_only" r;
+  check Alcotest.int "count" 3 (int_of (field "count" r));
+  check Alcotest.bool "no rows field" true (Json.member "rows" r = None);
+  let r =
+    Server.handle srv
+      (Protocol.Query
+         { text = "R(a,b)"; opts = { Protocol.default_opts with limit = Some 2 } })
+  in
+  expect_ok "limited" r;
+  check Alcotest.int "count unaffected by limit" 3 (int_of (field "count" r));
+  check Alcotest.int "rows limited" 2 (List.length (rows_of_response r));
+  check Alcotest.bool "marked truncated" true
+    (match field "truncated" r with Json.Bool b -> b | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "planner differential vs hash-join oracle" `Quick
+      test_planner_differential;
+    Alcotest.test_case "protocol round-trip fuzz" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "json canonical printing" `Quick test_json_canonical;
+    Alcotest.test_case "bounded-queue overload rejection" `Quick
+      test_overload_rejection;
+    Alcotest.test_case "scripted session (plans, cache, timeout, \
+                        invalidation)" `Quick test_scripted_session;
+    Alcotest.test_case "serve_pipe window semantics" `Quick
+      test_serve_pipe_session;
+    Alcotest.test_case "count_only and limit shaping" `Quick
+      test_response_shaping;
+  ]

@@ -273,6 +273,99 @@ let test_pool_size_one_inline () =
       Lb_util.Pool.run p ~chunks:5 (fun i -> seen := i :: !seen);
       check Alcotest.(list int) "inline, in order" [ 4; 3; 2; 1; 0 ] !seen)
 
+(* --- Lru --- *)
+
+module Lru = Lb_util.Lru
+
+let test_lru_basic () =
+  let c = Lru.create 2 in
+  check Alcotest.int "capacity" 2 (Lru.capacity c);
+  check Alcotest.int "empty" 0 (Lru.length c);
+  check Alcotest.(option int) "miss" None (Lru.find c "a");
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  check Alcotest.(option int) "hit a" (Some 1) (Lru.find c "a");
+  check Alcotest.(option int) "hit b" (Some 2) (Lru.find c "b");
+  check Alcotest.int "hits" 2 (Lru.hits c);
+  check Alcotest.int "misses" 1 (Lru.misses c);
+  Lru.put c "a" 10;
+  check Alcotest.int "replace keeps length" 2 (Lru.length c);
+  check Alcotest.(option int) "replaced value" (Some 10) (Lru.find c "a")
+
+let test_lru_eviction_order () =
+  let c = Lru.create 3 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "c" 3;
+  (* touch "a": now "b" is least recently used *)
+  ignore (Lru.find c "a");
+  Lru.put c "d" 4;
+  check Alcotest.int "one eviction" 1 (Lru.evictions c);
+  check Alcotest.bool "lru binding evicted" false (Lru.mem c "b");
+  check Alcotest.bool "recently used survives" true (Lru.mem c "a");
+  check
+    Alcotest.(list (pair string int))
+    "most-to-least recent" [ ("d", 4); ("a", 1); ("c", 3) ] (Lru.to_list c)
+
+let test_lru_remove_and_clear () =
+  let c = Lru.create 4 in
+  List.iter (fun (k, v) -> Lru.put c k v) [ ("a", 1); ("b", 2); ("c", 3) ];
+  ignore (Lru.find c "a");
+  ignore (Lru.find c "zzz");
+  Lru.remove c "b";
+  check Alcotest.int "length after remove" 2 (Lru.length c);
+  check Alcotest.bool "removed" false (Lru.mem c "b");
+  Lru.remove c "b" (* removing an absent key is a no-op *);
+  Lru.clear c;
+  check Alcotest.int "cleared" 0 (Lru.length c);
+  check Alcotest.int "hits survive clear" 1 (Lru.hits c);
+  check Alcotest.int "misses survive clear" 1 (Lru.misses c);
+  check Alcotest.int "clear is not an eviction" 0 (Lru.evictions c);
+  Lru.put c "x" 9;
+  check Alcotest.(option int) "usable after clear" (Some 9) (Lru.find c "x")
+
+let test_lru_capacity_one () =
+  let c = Lru.create 1 in
+  Lru.put c 1 "one";
+  Lru.put c 2 "two";
+  check Alcotest.int "length stays one" 1 (Lru.length c);
+  check Alcotest.(option string) "latest wins" (Some "two") (Lru.find c 2);
+  check Alcotest.int "evicted" 1 (Lru.evictions c);
+  check Alcotest.bool "rejects capacity 0" true
+    (try
+       ignore (Lru.create 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* Model check against an association-list LRU: same finds, same
+   contents, same recency order, under a random operation stream. *)
+let test_lru_model () =
+  let cap = 4 in
+  let c = Lru.create cap in
+  let model = ref [] (* most recent first, length <= cap *) in
+  let rng = Prng.create 2026 in
+  for _ = 1 to 2_000 do
+    let k = Prng.int rng 8 in
+    match Prng.int rng 3 with
+    | 0 ->
+        let v = Prng.int rng 1000 in
+        model := (k, v) :: List.remove_assoc k !model;
+        if List.length !model > cap then
+          model := List.filteri (fun i _ -> i < cap) !model;
+        Lru.put c k v
+    | 1 ->
+        let expected = List.assoc_opt k !model in
+        if expected <> None then
+          model := (k, List.assoc k !model) :: List.remove_assoc k !model;
+        check Alcotest.(option int) "find agrees" expected (Lru.find c k)
+    | _ ->
+        model := List.remove_assoc k !model;
+        Lru.remove c k
+  done;
+  check
+    Alcotest.(list (pair int int))
+    "final recency order" !model (Lru.to_list c)
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -309,4 +402,9 @@ let suite =
     Alcotest.test_case "pool re-raises chunk failure" `Quick test_pool_reraises;
     Alcotest.test_case "pool of one runs inline" `Quick
       test_pool_size_one_inline;
+    Alcotest.test_case "lru basic" `Quick test_lru_basic;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru remove and clear" `Quick test_lru_remove_and_clear;
+    Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+    Alcotest.test_case "lru model check" `Quick test_lru_model;
   ]
