@@ -154,6 +154,22 @@ let run () =
   Harness.table
     [ "n"; "m"; "GJ"; "GJ 2 dom"; "GJ 4 dom" ]
     (List.rev !wrows);
+  (* counting route: the popcount product (common-neighbor counts
+     summed over edges) against the edge-scan count, on a graph that
+     actually has triangles; the kernel's deterministic word counter
+     lands in the JSON artifact *)
+  print_newline ();
+  let gc = Gen.gnp (Harness.rng 77) 192 0.3 in
+  let mtr = Lb_util.Metrics.create () in
+  let c_mm = Tri.count_matmul ~metrics:mtr gc in
+  let c_scan = Tri.count_edge_scan gc in
+  assert (c_mm = c_scan);
+  Printf.printf
+    "counting route (gnp n = 192, p = 0.3): popcount-matmul = %d = edge \
+     scan\n"
+    c_mm;
+  Harness.counter "E10.count.triangles" c_mm;
+  Harness.counters_of_metrics "E10.count" mtr;
   let xs = Array.of_list (List.rev_map fst !hl_results) in
   let ys = Array.of_list (List.rev_map snd !hl_results) in
   let e_hl = Harness.fit_power xs ys in

@@ -15,6 +15,7 @@ module Prng = Lb_util.Prng
 let run () =
   let rows = ref [] in
   let mtr = Lb_util.Metrics.create () in
+  let mtr_blocked = Lb_util.Metrics.create () in
   let results =
     List.map
       (fun n ->
@@ -27,19 +28,31 @@ let run () =
           Harness.median_time 3 (fun () ->
               witness := Ov.solve ~metrics:mtr inst)
         in
+        (* blocked route through the matmul kernel: same witness (or
+           same absence), banded scan with early exit *)
+        let blocked = ref None in
+        let t_blocked =
+          Harness.median_time 3 (fun () ->
+              blocked := Ov.solve_blocked ~metrics:mtr_blocked inst)
+        in
+        assert (!blocked = !witness);
         rows :=
           [
             string_of_int n;
             "64";
             string_of_bool (!witness <> None);
             Harness.secs t;
+            Harness.secs t_blocked;
           ]
           :: !rows;
         (float_of_int n, t))
       (Harness.sizes [ 512; 1024; 2048; 4096 ])
   in
   Harness.counters_of_metrics "E15" mtr;
-  Harness.table [ "n (vectors/side)"; "dim"; "pair found"; "scan time" ] (List.rev !rows);
+  Harness.counters_of_metrics "E15.blocked" mtr_blocked;
+  Harness.table
+    [ "n (vectors/side)"; "dim"; "pair found"; "scan time"; "blocked scan" ]
+    (List.rev !rows);
   print_newline ();
   (* SAT -> OV *)
   let red_rows = ref [] in

@@ -34,6 +34,7 @@ let register_all () =
       A2_ac3.experiment;
       A3_dpll_branching.experiment;
       A4_nice_dp.experiment;
+      Micro.matmul_experiment;
     ]
 
 let () =

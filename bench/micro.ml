@@ -141,6 +141,160 @@ let tests () =
           fun () -> Lb_structure.Core_struct.core s));
   ]
 
+(* --- M1: the Boolean-matmul kernel sweep ---
+
+   Times the four product paths (naive word loop, cache-blocked
+   word-scan, Method of Four Russians, M4R + Domain pool) on random
+   dense n x n matrices, asserts bit-identical outputs, fits the
+   effective exponents, and records the naive->M4R crossover size.
+   Registered as an experiment so it lands in BENCH_matmul.json under
+   the determinism gate: the recorded counters (word counts, table
+   builds) come from sequential runs only, making them byte-identical
+   per seed; the timings are float metrics, suppressed under
+   --counters-only. *)
+let matmul_experiment =
+  {
+    Harness.id = "M1";
+    title = "Boolean matmul kernel: naive vs blocked vs Four-Russians";
+    claim =
+      "fast matrix multiplication is the engine of Sections 7-8; M4R \
+       tables drop the effective constant well below the naive word loop \
+       (target: >= 2x at the largest size)";
+    run =
+      (fun () ->
+        let module B = Lb_util.Matrix.Bool in
+        let module Metrics = Lb_util.Metrics in
+        (* smoke keeps the first two entries: 512 and 1024, the sizes
+           where the M4R tables are amortized and the >= 2x acceptance
+           bar applies *)
+        let ns = Harness.sizes [ 512; 1024; 64; 128; 256 ] in
+        let random_matrix rng n =
+          B.init n n (fun _ _ -> Lb_util.Prng.bool rng)
+        in
+        let reps n = if n <= 128 then 7 else 5 in
+        let rows = ref [] in
+        let samples = ref [] in
+        (* a full major collection before each series keeps GC debt
+           accumulated by earlier kernels (each product allocates the
+           result plus, for M4R, megabyte-scale tables) from landing
+           stochastically inside another kernel's timing *)
+        let timed r f =
+          Gc.full_major ();
+          Harness.median_time r f
+        in
+        (* The pooled series runs in a second pass so that the
+           sequential timings never share the process with an idle
+           domain: on this box even a parked pool participates in every
+           stop-the-world minor collection and corrupts adjacent
+           sequential measurements (see EXPERIMENTS.md engine notes). *)
+        let pooled =
+          Lb_util.Pool.with_pool 2 @@ fun pool ->
+          List.map
+            (fun n ->
+              let rng = Harness.rng (100 + n) in
+              let a = random_matrix rng n and b = random_matrix rng n in
+              let c_pool = B.mul_m4r ~pool a b in
+              let t_pool = timed (reps n) (fun () -> B.mul_m4r ~pool a b) in
+              (n, c_pool, t_pool))
+            ns
+        in
+        (* (n, naive_t, blocked_t, m4r_t, pool_t) *)
+        List.iter
+          (fun n ->
+            let rng = Harness.rng (100 + n) in
+            let a = random_matrix rng n and b = random_matrix rng n in
+            let r = reps n in
+            let c_naive = B.mul_naive a b in
+            let c_blocked = B.mul_blocked a b in
+            let c_m4r = B.mul_m4r a b in
+            let c_pool, t_pool =
+              let _, c, t = List.find (fun (n', _, _) -> n' = n) pooled in
+              (c, t)
+            in
+            assert (B.equal c_naive c_blocked);
+            assert (B.equal c_naive c_m4r);
+            assert (B.equal c_naive c_pool);
+            let t_naive = timed r (fun () -> B.mul_naive a b) in
+            let t_blocked = timed r (fun () -> B.mul_blocked a b) in
+            let t_m4r = timed r (fun () -> B.mul_m4r a b) in
+            samples := (n, t_naive, t_blocked, t_m4r, t_pool) :: !samples;
+            let nm = Printf.sprintf "M1.n%d" n in
+            Harness.metric (nm ^ ".naive") t_naive;
+            Harness.metric (nm ^ ".blocked") t_blocked;
+            Harness.metric (nm ^ ".m4r") t_m4r;
+            Harness.metric (nm ^ ".m4r_pool") t_pool;
+            (* deterministic work counters, sequential paths only *)
+            let count f =
+              let m = Metrics.create () in
+              ignore (f m);
+              let c name = Option.value ~default:0 (Metrics.find_counter m name) in
+              (c "matmul.words", c "matmul.table_builds")
+            in
+            let wn, _ = count (fun m -> B.mul_naive ~metrics:m a b) in
+            let wb, _ = count (fun m -> B.mul_blocked ~metrics:m a b) in
+            let wm, tb = count (fun m -> B.mul_m4r ~metrics:m a b) in
+            Harness.counter (nm ^ ".words.naive") wn;
+            Harness.counter (nm ^ ".words.blocked") wb;
+            Harness.counter (nm ^ ".words.m4r") wm;
+            Harness.counter (nm ^ ".table_builds") tb;
+            rows :=
+              [
+                string_of_int n;
+                Harness.secs t_naive;
+                Harness.secs t_blocked;
+                Harness.secs t_m4r;
+                Harness.secs t_pool;
+                Harness.f2 (t_naive /. t_m4r);
+              ]
+              :: !rows)
+          ns;
+        Harness.table
+          [ "n"; "naive"; "blocked"; "m4r"; "m4r+pool2"; "naive/m4r" ]
+          (List.rev !rows);
+        let samples = List.rev !samples in
+        let xs =
+          Array.of_list (List.map (fun (n, _, _, _, _) -> float_of_int n) samples)
+        in
+        let ys sel = Array.of_list (List.map sel samples) in
+        let e_naive = Harness.fit_power xs (ys (fun (_, t, _, _, _) -> t)) in
+        let e_blocked = Harness.fit_power xs (ys (fun (_, _, t, _, _) -> t)) in
+        let e_m4r = Harness.fit_power xs (ys (fun (_, _, _, t, _) -> t)) in
+        Harness.metric "M1.exponent.naive" e_naive;
+        Harness.metric "M1.exponent.blocked" e_blocked;
+        Harness.metric "M1.exponent.m4r" e_m4r;
+        (* crossover: smallest measured n where M4R wins over naive *)
+        let crossover =
+          List.fold_left
+            (fun acc (n, tn, _, tm, _) ->
+              match acc with
+              | Some _ -> acc
+              | None -> if tm < tn then Some n else None)
+            None
+            (List.sort compare samples)
+        in
+        (match crossover with
+        | Some n -> Harness.metric "M1.crossover.m4r_vs_naive" (float_of_int n)
+        | None -> ());
+        let n_max, t_naive_max, _, t_m4r_max, _ =
+          List.fold_left
+            (fun ((bn, _, _, _, _) as best) ((n, _, _, _, _) as s) ->
+              if n > bn then s else best)
+            (List.hd samples) samples
+        in
+        let speedup = t_naive_max /. t_m4r_max in
+        Harness.metric "M1.speedup.at_max" speedup;
+        Printf.printf
+          "\nfitted exponents: naive %.2f, blocked %.2f, m4r %.2f; %s\n"
+          e_naive e_blocked e_m4r
+          (match crossover with
+          | Some n -> Printf.sprintf "m4r overtakes naive by n = %d" n
+          | None -> "no m4r/naive crossover in range");
+        Harness.verdict (speedup >= 2.0)
+          (Printf.sprintf
+             "M4R is %.1fx the naive kernel at n = %d (acceptance: >= 2x)"
+             speedup n_max));
+  }
+
 let run () =
   let suite =
     Test.make_grouped ~name:"lowerbounds" ~fmt:"%s/%s" (tests ())

@@ -39,7 +39,7 @@ let bitparallel ?budget a b =
   if m = 0 || n = 0 then 0
   else begin
     let sigma = 1 + Array.fold_left max 0 (Array.append a b) in
-    let words = (m + word_bits - 1) / word_bits in
+    let words = Lb_util.Bits.words_for ~bits:word_bits m in
     let masks = Array.make_matrix sigma words 0 in
     Array.iteri
       (fun j c ->
@@ -86,10 +86,12 @@ let bitparallel ?budget a b =
       done;
       v.(words - 1) <- v.(words - 1) land last_valid
     done;
-    (* LCS = number of zero bits among the m valid positions *)
-    let zeros = ref 0 in
-    for j = 0 to m - 1 do
-      if v.(j / word_bits) land (1 lsl (j mod word_bits)) = 0 then incr zeros
+    (* LCS = number of zero bits among the m valid positions; words
+       beyond the valid mask are already clear, so m minus the total
+       popcount counts them word-parallel. *)
+    let ones = ref 0 in
+    for w = 0 to words - 1 do
+      ones := !ones + Lb_util.Bits.popcount v.(w)
     done;
-    !zeros
+    m - !ones
   end

@@ -14,7 +14,7 @@ type instance = {
   right : int array array;
 }
 
-let words_for dim = (dim + 62) / 63
+let words_for dim = Lb_util.Bits.words_for ~bits:63 dim
 
 let pack dim bools =
   let w = Array.make (words_for dim) 0 in
@@ -34,28 +34,54 @@ let orthogonal a b =
 (* Quadratic scan; returns a witness pair of indices.  The budget is
    ticked once per left row (each row is O(n d / 63) work), so a
    deadline interrupts the scan within a quantum of rows; [metrics]
-   counts the pairs actually examined. *)
+   counts the pairs actually examined — exactly [i*nr + j + 1] at a
+   witness (i, j), [nl*nr] on a miss, and the completed prefix on a
+   budget interrupt.  Plain while-loops instead of iterators + [Exit]
+   so the count can't drift when the exit unwinds mid-row. *)
 let solve ?budget ?(metrics = Lb_util.Metrics.disabled) inst =
+  let nl = Array.length inst.left and nr = Array.length inst.right in
   let res = ref None in
   let pairs = ref 0 in
   Fun.protect ~finally:(fun () ->
       Lb_util.Metrics.add metrics "ov.pairs_scanned" !pairs)
   @@ fun () ->
-  (try
-     Array.iteri
-       (fun i a ->
-         (match budget with Some b -> Lb_util.Budget.tick b | None -> ());
-         Array.iteri
-           (fun j b ->
-             incr pairs;
-             if orthogonal a b then begin res := Some (i, j); raise Exit end)
-           inst.right)
-       inst.left
-   with Exit -> ());
+  let i = ref 0 in
+  while !res = None && !i < nl do
+    (match budget with Some b -> Lb_util.Budget.tick b | None -> ());
+    let a = inst.left.(!i) in
+    let j = ref 0 in
+    while !res = None && !j < nr do
+      incr pairs;
+      if orthogonal a inst.right.(!j) then res := Some (!i, !j);
+      incr j
+    done;
+    incr i
+  done;
   !res
 
 let solve_bounded ?budget ?metrics inst =
   Lb_util.Budget.protect (fun () -> solve ?budget ?metrics inst)
+
+(* Blocked route: the packed vectors already use Matrix.Bool's 63-bit
+   row layout, so both sides adopt in-place into matrices and the
+   search for an orthogonal pair becomes finding a zero entry of
+   A * B^T via the kernel's banded scan (early exit per band,
+   optionally Domain-parallel with a deterministic witness).  The
+   [ov.pairs_scanned] delta is derived from the witness position, so it
+   matches [solve]'s count exactly (and deterministically, even under
+   [?pool] where the words actually touched vary). *)
+let solve_blocked ?pool ?budget ?(metrics = Lb_util.Metrics.disabled) inst =
+  let a = Lb_util.Matrix.Bool.of_packed_rows ~m:inst.dim inst.left in
+  let b = Lb_util.Matrix.Bool.of_packed_rows ~m:inst.dim inst.right in
+  let res = Lb_util.Matrix.Bool.find_orthogonal_rows ?pool ?budget ~metrics a b in
+  let nr = Array.length inst.right in
+  let pairs =
+    match res with
+    | Some (i, j) -> (i * nr) + j + 1
+    | None -> Array.length inst.left * nr
+  in
+  Lb_util.Metrics.add metrics "ov.pairs_scanned" pairs;
+  res
 
 (* Random instance: each coordinate set with probability p.  With p
    around 1/2 and d >> log n, orthogonal pairs are rare, keeping the

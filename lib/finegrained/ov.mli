@@ -20,8 +20,23 @@ val orthogonal : int array -> int array -> bool
 (** Quadratic scan with early exit; witness index pair.  [?budget] is
     ticked once per left row (raising
     {!Lb_util.Budget.Budget_exhausted} when spent); [?metrics] records
-    the [ov.pairs_scanned] delta, also on an interrupted run. *)
+    the [ov.pairs_scanned] delta, also on an interrupted run: exactly
+    [i*nr + j + 1] at a witness [(i, j)], [nl*nr] on a miss, and the
+    completed prefix when the budget interrupts the scan. *)
 val solve :
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  instance ->
+  (int * int) option
+
+(** Blocked route through {!Lb_util.Matrix.Bool.find_orthogonal_rows}:
+    packs both sides into Boolean matrices (zero-copy — the vector
+    layout is already the matrix row layout) and finds a zero of
+    A * B^T with early exit per band of left rows.  Same witness and
+    the same (deterministic) [ov.pairs_scanned] delta as {!solve};
+    [?pool] parallelizes the bands without changing either. *)
+val solve_blocked :
+  ?pool:Lb_util.Pool.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   instance ->

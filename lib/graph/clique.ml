@@ -63,8 +63,11 @@ let list_cliques g t =
 
 (* Nesetril-Poljak: detect a 3t-clique via triangle detection on the
    t-clique auxiliary graph.  [k] must be positive and divisible by 3.
-   Returns a witness clique if one exists. *)
-let find_matmul g k =
+   Returns a witness clique if one exists.  The auxiliary triangle is
+   found through the Boolean product M*M (the kernel's blocked/M4R
+   paths, Domain-parallel under [?pool]) rather than per-pair row
+   intersections. *)
+let find_matmul ?pool ?budget ?metrics g k =
   if k <= 0 || k mod 3 <> 0 then
     invalid_arg "Clique.find_matmul: k must be a positive multiple of 3";
   let t = k / 3 in
@@ -94,13 +97,13 @@ let find_matmul g k =
       done
     done;
     (* find a triangle (i,j,l) in the auxiliary graph using the product:
-       (M*M)(i,j) && M(i,j).  We scan edges and test row intersection,
-       which is the word-parallel equivalent. *)
+       (M*M)(i,j) && M(i,j). *)
+    let m2 = Matrix.Bool.mul ?pool ?budget ?metrics m m in
     let witness = ref None in
     (try
        for i = 0 to nc - 1 do
          for j = i + 1 to nc - 1 do
-           if Matrix.Bool.get m i j && Matrix.Bool.rows_intersect m i j then begin
+           if Matrix.Bool.get m i j && Matrix.Bool.get m2 i j then begin
              (* recover l *)
              for l = 0 to nc - 1 do
                if !witness = None && Matrix.Bool.get m i l && Matrix.Bool.get m j l

@@ -16,8 +16,15 @@ val list_cliques : Graph.t -> int -> int array list
 
 (** Nesetril-Poljak: detect a [k]-clique ([k] a positive multiple of 3)
     as a triangle on the [k/3]-clique auxiliary graph, via word-packed
-    Boolean matrix multiplication.  Returns a witness clique. *)
-val find_matmul : Graph.t -> int -> int array option
+    Boolean matrix multiplication ([?pool]/[?budget]/[?metrics] reach
+    the kernel).  Returns a witness clique. *)
+val find_matmul :
+  ?pool:Lb_util.Pool.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Graph.t ->
+  int ->
+  int array option
 
 (** Maximum clique (Bron-Kerbosch with pivoting). *)
 val max_clique : Graph.t -> int array

@@ -39,23 +39,100 @@ let eccentricity g v =
   if !connected then Some !ecc else None
 
 (* Exact diameter / radius by n BFS runs: O(nm).  [None] on disconnected
-   or empty graphs. *)
-let diameter g =
+   or empty graphs.  [?pool] spreads the BFS sources over domains (each
+   writes its own slot, so the result is deterministic; the sequential
+   path keeps its early exit on disconnection).  [?budget] is ticked
+   once per source; [?metrics] counts BFS runs under "distance.bfs". *)
+let diameter ?pool ?budget ?(metrics = Lb_util.Metrics.disabled) g =
+  let n = Graph.vertex_count g in
+  let tick () = match budget with Some b -> Lb_util.Budget.tick b | None -> () in
+  if n = 0 then None
+  else begin
+    match pool with
+    | Some p when n > 1 ->
+        for _ = 1 to n do tick () done;
+        let ecc = Array.make n (Some 0) in
+        Lb_util.Pool.run p ~chunks:(min n 64) (fun chunk ->
+            let per = (n + min n 64 - 1) / min n 64 in
+            let lo = chunk * per and hi = min n ((chunk + 1) * per) in
+            for v = lo to hi - 1 do
+              ecc.(v) <- eccentricity g v
+            done);
+        Lb_util.Metrics.add metrics "distance.bfs" n;
+        Array.fold_left
+          (fun acc e ->
+            match (acc, e) with
+            | Some b, Some e -> Some (max b e)
+            | _ -> None)
+          (Some 0) ecc
+    | _ ->
+        let best = ref (Some 0) in
+        let bfs_runs = ref 0 in
+        (try
+           for v = 0 to n - 1 do
+             tick ();
+             incr bfs_runs;
+             match (eccentricity g v, !best) with
+             | Some e, Some b -> best := Some (max e b)
+             | None, _ ->
+                 best := None;
+                 raise Exit
+             | _, None -> raise Exit
+           done
+         with Exit -> ());
+        Lb_util.Metrics.add metrics "distance.bfs" !bfs_runs;
+        !best
+  end
+
+(* Diameter through the matmul kernel: repeated Boolean squaring of
+   R = A or I gives reachability within 2^j steps; once R^(2^k) is
+   all-ones, binary search down over the stored powers pins the least d
+   with R^d all-ones, which is the diameter.  O(log d) Boolean products
+   — the "fast matrix multiplication" route to distances, against which
+   E17 compares the n-BFS baseline.  If squaring reaches a fixpoint
+   short of all-ones the graph is disconnected: [None]. *)
+let diameter_matmul ?pool ?budget ?metrics g =
+  let module B = Lb_util.Matrix.Bool in
   let n = Graph.vertex_count g in
   if n = 0 then None
   else begin
-    let best = ref (Some 0) in
-    (try
-       for v = 0 to n - 1 do
-         match (eccentricity g v, !best) with
-         | Some e, Some b -> best := Some (max e b)
-         | None, _ ->
-             best := None;
-             raise Exit
-         | _, None -> raise Exit
-       done
-     with Exit -> ());
-    !best
+    let r1 =
+      B.init n n (fun i j -> i = j || Graph.has_edge g i j)
+    in
+    if B.all_set r1 then Some (if n = 1 then 0 else 1)
+    else begin
+      (* powers.(j) = R^(2^j); square until all-ones or fixpoint *)
+      let powers = ref [ r1 ] in
+      let rec grow last =
+        let next = B.mul ?pool ?budget ?metrics last last in
+        if B.all_set next then (
+          powers := next :: !powers;
+          true)
+        else if B.equal next last then false (* disconnected *)
+        else (
+          powers := next :: !powers;
+          grow next)
+      in
+      if not (grow r1) then None
+      else begin
+        let ps = Array.of_list (List.rev !powers) in
+        (* ps.(kk) is all-ones, ps.(kk-1) is not: diameter is in
+           (2^(kk-1), 2^kk].  Walk the lower bits down: keep an
+           accumulator acc = R^lo that is NOT all-ones and try adding
+           each power of two below. *)
+        let kk = Array.length ps - 1 in
+        let lo = ref (1 lsl (kk - 1)) in
+        let acc = ref ps.(kk - 1) in
+        for j = kk - 2 downto 0 do
+          let cand = B.mul ?pool ?budget ?metrics !acc ps.(j) in
+          if not (B.all_set cand) then begin
+            acc := cand;
+            lo := !lo + (1 lsl j)
+          end
+        done;
+        Some (!lo + 1)
+      end
+    end
   end
 
 let radius g =

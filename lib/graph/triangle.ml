@@ -60,9 +60,9 @@ let adjacency_bool g =
     g;
   m
 
-let detect_matmul g =
+let detect_matmul ?pool ?budget ?metrics g =
   let a = adjacency_bool g in
-  let a2 = Matrix.Bool.mul a a in
+  let a2 = Matrix.Bool.mul ?pool ?budget ?metrics a a in
   let n = Graph.vertex_count g in
   let found = ref None in
   (try
@@ -82,7 +82,7 @@ let detect_matmul g =
    with Exit -> ());
   !found
 
-let detect_heavy_light ?delta g =
+let detect_heavy_light ?delta ?pool ?budget ?metrics g =
   let n = Graph.vertex_count g in
   let m = Graph.edge_count g in
   let delta =
@@ -122,20 +122,21 @@ let detect_heavy_light ?delta g =
       if Array.length hv < 3 then None
       else begin
         let sub, map = Graph.induced g hv in
-        match detect_matmul sub with
+        match detect_matmul ?pool ?budget ?metrics sub with
         | Some (a, b, c) -> Some (map.(a), map.(b), map.(c))
         | None -> None
       end
 
-(* Exact triangle count via trace(A^3)/6 on int matrices. *)
-let count_matmul g =
-  let n = Graph.vertex_count g in
-  let a =
-    Matrix.Int.init n n (fun i j -> if Graph.has_edge g i j then 1 else 0)
-  in
-  let a2 = Matrix.Int.mul a a in
-  let a3 = Matrix.Int.mul a2 a in
-  Matrix.Int.trace a3 / 6
+(* Exact triangle count: C = popcount product A * A counts the common
+   neighbors of every pair, so summing C(u,v) over edges {u,v} counts
+   each triangle once per corner.  Entries of C are degrees at most, so
+   (unlike the old trace(A^3) int-matrix route) nothing can overflow. *)
+let count_matmul ?pool ?budget ?metrics g =
+  let a = adjacency_bool g in
+  let c = Matrix.Bool.mul_count ?pool ?budget ?metrics a a in
+  let total = ref 0 in
+  Graph.iter_edges (fun u v -> total := !total + Matrix.Int.get c u v) g;
+  !total / 3
 
 (* Triangle count by edge scanning: each triangle {u<v<w} is counted at
    its edge (u,v) with the witness w > v. *)

@@ -11,16 +11,37 @@ val detect_edge_scan : Graph.t -> (int * int * int) option
 (** Adjacency matrix of the graph as a Boolean matrix. *)
 val adjacency_bool : Graph.t -> Lb_util.Matrix.Bool.t
 
-(** Boolean [A^2] against [A]: the "[O(d^omega)]" dense detector. *)
-val detect_matmul : Graph.t -> (int * int * int) option
+(** Boolean [A^2] against [A]: the "[O(d^omega)]" dense detector.
+    [?pool]/[?budget]/[?metrics] are forwarded to the matmul kernel. *)
+val detect_matmul :
+  ?pool:Lb_util.Pool.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Graph.t ->
+  (int * int * int) option
 
 (** Alon-Yuster-Zwick heavy/light split: light edges by neighborhood
     scan, heavy core by matmul - the [O(m^{2w/(w+1)})] algorithm.
-    [delta] overrides the degree threshold (default [sqrt m]). *)
-val detect_heavy_light : ?delta:int -> Graph.t -> (int * int * int) option
+    [delta] overrides the degree threshold (default [sqrt m]); the
+    kernel options apply to the heavy phase. *)
+val detect_heavy_light :
+  ?delta:int ->
+  ?pool:Lb_util.Pool.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Graph.t ->
+  (int * int * int) option
 
-(** Exact count via [trace(A^3) / 6] on int matrices. *)
-val count_matmul : Graph.t -> int
+(** Exact count via the popcount product: sums common-neighbor counts
+    over edges, so every entry is a degree and nothing overflows
+    (unlike the former [trace(A^3)] int route — see
+    {!Lb_util.Matrix.Int.mul}). *)
+val count_matmul :
+  ?pool:Lb_util.Pool.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Graph.t ->
+  int
 
 (** Exact count by edge scanning. *)
 val count_edge_scan : Graph.t -> int

@@ -65,3 +65,87 @@ let is_hyperclique h ~d vs =
       let tuple = List.sort compare (Array.to_list (Array.map (fun i -> vs.(i)) sub)) in
       if not (Int_set.mem tuple idx) then ok := false);
   !ok
+
+(* Auxiliary-graph product route, mirroring Nesetril-Poljak for cliques:
+   vertices of the auxiliary graph are the t-sets (t = k/3) whose
+   d-subsets are all edges; two are adjacent when disjoint and their
+   union again has every d-subset an edge; candidate triples come from
+   the Boolean product M*M against M.  Crucially — and this is the
+   point of the hyperclique conjecture (Section 8) — for d >= 3
+   pairwise adjacency does NOT certify the 3t-set: a d-subset drawing
+   from all three parts is never checked by any pair, so each candidate
+   must still be verified against all its d-subsets, and the scan
+   continues when verification fails.  Matmul prunes but cannot decide;
+   the verification step is where the conjectured n^k hardness hides. *)
+let find_matmul ?pool ?budget ?metrics h ~d ~k =
+  if not (Hypergraph.is_uniform h d) then
+    invalid_arg "Hyperclique.find_matmul: hypergraph is not d-uniform";
+  if k < d then invalid_arg "Hyperclique.find_matmul: k < d";
+  if k mod 3 <> 0 then
+    invalid_arg "Hyperclique.find_matmul: k must be a multiple of 3";
+  let n = Hypergraph.vertex_count h in
+  let idx = edge_index h in
+  let is_edge l = Int_set.mem l idx in
+  (* every d-subset of vs (sorted array) is an edge; vacuous below d *)
+  let set_ok vs =
+    let len = Array.length vs in
+    let ok = ref true in
+    if len >= d then
+      Lb_util.Combinat.iter_subsets len d (fun sub ->
+          if !ok then begin
+            let tuple =
+              List.sort compare
+                (Array.to_list (Array.map (fun i -> vs.(i)) sub))
+            in
+            if not (is_edge tuple) then ok := false
+          end);
+    !ok
+  in
+  let t = k / 3 in
+  let sets = ref [] in
+  Lb_util.Combinat.iter_subsets n t (fun s ->
+      let vs = Array.copy s in
+      Array.sort compare vs;
+      if set_ok vs then sets := vs :: !sets);
+  let sets = Array.of_list (List.rev !sets) in
+  let ns = Array.length sets in
+  if ns = 0 then None
+  else begin
+    let module B = Lb_util.Matrix.Bool in
+    let disjoint a b = Array.for_all (fun u -> not (Array.mem u b)) a in
+    let union a b =
+      let u = Array.append a b in
+      Array.sort compare u;
+      u
+    in
+    let m = B.create ns ns in
+    for i = 0 to ns - 1 do
+      for j = i + 1 to ns - 1 do
+        if disjoint sets.(i) sets.(j) && set_ok (union sets.(i) sets.(j))
+        then begin
+          B.set m i j true;
+          B.set m j i true
+        end
+      done
+    done;
+    let m2 = B.mul ?pool ?budget ?metrics m m in
+    let result = ref None in
+    (try
+       for i = 0 to ns - 1 do
+         for j = i + 1 to ns - 1 do
+           if B.get m i j && B.get m2 i j then
+             for l = 0 to ns - 1 do
+               if !result = None && B.get m i l && B.get m j l then begin
+                 let all = union (union sets.(i) sets.(j)) sets.(l) in
+                 (* the tripartite d-subsets are only checked here *)
+                 if set_ok all then begin
+                   result := Some all;
+                   raise Exit
+                 end
+               end
+             done
+         done
+       done
+     with Exit -> ());
+    !result
+  end

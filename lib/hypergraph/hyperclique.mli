@@ -9,3 +9,23 @@
 val find : Hypergraph.t -> d:int -> k:int -> int array option
 
 val is_hyperclique : Hypergraph.t -> d:int -> int array -> bool
+
+(** Auxiliary-graph product route (the hyperclique analogue of
+    Nesetril-Poljak): [t = k/3]-sets whose [d]-subsets are all edges
+    become auxiliary vertices, adjacency = disjoint with an
+    all-edges union, and candidate triples come from the Boolean
+    product [M*M] through the matmul kernel.  For [d >= 3] the product
+    only {e prunes}: tripartite [d]-subsets are invisible to pairwise
+    adjacency, so every candidate is re-verified — the executable
+    content of "matmul does not help for hypercliques" (Section 8).
+    Agrees with {!find} on existence (differential-tested); the witness
+    may differ.  Raises [Invalid_argument] unless [d]-uniform,
+    [k >= d], and [3 | k]. *)
+val find_matmul :
+  ?pool:Lb_util.Pool.t ->
+  ?budget:Lb_util.Budget.t ->
+  ?metrics:Lb_util.Metrics.t ->
+  Hypergraph.t ->
+  d:int ->
+  k:int ->
+  int array option

@@ -1,0 +1,25 @@
+(* Word-level bit-twiddling helpers shared by every packed-bits
+   representation in the library: Bitset (62 payload bits per word),
+   Matrix.Bool and Ov (63 bits), Lcs (62-bit arithmetic words).  One
+   home for the SWAR popcount and friends instead of per-module
+   copies. *)
+
+(* Branch-free SWAR popcount over the full 63-bit native-int pattern.
+   Works for negative ints too (the sign bit counts as a payload bit):
+   [lsr] is a logical shift, the field sums never overflow their 2/4/8
+   bit lanes, and the final byte-sum lands in bits 56..62, below the
+   truncation point of 63-bit modular arithmetic. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+(* Index of the lowest set bit.  [x land -x] isolates it; popcount of
+   (isolated - 1) counts the zeros below it. *)
+let ctz x =
+  if x = 0 then invalid_arg "Bits.ctz: zero has no set bit";
+  popcount ((x land -x) - 1)
+
+(* How many [bits]-bit words cover [n] payload bits. *)
+let words_for ~bits n = (n + bits - 1) / bits

@@ -1,0 +1,15 @@
+(** Word-level bit helpers shared by the packed representations
+    (Bitset, Matrix.Bool, the OV vectors, the bit-parallel LCS): the
+    single home of the SWAR popcount and its relatives. *)
+
+(** Number of set bits in the 63-bit pattern of a native int.  Correct
+    for negative ints (the sign bit counts as an ordinary payload
+    bit). *)
+val popcount : int -> int
+
+(** Index of the lowest set bit.  Raises [Invalid_argument] on [0]. *)
+val ctz : int -> int
+
+(** [words_for ~bits n] is how many [bits]-bit words cover [n] payload
+    bits. *)
+val words_for : bits:int -> int -> int

@@ -10,7 +10,7 @@ type t = { capacity : int; words : int array }
    every word value nonnegative (the sign bit is never used). *)
 let word_bits = 62
 
-let nwords capacity = (capacity + word_bits - 1) / word_bits
+let nwords capacity = Bits.words_for ~bits:word_bits capacity
 
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
@@ -50,14 +50,7 @@ let fill t =
     else t.words.(w) <- (1 lsl (hi - lo)) - 1
   done
 
-let popcount_word =
-  (* Kernighan loop is fine: words are often sparse; but use the folded
-     SWAR popcount for predictability. *)
-  fun x ->
-    let x = x - ((x lsr 1) land 0x5555555555555555) in
-    let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
-    let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
-    (x * 0x0101010101010101) lsr 56
+let popcount_word = Bits.popcount
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
 
@@ -119,9 +112,7 @@ let iter f t =
     let x = ref t.words.(w) in
     while !x <> 0 do
       let b = !x land - !x in
-      (* index of lowest set bit *)
-      let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
-      f ((w * word_bits) + log2 b 0);
+      f ((w * word_bits) + Bits.ctz b);
       x := !x land lnot b
     done
   done

@@ -1,6 +1,13 @@
 (** Dense matrices: int matrices for counting walks, and word-packed
     Boolean matrices whose multiplication is this reproduction's
-    stand-in for "fast matrix multiplication" (see DESIGN.md). *)
+    stand-in for "fast matrix multiplication" (see DESIGN.md).
+
+    The [Bool] kernel layer offers four product paths — naive word
+    loop, cache-blocked word-scan, Method of Four Russians, and each of
+    those under Domain parallelism — that produce bit-identical
+    outputs.  [?metrics] counters: ["matmul.words"] (words OR'd or
+    AND-popcounted), ["matmul.table_builds"] (M4R group tables built),
+    ["matmul.int_ops"] (scalar multiply-adds in [Int.mul]). *)
 
 module Int : sig
   type t
@@ -16,8 +23,18 @@ module Int : sig
   val init : int -> int -> (int -> int -> int) -> t
 
   (** Cache-aware [i-k-j] product. Raises [Invalid_argument] on dimension
-      mismatch. *)
-  val mul : t -> t -> t
+      mismatch.
+
+      Overflow is {e not} checked: entries are native ints, so every
+      partial sum must stay below [max_int] = 2^62 - 1.  A chain of
+      [k] products of n x n 0/1 matrices has entries up to [n^(k-1)];
+      for a single product of 0/1 matrices prefer [Bool.mul_count],
+      whose entries are popcounts bounded by the shared dimension.
+
+      [?pool] parallelizes over bands of left rows with deterministic
+      output; [?budget] is ticked once per band. *)
+  val mul :
+    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
 
   val trace : t -> int
 end
@@ -35,9 +52,60 @@ module Bool : sig
 
   val init : int -> int -> (int -> int -> bool) -> t
 
-  (** Boolean product, word-parallel in the columns of the right
-      factor. *)
-  val mul : t -> t -> t
+  (** [of_packed_rows ~m rows] adopts rows already packed 63 bits per
+      word, LSB first (the layout used by [Ov.pack]).  Rows may be
+      shorter than the full word count (zero-padded); bits at positions
+      >= [m] must be clear. *)
+  val of_packed_rows : m:int -> int array array -> t
+
+  (** Structural equality of dimensions and every entry. *)
+  val equal : t -> t -> bool
+
+  (** Is every entry set?  (Vacuously true when either dimension is
+      0.) *)
+  val all_set : t -> bool
+
+  (** Boolean product, automatically dispatching between the naive,
+      blocked, and Four-Russians kernels by size.  All paths are
+      bit-identical; [?pool] parallelizes over bands of left rows
+      without changing the output. *)
+  val mul :
+    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
+
+  (** The naive per-bit loop: small-case and oracle path. *)
+  val mul_naive : ?metrics:Metrics.t -> t -> t -> t
+
+  (** Cache-blocked word-scan over k-blocks of 252 columns. *)
+  val mul_blocked :
+    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
+
+  (** Method of Four Russians: per 8-row group of the right operand,
+      precompute the 256 OR-combinations, then each left row costs one
+      table OR per group instead of up to 8 row-ORs. *)
+  val mul_m4r :
+    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
+
+  (** Int-valued product of 0/1 matrices via popcount of
+      [row(a) AND row(b^T)]: entry (i,j) counts the common witnesses,
+      bounded by the shared dimension — no overflow, unlike an
+      [Int.mul] power chain. *)
+  val mul_count :
+    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> Int.t
+
+  (** First [(i, j)] in row-major order with rows [i] of [a] and [j] of
+      [b] disjoint — the first zero of A * B^T; [None] if every pair
+      intersects.  The blocked Orthogonal Vectors kernel: sequential
+      scan early-exits at the witness; under [?pool], whole bands of
+      left rows run on domains with a band-skip protocol that keeps the
+      returned pair deterministic (always the row-major-first one).
+      Requires equal column counts. *)
+  val find_orthogonal_rows :
+    ?pool:Pool.t ->
+    ?metrics:Metrics.t ->
+    ?budget:Budget.t ->
+    t ->
+    t ->
+    (int * int) option
 
   (** Does the product have a [true] on its diagonal? Early-exits without
       materializing it. *)

@@ -127,6 +127,56 @@ let ov_packing_prop =
       in
       (Ov.solve packed <> None) = naive)
 
+(* The pairs_scanned counter is exact: i*nr + j + 1 at a witness (i, j),
+   nl*nr on a miss — pinned on fixed seeds, and identical between the
+   quadratic scan and the blocked kernel route. *)
+let test_ov_pairs_scanned_exact () =
+  let find_counter m =
+    Option.get (Lb_util.Metrics.find_counter m "ov.pairs_scanned")
+  in
+  let scan_count solve inst =
+    let m = Lb_util.Metrics.create () in
+    let w = solve m inst in
+    (w, find_counter m)
+  in
+  (* seed 11: p = 0.5, dim 16, n = 32 - witnesses exist *)
+  let rng = Prng.create 11 in
+  let inst = Ov.random rng ~n:32 ~dim:16 ~p:0.5 in
+  let w, pairs = scan_count (fun m i -> Ov.solve ~metrics:m i) inst in
+  (match w with
+  | Some (i, j) -> check Alcotest.int "witness prefix" ((i * 32) + j + 1) pairs
+  | None -> check Alcotest.int "full scan" (32 * 32) pairs);
+  let wb, pairs_b = scan_count (fun m i -> Ov.solve_blocked ~metrics:m i) inst in
+  Alcotest.(check bool) "same witness" true (wb = w);
+  check Alcotest.int "blocked counter matches" pairs pairs_b;
+  (* seed 12: p = 0.9, dim 32 - no orthogonal pair, both scan nl*nr *)
+  let rng = Prng.create 12 in
+  let inst2 = Ov.random rng ~n:20 ~dim:32 ~p:0.9 in
+  let w2, pairs2 = scan_count (fun m i -> Ov.solve ~metrics:m i) inst2 in
+  Alcotest.(check bool) "no witness" true (w2 = None);
+  check Alcotest.int "exhaustive count" (20 * 20) pairs2;
+  let w2b, pairs2b =
+    scan_count (fun m i -> Ov.solve_blocked ~metrics:m i) inst2
+  in
+  Alcotest.(check bool) "no witness blocked" true (w2b = None);
+  check Alcotest.int "exhaustive blocked" (20 * 20) pairs2b
+
+(* A budget interrupt mid-scan still records the completed prefix: the
+   quadratic scan ticks once per left row, so an exhausted budget after
+   r ticks has scanned exactly r * nr pairs (no witness exists here). *)
+let test_ov_pairs_scanned_budget () =
+  let rng = Prng.create 13 in
+  let inst = Ov.random rng ~n:24 ~dim:32 ~p:0.9 in
+  let m = Lb_util.Metrics.create () in
+  let budget = Lb_util.Budget.create ~ticks:10 () in
+  (match Ov.solve_bounded ~budget ~metrics:m inst with
+  | Lb_util.Budget.Exhausted _ -> ()
+  | Lb_util.Budget.Done _ -> Alcotest.fail "expected exhaustion");
+  (* tick precedes each row scan, so 10 ticks admit 10 full rows; the
+     11th tick raises before row 10 contributes anything *)
+  check Alcotest.int "partial prefix" (10 * 24)
+    (Option.get (Lb_util.Metrics.find_counter m "ov.pairs_scanned"))
+
 let suite =
   [
     Alcotest.test_case "edit distance known" `Quick test_edit_distance_known;
@@ -140,4 +190,8 @@ let suite =
     Alcotest.test_case "ov basic" `Quick test_ov_basic;
     Alcotest.test_case "ov none" `Quick test_ov_none;
     QCheck_alcotest.to_alcotest ov_packing_prop;
+    Alcotest.test_case "ov pairs_scanned exact" `Quick
+      test_ov_pairs_scanned_exact;
+    Alcotest.test_case "ov pairs_scanned budget" `Quick
+      test_ov_pairs_scanned_budget;
   ]

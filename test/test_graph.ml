@@ -484,6 +484,34 @@ let bfs_triangle_inequality_prop =
       done;
       !ok)
 
+let diameter_matmul_agrees_prop =
+  QCheck.Test.make
+    ~name:"matmul diameter = n-BFS diameter (incl. disconnected)" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 24 in
+      (* half the draws are sparse enough to be disconnected often *)
+      let p = if Prng.bernoulli rng 0.5 then 0.05 else 0.3 in
+      let g = Gen.gnp rng n p in
+      Dist.diameter_matmul g = Dist.diameter g)
+
+let pooled_distance_and_triangle_agree_prop =
+  QCheck.Test.make
+    ~name:"pooled diameter/diameter_matmul/detect_matmul match sequential"
+    ~count:20
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 20 in
+      let g = Gen.gnp rng n 0.25 in
+      Lb_util.Pool.with_pool 2 (fun pool ->
+          Dist.diameter ~pool g = Dist.diameter g
+          && Dist.diameter_matmul ~pool g = Dist.diameter_matmul g
+          && (Triangle.detect_matmul ~pool g <> None)
+             = (Triangle.detect_matmul g <> None)
+          && Triangle.count_matmul ~pool g = Triangle.count_matmul g))
+
 let subgraph_iso_matches_clique_prop =
   QCheck.Test.make ~name:"subgraph iso finds k-cliques iff brute force does"
     ~count:40
@@ -523,6 +551,8 @@ let suite =
     Alcotest.test_case "distances known" `Quick test_distance_known;
     Alcotest.test_case "distances disconnected" `Quick test_distance_disconnected;
     QCheck_alcotest.to_alcotest diameter_approx_prop;
+    QCheck_alcotest.to_alcotest diameter_matmul_agrees_prop;
+    QCheck_alcotest.to_alcotest pooled_distance_and_triangle_agree_prop;
     QCheck_alcotest.to_alcotest bfs_triangle_inequality_prop;
     Alcotest.test_case "components" `Quick test_components;
     Alcotest.test_case "complement" `Quick test_complement;

@@ -140,6 +140,39 @@ let test_hyperclique_uniformity_check () =
     (Invalid_argument "Hyperclique.find: hypergraph is not d-uniform")
     (fun () -> ignore (Hc.find h ~d:3 ~k:3))
 
+let hyperclique_matmul_agrees_prop =
+  QCheck.Test.make
+    ~name:"aux-product hyperclique agrees with brute force (d=3, k=3,6)"
+    ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 6 + Prng.int rng 8 in
+      let h = H.random_uniform rng n 3 (0.3 +. Prng.float rng 0.5) in
+      let agree k =
+        let brute = Hc.find h ~d:3 ~k in
+        let aux = Hc.find_matmul h ~d:3 ~k in
+        (match aux with
+        | Some vs -> Hc.is_hyperclique h ~d:3 vs
+        | None -> true)
+        && (aux <> None) = (brute <> None)
+      in
+      agree 3 && agree 6)
+
+let test_hyperclique_matmul_validation () =
+  let h3 = H.create 4 [ [| 0; 1; 2 |] ] in
+  Alcotest.check_raises "k not multiple of 3"
+    (Invalid_argument "Hyperclique.find_matmul: k must be a multiple of 3")
+    (fun () -> ignore (Hc.find_matmul h3 ~d:3 ~k:4));
+  let h4 = H.create 5 [ [| 0; 1; 2; 3 |] ] in
+  Alcotest.check_raises "k < d"
+    (Invalid_argument "Hyperclique.find_matmul: k < d")
+    (fun () -> ignore (Hc.find_matmul h4 ~d:4 ~k:3));
+  let h2 = H.create 3 [ [| 0; 1 |] ] in
+  Alcotest.check_raises "not uniform"
+    (Invalid_argument "Hyperclique.find_matmul: hypergraph is not d-uniform")
+    (fun () -> ignore (Hc.find_matmul h2 ~d:3 ~k:3))
+
 let suite =
   [
     Alcotest.test_case "create normalizes" `Quick test_create_normalizes;
@@ -156,4 +189,7 @@ let suite =
     Alcotest.test_case "hyperclique" `Quick test_hyperclique;
     Alcotest.test_case "hyperclique uniformity" `Quick
       test_hyperclique_uniformity_check;
+    QCheck_alcotest.to_alcotest hyperclique_matmul_agrees_prop;
+    Alcotest.test_case "hyperclique matmul validation" `Quick
+      test_hyperclique_matmul_validation;
   ]

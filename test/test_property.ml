@@ -285,6 +285,107 @@ let red_special_csp () =
     (gen_graph ~p:0.5 ()) show_graph (fun g ->
       Lb_reductions.Special_csp.preserves g 3)
 
+(* --- the matmul kernel layer --- *)
+
+(* Random rectangular Bool matrix pair with dimensions crossing the
+   63-bit word boundary (including 0 and 1): size scales the range up
+   to ~160 so non-multiple-of-63 widths, sub-word and multi-word rows
+   all occur.  Dispatch would never pick M4R at these sizes, so the
+   property calls each kernel explicitly. *)
+let gen_bool_mats : (Lb_util.Matrix.Bool.t * Lb_util.Matrix.Bool.t) gen =
+ fun rng ~size ->
+  let module B = Lb_util.Matrix.Bool in
+  let dim () =
+    match Prng.int rng 8 with
+    | 0 -> 0
+    | 1 -> 1
+    | 2 -> 62 + Prng.int rng 4 (* straddle the word boundary *)
+    | _ -> Prng.int rng (16 * size + 2)
+  in
+  let n = dim () and m = dim () and p = dim () in
+  let density = 0.05 +. Prng.float rng 0.9 in
+  let a = B.init n m (fun _ _ -> Prng.bernoulli rng density) in
+  let b = B.init m p (fun _ _ -> Prng.bernoulli rng density) in
+  (a, b)
+
+let show_bool_mats (a, b) =
+  let module B = Lb_util.Matrix.Bool in
+  let an, am = B.dims a and bn, bm = B.dims b in
+  Printf.sprintf "A %dx%d * B %dx%d" an am bn bm
+
+(* All four product paths are bit-identical, and match a per-entry
+   triple loop oracle. *)
+let matmul_kernels_agree () =
+  check ~name:"matmul_kernels_agree" ~base:0x51 ~max_size:10 gen_bool_mats
+    show_bool_mats (fun (a, b) ->
+      let module B = Lb_util.Matrix.Bool in
+      let c = B.mul_naive a b in
+      let cb = B.mul_blocked a b in
+      let cm = B.mul_m4r a b in
+      let cp =
+        Lb_util.Pool.with_pool 2 (fun pool -> B.mul_m4r ~pool a b)
+      in
+      let cbp =
+        Lb_util.Pool.with_pool 2 (fun pool -> B.mul_blocked ~pool a b)
+      in
+      let cd = B.mul a b in
+      let n, m = B.dims a and _, p = B.dims b in
+      let oracle_ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to p - 1 do
+          let e = ref false in
+          for k = 0 to m - 1 do
+            if B.get a i k && B.get b k j then e := true
+          done;
+          if B.get c i j <> !e then oracle_ok := false
+        done
+      done;
+      !oracle_ok && B.equal c cb && B.equal c cm && B.equal c cp
+      && B.equal c cbp && B.equal c cd)
+
+(* mul_count agrees with the Int product of the 0/1 lifts. *)
+let mul_count_vs_int () =
+  check ~name:"mul_count_vs_int" ~base:0x52 ~max_size:8 gen_bool_mats
+    show_bool_mats (fun (a, b) ->
+      let module B = Lb_util.Matrix.Bool in
+      let module I = Lb_util.Matrix.Int in
+      let c = B.mul_count a b in
+      let n, m = B.dims a and _, p = B.dims b in
+      let ai = I.init n m (fun i j -> if B.get a i j then 1 else 0) in
+      let bi = I.init m p (fun i j -> if B.get b i j then 1 else 0) in
+      let ci = I.mul ai bi in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to p - 1 do
+          if I.get c i j <> I.get ci i j then ok := false
+        done
+      done;
+      !ok)
+
+(* The blocked OV route returns the same witness as the quadratic scan
+   (row-major-first), sequentially and under a pool. *)
+let gen_ov_instance : Lb_finegrained.Ov.instance gen =
+ fun rng ~size ->
+  let n = 1 + Prng.int rng (4 * size) in
+  let dim = 1 + Prng.int rng 70 in
+  (* p low enough that witnesses actually occur *)
+  let p = 0.2 +. Prng.float rng 0.6 in
+  Lb_finegrained.Ov.random rng ~n ~dim ~p
+
+let show_ov inst =
+  Printf.sprintf "OV n=%d dim=%d"
+    (Array.length inst.Lb_finegrained.Ov.left)
+    inst.Lb_finegrained.Ov.dim
+
+let ov_blocked_vs_quadratic () =
+  check ~name:"ov_blocked_vs_quadratic" ~base:0x53 ~max_size:12
+    gen_ov_instance show_ov (fun inst ->
+      let module Ov = Lb_finegrained.Ov in
+      let reference = Ov.solve inst in
+      Ov.solve_blocked inst = reference
+      && Lb_util.Pool.with_pool 2 (fun pool ->
+             Ov.solve_blocked ~pool inst = reference))
+
 (* The runner itself: a false property must fail, shrink to the minimum
    size, and report a replayable seed. *)
 let runner_reports_failures () =
@@ -332,4 +433,7 @@ let suite =
     ("prop: domset->CSP round trip", `Quick, red_domset_to_csp);
     ("prop: OV->diameter round trip", `Quick, red_ov_to_diameter);
     ("prop: clique->special CSP round trip", `Quick, red_special_csp);
+    ("prop: matmul kernels bit-identical", `Quick, matmul_kernels_agree);
+    ("prop: mul_count vs Int product", `Quick, mul_count_vs_int);
+    ("prop: OV blocked vs quadratic scan", `Quick, ov_blocked_vs_quadratic);
   ]

@@ -7,6 +7,7 @@ module Union_find = Lb_util.Union_find
 module Matrix = Lb_util.Matrix
 module Combinat = Lb_util.Combinat
 module Stopwatch = Lb_util.Stopwatch
+module Bits = Lb_util.Bits
 
 let check = Alcotest.check
 
@@ -218,6 +219,111 @@ let test_rows_intersect () =
   Alcotest.(check bool) "share 77" true (Matrix.Bool.rows_intersect m 0 1);
   Alcotest.(check bool) "disjoint" false (Matrix.Bool.rows_intersect m 0 2)
 
+let test_bits_popcount () =
+  check Alcotest.int "popcount 0" 0 (Bits.popcount 0);
+  check Alcotest.int "popcount 1" 1 (Bits.popcount 1);
+  check Alcotest.int "popcount 0b1011" 3 (Bits.popcount 0b1011);
+  (* the sign bit is an ordinary payload bit of the 63-bit pattern *)
+  check Alcotest.int "popcount -1" 63 (Bits.popcount (-1));
+  check Alcotest.int "popcount max_int" 62 (Bits.popcount max_int);
+  check Alcotest.int "popcount min_int" 1 (Bits.popcount min_int);
+  (* agrees with a bit loop on pseudorandom words *)
+  let rng = Prng.create 99 in
+  for _ = 1 to 200 do
+    let x = Int64.to_int (Prng.next_int64 rng) in
+    let slow = ref 0 in
+    for b = 0 to 62 do
+      if x land (1 lsl b) <> 0 then incr slow
+    done;
+    check Alcotest.int "popcount random" !slow (Bits.popcount x)
+  done
+
+let test_bits_ctz () =
+  check Alcotest.int "ctz 1" 0 (Bits.ctz 1);
+  check Alcotest.int "ctz 8" 3 (Bits.ctz 8);
+  check Alcotest.int "ctz 12" 2 (Bits.ctz 12);
+  check Alcotest.int "ctz min_int" 62 (Bits.ctz min_int);
+  check Alcotest.int "ctz -1" 0 (Bits.ctz (-1));
+  Alcotest.check_raises "ctz 0" (Invalid_argument "Bits.ctz: zero has no set bit")
+    (fun () -> ignore (Bits.ctz 0))
+
+let test_bits_words_for () =
+  check Alcotest.int "0 bits" 0 (Bits.words_for ~bits:63 0);
+  check Alcotest.int "1 bit" 1 (Bits.words_for ~bits:63 1);
+  check Alcotest.int "63 bits" 1 (Bits.words_for ~bits:63 63);
+  check Alcotest.int "64 bits" 2 (Bits.words_for ~bits:63 64);
+  check Alcotest.int "62-bit words" 2 (Bits.words_for ~bits:62 124)
+
+let test_matrix_mul_count () =
+  (* popcount product = Int product on the 0/1 lift, rectangular and
+     wider than one 63-bit word *)
+  let rng = Prng.create 5 in
+  let n = 9 and m = 130 and p = 7 in
+  let a = Matrix.Bool.init n m (fun _ _ -> Prng.bool rng) in
+  let b = Matrix.Bool.init m p (fun _ _ -> Prng.bool rng) in
+  let c = Matrix.Bool.mul_count a b in
+  let ai = Matrix.Int.init n m (fun i j -> if Matrix.Bool.get a i j then 1 else 0) in
+  let bi = Matrix.Int.init m p (fun i j -> if Matrix.Bool.get b i j then 1 else 0) in
+  let ci = Matrix.Int.mul ai bi in
+  for i = 0 to n - 1 do
+    for j = 0 to p - 1 do
+      check Alcotest.int "entry" (Matrix.Int.get ci i j) (Matrix.Int.get c i j)
+    done
+  done
+
+let test_matrix_all_set_equal () =
+  let full = Matrix.Bool.init 3 70 (fun _ _ -> true) in
+  Alcotest.(check bool) "all set" true (Matrix.Bool.all_set full);
+  Matrix.Bool.set full 2 69 false;
+  Alcotest.(check bool) "missing last bit" false (Matrix.Bool.all_set full);
+  Alcotest.(check bool) "empty all set" true
+    (Matrix.Bool.all_set (Matrix.Bool.create 0 5));
+  let a = Matrix.Bool.init 2 64 (fun i j -> (i + j) mod 3 = 0) in
+  let b = Matrix.Bool.init 2 64 (fun i j -> (i + j) mod 3 = 0) in
+  Alcotest.(check bool) "equal" true (Matrix.Bool.equal a b);
+  Matrix.Bool.set b 1 63 (not (Matrix.Bool.get b 1 63));
+  Alcotest.(check bool) "not equal" false (Matrix.Bool.equal a b);
+  Alcotest.(check bool) "dim mismatch" false
+    (Matrix.Bool.equal a (Matrix.Bool.create 2 63))
+
+let test_matrix_of_packed_rows () =
+  (* 63-bit LSB-first packing: bit j of row i at word j/63, bit j mod 63 *)
+  let rows = [| [| 0b101 |]; [| 0; 1 lsl 2 |] |] in
+  let m = Matrix.Bool.of_packed_rows ~m:70 rows in
+  check Alcotest.(pair int int) "dims" (2, 70) (Matrix.Bool.dims m);
+  Alcotest.(check bool) "bit (0,0)" true (Matrix.Bool.get m 0 0);
+  Alcotest.(check bool) "bit (0,1)" false (Matrix.Bool.get m 0 1);
+  Alcotest.(check bool) "bit (0,2)" true (Matrix.Bool.get m 0 2);
+  Alcotest.(check bool) "bit (1,65)" true (Matrix.Bool.get m 1 65);
+  Alcotest.(check bool) "bit (1,64)" false (Matrix.Bool.get m 1 64)
+
+let test_find_orthogonal_rows () =
+  (* rows 0/1 of a intersect everything; a.(2) misses b.(1) *)
+  let a = Matrix.Bool.init 3 80 (fun i j -> j mod 3 = i) in
+  let b = Matrix.Bool.init 2 80 (fun i j -> if i = 0 then true else j mod 3 = 0)
+  in
+  check
+    Alcotest.(option (pair int int))
+    "witness" (Some (1, 1))
+    (Matrix.Bool.find_orthogonal_rows a b);
+  let c = Matrix.Bool.init 2 80 (fun _ _ -> true) in
+  check
+    Alcotest.(option (pair int int))
+    "none" None
+    (Matrix.Bool.find_orthogonal_rows a c);
+  (* m = 0: every pair is vacuously orthogonal *)
+  check
+    Alcotest.(option (pair int int))
+    "zero-width" (Some (0, 0))
+    (Matrix.Bool.find_orthogonal_rows (Matrix.Bool.create 2 0)
+       (Matrix.Bool.create 3 0));
+  (* empty sides *)
+  check
+    Alcotest.(option (pair int int))
+    "empty left" None
+    (Matrix.Bool.find_orthogonal_rows (Matrix.Bool.create 0 10)
+       (Matrix.Bool.create 3 10))
+
 let test_find_subset () =
   let found = Combinat.find_subset 6 2 (fun s -> s.(0) + s.(1) = 7) in
   (match found with
@@ -395,6 +501,14 @@ let suite =
     Alcotest.test_case "bool matmul diagonal" `Quick test_matrix_bool_diagonal;
     Alcotest.test_case "bool transpose" `Quick test_matrix_transpose;
     Alcotest.test_case "rows intersect" `Quick test_rows_intersect;
+    Alcotest.test_case "bits popcount" `Quick test_bits_popcount;
+    Alcotest.test_case "bits ctz" `Quick test_bits_ctz;
+    Alcotest.test_case "bits words_for" `Quick test_bits_words_for;
+    Alcotest.test_case "bool mul_count vs int mul" `Quick
+      test_matrix_mul_count;
+    Alcotest.test_case "bool all_set / equal" `Quick test_matrix_all_set_equal;
+    Alcotest.test_case "bool of_packed_rows" `Quick test_matrix_of_packed_rows;
+    Alcotest.test_case "find orthogonal rows" `Quick test_find_orthogonal_rows;
     Alcotest.test_case "find subset" `Quick test_find_subset;
     Alcotest.test_case "tabulate" `Quick test_tabulate;
     Alcotest.test_case "pool covers all chunks" `Quick
