@@ -14,6 +14,23 @@
 open Cmdliner
 
 module Q = Lb_relalg.Query
+module Json = Lb_service.Json
+
+(* The one shared encoder behind every subcommand's --json output: one
+   JSON object per run on stdout, built from the service's Json layer
+   and its plan/analysis/counter encoders, so the CLI and `lbt serve`
+   speak the same vocabulary. *)
+let json_print fields = print_endline (Json.to_string (Json.Obj fields))
+
+let counters_json metrics =
+  Lb_service.Protocol.counters_to_json (Lb_util.Metrics.counters metrics)
+
+let json_flag =
+  let doc =
+    "Emit one machine-readable JSON object (the service's encoding) \
+     instead of the human-readable report."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let query_arg =
   let doc = "Join query, e.g. \"R(a,b), S(b,c), T(a,c)\"." in
@@ -32,24 +49,15 @@ let with_query qtext f =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let json_arg =
-    let doc =
-      "Emit the analysis as one JSON object (the service's analysis \
-       encoding) instead of the human-readable report."
-    in
-    Arg.(value & flag & info [ "json" ] ~doc)
-  in
   let run qtext json =
     with_query qtext (fun q ->
         let analysis = Lowerbounds.Bounds.analyze_query q in
         if json then
-          print_endline
-            (Lb_service.Json.to_string
-               (Lb_service.Json.Obj
-                  [
-                    ("query", Lb_service.Json.String (Q.to_string q));
-                    ("analysis", Lb_service.Protocol.analysis_to_json analysis);
-                  ]))
+          json_print
+            [
+              ("query", Json.String (Q.to_string q));
+              ("analysis", Lb_service.Protocol.analysis_to_json analysis);
+            ]
         else begin
           Printf.printf "query: %s\n\n" (Q.to_string q);
           Format.printf "%a@." Lowerbounds.Report.pp_analysis analysis
@@ -57,7 +65,7 @@ let analyze_cmd =
         0)
   in
   let doc = "Structural analysis and bound statements for a join query." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ query_arg $ json_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ query_arg $ json_flag)
 
 (* --- worstcase --- *)
 
@@ -259,7 +267,7 @@ let sat_cmd =
     let doc = "Print run metrics (decisions, propagations, ...) as JSON." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let run file timeout show_metrics =
+  let run file timeout show_metrics json =
     let read_all ic =
       let buf = Buffer.create 4096 in
       (try
@@ -283,11 +291,14 @@ let sat_cmd =
         Printf.eprintf "DIMACS error: %s\n" msg;
         2
     | f -> (
+        let comment fmt =
+          Printf.ksprintf (fun s -> if not json then print_endline ("c " ^ s)) fmt
+        in
         let widths =
           List.map Array.length (Lb_sat.Cnf.clauses f)
           |> List.fold_left max 0
         in
-        Printf.printf "c %d variables, %d clauses, max width %d\n"
+        comment "%d variables, %d clauses, max width %d"
           (Lb_sat.Cnf.nvars f)
           (Lb_sat.Cnf.clause_count f)
           widths;
@@ -295,49 +306,277 @@ let sat_cmd =
           Option.map (fun s -> Lb_util.Budget.create ~seconds:s ()) timeout
         in
         let metrics =
-          if show_metrics then Lb_util.Metrics.create ()
+          if show_metrics || json then Lb_util.Metrics.create ()
           else Lb_util.Metrics.disabled
         in
+        let two_sat =
+          widths <= 2
+          && List.for_all (fun c -> Array.length c >= 1) (Lb_sat.Cnf.clauses f)
+        in
         let answer =
-          if widths <= 2 && List.for_all (fun c -> Array.length c >= 1) (Lb_sat.Cnf.clauses f)
-          then begin
-            Printf.printf "c dispatching to linear-time 2SAT\n";
+          if two_sat then begin
+            comment "dispatching to linear-time 2SAT";
             Lb_util.Budget.Done (Lb_sat.Two_sat.solve f)
           end
           else begin
-            Printf.printf "c dispatching to DPLL\n";
+            comment "dispatching to DPLL";
             Lb_util.Budget.protect (fun () ->
                 Lb_sat.Dpll.solve ?budget ~metrics f)
           end
         in
         let emit_metrics () =
-          if show_metrics then
+          if show_metrics && not json then
             Printf.printf "c metrics %s\n" (Lb_util.Metrics.to_json metrics)
+        in
+        let emit_json result fields =
+          if json then
+            json_print
+              ([
+                 ("op", Json.String "sat");
+                 ("result", Json.String result);
+                 ( "solver",
+                   Json.String (if two_sat then "two_sat" else "dpll") );
+               ]
+              @ fields
+              @ [ ("counters", counters_json metrics) ])
         in
         match answer with
         | Lb_util.Budget.Done (Some a) ->
-            print_endline "s SATISFIABLE";
             let lits =
               List.init (Array.length a) (fun v ->
-                  string_of_int (if a.(v) then v + 1 else -(v + 1)))
+                  if a.(v) then v + 1 else -(v + 1))
             in
-            Printf.printf "v %s 0\n" (String.concat " " lits);
+            if json then
+              emit_json "sat"
+                [
+                  ( "assignment",
+                    Json.List (List.map (fun l -> Json.Int l) lits) );
+                ]
+            else begin
+              print_endline "s SATISFIABLE";
+              Printf.printf "v %s 0\n"
+                (String.concat " " (List.map string_of_int lits))
+            end;
             emit_metrics ();
             0
         | Lb_util.Budget.Done None ->
-            print_endline "s UNSATISFIABLE";
+            if json then emit_json "unsat" []
+            else print_endline "s UNSATISFIABLE";
             emit_metrics ();
             0
         | Lb_util.Budget.Exhausted e ->
-            Printf.printf "c %s\n" (Lb_util.Budget.describe e);
-            print_endline "s UNKNOWN";
+            if json then
+              emit_json "unknown"
+                [ ("reason", Json.String (Lb_util.Budget.describe e)) ]
+            else begin
+              Printf.printf "c %s\n" (Lb_util.Budget.describe e);
+              print_endline "s UNKNOWN"
+            end;
             emit_metrics ();
             3)
   in
   let doc = "Solve a DIMACS CNF file (2SAT fast path, DPLL otherwise)." in
   Cmd.v
     (Cmd.info "sat" ~doc)
-    Term.(const run $ file_arg $ timeout_arg $ metrics_arg)
+    Term.(const run $ file_arg $ timeout_arg $ metrics_arg $ json_flag)
+
+(* --- query: one-shot evaluation through the in-process service --- *)
+
+let query_cmd =
+  let load_arg =
+    let doc =
+      "File of newline-delimited protocol requests (load/insert lines, \
+       as for `lbt serve`) replayed into the catalog before the query; \
+       '-' reads them from stdin.  Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"FILE" ~doc)
+  in
+  let engine_arg =
+    let doc =
+      "Force an engine (yannakakis, generic_join, leapfrog, binary_hash); \
+       default: the planner's choice."
+    in
+    Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let count_arg =
+    let doc = "Report the answer count only; no rows." in
+    Arg.(value & flag & info [ "count" ] ~doc)
+  in
+  let limit_arg =
+    let doc = "Cap on rows returned." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Wall-clock budget in milliseconds (exit 3 on exhaustion)." in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_ticks_arg =
+    let doc = "Deterministic tick budget (exit 3 on exhaustion)." in
+    Arg.(value & opt (some int) None & info [ "max-ticks" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Shard count for the sharded execution tier (1 = unsharded)."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let pool_arg =
+    let doc =
+      "Domains for parallel execution (1 = sequential, 0 = one per core)."
+    in
+    Arg.(value & opt int 1 & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let run qtext loads engine count_only limit timeout_ms max_ticks shards
+      pool_n json =
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("error: " ^ s)) fmt in
+    if shards < 1 then begin
+      fail "--shards must be >= 1";
+      2
+    end
+    else begin
+      match
+        match engine with
+        | None -> Ok None
+        | Some name -> Result.map Option.some (Lb_service.Planner.engine_of_name name)
+      with
+      | Error msg ->
+          fail "%s" msg;
+          2
+      | Ok engine ->
+          let with_pool f =
+            if pool_n = 1 then f None
+            else
+              let pool =
+                if pool_n = 0 then Lb_util.Pool.recommended ()
+                else Lb_util.Pool.create pool_n
+              in
+              Fun.protect ~finally:(fun () -> Lb_util.Pool.shutdown pool)
+                (fun () -> f (Some pool))
+          in
+          with_pool @@ fun pool ->
+          let config =
+            { Lb_service.Server.default_config with pool; shards }
+          in
+          let server = Lb_service.Server.create ~config () in
+          (* Replay the load files through the same request path the
+             server uses, stopping at the first failing line. *)
+          let replay_line file lineno line =
+            if String.trim line = "" then 0
+            else begin
+              let reply = Json.parse (Lb_service.Server.handle_line server line) in
+              match Json.string_field "status" reply with
+              | Ok "ok" -> 0
+              | Ok status ->
+                  let detail =
+                    match Json.string_field "message" reply with
+                    | Ok m -> m
+                    | Error _ -> status
+                  in
+                  fail "%s:%d: %s" file lineno detail;
+                  2
+              | Error msg ->
+                  fail "%s:%d: %s" file lineno msg;
+                  2
+            end
+          in
+          let replay_file file =
+            let ic = if file = "-" then stdin else open_in file in
+            Fun.protect ~finally:(fun () -> if file <> "-" then close_in ic)
+            @@ fun () ->
+            let rc = ref 0 and lineno = ref 0 in
+            (try
+               while !rc = 0 do
+                 let line = input_line ic in
+                 Stdlib.incr lineno;
+                 rc := replay_line file !lineno line
+               done
+             with End_of_file -> ());
+            !rc
+          in
+          let rec replay = function
+            | [] -> 0
+            | f :: rest ->
+                let rc = replay_file f in
+                if rc <> 0 then rc else replay rest
+          in
+          let rc = replay loads in
+          if rc <> 0 then rc
+          else begin
+            let opts =
+              { Lb_service.Protocol.engine; count_only; limit; timeout_ms;
+                max_ticks }
+            in
+            let reply =
+              Lb_service.Server.handle server
+                (Lb_service.Protocol.Query { text = qtext; opts })
+            in
+            if json then begin
+              print_endline (Json.to_string reply);
+              match Json.string_field "status" reply with
+              | Ok "ok" -> 0
+              | Ok "timeout" -> 3
+              | _ -> 2
+            end
+            else
+              match Json.string_field "status" reply with
+              | Ok "ok" ->
+                  (match Json.member "plan" reply with
+                  | Some plan -> (
+                      match Json.string_field "engine" plan with
+                      | Ok e -> Printf.printf "engine: %s\n" e
+                      | Error _ -> ())
+                  | None -> ());
+                  (match Json.int_field "count" reply with
+                  | Ok n -> Printf.printf "count: %d\n" n
+                  | Error _ -> ());
+                  (match Json.member "rows" reply with
+                  | Some (Json.List rows) ->
+                      List.iter
+                        (function
+                          | Json.List cells ->
+                              print_endline
+                                (String.concat " "
+                                   (List.map
+                                      (function
+                                        | Json.Int v -> string_of_int v
+                                        | _ -> "?")
+                                      cells))
+                          | _ -> ())
+                        rows;
+                      (match Json.member "truncated" reply with
+                      | Some (Json.Bool true) -> print_endline "(truncated)"
+                      | _ -> ())
+                  | _ -> ());
+                  0
+              | Ok "timeout" ->
+                  let reason =
+                    match Json.string_field "reason" reply with
+                    | Ok r -> r
+                    | Error _ -> "budget exhausted"
+                  in
+                  fail "timeout (%s)" reason;
+                  3
+              | Ok _ | Error _ ->
+                  let msg =
+                    match Json.string_field "message" reply with
+                    | Ok m -> m
+                    | Error _ -> "query failed"
+                  in
+                  fail "%s" msg;
+                  2
+          end
+    end
+  in
+  let doc =
+    "Evaluate one join query through the in-process query service: load \
+     relations from protocol lines, plan from structural parameters, \
+     run (optionally sharded), and print the answer."
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      const run $ query_arg $ load_arg $ engine_arg $ count_arg $ limit_arg
+      $ timeout_arg $ max_ticks_arg $ shards_arg $ pool_arg $ json_flag)
 
 (* --- serve: the long-lived query service --- *)
 
@@ -389,35 +628,62 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "pool" ] ~docv:"N" ~doc)
   in
-  let run port host max_pending plan_cache result_cache timeout_ms max_ticks
-      max_rows pool_n =
-    let with_pool f =
-      if pool_n = 1 then f None
-      else
-        let pool =
-          if pool_n = 0 then Lb_util.Pool.recommended ()
-          else Lb_util.Pool.create pool_n
-        in
-        Fun.protect ~finally:(fun () -> Lb_util.Pool.shutdown pool) (fun () ->
-            f (Some pool))
+  let shards_arg =
+    let doc =
+      "Shard count for the sharded execution tier (1 = unsharded); WCOJ \
+       queries hash-partition on their first join variable against the \
+       catalog's warm partitions, with answers and counters \
+       bit-identical to unsharded runs."
     in
-    with_pool (fun pool ->
-        let config =
-          {
-            Lb_service.Server.max_pending;
-            plan_cache_size = plan_cache;
-            result_cache_size = result_cache;
-            default_timeout_ms = timeout_ms;
-            default_max_ticks = max_ticks;
-            max_rows;
-            pool;
-          }
-        in
-        let server = Lb_service.Server.create ~config () in
-        (match port with
-        | Some port -> Lb_service.Server.serve_tcp ~host server ~port
-        | None -> Lb_service.Server.serve_pipe server Unix.stdin stdout);
-        0)
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let stats_json_arg =
+    let doc =
+      "On exit, print the server's final stats (the \"stats\" op's JSON \
+       reply) on stderr - stdout stays a pure protocol channel."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run port host max_pending plan_cache result_cache timeout_ms max_ticks
+      max_rows pool_n shards stats_json =
+    if shards < 1 then begin
+      prerr_endline "error: --shards must be >= 1";
+      2
+    end
+    else begin
+      let with_pool f =
+        if pool_n = 1 then f None
+        else
+          let pool =
+            if pool_n = 0 then Lb_util.Pool.recommended ()
+            else Lb_util.Pool.create pool_n
+          in
+          Fun.protect ~finally:(fun () -> Lb_util.Pool.shutdown pool)
+            (fun () -> f (Some pool))
+      in
+      with_pool (fun pool ->
+          let config =
+            {
+              Lb_service.Server.max_pending;
+              plan_cache_size = plan_cache;
+              result_cache_size = result_cache;
+              default_timeout_ms = timeout_ms;
+              default_max_ticks = max_ticks;
+              max_rows;
+              pool;
+              shards;
+            }
+          in
+          let server = Lb_service.Server.create ~config () in
+          (match port with
+          | Some port -> Lb_service.Server.serve_tcp ~host server ~port
+          | None -> Lb_service.Server.serve_pipe server Unix.stdin stdout);
+          if stats_json then
+            prerr_endline
+              (Json.to_string
+                 (Lb_service.Server.handle server Lb_service.Protocol.Stats));
+          0)
+    end
   in
   let doc =
     "Serve join queries over a line-delimited JSON protocol (stdin or \
@@ -429,7 +695,7 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ host_arg $ max_pending_arg $ plan_cache_arg
       $ result_cache_arg $ timeout_arg $ max_ticks_arg $ max_rows_arg
-      $ pool_arg)
+      $ pool_arg $ shards_arg $ stats_json_arg)
 
 let () =
   let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in
@@ -445,5 +711,6 @@ let () =
             minimize_cmd;
             fhw_cmd;
             sat_cmd;
+            query_cmd;
             serve_cmd;
           ]))

@@ -8,7 +8,12 @@
     (the |D|^{k+1} cost unit) and raises
     {!Lb_util.Budget.Budget_exhausted} when it runs out; the [*_bounded]
     forms reify that as [Exhausted].  [metrics] receives [freuder.bags]
-    and [freuder.bag_assignments]. *)
+    and [freuder.bag_assignments].
+
+    Resources may also be passed as a single [?ctx]
+    ({!Lb_util.Exec.t}); [?budget] / [?metrics] remain as thin
+    deprecated wrappers, an explicit one overriding the corresponding
+    [ctx] field (see {!Lb_util.Exec.resolve}). *)
 
 val count_cap : int
 
@@ -22,6 +27,7 @@ val decompose : Csp.t -> Lb_graph.Tree_decomposition.t
     does not cover some constraint scope. *)
 val run :
   ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Csp.t ->
@@ -30,6 +36,7 @@ val run :
 (** Number of solutions (exact below [count_cap], saturated above). *)
 val count :
   ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Csp.t ->
@@ -37,6 +44,7 @@ val count :
 
 val solvable :
   ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Csp.t ->
@@ -45,6 +53,7 @@ val solvable :
 (** Extract one solution by walking the tables top-down. *)
 val solve :
   ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Csp.t ->
@@ -52,6 +61,7 @@ val solve :
 
 val count_bounded :
   ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Csp.t ->
@@ -59,6 +69,7 @@ val count_bounded :
 
 val solve_bounded :
   ?decomposition:Lb_graph.Tree_decomposition.t ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Csp.t ->

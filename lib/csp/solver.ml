@@ -100,8 +100,10 @@ let ac3 (csp : Csp.t) idx domains =
    binary constraints; non-binary constraints are checked once fully
    assigned.  [f] gets the assignment (reused array); raise inside [f]
    to stop early. *)
-let iter_solutions ?stats ?budget ?(metrics = Metrics.disabled)
-    ?(use_ac3 = true) (csp : Csp.t) f =
+let iter_solutions ?stats ?ctx ?budget ?metrics ?(use_ac3 = true) (csp : Csp.t)
+    f =
+  let ex = Lb_util.Exec.resolve ?ctx ?budget ?metrics () in
+  let budget = ex.Lb_util.Exec.budget and metrics = ex.Lb_util.Exec.metrics in
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   (* ticked once per search node and once per value attempt, so a
      deadline fires within a quantum of node expansions *)
@@ -211,20 +213,20 @@ let iter_solutions ?stats ?budget ?(metrics = Metrics.disabled)
 
 exception Found of int array
 
-let solve ?stats ?budget ?metrics ?use_ac3 csp =
+let solve ?stats ?ctx ?budget ?metrics ?use_ac3 csp =
   try
-    iter_solutions ?stats ?budget ?metrics ?use_ac3 csp (fun a ->
+    iter_solutions ?stats ?ctx ?budget ?metrics ?use_ac3 csp (fun a ->
         raise (Found (Array.copy a)));
     None
   with Found a -> Some a
 
-let count ?stats ?budget ?metrics ?use_ac3 csp =
+let count ?stats ?ctx ?budget ?metrics ?use_ac3 csp =
   let c = ref 0 in
-  iter_solutions ?stats ?budget ?metrics ?use_ac3 csp (fun _ -> incr c);
+  iter_solutions ?stats ?ctx ?budget ?metrics ?use_ac3 csp (fun _ -> incr c);
   !c
 
-let solve_bounded ?stats ?budget ?metrics ?use_ac3 csp =
-  Budget.protect (fun () -> solve ?stats ?budget ?metrics ?use_ac3 csp)
+let solve_bounded ?stats ?ctx ?budget ?metrics ?use_ac3 csp =
+  Budget.protect (fun () -> solve ?stats ?ctx ?budget ?metrics ?use_ac3 csp)
 
-let count_bounded ?stats ?budget ?metrics ?use_ac3 csp =
-  Budget.protect (fun () -> count ?stats ?budget ?metrics ?use_ac3 csp)
+let count_bounded ?stats ?ctx ?budget ?metrics ?use_ac3 csp =
+  Budget.protect (fun () -> count ?stats ?ctx ?budget ?metrics ?use_ac3 csp)

@@ -23,9 +23,15 @@ val ac3 : Csp.t -> binary_index -> Lb_util.Bitset.t array -> bool
     Ticks [budget] once per search node and per value attempt; raises
     {!Lb_util.Budget.Budget_exhausted} when it runs out, with [stats]
     filled to that point.  [metrics] receives per-call
-    [csp_solver.nodes] / [csp_solver.prunings]. *)
+    [csp_solver.nodes] / [csp_solver.prunings].
+
+    Resources may also be passed as a single [?ctx]
+    ({!Lb_util.Exec.t}); [?budget] / [?metrics] remain as thin
+    deprecated wrappers, an explicit one overriding the corresponding
+    [ctx] field (see {!Lb_util.Exec.resolve}). *)
 val iter_solutions :
   ?stats:stats ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?use_ac3:bool ->
@@ -37,6 +43,7 @@ exception Found of int array
 
 val solve :
   ?stats:stats ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?use_ac3:bool ->
@@ -45,6 +52,7 @@ val solve :
 
 val count :
   ?stats:stats ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?use_ac3:bool ->
@@ -55,6 +63,7 @@ val count :
     [Exhausted] - the typed "unknown" verdict. *)
 val solve_bounded :
   ?stats:stats ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?use_ac3:bool ->
@@ -63,6 +72,7 @@ val solve_bounded :
 
 val count_bounded :
   ?stats:stats ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?use_ac3:bool ->

@@ -22,8 +22,14 @@ val orthogonal : int array -> int array -> bool
     {!Lb_util.Budget.Budget_exhausted} when spent); [?metrics] records
     the [ov.pairs_scanned] delta, also on an interrupted run: exactly
     [i*nr + j + 1] at a witness [(i, j)], [nl*nr] on a miss, and the
-    completed prefix when the budget interrupts the scan. *)
+    completed prefix when the budget interrupts the scan.
+
+    Resources may also be passed as a single [?ctx]
+    ({!Lb_util.Exec.t}); the labelled arguments remain as thin
+    deprecated wrappers, an explicit one overriding the corresponding
+    [ctx] field (see {!Lb_util.Exec.resolve}). *)
 val solve :
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   instance ->
@@ -36,6 +42,7 @@ val solve :
     the same (deterministic) [ov.pairs_scanned] delta as {!solve};
     [?pool] parallelizes the bands without changing either. *)
 val solve_blocked :
+  ?ctx:Lb_util.Exec.t ->
   ?pool:Lb_util.Pool.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
@@ -44,6 +51,7 @@ val solve_blocked :
 
 (** [solve] with budget exhaustion reified as [Exhausted]. *)
 val solve_bounded :
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   instance ->

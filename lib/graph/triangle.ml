@@ -16,6 +16,7 @@
 
 module Bitset = Lb_util.Bitset
 module Matrix = Lb_util.Matrix
+module Exec = Lb_util.Exec
 
 let detect_naive g =
   let n = Graph.vertex_count g in
@@ -60,9 +61,13 @@ let adjacency_bool g =
     g;
   m
 
-let detect_matmul ?pool ?budget ?metrics g =
+let detect_matmul ?ctx ?pool ?budget ?metrics g =
+  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
   let a = adjacency_bool g in
-  let a2 = Matrix.Bool.mul ?pool ?budget ?metrics a a in
+  let a2 =
+    Matrix.Bool.mul ?pool:ex.Exec.pool ?budget:ex.Exec.budget
+      ~metrics:ex.Exec.metrics a a
+  in
   let n = Graph.vertex_count g in
   let found = ref None in
   (try
@@ -82,7 +87,8 @@ let detect_matmul ?pool ?budget ?metrics g =
    with Exit -> ());
   !found
 
-let detect_heavy_light ?delta ?pool ?budget ?metrics g =
+let detect_heavy_light ?delta ?ctx ?pool ?budget ?metrics g =
+  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
   let n = Graph.vertex_count g in
   let m = Graph.edge_count g in
   let delta =
@@ -122,7 +128,7 @@ let detect_heavy_light ?delta ?pool ?budget ?metrics g =
       if Array.length hv < 3 then None
       else begin
         let sub, map = Graph.induced g hv in
-        match detect_matmul ?pool ?budget ?metrics sub with
+        match detect_matmul ~ctx:ex sub with
         | Some (a, b, c) -> Some (map.(a), map.(b), map.(c))
         | None -> None
       end
@@ -131,9 +137,13 @@ let detect_heavy_light ?delta ?pool ?budget ?metrics g =
    neighbors of every pair, so summing C(u,v) over edges {u,v} counts
    each triangle once per corner.  Entries of C are degrees at most, so
    (unlike the old trace(A^3) int-matrix route) nothing can overflow. *)
-let count_matmul ?pool ?budget ?metrics g =
+let count_matmul ?ctx ?pool ?budget ?metrics g =
+  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
   let a = adjacency_bool g in
-  let c = Matrix.Bool.mul_count ?pool ?budget ?metrics a a in
+  let c =
+    Matrix.Bool.mul_count ?pool:ex.Exec.pool ?budget:ex.Exec.budget
+      ~metrics:ex.Exec.metrics a a
+  in
   let total = ref 0 in
   Graph.iter_edges (fun u v -> total := !total + Matrix.Int.get c u v) g;
   !total / 3

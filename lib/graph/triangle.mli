@@ -11,9 +11,13 @@ val detect_edge_scan : Graph.t -> (int * int * int) option
 (** Adjacency matrix of the graph as a Boolean matrix. *)
 val adjacency_bool : Graph.t -> Lb_util.Matrix.Bool.t
 
-(** Boolean [A^2] against [A]: the "[O(d^omega)]" dense detector.
-    [?pool]/[?budget]/[?metrics] are forwarded to the matmul kernel. *)
+(** Boolean [A^2] against [A]: the "[O(d^omega)]" dense detector.  The
+    [ctx] resources are forwarded to the matmul kernel; the [?pool] /
+    [?budget] / [?metrics] labelled arguments remain as thin deprecated
+    wrappers, an explicit one overriding the corresponding [ctx] field
+    (see {!Lb_util.Exec.resolve}). *)
 val detect_matmul :
+  ?ctx:Lb_util.Exec.t ->
   ?pool:Lb_util.Pool.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
@@ -23,9 +27,10 @@ val detect_matmul :
 (** Alon-Yuster-Zwick heavy/light split: light edges by neighborhood
     scan, heavy core by matmul - the [O(m^{2w/(w+1)})] algorithm.
     [delta] overrides the degree threshold (default [sqrt m]); the
-    kernel options apply to the heavy phase. *)
+    execution resources apply to the heavy phase. *)
 val detect_heavy_light :
   ?delta:int ->
+  ?ctx:Lb_util.Exec.t ->
   ?pool:Lb_util.Pool.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
@@ -37,6 +42,7 @@ val detect_heavy_light :
     (unlike the former [trace(A^3)] int route — see
     {!Lb_util.Matrix.Int.mul}). *)
 val count_matmul :
+  ?ctx:Lb_util.Exec.t ->
   ?pool:Lb_util.Pool.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->

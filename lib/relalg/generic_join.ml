@@ -29,6 +29,7 @@
 module Pool = Lb_util.Pool
 module Budget = Lb_util.Budget
 module Metrics = Lb_util.Metrics
+module Exec = Lb_util.Exec
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -52,18 +53,11 @@ type ctx = {
          domain) *)
 }
 
-let make_ctx ?pool ?budget ~order db (q : Query.t) =
-  let atoms = Array.of_list q in
-  let natoms = Array.length atoms in
-  let build i = Trie.build ~order (Query.bind_atom db atoms.(i)) in
-  let tries =
-    match pool with
-    | Some p when Pool.size p > 1 && natoms > 1 ->
-        let out = Array.make natoms None in
-        Pool.run p ~chunks:natoms (fun i -> out.(i) <- Some (build i));
-        Array.map Option.get out
-    | _ -> Array.init natoms build
-  in
+(* Schema-driven part of the context; shared by the unsharded builder
+   and the per-shard builders (a shard's tries expose the same schema,
+   so the participant structure is identical). *)
+let ctx_of_tries ?budget ~order tries =
+  let natoms = Array.length tries in
   let nvars = Array.length order in
   let participants = Array.make nvars [||] in
   let pcols = Array.make nvars [||] in
@@ -81,6 +75,24 @@ let make_ctx ?pool ?budget ~order db (q : Query.t) =
       Array.of_list (List.map (fun (i, d) -> Trie.column tries.(i) d) !ids)
   done;
   { tries; nvars; natoms; participants; pcols; bud = budget }
+
+let make_ctx ?pool ?budget ?(metrics = Metrics.disabled) ~order db
+    (q : Query.t) =
+  (* one logical build per execution, whatever the atom count - the unit
+     the server's batch scheduler asserts sharing on *)
+  Metrics.incr metrics "generic_join.trie_builds";
+  let atoms = Array.of_list q in
+  let natoms = Array.length atoms in
+  let build i = Trie.build ~order (Query.bind_atom db atoms.(i)) in
+  let tries =
+    match pool with
+    | Some p when Pool.size p > 1 && natoms > 1 ->
+        let out = Array.make natoms None in
+        Pool.run p ~chunks:natoms (fun i -> out.(i) <- Some (build i));
+        Array.map Option.get out
+    | _ -> Array.init natoms build
+  in
+  ctx_of_tries ?budget ~order tries
 
 let has_empty_atom ctx =
   let e = ref false in
@@ -205,11 +217,14 @@ let with_metrics metrics c f =
 
 (* Iterate all answers; [f] receives the assignment in global-order
    (parallel to [order]).  The array is reused between calls. *)
-let iter ?order ?counters ?budget ?(metrics = Metrics.disabled) db
-    (q : Query.t) f =
+let iter ?order ?counters ?ctx ?budget ?metrics db (q : Query.t) f =
+  let ex = Exec.resolve ?ctx ?budget ?metrics () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
-  with_metrics metrics c (fun () -> run_seq (make_ctx ?budget ~order db q) c f)
+  with_metrics ex.Exec.metrics c (fun () ->
+      run_seq
+        (make_ctx ?budget:ex.Exec.budget ~metrics:ex.Exec.metrics ~order db q)
+        c f)
 
 (* --- parallel driver --- *)
 
@@ -289,12 +304,16 @@ let pool_applies ctx = function
   | Some p when Pool.size p > 1 && ctx.nvars >= 2 -> Some p
   | _ -> None
 
-let count ?order ?counters ?budget ?(metrics = Metrics.disabled) ?pool db q =
+let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
+  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
-  let ctx = make_ctx ?pool ?budget ~order db q in
-  with_metrics metrics c @@ fun () ->
-  match pool_applies ctx pool with
+  let ctx =
+    make_ctx ?pool:ex.Exec.pool ?budget:ex.Exec.budget ~metrics:ex.Exec.metrics
+      ~order db q
+  in
+  with_metrics ex.Exec.metrics c @@ fun () ->
+  match pool_applies ctx ex.Exec.pool with
   | Some p when not (has_empty_atom ctx) ->
       let accs =
         run_par ctx p c ~make_acc:(fun () -> ref 0) ~consume:(fun r _ -> incr r)
@@ -305,16 +324,21 @@ let count ?order ?counters ?budget ?(metrics = Metrics.disabled) ?pool db q =
       run_seq ctx c (fun _ -> incr n);
       !n
 
-let count_bounded ?order ?counters ?budget ?metrics ?pool db q =
-  Budget.protect (fun () -> count ?order ?counters ?budget ?metrics ?pool db q)
+let count_bounded ?order ?counters ?ctx ?budget ?metrics ?pool db q =
+  Budget.protect (fun () ->
+      count ?order ?counters ?ctx ?budget ?metrics ?pool db q)
 
-let answer ?order ?budget ?(metrics = Metrics.disabled) ?pool db q =
+let answer ?order ?ctx ?budget ?metrics ?pool db q =
+  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
-  let ctx = make_ctx ?pool ?budget ~order db q in
+  let ctx =
+    make_ctx ?pool:ex.Exec.pool ?budget:ex.Exec.budget ~metrics:ex.Exec.metrics
+      ~order db q
+  in
   let rows =
-    with_metrics metrics c @@ fun () ->
-    match pool_applies ctx pool with
+    with_metrics ex.Exec.metrics c @@ fun () ->
+    match pool_applies ctx ex.Exec.pool with
     | Some p when not (has_empty_atom ctx) ->
         let accs =
           run_par ctx p c
@@ -331,11 +355,290 @@ let answer ?order ?budget ?(metrics = Metrics.disabled) ?pool db q =
 
 exception Found
 
-let exists ?order ?budget db q =
+let exists ?order ?ctx ?budget db q =
+  let ex = Exec.resolve ?ctx ?budget () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
-  let ctx = make_ctx ?budget ~order db q in
+  let ctx = make_ctx ?budget:ex.Exec.budget ~order db q in
   try
     run_seq ctx c (fun _ -> raise Found);
     false
   with Found -> true
+
+(* --- sharded driver --- *)
+
+(* Execution over a Shard.view: shard [s] sees its own tries for the
+   partitioned atoms and a shared trie for the whole ones.  The level-0
+   loop cannot run inside any single shard - the leader choice, the
+   probe outcomes and the early abort all depend on the full key
+   streams - so it is emulated over Shard.Stream views that merge the k
+   shard columns of each participant.  Every surviving candidate x=v is
+   then routed to shard [shard_of v], where the subtree under v is
+   content-identical to the unsharded trie's (hash partitioning keeps
+   all rows with x=v together and the trie sort is deterministic), so
+   per-candidate work, counters and budget ticks replicate the
+   unsharded run bit-for-bit. *)
+
+let make_shard_ctxs ?pool ?budget ~metrics ~order (view : Shard.view) =
+  Metrics.incr metrics "generic_join.trie_builds";
+  let k = view.Shard.k in
+  let parts = view.Shard.parts in
+  let natoms = Array.length parts in
+  let out = Array.init natoms (fun _ -> Array.make k None) in
+  let jobs = ref [] in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Shard.Whole _ -> jobs := (i, -1) :: !jobs
+      | Shard.Parts _ ->
+          for s = k - 1 downto 0 do
+            jobs := (i, s) :: !jobs
+          done)
+    parts;
+  let jobs = Array.of_list !jobs in
+  let build (i, s) =
+    match parts.(i) with
+    | Shard.Whole r ->
+        let t = Trie.build ~order r in
+        for s = 0 to k - 1 do
+          out.(i).(s) <- Some t
+        done
+    | Shard.Parts a -> out.(i).(s) <- Some (Trie.build ~order a.(s))
+  in
+  (match pool with
+  | Some p when Pool.size p > 1 && Array.length jobs > 1 ->
+      Pool.run p ~chunks:(Array.length jobs) (fun j -> build jobs.(j))
+  | _ -> Array.iter build jobs);
+  Array.init k (fun s ->
+      ctx_of_tries ?budget ~order
+        (Array.init natoms (fun i -> Option.get out.(i).(s))))
+
+(* Any atom globally empty (all its shards empty) means no answers and,
+   as in the unsharded run, no counting at all. *)
+let sharded_empty ctxs =
+  let k = Array.length ctxs and n = ctxs.(0).natoms in
+  let e = ref false in
+  for i = 0 to n - 1 do
+    let tot = ref 0 in
+    for s = 0 to k - 1 do
+      tot := !tot + Trie.row_count ctxs.(s).tries.(i)
+    done;
+    if !tot = 0 then e := true
+  done;
+  !e
+
+(* Level-0 emulation: reproduce [enumerate ~level:0]'s exact counter and
+   budget accounting over the merged streams, routing each surviving
+   candidate to its shard's task list (heavy candidates expand one level
+   deeper inside the shard, as gen_tasks does). *)
+let gen_sharded_tasks ctxs c =
+  let k = Array.length ctxs in
+  let ctx0 = ctxs.(0) in
+  let ps = ctx0.participants.(0) in
+  let np = Array.length ps in
+  if np = 0 then invalid_arg "Generic_join: variable missing from all atoms";
+  let streams =
+    Array.map
+      (fun i ->
+        Shard.Stream.make
+          (Array.init k (fun s -> Trie.column ctxs.(s).tries.(i) 0)))
+      ps
+  in
+  (* leader: smallest total size, first wins - the same choice the
+     unsharded engine makes on the full root ranges *)
+  let lj = ref 0 and lsize = ref max_int in
+  Array.iteri
+    (fun j st ->
+      let s = Shard.Stream.total st in
+      if s < !lsize then begin
+        lsize := s;
+        lj := j
+      end)
+    streams;
+  let lj = !lj in
+  let tasks = Array.make k [] in
+  let counts = Array.make k 0 in
+  let wss = Array.init k (fun s -> make_ws ctxs.(s)) in
+  Array.iteri (fun s ws -> init_root ctxs.(s) ws) wss;
+  let ls = streams.(lj) in
+  let dead = ref false in
+  while (not !dead) && not (Shard.Stream.exhausted ls) do
+    let v = Shard.Stream.cur ls in
+    c.intersections <- c.intersections + 1;
+    (match ctx0.bud with Some b -> Budget.tick b | None -> ());
+    let ok = ref true in
+    let j = ref 0 in
+    while !ok && !j < np do
+      if !j <> lj then begin
+        let st = streams.(!j) in
+        Shard.Stream.seek_geq st v;
+        if Shard.Stream.exhausted st then begin
+          ok := false;
+          dead := true
+        end
+        else if Shard.Stream.cur st <> v then ok := false
+      end;
+      incr j
+    done;
+    if !ok then begin
+      let s = Shard.shard_of ~k v in
+      let cx = ctxs.(s) in
+      let ws = wss.(s) in
+      ws.assignment.(0) <- v;
+      let st0 = ws.stack.(0) and st1 = ws.stack.(1) in
+      Array.blit st0 0 st1 0 (2 * cx.natoms);
+      Array.iter
+        (fun i ->
+          match
+            Trie.narrow cx.tries.(i) ~depth:0 ~lo:st0.(2 * i)
+              ~hi:st0.((2 * i) + 1) v
+          with
+          | Some (lo, hi) ->
+              st1.(2 * i) <- lo;
+              st1.((2 * i) + 1) <- hi
+          | None -> assert false (* v probed present in every participant *))
+        ps;
+      let push plen =
+        counts.(s) <- counts.(s) + 1;
+        tasks.(s) <-
+          {
+            plen;
+            v0 = ws.assignment.(0);
+            v1 = (if plen > 1 then ws.assignment.(1) else 0);
+            st = Array.copy ws.stack.(plen);
+          }
+          :: tasks.(s)
+      in
+      let heavy =
+        cx.nvars >= 2
+        &&
+        let ps1 = cx.participants.(1) in
+        let st = ws.stack.(1) in
+        let w = ref max_int in
+        Array.iter
+          (fun i ->
+            let sz = st.((2 * i) + 1) - st.(2 * i) in
+            if sz < !w then w := sz)
+          ps1;
+        !w > split_threshold
+      in
+      if heavy then enumerate cx ws c ~level:1 ~stop:2 (fun () -> push 2)
+      else push 1
+    end;
+    Shard.Stream.advance_gt ls v
+  done;
+  (Array.map (fun l -> Array.of_list (List.rev l)) tasks, counts)
+
+(* Skew fallback: shard task lists exceeding 2x the mean are halved
+   recursively into execution units, so one hot shard cannot serialize
+   the pool.  Units are ordered by (shard, offset); merging per-unit
+   counters in that order keeps totals deterministic. *)
+type exec_unit = { shard : int; t0 : int; t1 : int }
+
+let units_of counts =
+  let k = Array.length counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  let mean = max 1 ((total + k - 1) / k) in
+  let cap = 2 * mean in
+  let out = ref [] in
+  let rec split s t0 t1 =
+    if t1 - t0 > cap && t1 - t0 > 1 then begin
+      let mid = (t0 + t1) / 2 in
+      split s t0 mid;
+      split s mid t1
+    end
+    else if t1 > t0 then out := { shard = s; t0; t1 } :: !out
+  in
+  for s = k - 1 downto 0 do
+    split s 0 counts.(s)
+  done;
+  Array.of_list !out
+
+let run_units ctxs (tasks : task array array) units pool c ~make_acc ~consume =
+  let nu = Array.length units in
+  let accs = Array.init nu (fun _ -> make_acc ()) in
+  let ctrs = Array.init nu (fun _ -> fresh_counters ()) in
+  let body u =
+    let { shard = s; t0; t1 } = units.(u) in
+    let cx = ctxs.(s) in
+    let ws = make_ws cx in
+    let ck = ctrs.(u) and acc = accs.(u) in
+    for ti = t0 to t1 - 1 do
+      let t = tasks.(s).(ti) in
+      ws.assignment.(0) <- t.v0;
+      if t.plen > 1 then ws.assignment.(1) <- t.v1;
+      Array.blit t.st 0 ws.stack.(t.plen) 0 (2 * cx.natoms);
+      enumerate cx ws ck ~level:t.plen ~stop:cx.nvars (fun () ->
+          ck.emitted <- ck.emitted + 1;
+          consume acc ws.assignment)
+    done
+  in
+  (match pool with
+  | Some p when Pool.size p > 1 && nu > 1 -> Pool.run p ~chunks:nu body
+  | _ ->
+      for u = 0 to nu - 1 do
+        body u
+      done);
+  Array.iter
+    (fun ck ->
+      c.intersections <- c.intersections + ck.intersections;
+      c.emitted <- c.emitted + ck.emitted)
+    ctrs;
+  accs
+
+let sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q ~make_acc
+    ~consume =
+  if shards < 1 then invalid_arg "Generic_join.run_sharded: shards < 1";
+  let ex = Exec.resolve ?ctx () in
+  let order = match order with Some o -> o | None -> Query.attributes q in
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  with_metrics ex.Exec.metrics c @@ fun () ->
+  if Array.length order = 0 then begin
+    (* no variable to partition on; the unsharded engine is the story *)
+    let cx =
+      make_ctx ?budget:ex.Exec.budget ~metrics:ex.Exec.metrics ~order db q
+    in
+    let acc = make_acc () in
+    run_seq cx c (fun a -> consume acc a);
+    [| acc |]
+  end
+  else begin
+    let view =
+      match view with
+      | Some (v : Shard.view) ->
+          if v.Shard.k <> shards then
+            invalid_arg "Generic_join.run_sharded: view shard count mismatch";
+          if v.Shard.attr <> order.(0) then
+            invalid_arg "Generic_join.run_sharded: view attribute mismatch";
+          v
+      | None -> Shard.view ?hook:partition ~attr:order.(0) ~k:shards db q
+    in
+    let ctxs =
+      make_shard_ctxs ?pool:ex.Exec.pool ?budget:ex.Exec.budget
+        ~metrics:ex.Exec.metrics ~order view
+    in
+    if sharded_empty ctxs then [| make_acc () |]
+    else begin
+      let tasks, counts = gen_sharded_tasks ctxs c in
+      let units = units_of counts in
+      run_units ctxs tasks units ex.Exec.pool c ~make_acc ~consume
+    end
+  end
+
+let count_sharded ?order ?counters ?ctx ?partition ?view ~shards db q =
+  let accs =
+    sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q
+      ~make_acc:(fun () -> ref 0)
+      ~consume:(fun r _ -> incr r)
+  in
+  Array.fold_left (fun acc r -> acc + !r) 0 accs
+
+let run_sharded ?order ?counters ?ctx ?partition ?view ~shards db q =
+  let order' = match order with Some o -> o | None -> Query.attributes q in
+  let accs =
+    sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q
+      ~make_acc:(fun () -> ref [])
+      ~consume:(fun r a -> r := Array.copy a :: !r)
+  in
+  Relation.make order'
+    (Array.fold_left (fun acc r -> List.rev_append !r acc) [] accs)

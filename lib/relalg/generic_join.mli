@@ -9,13 +9,20 @@
     candidates (heavy candidates are split one level deeper) and merging
     per-domain counters, with results identical to a sequential run.
 
-    Resource governance: a [?budget] is ticked once per enumerated
+    Resource governance: a budget is ticked once per enumerated
     leader key (the unit the O(N^{rho*}) accounting charges), raising
     {!Lb_util.Budget.Budget_exhausted} when spent - under a pool, every
     domain observes the shared budget, so exhaustion stops all of them
-    within a tick.  A [?metrics] sink receives the per-call
-    [generic_join.intersections] / [generic_join.emitted] deltas, also
-    when the run is cut short. *)
+    within a tick.  The metrics sink receives the per-call
+    [generic_join.intersections] / [generic_join.emitted] deltas (also
+    when the run is cut short) and one [generic_join.trie_builds] tick
+    per execution context built.
+
+    Execution resources are passed as a single [?ctx]
+    ({!Lb_util.Exec.t}); the historical [?pool] / [?budget] /
+    [?metrics] labelled arguments remain as thin deprecated wrappers -
+    an explicitly passed one overrides the corresponding [ctx] field
+    (see {!Lb_util.Exec.resolve}). *)
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -27,6 +34,7 @@ val fresh_counters : unit -> counters
 val iter :
   ?order:string array ->
   ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Database.t ->
@@ -34,10 +42,11 @@ val iter :
   (int array -> unit) ->
   unit
 
-(** Materialize the answer (schema = the variable order).  With [?pool],
+(** Materialize the answer (schema = the variable order).  With a pool,
     trie builds and the join itself run across the pool's domains. *)
 val answer :
   ?order:string array ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
@@ -45,12 +54,13 @@ val answer :
   Query.t ->
   Relation.t
 
-(** Count the answers.  With [?pool], runs the Domain-parallel driver;
+(** Count the answers.  With a pool, runs the Domain-parallel driver;
     the count and the final counter totals are identical to a sequential
     run on the same inputs. *)
 val count :
   ?order:string array ->
   ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
@@ -62,6 +72,7 @@ val count :
 val count_bounded :
   ?order:string array ->
   ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
@@ -73,4 +84,46 @@ exception Found
 
 (** The Boolean join query: stop at the first answer. *)
 val exists :
-  ?order:string array -> ?budget:Lb_util.Budget.t -> Database.t -> Query.t -> bool
+  ?order:string array ->
+  ?ctx:Lb_util.Exec.t ->
+  ?budget:Lb_util.Budget.t ->
+  Database.t ->
+  Query.t ->
+  bool
+
+(** {2 Sharded execution}
+
+    The sharded driver hash-partitions every atom containing the first
+    variable of the order into [shards] co-partitioned pieces
+    ({!Shard.view}) and runs one subproblem per shard, fanned out on
+    [ctx]'s pool with a 2x-mean skew split.  The level-0 loop is
+    emulated over the merged per-shard key streams, so answers, counter
+    totals and budget ticks are bit-identical to the unsharded run.
+    [?partition] (see {!Shard.view}'s [?hook]) lets a catalog supply
+    warm raw-relation partitions; [?view] supplies a prebuilt view
+    outright (its [k] must equal [shards] and its attribute the first
+    variable of the order). *)
+
+(** Materialize the answer through the sharded driver. *)
+val run_sharded :
+  ?order:string array ->
+  ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
+  ?partition:(Query.atom -> col:int -> Relation.t array option) ->
+  ?view:Shard.view ->
+  shards:int ->
+  Database.t ->
+  Query.t ->
+  Relation.t
+
+(** Count the answers through the sharded driver. *)
+val count_sharded :
+  ?order:string array ->
+  ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
+  ?partition:(Query.atom -> col:int -> Relation.t array option) ->
+  ?view:Shard.view ->
+  shards:int ->
+  Database.t ->
+  Query.t ->
+  int

@@ -5,11 +5,17 @@
     accept a {!Lb_util.Pool} to run Domain-parallel with results and
     counter totals identical to a sequential run.
 
-    Resource governance mirrors {!Generic_join}: [?budget] is ticked
+    Resource governance mirrors {!Generic_join}: the budget is ticked
     once per agreed key and per seek (raising
     {!Lb_util.Budget.Budget_exhausted} when spent, on every domain of a
-    parallel run); [?metrics] receives the per-call [leapfrog.seeks] /
-    [leapfrog.emitted] deltas. *)
+    parallel run); the metrics sink receives the per-call
+    [leapfrog.seeks] / [leapfrog.emitted] deltas and one
+    [leapfrog.trie_builds] tick per execution context built.
+
+    As in {!Generic_join}, resources are passed as a single [?ctx]
+    ({!Lb_util.Exec.t}); the [?pool] / [?budget] / [?metrics] labelled
+    arguments remain as thin deprecated wrappers, an explicit one
+    overriding the corresponding [ctx] field. *)
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
@@ -19,6 +25,7 @@ val fresh_counters : unit -> counters
 val iter :
   ?order:string array ->
   ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Database.t ->
@@ -28,6 +35,7 @@ val iter :
 
 val answer :
   ?order:string array ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
@@ -38,6 +46,7 @@ val answer :
 val count :
   ?order:string array ->
   ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
@@ -49,6 +58,7 @@ val count :
 val count_bounded :
   ?order:string array ->
   ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   ?pool:Lb_util.Pool.t ->
@@ -59,4 +69,34 @@ val count_bounded :
 exception Found
 
 val exists :
-  ?order:string array -> ?budget:Lb_util.Budget.t -> Database.t -> Query.t -> bool
+  ?order:string array ->
+  ?ctx:Lb_util.Exec.t ->
+  ?budget:Lb_util.Budget.t ->
+  Database.t ->
+  Query.t ->
+  bool
+
+(** Sharded driver; same contract and determinism guarantees as
+    {!Generic_join.run_sharded}, with the level-0 leapfrog emulated over
+    the merged per-shard key streams. *)
+val run_sharded :
+  ?order:string array ->
+  ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
+  ?partition:(Query.atom -> col:int -> Relation.t array option) ->
+  ?view:Shard.view ->
+  shards:int ->
+  Database.t ->
+  Query.t ->
+  Relation.t
+
+val count_sharded :
+  ?order:string array ->
+  ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
+  ?partition:(Query.atom -> col:int -> Relation.t array option) ->
+  ?view:Shard.view ->
+  shards:int ->
+  Database.t ->
+  Query.t ->
+  int

@@ -1,0 +1,196 @@
+(* Hash partitioning for the sharded execution tier.  See shard.mli.
+
+   The hash is a fixed 63-bit multiply-xor mix: it must be identical in
+   every process that ever touches a shard index (engine drivers, the
+   catalog's warm partition cache, the property tests), and it must not
+   depend on anything runtime-varying, or sharded runs stop being
+   replayable. *)
+
+let shard_of ~k v =
+  if k <= 1 then 0
+  else begin
+    let h = (v + 0x2545F4914F6CDD1) * 0x9E3779B97F4A7C1 in
+    let h = h lxor (h lsr 29) in
+    let h = h * 0x2545F4914F6CDD1 in
+    let h = h lxor (h lsr 32) in
+    (h land max_int) mod k
+  end
+
+let partition_col ~k ~col rel =
+  if k < 1 then invalid_arg "Shard.partition_col: k < 1";
+  if col < 0 || col >= Relation.width rel then
+    invalid_arg "Shard.partition_col: column out of range";
+  let attrs = Relation.attrs rel in
+  let buckets = Array.make k [] in
+  (* reversed per-bucket lists; Relation.make re-sorts anyway *)
+  Array.iter
+    (fun tup ->
+      let s = shard_of ~k tup.(col) in
+      buckets.(s) <- tup :: buckets.(s))
+    (Relation.tuples rel);
+  Array.map (fun rows -> Relation.make attrs rows) buckets
+
+let partition ~k ~attr rel =
+  match Relation.attr_index rel attr with
+  | None -> invalid_arg ("Shard.partition: no attribute " ^ attr)
+  | Some col -> partition_col ~k ~col rel
+
+let co_partition ~k ~attr rels = List.map (partition ~k ~attr) rels
+
+(* Monomorphic lexicographic tuple compare (same order as Relation's
+   canonical tuple set). *)
+let compare_tuples (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then if la < lb then -1 else 1
+  else begin
+    let i = ref 0 and r = ref 0 in
+    while !r = 0 && !i < la do
+      let x = a.(!i) and y = b.(!i) in
+      if x < y then r := -1 else if x > y then r := 1;
+      incr i
+    done;
+    !r
+  end
+
+(* k-way merge of the shards' sorted duplicate-free tuple arrays.  The
+   shards of one partition are key-disjoint, so no dedup is needed here;
+   Relation.make still validates and canonicalizes. *)
+let merge_sorted shards =
+  if Array.length shards = 0 then invalid_arg "Shard.merge_sorted: no shards";
+  let attrs = Relation.attrs shards.(0) in
+  Array.iter
+    (fun r ->
+      let a = Relation.attrs r in
+      if Array.length a <> Array.length attrs
+         || not (Array.for_all2 String.equal a attrs)
+      then invalid_arg "Shard.merge_sorted: schema mismatch")
+    shards;
+  let arrs = Array.map Relation.tuples shards in
+  let pos = Array.map (fun _ -> 0) arrs in
+  let out = ref [] in
+  let rec next () =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i p ->
+        if p < Array.length arrs.(i) then
+          match !best with
+          | -1 -> best := i
+          | b ->
+              if compare_tuples arrs.(i).(p) arrs.(b).(pos.(b)) < 0 then
+                best := i)
+      pos;
+    match !best with
+    | -1 -> ()
+    | b ->
+        out := arrs.(b).(pos.(b)) :: !out;
+        pos.(b) <- pos.(b) + 1;
+        next ()
+  in
+  next ();
+  Relation.make attrs (List.rev !out)
+
+(* --- query views --- *)
+
+type part = Whole of Relation.t | Parts of Relation.t array
+
+type view = { attr : string; k : int; parts : part array }
+
+let view ?hook ~attr ~k db (q : Query.t) =
+  if k < 1 then invalid_arg "Shard.view: k < 1";
+  let atoms = Array.of_list q in
+  let found = ref false in
+  let parts =
+    Array.map
+      (fun (a : Query.atom) ->
+        (* the column of the first occurrence of [attr] in the stored
+           relation; binding keeps first-occurrence columns in place *)
+        let col = ref (-1) in
+        Array.iteri (fun i x -> if x = attr && !col < 0 then col := i) a.attrs;
+        if !col < 0 then Whole (Query.bind_atom db a)
+        else begin
+          found := true;
+          let cached =
+            match hook with Some h -> h a ~col:!col | None -> None
+          in
+          match cached with
+          | Some raw_parts ->
+              if Array.length raw_parts <> k then
+                invalid_arg "Shard.view: hook returned wrong shard count";
+              (* bind each raw shard: partitioning the stored relation
+                 then binding equals binding then partitioning, because
+                 the value at the partition column survives binding *)
+              Parts
+                (Array.map
+                   (fun p ->
+                     Query.bind_atom (Database.of_list [ (a.rel, p) ]) a)
+                   raw_parts)
+          | None -> Parts (partition ~k ~attr (Query.bind_atom db a))
+        end)
+      atoms
+  in
+  if not !found then
+    invalid_arg ("Shard.view: attribute " ^ attr ^ " appears in no atom");
+  { attr; k; parts }
+
+(* --- merged depth-0 key streams --- *)
+
+module Stream = struct
+  type t = {
+    cols : int array array;
+    his : int array;
+    pos : int array;
+    mutable live : int;
+    mutable cur : int;
+  }
+
+  let refresh s =
+    let live = ref 0 and cur = ref 0 and first = ref true in
+    Array.iteri
+      (fun i p ->
+        if p < s.his.(i) then begin
+          incr live;
+          let v = s.cols.(i).(p) in
+          if !first || v < !cur then begin
+            cur := v;
+            first := false
+          end
+        end)
+      s.pos;
+    s.live <- !live;
+    if not !first then s.cur <- !cur
+
+  let make cols =
+    let s =
+      {
+        cols;
+        his = Array.map Array.length cols;
+        pos = Array.map (fun _ -> 0) cols;
+        live = 0;
+        cur = 0;
+      }
+    in
+    refresh s;
+    s
+
+  let exhausted s = s.live = 0
+
+  let cur s = s.cur
+
+  let total s = Array.fold_left ( + ) 0 s.his
+
+  let seek_geq s v =
+    Array.iteri
+      (fun i p ->
+        if p < s.his.(i) && s.cols.(i).(p) < v then
+          s.pos.(i) <- Trie.gallop_geq s.cols.(i) p s.his.(i) v)
+      s.pos;
+    refresh s
+
+  let advance_gt s v =
+    Array.iteri
+      (fun i p ->
+        if p < s.his.(i) && s.cols.(i).(p) <= v then
+          s.pos.(i) <- Trie.gallop_gt s.cols.(i) p s.his.(i) v)
+      s.pos;
+    refresh s
+end

@@ -1,0 +1,96 @@
+(** Hash-partitioned relations: the data layout of the sharded execution
+    tier.  A relation is split on one attribute into [k] shards by a
+    deterministic integer hash, so every tuple with the same key value
+    lands in the same shard — co-partitioning all atoms of a join query
+    on the first join variable makes each per-key subproblem local to
+    one shard, which is what lets the worst-case-optimal engines fan the
+    work out without changing a single counter (the AGM bound is
+    oblivious to layout).
+
+    The partition is value-deterministic: [shard_of] depends only on the
+    value and [k], never on tuple order or timing, so sharded runs are
+    replayable and their merged results byte-stable. *)
+
+(** [shard_of ~k v] is the shard index in [0, k)] of key value [v];
+    deterministic, and the single definition every layer (engines,
+    catalog cache, tests) must agree on.  [k <= 1] always yields 0. *)
+val shard_of : k:int -> int -> int
+
+(** [partition ~k ~attr rel] splits [rel] into [k] shards on attribute
+    [attr] (raises [Invalid_argument] if missing).  Every tuple appears
+    in exactly [shard_of ~k] of its [attr] value; schemas are shared. *)
+val partition : k:int -> attr:string -> Relation.t -> Relation.t array
+
+(** [partition_col ~k ~col rel] is {!partition} by column index — the
+    form the catalog caches, since a stored relation's own column names
+    differ from the query variables bound to them. *)
+val partition_col : k:int -> col:int -> Relation.t -> Relation.t array
+
+(** [co_partition ~k ~attr rels] partitions every relation on the shared
+    join attribute with the same hash, aligning shard indices: tuples
+    that can join on [attr] are in same-index shards of each relation. *)
+val co_partition : k:int -> attr:string -> Relation.t list -> Relation.t array list
+
+(** Deterministic union of per-shard results: k-way merge of the
+    shards' (sorted, duplicate-free) tuple arrays.  All shards must
+    share the first shard's schema. *)
+val merge_sorted : Relation.t array -> Relation.t
+
+(** A query's atoms partitioned for execution: atoms containing the
+    partition attribute are split into [k] co-partitioned pieces; the
+    rest stay whole and are shared by every shard's subproblem. *)
+type part =
+  | Whole of Relation.t  (** atom does not contain the partition attribute *)
+  | Parts of Relation.t array  (** [k] shards, co-partitioned *)
+
+type view = {
+  attr : string;  (** the partition attribute *)
+  k : int;
+  parts : part array;  (** per atom, in query order *)
+}
+
+(** [view ~attr ~k db q] binds each atom of [q] (as the engines do) and
+    partitions the ones containing [attr].  [?hook] short-circuits the
+    per-atom partitioning with precomputed raw-relation shards — given
+    the atom and the stored-relation column index carrying [attr], it
+    may return cached partitions of the {e stored} relation, which are
+    then bound per shard (binding commutes with partitioning because it
+    never changes the value at the partition column).  This is how
+    {!Catalog}'s warm sharded storage plugs in.  Raises like
+    {!Query.bind_atom} on unknown relations or arity mismatches, and
+    [Invalid_argument] if [attr] appears in no atom or [k < 1]. *)
+val view :
+  ?hook:(Query.atom -> col:int -> Relation.t array option) ->
+  attr:string ->
+  k:int ->
+  Database.t ->
+  Query.t ->
+  view
+
+(** Merged view of one partitioned atom's depth-0 key streams: the
+    engines' level-0 loops (leader enumeration, probes, leapfrogging)
+    must see the {e full} key sequence to replicate the unsharded run's
+    counters bit-for-bit, but after partitioning the keys live in [k]
+    separate sorted columns.  A stream keeps one galloping cursor per
+    shard column and exposes the merged ascending view. *)
+module Stream : sig
+  type t
+
+  (** [make cols] over the per-shard sorted depth-0 columns. *)
+  val make : int array array -> t
+
+  val exhausted : t -> bool
+
+  (** Smallest current key across non-exhausted shard cursors.
+      Undefined when {!exhausted}. *)
+  val cur : t -> int
+
+  (** Total remaining plus consumed length — the full column length, for
+      leader selection. *)
+  val total : t -> int
+
+  (** Advance every shard cursor to its first key [>= v] / [> v]. *)
+  val seek_geq : t -> int -> unit
+
+  val advance_gt : t -> int -> unit
+end

@@ -10,13 +10,18 @@
    intermediate blowup, which experiment E14 contrasts against binary
    plans and Generic Join. *)
 
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
+module Exec = Lb_util.Exec
+
 type stats = { max_intermediate : int; semijoins : int }
 
 exception Cyclic
 
 (* Returns the reduced per-atom relations, the join tree (parent array),
-   and a DFS post-order. *)
-let full_reducer db (q : Query.t) =
+   and a DFS post-order.  The optional budget is ticked once per
+   semijoin - the unit the O(input + output) accounting charges. *)
+let full_reducer ?budget db (q : Query.t) =
   let h = Query.hypergraph q in
   match Lb_hypergraph.Acyclic.join_tree h with
   | None -> raise Cyclic
@@ -40,10 +45,12 @@ let full_reducer db (q : Query.t) =
          pushed earlier) means root is pushed LAST -> head of !order.
          So !order is reverse post-order; [post] computed below. *)
       let semijoins = ref 0 in
+      let tick () = match budget with Some b -> Budget.tick b | None -> () in
       (* bottom-up: parent := parent semijoin child *)
       List.iter
         (fun i ->
           if parent.(i) >= 0 then begin
+            tick ();
             rels.(parent.(i)) <- Relation.semijoin rels.(parent.(i)) rels.(i);
             incr semijoins
           end)
@@ -52,6 +59,7 @@ let full_reducer db (q : Query.t) =
       List.iter
         (fun i ->
           if parent.(i) >= 0 then begin
+            tick ();
             rels.(i) <- Relation.semijoin rels.(i) rels.(parent.(i));
             incr semijoins
           end)
@@ -64,16 +72,27 @@ let full_reducer db (q : Query.t) =
    last at top level) is at the head of !order; reversing puts the root
    last and children first.  Correct. *)
 
-let answer db (q : Query.t) =
+(* Record a run's stats into a metrics sink. *)
+let record metrics (s : stats) =
+  Metrics.add metrics "yannakakis.semijoins" s.semijoins;
+  Metrics.add metrics "yannakakis.max_intermediate" s.max_intermediate
+
+let answer ?ctx db (q : Query.t) =
+  let ex = Exec.resolve ?ctx () in
+  let budget = ex.Exec.budget in
   match q with
-  | [] -> (Relation.make [||] [ [||] ], { max_intermediate = 1; semijoins = 0 })
+  | [] ->
+      let s = { max_intermediate = 1; semijoins = 0 } in
+      record ex.Exec.metrics s;
+      (Relation.make [||] [ [||] ], s)
   | _ ->
-      let rels, parent, post, semijoins = full_reducer db q in
+      let rels, parent, post, semijoins = full_reducer ?budget db q in
       let acc = Array.copy rels in
       let max_inter = ref 0 in
       List.iter
         (fun i ->
           if parent.(i) >= 0 then begin
+            (match budget with Some b -> Budget.tick b | None -> ());
             acc.(parent.(i)) <- Relation.natural_join acc.(parent.(i)) acc.(i);
             max_inter := max !max_inter (Relation.cardinality acc.(parent.(i)))
           end)
@@ -81,15 +100,19 @@ let answer db (q : Query.t) =
       let root =
         match List.rev post with r :: _ -> r | [] -> assert false
       in
-      (acc.(root), { max_intermediate = !max_inter; semijoins })
+      let s = { max_intermediate = !max_inter; semijoins } in
+      record ex.Exec.metrics s;
+      (acc.(root), s)
 
 (* Boolean acyclic query: after full reduction the answer is nonempty iff
    every reduced relation is nonempty. *)
-let boolean_answer db (q : Query.t) =
+let boolean_answer ?ctx db (q : Query.t) =
+  let ex = Exec.resolve ?ctx () in
   match q with
   | [] -> true
   | _ ->
-      let rels, _, _, _ = full_reducer db q in
+      let rels, _, _, semijoins = full_reducer ?budget:ex.Exec.budget db q in
+      record ex.Exec.metrics { max_intermediate = 0; semijoins };
       Array.for_all (fun r -> Relation.cardinality r > 0) rels
 
 let is_acyclic (q : Query.t) =
@@ -102,11 +125,12 @@ let is_acyclic (q : Query.t) =
    every partial assignment extends to a full answer, so no time is spent
    on dead branches.  [f] receives each answer as an array parallel to
    [Query.attributes q]; the array is reused between calls. *)
-let iter_answers db (q : Query.t) f =
+let iter_answers ?ctx db (q : Query.t) f =
+  let ex = Exec.resolve ?ctx () in
   match q with
   | [] -> f [||]
   | _ ->
-      let rels, parent, post, _ = full_reducer db q in
+      let rels, parent, post, _ = full_reducer ?budget:ex.Exec.budget db q in
       let m = Array.length rels in
       let attrs = Query.attributes q in
       let attr_index = Hashtbl.create 16 in

@@ -15,10 +15,16 @@ type branching =
     unit and raises {!Lb_util.Budget.Budget_exhausted} when it runs out
     ([stats] stays filled to the interruption point); use
     {!solve_bounded} for the non-raising form.  [metrics] receives the
-    per-call [dpll.decisions] / [dpll.propagations] counters. *)
+    per-call [dpll.decisions] / [dpll.propagations] counters.
+
+    Resources may also be passed as a single [?ctx]
+    ({!Lb_util.Exec.t}); [?budget] / [?metrics] remain as thin
+    deprecated wrappers, an explicit one overriding the corresponding
+    [ctx] field (see {!Lb_util.Exec.resolve}). *)
 val solve :
   ?stats:stats ->
   ?branching:branching ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Cnf.t ->
@@ -29,6 +35,7 @@ val solve :
 val solve_bounded :
   ?stats:stats ->
   ?branching:branching ->
+  ?ctx:Lb_util.Exec.t ->
   ?budget:Lb_util.Budget.t ->
   ?metrics:Lb_util.Metrics.t ->
   Cnf.t ->

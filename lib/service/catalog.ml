@@ -1,19 +1,41 @@
-(* Versioned mutable catalog over the immutable Database.t. *)
+(* Versioned mutable catalog over the immutable Database.t.
+
+   Sharded storage: the catalog keeps hash partitions of its relations
+   warm across requests in [parts], keyed by (relation, column, shard
+   count) and stamped with the version that produced them.  Every
+   mutation bumps the version and resets the partition cache, so a
+   stale partition can never be served (the version stamp is a second
+   line of defense, checked on every hit). *)
 
 module Db = Lb_relalg.Database
 module R = Lb_relalg.Relation
+module Q = Lb_relalg.Query
+module Shard = Lb_relalg.Shard
 
-type t = { mutable db : Db.t; mutable version : int }
+type t = {
+  mutable db : Db.t;
+  mutable version : int;
+  mutable shards : int;  (* default shard count; 1 = unsharded *)
+  parts : (string * int * int, int * R.t array) Hashtbl.t;
+}
 
-let create () = { db = Db.empty; version = 0 }
+let create () =
+  { db = Db.empty; version = 0; shards = 1; parts = Hashtbl.create 16 }
 
 let version t = t.version
 
 let database t = t.db
 
+let shards t = t.shards
+
+let set_shards t k =
+  if k < 1 then invalid_arg "Catalog.set_shards: k < 1";
+  t.shards <- k
+
 let bump t db =
   t.db <- db;
-  t.version <- t.version + 1
+  t.version <- t.version + 1;
+  Hashtbl.reset t.parts
 
 let without t name =
   Db.of_list
@@ -21,11 +43,37 @@ let without t name =
        (fun n -> if n = name then None else Some (n, Db.find t.db n))
        (Db.names t.db))
 
-let load t ~name ~attrs tuples =
+(* Partition [rel]'s column [col] into [k] pieces, warm from the cache
+   when the stamp matches the current version. *)
+let partition_of t ~name ~col ~k rel =
+  let key = (name, col, k) in
+  match Hashtbl.find_opt t.parts key with
+  | Some (v, parts) when v = t.version -> parts
+  | _ ->
+      let parts = Shard.partition_col ~k ~col rel in
+      Hashtbl.replace t.parts key (t.version, parts);
+      parts
+
+let partition_hook t ~k (a : Q.atom) ~col =
+  if k < 2 then None
+  else
+    match Db.find_opt t.db a.Q.rel with
+    | None -> None
+    | Some rel ->
+        if col < 0 || col >= R.width rel then None
+        else Some (partition_of t ~name:a.Q.rel ~col ~k rel)
+
+let load ?shards t ~name ~attrs tuples =
   match R.make attrs tuples with
   | exception Invalid_argument msg -> Error msg
   | rel ->
+      (match shards with Some k -> set_shards t k | None -> ());
       bump t (Db.add (without t name) name rel);
+      (* Warm the partitions a sharded driver will ask for first: the
+         leading column is where a first-variable partition lands when
+         the relation's own attribute order leads the plan. *)
+      if t.shards > 1 && R.width rel > 0 then
+        ignore (partition_of t ~name ~col:0 ~k:t.shards rel);
       Ok (R.cardinality rel)
 
 let insert t ~name tuples =

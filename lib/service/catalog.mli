@@ -1,7 +1,13 @@
 (** The server's mutable catalog: a named set of relations with a
     version counter bumped on every successful mutation.  The version
     keys the result cache, so cached answers can never leak across a
-    mutation even if an explicit invalidation were missed. *)
+    mutation even if an explicit invalidation were missed.
+
+    Sharded storage mode: the catalog keeps hash partitions
+    ({!Lb_relalg.Shard.partition_col}) of its relations warm across
+    requests, keyed by (relation, column, shard count) and stamped with
+    the version that produced them; every mutation drops the cache, and
+    a stamp mismatch can never serve stale shards. *)
 
 type t
 
@@ -14,10 +20,37 @@ val version : t -> int
     domains while mutations are quiesced). *)
 val database : t -> Lb_relalg.Database.t
 
+(** Default shard count for sharded execution; 1 (= unsharded) until
+    [set_shards] or [load ~shards]. *)
+val shards : t -> int
+
+(** Raises [Invalid_argument] when [k < 1]. *)
+val set_shards : t -> int -> unit
+
+(** Warm-partition supplier in the shape the engines'
+    [?partition] hook expects ({!Lb_relalg.Shard.view}): the stored
+    relation behind the atom, hash-partitioned on [col] into [k]
+    pieces, cached until the next mutation.  [None] for unknown
+    relations, out-of-range columns, or [k < 2] (nothing to share). *)
+val partition_hook :
+  t ->
+  k:int ->
+  Lb_relalg.Query.atom ->
+  col:int ->
+  Lb_relalg.Relation.t array option
+
 (** Create or replace a relation.  [Ok cardinality] after dedup;
-    [Error] on invalid schemas or ragged tuples (version unchanged). *)
+    [Error] on invalid schemas or ragged tuples (version unchanged).
+    [~shards] switches the catalog's default shard count (as
+    [set_shards]) and eagerly warms the new relation's leading-column
+    partitions. *)
 val load :
-  t -> name:string -> attrs:string array -> int array list -> (int, string) result
+  ?shards:int ->
+  t ->
+  name:string ->
+  attrs:string array ->
+  int array list ->
+  (int, string) result
 
 (** Add tuples to an existing relation; [Ok cardinality] of the grown
     relation. *)

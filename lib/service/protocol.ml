@@ -1,5 +1,12 @@
 (* Typed requests/responses for the line protocol, with a canonical
-   JSON encoding (fixed field order, defaults omitted). *)
+   JSON encoding (fixed field order, defaults omitted).
+
+   Versioning (v1): every response carries "v":1 as its first field; a
+   request may carry "v" (accepted iff it is 1, so a future client
+   can fail fast against an old server); unknown request fields are
+   ignored and reported to the caller so the server can count them. *)
+
+let version = 1
 
 type query_opts = {
   engine : Planner.engine option;
@@ -25,6 +32,7 @@ type request =
   | Query of { text : string; opts : query_opts }
   | Explain of { text : string }
   | Stats
+  | Hello
   | Ping
   | Shutdown
 
@@ -65,6 +73,7 @@ let encode_request = function
   | Explain { text } ->
       Json.Obj [ ("op", Json.String "explain"); ("q", Json.String text) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Hello -> Json.Obj [ ("op", Json.String "hello") ]
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
@@ -106,10 +115,30 @@ let decode_query_opts v =
   let* max_ticks = Json.opt_int_field "max_ticks" v in
   Ok { engine; count_only; limit; timeout_ms; max_ticks }
 
+(* Fields v1 understands per op; anything else is ignored (and
+   reported by [decode_request_ext]), which is what lets a v1 server
+   accept requests from clients that have grown new optional fields. *)
+let known_fields = function
+  | "load" -> [ "op"; "v"; "name"; "attrs"; "tuples" ]
+  | "insert" -> [ "op"; "v"; "name"; "tuples" ]
+  | "drop" -> [ "op"; "v"; "name" ]
+  | "query" ->
+      [ "op"; "v"; "q"; "engine"; "count_only"; "limit"; "timeout_ms";
+        "max_ticks" ]
+  | "explain" -> [ "op"; "v"; "q" ]
+  | _ -> [ "op"; "v" ]
+
 let decode_request v =
   match v with
   | Json.Obj _ -> (
       let* op = Json.string_field "op" v in
+      let* () =
+        match Json.opt_int_field "v" v with
+        | Ok (Some n) when n <> version ->
+            Error (Printf.sprintf "unsupported protocol version %d" n)
+        | Ok _ -> Ok ()
+        | Error _ -> Error "\"v\" must be an integer"
+      in
       match op with
       | "load" ->
           let* name = Json.string_field "name" v in
@@ -140,15 +169,35 @@ let decode_request v =
           let* text = Json.string_field "q" v in
           Ok (Explain { text })
       | "stats" -> Ok Stats
+      | "hello" -> Ok Hello
       | "ping" -> Ok Ping
       | "shutdown" -> Ok Shutdown
       | op -> Error (Printf.sprintf "unknown op %S" op))
   | _ -> Error "request must be a JSON object"
 
-let request_of_string s =
+let decode_request_ext v =
+  let* req = decode_request v in
+  let ignored =
+    match v with
+    | Json.Obj fields ->
+        let known =
+          match Json.string_field "op" v with
+          | Ok op -> known_fields op
+          | Error _ -> []
+        in
+        List.filter_map
+          (fun (k, _) -> if List.mem k known then None else Some k)
+          fields
+    | _ -> []
+  in
+  Ok (req, ignored)
+
+let request_of_string_ext s =
   match Json.parse s with
-  | v -> decode_request v
+  | v -> decode_request_ext v
   | exception Json.Parse_error msg -> Error ("invalid JSON: " ^ msg)
+
+let request_of_string s = Result.map fst (request_of_string_ext s)
 
 (* --- shared encoders --- *)
 
@@ -203,14 +252,16 @@ let analysis_to_json (a : Lowerbounds.Bounds.analysis) =
 
 (* --- response builders --- *)
 
+let versioned fields = Json.Obj (("v", Json.Int version) :: fields)
+
 let ok_fields ~op fields =
-  Json.Obj (("status", Json.String "ok") :: ("op", Json.String op) :: fields)
+  versioned (("status", Json.String "ok") :: ("op", Json.String op) :: fields)
 
 let error_response msg =
-  Json.Obj [ ("status", Json.String "error"); ("message", Json.String msg) ]
+  versioned [ ("status", Json.String "error"); ("message", Json.String msg) ]
 
 let overloaded_response ~pending ~max_pending =
-  Json.Obj
+  versioned
     [
       ("status", Json.String "overloaded");
       ("pending", Json.Int pending);
@@ -218,7 +269,7 @@ let overloaded_response ~pending ~max_pending =
     ]
 
 let timeout_response ~plan ~reason ~ticks ~elapsed_ms ~partial =
-  Json.Obj
+  versioned
     [
       ("status", Json.String "timeout");
       ("op", Json.String "query");

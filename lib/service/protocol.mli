@@ -7,7 +7,21 @@
     canonical rendering of [s], which the fuzz tests enforce.
     Responses are built as {!Json.t} directly (the server owns their
     shape); the encoders for plans and analyses live here so the CLI's
-    [lbt analyze --json] emits exactly the service's vocabulary. *)
+    [lbt analyze --json] emits exactly the service's vocabulary.
+
+    {b Versioning (v1).}  Every response carries ["v"]:{!version} as
+    its first field.  A request {e may} carry ["v"]; it is accepted iff
+    it equals {!version}, so a client built against a future protocol
+    fails fast instead of being half-understood.  Unknown request
+    fields are ignored - {!request_of_string_ext} reports their names
+    so the server can count them ([serve.protocol.ignored_fields]) -
+    which is what lets v1 servers accept requests from clients that
+    have grown new optional fields.  New capabilities are discovered
+    through the [hello] op, whose reply lists the server's shard count,
+    batch-scheduling support, and engine names. *)
+
+(** The protocol version: 1. *)
+val version : int
 
 type query_opts = {
   engine : Planner.engine option;  (** [None] = planner's choice *)
@@ -27,6 +41,7 @@ type request =
   | Query of { text : string; opts : query_opts }
   | Explain of { text : string }
   | Stats
+  | Hello  (** capability discovery *)
   | Ping
   | Shutdown
 
@@ -34,10 +49,16 @@ val encode_request : request -> Json.t
 
 val decode_request : Json.t -> (request, string) result
 
+(** [decode_request] plus the names of ignored unknown fields. *)
+val decode_request_ext : Json.t -> (request * string list, string) result
+
 (** Canonical line (no trailing newline). *)
 val request_to_string : request -> string
 
 val request_of_string : string -> (request, string) result
+
+(** [request_of_string] plus the names of ignored unknown fields. *)
+val request_of_string_ext : string -> (request * string list, string) result
 
 (** {2 Shared encoders} *)
 

@@ -7,8 +7,10 @@
 module Q = Lb_relalg.Query
 module R = Lb_relalg.Relation
 module Db = Lb_relalg.Database
+module Shard = Lb_relalg.Shard
 module Budget = Lb_util.Budget
 module Metrics = Lb_util.Metrics
+module Exec = Lb_util.Exec
 module Lru = Lb_util.Lru
 module Pool = Lb_util.Pool
 
@@ -20,6 +22,7 @@ type config = {
   default_max_ticks : int option;
   max_rows : int;
   pool : Pool.t option;
+  shards : int;
 }
 
 let default_config =
@@ -31,6 +34,7 @@ let default_config =
     default_max_ticks = None;
     max_rows = 10_000;
     pool = None;
+    shards = 1;
   }
 
 (* Cached answer: canonical column order, sorted rows. *)
@@ -47,9 +51,12 @@ type t = {
 
 let create ?(config = default_config) () =
   if config.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
+  if config.shards < 1 then invalid_arg "Server.create: shards < 1";
+  let catalog = Catalog.create () in
+  Catalog.set_shards catalog config.shards;
   {
     config;
-    catalog = Catalog.create ();
+    catalog;
     plan_cache = Lru.create config.plan_cache_size;
     result_cache = Lru.create config.result_cache_size;
     metrics = Metrics.create ();
@@ -88,32 +95,47 @@ type task = {
   result_key : string;
   sink : Metrics.t;
   budget : Budget.t option;
+  shards : int;
+  view : Shard.view option;
+      (* prebuilt in the sequential phase from the catalog's warm
+         partitions, so the parallel phase touches no catalog state *)
   mutable outcome : exec_outcome;
   mutable elapsed_ms : float;
   mutable collapsed : bool;
       (* answered by another task of the same window with the same
-         result key, without its own execution *)
+         plan signature, without its own execution *)
 }
+
+(* Batch-compatibility key: same catalog version and canonical text
+   (the result_key) evaluated by the same engine - such tasks share one
+   trie build and one answer. *)
+let plan_signature (task : task) =
+  Planner.engine_name task.plan.Planner.engine ^ "|" ^ task.result_key
 
 let run_engine ?pool (task : task) db =
   let q = task.query in
   let budget = task.budget in
   let sink = task.sink in
+  let ctx = Exec.make ?pool ?budget ~metrics:sink () in
   match task.plan.Planner.engine with
   | Planner.Yannakakis ->
-      (* No inner budget hooks: Yannakakis is output-bounded, so a
-         per-answer blowup cannot happen; check the deadline around. *)
+      (* No inner budget hooks beyond the per-semijoin tick: Yannakakis
+         is output-bounded, so a per-answer blowup cannot happen; check
+         the deadline around as well. *)
       Option.iter Budget.check budget;
-      let rel, stats = Lb_relalg.Yannakakis.answer db q in
-      Metrics.add sink "yannakakis.semijoins" stats.Lb_relalg.Yannakakis.semijoins;
-      Metrics.add sink "yannakakis.max_intermediate"
-        stats.Lb_relalg.Yannakakis.max_intermediate;
+      let rel, _stats = Lb_relalg.Yannakakis.answer ~ctx db q in
       Option.iter Budget.check budget;
       rel
-  | Planner.Generic_join ->
-      Lb_relalg.Generic_join.answer ?budget ~metrics:sink ?pool db q
-  | Planner.Leapfrog ->
-      Lb_relalg.Leapfrog.answer ?budget ~metrics:sink ?pool db q
+  | Planner.Generic_join -> (
+      match task.view with
+      | Some view when task.shards > 1 ->
+          Lb_relalg.Generic_join.run_sharded ~ctx ~view ~shards:task.shards db q
+      | _ -> Lb_relalg.Generic_join.answer ~ctx db q)
+  | Planner.Leapfrog -> (
+      match task.view with
+      | Some view when task.shards > 1 ->
+          Lb_relalg.Leapfrog.run_sharded ~ctx ~view ~shards:task.shards db q
+      | _ -> Lb_relalg.Leapfrog.answer ~ctx db q)
   | Planner.Binary_hash ->
       Option.iter Budget.check budget;
       let rel, stats =
@@ -222,6 +244,7 @@ let stats_response t =
   Protocol.ok_fields ~op:"stats"
     [
       ("version", Json.Int (Catalog.version t.catalog));
+      ("shards", Json.Int t.config.shards);
       ( "relations",
         Json.Obj
           (List.map
@@ -274,6 +297,32 @@ let prepare_query t text (opts : Protocol.query_opts) =
           let result_key =
             Printf.sprintf "%d|%s" (Catalog.version t.catalog) canonical
           in
+          let shards = t.config.shards in
+          (* Build the shard view sequentially, against the catalog's
+             warm partition cache; engines that cannot shard (or a
+             query with no variables) fall back to the unsharded path
+             with [view = None]. *)
+          let view =
+            if shards < 2 then None
+            else
+              match plan.Planner.engine with
+              | Planner.Generic_join | Planner.Leapfrog -> (
+                  let attrs = Q.attributes q in
+                  if Array.length attrs = 0 then None
+                  else
+                    match
+                      Shard.view
+                        ~hook:(Catalog.partition_hook t.catalog ~k:shards)
+                        ~attr:attrs.(0) ~k:shards
+                        (Catalog.database t.catalog)
+                        q
+                    with
+                    | view ->
+                        incr t "serve.shard.views";
+                        Some view
+                    | exception Invalid_argument _ -> None)
+              | Planner.Yannakakis | Planner.Binary_hash -> None
+          in
           let task =
             {
               query = q;
@@ -283,6 +332,8 @@ let prepare_query t text (opts : Protocol.query_opts) =
               result_key;
               sink = Metrics.create ();
               budget = None;
+              shards;
+              view;
               outcome = Failed "not executed";
               elapsed_ms = 0.0;
               collapsed = false;
@@ -318,6 +369,22 @@ let prepare t (req : Protocol.request) =
   incr t "serve.requests";
   match req with
   | Protocol.Ping -> Ready (Protocol.ok_fields ~op:"ping" [])
+  | Protocol.Hello ->
+      Ready
+        (Protocol.ok_fields ~op:"hello"
+           [
+             ( "capabilities",
+               Json.Obj
+                 [
+                   ("shards", Json.Int t.config.shards);
+                   ("batch", Json.Bool true);
+                   ( "engines",
+                     Json.List
+                       (List.map
+                          (fun e -> Json.String (Planner.engine_name e))
+                          Planner.all_engines) );
+                 ] );
+           ])
   | Protocol.Shutdown ->
       t.shutdown <- true;
       Ready (Protocol.ok_fields ~op:"shutdown" [])
@@ -394,13 +461,17 @@ let finish t (task : task) =
       incr t "serve.errors";
       Protocol.error_response msg
 
-(* Run a batch of prepared tasks: windows of >= 2 uncached queries fan
-   out over the pool (engines then run sequentially inside each
-   domain); a lone task keeps the pool for its own engine.
+(* The batch scheduler.  Within one admission window, compatible
+   requests - same catalog version and canonical text (the result key)
+   under the same engine, i.e. the same {!plan_signature} - form one
+   evaluation batch: the group's representative runs the engine once
+   (one trie build, since every execution context built is counted by
+   the engines' [*.trie_builds] metric), and the rest share its answer.
+   The whole window then fans out in a single pool dispatch.
 
-   Duplicate queries inside one window (same result key, and no
-   per-request budget that could make outcomes diverge) collapse onto
-   one execution - the window-level analogue of the result cache. *)
+   Per-request deadlines stay individual: a task with its own budget
+   never joins a group (its outcome could diverge - shed or time out
+   that task alone, never the whole batch). *)
 let run_tasks t (tasks : task list) =
   let db = Catalog.database t.catalog in
   let reps = Hashtbl.create 8 in
@@ -409,15 +480,17 @@ let run_tasks t (tasks : task list) =
       (fun (task : task) ->
         if Option.is_some task.budget then true
         else
-          match Hashtbl.find_opt reps task.result_key with
+          match Hashtbl.find_opt reps (plan_signature task) with
           | Some _ ->
               task.collapsed <- true;
+              Metrics.incr t.metrics "serve.batch.shared";
               false
           | None ->
-              Hashtbl.replace reps task.result_key task;
+              Hashtbl.replace reps (plan_signature task) task;
               true)
       tasks
   in
+  Metrics.add t.metrics "serve.batch.groups" (List.length to_run);
   (match to_run with
   | [] -> ()
   | [ task ] -> execute ?pool:t.config.pool task db
@@ -430,7 +503,7 @@ let run_tasks t (tasks : task list) =
   List.iter
     (fun (task : task) ->
       if task.collapsed then begin
-        let rep = Hashtbl.find reps task.result_key in
+        let rep = Hashtbl.find reps (plan_signature task) in
         task.outcome <- rep.outcome;
         task.elapsed_ms <- 0.0
       end)
@@ -469,7 +542,9 @@ let process t (items : item list) =
       | Req req -> (
           let barrier =
             match req with
-            | Protocol.Query _ | Protocol.Explain _ | Protocol.Ping -> false
+            | Protocol.Query _ | Protocol.Explain _ | Protocol.Ping
+            | Protocol.Hello ->
+                false
             | Protocol.Load _ | Protocol.Insert _ | Protocol.Drop _
             | Protocol.Stats | Protocol.Shutdown ->
                 true
@@ -502,8 +577,11 @@ let handle t req =
 
 let handle_line t line =
   let reply =
-    match Protocol.request_of_string line with
-    | Ok req -> handle t req
+    match Protocol.request_of_string_ext line with
+    | Ok (req, ignored) ->
+        Metrics.add t.metrics "serve.protocol.ignored_fields"
+          (List.length ignored);
+        handle t req
     | Error msg ->
         incr t "serve.requests";
         incr t "serve.errors";
@@ -589,8 +667,11 @@ let serve_pipe t fd oc =
               if !accepted < t.config.max_pending then begin
                 Stdlib.incr accepted;
                 let item =
-                  match Protocol.request_of_string line with
-                  | Ok req -> Req req
+                  match Protocol.request_of_string_ext line with
+                  | Ok (req, ignored) ->
+                      Metrics.add t.metrics "serve.protocol.ignored_fields"
+                        (List.length ignored);
+                      Req req
                   | Error msg -> Bad msg
                 in
                 items := item :: !items

@@ -13,6 +13,15 @@
     sequential phases, so the shared {!Lb_util.Lru} caches need no
     locking.  Responses always come back in request order.
 
+    Batch scheduling: within a window, compatible requests - same
+    catalog version and canonical query under the same engine - form
+    one evaluation batch sharing a single trie build and one pool
+    dispatch; [serve.batch.groups] counts the executions actually run
+    and [serve.batch.shared] the requests answered by their group's
+    representative.  A request carrying its own budget never joins a
+    group: deadlines are enforced individually, so one member timing
+    out can never take the batch down with it.
+
     Caching: a plan cache (canonical query text + engine choice ->
     plan) and a result cache (catalog version + canonical query text ->
     sorted answer).  Both are explicitly cleared by every successful
@@ -32,10 +41,15 @@ type config = {
   default_max_ticks : int option;  (** per-request deterministic budget *)
   max_rows : int;  (** cap on rows returned in one reply *)
   pool : Lb_util.Pool.t option;  (** engine / window parallelism *)
+  shards : int;
+      (** [> 1] runs WCOJ queries through the sharded drivers
+          ({!Lb_relalg.Generic_join.run_sharded}) against the catalog's
+          warm partitions; answers and counters are bit-identical to
+          unsharded runs.  1 = off. *)
 }
 
 (** 64 pending, 256-entry plan cache, 128-entry result cache, no
-    default budgets, 10_000 returned rows, no pool. *)
+    default budgets, 10_000 returned rows, no pool, 1 shard. *)
 val default_config : config
 
 type t

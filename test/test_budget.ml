@@ -198,6 +198,56 @@ let budget_across_engines () =
     (exhausts_dp (fun () ->
          Lb_finegrained.Lcs.quadratic ~budget:(Budget.create ~ticks:5 ()) a a))
 
+(* The deprecated labelled arguments survive the Exec migration: the
+   legacy ?budget/?metrics spellings on Freuder still govern and record
+   exactly as before, and Yannakakis - newly governable - honours a ctx
+   budget and records its stats into the ctx sink. *)
+let legacy_wrappers_freuder_yannakakis () =
+  let rng = Prng.create 77 in
+  let csp, _, _ =
+    Lb_csp.Generators.bounded_treewidth rng ~nvars:30 ~width:2 ~domain_size:5
+      ~density:0.8 ~plant:true
+  in
+  let metrics = Metrics.create () in
+  let n = Lb_csp.Freuder.count ~metrics csp in
+  Alcotest.(check bool) "freuder counted something" true (n >= 1);
+  (match Metrics.find_counter metrics "freuder.bags" with
+  | Some b when b >= 1 -> ()
+  | _ -> Alcotest.fail "legacy ~metrics did not record freuder.bags");
+  (match Lb_csp.Freuder.count_bounded ~budget:(Budget.create ~ticks:2 ()) csp with
+  | Budget.Exhausted e ->
+      Alcotest.(check bool) "freuder legacy ~budget governs" true
+        (e.Budget.reason = Budget.Ticks)
+  | Budget.Done _ -> Alcotest.fail "2 ticks should not finish Freuder");
+  let db =
+    Lb_relalg.Database.of_list
+      [
+        ("R", Lb_relalg.Relation.make [| "a"; "b" |] [ [| 1; 2 |]; [| 2; 3 |] ]);
+        ("S", Lb_relalg.Relation.make [| "b"; "c" |] [ [| 2; 7 |]; [| 3; 9 |] ]);
+      ]
+  in
+  let q = Lb_relalg.Query.parse "R(a,b), S(b,c)" in
+  let sink = Metrics.create () in
+  let rel, stats =
+    Lb_relalg.Yannakakis.answer
+      ~ctx:Lb_util.Exec.(default |> with_metrics sink)
+      db q
+  in
+  Alcotest.(check int) "yannakakis answer" 2 (Lb_relalg.Relation.cardinality rel);
+  Alcotest.(check (option int)) "ctx sink got the semijoin count"
+    (Some stats.Lb_relalg.Yannakakis.semijoins)
+    (Metrics.find_counter sink "yannakakis.semijoins");
+  match
+    Budget.protect (fun () ->
+        Lb_relalg.Yannakakis.answer
+          ~ctx:Lb_util.Exec.(default |> with_budget (Budget.create ~ticks:1 ()))
+          db q)
+  with
+  | Budget.Exhausted e ->
+      Alcotest.(check bool) "yannakakis ctx budget governs" true
+        (e.Budget.reason = Budget.Ticks)
+  | Budget.Done _ -> Alcotest.fail "1 tick should not finish Yannakakis"
+
 let suite =
   [
     ("tick limit is exact", `Quick, tick_limit_exact);
@@ -209,4 +259,7 @@ let suite =
     ("disabled metrics leave runs identical", `Quick, disabled_metrics_identical);
     ("metrics merge and clear", `Quick, metrics_merge_and_clear);
     ("typed exhaustion across engines", `Quick, budget_across_engines);
+    ( "legacy wrappers still govern (Freuder, Yannakakis ctx)",
+      `Quick,
+      legacy_wrappers_freuder_yannakakis );
   ]

@@ -386,6 +386,160 @@ let ov_blocked_vs_quadratic () =
       && Lb_util.Pool.with_pool 2 (fun pool ->
              Ov.solve_blocked ~pool inst = reference))
 
+(* --- sharded execution vs unsharded --- *)
+
+module Shard = Lb_relalg.Shard
+module Exec = Lb_util.Exec
+
+let counters_list m =
+  List.sort compare (Lb_util.Metrics.counters m)
+
+(* For every k, the sharded drivers must reproduce the unsharded run
+   bit-for-bit: same answer relation, same engine counters, same
+   metrics deltas.  Exercised with and without a pool (the pool path
+   also covers the unit merge order). *)
+let sharded_bit_identical ?(ks = [ 1; 2; 3; 7 ]) (db, q) =
+  let gj_ref = Gj.fresh_counters () in
+  let gj_sink = Lb_util.Metrics.create () in
+  let gj_ans = Gj.answer ~metrics:gj_sink db q in
+  ignore (Gj.count ~counters:gj_ref db q);
+  let lf_ref = Lf.fresh_counters () in
+  let lf_sink = Lb_util.Metrics.create () in
+  let lf_ans = Lf.answer ~metrics:lf_sink db q in
+  ignore (Lf.count ~counters:lf_ref db q);
+  List.for_all
+    (fun k ->
+      let gj_c = Gj.fresh_counters () in
+      let gj_sk = Lb_util.Metrics.create () in
+      let gj_shard =
+        Gj.run_sharded
+          ~ctx:(Exec.make ~metrics:gj_sk ())
+          ~counters:gj_c ~shards:k db q
+      in
+      let lf_c = Lf.fresh_counters () in
+      let lf_sk = Lb_util.Metrics.create () in
+      let lf_shard =
+        Lf.run_sharded
+          ~ctx:(Exec.make ~metrics:lf_sk ())
+          ~counters:lf_c ~shards:k db q
+      in
+      let pooled_equal =
+        Lb_util.Pool.with_pool 2 (fun pool ->
+            let pc = Gj.fresh_counters () in
+            let n =
+              Gj.count_sharded ~ctx:Exec.(default |> with_pool pool)
+                ~counters:pc ~shards:k db q
+            in
+            n = gj_ref.Gj.emitted
+            && pc.Gj.intersections = gj_ref.Gj.intersections
+            &&
+            let lc = Lf.fresh_counters () in
+            let nl =
+              Lf.count_sharded ~ctx:Exec.(default |> with_pool pool)
+                ~counters:lc ~shards:k db q
+            in
+            nl = lf_ref.Lf.emitted && lc.Lf.seeks = lf_ref.Lf.seeks)
+      in
+      Rel.equal gj_shard gj_ans
+      && gj_c.Gj.intersections = gj_ref.Gj.intersections
+      && gj_c.Gj.emitted = gj_ref.Gj.emitted
+      && counters_list gj_sk = counters_list gj_sink
+      && Rel.equal lf_shard lf_ans
+      && lf_c.Lf.seeks = lf_ref.Lf.seeks
+      && lf_c.Lf.emitted = lf_ref.Lf.emitted
+      && counters_list lf_sk = counters_list lf_sink
+      && pooled_equal)
+    ks
+
+let sharded_vs_unsharded () =
+  check ~name:"sharded_vs_unsharded" ~base:0x61 ~max_size:8 gen_cq show_cq
+    (fun inst -> sharded_bit_identical inst)
+
+(* Adversarial placement: every value drawn from a pool that hashes to
+   shard 0 of k=3, so one shard carries all tuples and the others are
+   empty - the skew split and the empty-shard streams must both cope. *)
+let gen_cq_one_shard : (Db.t * Q.t) gen =
+ fun rng ~size ->
+  let k = 3 in
+  let pool =
+    (* values landing in shard 0; plenty exist below 10_000 *)
+    let rec collect v acc n =
+      if n = 0 then Array.of_list (List.rev acc)
+      else if Shard.shard_of ~k v = 0 then collect (v + 1) (v :: acc) (n - 1)
+      else collect (v + 1) acc n
+    in
+    collect 0 [] 64
+  in
+  let dom = 2 + Prng.int rng (max 1 size) in
+  let pick () = pool.(Prng.int rng (min dom (Array.length pool))) in
+  let atoms = [ "R"; "S"; "T" ] in
+  let db = ref Db.empty in
+  List.iter
+    (fun name ->
+      let ntuples = 1 + Prng.int rng (2 * dom) in
+      let tuples = List.init ntuples (fun _ -> [| pick (); pick () |]) in
+      db := Db.add !db name (Rel.make [| "u"; "v" |] tuples))
+    atoms;
+  ( !db,
+    [
+      Q.atom "R" [| "x"; "y" |];
+      Q.atom "S" [| "y"; "z" |];
+      Q.atom "T" [| "z"; "x" |];
+    ] )
+
+let sharded_one_shard_adversarial () =
+  check ~name:"sharded_one_shard_adversarial" ~base:0x62 ~max_size:8
+    gen_cq_one_shard show_cq
+    (sharded_bit_identical ~ks:[ 3 ])
+
+(* Skew: one heavy first-variable value with a fan-out past the heavy
+   split threshold, so the depth-2 task expansion and the 2x-mean unit
+   split both run. *)
+let gen_cq_skew : (Db.t * Q.t) gen =
+ fun rng ~size ->
+  let heavy = 200 + (4 * size) in
+  let hot = Prng.int rng 5 in
+  let r =
+    List.init heavy (fun i -> [| hot; i |])
+    @ List.init 10 (fun i -> [| 5 + Prng.int rng 20; i |])
+  in
+  let s = List.init 40 (fun i -> [| i; Prng.int rng 30 |]) in
+  let db =
+    Db.of_list
+      [
+        ("R", Rel.make [| "u"; "v" |] r); ("S", Rel.make [| "u"; "v" |] s);
+      ]
+  in
+  (db, [ Q.atom "R" [| "x"; "y" |]; Q.atom "S" [| "y"; "z" |] ])
+
+let sharded_skew_split () =
+  check ~name:"sharded_skew_split" ~base:0x63 ~max_size:8 gen_cq_skew show_cq
+    (fun inst -> sharded_bit_identical inst)
+
+(* Shard module laws: partition preserves content, co-partitions align,
+   merge_sorted restores the relation. *)
+let shard_partition_roundtrip () =
+  check ~name:"shard_partition_roundtrip" ~base:0x64 ~max_size:10
+    (fun rng ~size ->
+      let n = 1 + Prng.int rng (8 * size) in
+      let dom = 1 + Prng.int rng 50 in
+      Rel.make [| "a"; "b" |]
+        (List.init n (fun _ -> [| Prng.int rng dom; Prng.int rng dom |])))
+    (fun r -> Printf.sprintf "Rel(%d tuples)" (Rel.cardinality r))
+    (fun r ->
+      List.for_all
+        (fun k ->
+          let parts = Shard.partition ~k ~attr:"a" r in
+          Array.length parts = k
+          && Rel.equal (Shard.merge_sorted parts) r
+          && Array.to_list parts
+             |> List.mapi (fun s p ->
+                    Array.for_all
+                      (fun t -> Shard.shard_of ~k t.(0) = s)
+                      (Rel.tuples p))
+             |> List.for_all Fun.id)
+        [ 1; 2; 5 ])
+
 (* The runner itself: a false property must fail, shrink to the minimum
    size, and report a replayable seed. *)
 let runner_reports_failures () =
@@ -436,4 +590,10 @@ let suite =
     ("prop: matmul kernels bit-identical", `Quick, matmul_kernels_agree);
     ("prop: mul_count vs Int product", `Quick, mul_count_vs_int);
     ("prop: OV blocked vs quadratic scan", `Quick, ov_blocked_vs_quadratic);
+    ("prop: sharded joins bit-identical", `Quick, sharded_vs_unsharded);
+    ( "prop: sharded all-tuples-one-shard",
+      `Quick,
+      sharded_one_shard_adversarial );
+    ("prop: sharded skew split", `Quick, sharded_skew_split);
+    ("prop: shard partition round trip", `Quick, shard_partition_roundtrip);
   ]

@@ -405,6 +405,227 @@ let test_serve_pipe_session () =
     (Json.to_string (field "rows" q1))
     (Json.to_string (field "rows" q2))
 
+(* --- protocol v1: version stamping, hello, unknown-field tolerance --- *)
+
+let k5_edges =
+  List.concat_map
+    (fun x ->
+      List.filter_map (fun y -> if x = y then None else Some [ x; y ])
+        [ 0; 1; 2; 3; 4 ])
+    [ 0; 1; 2; 3; 4 ]
+
+let test_protocol_versioning () =
+  let srv = Server.create () in
+  ignore (handle_ok srv "load" (load_req "R" [ "a"; "b" ] [ [ 1; 2 ] ]));
+  (* every response - success, error, hello, stats, ping - carries "v":1 *)
+  List.iter
+    (fun (ctxt, req) ->
+      let reply = Server.handle srv req in
+      match field "v" reply with
+      | Json.Int 1 -> ()
+      | other ->
+          Alcotest.failf "%s: bad protocol version %s" ctxt
+            (Json.to_string other))
+    [
+      ("query", query_req "R(a,b)");
+      ("error", query_req "NoSuch(a)");
+      ("hello", Protocol.Hello);
+      ("stats", Protocol.Stats);
+      ("ping", Protocol.Ping);
+    ];
+  (* requests may pin "v":1; any other version is rejected up front *)
+  (match Protocol.request_of_string {|{"op":"ping","v":1}|} with
+  | Ok Protocol.Ping -> ()
+  | Ok _ | Error _ -> Alcotest.fail "a v:1 request should decode");
+  match Protocol.request_of_string {|{"op":"ping","v":2}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a v:2 request should be rejected"
+
+let test_hello_capabilities () =
+  let config = { Server.default_config with shards = 4 } in
+  let srv = Server.create ~config () in
+  let reply = handle_ok srv "hello" Protocol.Hello in
+  let caps = field "capabilities" reply in
+  check Alcotest.int "shards advertised" 4 (int_of (field "shards" caps));
+  (match field "batch" caps with
+  | Json.Bool true -> ()
+  | _ -> Alcotest.fail "batch capability missing");
+  match field "engines" caps with
+  | Json.List engines ->
+      let names =
+        List.map (function Json.String s -> s | _ -> "?") engines
+      in
+      List.iter
+        (fun e ->
+          if not (List.mem (Planner.engine_name e) names) then
+            Alcotest.failf "engine %s not advertised" (Planner.engine_name e))
+        Planner.all_engines
+  | _ -> Alcotest.fail "engines is not a list"
+
+let test_unknown_field_tolerance () =
+  (* the extended decoder reports the names it skipped *)
+  (match
+     Protocol.request_of_string_ext
+       {|{"op":"query","q":"R(a,b)","shiny":true,"future":[1]}|}
+   with
+  | Ok (Protocol.Query _, ignored) ->
+      check
+        Alcotest.(list string)
+        "ignored names" [ "future"; "shiny" ]
+        (List.sort compare ignored)
+  | Ok _ -> Alcotest.fail "decoded to the wrong request"
+  | Error msg -> Alcotest.fail msg);
+  (* the server answers anyway and counts the tolerated fields *)
+  let srv = Server.create () in
+  ignore (handle_ok srv "load" (load_req "R" [ "a"; "b" ] [ [ 1; 2 ] ]));
+  let reply =
+    Json.parse
+      (Server.handle_line srv {|{"op":"query","q":"R(a,b)","x_future":0}|})
+  in
+  expect_ok "unknown field still answered" reply;
+  check
+    Alcotest.(option int)
+    "tolerance counted" (Some 1)
+    (Metrics.find_counter (Server.metrics srv) "serve.protocol.ignored_fields")
+
+(* Fuzz: splicing a junk field into any well-formed request must not
+   change what it decodes to, and the junk is reported by name. *)
+let test_unknown_field_fuzz () =
+  for seed = 1 to 300 do
+    let rng = Prng.create (13 * seed) in
+    let req = random_request rng in
+    let line = Protocol.request_to_string req in
+    let spliced =
+      Printf.sprintf {|{"zz_fuzz":%d,%s|} seed
+        (String.sub line 1 (String.length line - 1))
+    in
+    match Protocol.request_of_string_ext spliced with
+    | Error msg -> Alcotest.failf "seed %d: %s (%s)" seed msg spliced
+    | Ok (req', ignored) ->
+        if req' <> req then
+          Alcotest.failf "seed %d: junk field changed the decode (%s)" seed
+            spliced;
+        check
+          Alcotest.(list string)
+          (Printf.sprintf "seed %d: junk reported" seed)
+          [ "zz_fuzz" ] ignored
+  done
+
+(* --- batch scheduling: shared executions, isolated deadlines --- *)
+
+let triangle_text = "E(x,y), E(y,z), E(z,x)"
+
+let test_batch_shares_trie_build () =
+  let srv = Server.create () in
+  ignore (handle_ok srv "load E" (load_req "E" [ "u"; "v" ] k5_edges));
+  let req = query_req ~engine:Planner.Generic_join triangle_text in
+  let replies = Server.submit_window srv (List.init 8 (fun _ -> req)) in
+  check Alcotest.int "8 replies" 8 (List.length replies);
+  let rows0 = ref "" in
+  List.iteri
+    (fun i reply ->
+      expect_ok (Printf.sprintf "reply %d" i) reply;
+      check Alcotest.int (Printf.sprintf "count %d" i) 60
+        (int_of (field "count" reply));
+      let rows = Json.to_string (field "rows" reply) in
+      if i = 0 then rows0 := rows
+      else check Alcotest.string (Printf.sprintf "rows %d identical" i) !rows0
+          rows)
+    replies;
+  let counter name = Metrics.find_counter (Server.metrics srv) name in
+  (match counter "generic_join.trie_builds" with
+  | Some n when n <= 2 -> ()
+  | other ->
+      Alcotest.failf "batch of 8 identical queries built %s tries, want <= 2"
+        (match other with None -> "no" | Some n -> string_of_int n));
+  check Alcotest.(option int) "one execution group" (Some 1)
+    (counter "serve.batch.groups");
+  check Alcotest.(option int) "seven members shared it" (Some 7)
+    (counter "serve.batch.shared")
+
+let test_batch_timeout_isolation () =
+  (* one member of the window carries a tiny tick budget and times out;
+     the budgeted request never joins a batch group, so the other
+     members of the window still get full answers *)
+  let load_line =
+    Protocol.request_to_string
+      (Protocol.Load { name = "E"; attrs = [ "u"; "v" ]; tuples = k5_edges })
+  in
+  let hard =
+    Printf.sprintf {|{"op":"query","q":"%s, E(x,w), E(w,y)","max_ticks":2}|}
+      triangle_text
+  in
+  let plain = Printf.sprintf {|{"op":"query","q":"%s"}|} triangle_text in
+  let lines = [ load_line; hard; plain; plain; {|{"op":"shutdown"}|} ] in
+  let input = String.concat "\n" lines ^ "\n" in
+  let r_in, w_in = Unix.pipe () in
+  let r_out, w_out = Unix.pipe () in
+  ignore (Unix.write_substring w_in input 0 (String.length input));
+  Unix.close w_in;
+  let srv = Server.create () in
+  let oc = Unix.out_channel_of_descr w_out in
+  Server.serve_pipe srv r_in oc;
+  flush oc;
+  close_out oc;
+  Unix.close r_in;
+  let ic = Unix.in_channel_of_descr r_out in
+  let replies = List.map (fun _ -> Json.parse (input_line ic)) lines in
+  close_in ic;
+  check
+    Alcotest.(list string)
+    "statuses in order"
+    [ "ok"; "timeout"; "ok"; "ok"; "ok" ]
+    (List.map status replies);
+  let q1 = List.nth replies 2 and q2 = List.nth replies 3 in
+  check Alcotest.int "full answer beside the timeout" 60
+    (int_of (field "count" q1));
+  check Alcotest.string "collapsed members agree"
+    (Json.to_string (field "rows" q1))
+    (Json.to_string (field "rows" q2));
+  (* the two plain queries formed one group; the budgeted one ran alone *)
+  match Metrics.find_counter (Server.metrics srv) "serve.batch.shared" with
+  | Some n when n >= 1 -> ()
+  | _ -> Alcotest.fail "plain duplicates did not share an execution"
+
+(* --- sharded storage mode: same answers, same work counters --- *)
+
+let test_sharded_server_bit_identical () =
+  let rng = Prng.create 2024 in
+  let edges = List.init 60 (fun _ -> [ Prng.int rng 12; Prng.int rng 12 ]) in
+  List.iter
+    (fun (engine, work_counter) ->
+      let plain = Server.create () in
+      let sharded =
+        Server.create ~config:{ Server.default_config with shards = 3 } ()
+      in
+      List.iter
+        (fun srv ->
+          ignore (handle_ok srv "load E" (load_req "E" [ "u"; "v" ] edges)))
+        [ plain; sharded ];
+      let r0 = handle_ok plain "unsharded" (query_req ~engine triangle_text) in
+      let r1 = handle_ok sharded "sharded" (query_req ~engine triangle_text) in
+      let ctxt = Planner.engine_name engine in
+      check Alcotest.string (ctxt ^ ": identical rows")
+        (Json.to_string (field "rows" r0))
+        (Json.to_string (field "rows" r1));
+      check Alcotest.int (ctxt ^ ": identical count")
+        (int_of (field "count" r0))
+        (int_of (field "count" r1));
+      check
+        Alcotest.(option int)
+        (ctxt ^ ": " ^ work_counter ^ " bit-identical")
+        (Metrics.find_counter (Server.metrics plain) work_counter)
+        (Metrics.find_counter (Server.metrics sharded) work_counter);
+      match
+        Metrics.find_counter (Server.metrics sharded) "serve.shard.views"
+      with
+      | Some n when n >= 1 -> ()
+      | _ -> Alcotest.fail (ctxt ^ ": sharded server built no shard view"))
+    [
+      (Planner.Generic_join, "generic_join.intersections");
+      (Planner.Leapfrog, "leapfrog.seeks");
+    ]
+
 (* --- count_only / limit shaping --- *)
 
 let test_response_shaping () =
@@ -449,4 +670,18 @@ let suite =
       test_serve_pipe_session;
     Alcotest.test_case "count_only and limit shaping" `Quick
       test_response_shaping;
+    Alcotest.test_case "protocol v1 version stamping" `Quick
+      test_protocol_versioning;
+    Alcotest.test_case "hello capability discovery" `Quick
+      test_hello_capabilities;
+    Alcotest.test_case "unknown request fields tolerated" `Quick
+      test_unknown_field_tolerance;
+    Alcotest.test_case "unknown-field splice fuzz" `Quick
+      test_unknown_field_fuzz;
+    Alcotest.test_case "batch of identical plans shares one trie build"
+      `Quick test_batch_shares_trie_build;
+    Alcotest.test_case "a timeout inside a batch is isolated" `Quick
+      test_batch_timeout_isolation;
+    Alcotest.test_case "sharded server answers bit-identical" `Quick
+      test_sharded_server_bit_identical;
   ]

@@ -8,6 +8,10 @@ module Matrix = Lb_util.Matrix
 module Combinat = Lb_util.Combinat
 module Stopwatch = Lb_util.Stopwatch
 module Bits = Lb_util.Bits
+module Exec = Lb_util.Exec
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
+module Pool = Lb_util.Pool
 
 let check = Alcotest.check
 
@@ -472,6 +476,99 @@ let test_lru_model () =
     Alcotest.(list (pair int int))
     "final recency order" !model (Lru.to_list c)
 
+(* --- Exec: context building and legacy-argument resolution --- *)
+
+let test_exec_default_and_builders () =
+  check Alcotest.bool "default has no pool" true (Exec.default.Exec.pool = None);
+  check Alcotest.bool "default has no budget" true
+    (Exec.default.Exec.budget = None);
+  check Alcotest.bool "default metrics disabled" false
+    (Metrics.is_enabled Exec.default.Exec.metrics);
+  let same_pool p = function Some p' -> p' == p | None -> false in
+  let same_budget b = function Some b' -> b' == b | None -> false in
+  let b = Budget.create ~ticks:10 () in
+  let m = Metrics.create () in
+  Pool.with_pool 2 (fun pool ->
+      let ctx =
+        Exec.(default |> with_pool pool |> with_budget b |> with_metrics m)
+      in
+      check Alcotest.bool "with_pool sets pool" true
+        (same_pool pool ctx.Exec.pool);
+      check Alcotest.bool "with_budget sets budget" true
+        (same_budget b ctx.Exec.budget);
+      check Alcotest.bool "with_metrics sets metrics" true
+        (ctx.Exec.metrics == m);
+      let made = Exec.make ~pool ~budget:b ~metrics:m () in
+      check Alcotest.bool "make agrees with builders" true
+        (same_pool pool made.Exec.pool
+        && same_budget b made.Exec.budget
+        && made.Exec.metrics == m))
+
+let test_exec_resolve_precedence () =
+  let same_budget b = function Some b' -> b' == b | None -> false in
+  (* no ctx, no legacy args: the historical default *)
+  let r = Exec.resolve () in
+  check Alcotest.bool "bare resolve is default" true
+    (r.Exec.pool = None && r.Exec.budget = None
+    && not (Metrics.is_enabled r.Exec.metrics));
+  (* ctx fields flow through when no legacy argument is given *)
+  let b_ctx = Budget.create ~ticks:5 () in
+  let m_ctx = Metrics.create () in
+  let ctx = Exec.make ~budget:b_ctx ~metrics:m_ctx () in
+  let r = Exec.resolve ~ctx () in
+  check Alcotest.bool "ctx budget flows through" true
+    (same_budget b_ctx r.Exec.budget);
+  check Alcotest.bool "ctx metrics flow through" true (r.Exec.metrics == m_ctx);
+  (* an explicit legacy argument overrides the ctx field, others keep it *)
+  let b_arg = Budget.create ~ticks:99 () in
+  let r = Exec.resolve ~ctx ~budget:b_arg () in
+  check Alcotest.bool "explicit budget wins over ctx" true
+    (same_budget b_arg r.Exec.budget);
+  check Alcotest.bool "untouched field kept from ctx" true
+    (r.Exec.metrics == m_ctx);
+  let m_arg = Metrics.create () in
+  let r = Exec.resolve ~ctx ~metrics:m_arg () in
+  check Alcotest.bool "explicit metrics win over ctx" true
+    (r.Exec.metrics == m_arg);
+  check Alcotest.bool "budget still from ctx" true
+    (same_budget b_ctx r.Exec.budget)
+
+let test_exec_resolve_in_solver () =
+  (* the wrapper contract, observed end to end: the same solver entry
+     point records into the ctx metrics sink and into an explicitly
+     passed legacy one, and an explicit legacy sink shadows the ctx's *)
+  let db =
+    Lb_relalg.Database.of_list
+      [ ("E", Lb_relalg.Relation.make [| "u"; "v" |]
+            [ [| 1; 2 |]; [| 2; 3 |]; [| 3; 1 |] ]) ]
+  in
+  let q = Lb_relalg.Query.parse "E(x,y), E(y,z), E(z,x)" in
+  let via_ctx = Metrics.create () in
+  let n1 =
+    Lb_relalg.Generic_join.count
+      ~ctx:Exec.(default |> with_metrics via_ctx)
+      db q
+  in
+  let via_legacy = Metrics.create () in
+  let n2 = Lb_relalg.Generic_join.count ~metrics:via_legacy db q in
+  let shadowed = Metrics.create () in
+  let ignored = Metrics.create () in
+  let n3 =
+    Lb_relalg.Generic_join.count
+      ~ctx:Exec.(default |> with_metrics ignored)
+      ~metrics:shadowed db q
+  in
+  check Alcotest.int "same answer" n1 n2;
+  check Alcotest.int "same answer (shadowed)" n1 n3;
+  let builds m = Metrics.find_counter m "generic_join.trie_builds" in
+  check Alcotest.(option int) "ctx sink recorded" (Some 1) (builds via_ctx);
+  check Alcotest.(option int) "legacy sink recorded" (Some 1)
+    (builds via_legacy);
+  check Alcotest.(option int) "explicit sink shadows ctx" (Some 1)
+    (builds shadowed);
+  check Alcotest.(option int) "shadowed ctx sink untouched" None
+    (builds ignored)
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -521,4 +618,10 @@ let suite =
     Alcotest.test_case "lru remove and clear" `Quick test_lru_remove_and_clear;
     Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
     Alcotest.test_case "lru model check" `Quick test_lru_model;
+    Alcotest.test_case "exec default and builders" `Quick
+      test_exec_default_and_builders;
+    Alcotest.test_case "exec resolve precedence" `Quick
+      test_exec_resolve_precedence;
+    Alcotest.test_case "exec resolve observed through a solver" `Quick
+      test_exec_resolve_in_solver;
   ]
