@@ -67,19 +67,19 @@ let run () =
       let gj2_t =
         Pool.with_pool 2 (fun pool ->
             Harness.median_time 3 (fun () ->
-                let c = Gj.count ~pool db triangle in
+                let c = Gj.count ~ctx:(Lb_util.Exec.make ~pool ()) db triangle in
                 assert (c = answer)))
       in
       let gj4_t, lf4_t =
         Pool.with_pool 4 (fun pool ->
             let g =
               Harness.median_time 3 (fun () ->
-                  let c = Gj.count ~pool db triangle in
+                  let c = Gj.count ~ctx:(Lb_util.Exec.make ~pool ()) db triangle in
                   assert (c = answer))
             in
             let l =
               Harness.median_time 3 (fun () ->
-                  let c = Lf.count ~pool db triangle in
+                  let c = Lf.count ~ctx:(Lb_util.Exec.make ~pool ()) db triangle in
                   assert (c = answer))
             in
             (g, l))
@@ -94,8 +94,8 @@ let run () =
         (* deterministic work counters for the same instance *)
         let m = Lb_util.Metrics.create () in
         let gc = Gj.fresh_counters () and lc = Lf.fresh_counters () in
-        ignore (Gj.count ~counters:gc ~metrics:m db triangle);
-        ignore (Lf.count ~counters:lc ~metrics:m db triangle);
+        ignore (Gj.count ~counters:gc ~ctx:(Lb_util.Exec.make ~metrics:m ()) db triangle);
+        ignore (Lf.count ~counters:lc ~ctx:(Lb_util.Exec.make ~metrics:m ()) db triangle);
         Harness.counter "E2.answer" answer;
         Harness.counters_of_metrics "E2" m
       end;

@@ -119,12 +119,12 @@ let run () =
       let t2 =
         Pool.with_pool 2 (fun pool ->
             Harness.median_time 3 (fun () ->
-                assert (Gj.count ~pool db triangle_q = !cnt)))
+                assert (Gj.count ~ctx:(Lb_util.Exec.make ~pool ()) db triangle_q = !cnt)))
       in
       let t4 =
         Pool.with_pool 4 (fun pool ->
             Harness.median_time 3 (fun () ->
-                assert (Gj.count ~pool db triangle_q = !cnt)))
+                assert (Gj.count ~ctx:(Lb_util.Exec.make ~pool ()) db triangle_q = !cnt)))
       in
       assert (!cnt = 0);
       (* triangle-free host *)
@@ -134,7 +134,7 @@ let run () =
         Harness.metric "E10.gj_triangle_4dom.seconds" t4;
         Harness.metric "E10.gj_triangle.n" (float_of_int n);
         let mtr = Lb_util.Metrics.create () in
-        ignore (Gj.count ~metrics:mtr db triangle_q);
+        ignore (Gj.count ~ctx:(Lb_util.Exec.make ~metrics:mtr ()) db triangle_q);
         Harness.counter "E10.edges" (Graph.edge_count g);
         Harness.counters_of_metrics "E10" mtr
       end;

@@ -70,7 +70,7 @@ let run () =
             let gj4_t =
               Pool.with_pool 4 (fun pool ->
                   Harness.median_time 3 (fun () ->
-                      assert (Gj.count ~order ~pool db q = !cnt)))
+                      assert (Gj.count ~order ~ctx:(Lb_util.Exec.make ~pool ()) db q = !cnt)))
             in
             rows :=
               [

@@ -123,3 +123,12 @@ let median_time r f =
   in
   let sorted = List.sort compare samples in
   List.nth sorted (r / 2)
+
+(* minimum wall time over r fresh runs of f: scheduler and GC
+   interference only ever add time, so the minimum is the most stable
+   estimator of a deterministic workload's cost on a loaded machine *)
+let min_time r f =
+  List.fold_left Float.min Float.infinity
+    (List.init r (fun _ ->
+         let _, t = time f in
+         t))

@@ -31,6 +31,7 @@ let register_all () =
       E19_seth_bases.experiment;
       E20_serve.experiment;
       E21_shard.experiment;
+      E22_compile.experiment;
       A1_join_order.experiment;
       A2_ac3.experiment;
       A3_dpll_branching.experiment;

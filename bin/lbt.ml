@@ -426,8 +426,15 @@ let query_cmd =
     in
     Arg.(value & opt int 1 & info [ "pool" ] ~docv:"N" ~doc)
   in
+  let no_compile_arg =
+    let doc =
+      "Run WCOJ engines interpreted instead of through the compiled \
+       plan tier (answers and counters are identical either way)."
+    in
+    Arg.(value & flag & info [ "no-compile" ] ~doc)
+  in
   let run qtext loads engine count_only limit timeout_ms max_ticks shards
-      pool_n json =
+      pool_n no_compile json =
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("error: " ^ s)) fmt in
     if shards < 1 then begin
       fail "--shards must be >= 1";
@@ -455,7 +462,12 @@ let query_cmd =
           in
           with_pool @@ fun pool ->
           let config =
-            { Lb_service.Server.default_config with pool; shards }
+            {
+              Lb_service.Server.default_config with
+              pool;
+              shards;
+              compile = not no_compile;
+            }
           in
           let server = Lb_service.Server.create ~config () in
           (* Replay the load files through the same request path the
@@ -576,7 +588,119 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(
       const run $ query_arg $ load_arg $ engine_arg $ count_arg $ limit_arg
-      $ timeout_arg $ max_ticks_arg $ shards_arg $ pool_arg $ json_flag)
+      $ timeout_arg $ max_ticks_arg $ shards_arg $ pool_arg $ no_compile_arg
+      $ json_flag)
+
+(* --- explain: the plan (and its compiled loop nest) without running --- *)
+
+let explain_cmd =
+  let load_arg =
+    let doc =
+      "File of newline-delimited protocol requests replayed into the \
+       catalog before planning (statistics-dependent choices see the \
+       data); '-' reads from stdin.  Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"FILE" ~doc)
+  in
+  let no_compile_arg =
+    let doc = "Plan without lowering to the compiled tier." in
+    Arg.(value & flag & info [ "no-compile" ] ~doc)
+  in
+  let run qtext loads no_compile json =
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("error: " ^ s)) fmt in
+    let config =
+      { Lb_service.Server.default_config with compile = not no_compile }
+    in
+    let server = Lb_service.Server.create ~config () in
+    let replay_file file =
+      let ic = if file = "-" then stdin else open_in file in
+      Fun.protect ~finally:(fun () -> if file <> "-" then close_in ic)
+      @@ fun () ->
+      let rc = ref 0 and lineno = ref 0 in
+      (try
+         while !rc = 0 do
+           let line = input_line ic in
+           Stdlib.incr lineno;
+           if String.trim line <> "" then begin
+             let reply = Json.parse (Lb_service.Server.handle_line server line) in
+             match Json.string_field "status" reply with
+             | Ok "ok" -> ()
+             | Ok status ->
+                 let detail =
+                   match Json.string_field "message" reply with
+                   | Ok m -> m
+                   | Error _ -> status
+                 in
+                 fail "%s:%d: %s" file !lineno detail;
+                 rc := 2
+             | Error msg ->
+                 fail "%s:%d: %s" file !lineno msg;
+                 rc := 2
+           end
+         done
+       with End_of_file -> ());
+      !rc
+    in
+    let rec replay = function
+      | [] -> 0
+      | f :: rest ->
+          let rc = replay_file f in
+          if rc <> 0 then rc else replay rest
+    in
+    let rc = replay loads in
+    if rc <> 0 then rc
+    else begin
+      let reply =
+        Lb_service.Server.handle server
+          (Lb_service.Protocol.Explain { text = qtext })
+      in
+      if json then begin
+        print_endline (Json.to_string reply);
+        match Json.string_field "status" reply with Ok "ok" -> 0 | _ -> 2
+      end
+      else
+        match Json.string_field "status" reply with
+        | Ok "ok" ->
+            (match Json.member "plan" reply with
+            | Some plan ->
+                (match Json.string_field "engine" plan with
+                | Ok e -> Printf.printf "engine: %s\n" e
+                | Error _ -> ());
+                (match Json.member "explanation" plan with
+                | Some (Json.List lines) ->
+                    List.iter
+                      (function
+                        | Json.String l -> Printf.printf "  %s\n" l | _ -> ())
+                      lines
+                | _ -> ())
+            | None -> ());
+            (match Json.member "ir" reply with
+            | Some (Json.List lines) ->
+                print_endline "compiled loop nest:";
+                List.iter
+                  (function
+                    | Json.String l -> Printf.printf "  %s\n" l | _ -> ())
+                  lines
+            | _ -> ());
+            0
+        | Ok _ | Error _ ->
+            let msg =
+              match Json.string_field "message" reply with
+              | Ok m -> m
+              | Error _ -> "explain failed"
+            in
+            fail "%s" msg;
+            2
+    end
+  in
+  let doc =
+    "Plan one join query without executing it: print the engine choice \
+     with its reasoning and, for WCOJ plans, the compiled loop nest \
+     (the `explain` protocol op; --json emits the raw reply)."
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(const run $ query_arg $ load_arg $ no_compile_arg $ json_flag)
 
 (* --- serve: the long-lived query service --- *)
 
@@ -637,6 +761,13 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
   in
+  let no_compile_arg =
+    let doc =
+      "Run WCOJ engines interpreted instead of through the compiled \
+       plan tier."
+    in
+    Arg.(value & flag & info [ "no-compile" ] ~doc)
+  in
   let stats_json_arg =
     let doc =
       "On exit, print the server's final stats (the \"stats\" op's JSON \
@@ -645,7 +776,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run port host max_pending plan_cache result_cache timeout_ms max_ticks
-      max_rows pool_n shards stats_json =
+      max_rows pool_n shards no_compile stats_json =
     if shards < 1 then begin
       prerr_endline "error: --shards must be >= 1";
       2
@@ -672,6 +803,7 @@ let serve_cmd =
               max_rows;
               pool;
               shards;
+              compile = not no_compile;
             }
           in
           let server = Lb_service.Server.create ~config () in
@@ -695,7 +827,7 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ host_arg $ max_pending_arg $ plan_cache_arg
       $ result_cache_arg $ timeout_arg $ max_ticks_arg $ max_rows_arg
-      $ pool_arg $ shards_arg $ stats_json_arg)
+      $ pool_arg $ shards_arg $ no_compile_arg $ stats_json_arg)
 
 let () =
   let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in
@@ -712,5 +844,6 @@ let () =
             fhw_cmd;
             sat_cmd;
             query_cmd;
+            explain_cmd;
             serve_cmd;
           ]))

@@ -1,0 +1,102 @@
+(** The plan compilation tier: lower a WCOJ plan to a monomorphic loop
+    nest over flat int arrays, cached by plan signature.
+
+    A compiled plan ({!ir}) is the schema-level half of a
+    worst-case-optimal join: for each variable of the global order, the
+    flat list of (atom, trie depth) bindings participating at that
+    level.  It depends only on the query text and the order - never on
+    the data - so the query service keeps it in the plan LRU (charged
+    by {!weight}) and reuses it across executions and batch windows.
+    Per execution, the IR is resolved against freshly built tries and
+    run by a monomorphic interpreter: direct column pointers,
+    [Array.unsafe_get] on the hot path, no closures or option matches
+    per column access.
+
+    Contract: answers, work counters and budget-tick placement are
+    bit-identical to the interpreted {!Generic_join} / {!Leapfrog}
+    paths on every driver (sequential, Domain-parallel, sharded),
+    including the partial counters a mid-query budget exhaustion
+    leaves behind.  The compiled paths report to the same metric names
+    ([generic_join.*] / [leapfrog.*]), so served counter streams are
+    indistinguishable from interpreted runs. *)
+
+type engine = Generic | Leapfrog
+
+(** ["generic_join"] / ["leapfrog"] - the planner's vocabulary. *)
+val engine_name : engine -> string
+
+(** Unified work counters: [work] counts enumerated leader keys under
+    {!Generic} (= [Generic_join.counters.intersections]) and seeks
+    under {!Leapfrog} (= [Leapfrog.counters.seeks]). *)
+type counters = { mutable work : int; mutable emitted : int }
+
+val fresh_counters : unit -> counters
+
+(** The compiled plan: flat level tables.  Level [l] of the loop nest
+    binds variable [order.(l)] through slots
+    [lv_off.(l) .. lv_off.(l+1) - 1] of [lv_atom] (participating atom
+    id, ascending) and [lv_depth] (that atom's trie depth for the
+    level).  Treat as immutable. *)
+type ir = private {
+  engine : engine;
+  order : string array;
+  nvars : int;
+  natoms : int;
+  rels : string array;
+  lv_off : int array;
+  lv_atom : int array;
+  lv_depth : int array;
+}
+
+(** [lower ~engine q] compiles [q] against the global variable order
+    (default: attributes in first-appearance order, the engines'
+    default).  Pure schema work - no tries are built.  Raises
+    [Invalid_argument] if an attribute is missing from the order or a
+    variable appears in no atom. *)
+val lower : engine:engine -> ?order:string array -> Query.t -> ir
+
+(** Cache charge of an IR: the number of ints in its flat tables. *)
+val weight : ir -> int
+
+(** Human-readable dump of the loop nest, one line per level. *)
+val describe : ir -> string list
+
+(** Count the answers.  [ctx]'s pool runs the Domain-parallel driver,
+    its budget is ticked at the engine's charging points, and its
+    metrics sink receives the usual per-call deltas. *)
+val count :
+  ?counters:counters -> ?ctx:Lb_util.Exec.t -> ir -> Database.t -> Query.t ->
+  int
+
+(** [count] with budget exhaustion reified as [Exhausted]. *)
+val count_bounded :
+  ?counters:counters -> ?ctx:Lb_util.Exec.t -> ir -> Database.t -> Query.t ->
+  int Lb_util.Budget.outcome
+
+(** Materialize the answer (schema = the IR's variable order). *)
+val answer : ?ctx:Lb_util.Exec.t -> ir -> Database.t -> Query.t -> Relation.t
+
+(** Sharded execution over a {!Shard.view}, one resolved machine per
+    shard; same composition and bit-identity guarantees as
+    {!Generic_join.run_sharded} / {!Leapfrog.run_sharded}. *)
+val run_sharded :
+  ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
+  ?partition:(Query.atom -> col:int -> Relation.t array option) ->
+  ?view:Shard.view ->
+  shards:int ->
+  ir ->
+  Database.t ->
+  Query.t ->
+  Relation.t
+
+val count_sharded :
+  ?counters:counters ->
+  ?ctx:Lb_util.Exec.t ->
+  ?partition:(Query.atom -> col:int -> Relation.t array option) ->
+  ?view:Shard.view ->
+  shards:int ->
+  ir ->
+  Database.t ->
+  Query.t ->
+  int

@@ -217,8 +217,8 @@ let with_metrics metrics c f =
 
 (* Iterate all answers; [f] receives the assignment in global-order
    (parallel to [order]).  The array is reused between calls. *)
-let iter ?order ?counters ?ctx ?budget ?metrics db (q : Query.t) f =
-  let ex = Exec.resolve ?ctx ?budget ?metrics () in
+let iter ?order ?counters ?ctx db (q : Query.t) f =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
   with_metrics ex.Exec.metrics c (fun () ->
@@ -304,8 +304,8 @@ let pool_applies ctx = function
   | Some p when Pool.size p > 1 && ctx.nvars >= 2 -> Some p
   | _ -> None
 
-let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
+let count ?order ?counters ?ctx db q =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
   let ctx =
@@ -324,12 +324,11 @@ let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
       run_seq ctx c (fun _ -> incr n);
       !n
 
-let count_bounded ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-  Budget.protect (fun () ->
-      count ?order ?counters ?ctx ?budget ?metrics ?pool db q)
+let count_bounded ?order ?counters ?ctx db q =
+  Budget.protect (fun () -> count ?order ?counters ?ctx db q)
 
-let answer ?order ?ctx ?budget ?metrics ?pool db q =
-  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
+let answer ?order ?ctx db q =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
   let ctx =
@@ -355,8 +354,8 @@ let answer ?order ?ctx ?budget ?metrics ?pool db q =
 
 exception Found
 
-let exists ?order ?ctx ?budget db q =
-  let ex = Exec.resolve ?ctx ?budget () in
+let exists ?order ?ctx db q =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
   let ctx = make_ctx ?budget:ex.Exec.budget ~order db q in
@@ -364,6 +363,30 @@ let exists ?order ?ctx ?budget db q =
     run_seq ctx c (fun _ -> raise Found);
     false
   with Found -> true
+
+(* The pre-Exec resource triple, kept callable for old call sites but
+   alerted at the signature (see the mli): every wrapper is one
+   [Exec.resolve] away from the primary entry point. *)
+module Legacy = struct
+  let iter ?order ?counters ?ctx ?budget ?metrics db q f =
+    iter ?order ?counters ~ctx:(Exec.resolve ?ctx ?budget ?metrics ()) db q f
+
+  let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
+    count ?order ?counters
+      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
+      db q
+
+  let count_bounded ?order ?counters ?ctx ?budget ?metrics ?pool db q =
+    count_bounded ?order ?counters
+      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
+      db q
+
+  let answer ?order ?ctx ?budget ?metrics ?pool db q =
+    answer ?order ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ()) db q
+
+  let exists ?order ?ctx ?budget db q =
+    exists ?order ~ctx:(Exec.resolve ?ctx ?budget ()) db q
+end
 
 (* --- sharded driver --- *)
 

@@ -19,10 +19,10 @@
     per execution context built.
 
     Execution resources are passed as a single [?ctx]
-    ({!Lb_util.Exec.t}); the historical [?pool] / [?budget] /
-    [?metrics] labelled arguments remain as thin deprecated wrappers -
-    an explicitly passed one overrides the corresponding [ctx] field
-    (see {!Lb_util.Exec.resolve}). *)
+    ({!Lb_util.Exec.t}).  The historical [?pool] / [?budget] /
+    [?metrics] labelled arguments live on in {!Legacy}, whose entries
+    are alerted [deprecated] - an explicitly passed one overrides the
+    corresponding [ctx] field (see {!Lb_util.Exec.resolve}). *)
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -35,8 +35,6 @@ val iter :
   ?order:string array ->
   ?counters:counters ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
   Database.t ->
   Query.t ->
   (int array -> unit) ->
@@ -47,9 +45,6 @@ val iter :
 val answer :
   ?order:string array ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   Relation.t
@@ -61,9 +56,6 @@ val count :
   ?order:string array ->
   ?counters:counters ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   int
@@ -73,9 +65,6 @@ val count_bounded :
   ?order:string array ->
   ?counters:counters ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   int Lb_util.Budget.outcome
@@ -86,10 +75,71 @@ exception Found
 val exists :
   ?order:string array ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
   Database.t ->
   Query.t ->
   bool
+
+(** The pre-{!Lb_util.Exec} entry points, carrying the resource triple
+    as separate labelled arguments.  Each delegates through
+    {!Lb_util.Exec.resolve} (an explicit argument overrides the [ctx]
+    field) and is alerted so new call sites reach for [?ctx] instead. *)
+module Legacy : sig
+  val iter :
+    ?order:string array ->
+    ?counters:counters ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    Database.t ->
+    Query.t ->
+    (int array -> unit) ->
+    unit
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val answer :
+    ?order:string array ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    ?pool:Lb_util.Pool.t ->
+    Database.t ->
+    Query.t ->
+    Relation.t
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val count :
+    ?order:string array ->
+    ?counters:counters ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    ?pool:Lb_util.Pool.t ->
+    Database.t ->
+    Query.t ->
+    int
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val count_bounded :
+    ?order:string array ->
+    ?counters:counters ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    ?pool:Lb_util.Pool.t ->
+    Database.t ->
+    Query.t ->
+    int Lb_util.Budget.outcome
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val exists :
+    ?order:string array ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    Database.t ->
+    Query.t ->
+    bool
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+end
 
 (** {2 Sharded execution}
 

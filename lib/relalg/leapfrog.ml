@@ -179,8 +179,8 @@ let with_metrics metrics c f =
       Metrics.add metrics "leapfrog.emitted" (c.emitted - e0))
     f
 
-let iter ?order ?counters ?ctx ?budget ?metrics db (q : Query.t) f =
-  let ex = Exec.resolve ?ctx ?budget ?metrics () in
+let iter ?order ?counters ?ctx db (q : Query.t) f =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
   with_metrics ex.Exec.metrics c (fun () ->
@@ -257,8 +257,8 @@ let pool_applies ctx = function
   | Some p when Pool.size p > 1 && ctx.nvars >= 2 -> Some p
   | _ -> None
 
-let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
+let count ?order ?counters ?ctx db q =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = match counters with Some c -> c | None -> fresh_counters () in
   let ctx =
@@ -277,12 +277,11 @@ let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
       run_seq ctx c (fun _ -> incr n);
       !n
 
-let count_bounded ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-  Budget.protect (fun () ->
-      count ?order ?counters ?ctx ?budget ?metrics ?pool db q)
+let count_bounded ?order ?counters ?ctx db q =
+  Budget.protect (fun () -> count ?order ?counters ?ctx db q)
 
-let answer ?order ?ctx ?budget ?metrics ?pool db q =
-  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
+let answer ?order ?ctx db q =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
   let ctx =
@@ -308,8 +307,8 @@ let answer ?order ?ctx ?budget ?metrics ?pool db q =
 
 exception Found
 
-let exists ?order ?ctx ?budget db q =
-  let ex = Exec.resolve ?ctx ?budget () in
+let exists ?order ?ctx db q =
+  let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
   let c = fresh_counters () in
   let ctx = make_ctx ?budget:ex.Exec.budget ~order db q in
@@ -317,6 +316,28 @@ let exists ?order ?ctx ?budget db q =
     run_seq ctx c (fun _ -> raise Found);
     false
   with Found -> true
+
+(* Pre-Exec resource-triple entry points; alerted in the mli. *)
+module Legacy = struct
+  let iter ?order ?counters ?ctx ?budget ?metrics db q f =
+    iter ?order ?counters ~ctx:(Exec.resolve ?ctx ?budget ?metrics ()) db q f
+
+  let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
+    count ?order ?counters
+      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
+      db q
+
+  let count_bounded ?order ?counters ?ctx ?budget ?metrics ?pool db q =
+    count_bounded ?order ?counters
+      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
+      db q
+
+  let answer ?order ?ctx ?budget ?metrics ?pool db q =
+    answer ?order ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ()) db q
+
+  let exists ?order ?ctx ?budget db q =
+    exists ?order ~ctx:(Exec.resolve ?ctx ?budget ()) db q
+end
 
 (* --- sharded driver --- *)
 

@@ -14,8 +14,8 @@
 
     As in {!Generic_join}, resources are passed as a single [?ctx]
     ({!Lb_util.Exec.t}); the [?pool] / [?budget] / [?metrics] labelled
-    arguments remain as thin deprecated wrappers, an explicit one
-    overriding the corresponding [ctx] field. *)
+    arguments live on in {!Legacy} under a [deprecated] alert, an
+    explicit one overriding the corresponding [ctx] field. *)
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
@@ -26,8 +26,6 @@ val iter :
   ?order:string array ->
   ?counters:counters ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
   Database.t ->
   Query.t ->
   (int array -> unit) ->
@@ -36,9 +34,6 @@ val iter :
 val answer :
   ?order:string array ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   Relation.t
@@ -47,9 +42,6 @@ val count :
   ?order:string array ->
   ?counters:counters ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   int
@@ -59,9 +51,6 @@ val count_bounded :
   ?order:string array ->
   ?counters:counters ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  ?pool:Lb_util.Pool.t ->
   Database.t ->
   Query.t ->
   int Lb_util.Budget.outcome
@@ -71,10 +60,69 @@ exception Found
 val exists :
   ?order:string array ->
   ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
   Database.t ->
   Query.t ->
   bool
+
+(** Same contract as {!Generic_join.Legacy}: the pre-{!Lb_util.Exec}
+    resource-triple entry points, alerted so new call sites use [?ctx]. *)
+module Legacy : sig
+  val iter :
+    ?order:string array ->
+    ?counters:counters ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    Database.t ->
+    Query.t ->
+    (int array -> unit) ->
+    unit
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val answer :
+    ?order:string array ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    ?pool:Lb_util.Pool.t ->
+    Database.t ->
+    Query.t ->
+    Relation.t
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val count :
+    ?order:string array ->
+    ?counters:counters ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    ?pool:Lb_util.Pool.t ->
+    Database.t ->
+    Query.t ->
+    int
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val count_bounded :
+    ?order:string array ->
+    ?counters:counters ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    ?metrics:Lb_util.Metrics.t ->
+    ?pool:Lb_util.Pool.t ->
+    Database.t ->
+    Query.t ->
+    int Lb_util.Budget.outcome
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+
+  val exists :
+    ?order:string array ->
+    ?ctx:Lb_util.Exec.t ->
+    ?budget:Lb_util.Budget.t ->
+    Database.t ->
+    Query.t ->
+    bool
+  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+end
 
 (** Sharded driver; same contract and determinism guarantees as
     {!Generic_join.run_sharded}, with the level-0 leapfrog emulated over

@@ -40,6 +40,7 @@ type plan = {
   rho_star : float option;
   predicted_exponent : float;
   atom_order : int list option;
+  compiled : Lb_relalg.Compile.ir option;
   explanation : string list;
 }
 
@@ -58,7 +59,24 @@ let bound_statements (q : Q.t) =
   List.map Lowerbounds.Report.statement_to_string
     analysis.Lowerbounds.Bounds.statements
 
-let mk ?atom_order ~forced ~acyclic ~rho ~exponent ~why engine q =
+(* Lower the schema half of a WCOJ plan once, at planning time: the IR
+   depends only on the query text and the default variable order, so it
+   rides in the plan cache and is re-resolved against fresh tries per
+   execution.  [lower] cannot fail on a parsed query (every attribute
+   of the default order comes from an atom), but planning must never
+   die on a lowering bug - degrade to the interpreted path instead. *)
+let lower_ir engine (q : Q.t) =
+  let lower ce =
+    match Lb_relalg.Compile.lower ~engine:ce q with
+    | ir -> Some ir
+    | exception Invalid_argument _ -> None
+  in
+  match engine with
+  | Generic_join -> lower Lb_relalg.Compile.Generic
+  | Leapfrog -> lower Lb_relalg.Compile.Leapfrog
+  | Yannakakis | Binary_hash -> None
+
+let mk ?atom_order ?compiled ~forced ~acyclic ~rho ~exponent ~why engine q =
   {
     engine;
     forced;
@@ -66,6 +84,7 @@ let mk ?atom_order ~forced ~acyclic ~rho ~exponent ~why engine q =
     rho_star = rho;
     predicted_exponent = exponent;
     atom_order;
+    compiled;
     explanation =
       (Printf.sprintf "strategy: %s [%s]" (engine_name engine)
          (Lowerbounds.Advisor.strategy_name (advisor_strategy engine))
@@ -86,9 +105,10 @@ let choose_engine (q : Q.t) =
   else if max_arity q <= 2 then Leapfrog
   else Generic_join
 
-let build ~forced engine db (q : Q.t) =
+let build ?(compile = true) ~forced engine db (q : Q.t) =
   let acyclic = Lb_relalg.Yannakakis.is_acyclic q in
   let rho, wcoj_exp = wcoj_exponent_or_atoms q in
+  let compiled = if compile then lower_ir engine q else None in
   match engine with
   | Yannakakis ->
       mk ~forced ~acyclic ~rho ~exponent:1.0
@@ -99,7 +119,7 @@ let build ~forced engine db (q : Q.t) =
           ]
         Yannakakis q
   | Generic_join ->
-      mk ~forced ~acyclic ~rho ~exponent:wcoj_exp
+      mk ?compiled ~forced ~acyclic ~rho ~exponent:wcoj_exp
         ~why:
           [
             Printf.sprintf
@@ -109,7 +129,7 @@ let build ~forced engine db (q : Q.t) =
           ]
         Generic_join q
   | Leapfrog ->
-      mk ~forced ~acyclic ~rho ~exponent:wcoj_exp
+      mk ?compiled ~forced ~acyclic ~rho ~exponent:wcoj_exp
         ~why:
           [
             Printf.sprintf
@@ -138,9 +158,9 @@ let build ~forced engine db (q : Q.t) =
       in
       mk ?atom_order:order ~forced ~acyclic ~rho ~exponent ~why Binary_hash q
 
-let choose db q = build ~forced:false (choose_engine q) db q
+let choose ?compile db q = build ?compile ~forced:false (choose_engine q) db q
 
-let plan_for engine db q =
+let plan_for ?compile engine db q =
   if engine = Yannakakis && not (Lb_relalg.Yannakakis.is_acyclic q) then
     Error "yannakakis requires an alpha-acyclic query"
-  else Ok (build ~forced:true engine db q)
+  else Ok (build ?compile ~forced:true engine db q)

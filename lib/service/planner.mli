@@ -32,6 +32,10 @@ type plan = {
           rho* for WCOJ engines, the max prefix-subquery AGM exponent
           for binary plans *)
   atom_order : int list option;  (** binary plans: the greedy order *)
+  compiled : Lb_relalg.Compile.ir option;
+      (** WCOJ engines: the plan lowered to a monomorphic loop nest
+          ({!Lb_relalg.Compile}); schema-only, so it rides in the plan
+          cache.  [None] for other engines or with [~compile:false]. *)
   explanation : string list;
 }
 
@@ -41,13 +45,21 @@ type plan = {
       tries);
     - cyclic queries of arity <= 2 run Leapfrog, higher arities
       Generic Join - both at the AGM exponent, which the greedy binary
-      plan's prefix exponent can only match or exceed. *)
-val choose : Lb_relalg.Database.t -> Lb_relalg.Query.t -> plan
+      plan's prefix exponent can only match or exceed.
+
+    [compile] (default [true]) also lowers WCOJ plans to the compiled
+    tier; [~compile:false] is the interpreted escape hatch. *)
+val choose :
+  ?compile:bool -> Lb_relalg.Database.t -> Lb_relalg.Query.t -> plan
 
 (** Plan for a client-forced engine.  [Error] when the engine cannot
     run the query (Yannakakis on a cyclic query). *)
 val plan_for :
-  engine -> Lb_relalg.Database.t -> Lb_relalg.Query.t -> (plan, string) result
+  ?compile:bool ->
+  engine ->
+  Lb_relalg.Database.t ->
+  Lb_relalg.Query.t ->
+  (plan, string) result
 
 (** The {!Lowerbounds.Advisor} strategy a plan corresponds to, for
     explanation reuse. *)

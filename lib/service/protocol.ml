@@ -213,6 +213,7 @@ let plan_to_json (p : Planner.plan) =
        ( "rho_star",
          match p.rho_star with Some r -> Json.Float r | None -> Json.Null );
        ("predicted_exponent", Json.Float p.predicted_exponent);
+       ("compiled", Json.Bool (p.compiled <> None));
      ]
     @ (match p.atom_order with
       | Some order ->

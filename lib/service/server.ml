@@ -23,6 +23,7 @@ type config = {
   max_rows : int;
   pool : Pool.t option;
   shards : int;
+  compile : bool;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     max_rows = 10_000;
     pool = None;
     shards = 1;
+    compile = true;
   }
 
 (* Cached answer: canonical column order, sorted rows. *)
@@ -127,15 +129,25 @@ let run_engine ?pool (task : task) db =
       Option.iter Budget.check budget;
       rel
   | Planner.Generic_join -> (
-      match task.view with
-      | Some view when task.shards > 1 ->
+      (* The compiled IR, when the plan carries one, replaces the
+         interpreted loop nest on every driver - answers, counters and
+         budget ticks are bit-identical (Compile's contract), so the
+         caches and the counter stream cannot tell the paths apart. *)
+      match (task.plan.Planner.compiled, task.view) with
+      | Some ir, Some view when task.shards > 1 ->
+          Lb_relalg.Compile.run_sharded ~ctx ~view ~shards:task.shards ir db q
+      | Some ir, _ -> Lb_relalg.Compile.answer ~ctx ir db q
+      | None, Some view when task.shards > 1 ->
           Lb_relalg.Generic_join.run_sharded ~ctx ~view ~shards:task.shards db q
-      | _ -> Lb_relalg.Generic_join.answer ~ctx db q)
+      | None, _ -> Lb_relalg.Generic_join.answer ~ctx db q)
   | Planner.Leapfrog -> (
-      match task.view with
-      | Some view when task.shards > 1 ->
+      match (task.plan.Planner.compiled, task.view) with
+      | Some ir, Some view when task.shards > 1 ->
+          Lb_relalg.Compile.run_sharded ~ctx ~view ~shards:task.shards ir db q
+      | Some ir, _ -> Lb_relalg.Compile.answer ~ctx ir db q
+      | None, Some view when task.shards > 1 ->
           Lb_relalg.Leapfrog.run_sharded ~ctx ~view ~shards:task.shards db q
-      | _ -> Lb_relalg.Leapfrog.answer ~ctx db q)
+      | None, _ -> Lb_relalg.Leapfrog.answer ~ctx db q)
   | Planner.Binary_hash ->
       Option.iter Budget.check budget;
       let rel, stats =
@@ -256,26 +268,42 @@ let stats_response t =
       ("counters", Protocol.counters_to_json (Metrics.counters t.metrics));
     ]
 
+(* A plan's plan-cache charge: compiled IRs carry their flat tables, so
+   a pathological query cannot bloat the cache past its capacity even
+   at one entry per kilobyte-scale IR.  Ordinary plans (and ordinary
+   IRs, a few dozen ints) weigh 1, preserving the historical
+   entry-count semantics of [plan_cache_size]. *)
+let plan_weight (plan : Planner.plan) =
+  match plan.Planner.compiled with
+  | None -> 1
+  | Some ir -> 1 + (Lb_relalg.Compile.weight ir / 1024)
+
 (* Plan lookup through the plan cache.  The cache key includes the
-   engine choice; forced-infeasible combinations return Error. *)
+   engine choice; forced-infeasible combinations return Error.  Plans
+   carry their compiled IR, so a plan-cache hit is also a compilation
+   hit: the lowered loop nest is reused across executions and batch
+   windows ([serve.compile.hits] / [serve.compile.misses]). *)
 let plan_of t (q : Q.t) canonical (engine : Planner.engine option) =
   let tag = match engine with None -> "auto" | Some e -> Planner.engine_name e in
   let key = tag ^ "|" ^ canonical in
   match Lru.find t.plan_cache key with
   | Some plan ->
       incr t "serve.cache.plan.hits";
+      if plan.Planner.compiled <> None then incr t "serve.compile.hits";
       Ok plan
   | None -> (
       incr t "serve.cache.plan.misses";
       let db = Catalog.database t.catalog in
+      let compile = t.config.compile in
       let planned =
         match engine with
-        | None -> Ok (Planner.choose db q)
-        | Some e -> Planner.plan_for e db q
+        | None -> Ok (Planner.choose ~compile db q)
+        | Some e -> Planner.plan_for ~compile e db q
       in
       match planned with
       | Ok plan ->
-          Lru.put t.plan_cache key plan;
+          if plan.Planner.compiled <> None then incr t "serve.compile.misses";
+          Lru.put ~weight:(plan_weight plan) t.plan_cache key plan;
           incr t ("serve.plan." ^ Planner.engine_name plan.Planner.engine);
           Ok plan
       | Error _ as e -> e)
@@ -378,6 +406,7 @@ let prepare t (req : Protocol.request) =
                  [
                    ("shards", Json.Int t.config.shards);
                    ("batch", Json.Bool true);
+                   ("compile", Json.Bool t.config.compile);
                    ( "engines",
                      Json.List
                        (List.map
@@ -425,13 +454,25 @@ let prepare t (req : Protocol.request) =
           | Ok plan ->
               Ready
                 (Protocol.ok_fields ~op:"explain"
-                   [
-                     ("query", Json.String canonical);
-                     ("plan", Protocol.plan_to_json plan);
-                     ( "analysis",
-                       Protocol.analysis_to_json
-                         (Lowerbounds.Bounds.analyze_query q) );
-                   ])))
+                   ([
+                      ("query", Json.String canonical);
+                      ("plan", Protocol.plan_to_json plan);
+                    ]
+                   @ (match plan.Planner.compiled with
+                     | Some ir ->
+                         [
+                           ( "ir",
+                             Json.List
+                               (List.map
+                                  (fun l -> Json.String l)
+                                  (Lb_relalg.Compile.describe ir)) );
+                         ]
+                     | None -> [])
+                   @ [
+                       ( "analysis",
+                         Protocol.analysis_to_json
+                           (Lowerbounds.Bounds.analyze_query q) );
+                     ]))))
   | Protocol.Query { text; opts } ->
       incr t "serve.queries";
       prepare_query t text opts

@@ -29,6 +29,14 @@
     the catalog version, so even a missed invalidation could not serve
     a stale answer.  Cached answers are reported with ["cached":true].
 
+    Compilation: with [config.compile] (the default), WCOJ plans carry
+    their {!Lb_relalg.Compile} IR - the plan lowered once to a
+    monomorphic loop nest - and executions run the compiled drivers,
+    bit-identical to the interpreted ones.  The IR lives in the plan
+    cache (entries charged by {!Lb_relalg.Compile.weight}), so repeated
+    queries skip lowering entirely: [serve.compile.misses] counts plans
+    lowered, [serve.compile.hits] compiled plans reused from cache.
+
     Determinism: answers are projected to the query's attribute order
     and sorted lexicographically, so equal queries produce
     byte-identical ["rows"] regardless of the engine that ran them. *)
@@ -46,10 +54,15 @@ type config = {
           ({!Lb_relalg.Generic_join.run_sharded}) against the catalog's
           warm partitions; answers and counters are bit-identical to
           unsharded runs.  1 = off. *)
+  compile : bool;
+      (** run WCOJ queries through the compiled tier
+          ({!Lb_relalg.Compile}); [false] is the interpreted escape
+          hatch (`--no-compile`). *)
 }
 
 (** 64 pending, 256-entry plan cache, 128-entry result cache, no
-    default budgets, 10_000 returned rows, no pool, 1 shard. *)
+    default budgets, 10_000 returned rows, no pool, 1 shard,
+    compilation on. *)
 val default_config : config
 
 type t

@@ -1,10 +1,19 @@
 (* Size-bounded LRU cache: a hash table from keys to nodes of an
    intrusive doubly-linked list ordered by recency.  Every operation is
-   O(1); eviction unlinks the tail. *)
+   O(1); eviction unlinks the tail.
+
+   Capacity bounds the *total weight* of the bindings, not their count:
+   each binding carries a weight (default 1, so the historical
+   entries-bounded behaviour is the unit-weight special case), and
+   [put] evicts least-recently-used bindings until the new total fits.
+   The query service charges compiled plan IRs by their flat-array
+   footprint this way, so a few huge plans cannot monopolize a cache
+   sized in "planner stub" units. *)
 
 type ('k, 'v) node = {
   key : 'k;
   mutable value : 'v;
+  mutable weight : int;
   mutable prev : ('k, 'v) node option;
   mutable next : ('k, 'v) node option;
 }
@@ -14,6 +23,7 @@ type ('k, 'v) t = {
   table : ('k, ('k, 'v) node) Hashtbl.t;
   mutable head : ('k, 'v) node option; (* most recently used *)
   mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable total : int; (* sum of the weights of current bindings *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -26,6 +36,7 @@ let create cap =
     table = Hashtbl.create (min cap 64);
     head = None;
     tail = None;
+    total = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -34,6 +45,8 @@ let create cap =
 let capacity t = t.cap
 
 let length t = Hashtbl.length t.table
+
+let total_weight t = t.total
 
 let hits t = t.hits
 
@@ -74,6 +87,7 @@ let remove t k =
   | None -> ()
   | Some n ->
       Hashtbl.remove t.table k;
+      t.total <- t.total - n.weight;
       unlink t n
 
 let evict_tail t =
@@ -81,27 +95,47 @@ let evict_tail t =
   | None -> ()
   | Some n ->
       Hashtbl.remove t.table n.key;
+      t.total <- t.total - n.weight;
       unlink t n;
       t.evictions <- t.evictions + 1
 
-let put t k v =
+(* Evict from the tail until the total fits under the capacity, but
+   never the node [keep] itself (the binding being inserted/updated):
+   an overweight binding is admitted alone rather than rejected, so a
+   plan heavier than the whole cache still caches (and evicts
+   everything else). *)
+let rec make_room t keep =
+  if t.total > t.cap then
+    match t.tail with
+    | Some n when n != keep ->
+        evict_tail t;
+        make_room t keep
+    | _ -> ()
+
+let put ?(weight = 1) t k v =
+  if weight < 1 then invalid_arg "Lru.put: weight must be >= 1";
   match Hashtbl.find_opt t.table k with
   | Some n ->
       n.value <- v;
+      t.total <- t.total - n.weight + weight;
+      n.weight <- weight;
       if t.head != Some n then begin
         unlink t n;
         push_front t n
-      end
+      end;
+      make_room t n
   | None ->
-      if Hashtbl.length t.table >= t.cap then evict_tail t;
-      let n = { key = k; value = v; prev = None; next = None } in
+      let n = { key = k; value = v; weight; prev = None; next = None } in
       Hashtbl.replace t.table k n;
-      push_front t n
+      t.total <- t.total + weight;
+      push_front t n;
+      make_room t n
 
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
-  t.tail <- None
+  t.tail <- None;
+  t.total <- 0
 
 let to_list t =
   let rec go acc = function

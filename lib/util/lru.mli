@@ -7,18 +7,31 @@
     reported per request and per server lifetime), but generic over any
     hashable key.  Not thread-safe: callers serialize access (the
     service touches its caches only from the sequential admission
-    phase). *)
+    phase).
+
+    Capacity bounds the {e total weight} of the bindings: every binding
+    carries a weight ([put]'s [?weight], default 1), so with unit
+    weights the capacity is the historical entry count, while
+    heterogeneous entries (a compiled plan IR next to a planner stub)
+    can be charged by their actual footprint. *)
 
 type ('k, 'v) t
 
-(** [create capacity] makes an empty cache holding at most [capacity]
-    bindings.  Raises [Invalid_argument] if [capacity < 1]. *)
+(** [create capacity] makes an empty cache holding bindings of total
+    weight at most [capacity].  Raises [Invalid_argument] if
+    [capacity < 1]. *)
 val create : int -> ('k, 'v) t
 
 val capacity : ('k, 'v) t -> int
 
-(** Bindings currently held ([<= capacity]). *)
+(** Bindings currently held ([<= capacity], since weights are
+    [>= 1]). *)
 val length : ('k, 'v) t -> int
+
+(** Sum of the weights of the current bindings.  [<= capacity] unless
+    a single binding is heavier than the whole cache (admitted alone
+    rather than rejected). *)
+val total_weight : ('k, 'v) t -> int
 
 (** [find t k] returns the cached value and marks it most recently
     used; increments the hit counter, or the miss counter on [None]. *)
@@ -27,10 +40,13 @@ val find : ('k, 'v) t -> 'k -> 'v option
 (** [mem t k] checks presence without touching recency or counters. *)
 val mem : ('k, 'v) t -> 'k -> bool
 
-(** [put t k v] binds [k], replacing any existing binding, marking it
-    most recently used, and evicting the least recently used binding
-    if the cache is over capacity. *)
-val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** [put ?weight t k v] binds [k] at [weight] (default 1), replacing
+    any existing binding, marking it most recently used, and evicting
+    least recently used bindings until the total weight fits the
+    capacity again.  A binding heavier than the capacity evicts
+    everything else and is kept alone.  Raises [Invalid_argument] if
+    [weight < 1]. *)
+val put : ?weight:int -> ('k, 'v) t -> 'k -> 'v -> unit
 
 (** Remove a binding if present; recency and counters unchanged. *)
 val remove : ('k, 'v) t -> 'k -> unit

@@ -182,9 +182,15 @@ let budget_across_engines () =
     | Budget.Done _ -> false
   in
   Alcotest.(check bool) "generic join" true
-    (exhausted (Lb_relalg.Generic_join.count_bounded ~budget:(Budget.create ~ticks:5 ()) db q));
+    (exhausted
+       (Lb_relalg.Generic_join.count_bounded
+          ~ctx:(Lb_util.Exec.make ~budget:(Budget.create ~ticks:5 ()) ())
+          db q));
   Alcotest.(check bool) "leapfrog" true
-    (exhausted (Lb_relalg.Leapfrog.count_bounded ~budget:(Budget.create ~ticks:5 ()) db q));
+    (exhausted
+       (Lb_relalg.Leapfrog.count_bounded
+          ~ctx:(Lb_util.Exec.make ~budget:(Budget.create ~ticks:5 ()) ())
+          db q));
   let a = Array.init 400 (fun i -> i) in
   let exhausts_dp f = match f () with
     | (_ : int) -> false

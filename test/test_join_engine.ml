@@ -18,6 +18,7 @@ module Db = Lb_relalg.Database
 module Gj = Lb_relalg.Generic_join
 module Lf = Lb_relalg.Leapfrog
 module Pool = Lb_util.Pool
+module Exec = Lb_util.Exec
 module Prng = Lb_util.Prng
 
 let check = Alcotest.check
@@ -101,12 +102,12 @@ let test_parallel_matches_sequential_gj () =
   let ans_seq = Gj.answer db triangle in
   Pool.with_pool 4 (fun pool ->
       let cp = Gj.fresh_counters () in
-      let n_par = Gj.count ~counters:cp ~pool db triangle in
+      let n_par = Gj.count ~counters:cp ~ctx:(Exec.make ~pool ()) db triangle in
       check Alcotest.int "count" n_seq n_par;
       check Alcotest.int "intersections counter" cs.Gj.intersections
         cp.Gj.intersections;
       check Alcotest.int "emitted counter" cs.Gj.emitted cp.Gj.emitted;
-      let ans_par = Gj.answer ~pool db triangle in
+      let ans_par = Gj.answer ~ctx:(Exec.make ~pool ()) db triangle in
       check Alcotest.bool "answer relation" true (R.equal ans_seq ans_par))
 
 let test_parallel_matches_sequential_lf () =
@@ -116,11 +117,11 @@ let test_parallel_matches_sequential_lf () =
   let ans_seq = Lf.answer db triangle in
   Pool.with_pool 4 (fun pool ->
       let cp = Lf.fresh_counters () in
-      let n_par = Lf.count ~counters:cp ~pool db triangle in
+      let n_par = Lf.count ~counters:cp ~ctx:(Exec.make ~pool ()) db triangle in
       check Alcotest.int "count" n_seq n_par;
       check Alcotest.int "seeks counter" cs.Lf.seeks cp.Lf.seeks;
       check Alcotest.int "emitted counter" cs.Lf.emitted cp.Lf.emitted;
-      let ans_par = Lf.answer ~pool db triangle in
+      let ans_par = Lf.answer ~ctx:(Exec.make ~pool ()) db triangle in
       check Alcotest.bool "answer relation" true (R.equal ans_seq ans_par))
 
 let test_parallel_random_instances () =
@@ -133,12 +134,12 @@ let test_parallel_random_instances () =
         check Alcotest.int
           (Printf.sprintf "GJ par count (%s)" ctxt)
           (Gj.count db q)
-          (Gj.count ~pool db q);
+          (Gj.count ~ctx:(Exec.make ~pool ()) db q);
         check Alcotest.int
           (Printf.sprintf "LFTJ par count (%s)" ctxt)
           (Lf.count db q)
-          (Lf.count ~pool db q);
-        if not (R.equal (Gj.answer db q) (Gj.answer ~pool db q)) then
+          (Lf.count ~ctx:(Exec.make ~pool ()) db q);
+        if not (R.equal (Gj.answer db q) (Gj.answer ~ctx:(Exec.make ~pool ()) db q)) then
           Alcotest.failf "GJ par answer differs (%s)" ctxt
       done)
 
@@ -149,7 +150,7 @@ let test_pool_of_one_is_sequential () =
       let cs = Gj.fresh_counters () in
       let n_seq = Gj.count ~counters:cs db triangle in
       let cp = Gj.fresh_counters () in
-      let n_par = Gj.count ~counters:cp ~pool db triangle in
+      let n_par = Gj.count ~counters:cp ~ctx:(Exec.make ~pool ()) db triangle in
       check Alcotest.int "count" n_seq n_par;
       check Alcotest.int "intersections" cs.Gj.intersections
         cp.Gj.intersections)

@@ -12,6 +12,7 @@ let () =
       ("relalg", Test_relalg.suite);
       ("trie", Test_trie.suite);
       ("join_engine", Test_join_engine.suite);
+      ("compile", Test_compile.suite);
       ("csp", Test_csp.suite);
       ("reductions", Test_reductions.suite);
       ("finegrained", Test_finegrained.suite);

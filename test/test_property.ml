@@ -222,7 +222,8 @@ let joins_parallel_vs_sequential () =
     show_cq (fun (db, q) ->
       let n = Gj.count db q in
       Lb_util.Pool.with_pool 2 (fun pool ->
-          Gj.count ~pool db q = n && Lf.count ~pool db q = n))
+          Gj.count ~ctx:(Lb_util.Exec.make ~pool ()) db q = n
+          && Lf.count ~ctx:(Lb_util.Exec.make ~pool ()) db q = n))
 
 (* --- reduction round-trips --- *)
 
@@ -401,11 +402,11 @@ let counters_list m =
 let sharded_bit_identical ?(ks = [ 1; 2; 3; 7 ]) (db, q) =
   let gj_ref = Gj.fresh_counters () in
   let gj_sink = Lb_util.Metrics.create () in
-  let gj_ans = Gj.answer ~metrics:gj_sink db q in
+  let gj_ans = Gj.answer ~ctx:(Exec.make ~metrics:gj_sink ()) db q in
   ignore (Gj.count ~counters:gj_ref db q);
   let lf_ref = Lf.fresh_counters () in
   let lf_sink = Lb_util.Metrics.create () in
-  let lf_ans = Lf.answer ~metrics:lf_sink db q in
+  let lf_ans = Lf.answer ~ctx:(Exec.make ~metrics:lf_sink ()) db q in
   ignore (Lf.count ~counters:lf_ref db q);
   List.for_all
     (fun k ->

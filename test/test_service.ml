@@ -450,6 +450,9 @@ let test_hello_capabilities () =
   (match field "batch" caps with
   | Json.Bool true -> ()
   | _ -> Alcotest.fail "batch capability missing");
+  (match field "compile" caps with
+  | Json.Bool true -> ()
+  | _ -> Alcotest.fail "compile capability missing");
   match field "engines" caps with
   | Json.List engines ->
       let names =
@@ -626,6 +629,77 @@ let test_sharded_server_bit_identical () =
       (Planner.Leapfrog, "leapfrog.seeks");
     ]
 
+(* --- the compiled plan tier through the server --- *)
+
+(* A compiled server and a --no-compile server must be observationally
+   identical (rows, counts, engine work counters); the compiled one
+   reports "compiled":true in its plan and accounts compilation cache
+   traffic: one serve.compile.miss for the first lowering, then a
+   serve.compile.hit per reuse of the cached plan - also when the
+   answer itself comes from the result cache, since the plan cache is
+   consulted first. *)
+let test_compile_tier_served () =
+  let rng = Prng.create 4242 in
+  let edges = List.init 60 (fun _ -> [ Prng.int rng 12; Prng.int rng 12 ]) in
+  List.iter
+    (fun (engine, work_counter) ->
+      let compiled = Server.create () in
+      let interpreted =
+        Server.create
+          ~config:{ Server.default_config with compile = false }
+          ()
+      in
+      List.iter
+        (fun srv ->
+          ignore (handle_ok srv "load E" (load_req "E" [ "u"; "v" ] edges)))
+        [ compiled; interpreted ];
+      let r0 = handle_ok compiled "compiled" (query_req ~engine triangle_text) in
+      let r1 =
+        handle_ok interpreted "interpreted" (query_req ~engine triangle_text)
+      in
+      let ctxt = Planner.engine_name engine in
+      (match field "compiled" (field "plan" r0) with
+      | Json.Bool true -> ()
+      | _ -> Alcotest.fail (ctxt ^ ": plan not marked compiled"));
+      (match field "compiled" (field "plan" r1) with
+      | Json.Bool false -> ()
+      | _ -> Alcotest.fail (ctxt ^ ": --no-compile plan marked compiled"));
+      check Alcotest.string (ctxt ^ ": identical rows")
+        (Json.to_string (field "rows" r0))
+        (Json.to_string (field "rows" r1));
+      check
+        Alcotest.(option int)
+        (ctxt ^ ": " ^ work_counter ^ " bit-identical")
+        (Metrics.find_counter (Server.metrics interpreted) work_counter)
+        (Metrics.find_counter (Server.metrics compiled) work_counter);
+      let counter name = Metrics.find_counter (Server.metrics compiled) name in
+      check
+        Alcotest.(option int)
+        (ctxt ^ ": one compilation miss")
+        (Some 1) (counter "serve.compile.misses");
+      check Alcotest.(option int) (ctxt ^ ": no hits yet") None
+        (counter "serve.compile.hits");
+      ignore
+        (handle_ok compiled "repeated" (query_req ~engine triangle_text));
+      check
+        Alcotest.(option int)
+        (ctxt ^ ": repeat reuses the compiled plan")
+        (Some 1) (counter "serve.compile.hits");
+      check
+        Alcotest.(option int)
+        (ctxt ^ ": no second lowering")
+        (Some 1) (counter "serve.compile.misses");
+      check
+        Alcotest.(option int)
+        (ctxt ^ ": interpreted server never compiles")
+        None
+        (Metrics.find_counter (Server.metrics interpreted)
+           "serve.compile.misses"))
+    [
+      (Planner.Generic_join, "generic_join.intersections");
+      (Planner.Leapfrog, "leapfrog.seeks");
+    ]
+
 (* --- count_only / limit shaping --- *)
 
 let test_response_shaping () =
@@ -684,4 +758,6 @@ let suite =
       test_batch_timeout_isolation;
     Alcotest.test_case "sharded server answers bit-identical" `Quick
       test_sharded_server_bit_identical;
+    Alcotest.test_case "compiled tier served bit-identical, plans cached"
+      `Quick test_compile_tier_served;
   ]

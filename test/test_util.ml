@@ -476,6 +476,46 @@ let test_lru_model () =
     Alcotest.(list (pair int int))
     "final recency order" !model (Lru.to_list c)
 
+(* Weighted entries: capacity bounds total weight, eviction still walks
+   the recency tail, and a heavier-than-capacity binding is admitted
+   alone. *)
+let test_lru_weights () =
+  let c = Lru.create 10 in
+  Lru.put ~weight:4 c "a" 1;
+  Lru.put ~weight:4 c "b" 2;
+  check Alcotest.int "total weight" 8 (Lru.total_weight c);
+  (* weight 4 would exceed 10: the LRU binding "a" goes, not "b" *)
+  ignore (Lru.find c "b");
+  Lru.put ~weight:4 c "c" 3;
+  check Alcotest.bool "tail evicted first" false (Lru.mem c "a");
+  check Alcotest.bool "recently used survives" true (Lru.mem c "b");
+  check Alcotest.int "one eviction" 1 (Lru.evictions c);
+  check Alcotest.int "total after eviction" 8 (Lru.total_weight c);
+  (* a light entry still fits without evicting *)
+  Lru.put c "d" 4;
+  check Alcotest.int "unit default weight" 9 (Lru.total_weight c);
+  check Alcotest.int "no extra eviction" 1 (Lru.evictions c);
+  (* one heavy entry may evict several light ones, in recency order *)
+  Lru.put ~weight:9 c "e" 5;
+  check
+    Alcotest.(list (pair string int))
+    "evicts from the tail until it fits" [ ("e", 5); ("d", 4) ]
+    (Lru.to_list c);
+  check Alcotest.int "two more evictions" 3 (Lru.evictions c);
+  (* replacing a binding at a new weight re-balances *)
+  Lru.put ~weight:1 c "e" 50;
+  check Alcotest.int "re-weighted total" 2 (Lru.total_weight c);
+  (* heavier than the whole cache: admitted alone *)
+  Lru.put ~weight:99 c "huge" 6;
+  check Alcotest.int "alone" 1 (Lru.length c);
+  check Alcotest.int "overweight admitted" 99 (Lru.total_weight c);
+  check Alcotest.(option int) "and readable" (Some 6) (Lru.find c "huge");
+  check Alcotest.bool "rejects weight 0" true
+    (try
+       Lru.put ~weight:0 c "z" 0;
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Exec: context building and legacy-argument resolution --- *)
 
 let test_exec_default_and_builders () =
@@ -533,6 +573,15 @@ let test_exec_resolve_precedence () =
   check Alcotest.bool "budget still from ctx" true
     (same_budget b_ctx r.Exec.budget)
 
+(* The Legacy wrappers carry a [deprecated] alert; this module is their
+   one sanctioned caller, existing to test the wrappers themselves
+   (and, implicitly, that the alert fires anywhere else). *)
+module Gj_legacy = struct
+  [@@@alert "-deprecated"]
+
+  let count = Lb_relalg.Generic_join.Legacy.count
+end
+
 let test_exec_resolve_in_solver () =
   (* the wrapper contract, observed end to end: the same solver entry
      point records into the ctx metrics sink and into an explicitly
@@ -550,11 +599,11 @@ let test_exec_resolve_in_solver () =
       db q
   in
   let via_legacy = Metrics.create () in
-  let n2 = Lb_relalg.Generic_join.count ~metrics:via_legacy db q in
+  let n2 = Gj_legacy.count ~metrics:via_legacy db q in
   let shadowed = Metrics.create () in
   let ignored = Metrics.create () in
   let n3 =
-    Lb_relalg.Generic_join.count
+    Gj_legacy.count
       ~ctx:Exec.(default |> with_metrics ignored)
       ~metrics:shadowed db q
   in
@@ -618,6 +667,7 @@ let suite =
     Alcotest.test_case "lru remove and clear" `Quick test_lru_remove_and_clear;
     Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
     Alcotest.test_case "lru model check" `Quick test_lru_model;
+    Alcotest.test_case "lru weighted eviction" `Quick test_lru_weights;
     Alcotest.test_case "exec default and builders" `Quick
       test_exec_default_and_builders;
     Alcotest.test_case "exec resolve precedence" `Quick
