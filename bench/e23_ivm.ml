@@ -1,0 +1,160 @@
+(* E23 - incremental view maintenance vs invalidate-and-recompute.
+
+   Two servers over the same random edge relation answer the triangle
+   query while an identical write stream (small insert/delete batches)
+   is applied to both: one maintains its cached answer through the IVM
+   delta rules, the other has IVM disabled, so every write flushes the
+   cache and the next query recomputes from scratch.  The sweep varies
+   the batch size: delta maintenance wins when writes are small
+   relative to the base relation and the gap narrows as batches grow -
+   the crossover the delta rules predict.  Every answer pair is
+   compared byte-for-byte (the IVM contract); the comparison and
+   maintenance counters are deterministic per seed and survive
+   --counters-only. *)
+
+module Json = Lb_service.Json
+module Protocol = Lb_service.Protocol
+module Server = Lb_service.Server
+module Metrics = Lb_util.Metrics
+module Prng = Lb_util.Prng
+
+let triangle = "E(x,y), E(y,z), E(z,x)"
+
+let query srv =
+  Server.handle srv
+    (Protocol.Query { text = triangle; opts = Protocol.default_opts })
+
+let rows_bytes reply =
+  match Json.member "rows" reply with
+  | Some r -> Json.to_string r
+  | None -> "<no rows>"
+
+let status_ok reply =
+  match Json.member "status" reply with
+  | Some (Json.String "ok") -> true
+  | _ -> false
+
+let cached reply =
+  match Json.member "cached" reply with Some (Json.Bool b) -> b | _ -> false
+
+let run () =
+  let deltas = if !Harness.smoke then [ 1; 8 ] else [ 1; 4; 16; 64 ] in
+  let writes_per_delta = if !Harness.smoke then 4 else 8 in
+  let rows = ref [] in
+  let all_ok = ref true in
+  let identical = ref true in
+  let compared = ref 0 in
+  let maintained_hits = ref 0 in
+  let last = ref None in
+  List.iter
+    (fun n ->
+      let rng = Harness.rng (23_000 + n) in
+      let edges =
+        List.init (4 * n) (fun _ -> [ Prng.int rng n; Prng.int rng n ])
+      in
+      let mk config =
+        let srv = Server.create ~config () in
+        if
+          not
+            (status_ok
+               (Server.handle srv
+                  (Protocol.Load
+                     { name = "E"; attrs = [ "u"; "v" ]; tuples = edges })))
+        then all_ok := false;
+        ignore (query srv);
+        srv
+      in
+      let ivm = mk Server.default_config in
+      let recompute = mk { Server.default_config with ivm = false } in
+      List.iter
+        (fun d ->
+          let batches =
+            List.init writes_per_delta (fun _ ->
+                let tuples =
+                  List.init d (fun _ -> [ Prng.int rng n; Prng.int rng n ])
+                in
+                if Prng.bernoulli rng 0.25 then Protocol.Delete { name = "E"; tuples }
+                else Protocol.Insert { name = "E"; tuples })
+          in
+          (* one write + the query that pays for it, per server *)
+          let step srv req =
+            Harness.time (fun () ->
+                if not (status_ok (Server.handle srv req)) then
+                  all_ok := false;
+                query srv)
+          in
+          let t_ivm = ref 0. and t_re = ref 0. in
+          List.iter
+            (fun req ->
+              let a, dt_ivm = step ivm req in
+              let b, dt_re = step recompute req in
+              t_ivm := !t_ivm +. dt_ivm;
+              t_re := !t_re +. dt_re;
+              incr compared;
+              if cached a then incr maintained_hits;
+              if rows_bytes a <> rows_bytes b then identical := false)
+            batches;
+          let per_ivm = !t_ivm /. float_of_int writes_per_delta in
+          let per_re = !t_re /. float_of_int writes_per_delta in
+          rows :=
+            [
+              string_of_int n;
+              string_of_int d;
+              Harness.secs per_ivm;
+              Harness.secs per_re;
+              Printf.sprintf "%.1fx" (per_re /. per_ivm);
+            ]
+            :: !rows;
+          Harness.metric
+            (Printf.sprintf "E23.ivm_write_query_sec.n%d.d%d" n d)
+            per_ivm;
+          Harness.metric
+            (Printf.sprintf "E23.recompute_write_query_sec.n%d.d%d" n d)
+            per_re)
+        deltas;
+      last := Some (ivm, recompute))
+    (Harness.sizes [ 96; 192; 384 ]);
+  Harness.table
+    [ "n"; "delta"; "ivm write+query"; "recompute write+query"; "speedup" ]
+    (List.rev !rows);
+  match !last with
+  | None -> ()
+  | Some (ivm, recompute) ->
+      let count srv name =
+        Option.value ~default:0 (Metrics.find_counter (Server.metrics srv) name)
+      in
+      Harness.counter "E23.answers_compared" !compared;
+      Harness.counter "E23.bit_identical" (if !identical then 1 else 0);
+      Harness.counter "E23.maintained_cache_hits" !maintained_hits;
+      Harness.counter "E23.ivm.maintained" (count ivm "serve.ivm.maintained");
+      Harness.counter "E23.ivm.refreshed" (count ivm "serve.ivm.refreshed");
+      Harness.counter "E23.ivm.invalidated" (count ivm "serve.ivm.invalidated");
+      Harness.counter "E23.ivm.delta_rows" (count ivm "serve.ivm.delta_rows");
+      Harness.counter "E23.recompute.result_misses"
+        (count recompute "serve.cache.result.misses");
+      Harness.verdict
+        (!all_ok && !identical
+        && count ivm "serve.ivm.maintained" > 0
+        && !maintained_hits > 0)
+        (Printf.sprintf
+           "%d write+query pairs, every maintained answer byte-identical \
+            to the recompute; %d cache entries maintained in place \
+            (%d delta rows pushed through the delta rules) while the \
+            IVM-off server recomputed %d times - small deltas are where \
+            maintenance pays"
+           !compared
+           (count ivm "serve.ivm.maintained")
+           (count ivm "serve.ivm.delta_rows")
+           (count recompute "serve.cache.result.misses"))
+
+let experiment =
+  {
+    Harness.id = "E23";
+    title = "IVM: delta maintenance vs invalidate-and-recompute";
+    claim =
+      "maintaining a cached join answer through per-occurrence delta \
+       rules costs work proportional to the delta, not the database, \
+       so for small write batches it beats flushing the cache and \
+       recomputing - with byte-identical answers";
+    run;
+  }

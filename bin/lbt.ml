@@ -768,6 +768,30 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "no-compile" ] ~doc)
   in
+  let no_ivm_arg =
+    let doc =
+      "Invalidate cached results on writes instead of maintaining them \
+       incrementally."
+    in
+    Arg.(value & flag & info [ "no-ivm" ] ~doc)
+  in
+  let data_dir_arg =
+    let doc =
+      "Durability root: mutations append to a CRC-framed fsynced WAL and \
+       the catalog plus result cache checkpoint there, so a restarted \
+       server recovers its state (and warm caches) byte-identically.  \
+       Without it the server is in-memory only."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc =
+      "With --data-dir: checkpoint after this many WAL records (bounds \
+       replay time and WAL growth)."
+    in
+    Arg.(value & opt int 64 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
   let stats_json_arg =
     let doc =
       "On exit, print the server's final stats (the \"stats\" op's JSON \
@@ -776,7 +800,8 @@ let serve_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run port host max_pending plan_cache result_cache timeout_ms max_ticks
-      max_rows pool_n shards no_compile stats_json =
+      max_rows pool_n shards no_compile no_ivm data_dir snapshot_every
+      stats_json =
     if shards < 1 then begin
       prerr_endline "error: --shards must be >= 1";
       2
@@ -804,6 +829,9 @@ let serve_cmd =
               pool;
               shards;
               compile = not no_compile;
+              ivm = not no_ivm;
+              data_dir;
+              snapshot_every;
             }
           in
           let server = Lb_service.Server.create ~config () in
@@ -827,7 +855,8 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ host_arg $ max_pending_arg $ plan_cache_arg
       $ result_cache_arg $ timeout_arg $ max_ticks_arg $ max_rows_arg
-      $ pool_arg $ shards_arg $ no_compile_arg $ stats_json_arg)
+      $ pool_arg $ shards_arg $ no_compile_arg $ no_ivm_arg $ data_dir_arg
+      $ snapshot_every_arg $ stats_json_arg)
 
 let () =
   let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in

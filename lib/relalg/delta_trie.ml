@@ -1,0 +1,314 @@
+(* Delta-indexed columnar tries: the write path's storage structure.
+
+   A stored relation is a base trie (sorted columnar, {!Trie}) plus a
+   stack of small sorted side tries - one per applied write batch, each
+   carrying a sign: +1 for an insert batch, -1 for a delete batch
+   (tombstones).  Applying a batch builds only the O(d log d) side
+   trie; the base is never touched, so old snapshots stay valid and a
+   small write never pays a full O(n log n) rebuild.
+
+   Reads merge the sides on seek: a trie node is a per-layer array of
+   row ranges, and navigation (narrow / iter_keys / seek) gallops each
+   layer independently, merging the sorted key streams.  The row
+   arithmetic is exact because batches are normalized on apply: a
+   delete side only ever holds rows that are live at apply time, an
+   insert side only rows that are not - so the live row count of any
+   subtree is simply the signed sum of the per-layer range sizes, and
+   a key is present iff that sum is positive.
+
+   Once the accumulated delta rows pass a threshold (a fraction of the
+   live size, with a floor), [apply] compacts: a single k-way merge of
+   the sorted layers (cancellation is exact for the same reason) feeds
+   {!Trie.of_sorted_rows}, which is O(n * width) - columnarization
+   only, no sort, no dedup hash. *)
+
+type layer = { trie : Trie.t; sign : int }
+
+type t = {
+  attrs : string array;
+  layers : layer array; (* 0 = base (sign +1), then sides oldest -> newest *)
+  live : int; (* live rows = signed sum of layer sizes *)
+  delta : int; (* rows across the non-base layers *)
+  compactions : int; (* lifetime compaction count *)
+  min_compact : int; (* delta-row floor below which we never compact *)
+}
+
+type node = (int * int) array (* per-layer [lo, hi) ranges *)
+
+let attrs t = t.attrs
+
+let width t = Array.length t.attrs
+
+let live_rows t = t.live
+
+let delta_rows t = t.delta
+
+let side_count t = Array.length t.layers - 1
+
+let compactions t = t.compactions
+
+let base t = t.layers.(0).trie
+
+let default_min_compact = 64
+
+let of_relation ?(min_compact = default_min_compact) rel =
+  let attrs = Array.copy (Relation.attrs rel) in
+  let base = Trie.build ~order:attrs rel in
+  {
+    attrs;
+    layers = [| { trie = base; sign = 1 } |];
+    live = Trie.row_count base;
+    delta = 0;
+    compactions = 0;
+    min_compact;
+  }
+
+(* --- merged navigation --- *)
+
+let root t = Array.map (fun l -> (0, Trie.row_count l.trie)) t.layers
+
+(* Live rows under a node: exact by the normalization invariant (every
+   tombstone row cancels exactly one older live row with the same full
+   row, hence the same prefix). *)
+let node_live t (node : node) =
+  let s = ref 0 in
+  Array.iteri
+    (fun i (lo, hi) -> s := !s + (t.layers.(i).sign * (hi - lo)))
+    node;
+  !s
+
+let narrow t ~depth (node : node) v =
+  let child =
+    Array.mapi
+      (fun i (lo, hi) ->
+        if lo >= hi then (lo, lo)
+        else
+          match Trie.narrow t.layers.(i).trie ~depth ~lo ~hi v with
+          | Some r -> r
+          | None -> (lo, lo))
+      node
+  in
+  if node_live t child > 0 then Some child else None
+
+(* Merged key scan from per-layer cursors [pos] up to [his]: the
+   smallest current key across layers, its child node, cursors
+   advanced past it.  Skips fully-tombstoned keys (live <= 0). *)
+let rec next_live t ~depth (pos : int array) (his : int array) =
+  let k = Array.length pos in
+  let best = ref 0 and found = ref false in
+  for i = 0 to k - 1 do
+    if pos.(i) < his.(i) then begin
+      let key = Trie.key_at t.layers.(i).trie ~depth pos.(i) in
+      if (not !found) || key < !best then begin
+        best := key;
+        found := true
+      end
+    end
+  done;
+  if not !found then None
+  else begin
+    let v = !best in
+    let child =
+      Array.init k (fun i ->
+          if
+            pos.(i) < his.(i)
+            && Trie.key_at t.layers.(i).trie ~depth pos.(i) = v
+          then begin
+            let e =
+              Trie.upper_bound t.layers.(i).trie ~depth ~lo:pos.(i)
+                ~hi:his.(i) v
+            in
+            let r = (pos.(i), e) in
+            pos.(i) <- e;
+            r
+          end
+          else (pos.(i), pos.(i)))
+    in
+    if node_live t child > 0 then Some (v, child)
+    else next_live t ~depth pos his
+  end
+
+let iter_keys t ~depth (node : node) f =
+  let pos = Array.map fst node and his = Array.map snd node in
+  let rec loop () =
+    match next_live t ~depth pos his with
+    | None -> ()
+    | Some (v, child) ->
+        f v child;
+        loop ()
+  in
+  loop ()
+
+(* Merged-on-seek: gallop every layer to its first key >= v, then take
+   the smallest live merged key. *)
+let seek t ~depth (node : node) v =
+  let pos =
+    Array.mapi
+      (fun i (lo, hi) -> Trie.lower_bound t.layers.(i).trie ~depth ~lo ~hi v)
+      node
+  in
+  let his = Array.map snd node in
+  next_live t ~depth pos his
+
+(* --- membership --- *)
+
+let layer_mem (trie : Trie.t) (row : int array) =
+  let w = Array.length row in
+  let rec go depth lo hi =
+    depth = w
+    ||
+    match Trie.narrow trie ~depth ~lo ~hi row.(depth) with
+    | None -> false
+    | Some (l, h) -> go (depth + 1) l h
+  in
+  Trie.row_count trie > 0 && go 0 0 (Trie.row_count trie)
+
+(* Newest layer containing the full row decides its liveness. *)
+let mem t row =
+  if Array.length row <> width t then invalid_arg "Delta_trie.mem: width";
+  let rec go i =
+    i >= 0
+    &&
+    if layer_mem t.layers.(i).trie row then t.layers.(i).sign > 0
+    else go (i - 1)
+  in
+  go (Array.length t.layers - 1)
+
+(* --- materialization: k-way merge with exact cancellation --- *)
+
+let compare_rows = Relation.compare_tuples
+
+let materialize t =
+  let w = width t in
+  let k = Array.length t.layers in
+  let pos = Array.make k 0 in
+  let n = Array.map (fun l -> Trie.row_count l.trie) t.layers in
+  let row_of i =
+    let trie = t.layers.(i).trie in
+    Array.init w (fun d -> (Trie.column trie d).(pos.(i)))
+  in
+  let out = ref [] and count = ref 0 in
+  let rec loop () =
+    let best = ref None in
+    for i = 0 to k - 1 do
+      if pos.(i) < n.(i) then begin
+        let r = row_of i in
+        match !best with
+        | None -> best := Some r
+        | Some b -> if compare_rows r b < 0 then best := Some r
+      end
+    done;
+    match !best with
+    | None -> ()
+    | Some r ->
+        let net = ref 0 in
+        for i = 0 to k - 1 do
+          if pos.(i) < n.(i) && compare_rows (row_of i) r = 0 then begin
+            net := !net + t.layers.(i).sign;
+            pos.(i) <- pos.(i) + 1
+          end
+        done;
+        if !net > 0 then begin
+          out := r :: !out;
+          incr count
+        end;
+        loop ()
+  in
+  loop ();
+  let arr = Array.make !count [||] in
+  List.iteri (fun i r -> arr.(!count - 1 - i) <- r) !out;
+  arr
+
+let to_relation t = Relation.of_sorted_distinct t.attrs (materialize t)
+
+let compact t =
+  let rows = materialize t in
+  {
+    t with
+    layers = [| { trie = Trie.of_sorted_rows t.attrs rows; sign = 1 } |];
+    live = Array.length rows;
+    delta = 0;
+    compactions = t.compactions + 1;
+  }
+
+(* --- applying a write batch --- *)
+
+type applied = { dt : t; added : int array array; removed : int array array }
+
+(* Sorted dedup of a row batch (also validates widths). *)
+let norm_batch ctx w rows =
+  List.iter
+    (fun r ->
+      if Array.length r <> w then
+        invalid_arg (Printf.sprintf "Delta_trie.%s: tuple width" ctx))
+    rows;
+  let arr = Array.of_list (List.map Array.copy rows) in
+  Array.sort compare_rows arr;
+  let out = ref [] and count = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if i = 0 || compare_rows arr.(i - 1) r <> 0 then begin
+        out := r :: !out;
+        incr count
+      end)
+    arr;
+  let res = Array.make !count [||] in
+  List.iteri (fun i r -> res.(!count - 1 - i) <- r) !out;
+  res
+
+let mem_sorted (rows : int array array) row =
+  let lo = ref 0 and hi = ref (Array.length rows) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_rows rows.(mid) row < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length rows && compare_rows rows.(!lo) row = 0
+
+(* Apply one batch, deletes first: tombstones are filtered to rows live
+   before the batch, inserts to rows not live after the deletes.  The
+   returned [added]/[removed] are the rows that actually changed state
+   (sorted, duplicate-free) - what cache maintenance and partition
+   patching need.  Auto-compacts past the threshold. *)
+let apply ?(auto_compact = true) t ~inserts ~deletes =
+  let w = width t in
+  let removed =
+    Array.of_list
+      (List.filter (mem t) (Array.to_list (norm_batch "apply" w deletes)))
+  in
+  let added =
+    Array.of_list
+      (List.filter
+         (fun r -> (not (mem t r)) || mem_sorted removed r)
+         (Array.to_list (norm_batch "apply" w inserts)))
+  in
+  let side sign rows =
+    if Array.length rows = 0 then []
+    else [ { trie = Trie.of_sorted_rows t.attrs rows; sign } ]
+  in
+  let layers =
+    Array.of_list
+      (Array.to_list t.layers @ side (-1) removed @ side 1 added)
+  in
+  let live = t.live - Array.length removed + Array.length added in
+  let delta = t.delta + Array.length removed + Array.length added in
+  let dt =
+    { t with layers; live; delta }
+  in
+  let dt =
+    if
+      auto_compact
+      && (delta > max t.min_compact (live / 4) || side_count dt > 8)
+    then compact dt
+    else dt
+  in
+  (* The side tries need the full per-phase sets (a revived row is both
+     tombstoned and re-inserted, keeping the normalization invariant),
+     but the reported effect is the net: a row deleted and re-inserted
+     in one batch neither became live nor stopped being live. *)
+  let minus a b =
+    if Array.length b = 0 then a
+    else
+      Array.of_list
+        (List.filter (fun r -> not (mem_sorted b r)) (Array.to_list a))
+  in
+  { dt; added = minus added removed; removed = minus removed added }

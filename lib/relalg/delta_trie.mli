@@ -1,0 +1,97 @@
+(** Delta-indexed columnar tries: a base {!Trie} plus a stack of small
+    sorted side tries (insert batches at sign +1, delete batches -
+    tombstones - at sign -1), merged on seek.  Applying a write batch
+    builds only an O(d log d) side trie; reads gallop every layer and
+    merge the sorted key streams; past a threshold the layers are
+    compacted by one k-way merge into a fresh base
+    ({!Trie.of_sorted_rows} - no sort, no dedup hash).
+
+    Values are immutable: [apply] returns a new value sharing every
+    untouched layer, so database snapshots taken before a write remain
+    valid.
+
+    The normalization invariant that makes merged counts exact: a
+    delete side only holds rows live at its apply time, an insert side
+    only rows not live - so the live row count of any subtree is the
+    signed sum of per-layer range sizes. *)
+
+type t
+
+(** A trie node: one row range per layer.  [root] is the whole trie;
+    [narrow]/[iter_keys]/[seek] refine it one depth at a time. *)
+type node
+
+val attrs : t -> string array
+
+val width : t -> int
+
+(** Live rows (base + inserts - tombstones). *)
+val live_rows : t -> int
+
+(** Rows across the non-base layers (the compaction driver). *)
+val delta_rows : t -> int
+
+val side_count : t -> int
+
+(** Lifetime compaction count. *)
+val compactions : t -> int
+
+(** The base layer's trie (after {!compact}: the whole content). *)
+val base : t -> Trie.t
+
+(** Wrap a relation as a delta trie with no sides.  [min_compact]
+    (default 64) is the delta-row floor below which [apply] never
+    compacts; above it, compaction triggers when delta rows exceed a
+    quarter of the live size (or more than 8 sides accumulate). *)
+val of_relation : ?min_compact:int -> Relation.t -> t
+
+val root : t -> node
+
+(** Live rows under a node: the signed sum of its per-layer ranges. *)
+val node_live : t -> node -> int
+
+(** Child node for value [v] at [depth], if its subtree has live rows. *)
+val narrow : t -> depth:int -> node -> int -> node option
+
+(** Merged iteration of the distinct {e live} keys at [depth] under a
+    node, ascending, with each key's child node.  Fully-tombstoned keys
+    are skipped. *)
+val iter_keys : t -> depth:int -> node -> (int -> node -> unit) -> unit
+
+(** Merged-on-seek: the smallest live key [>= v] at [depth] under the
+    node, with its child node - one galloping search per layer. *)
+val seek : t -> depth:int -> node -> int -> (int * node) option
+
+(** Liveness of a full row: the newest side containing it decides. *)
+val mem : t -> int array -> bool
+
+(** The sorted, duplicate-free live rows: a k-way merge with exact
+    tombstone cancellation. *)
+val materialize : t -> int array array
+
+val to_relation : t -> Relation.t
+
+(** Merge all layers into a fresh base (one k-way merge +
+    columnarization). *)
+val compact : t -> t
+
+type applied = {
+  dt : t;
+  added : int array array;
+      (** rows that actually became live (sorted, duplicate-free); a
+          row deleted and re-inserted in the same batch is in neither
+          [added] nor [removed] *)
+  removed : int array array;  (** rows that actually stopped being live *)
+}
+
+(** Apply one write batch, deletes first: tombstones are filtered to
+    rows live before the batch, inserts to rows not live after the
+    deletes, so re-deleting an absent row or re-inserting a present one
+    is a no-op.  [auto_compact] (default true) compacts past the
+    threshold.  Raises [Invalid_argument] on ragged rows. *)
+val apply :
+  ?auto_compact:bool ->
+  t ->
+  inserts:int array list ->
+  deletes:int array list ->
+  applied

@@ -39,6 +39,20 @@ module Tuple_set = Set.Make (struct
   let compare = compare_tuples
 end)
 
+(* Trusted constructor from known-duplicate-free rows (kept in the
+   order given - the write path hands them lexicographically sorted so
+   downstream trie builds can skip the sort).  Ownership of [rows]
+   transfers to the relation. *)
+let of_sorted_distinct attrs rows =
+  check_attrs attrs;
+  let width = Array.length attrs in
+  Array.iter
+    (fun t ->
+      if Array.length t <> width then
+        invalid_arg "Relation.of_sorted_distinct: tuple width")
+    rows;
+  { attrs = Array.copy attrs; tuples = rows }
+
 let make attrs tuple_list =
   check_attrs attrs;
   let width = Array.length attrs in

@@ -9,6 +9,17 @@ type t
     tuples. *)
 val make : string array -> int array list -> t
 
+(** Trusted constructor: [rows] must be duplicate-free (and, for the
+    write path's downstream trie builds to stay sort-free, already
+    lexicographically sorted).  No dedup, no copy of the rows -
+    ownership transfers.  Raises on invalid schemas or ragged rows. *)
+val of_sorted_distinct : string array -> int array array -> t
+
+(** Monomorphic lexicographic comparison of two equal-width tuples -
+    the order {!make} stores tuples in and the canonical row order of
+    served answers. *)
+val compare_tuples : int array -> int array -> int
+
 val attrs : t -> string array
 
 (** The tuples.  Callers must not mutate them. *)

@@ -193,6 +193,18 @@ let build ~order rel =
   in
   { attrs; nrows = n; cols }
 
+(* Trusted constructor from pre-sorted distinct rows: columnarize, no
+   sort, no dedup.  The write path's delta merges produce exactly this
+   shape, so rebuilding a trie after a small write is O(n * width)
+   instead of a fresh O(n log n) lexicographic sort. *)
+let of_sorted_rows attrs rows =
+  let width = Array.length attrs in
+  let n = Array.length rows in
+  let cols =
+    Array.init width (fun d -> Array.init n (fun i -> rows.(i).(d)))
+  in
+  { attrs = Array.copy attrs; nrows = n; cols }
+
 (* First index in [lo, hi) whose key at [depth] is >= v. *)
 let lower_bound t ~depth ~lo ~hi v = gallop_geq t.cols.(depth) lo hi v
 

@@ -21,6 +21,12 @@ val column : t -> int -> int array
     missing from [order]. *)
 val build : order:string array -> Relation.t -> t
 
+(** Trusted constructor: [rows] must already be lexicographically
+    sorted, duplicate-free, and of width [|attrs|] - no sort, no dedup,
+    O(n * width).  The delta-trie compaction and the catalog's write
+    path produce exactly this shape. *)
+val of_sorted_rows : string array -> int array array -> t
+
 (** [gallop_geq col lo hi v] is the first index in [\[lo, hi)] with
     [col.(i) >= v] ([hi] if none), by exponential search from [lo]: the
     cost is logarithmic in the distance advanced, so repeated seeks with

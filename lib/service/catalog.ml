@@ -1,26 +1,51 @@
-(* Versioned mutable catalog over the immutable Database.t.
+(* Versioned mutable catalog over the immutable Database.t, with a
+   delta-trie master copy per relation.
+
+   Storage: each relation is held as a {!Lb_relalg.Delta_trie} - a base
+   columnar trie plus sorted delta side tries.  Writes (insert/delete)
+   apply an O(d log d) batch to the delta trie and re-materialize the
+   Relation.t snapshot by one O(n + d) k-way merge (no re-sort, no
+   dedup hash); loads build a fresh base.  Catalog relations therefore
+   always hold their tuples lexicographically sorted, which is what
+   lets the partition patcher below splice deltas in linearly.
+
+   Versions: a global version (+1 per successful mutation, keys batch
+   grouping) and a per-relation version (bumped only when that relation
+   changes, surviving drop/reload).  The per-relation versions are the
+   provenance the server's IVM layer stamps cached answers with.
 
    Sharded storage: the catalog keeps hash partitions of its relations
    warm across requests in [parts], keyed by (relation, column, shard
-   count) and stamped with the version that produced them.  Every
-   mutation bumps the version and resets the partition cache, so a
-   stale partition can never be served (the version stamp is a second
-   line of defense, checked on every hit). *)
+   count) and stamped with the relation version that produced them.  A
+   small write no longer drops them: the effective delta rows are
+   hash-split and spliced into the affected shards (two-pointer merge
+   against the sorted shard rows), so warm partitions survive writes.
+   Load/drop of a relation evicts only that relation's entries. *)
 
 module Db = Lb_relalg.Database
 module R = Lb_relalg.Relation
 module Q = Lb_relalg.Query
 module Shard = Lb_relalg.Shard
+module Delta_trie = Lb_relalg.Delta_trie
 
 type t = {
   mutable db : Db.t;
+  store : (string, Delta_trie.t) Hashtbl.t; (* master copies *)
+  versions : (string, int) Hashtbl.t; (* per-relation; survives drop *)
   mutable version : int;
-  mutable shards : int;  (* default shard count; 1 = unsharded *)
+  mutable shards : int; (* default shard count; 1 = unsharded *)
   parts : (string * int * int, int * R.t array) Hashtbl.t;
 }
 
 let create () =
-  { db = Db.empty; version = 0; shards = 1; parts = Hashtbl.create 16 }
+  {
+    db = Db.empty;
+    store = Hashtbl.create 16;
+    versions = Hashtbl.create 16;
+    version = 0;
+    shards = 1;
+    parts = Hashtbl.create 16;
+  }
 
 let version t = t.version
 
@@ -32,10 +57,20 @@ let set_shards t k =
   if k < 1 then invalid_arg "Catalog.set_shards: k < 1";
   t.shards <- k
 
-let bump t db =
-  t.db <- db;
-  t.version <- t.version + 1;
-  Hashtbl.reset t.parts
+let rel_version t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.versions name)
+
+let version_vector t names =
+  List.sort_uniq String.compare names
+  |> List.map (fun n -> (n, rel_version t n))
+
+let delta_stats t name =
+  Option.map
+    (fun dt ->
+      ( Delta_trie.side_count dt,
+        Delta_trie.delta_rows dt,
+        Delta_trie.compactions dt ))
+    (Hashtbl.find_opt t.store name)
 
 let without t name =
   Db.of_list
@@ -43,15 +78,29 @@ let without t name =
        (fun n -> if n = name then None else Some (n, Db.find t.db n))
        (Db.names t.db))
 
+(* Every successful mutation: new snapshot, both versions bumped. *)
+let bump t name db =
+  t.db <- db;
+  t.version <- t.version + 1;
+  Hashtbl.replace t.versions name (rel_version t name + 1)
+
+let drop_parts_of t name =
+  let stale =
+    Hashtbl.fold
+      (fun ((n, _, _) as key) _ acc -> if n = name then key :: acc else acc)
+      t.parts []
+  in
+  List.iter (Hashtbl.remove t.parts) stale
+
 (* Partition [rel]'s column [col] into [k] pieces, warm from the cache
-   when the stamp matches the current version. *)
+   when the stamp matches the relation's current version. *)
 let partition_of t ~name ~col ~k rel =
   let key = (name, col, k) in
   match Hashtbl.find_opt t.parts key with
-  | Some (v, parts) when v = t.version -> parts
+  | Some (v, parts) when v = rel_version t name -> parts
   | _ ->
       let parts = Shard.partition_col ~k ~col rel in
-      Hashtbl.replace t.parts key (t.version, parts);
+      Hashtbl.replace t.parts key (rel_version t name, parts);
       parts
 
 let partition_hook t ~k (a : Q.atom) ~col =
@@ -63,47 +112,175 @@ let partition_hook t ~k (a : Q.atom) ~col =
         if col < 0 || col >= R.width rel then None
         else Some (partition_of t ~name:a.Q.rel ~col ~k rel)
 
+(* Splice a delta into one shard's sorted rows: two-pointer merge of
+   [added] (disjoint from the shard) minus [removed] (a subset of it).
+   Linear in the shard size, so a small write keeps every warm
+   partition warm instead of rebuilding the hash split from scratch. *)
+let splice_rows attrs (old_rows : int array array) added removed =
+  let cmp = R.compare_tuples in
+  let na = Array.length added and nr = Array.length removed in
+  let n = Array.length old_rows in
+  let out = Array.make (n + na - nr) [||] in
+  let oi = ref 0 and ai = ref 0 and ri = ref 0 and w = ref 0 in
+  while !oi < n || !ai < na do
+    let take_old =
+      !ai >= na || (!oi < n && cmp old_rows.(!oi) added.(!ai) <= 0)
+    in
+    if take_old then begin
+      let r = old_rows.(!oi) in
+      incr oi;
+      if !ri < nr && cmp removed.(!ri) r = 0 then incr ri
+      else begin
+        out.(!w) <- r;
+        incr w
+      end
+    end
+    else begin
+      out.(!w) <- added.(!ai);
+      incr ai;
+      incr w
+    end
+  done;
+  R.of_sorted_distinct attrs (Array.sub out 0 !w)
+
+(* Patch every cached partition of [name] in place of a rebuild: split
+   the effective delta rows with the same hash and splice each shard.
+   Entries whose stamp is not the pre-mutation version are evicted
+   (they were already stale). *)
+let patch_parts t name ~old_version ~added ~removed =
+  let keys =
+    Hashtbl.fold
+      (fun ((n, _, _) as key) _ acc -> if n = name then key :: acc else acc)
+      t.parts []
+  in
+  List.iter
+    (fun ((_, col, k) as key) ->
+      match Hashtbl.find_opt t.parts key with
+      | Some (v, parts) when v = old_version ->
+          let split rows =
+            let buckets = Array.make k [] in
+            (* reverse scan keeps each bucket sorted ascending *)
+            for i = Array.length rows - 1 downto 0 do
+              let s = Shard.shard_of ~k rows.(i).(col) in
+              buckets.(s) <- rows.(i) :: buckets.(s)
+            done;
+            Array.map Array.of_list buckets
+          in
+          let added_by = split added and removed_by = split removed in
+          let parts' =
+            Array.mapi
+              (fun i part ->
+                if
+                  Array.length added_by.(i) = 0
+                  && Array.length removed_by.(i) = 0
+                then part
+                else
+                  splice_rows (R.attrs part) (R.tuples part) added_by.(i)
+                    removed_by.(i))
+              parts
+          in
+          Hashtbl.replace t.parts key (rel_version t name, parts')
+      | Some _ -> Hashtbl.remove t.parts key
+      | None -> ())
+    keys
+
+let warm_leading t name rel =
+  (* Warm the partitions a sharded driver will ask for first: the
+     leading column is where a first-variable partition lands when the
+     relation's own attribute order leads the plan. *)
+  if t.shards > 1 && R.width rel > 0 then
+    ignore (partition_of t ~name ~col:0 ~k:t.shards rel)
+
 let load ?shards t ~name ~attrs tuples =
   match R.make attrs tuples with
   | exception Invalid_argument msg -> Error msg
   | rel ->
       (match shards with Some k -> set_shards t k | None -> ());
-      bump t (Db.add (without t name) name rel);
-      (* Warm the partitions a sharded driver will ask for first: the
-         leading column is where a first-variable partition lands when
-         the relation's own attribute order leads the plan. *)
-      if t.shards > 1 && R.width rel > 0 then
-        ignore (partition_of t ~name ~col:0 ~k:t.shards rel);
+      Hashtbl.replace t.store name (Delta_trie.of_relation rel);
+      drop_parts_of t name;
+      bump t name (Db.add (without t name) name rel);
+      warm_leading t name rel;
       Ok (R.cardinality rel)
 
-let insert t ~name tuples =
-  match Db.find_opt t.db name with
+(* Shared write path: apply the batch to the delta trie, re-materialize
+   the snapshot by one merge, patch warm partitions.  Returns the
+   effective rows (what actually changed state) for cache
+   maintenance. *)
+let write t ~name ~inserts ~deletes =
+  match Hashtbl.find_opt t.store name with
   | None -> Error (Printf.sprintf "no relation %S" name)
-  | Some old -> (
-      let attrs = R.attrs old in
-      let width = R.width old in
-      match
-        List.find_opt (fun tup -> Array.length tup <> width) tuples
-      with
-      | Some tup ->
+  | Some dt -> (
+      match Delta_trie.apply dt ~inserts ~deletes with
+      | exception Invalid_argument _ ->
+          let width = Delta_trie.width dt in
+          let ragged =
+            List.find_opt
+              (fun tup -> Array.length tup <> width)
+              (inserts @ deletes)
+          in
           Error
-            (Printf.sprintf "tuple of width %d does not fit %S (width %d)"
-               (Array.length tup) name width)
-      | None -> (
-          match R.make attrs (Array.to_list (R.tuples old) @ tuples) with
-          | exception Invalid_argument msg -> Error msg
-          | rel ->
-              bump t (Db.add (without t name) name rel);
-              Ok (R.cardinality rel)))
+            (match ragged with
+            | Some tup ->
+                Printf.sprintf
+                  "tuple of width %d does not fit %S (width %d)"
+                  (Array.length tup) name width
+            | None -> Printf.sprintf "invalid tuples for %S" name)
+      | { Delta_trie.dt = dt'; added; removed } ->
+          let old_version = rel_version t name in
+          let rel = Delta_trie.to_relation dt' in
+          Hashtbl.replace t.store name dt';
+          bump t name (Db.add (without t name) name rel);
+          patch_parts t name ~old_version ~added ~removed;
+          Ok (R.cardinality rel, added, removed))
+
+let insert t ~name tuples =
+  Result.map
+    (fun (n, added, _) -> (n, added))
+    (write t ~name ~inserts:tuples ~deletes:[])
+
+let delete t ~name tuples =
+  Result.map
+    (fun (n, _, removed) -> (n, removed))
+    (write t ~name ~inserts:[] ~deletes:tuples)
 
 let drop t ~name =
   match Db.find_opt t.db name with
   | None -> Error (Printf.sprintf "no relation %S" name)
   | Some _ ->
-      bump t (without t name);
+      Hashtbl.remove t.store name;
+      drop_parts_of t name;
+      bump t name (without t name);
       Ok ()
 
 let summary t =
   Db.names t.db
   |> List.map (fun n -> (n, R.cardinality (Db.find t.db n)))
   |> List.sort compare
+
+(* --- snapshot support (durability) --- *)
+
+let dump t =
+  Db.names t.db
+  |> List.sort String.compare
+  |> List.map (fun n ->
+         let rel = Db.find t.db n in
+         (n, R.attrs rel, R.tuples rel, rel_version t n))
+
+(* Restore a snapshot: trusted state (no validation beyond R.make),
+   versions set - not bumped - so persisted provenance stamps keep
+   matching.  Existing state is discarded. *)
+let restore ?shards t ~version rels =
+  (match shards with Some k -> set_shards t k | None -> ());
+  Hashtbl.reset t.store;
+  Hashtbl.reset t.versions;
+  Hashtbl.reset t.parts;
+  t.db <- Db.empty;
+  t.version <- version;
+  List.iter
+    (fun (name, attrs, rows, rv) ->
+      let rel = R.make attrs (Array.to_list rows) in
+      Hashtbl.replace t.store name (Delta_trie.of_relation rel);
+      Hashtbl.replace t.versions name rv;
+      t.db <- Db.add t.db name rel;
+      warm_leading t name rel)
+    rels

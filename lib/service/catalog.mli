@@ -1,20 +1,39 @@
-(** The server's mutable catalog: a named set of relations with a
-    version counter bumped on every successful mutation.  The version
-    keys the result cache, so cached answers can never leak across a
-    mutation even if an explicit invalidation were missed.
+(** The server's mutable catalog: a named set of relations, each stored
+    as a {!Lb_relalg.Delta_trie} master copy so small writes apply as
+    delta batches instead of full rebuilds, with a global version
+    counter (+1 per successful mutation) plus a per-relation version
+    vector.  The global version keys batch grouping; the per-relation
+    versions are the provenance the IVM layer stamps cached answers
+    with, so cached results survive writes to unrelated relations.
 
     Sharded storage mode: the catalog keeps hash partitions
     ({!Lb_relalg.Shard.partition_col}) of its relations warm across
     requests, keyed by (relation, column, shard count) and stamped with
-    the version that produced them; every mutation drops the cache, and
-    a stamp mismatch can never serve stale shards. *)
+    the relation version that produced them.  Writes patch the warm
+    partitions in place (the effective delta rows are hash-split and
+    spliced into the affected shards); load/drop evict only that
+    relation's entries.  A stamp mismatch can never serve stale
+    shards. *)
 
 type t
 
 val create : unit -> t
 
-(** Starts at 0; +1 per successful [load]/[insert]/[drop]. *)
+(** Starts at 0; +1 per successful [load]/[insert]/[delete]/[drop]. *)
 val version : t -> int
+
+(** Per-relation version: bumped only by mutations touching [name];
+    survives drop (so re-creating a name can never resurrect stale
+    cached provenance).  0 for never-touched names. *)
+val rel_version : t -> string -> int
+
+(** [(name, rel_version)] for the given names, sorted and deduplicated -
+    the provenance stamp for a cached answer over those relations. *)
+val version_vector : t -> string list -> (string * int) list
+
+(** [(side tries, delta rows, lifetime compactions)] of a stored
+    relation's delta trie; [None] for unknown names. *)
+val delta_stats : t -> string -> (int * int * int) option
 
 (** The current immutable database snapshot (safe to share across
     domains while mutations are quiesced). *)
@@ -30,8 +49,9 @@ val set_shards : t -> int -> unit
 (** Warm-partition supplier in the shape the engines'
     [?partition] hook expects ({!Lb_relalg.Shard.view}): the stored
     relation behind the atom, hash-partitioned on [col] into [k]
-    pieces, cached until the next mutation.  [None] for unknown
-    relations, out-of-range columns, or [k < 2] (nothing to share). *)
+    pieces, cached until the next mutation of that relation.  [None]
+    for unknown relations, out-of-range columns, or [k < 2] (nothing to
+    share). *)
 val partition_hook :
   t ->
   k:int ->
@@ -52,11 +72,36 @@ val load :
   int array list ->
   (int, string) result
 
-(** Add tuples to an existing relation; [Ok cardinality] of the grown
-    relation. *)
-val insert : t -> name:string -> int array list -> (int, string) result
+(** Add tuples to an existing relation via its delta trie.
+    [Ok (cardinality, added)]: the grown relation's cardinality and the
+    {e effective} rows (sorted, duplicate-free - already-present rows
+    are dropped), which is exactly the delta IVM maintenance needs. *)
+val insert :
+  t -> name:string -> int array list -> (int * int array array, string) result
+
+(** Remove tuples; [Ok (cardinality, removed)] with the effective rows
+    (absent rows are a no-op, not an error). *)
+val delete :
+  t -> name:string -> int array list -> (int * int array array, string) result
 
 val drop : t -> name:string -> (unit, string) result
 
 (** [(name, cardinality)] sorted by name. *)
 val summary : t -> (string * int) list
+
+(** Snapshot of the whole catalog for durability:
+    [(name, attrs, tuples, rel_version)] sorted by name, plus
+    {!version} read separately.  Tuples are the stored arrays - callers
+    must not mutate them. *)
+val dump : t -> (string * string array * int array array * int) list
+
+(** Replace the entire catalog state from a snapshot.  Versions are
+    restored, not bumped, so provenance stamps persisted alongside the
+    snapshot keep matching.  Warms leading-column partitions when the
+    restored shard count is > 1. *)
+val restore :
+  ?shards:int ->
+  t ->
+  version:int ->
+  (string * string array * int array array * int) list ->
+  unit

@@ -28,10 +28,12 @@ let default_opts =
 type request =
   | Load of { name : string; attrs : string list; tuples : int list list }
   | Insert of { name : string; tuples : int list list }
+  | Delete of { name : string; tuples : int list list }
   | Drop of { name : string }
   | Query of { text : string; opts : query_opts }
   | Explain of { text : string }
   | Stats
+  | Checkpoint
   | Hello
   | Ping
   | Shutdown
@@ -57,6 +59,13 @@ let encode_request = function
           ("name", Json.String name);
           ("tuples", tuples_to_json tuples);
         ]
+  | Delete { name; tuples } ->
+      Json.Obj
+        [
+          ("op", Json.String "delete");
+          ("name", Json.String name);
+          ("tuples", tuples_to_json tuples);
+        ]
   | Drop { name } ->
       Json.Obj [ ("op", Json.String "drop"); ("name", Json.String name) ]
   | Query { text; opts } ->
@@ -73,6 +82,7 @@ let encode_request = function
   | Explain { text } ->
       Json.Obj [ ("op", Json.String "explain"); ("q", Json.String text) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Checkpoint -> Json.Obj [ ("op", Json.String "checkpoint") ]
   | Hello -> Json.Obj [ ("op", Json.String "hello") ]
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
@@ -120,7 +130,7 @@ let decode_query_opts v =
    accept requests from clients that have grown new optional fields. *)
 let known_fields = function
   | "load" -> [ "op"; "v"; "name"; "attrs"; "tuples" ]
-  | "insert" -> [ "op"; "v"; "name"; "tuples" ]
+  | "insert" | "delete" -> [ "op"; "v"; "name"; "tuples" ]
   | "drop" -> [ "op"; "v"; "name" ]
   | "query" ->
       [ "op"; "v"; "q"; "engine"; "count_only"; "limit"; "timeout_ms";
@@ -158,6 +168,10 @@ let decode_request v =
           let* name = Json.string_field "name" v in
           let* tuples = decode_tuples v in
           Ok (Insert { name; tuples })
+      | "delete" ->
+          let* name = Json.string_field "name" v in
+          let* tuples = decode_tuples v in
+          Ok (Delete { name; tuples })
       | "drop" ->
           let* name = Json.string_field "name" v in
           Ok (Drop { name })
@@ -169,6 +183,7 @@ let decode_request v =
           let* text = Json.string_field "q" v in
           Ok (Explain { text })
       | "stats" -> Ok Stats
+      | "checkpoint" -> Ok Checkpoint
       | "hello" -> Ok Hello
       | "ping" -> Ok Ping
       | "shutdown" -> Ok Shutdown

@@ -37,10 +37,14 @@ type request =
   | Load of { name : string; attrs : string list; tuples : int list list }
       (** create or replace a relation *)
   | Insert of { name : string; tuples : int list list }
+  | Delete of { name : string; tuples : int list list }
+      (** remove tuples; absent tuples are a no-op, not an error *)
   | Drop of { name : string }
   | Query of { text : string; opts : query_opts }
   | Explain of { text : string }
   | Stats
+  | Checkpoint
+      (** force a durability snapshot (no-op without [--data-dir]) *)
   | Hello  (** capability discovery *)
   | Ping
   | Shutdown

@@ -1,8 +1,18 @@
 (* The query service.  See server.mli for the execution model; the
    invariant that keeps the concurrency simple is that all shared
-   mutable state (catalog, caches, lifetime metrics) is touched only in
-   the sequential prepare/finish phases - the parallel phase runs pure
-   engine executions against an immutable database snapshot. *)
+   mutable state (catalog, caches, lifetime metrics, the WAL) is
+   touched only in the sequential prepare/finish phases - the parallel
+   phase runs pure engine executions against an immutable database
+   snapshot.
+
+   Writes: mutations apply to the catalog's delta tries, append one
+   fsynced WAL record when a data directory is configured, and then
+   *maintain* the result cache instead of flushing it - each cached
+   answer carries the per-relation version vector it was computed
+   against, and the delta rules in {!Ivm} bring it to the new catalog
+   state byte-identically to a recompute.  Recovery replays snapshot +
+   WAL through the same mutation path, so a restarted server's caches
+   are warm and consistent. *)
 
 module Q = Lb_relalg.Query
 module R = Lb_relalg.Relation
@@ -24,6 +34,9 @@ type config = {
   pool : Pool.t option;
   shards : int;
   compile : bool;
+  ivm : bool;
+  data_dir : string option;
+  snapshot_every : int;
 }
 
 let default_config =
@@ -37,33 +50,44 @@ let default_config =
     pool = None;
     shards = 1;
     compile = true;
+    ivm = true;
+    data_dir = None;
+    snapshot_every = 64;
   }
 
 (* Cached answer: canonical column order, sorted rows. *)
-type answer = { attributes : string array; rows : int array array }
+type answer = Ivm.answer = {
+  attributes : string array;
+  rows : int array array;
+}
+
+(* A result-cache entry: the canonical answer plus its provenance -
+   the query (for maintenance) and the per-relation version vector it
+   is current for.  An entry serves iff its vector matches the
+   catalog's; maintenance rewrites [ans]/[vv] in place after writes. *)
+type centry = {
+  ans : answer;
+  q : Q.t;
+  rels : string list; (* distinct relation names of [q], sorted *)
+  vv : (string * int) list;
+}
+
+type durable = {
+  dir : string;
+  writer : Wal.writer;
+  mutable since_snapshot : int; (* WAL records since the last snapshot *)
+  mutable snapshot_version : int; (* catalog version the snapshot holds *)
+}
 
 type t = {
   config : config;
   catalog : Catalog.t;
   plan_cache : (string, Planner.plan) Lru.t;
-  result_cache : (string, answer) Lru.t;
+  result_cache : (string, centry) Lru.t;
   metrics : Metrics.t;
+  mutable durable : durable option;
   mutable shutdown : bool;
 }
-
-let create ?(config = default_config) () =
-  if config.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
-  if config.shards < 1 then invalid_arg "Server.create: shards < 1";
-  let catalog = Catalog.create () in
-  Catalog.set_shards catalog config.shards;
-  {
-    config;
-    catalog;
-    plan_cache = Lru.create config.plan_cache_size;
-    result_cache = Lru.create config.result_cache_size;
-    metrics = Metrics.create ();
-    shutdown = false;
-  }
 
 let catalog t = t.catalog
 
@@ -71,16 +95,363 @@ let metrics t = t.metrics
 
 let shutdown_requested t = t.shutdown
 
-(* --- canonical answers --- *)
+let incr t name = Metrics.incr t.metrics name
 
-(* Project to the query's attribute order and sort lexicographically:
-   every engine then yields byte-identical rows. *)
-let canonical_answer (q : Q.t) (rel : R.t) =
-  let attributes = Q.attributes q in
-  let projected = R.project rel attributes in
-  let rows = Array.copy (R.tuples projected) in
-  Array.sort compare rows;
-  { attributes; rows }
+let rels_of (q : Q.t) =
+  List.sort_uniq String.compare (List.map (fun (a : Q.atom) -> a.Q.rel) q)
+
+(* --- IVM: result-cache maintenance across writes --- *)
+
+(* Maintenance queries run interpreted through whatever engine the
+   planner picks for them - canonical answers are engine-independent,
+   so the choice affects cost only.  Counters land in the lifetime
+   sink (maintenance happens in the sequential phase). *)
+let runner t : Ivm.runner =
+ fun db q ->
+  let plan = Planner.choose ~compile:false db q in
+  let ctx = Exec.make ~metrics:t.metrics () in
+  match plan.Planner.engine with
+  | Planner.Yannakakis -> fst (Lb_relalg.Yannakakis.answer ~ctx db q)
+  | Planner.Binary_hash -> fst (Lb_relalg.Binary_plan.run db q)
+  | Planner.Generic_join -> Lb_relalg.Generic_join.answer ~ctx db q
+  | Planner.Leapfrog -> Lb_relalg.Leapfrog.answer ~ctx db q
+
+(* Plans mention cardinalities (engine choice, greedy atom orders), so
+   a write to [name] retires the plans of queries that read it; plans
+   over other relations survive.  Plan-cache keys are "engine|<text>"
+   with <text> produced by Q.to_string, so it re-parses exactly. *)
+let invalidate_plans t name =
+  List.iter
+    (fun (key, _) ->
+      match String.index_opt key '|' with
+      | None -> ()
+      | Some i -> (
+          let text = String.sub key (i + 1) (String.length key - i - 1) in
+          match Q.parse text with
+          | exception Q.Parse_error _ -> ()
+          | q ->
+              if List.exists (fun (a : Q.atom) -> a.Q.rel = name) q then begin
+                Lru.remove t.plan_cache key;
+                incr t "serve.ivm.plan_invalidations"
+              end))
+    (Lru.to_list t.plan_cache)
+
+(* Drop every cached result over [name] (loads, drops, and the
+   [--no-ivm] escape hatch). *)
+let invalidate_results t name =
+  List.iter
+    (fun (key, (e : centry)) ->
+      if List.mem name e.rels then begin
+        Lru.remove t.result_cache key;
+        incr t "serve.ivm.invalidated"
+      end
+      else incr t "serve.ivm.untouched")
+    (Lru.to_list t.result_cache)
+
+(* The pre-mutation version vector of [e.rels], given that this write
+   bumped exactly [name] by one: what [e.vv] must equal for the entry
+   to be maintainable (anything else is already stale - drop it). *)
+let expected_old_vv t name rels =
+  List.map
+    (fun n ->
+      (n, if n = name then Catalog.rel_version t.catalog n - 1
+          else Catalog.rel_version t.catalog n))
+    rels
+
+(* Maintain every cached result across a write of [rows] (the
+   catalog's effective added or removed tuples) to [name].  [db_old]
+   is the snapshot from before the write. *)
+let maintain_results t ~db_old ~name ~rows ~is_insert =
+  if not t.config.ivm then invalidate_results t name
+  else begin
+    let db_new = Catalog.database t.catalog in
+    let delta =
+      lazy
+        (R.of_sorted_distinct (R.attrs (Db.find db_new name)) rows)
+    in
+    List.iter
+      (fun (key, (e : centry)) ->
+        if not (List.mem name e.rels) then incr t "serve.ivm.untouched"
+        else if e.vv <> expected_old_vv t name e.rels then begin
+          (* not current before this write: unmaintainable *)
+          Lru.remove t.result_cache key;
+          incr t "serve.ivm.invalidated"
+        end
+        else if Array.length rows = 0 then begin
+          (* no effective change: the answer stands, restamp it *)
+          let vv = Catalog.version_vector t.catalog e.rels in
+          Lru.update t.result_cache key (fun e -> { e with vv });
+          incr t "serve.ivm.refreshed"
+        end
+        else
+          match
+            (if is_insert then Ivm.insert_maintain else Ivm.delete_maintain)
+              ~runner:(runner t) ~db_old ~db_new ~name ~delta:(Lazy.force delta)
+              e.q e.ans
+          with
+          | ans ->
+              let vv = Catalog.version_vector t.catalog e.rels in
+              Lru.update t.result_cache key (fun e -> { e with ans; vv });
+              incr t "serve.ivm.maintained";
+              Metrics.add t.metrics "serve.ivm.delta_rows" (Array.length rows)
+          | exception _ ->
+              Lru.remove t.result_cache key;
+              incr t "serve.ivm.invalidated")
+      (Lru.to_list t.result_cache)
+  end
+
+(* --- applying mutations (shared by live requests and WAL replay) --- *)
+
+(* Apply one mutation record to catalog + caches.  [Ok rows] for
+   load/insert/delete, [Ok (-1)] for drop.  This is the single mutation
+   path: WAL replay goes through it too, so recovered caches see every
+   write exactly as the original process did. *)
+let apply_mutation t (record : Wal.record) =
+  match record with
+  | Wal.Load { name; attrs; tuples } -> (
+      match Catalog.load t.catalog ~name ~attrs tuples with
+      | Ok n ->
+          invalidate_plans t name;
+          invalidate_results t name;
+          Ok n
+      | Error _ as e -> e)
+  | Wal.Insert { name; tuples } -> (
+      let db_old = Catalog.database t.catalog in
+      match Catalog.insert t.catalog ~name tuples with
+      | Ok (n, added) ->
+          invalidate_plans t name;
+          maintain_results t ~db_old ~name ~rows:added ~is_insert:true;
+          Ok n
+      | Error _ as e -> e)
+  | Wal.Delete { name; tuples } -> (
+      let db_old = Catalog.database t.catalog in
+      match Catalog.delete t.catalog ~name tuples with
+      | Ok (n, removed) ->
+          invalidate_plans t name;
+          maintain_results t ~db_old ~name ~rows:removed ~is_insert:false;
+          Ok n
+      | Error _ as e -> e)
+  | Wal.Drop { name } -> (
+      match Catalog.drop t.catalog ~name with
+      | Ok () ->
+          invalidate_plans t name;
+          invalidate_results t name;
+          Ok (-1)
+      | Error _ as e -> e)
+
+(* --- durability: snapshots + WAL --- *)
+
+let snapshot_path dir = Filename.concat dir "snapshot.lbt"
+
+let wal_path dir = Filename.concat dir "wal.lbt"
+
+let row_json r = Json.List (List.map (fun v -> Json.Int v) (Array.to_list r))
+
+let snapshot_doc t =
+  let relations =
+    List.map
+      (fun (name, attrs, tuples, rv) ->
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ( "attrs",
+              Json.List
+                (List.map (fun a -> Json.String a) (Array.to_list attrs)) );
+            ("version", Json.Int rv);
+            ( "tuples",
+              Json.List (List.map row_json (Array.to_list tuples)) );
+          ])
+      (Catalog.dump t.catalog)
+  in
+  let results =
+    List.map
+      (fun (key, (e : centry)) ->
+        Json.Obj
+          [
+            ("key", Json.String key);
+            ( "attributes",
+              Json.List
+                (List.map
+                   (fun a -> Json.String a)
+                   (Array.to_list e.ans.attributes)) );
+            ( "rows",
+              Json.List (List.map row_json (Array.to_list e.ans.rows)) );
+            ( "vv",
+              Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) e.vv) );
+          ])
+      (Lru.to_list t.result_cache)
+  in
+  Json.Obj
+    [
+      ("v", Json.Int 1);
+      ("version", Json.Int (Catalog.version t.catalog));
+      ("shards", Json.Int (Catalog.shards t.catalog));
+      ("relations", Json.List relations);
+      ("results", Json.List results);
+    ]
+
+let checkpoint t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Snapshot.write ~path:(snapshot_path d.dir) (snapshot_doc t);
+      Wal.reset d.writer;
+      d.since_snapshot <- 0;
+      d.snapshot_version <- Catalog.version t.catalog;
+      incr t "serve.wal.snapshots"
+
+(* Append the record behind a successful live mutation; snapshot once
+   enough records accumulate, bounding both replay time and WAL
+   growth. *)
+let log_mutation t record =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Wal.append d.writer ~version:(Catalog.version t.catalog) record;
+      incr t "serve.wal.appends";
+      d.since_snapshot <- d.since_snapshot + 1;
+      if d.since_snapshot >= max 1 t.config.snapshot_every then checkpoint t
+
+(* Decoders for the snapshot document; malformed pieces degrade softly
+   (a bad cached result is skipped, a bad snapshot ignored entirely). *)
+let rows_of_json j =
+  match j with
+  | Json.List rows ->
+      Some
+        (Array.of_list
+           (List.filter_map
+              (function
+                | Json.List vs -> (
+                    try
+                      Some
+                        (Array.of_list
+                           (List.map
+                              (function Json.Int v -> v | _ -> raise Exit)
+                              vs))
+                    with Exit -> None)
+                | _ -> None)
+              rows))
+  | _ -> None
+
+let restore_snapshot t doc =
+  match (Json.int_field "version" doc, Json.member "relations" doc) with
+  | Ok version, Some (Json.List rels) ->
+      let parsed =
+        List.filter_map
+          (fun rj ->
+            match
+              ( Json.string_field "name" rj,
+                Json.member "attrs" rj,
+                Json.int_field "version" rj,
+                Json.member "tuples" rj )
+            with
+            | Ok name, Some (Json.List aj), Ok rv, Some tj -> (
+                match rows_of_json tj with
+                | Some rows -> (
+                    try
+                      let attrs =
+                        Array.of_list
+                          (List.map
+                             (function Json.String a -> a | _ -> raise Exit)
+                             aj)
+                      in
+                      Some (name, attrs, rows, rv)
+                    with Exit -> None)
+                | None -> None)
+            | _ -> None)
+          rels
+      in
+      Catalog.restore t.catalog ~version parsed;
+      (* Re-warm persisted cached answers whose provenance still
+         matches the restored catalog.  Restore oldest-first so the
+         LRU recency order survives the round trip. *)
+      (match Json.member "results" doc with
+      | Some (Json.List results) ->
+          List.iter
+            (fun ej ->
+              match
+                ( Json.string_field "key" ej,
+                  Json.member "attributes" ej,
+                  Json.member "rows" ej,
+                  Json.member "vv" ej )
+              with
+              | Ok key, Some (Json.List aj), Some rj, Some (Json.Obj vvj) -> (
+                  match (Q.parse key, rows_of_json rj) with
+                  | exception Q.Parse_error _ -> ()
+                  | q, Some rows -> (
+                      try
+                        let attributes =
+                          Array.of_list
+                            (List.map
+                               (function Json.String a -> a | _ -> raise Exit)
+                               aj)
+                        in
+                        let vv =
+                          List.map
+                            (function
+                              | n, Json.Int v -> (n, v) | _ -> raise Exit)
+                            vvj
+                        in
+                        let rels = rels_of q in
+                        if vv = Catalog.version_vector t.catalog rels then
+                          Lru.put t.result_cache key
+                            { ans = { attributes; rows }; q; rels; vv }
+                      with Exit -> ())
+                  | _, None -> ())
+              | _ -> ())
+            (List.rev results)
+      | _ -> ());
+      version
+  | _ -> 0
+
+(* Open the data directory: restore the snapshot, replay the WAL's
+   records past it through the ordinary mutation path, repair any torn
+   tail, and leave the writer open for new appends. *)
+let open_durable t dir =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error _ -> ());
+  let snapshot_version =
+    match Snapshot.read (snapshot_path dir) with
+    | Some doc -> restore_snapshot t doc
+    | None -> 0
+  in
+  let replayed = Wal.replay (wal_path dir) in
+  let applied = ref 0 in
+  List.iter
+    (fun (v, record) ->
+      if v > snapshot_version then begin
+        (match apply_mutation t record with Ok _ | Error _ -> ());
+        Stdlib.incr applied
+      end)
+    replayed.Wal.records;
+  Metrics.add t.metrics "serve.wal.replayed" !applied;
+  let writer = Wal.open_writer (wal_path dir) in
+  if replayed.Wal.truncated then begin
+    Wal.repair writer ~valid_bytes:replayed.Wal.valid_bytes;
+    incr t "serve.wal.repaired"
+  end;
+  t.durable <-
+    Some { dir; writer; since_snapshot = !applied; snapshot_version }
+
+let create ?(config = default_config) () =
+  if config.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
+  if config.shards < 1 then invalid_arg "Server.create: shards < 1";
+  let catalog = Catalog.create () in
+  Catalog.set_shards catalog config.shards;
+  let t =
+    {
+      config;
+      catalog;
+      plan_cache = Lru.create config.plan_cache_size;
+      result_cache = Lru.create config.result_cache_size;
+      metrics = Metrics.create ();
+      durable = None;
+      shutdown = false;
+    }
+  in
+  Option.iter (open_durable t) config.data_dir;
+  t
 
 (* --- execution (pure w.r.t. server state) --- *)
 
@@ -166,7 +537,7 @@ let execute ?pool (task : task) db =
   let t0 = Unix.gettimeofday () in
   let outcome =
     match run_engine ?pool task db with
-    | rel -> Answered (canonical_answer task.query rel)
+    | rel -> Answered (Ivm.canonical task.query rel)
     | exception Budget.Budget_exhausted e -> Timed_out e
     | exception Invalid_argument msg -> Failed msg
     | exception Failure msg -> Failed msg
@@ -187,7 +558,6 @@ let answer_fields t (task : task) ~cached (ans : answer) =
     | None -> t.config.max_rows
   in
   let shown = if opts.Protocol.count_only then 0 else min count limit in
-  let row_json r = Json.List (List.map (fun v -> Json.Int v) (Array.to_list r)) in
   [
     ("plan", Protocol.plan_to_json task.plan);
     ("cached", Json.Bool cached);
@@ -226,16 +596,8 @@ let reason_string = function
   | Budget.Deadline -> "deadline"
   | Budget.Cancelled -> "cancelled"
 
-let incr t name = Metrics.incr t.metrics name
-
-let invalidate_caches t =
-  Lru.clear t.plan_cache;
-  Lru.clear t.result_cache;
-  incr t "serve.invalidations"
-
 let mutation_response t op name rows =
   incr t "serve.mutations";
-  invalidate_caches t;
   Protocol.ok_fields ~op
     ([ ("relation", Json.String name) ]
     @ (match rows with Some n -> [ ("rows", Json.Int n) ] | None -> [])
@@ -257,6 +619,8 @@ let stats_response t =
     [
       ("version", Json.Int (Catalog.version t.catalog));
       ("shards", Json.Int t.config.shards);
+      ("ivm", Json.Bool t.config.ivm);
+      ("durable", Json.Bool (t.durable <> None));
       ( "relations",
         Json.Obj
           (List.map
@@ -367,7 +731,18 @@ let prepare_query t text (opts : Protocol.query_opts) =
               collapsed = false;
             }
           in
-          match Lru.find t.result_cache result_key with
+          let cached =
+            match Lru.find t.result_cache canonical with
+            | Some e when e.vv = Catalog.version_vector t.catalog e.rels ->
+                Some e.ans
+            | Some _ ->
+                (* stale provenance (e.g. writes with IVM disabled):
+                   unusable, retire it *)
+                Lru.remove t.result_cache canonical;
+                None
+            | None -> None
+          in
+          match cached with
           | Some ans ->
               incr t "serve.cache.result.hits";
               Ready (query_response t task ~cached:true ans ~with_counters:false)
@@ -393,6 +768,16 @@ let prepare_query t text (opts : Protocol.query_opts) =
               in
               Pending { task with budget }))
 
+(* A live mutation: apply, WAL-log on success, reply. *)
+let prepare_mutation t op name record =
+  match apply_mutation t record with
+  | Ok n ->
+      log_mutation t record;
+      Ready (mutation_response t op name (if n < 0 then None else Some n))
+  | Error msg ->
+      incr t "serve.errors";
+      Ready (Protocol.error_response msg)
+
 let prepare t (req : Protocol.request) =
   incr t "serve.requests";
   match req with
@@ -407,6 +792,8 @@ let prepare t (req : Protocol.request) =
                    ("shards", Json.Int t.config.shards);
                    ("batch", Json.Bool true);
                    ("compile", Json.Bool t.config.compile);
+                   ("ivm", Json.Bool t.config.ivm);
+                   ("durable", Json.Bool (t.durable <> None));
                    ( "engines",
                      Json.List
                        (List.map
@@ -415,30 +802,36 @@ let prepare t (req : Protocol.request) =
                  ] );
            ])
   | Protocol.Shutdown ->
+      (* A clean shutdown checkpoints, so restart recovers from the
+         snapshot alone. *)
+      checkpoint t;
       t.shutdown <- true;
       Ready (Protocol.ok_fields ~op:"shutdown" [])
   | Protocol.Stats -> Ready (stats_response t)
-  | Protocol.Load { name; attrs; tuples } -> (
-      match
-        Catalog.load t.catalog ~name ~attrs:(Array.of_list attrs)
-          (List.map Array.of_list tuples)
-      with
-      | Ok n -> Ready (mutation_response t "load" name (Some n))
-      | Error msg ->
-          incr t "serve.errors";
-          Ready (Protocol.error_response msg))
-  | Protocol.Insert { name; tuples } -> (
-      match Catalog.insert t.catalog ~name (List.map Array.of_list tuples) with
-      | Ok n -> Ready (mutation_response t "insert" name (Some n))
-      | Error msg ->
-          incr t "serve.errors";
-          Ready (Protocol.error_response msg))
-  | Protocol.Drop { name } -> (
-      match Catalog.drop t.catalog ~name with
-      | Ok () -> Ready (mutation_response t "drop" name None)
-      | Error msg ->
-          incr t "serve.errors";
-          Ready (Protocol.error_response msg))
+  | Protocol.Checkpoint ->
+      checkpoint t;
+      Ready
+        (Protocol.ok_fields ~op:"checkpoint"
+           [
+             ("durable", Json.Bool (t.durable <> None));
+             ("version", Json.Int (Catalog.version t.catalog));
+           ])
+  | Protocol.Load { name; attrs; tuples } ->
+      prepare_mutation t "load" name
+        (Wal.Load
+           {
+             name;
+             attrs = Array.of_list attrs;
+             tuples = List.map Array.of_list tuples;
+           })
+  | Protocol.Insert { name; tuples } ->
+      prepare_mutation t "insert" name
+        (Wal.Insert { name; tuples = List.map Array.of_list tuples })
+  | Protocol.Delete { name; tuples } ->
+      prepare_mutation t "delete" name
+        (Wal.Delete { name; tuples = List.map Array.of_list tuples })
+  | Protocol.Drop { name } ->
+      prepare_mutation t "drop" name (Wal.Drop { name })
   | Protocol.Explain { text } -> (
       incr t "serve.explains";
       match Q.parse text with
@@ -487,9 +880,12 @@ let finish t (task : task) =
       incr t "serve.cache.result.hits";
       query_response t task ~cached:true ans ~with_counters:false
   | Answered ans ->
-      (* Key still current: mutations are barriers, so the catalog
-         cannot have moved under an executing window. *)
-      Lru.put t.result_cache task.result_key ans;
+      (* Provenance captured here is current: mutations are barriers,
+         so the catalog cannot have moved under an executing window. *)
+      let rels = rels_of task.query in
+      let vv = Catalog.version_vector t.catalog rels in
+      Lru.put t.result_cache task.canonical
+        { ans; q = task.query; rels; vv };
       query_response t task ~cached:false ans ~with_counters:true
   | Timed_out e ->
       incr t "serve.timeouts";
@@ -586,8 +982,9 @@ let process t (items : item list) =
             | Protocol.Query _ | Protocol.Explain _ | Protocol.Ping
             | Protocol.Hello ->
                 false
-            | Protocol.Load _ | Protocol.Insert _ | Protocol.Drop _
-            | Protocol.Stats | Protocol.Shutdown ->
+            | Protocol.Load _ | Protocol.Insert _ | Protocol.Delete _
+            | Protocol.Drop _ | Protocol.Stats | Protocol.Checkpoint
+            | Protocol.Shutdown ->
                 true
           in
           if barrier then flush ();

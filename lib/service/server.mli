@@ -23,11 +23,33 @@
     out can never take the batch down with it.
 
     Caching: a plan cache (canonical query text + engine choice ->
-    plan) and a result cache (catalog version + canonical query text ->
-    sorted answer).  Both are explicitly cleared by every successful
-    [load]/[insert]/[drop]; the result cache is additionally keyed by
-    the catalog version, so even a missed invalidation could not serve
-    a stale answer.  Cached answers are reported with ["cached":true].
+    plan) and a result cache (canonical query text -> sorted answer
+    with provenance).  Every cached answer carries the per-relation
+    {e version vector} it was computed against and serves only while
+    that vector matches the catalog, so a stale answer cannot leak even
+    if maintenance missed it.  Cached answers are reported with
+    ["cached":true].
+
+    Writes and IVM: [insert]/[delete] apply to the catalog's delta
+    tries ({!Lb_relalg.Delta_trie} - no full rebuild, warm shard
+    partitions patched in place) and then {e maintain} affected cached
+    answers through the delta rules in {!Ivm} instead of flushing them
+    - byte-identical to a recompute, counted by [serve.ivm.maintained]
+    / [serve.ivm.refreshed] / [serve.ivm.invalidated] /
+    [serve.ivm.untouched].  [load] and [drop] invalidate the affected
+    entries; [--no-ivm] ([config.ivm = false]) turns every write into
+    an invalidation.  Plan-cache entries of queries reading the written
+    relation are retired ([serve.ivm.plan_invalidations]).
+
+    Durability: with [config.data_dir], every successful mutation is
+    appended to a CRC-framed, fsynced WAL ({!Wal}) before the reply,
+    and every [config.snapshot_every] records - plus on [checkpoint]
+    and clean [shutdown] - the catalog {e and} the result cache are
+    checkpointed atomically ({!Snapshot}) and the WAL reset.  [create]
+    recovers by restoring the snapshot and replaying WAL records past
+    it through the ordinary mutation path, so a restarted server
+    serves byte-identical answers with warm caches; torn or corrupt
+    WAL tails are truncated ([serve.wal.repaired]), never fatal.
 
     Compilation: with [config.compile] (the default), WCOJ plans carry
     their {!Lb_relalg.Compile} IR - the plan lowered once to a
@@ -58,11 +80,18 @@ type config = {
       (** run WCOJ queries through the compiled tier
           ({!Lb_relalg.Compile}); [false] is the interpreted escape
           hatch (`--no-compile`). *)
+  ivm : bool;
+      (** maintain cached results across writes via {!Ivm}; [false]
+          (`--no-ivm`) invalidates instead. *)
+  data_dir : string option;
+      (** durability root (snapshot + WAL); [None] = in-memory only. *)
+  snapshot_every : int;
+      (** checkpoint after this many WAL records (min 1). *)
 }
 
 (** 64 pending, 256-entry plan cache, 128-entry result cache, no
     default budgets, 10_000 returned rows, no pool, 1 shard,
-    compilation on. *)
+    compilation on, IVM on, no data dir, snapshot every 64 records. *)
 val default_config : config
 
 type t

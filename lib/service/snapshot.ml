@@ -1,0 +1,45 @@
+(* Checkpoint files: one canonical-JSON document, CRC-framed with the
+   WAL's framing (magic + length/payload/CRC), written atomically -
+   build a temp file in the same directory, fsync it, rename over the
+   target.  A crash during [write] leaves either the old snapshot or
+   the new one, never a torn file; a torn or corrupt file reads as
+   absent, so recovery falls back to the WAL alone. *)
+
+let magic = "LBTSNP1\n"
+
+let write ~path doc =
+  let tmp = path ^ ".tmp" in
+  let payload = Json.to_string doc in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let s = magic ^ Wal.frame payload in
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let w = ref 0 in
+      while !w < n do
+        w := !w + Unix.write fd b !w (n - !w)
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let m = String.length magic in
+      if String.length s < m || String.sub s 0 m <> magic then None
+      else
+        match Wal.unframe s m with
+        | None -> None
+        | Some (payload, next) when next = String.length s -> (
+            match Json.parse payload with
+            | exception Json.Parse_error _ -> None
+            | doc -> Some doc)
+        | Some _ -> None

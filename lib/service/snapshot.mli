@@ -1,0 +1,13 @@
+(** Checkpoint files: one CRC-framed canonical-JSON document, written
+    atomically (temp file + fsync + rename), so a crash during a
+    checkpoint leaves either the previous snapshot or the new one -
+    never a torn file.  The document schema is the server's business;
+    this module only guarantees all-or-nothing persistence. *)
+
+(** Atomically replace the snapshot at [path]. *)
+val write : path:string -> Json.t -> unit
+
+(** [None] when the file is missing, torn, corrupt, or carries trailing
+    garbage - recovery then falls back to the WAL alone.  Never
+    raises. *)
+val read : string -> Json.t option

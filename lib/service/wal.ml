@@ -1,0 +1,246 @@
+(* Write-ahead log of catalog mutations.
+
+   File layout: an 8-byte magic header, then a sequence of CRC-framed
+   records - 4-byte little-endian payload length, the payload (one
+   canonical JSON object), 4-byte little-endian CRC-32 of the payload.
+   Appends write the whole frame with one [write] and fsync before
+   returning, so a mutation acknowledged to a client is on disk.
+
+   Replay never raises on a damaged file: it decodes frames until the
+   first one that is short, fails its CRC, or does not parse, and
+   returns the records of the longest valid prefix plus where it ended.
+   A crash mid-append therefore loses at most the unacknowledged tail
+   record; [repair] truncates the garbage so the next append extends a
+   clean log.
+
+   Each record carries the catalog version *after* its mutation, so
+   recovery can skip records already covered by a snapshot. *)
+
+let magic = "LBTWAL1\n"
+
+(* --- CRC-32 (IEEE 802.3, reflected), table-driven, no deps --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 (s : string) =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+(* --- framing --- *)
+
+let le32 n =
+  String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let read_le32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let frame payload = le32 (String.length payload) ^ payload ^ le32 (crc32 payload)
+
+(* Decode the frame at [off]: [Some (payload, next_off)], or [None] if
+   the bytes from [off] are short, oversized, or fail the CRC. *)
+let unframe s off =
+  let n = String.length s in
+  if off + 4 > n then None
+  else
+    let len = read_le32 s off in
+    if len < 0 || len > n - off - 8 then None
+    else
+      let payload = String.sub s (off + 4) len in
+      let stored = read_le32 s (off + 4 + len) in
+      if crc32 payload <> stored then None else Some (payload, off + 8 + len)
+
+(* --- records --- *)
+
+type record =
+  | Load of { name : string; attrs : string array; tuples : int array list }
+  | Insert of { name : string; tuples : int array list }
+  | Delete of { name : string; tuples : int array list }
+  | Drop of { name : string }
+
+let json_of_tuples tuples =
+  Json.List
+    (List.map (fun t -> Json.List (List.map (fun v -> Json.Int v) (Array.to_list t))) tuples)
+
+let tuples_of_json = function
+  | Json.List rows ->
+      let tup = function
+        | Json.List vs ->
+            Some
+              (Array.of_list
+                 (List.map (function Json.Int v -> v | _ -> raise Exit) vs))
+        | _ -> None
+      in
+      (try
+         let out = List.map tup rows in
+         if List.exists Option.is_none out then None
+         else Some (List.map Option.get out)
+       with Exit -> None)
+  | _ -> None
+
+let encode ~version record =
+  let fields =
+    match record with
+    | Load { name; attrs; tuples } ->
+        [
+          ("op", Json.String "load");
+          ("name", Json.String name);
+          ( "attrs",
+            Json.List
+              (List.map (fun a -> Json.String a) (Array.to_list attrs)) );
+          ("tuples", json_of_tuples tuples);
+        ]
+    | Insert { name; tuples } ->
+        [
+          ("op", Json.String "insert");
+          ("name", Json.String name);
+          ("tuples", json_of_tuples tuples);
+        ]
+    | Delete { name; tuples } ->
+        [
+          ("op", Json.String "delete");
+          ("name", Json.String name);
+          ("tuples", json_of_tuples tuples);
+        ]
+    | Drop { name } -> [ ("op", Json.String "drop"); ("name", Json.String name) ]
+  in
+  Json.to_string (Json.Obj (("v", Json.Int version) :: fields))
+
+let decode payload =
+  match Json.parse payload with
+  | exception Json.Parse_error _ -> None
+  | j -> (
+      match (Json.int_field "v" j, Json.string_field "op" j) with
+      | Ok version, Ok op -> (
+          let name () = Json.string_field "name" j in
+          let tuples () =
+            match Json.member "tuples" j with
+            | Some tj -> tuples_of_json tj
+            | None -> None
+          in
+          match (op, name ()) with
+          | "load", Ok name -> (
+              match (Json.member "attrs" j, tuples ()) with
+              | Some (Json.List aj), Some tuples -> (
+                  try
+                    let attrs =
+                      Array.of_list
+                        (List.map
+                           (function Json.String a -> a | _ -> raise Exit)
+                           aj)
+                    in
+                    Some (version, Load { name; attrs; tuples })
+                  with Exit -> None)
+              | _ -> None)
+          | "insert", Ok name ->
+              Option.map
+                (fun tuples -> (version, Insert { name; tuples }))
+                (tuples ())
+          | "delete", Ok name ->
+              Option.map
+                (fun tuples -> (version, Delete { name; tuples }))
+                (tuples ())
+          | "drop", Ok name -> Some (version, Drop { name })
+          | _ -> None)
+      | _ -> None)
+
+(* --- replay --- *)
+
+type replayed = {
+  records : (int * record) list; (* (catalog version after, record) *)
+  valid_bytes : int; (* offset just past the last valid record *)
+  truncated : bool; (* trailing bytes were damaged or torn *)
+}
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let replay path =
+  match read_file path with
+  | None -> { records = []; valid_bytes = 0; truncated = false }
+  | Some s ->
+      let n = String.length s in
+      if n < String.length magic || String.sub s 0 (String.length magic) <> magic
+      then { records = []; valid_bytes = 0; truncated = n > 0 }
+      else begin
+        let records = ref [] in
+        let off = ref (String.length magic) in
+        let stop = ref false in
+        while not !stop do
+          match unframe s !off with
+          | Some (payload, next) -> (
+              match decode payload with
+              | Some r ->
+                  records := r :: !records;
+                  off := next
+              | None -> stop := true)
+          | None -> stop := true
+        done;
+        { records = List.rev !records; valid_bytes = !off; truncated = !off < n }
+      end
+
+(* --- writer --- *)
+
+type writer = { path : string; mutable fd : Unix.file_descr }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let w = ref 0 in
+  while !w < n do
+    w := !w + Unix.write fd b !w (n - !w)
+  done
+
+let open_writer path =
+  let fresh = not (Sys.file_exists path) in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  if fresh then begin
+    write_all fd magic;
+    Unix.fsync fd
+  end;
+  { path; fd }
+
+(* Truncate damaged trailing bytes left by a torn append, so the next
+   frame extends a valid log.  [valid_bytes] comes from [replay]. *)
+let repair w ~valid_bytes =
+  let size = (Unix.fstat w.fd).Unix.st_size in
+  if valid_bytes < size then begin
+    Unix.close w.fd;
+    let fd = Unix.openfile w.path [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd (max valid_bytes (String.length magic));
+    Unix.close fd;
+    w.fd <- Unix.openfile w.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  end
+
+let append w ~version record =
+  write_all w.fd (frame (encode ~version record));
+  Unix.fsync w.fd
+
+(* Empty the log (after a snapshot has absorbed its records). *)
+let reset w =
+  Unix.close w.fd;
+  let fd = Unix.openfile w.path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  write_all fd magic;
+  Unix.fsync fd;
+  Unix.close fd;
+  w.fd <- Unix.openfile w.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+
+let close w = Unix.close w.fd

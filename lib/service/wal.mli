@@ -1,0 +1,73 @@
+(** Write-ahead log of catalog mutations: the redo half of the durable
+    catalog ({!Snapshot} is the checkpoint half).
+
+    Layout: an 8-byte magic header then CRC-framed records - 4-byte LE
+    payload length, a canonical-JSON payload, 4-byte LE CRC-32 of the
+    payload.  {!append} writes the whole frame in one [write] and
+    fsyncs, so an acknowledged mutation is on disk.  {!replay} never
+    raises on damage: it returns the longest valid record prefix and
+    flags torn/corrupt tails, which {!repair} truncates away.
+
+    Records are stamped with the catalog version {e after} their
+    mutation, so recovery skips records a snapshot already covers. *)
+
+type record =
+  | Load of { name : string; attrs : string array; tuples : int array list }
+  | Insert of { name : string; tuples : int array list }
+  | Delete of { name : string; tuples : int array list }
+  | Drop of { name : string }
+
+type replayed = {
+  records : (int * record) list;
+      (** (catalog version after the mutation, record), oldest first *)
+  valid_bytes : int;  (** offset just past the last valid record *)
+  truncated : bool;  (** damaged or torn bytes followed the valid prefix *)
+}
+
+(** Decode the longest valid prefix of the log at [path].  A missing
+    file is an empty log; a file without the magic header yields no
+    records (flagged truncated when non-empty).  Never raises. *)
+val replay : string -> replayed
+
+type writer
+
+(** Open (creating with the magic header if absent) for appending. *)
+val open_writer : string -> writer
+
+(** Truncate damaged bytes past [valid_bytes] (from {!replay}), so the
+    next append extends a valid log.  No-op on a clean log. *)
+val repair : writer -> valid_bytes:int -> unit
+
+(** Append one record stamped with the post-mutation catalog version;
+    fsyncs before returning. *)
+val append : writer -> version:int -> record -> unit
+
+(** Empty the log back to just the header (after a snapshot absorbed
+    its records). *)
+val reset : writer -> unit
+
+val close : writer -> unit
+
+(** {2 Shared plumbing}
+
+    Exposed for {!Snapshot} (same framing) and for the fault-injection
+    tests, which corrupt logs surgically. *)
+
+(** CRC-32 (IEEE 802.3, reflected) of a string. *)
+val crc32 : string -> int
+
+(** [frame payload] is the length/payload/CRC wire form of one record. *)
+val frame : string -> string
+
+(** [unframe s off] decodes the frame at [off]: [Some (payload, next)]
+    or [None] on short, oversized, or CRC-failing bytes. *)
+val unframe : string -> int -> (string * int) option
+
+(** The 8-byte log header. *)
+val magic : string
+
+(** [encode ~version record] is the JSON payload of one record. *)
+val encode : version:int -> record -> string
+
+(** Inverse of {!encode}; [None] on malformed payloads. *)
+val decode : string -> (int * record) option

@@ -131,6 +131,15 @@ let put ?(weight = 1) t k v =
       push_front t n;
       make_room t n
 
+(* In-place value replacement: no recency promotion, no hit/miss
+   accounting, weight unchanged.  This is what cache *maintenance*
+   (rewriting a cached answer after a write) wants - only lookups by
+   the serving path should refresh recency. *)
+let update t k f =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n -> n.value <- f n.value
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;

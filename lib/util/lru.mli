@@ -51,6 +51,12 @@ val put : ?weight:int -> ('k, 'v) t -> 'k -> 'v -> unit
 (** Remove a binding if present; recency and counters unchanged. *)
 val remove : ('k, 'v) t -> 'k -> unit
 
+(** [update t k f] replaces [k]'s value with [f v] in place - no
+    recency promotion, no hit/miss accounting, weight unchanged; a
+    no-op for absent keys.  For cache {e maintenance} (rewriting a
+    cached answer after a write) as opposed to serving lookups. *)
+val update : ('k, 'v) t -> 'k -> ('v -> 'v) -> unit
+
 (** Drop every binding (an explicit invalidation).  Counters are kept:
     lifetime hit rates survive cache flushes. *)
 val clear : ('k, 'v) t -> unit

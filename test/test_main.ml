@@ -22,5 +22,6 @@ let () =
       ("integration", Test_integration.suite);
       ("budget", Test_budget.suite);
       ("service", Test_service.suite);
+      ("ivm", Test_ivm.suite);
       ("property", Test_property.suite);
     ]

@@ -186,7 +186,7 @@ let random_opts rng =
   }
 
 let random_request rng =
-  match Prng.int rng 8 with
+  match Prng.int rng 10 with
   | 0 ->
       Protocol.Load
         {
@@ -195,11 +195,13 @@ let random_request rng =
           tuples = random_tuples rng;
         }
   | 1 -> Protocol.Insert { name = random_string rng; tuples = random_tuples rng }
-  | 2 -> Protocol.Drop { name = random_string rng }
-  | 3 -> Protocol.Query { text = random_string rng; opts = random_opts rng }
-  | 4 -> Protocol.Explain { text = random_string rng }
-  | 5 -> Protocol.Stats
-  | 6 -> Protocol.Ping
+  | 2 -> Protocol.Delete { name = random_string rng; tuples = random_tuples rng }
+  | 3 -> Protocol.Drop { name = random_string rng }
+  | 4 -> Protocol.Query { text = random_string rng; opts = random_opts rng }
+  | 5 -> Protocol.Explain { text = random_string rng }
+  | 6 -> Protocol.Stats
+  | 7 -> Protocol.Checkpoint
+  | 8 -> Protocol.Ping
   | _ -> Protocol.Shutdown
 
 let test_protocol_roundtrip () =
@@ -341,17 +343,30 @@ let test_scripted_session () =
   | Some 1 -> ()
   | _ -> Alcotest.fail "serve.timeouts not incremented");
 
-  (* 4. catalog mutation invalidates the result cache *)
+  (* 4. a write to P2 is IVM-maintained into the cached path answer -
+        still served as cached, with the updated (recompute-identical)
+        rows - while the triangle's cache entry (over E only) is
+        untouched *)
   ignore
     (handle_ok srv "insert"
        (Protocol.Insert { name = "P2"; tuples = [ [ 2; 8 ] ] }));
   let r5 = handle_ok srv "path after insert" (query_req path) in
-  check Alcotest.bool "post-mutation run is uncached" false
+  check Alcotest.bool "post-mutation run maintained in cache" true
     (cached_of_response r5);
   check Alcotest.int "post-mutation count" 4 (int_of (field "count" r5));
+  (match
+     Metrics.find_counter (Server.metrics srv) "serve.ivm.maintained"
+   with
+  | Some n when n >= 1 -> ()
+  | other ->
+      Alcotest.failf "expected serve.ivm.maintained >= 1, got %s"
+        (match other with None -> "none" | Some n -> string_of_int n));
   let r6 = handle_ok srv "triangle after insert" (query_req triangle) in
-  check Alcotest.bool "triangle also invalidated" false
+  check Alcotest.bool "triangle entry untouched by P2 write" true
     (cached_of_response r6);
+  check Alcotest.string "triangle rows unchanged"
+    (Json.to_string (field "rows" r1))
+    (Json.to_string (field "rows" r6));
 
   (* 5. drop, then querying the dropped relation is an error *)
   ignore (handle_ok srv "drop" (Protocol.Drop { name = "P1" }));
@@ -453,6 +468,12 @@ let test_hello_capabilities () =
   (match field "compile" caps with
   | Json.Bool true -> ()
   | _ -> Alcotest.fail "compile capability missing");
+  (match field "ivm" caps with
+  | Json.Bool true -> ()
+  | _ -> Alcotest.fail "ivm capability missing");
+  (match field "durable" caps with
+  | Json.Bool false -> ()
+  | _ -> Alcotest.fail "durable capability should be false without data-dir");
   match field "engines" caps with
   | Json.List engines ->
       let names =

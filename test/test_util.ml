@@ -573,50 +573,42 @@ let test_exec_resolve_precedence () =
   check Alcotest.bool "budget still from ctx" true
     (same_budget b_ctx r.Exec.budget)
 
-(* The Legacy wrappers carry a [deprecated] alert; this module is their
-   one sanctioned caller, existing to test the wrappers themselves
-   (and, implicitly, that the alert fires anywhere else). *)
-module Gj_legacy = struct
-  [@@@alert "-deprecated"]
-
-  let count = Lb_relalg.Generic_join.Legacy.count
-end
-
 let test_exec_resolve_in_solver () =
-  (* the wrapper contract, observed end to end: the same solver entry
-     point records into the ctx metrics sink and into an explicitly
-     passed legacy one, and an explicit legacy sink shadows the ctx's *)
+  (* the ctx contract, observed end to end: the same solver entry point
+     records into whichever metrics sink its context carries, whether
+     the context is built by composition (default |> with_metrics) or
+     in one shot (Exec.make), and the two are indistinguishable *)
   let db =
     Lb_relalg.Database.of_list
       [ ("E", Lb_relalg.Relation.make [| "u"; "v" |]
             [ [| 1; 2 |]; [| 2; 3 |]; [| 3; 1 |] ]) ]
   in
   let q = Lb_relalg.Query.parse "E(x,y), E(y,z), E(z,x)" in
-  let via_ctx = Metrics.create () in
+  let via_compose = Metrics.create () in
   let n1 =
     Lb_relalg.Generic_join.count
-      ~ctx:Exec.(default |> with_metrics via_ctx)
+      ~ctx:Exec.(default |> with_metrics via_compose)
       db q
   in
-  let via_legacy = Metrics.create () in
-  let n2 = Gj_legacy.count ~metrics:via_legacy db q in
-  let shadowed = Metrics.create () in
-  let ignored = Metrics.create () in
+  let via_make = Metrics.create () in
+  let n2 =
+    Lb_relalg.Generic_join.count ~ctx:(Exec.make ~metrics:via_make ()) db q
+  in
+  let untouched = Metrics.create () in
   let n3 =
-    Gj_legacy.count
-      ~ctx:Exec.(default |> with_metrics ignored)
-      ~metrics:shadowed db q
+    Lb_relalg.Generic_join.count
+      ~ctx:(Exec.make ~metrics:(Metrics.create ()) ())
+      db q
   in
   check Alcotest.int "same answer" n1 n2;
-  check Alcotest.int "same answer (shadowed)" n1 n3;
+  check Alcotest.int "same answer (fresh sink)" n1 n3;
   let builds m = Metrics.find_counter m "generic_join.trie_builds" in
-  check Alcotest.(option int) "ctx sink recorded" (Some 1) (builds via_ctx);
-  check Alcotest.(option int) "legacy sink recorded" (Some 1)
-    (builds via_legacy);
-  check Alcotest.(option int) "explicit sink shadows ctx" (Some 1)
-    (builds shadowed);
-  check Alcotest.(option int) "shadowed ctx sink untouched" None
-    (builds ignored)
+  check Alcotest.(option int) "composed sink recorded" (Some 1)
+    (builds via_compose);
+  check Alcotest.(option int) "Exec.make sink recorded" (Some 1)
+    (builds via_make);
+  check Alcotest.(option int) "unrelated sink untouched" None
+    (builds untouched)
 
 let suite =
   [
