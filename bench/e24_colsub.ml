@@ -1,0 +1,211 @@
+(* E24 - ColSub(H): the decomposition DP's exponent tracks tw(H), the
+   backtracking's tracks k (Section 2.3 / Theorem 5.3).
+
+   Part 1 - the workload itself.  Ladder patterns (2 x w grids: k = 2w
+   vertices, treewidth 2) against blown-up hosts: n host vertices per
+   color class, complete bipartite between the classes of every
+   pattern edge.  Every partial assignment extends, so the instance
+   has exactly n^k colorful embeddings and both counting routes run
+   flat out.  Fitting node counts against n shows the backtracking's
+   [colsub.bt.nodes] growing like n^k - the exponent moves with the
+   pattern size - while the decomposition DP's [colsub.dp.rows] stays
+   at n^{tw+1} = n^3 for every w: the exponent tracks the pattern's
+   treewidth, not its size.
+
+   Part 2 - the planner's use of the same idea.  The 5-cycle join
+   query has rho* = 2.5 but fhw = 2, so the structure-aware planner
+   routes it through the decomposition (bags by WCOJ, Yannakakis to
+   finish) and the answer must be byte-identical to the flat
+   generic-join answer.
+
+   All counters here are deterministic per seed (part 1 does not even
+   consume randomness), so they survive --counters-only and the
+   byte-identity determinism gate. *)
+
+module Graph = Lb_graph.Graph
+module Generators = Lb_graph.Generators
+module Colsub = Lb_graph.Colsub
+module Metrics = Lb_util.Metrics
+module Exec = Lb_util.Exec
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Planner = Lb_service.Planner
+
+(* n host vertices per pattern vertex; complete bipartite between the
+   classes of each pattern edge.  Exactly n^k colorful embeddings. *)
+let blown_up pattern n =
+  let k = Graph.vertex_count pattern in
+  let edges = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          edges := ((u * n) + i, (v * n) + j) :: !edges
+        done
+      done)
+    pattern;
+  let host = Graph.of_edges (k * n) (List.rev !edges) in
+  let colors = Array.init (k * n) (fun hv -> hv / n) in
+  Colsub.make ~pattern ~host ~colors
+
+let count_nodes name f =
+  let metrics = Metrics.create () in
+  let ctx = Exec.make ~metrics () in
+  let result = f ctx in
+  (result, Option.value ~default:0 (Metrics.find_counter metrics name))
+
+let pow n e =
+  let rec go acc e = if e = 0 then acc else go (acc * n) (e - 1) in
+  go 1 e
+
+let five_cycle = Q.parse "R(a,b), S(b,c), T(c,d), U(d,e), V(e,a)"
+
+let random_edges rng n =
+  let m = 3 * n in
+  List.init m (fun _ ->
+      [| Lb_util.Prng.int rng n; Lb_util.Prng.int rng n |])
+
+let canonical q rel =
+  let r = R.project rel (Q.attributes q) in
+  let rows = Array.copy (R.tuples r) in
+  Array.sort compare rows;
+  rows
+
+let run () =
+  let ns = Harness.sizes ~keep:3 [ 3; 4; 5; 6; 7 ] in
+  let xs = Array.of_list (List.map float_of_int ns) in
+  let rows = ref [] in
+  let fits = ref [] in
+  let counts_ok = ref true in
+  List.iter
+    (fun w ->
+      let pattern = Generators.grid 2 w in
+      let k = Graph.vertex_count pattern in
+      let bt_nodes = ref [] and dp_rows = ref [] in
+      List.iter
+        (fun n ->
+          let inst = blown_up pattern n in
+          let bt, bt_n =
+            count_nodes "colsub.bt.nodes" (fun ctx ->
+                Colsub.count_backtracking ~ctx inst)
+          in
+          let dp, dp_n =
+            count_nodes "colsub.dp.rows" (fun ctx ->
+                Colsub.count_decomposed ~ctx inst)
+          in
+          let expected = pow n k in
+          if bt <> expected || dp <> expected then counts_ok := false;
+          (* The CSP route at the smallest size only: the generic
+             solver explores the same n^k space. *)
+          if n = List.hd ns then begin
+            let csp = Lb_reductions.Colsub_to_csp.count inst in
+            if csp <> expected then counts_ok := false
+          end;
+          bt_nodes := float_of_int bt_n :: !bt_nodes;
+          dp_rows := float_of_int dp_n :: !dp_rows;
+          rows :=
+            [
+              string_of_int w;
+              string_of_int k;
+              string_of_int n;
+              string_of_int expected;
+              string_of_int bt_n;
+              string_of_int dp_n;
+            ]
+            :: !rows;
+          Harness.counter
+            (Printf.sprintf "E24.bt_nodes.w%d.n%d" w n)
+            bt_n;
+          Harness.counter
+            (Printf.sprintf "E24.dp_rows.w%d.n%d" w n)
+            dp_n)
+        ns;
+      let e_bt =
+        Harness.fit_power xs (Array.of_list (List.rev !bt_nodes))
+      in
+      let e_dp =
+        Harness.fit_power xs (Array.of_list (List.rev !dp_rows))
+      in
+      fits := (w, k, e_bt, e_dp) :: !fits;
+      Harness.metric (Printf.sprintf "E24.exponent.backtracking.k%d" k) e_bt;
+      Harness.metric (Printf.sprintf "E24.exponent.decomposition.k%d" k) e_dp)
+    [ 2; 3 ];
+  Harness.table
+    [ "ladder w"; "k"; "n"; "embeddings"; "bt nodes"; "dp rows" ]
+    (List.rev !rows);
+  let fits = List.rev !fits in
+  List.iter
+    (fun (w, k, e_bt, e_dp) ->
+      Printf.printf
+        "  2x%d ladder (k=%d, tw=2): backtracking ~ n^%.2f, \
+         decomposition DP ~ n^%.2f\n"
+        w k e_bt e_dp)
+    fits;
+
+  (* Part 2: the planner routes the 5-cycle (fhw 2 < rho* 2.5) through
+     the decomposition, byte-identical to flat generic join. *)
+  let rng = Harness.rng 24_000 in
+  let n = if !Harness.smoke then 48 else 256 in
+  let db =
+    List.fold_left
+      (fun db name ->
+        Lb_relalg.Database.add db name
+          (R.make [| "x"; "y" |] (random_edges rng n)))
+      Lb_relalg.Database.empty
+      [ "R"; "S"; "T"; "U"; "V" ]
+  in
+  let plan = Planner.choose db five_cycle in
+  let routed_decomposed = plan.Planner.engine = Planner.Decomposed in
+  let metrics = Metrics.create () in
+  let ctx = Exec.make ~metrics () in
+  let dec_rel, stats =
+    Lb_relalg.Decomposed_join.answer ~ctx ~compile:true
+      ?decomposition:plan.Planner.decomposition db five_cycle
+  in
+  let gj_rel = Lb_relalg.Generic_join.answer db five_cycle in
+  let identical =
+    canonical five_cycle dec_rel = canonical five_cycle gj_rel
+  in
+  let count name = Option.value ~default:0 (Metrics.find_counter metrics name) in
+  Harness.counter "E24.plan.decomposed" (if routed_decomposed then 1 else 0);
+  Harness.counter "E24.plan.identical" (if identical then 1 else 0);
+  Harness.counter "E24.plan.bags" (count "decomposed_join.bags");
+  Harness.counter "E24.plan.bag_tuples" (count "decomposed_join.bag_tuples");
+  Harness.counter "E24.plan.max_bag_tuples" stats.Lb_relalg.Decomposed_join.max_bag_tuples;
+  Harness.counter "E24.counts_agree" (if !counts_ok then 1 else 0);
+  (match (plan.Planner.fhw, plan.Planner.rho_star) with
+  | Some fhw, Some rho ->
+      Harness.metric "E24.plan.fhw" fhw;
+      Harness.metric "E24.plan.rho_star" rho
+  | _ -> ());
+  let exponents_split =
+    List.for_all (fun (_, k, e_bt, e_dp) ->
+        e_bt > float_of_int k -. 1.0 && e_dp < 4.0)
+      fits
+  in
+  Harness.verdict
+    (!counts_ok && exponents_split && routed_decomposed && identical)
+    (Printf.sprintf
+       "all three ColSub routes agree on n^k embeddings; the \
+        backtracking's fitted exponent follows k (%s) while the \
+        decomposition DP stays near tw+1 = 3 (%s) - evaluation cost is \
+        governed by the pattern's treewidth, not its size; and the \
+        planner routed the 5-cycle through %d decomposition bags (fhw \
+        2 < rho* 2.5) byte-identically to the flat WCOJ answer"
+       (String.concat ", "
+          (List.map (fun (_, k, e, _) -> Printf.sprintf "k=%d: %.2f" k e) fits))
+       (String.concat ", "
+          (List.map (fun (_, k, _, e) -> Printf.sprintf "k=%d: %.2f" k e) fits))
+       (count "decomposed_join.bags"))
+
+let experiment =
+  {
+    Harness.id = "E24";
+    title = "ColSub(H): decomposition exponent tracks tw(H), not k";
+    claim =
+      "colorful subgraph isomorphism - the workload of Marx's ETH bound \
+       - costs n^k by backtracking but n^{tw(H)+1} through a tree \
+       decomposition, and the same fhw-vs-rho* comparison routes cyclic \
+       join queries through bag materialization";
+    run;
+  }

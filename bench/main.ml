@@ -33,6 +33,7 @@ let register_all () =
       E21_shard.experiment;
       E22_compile.experiment;
       E23_ivm.experiment;
+      E24_colsub.experiment;
       A1_join_order.experiment;
       A2_ac3.experiment;
       A3_dpll_branching.experiment;

@@ -249,6 +249,236 @@ let fhw_cmd =
   let doc = "Fractional hypertree width of a query hypergraph." in
   Cmd.v (Cmd.info "fhw" ~doc) Term.(const run $ query_arg)
 
+(* --- colsub: the colorful-subgraph workload --- *)
+
+let colsub_cmd =
+  let pattern_arg =
+    let doc =
+      "Pattern edges as \"u-v,u-v,...\" over vertices 0..k-1 (k inferred \
+       from the colors and endpoints, or forced with --k)."
+    in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "pattern" ] ~docv:"EDGES" ~doc)
+  in
+  let host_arg =
+    let doc =
+      "Host edges as \"u-v,u-v,...\" over vertices 0..n-1, where n is \
+       the number of colors given."
+    in
+    Arg.(value & opt string "" & info [ "host" ] ~docv:"EDGES" ~doc)
+  in
+  let colors_arg =
+    let doc =
+      "Comma-separated colors: position i is the pattern vertex host \
+       vertex i may represent."
+    in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "colors" ] ~docv:"C0,C1,..." ~doc)
+  in
+  let k_arg =
+    let doc =
+      "Pattern vertex count (for isolated pattern vertices beyond every \
+       edge endpoint and color)."
+    in
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let method_arg =
+    let doc =
+      "Evaluation route: $(b,backtracking) (candidate-intersection \
+       search, ~n^k), $(b,csp) (binary CSP through Lb_csp.Solver), \
+       $(b,decomposition) (tree-decomposition DP, ~n^{tw(H)+1}), or \
+       $(b,auto) (decomposition)."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("auto", `Auto);
+               ("backtracking", `Backtracking);
+               ("csp", `Csp);
+               ("decomposition", `Decomposition);
+             ])
+          `Auto
+      & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  let count_arg =
+    let doc = "Count all colorful embeddings instead of finding one." in
+    Arg.(value & flag & info [ "count" ] ~doc)
+  in
+  let timeout_arg =
+    let doc = "Wall-clock budget in milliseconds (exit 3 on exhaustion)." in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_ticks_arg =
+    let doc = "Deterministic tick budget (exit 3 on exhaustion)." in
+    Arg.(value & opt (some int) None & info [ "max-ticks" ] ~docv:"N" ~doc)
+  in
+  let parse_edges what s =
+    let s = String.trim s in
+    if s = "" then []
+    else
+      String.split_on_char ',' s
+      |> List.map (fun e ->
+             match String.split_on_char '-' (String.trim e) with
+             | [ u; v ] -> (
+                 match
+                   (int_of_string_opt (String.trim u),
+                    int_of_string_opt (String.trim v))
+                 with
+                 | Some u, Some v -> (u, v)
+                 | _ ->
+                     Printf.ksprintf failwith "%s: bad edge %S (want U-V)"
+                       what e
+                 )
+             | _ ->
+                 Printf.ksprintf failwith "%s: bad edge %S (want U-V)" what e)
+  in
+  let parse_colors s =
+    String.split_on_char ',' (String.trim s)
+    |> List.map (fun c ->
+           match int_of_string_opt (String.trim c) with
+           | Some c -> c
+           | None -> Printf.ksprintf failwith "colors: bad entry %S" c)
+  in
+  let run pattern host colors k meth count timeout_ms max_ticks json =
+    match
+      let pattern_edges = parse_edges "pattern" pattern in
+      let host_edges = parse_edges "host" host in
+      let colors = parse_colors colors in
+      (pattern_edges, host_edges, colors)
+    with
+    | exception Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        2
+    | pattern_edges, host_edges, colors -> (
+        let inferred_k =
+          List.fold_left
+            (fun acc (u, v) -> max acc (max u v + 1))
+            (List.fold_left (fun acc c -> max acc (c + 1)) 0 colors)
+            pattern_edges
+        in
+        let k = match k with Some k -> k | None -> inferred_k in
+        match
+          let pattern = Lb_graph.Graph.of_edges k pattern_edges in
+          let host =
+            Lb_graph.Graph.of_edges (List.length colors) host_edges
+          in
+          Lb_graph.Colsub.make ~pattern ~host
+            ~colors:(Array.of_list colors)
+        with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            2
+        | inst -> (
+            let meth =
+              match meth with `Auto -> `Decomposition | m -> m
+            in
+            let method_name =
+              match meth with
+              | `Backtracking -> "backtracking"
+              | `Csp -> "csp"
+              | `Decomposition | `Auto -> "decomposition"
+            in
+            let budget =
+              match (max_ticks, timeout_ms) with
+              | None, None -> None
+              | ticks, ms ->
+                  Some
+                    (Lb_util.Budget.create ?ticks
+                       ?seconds:
+                         (Option.map (fun ms -> float_of_int ms /. 1000.) ms)
+                       ())
+            in
+            let metrics = Lb_util.Metrics.create () in
+            let ctx = Lb_util.Exec.make ?budget ~metrics () in
+            let outcome =
+              Lb_util.Budget.protect (fun () ->
+                  if count then
+                    `Count
+                      (match meth with
+                      | `Backtracking ->
+                          Lb_graph.Colsub.count_backtracking ~ctx inst
+                      | `Csp -> Lb_reductions.Colsub_to_csp.count ~ctx inst
+                      | `Decomposition | `Auto ->
+                          Lb_graph.Colsub.count_decomposed ~ctx inst)
+                  else
+                    `Witness
+                      (match meth with
+                      | `Backtracking ->
+                          Lb_graph.Colsub.find_backtracking ~ctx inst
+                      | `Csp -> Lb_reductions.Colsub_to_csp.find ~ctx inst
+                      | `Decomposition | `Auto ->
+                          Lb_graph.Colsub.find_decomposed ~ctx inst))
+            in
+            match outcome with
+            | Lb_util.Budget.Exhausted e ->
+                if json then
+                  json_print
+                    [
+                      ("status", Json.String "timeout");
+                      ("method", Json.String method_name);
+                      ( "reason",
+                        Json.String (Lb_util.Budget.describe e) );
+                      ("counters", counters_json metrics);
+                    ]
+                else
+                  Printf.printf "unknown: %s\n" (Lb_util.Budget.describe e);
+                3
+            | Lb_util.Budget.Done (`Count n) ->
+                if json then
+                  json_print
+                    [
+                      ("status", Json.String "ok");
+                      ("method", Json.String method_name);
+                      ("count", Json.Int n);
+                      ("counters", counters_json metrics);
+                    ]
+                else Printf.printf "method: %s\ncount: %d\n" method_name n;
+                0
+            | Lb_util.Budget.Done (`Witness w) ->
+                let witness_json =
+                  match w with
+                  | Some f ->
+                      Json.List
+                        (List.map (fun v -> Json.Int v) (Array.to_list f))
+                  | None -> Json.Null
+                in
+                if json then
+                  json_print
+                    [
+                      ("status", Json.String "ok");
+                      ("method", Json.String method_name);
+                      ("found", Json.Bool (w <> None));
+                      ("witness", witness_json);
+                      ("counters", counters_json metrics);
+                    ]
+                else begin
+                  Printf.printf "method: %s\n" method_name;
+                  match w with
+                  | Some f ->
+                      Printf.printf "found: %s\n"
+                        (String.concat " "
+                           (Array.to_list (Array.map string_of_int f)))
+                  | None -> print_endline "no colorful embedding"
+                end;
+                0))
+  in
+  let doc =
+    "Solve one ColSub(H) instance - the colorful-subgraph workload of \
+     Marx's ETH bound - by backtracking, by CSP reduction, or by the \
+     tree-decomposition DP whose exponent tracks tw(H) instead of k."
+  in
+  Cmd.v
+    (Cmd.info "colsub" ~doc)
+    Term.(
+      const run $ pattern_arg $ host_arg $ colors_arg $ k_arg $ method_arg
+      $ count_arg $ timeout_arg $ max_ticks_arg $ json_flag)
+
 (* --- sat: solve a DIMACS file --- *)
 
 let sat_cmd =
@@ -792,6 +1022,18 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "snapshot-every" ] ~docv:"N" ~doc)
   in
+  let snapshot_bytes_arg =
+    let doc =
+      "With --data-dir: also checkpoint whenever the WAL file exceeds \
+       this many bytes (size-based trips are counted as \
+       serve.wal.snapshot_bytes_trips).  Unset = record-count policy \
+       only."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let stats_json_arg =
     let doc =
       "On exit, print the server's final stats (the \"stats\" op's JSON \
@@ -801,7 +1043,7 @@ let serve_cmd =
   in
   let run port host max_pending plan_cache result_cache timeout_ms max_ticks
       max_rows pool_n shards no_compile no_ivm data_dir snapshot_every
-      stats_json =
+      snapshot_bytes stats_json =
     if shards < 1 then begin
       prerr_endline "error: --shards must be >= 1";
       2
@@ -832,6 +1074,7 @@ let serve_cmd =
               ivm = not no_ivm;
               data_dir;
               snapshot_every;
+              snapshot_bytes;
             }
           in
           let server = Lb_service.Server.create ~config () in
@@ -856,7 +1099,7 @@ let serve_cmd =
       const run $ port_arg $ host_arg $ max_pending_arg $ plan_cache_arg
       $ result_cache_arg $ timeout_arg $ max_ticks_arg $ max_rows_arg
       $ pool_arg $ shards_arg $ no_compile_arg $ no_ivm_arg $ data_dir_arg
-      $ snapshot_every_arg $ stats_json_arg)
+      $ snapshot_every_arg $ snapshot_bytes_arg $ stats_json_arg)
 
 let () =
   let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in
@@ -871,6 +1114,7 @@ let () =
             classify_cmd;
             minimize_cmd;
             fhw_cmd;
+            colsub_cmd;
             sat_cmd;
             query_cmd;
             explain_cmd;

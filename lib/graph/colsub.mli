@@ -1,0 +1,65 @@
+(** Colorful subgraph isomorphism ColSub(H): every host vertex carries
+    a pattern vertex as its color; a solution picks one host vertex per
+    color so that pattern edges map to host edges.  The workload of
+    Marx's ETH lower bound (no [n^{o(k/log k)}] algorithm even for
+    max-degree-3 patterns), and - because the color classes partition
+    the host - a clean binary CSP with primal graph [H] that a tree
+    decomposition of [H] solves in [n^{tw(H)+1}] instead of the
+    backtracking's [n^k].
+
+    The CSP evaluation route lives in [Lb_reductions.Colsub_to_csp]
+    ([lb_graph] sits below [lb_csp]); all routes return bit-identical
+    verdicts and witnesses verified by {!verify}. *)
+
+type t
+
+(** [make ~pattern ~host ~colors] with [colors.(v)] the pattern vertex
+    host vertex [v] may represent.  Raises [Invalid_argument] unless
+    [colors] assigns every host vertex a color in
+    [\[0, vertex_count pattern)]. *)
+val make : pattern:Graph.t -> host:Graph.t -> colors:int array -> t
+
+val pattern : t -> Graph.t
+val host : t -> Graph.t
+val colors : t -> int array
+
+(** The color classes as a {!Subgraph_iso.partition}:
+    [(classes t).(i)] lists the host vertices colored [i], ascending. *)
+val classes : t -> int array array
+
+(** Is [f] a colorful embedding - one host vertex per color, pattern
+    edges to host edges? *)
+val verify : t -> int array -> bool
+
+(** Backtracking route: delegates to {!Subgraph_iso.find} on the color
+    classes ([ctx] governance included, [subgraph_iso.nodes]
+    metrics). *)
+val find_backtracking : ?ctx:Lb_util.Exec.t -> t -> int array option
+
+(** Count all colorful embeddings by exhaustive candidate-intersection
+    backtracking: ~[n^k] nodes on dense hosts.  Ticks the budget and
+    counts [colsub.bt.nodes] once per attempted extension. *)
+val count_backtracking : ?ctx:Lb_util.Exec.t -> t -> int
+
+(** A tree decomposition of the pattern via
+    {!Treewidth.best_effort}. *)
+val default_decomposition : t -> Tree_decomposition.t
+
+(** Decomposition route: per-bag tables of locally consistent
+    assignments, extension counts merged bottom-up over the rooted
+    decomposition tree.  Work is one budget tick + one
+    [colsub.dp.rows] per enumerated candidate row
+    (~[sum_bags n^{|bag|}], i.e. [n^{tw(H)+1}] under the default
+    decomposition) plus [colsub.dp.bags] per bag.  Raises
+    [Invalid_argument] if [decomposition] is not a valid decomposition
+    of the pattern. *)
+val count_decomposed :
+  ?ctx:Lb_util.Exec.t -> ?decomposition:Tree_decomposition.t -> t -> int
+
+(** Witness form of {!count_decomposed}: a colorful embedding read off
+    the DP tables top-down, or [None]. *)
+val find_decomposed :
+  ?ctx:Lb_util.Exec.t ->
+  ?decomposition:Tree_decomposition.t ->
+  t ->
+  int array option

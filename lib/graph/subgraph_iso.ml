@@ -11,11 +11,21 @@
    one vertex is chosen per class). *)
 
 module Bitset = Lb_util.Bitset
+module Exec = Lb_util.Exec
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
 
 type partition = int array array
 (* classes.(i) = host vertices allowed as the image of pattern vertex i *)
 
-let find pattern host (classes : partition) =
+(* One tick / one [subgraph_iso.nodes] count per attempted extension of
+   the partial map - the search-tree node count both solvers share. *)
+let charge budget metrics =
+  (match budget with Some b -> Budget.tick b | None -> ());
+  Metrics.incr metrics "subgraph_iso.nodes"
+
+let find ?ctx pattern host (classes : partition) =
+  let ex = Exec.resolve ?ctx () in
   let h = Graph.vertex_count pattern in
   if Array.length classes <> h then invalid_arg "Subgraph_iso.find";
   let ng = Graph.vertex_count host in
@@ -40,6 +50,7 @@ let find pattern host (classes : partition) =
         (try
            Bitset.iter
              (fun c ->
+               charge ex.Exec.budget ex.Exec.metrics;
                image.(v) <- c;
                if go (i + 1) then begin
                  found := true;
@@ -58,7 +69,8 @@ let find pattern host (classes : partition) =
    the paper contrasts with: an INJECTIVE map sending pattern edges to
    host edges.  Same candidate-intersection backtracking plus a
    used-vertex mask. *)
-let find_unpartitioned pattern host =
+let find_unpartitioned ?ctx pattern host =
+  let ex = Exec.resolve ?ctx () in
   let h = Graph.vertex_count pattern in
   let ng = Graph.vertex_count host in
   if h = 0 then Some [||]
@@ -83,6 +95,7 @@ let find_unpartitioned pattern host =
            Bitset.iter
              (fun c ->
                if not used.(c) then begin
+                 charge ex.Exec.budget ex.Exec.metrics;
                  image.(v) <- c;
                  used.(c) <- true;
                  if go (i + 1) then begin

@@ -7,16 +7,21 @@ type partition = int array array
     pattern vertex [i]. *)
 
 (** [find pattern host classes] returns the image array, or [None].
-    Raises [Invalid_argument] if the partition size differs from the
-    pattern's vertex count. *)
-val find : Graph.t -> Graph.t -> partition -> int array option
+    [ctx]'s budget is ticked once per attempted extension of the
+    partial map and its metrics sink counts the same search-tree nodes
+    as [subgraph_iso.nodes].  Raises [Invalid_argument] if the
+    partition size differs from the pattern's vertex count, and
+    [Lb_util.Budget.Budget_exhausted] when the budget runs out. *)
+val find :
+  ?ctx:Lb_util.Exec.t -> Graph.t -> Graph.t -> partition -> int array option
 
 (** Does [f] pick one vertex per class and map pattern edges to host
     edges? *)
 val respects : Graph.t -> Graph.t -> partition -> int array -> bool
 
 (** Plain subgraph isomorphism (the standard variant): an injective map
-    sending pattern edges to host edges. *)
-val find_unpartitioned : Graph.t -> Graph.t -> int array option
+    sending pattern edges to host edges.  Same governance as {!find}. *)
+val find_unpartitioned :
+  ?ctx:Lb_util.Exec.t -> Graph.t -> Graph.t -> int array option
 
 val is_subgraph_embedding : Graph.t -> Graph.t -> int array -> bool

@@ -118,3 +118,15 @@ let exact ?(max_n = 9) h =
    covered; a cheap certificate used by tests. *)
 let is_width_one h =
   Hypergraph.covers_all_vertices h && Acyclic.is_acyclic h
+
+(* The decomposition itself, not just its width: exact elimination-order
+   search when the hypergraph is small enough, the greedy orders
+   otherwise, realized as bags + tree over the primal graph.  This is
+   what the planner hands to [Decomposed_join] when fhw beats rho*. *)
+let decomposition ?(max_n = 9) h =
+  let width, order =
+    if Hypergraph.vertex_count h <= max_n then exact ~max_n h
+    else heuristic_upper_bound h
+  in
+  let g = Hypergraph.primal h in
+  (width, Lb_graph.Tree_decomposition.of_elimination_order g order)

@@ -23,3 +23,11 @@ val exact : ?max_n:int -> Hypergraph.t -> float * int array
 (** Cheap certificate: fhw = 1 iff alpha-acyclic with all vertices
     covered. *)
 val is_width_one : Hypergraph.t -> bool
+
+(** An actual decomposition (bags + tree) together with its fractional
+    hypertree width: {!exact} elimination-order search when the
+    hypergraph has at most [max_n] (default 9) vertices,
+    {!heuristic_upper_bound} otherwise.  The bags live on the primal
+    graph's vertices, i.e. the hypergraph's. *)
+val decomposition :
+  ?max_n:int -> Hypergraph.t -> float * Lb_graph.Tree_decomposition.t

@@ -1,0 +1,48 @@
+(* k-Clique => ColSub(K_k), the hardness-transfer source feeding Marx's
+   lower bound machinery (SNIPPETS snippet 2 / Section 5): color class
+   i is a full copy of V(G), and two copies (i,u), (j,v) are adjacent
+   iff i <> j and uv is an edge of G.  A colorful K_k picks one
+   G-vertex per copy with all pairs adjacent in G - exactly a k-clique
+   (distinctness is forced because G has no self-loops) - so any
+   ColSub(H) algorithm with exponent o(k/log k) would break ETH via
+   this map. *)
+
+module Graph = Lb_graph.Graph
+module Colsub = Lb_graph.Colsub
+
+let to_colsub g k =
+  if k <= 0 then invalid_arg "Clique_to_colsub.to_colsub: k must be positive";
+  let n = Graph.vertex_count g in
+  let pattern = Graph.create k in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Graph.add_edge pattern i j
+    done
+  done;
+  let host = Graph.create (k * n) in
+  Graph.iter_edges
+    (fun u v ->
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          if i <> j then Graph.add_edge host ((i * n) + u) ((j * n) + v)
+        done
+      done)
+    g;
+  let colors = Array.init (k * n) (fun hv -> hv / n) in
+  Colsub.make ~pattern ~host ~colors
+
+(* Colorful embedding -> clique vertex set: strip the copy index. *)
+let clique_back g f =
+  let n = Graph.vertex_count g in
+  Array.map (fun hv -> hv mod n) f
+
+let preserves g k =
+  let inst = to_colsub g k in
+  match Colsub.find_backtracking inst with
+  | Some f ->
+      Colsub.verify inst f
+      &&
+      let vs = clique_back g f in
+      List.length (List.sort_uniq compare (Array.to_list vs)) = k
+      && Graph.is_clique g vs
+  | None -> Lb_graph.Clique.find_bruteforce g k = None

@@ -1,0 +1,14 @@
+(** k-Clique => ColSub(K_k) (Section 5): color class [i] is a copy of
+    [V(G)]; copies [(i,u)] and [(j,v)] are adjacent iff [i <> j] and
+    [uv] is an edge of [G].  Colorful embeddings of [K_k] are exactly
+    the k-cliques of [G], so ColSub inherits clique's hardness. *)
+
+(** The instance; raises [Invalid_argument] when [k <= 0]. *)
+val to_colsub : Lb_graph.Graph.t -> int -> Lb_graph.Colsub.t
+
+(** Colorful embedding -> the clique's vertex set in [G]. *)
+val clique_back : Lb_graph.Graph.t -> int array -> int array
+
+(** Solutions map to k-cliques and non-solutions certify none exist
+    (differential against [Clique.find_bruteforce]). *)
+val preserves : Lb_graph.Graph.t -> int -> bool

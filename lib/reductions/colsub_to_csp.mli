@@ -1,0 +1,20 @@
+(** ColSub(H) as a binary CSP (Section 2.3): variables = pattern
+    vertices, domain = host vertices, unary color-class constraints,
+    and one binary constraint per pattern edge allowing exactly the
+    host edges between the two classes.  The CSP evaluation route of
+    the colorful-subgraph workload. *)
+
+val to_csp : Lb_graph.Colsub.t -> Lb_csp.Csp.t
+
+(** CSP solution -> colorful embedding (host-vertex terms already). *)
+val embedding_back : int array -> int array
+
+(** Solve through {!Lb_csp.Solver} ([ctx] governs the search;
+    [csp_solver.*] metrics). *)
+val find : ?ctx:Lb_util.Exec.t -> Lb_graph.Colsub.t -> int array option
+
+(** Count all colorful embeddings through the CSP solver. *)
+val count : ?ctx:Lb_util.Exec.t -> Lb_graph.Colsub.t -> int
+
+(** Witnesses verify and failures agree with the backtracking route. *)
+val preserves : Lb_graph.Colsub.t -> bool

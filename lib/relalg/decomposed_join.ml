@@ -16,9 +16,14 @@
 
    This is how bounded-fhw classes of cyclic queries are evaluated in
    polynomial time - strictly more than bounded treewidth, strictly more
-   than acyclicity. *)
+   than acyclicity.  The serve-tier planner routes through here when
+   fhw beats rho*; [~compile] reuses the compiled loop-nest tier for
+   the per-bag WCOJ (bit-identical to the interpreted path, falling
+   back on queries the lowerer refuses). *)
 
 module Td = Lb_graph.Tree_decomposition
+module Exec = Lb_util.Exec
+module Metrics = Lb_util.Metrics
 
 type stats = {
   width : int; (* bag size - 1 of the decomposition used *)
@@ -31,7 +36,17 @@ let default_decomposition (q : Query.t) =
   let _, order, _ = Lb_graph.Treewidth.best_effort g in
   Td.of_elimination_order g order
 
-let bag_relation db (q : Query.t) attrs_of_query bag =
+(* WCOJ on the temporary per-bag database: the compiled loop nest when
+   asked (same answers, counters and ticks as interpreted Generic
+   Join), the interpreter otherwise or when lowering refuses. *)
+let wcoj ?ctx ~compile db q =
+  if compile then
+    match Compile.lower ~engine:Compile.Generic q with
+    | ir -> Compile.answer ?ctx ir db q
+    | exception Invalid_argument _ -> Generic_join.answer ?ctx db q
+  else Generic_join.answer ?ctx db q
+
+let bag_relation ?ctx ?(compile = false) db (q : Query.t) attrs_of_query bag =
   (* attributes of this bag *)
   let bag_attrs = Array.map (fun v -> attrs_of_query.(v)) bag in
   let in_bag a = Array.exists (( = ) a) bag_attrs in
@@ -63,12 +78,37 @@ let bag_relation db (q : Query.t) attrs_of_query bag =
               i + 1 ))
           (Database.empty, [], 0) parts
       in
-      Generic_join.answer tmp_db (List.rev tmp_q)
+      wcoj ?ctx ~compile tmp_db (List.rev tmp_q)
 
-let answer ?decomposition db (q : Query.t) =
+(* Materialize every bag, recording the deterministic per-bag counters
+   ([decomposed_join.bags] / [decomposed_join.bag_tuples]). *)
+let materialize_bags ex ~compile db q attrs bags =
+  Array.map
+    (fun bag ->
+      let rel = bag_relation ~ctx:ex ~compile db q attrs bag in
+      Metrics.incr ex.Exec.metrics "decomposed_join.bags";
+      Metrics.add ex.Exec.metrics "decomposed_join.bag_tuples"
+        (Relation.cardinality rel);
+      rel)
+    bags
+
+let bag_query bag_rels =
+  let bag_db, bag_q, _ =
+    Array.fold_left
+      (fun (db', q', i) rel ->
+        let name = Printf.sprintf "__B%d" i in
+        ( Database.add db' name rel,
+          Query.atom name (Relation.attrs rel) :: q',
+          i + 1 ))
+      (Database.empty, [], 0) bag_rels
+  in
+  (bag_db, List.rev bag_q)
+
+let answer ?ctx ?(compile = false) ?decomposition db (q : Query.t) =
   match q with
   | [] -> (Relation.make [||] [ [||] ], { width = -1; max_bag_tuples = 1 })
   | _ ->
+      let ex = Exec.resolve ?ctx () in
       let td =
         match decomposition with
         | Some t -> t
@@ -76,48 +116,27 @@ let answer ?decomposition db (q : Query.t) =
       in
       let attrs = Query.attributes q in
       let bags = Td.bags td in
-      (* materialize every bag *)
-      let bag_rels =
-        Array.map (fun bag -> bag_relation db q attrs bag) bags
-      in
+      let bag_rels = materialize_bags ex ~compile db q attrs bags in
       let max_bag =
         Array.fold_left (fun acc r -> max acc (Relation.cardinality r)) 0 bag_rels
       in
       (* acyclic query over the bags *)
-      let bag_db, bag_q, _ =
-        Array.fold_left
-          (fun (db', q', i) rel ->
-            let name = Printf.sprintf "__B%d" i in
-            ( Database.add db' name rel,
-              Query.atom name (Relation.attrs rel) :: q',
-              i + 1 ))
-          (Database.empty, [], 0) bag_rels
-      in
-      let bag_q = List.rev bag_q in
-      let result, _ = Yannakakis.answer bag_db bag_q in
+      let bag_db, bag_q = bag_query bag_rels in
+      let result, _ = Yannakakis.answer ~ctx:ex bag_db bag_q in
       (result, { width = Td.width td; max_bag_tuples = max_bag })
 
 (* Boolean variant: bag materialization + the semijoin-only reducer. *)
-let boolean_answer ?decomposition db (q : Query.t) =
+let boolean_answer ?ctx ?(compile = false) ?decomposition db (q : Query.t) =
   match q with
   | [] -> true
   | _ ->
+      let ex = Exec.resolve ?ctx () in
       let td =
         match decomposition with
         | Some t -> t
         | None -> default_decomposition q
       in
       let attrs = Query.attributes q in
-      let bag_rels =
-        Array.map (fun bag -> bag_relation db q attrs bag) (Td.bags td)
-      in
-      let bag_db, bag_q, _ =
-        Array.fold_left
-          (fun (db', q', i) rel ->
-            let name = Printf.sprintf "__B%d" i in
-            ( Database.add db' name rel,
-              Query.atom name (Relation.attrs rel) :: q',
-              i + 1 ))
-          (Database.empty, [], 0) bag_rels
-      in
-      Yannakakis.boolean_answer bag_db (List.rev bag_q)
+      let bag_rels = materialize_bags ex ~compile db q attrs (Td.bags td) in
+      let bag_db, bag_q = bag_query bag_rels in
+      Yannakakis.boolean_answer ~ctx:ex bag_db bag_q

@@ -2,26 +2,37 @@
 
      acyclic              -> Yannakakis   (O(input + output), exponent 1)
      <= 2 atoms           -> Binary_hash  (a single hash join is optimal)
+     cyclic, fhw < rho*   -> Decomposed   (bag materialization at N^fhw
+                                           + Yannakakis over the join tree)
      cyclic, arity <= 2   -> Leapfrog     (graph-shaped: sorted streams win)
      cyclic, arity  > 2   -> Generic_join (columnar tries at any arity)
 
-   Both WCOJ choices run at the AGM exponent rho*; the greedy binary
-   plan's max prefix exponent is >= rho* by construction (the last
-   prefix is the whole query), so on cyclic queries with >= 3 atoms a
-   WCOJ engine is never predicted to lose. *)
+   Both flat WCOJ choices run at the AGM exponent rho*; the greedy
+   binary plan's max prefix exponent is >= rho* by construction (the
+   last prefix is the whole query), so on cyclic queries with >= 3
+   atoms a WCOJ engine is never predicted to lose.  The decomposition
+   route refines this further: a fractional hypertree decomposition
+   (computed via the lb_lp simplex per bag) caps every bag at
+   N^{rho*(bag)} <= N^{fhw}, so whenever fhw < rho* the decomposition
+   strictly beats the flat engines on worst-case data - the
+   Fan-Koutris / Ngo upper-bound recipe the paper's Section 3-4
+   machinery composes into. *)
 
 module Q = Lb_relalg.Query
 module Cost = Lb_relalg.Cost
+module Fhw = Lb_hypergraph.Fhw
+module Td = Lb_graph.Tree_decomposition
 
-type engine = Yannakakis | Generic_join | Leapfrog | Binary_hash
+type engine = Yannakakis | Generic_join | Leapfrog | Binary_hash | Decomposed
 
 let engine_name = function
   | Yannakakis -> "yannakakis"
   | Generic_join -> "generic_join"
   | Leapfrog -> "leapfrog"
   | Binary_hash -> "binary_hash"
+  | Decomposed -> "decomposed"
 
-let all_engines = [ Yannakakis; Generic_join; Leapfrog; Binary_hash ]
+let all_engines = [ Yannakakis; Generic_join; Leapfrog; Binary_hash; Decomposed ]
 
 let engine_of_name s =
   match
@@ -38,15 +49,17 @@ type plan = {
   forced : bool;
   acyclic : bool;
   rho_star : float option;
+  fhw : float option;
   predicted_exponent : float;
   atom_order : int list option;
+  decomposition : Td.t option;
   compiled : Lb_relalg.Compile.ir option;
   explanation : string list;
 }
 
 let advisor_strategy = function
   | Yannakakis -> Lowerbounds.Advisor.Yannakakis
-  | Generic_join | Leapfrog -> Lowerbounds.Advisor.Worst_case_optimal
+  | Generic_join | Leapfrog | Decomposed -> Lowerbounds.Advisor.Worst_case_optimal
   | Binary_hash -> Lowerbounds.Advisor.Binary_plan
 
 let max_arity (q : Q.t) =
@@ -64,7 +77,9 @@ let bound_statements (q : Q.t) =
    rides in the plan cache and is re-resolved against fresh tries per
    execution.  [lower] cannot fail on a parsed query (every attribute
    of the default order comes from an atom), but planning must never
-   die on a lowering bug - degrade to the interpreted path instead. *)
+   die on a lowering bug - degrade to the interpreted path instead.
+   The decomposition route compiles per bag at execution time
+   ([Decomposed_join]'s [~compile]), so it carries no top-level IR. *)
 let lower_ir engine (q : Q.t) =
   let lower ce =
     match Lb_relalg.Compile.lower ~engine:ce q with
@@ -74,16 +89,19 @@ let lower_ir engine (q : Q.t) =
   match engine with
   | Generic_join -> lower Lb_relalg.Compile.Generic
   | Leapfrog -> lower Lb_relalg.Compile.Leapfrog
-  | Yannakakis | Binary_hash -> None
+  | Yannakakis | Binary_hash | Decomposed -> None
 
-let mk ?atom_order ?compiled ~forced ~acyclic ~rho ~exponent ~why engine q =
+let mk ?atom_order ?compiled ?fhw ?decomposition ~forced ~acyclic ~rho ~exponent
+    ~why engine q =
   {
     engine;
     forced;
     acyclic;
     rho_star = rho;
+    fhw;
     predicted_exponent = exponent;
     atom_order;
+    decomposition;
     compiled;
     explanation =
       (Printf.sprintf "strategy: %s [%s]" (engine_name engine)
@@ -99,19 +117,58 @@ let wcoj_exponent_or_atoms (q : Q.t) =
      trivial exponent |atoms| (a full cross product). *)
   | None -> (None, float_of_int (List.length q))
 
-let choose_engine (q : Q.t) =
-  if Lb_relalg.Yannakakis.is_acyclic q then Yannakakis
-  else if List.length q <= 2 then Binary_hash
-  else if max_arity q <= 2 then Leapfrog
-  else Generic_join
+(* fhw and the realizing decomposition, for the shapes where a
+   decomposition route could exist (cyclic, >= 3 atoms - anything else
+   already has an exponent-1 or single-join plan).  Exact
+   elimination-order search up to 8 attributes, greedy beyond; the
+   per-bag covers come from the lb_lp simplex. *)
+let fhw_info ~acyclic (q : Q.t) =
+  if acyclic || List.length q < 3 then None
+  else
+    match Fhw.decomposition ~max_n:8 (Q.hypergraph q) with
+    | w, td when w < infinity -> Some (w, td)
+    | _ -> None
+    | exception Invalid_argument _ -> None
 
-let build ?(compile = true) ~forced engine db (q : Q.t) =
+(* The fhw-vs-rho* route verdict, pinned by the explain golden test.
+   Decomposition wins only with a real margin - ties go to the flat
+   engines, whose constant factors are lower. *)
+let margin = 1e-6
+
+let decomposition_wins ~info ~rho =
+  match (info, rho) with
+  | Some (w, _), Some r -> w < r -. margin
+  | _ -> false
+
+let flat_route_line ~forced ~info ~rho =
+  match (info, rho) with
+  | Some (w, _), Some r ->
+      if w < r -. margin then
+        [
+          Printf.sprintf
+            "route: flat%s; a decomposition would cap bags at N^%.3f (fhw) \
+             vs N^%.3f (rho*)"
+            (if forced then " (forced engine)" else "")
+            w r;
+        ]
+      else
+        [
+          Printf.sprintf
+            "route: flat (fhw %.3f >= rho* %.3f: a decomposition cannot \
+             beat the AGM exponent)"
+            w r;
+        ]
+  | _ -> []
+
+let build ?(compile = true) ?info ~forced engine db (q : Q.t) =
   let acyclic = Lb_relalg.Yannakakis.is_acyclic q in
+  let info = match info with Some i -> i | None -> fhw_info ~acyclic q in
+  let fhw = Option.map fst info in
   let rho, wcoj_exp = wcoj_exponent_or_atoms q in
   let compiled = if compile then lower_ir engine q else None in
   match engine with
   | Yannakakis ->
-      mk ~forced ~acyclic ~rho ~exponent:1.0
+      mk ~forced ~acyclic ~rho ?fhw ~exponent:1.0
         ~why:
           [
             "query is alpha-acyclic: semijoin reduction caps every \
@@ -119,25 +176,23 @@ let build ?(compile = true) ~forced engine db (q : Q.t) =
           ]
         Yannakakis q
   | Generic_join ->
-      mk ?compiled ~forced ~acyclic ~rho ~exponent:wcoj_exp
+      mk ?compiled ~forced ~acyclic ~rho ?fhw ~exponent:wcoj_exp
         ~why:
-          [
-            Printf.sprintf
-              "worst-case optimal: Generic Join runs in O(N^%.3f), the AGM \
-               bound (Theorem 3.3)"
-              wcoj_exp;
-          ]
+          (Printf.sprintf
+             "worst-case optimal: Generic Join runs in O(N^%.3f), the AGM \
+              bound (Theorem 3.3)"
+             wcoj_exp
+          :: flat_route_line ~forced ~info ~rho)
         Generic_join q
   | Leapfrog ->
-      mk ?compiled ~forced ~acyclic ~rho ~exponent:wcoj_exp
+      mk ?compiled ~forced ~acyclic ~rho ?fhw ~exponent:wcoj_exp
         ~why:
-          [
-            Printf.sprintf
-              "worst-case optimal: Leapfrog Triejoin runs in O(N^%.3f), the \
-               AGM bound (Theorem 3.3); all atoms are binary, so sorted-key \
-               leapfrogging applies directly"
-              wcoj_exp;
-          ]
+          (Printf.sprintf
+             "worst-case optimal: Leapfrog Triejoin runs in O(N^%.3f), the \
+              AGM bound (Theorem 3.3); all atoms are binary, so sorted-key \
+              leapfrogging applies directly"
+             wcoj_exp
+          :: flat_route_line ~forced ~info ~rho)
         Leapfrog q
   | Binary_hash ->
       let order, exponent =
@@ -156,11 +211,47 @@ let build ?(compile = true) ~forced engine db (q : Q.t) =
               exponent;
           ]
       in
-      mk ?atom_order:order ~forced ~acyclic ~rho ~exponent ~why Binary_hash q
+      mk ?atom_order:order ~forced ~acyclic ~rho ?fhw ~exponent ~why Binary_hash
+        q
+  | Decomposed ->
+      (* Forced on a shape the router skips (acyclic / < 3 atoms):
+         compute the decomposition here; it is still correct, just not
+         predicted to win. *)
+      let w, td =
+        match info with
+        | Some (w, td) -> (w, td)
+        | None -> Fhw.decomposition ~max_n:8 (Q.hypergraph q)
+      in
+      let rho_str =
+        match rho with Some r -> Printf.sprintf "%.3f" r | None -> "undefined"
+      in
+      mk ~forced ~acyclic ~rho ~fhw:w ~decomposition:td ~exponent:w
+        ~why:
+          [
+            Printf.sprintf
+              "route: decomposition (fhw %.3f vs rho* %s): materialize %d \
+               bags by worst-case-optimal join, each capped at N^%.3f \
+               (Theorem 3.1), then Yannakakis over the join tree"
+              w rho_str (Td.bag_count td) w;
+          ]
+        Decomposed q
 
-let choose ?compile db q = build ?compile ~forced:false (choose_engine q) db q
+let choose_engine ~info ~rho (q : Q.t) =
+  if Lb_relalg.Yannakakis.is_acyclic q then Yannakakis
+  else if List.length q <= 2 then Binary_hash
+  else if decomposition_wins ~info ~rho then Decomposed
+  else if max_arity q <= 2 then Leapfrog
+  else Generic_join
+
+let choose ?compile db q =
+  let acyclic = Lb_relalg.Yannakakis.is_acyclic q in
+  let info = fhw_info ~acyclic q in
+  let rho = Cost.wcoj_exponent q in
+  build ?compile ~info ~forced:false (choose_engine ~info ~rho q) db q
 
 let plan_for ?compile engine db q =
   if engine = Yannakakis && not (Lb_relalg.Yannakakis.is_acyclic q) then
     Error "yannakakis requires an alpha-acyclic query"
+  else if engine = Decomposed && q = [] then
+    Error "decomposed requires a non-empty query"
   else Ok (build ?compile ~forced:true engine db q)

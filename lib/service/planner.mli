@@ -1,21 +1,26 @@
 (** The structure-aware planner: choose an evaluation engine for a join
     query from the structural parameters the paper shows are decisive -
     acyclicity (Yannakakis, O(input + output)), rho* (worst-case-optimal
-    joins at N^{rho*}), and per-prefix AGM exponents (what a binary hash
-    plan risks materializing).
+    joins at N^{rho*}), fractional hypertree width (decomposition +
+    bag materialization at N^{fhw} when fhw beats rho-star), and per-prefix
+    AGM exponents (what a binary hash plan risks materializing).
 
     The choice is deterministic and explainable: every plan carries its
-    predicted exponent and the reasoning, reusing the
-    {!Lowerbounds.Bounds} / {!Lowerbounds.Advisor} vocabulary. *)
+    predicted exponent, both structural bounds (rho* and fhw) and the
+    fhw-vs-rho* route verdict, reusing the {!Lowerbounds.Bounds} /
+    {!Lowerbounds.Advisor} vocabulary. *)
 
 type engine =
   | Yannakakis  (** acyclic only: semijoin reduction + bottom-up joins *)
   | Generic_join  (** WCOJ, variable-at-a-time intersections *)
   | Leapfrog  (** WCOJ, sorted-stream leapfrogging *)
   | Binary_hash  (** left-deep hash joins in a greedy order *)
+  | Decomposed
+      (** fractional hypertree decomposition: WCOJ per bag + Yannakakis
+          over the join tree ({!Lb_relalg.Decomposed_join}) *)
 
 (** Protocol identifier: ["yannakakis"], ["generic_join"],
-    ["leapfrog"], ["binary_hash"]. *)
+    ["leapfrog"], ["binary_hash"], ["decomposed"]. *)
 val engine_name : engine -> string
 
 val engine_of_name : string -> (engine, string) result
@@ -27,15 +32,26 @@ type plan = {
   forced : bool;  (** the client requested this engine explicitly *)
   acyclic : bool;
   rho_star : float option;
+  fhw : float option;
+      (** fractional hypertree width, computed (exact up to 8
+          attributes, greedy beyond) for cyclic queries with >= 3
+          atoms; [None] on shapes where no decomposition route
+          exists *)
   predicted_exponent : float;
       (** exponent e of the N^e work/size prediction: 1.0 when acyclic,
-          rho* for WCOJ engines, the max prefix-subquery AGM exponent
-          for binary plans *)
+          rho* for flat WCOJ engines, fhw for the decomposition route,
+          the max prefix-subquery AGM exponent for binary plans *)
   atom_order : int list option;  (** binary plans: the greedy order *)
+  decomposition : Lb_graph.Tree_decomposition.t option;
+      (** the realizing decomposition ({!engine} = [Decomposed]):
+          bags over the query's attribute indices, handed to
+          {!Lb_relalg.Decomposed_join.answer} *)
   compiled : Lb_relalg.Compile.ir option;
       (** WCOJ engines: the plan lowered to a monomorphic loop nest
           ({!Lb_relalg.Compile}); schema-only, so it rides in the plan
-          cache.  [None] for other engines or with [~compile:false]. *)
+          cache.  [None] for other engines or with [~compile:false].
+          The decomposition route instead compiles per bag at
+          execution time. *)
   explanation : string list;
 }
 
@@ -43,9 +59,11 @@ type plan = {
     - acyclic queries run Yannakakis (predicted exponent 1.0);
     - at most two atoms run a direct hash join (nothing to gain from
       tries);
-    - cyclic queries of arity <= 2 run Leapfrog, higher arities
-      Generic Join - both at the AGM exponent, which the greedy binary
-      plan's prefix exponent can only match or exceed.
+    - cyclic queries whose fhw beats rho* route through decomposition
+      (bag materialization at N^{fhw} + Yannakakis);
+    - remaining cyclic queries of arity <= 2 run Leapfrog, higher
+      arities Generic Join - both at the AGM exponent, which the
+      greedy binary plan's prefix exponent can only match or exceed.
 
     [compile] (default [true]) also lowers WCOJ plans to the compiled
     tier; [~compile:false] is the interpreted escape hatch. *)
@@ -53,7 +71,8 @@ val choose :
   ?compile:bool -> Lb_relalg.Database.t -> Lb_relalg.Query.t -> plan
 
 (** Plan for a client-forced engine.  [Error] when the engine cannot
-    run the query (Yannakakis on a cyclic query). *)
+    run the query (Yannakakis on a cyclic query, Decomposed on an
+    empty one). *)
 val plan_for :
   ?compile:bool ->
   engine ->

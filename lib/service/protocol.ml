@@ -25,12 +25,45 @@ let default_opts =
     max_ticks = None;
   }
 
+type colsub_method = Cs_auto | Cs_backtracking | Cs_csp | Cs_decomposition
+
+let colsub_method_name = function
+  | Cs_auto -> "auto"
+  | Cs_backtracking -> "backtracking"
+  | Cs_csp -> "csp"
+  | Cs_decomposition -> "decomposition"
+
+let colsub_method_of_name s =
+  match String.lowercase_ascii s with
+  | "auto" -> Ok Cs_auto
+  | "backtracking" -> Ok Cs_backtracking
+  | "csp" -> Ok Cs_csp
+  | "decomposition" -> Ok Cs_decomposition
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown colsub method %S (expected auto, backtracking, csp, or \
+            decomposition)"
+           s)
+
+type colsub_req = {
+  k : int;
+  pattern_edges : (int * int) list;
+  colors : int list;
+  host_edges : (int * int) list;
+  meth : colsub_method;
+  count : bool;
+  cs_timeout_ms : int option;
+  cs_max_ticks : int option;
+}
+
 type request =
   | Load of { name : string; attrs : string list; tuples : int list list }
   | Insert of { name : string; tuples : int list list }
   | Delete of { name : string; tuples : int list list }
   | Drop of { name : string }
   | Query of { text : string; opts : query_opts }
+  | Colsub of colsub_req
   | Explain of { text : string }
   | Stats
   | Checkpoint
@@ -79,6 +112,23 @@ let encode_request = function
            @ optional "limit" opts.limit (fun n -> Json.Int n)
            @ optional "timeout_ms" opts.timeout_ms (fun n -> Json.Int n)
            @ optional "max_ticks" opts.max_ticks (fun n -> Json.Int n)))
+  | Colsub c ->
+      let optional name v f = Option.to_list (Option.map (fun x -> (name, f x)) v) in
+      let edges es =
+        Json.List
+          (List.map (fun (u, v) -> Json.List [ Json.Int u; Json.Int v ]) es)
+      in
+      Json.Obj
+        (("op", Json.String "colsub")
+        :: ("k", Json.Int c.k)
+        :: ("pattern", edges c.pattern_edges)
+        :: ("colors", Json.List (List.map (fun v -> Json.Int v) c.colors))
+        :: ("host", edges c.host_edges)
+        :: ((if c.meth = Cs_auto then []
+             else [ ("method", Json.String (colsub_method_name c.meth)) ])
+           @ (if c.count then [ ("count", Json.Bool true) ] else [])
+           @ optional "timeout_ms" c.cs_timeout_ms (fun n -> Json.Int n)
+           @ optional "max_ticks" c.cs_max_ticks (fun n -> Json.Int n)))
   | Explain { text } ->
       Json.Obj [ ("op", Json.String "explain"); ("q", Json.String text) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
@@ -135,8 +185,51 @@ let known_fields = function
   | "query" ->
       [ "op"; "v"; "q"; "engine"; "count_only"; "limit"; "timeout_ms";
         "max_ticks" ]
+  | "colsub" ->
+      [ "op"; "v"; "k"; "pattern"; "colors"; "host"; "method"; "count";
+        "timeout_ms"; "max_ticks" ]
   | "explain" -> [ "op"; "v"; "q" ]
   | _ -> [ "op"; "v" ]
+
+(* [[u,v], ...] edge lists of the colsub op. *)
+let decode_edges name v =
+  let* rows = Json.list_field name v in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Json.List [ Json.Int u; Json.Int v ] :: rest -> go ((u, v) :: acc) rest
+    | _ ->
+        Error
+          (Printf.sprintf "%S must be an array of [u, v] integer pairs" name)
+  in
+  go [] rows
+
+let decode_int_list name v =
+  let* cells = Json.list_field name v in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Json.Int i :: rest -> go (i :: acc) rest
+    | _ -> Error (Printf.sprintf "%S must be an array of integers" name)
+  in
+  go [] cells
+
+let decode_colsub v =
+  let* k = Json.int_field "k" v in
+  let* pattern_edges = decode_edges "pattern" v in
+  let* colors = decode_int_list "colors" v in
+  let* host_edges = decode_edges "host" v in
+  let* meth_name = Json.opt_string_field "method" v in
+  let* meth =
+    match meth_name with
+    | None -> Ok Cs_auto
+    | Some s -> colsub_method_of_name s
+  in
+  let* count = Json.opt_bool_field "count" v in
+  let* cs_timeout_ms = Json.opt_int_field "timeout_ms" v in
+  let* cs_max_ticks = Json.opt_int_field "max_ticks" v in
+  Ok
+    (Colsub
+       { k; pattern_edges; colors; host_edges; meth; count; cs_timeout_ms;
+         cs_max_ticks })
 
 let decode_request v =
   match v with
@@ -179,6 +272,7 @@ let decode_request v =
           let* text = Json.string_field "q" v in
           let* opts = decode_query_opts v in
           Ok (Query { text; opts })
+      | "colsub" -> decode_colsub v
       | "explain" ->
           let* text = Json.string_field "q" v in
           Ok (Explain { text })
@@ -227,9 +321,14 @@ let plan_to_json (p : Planner.plan) =
        ("acyclic", Json.Bool p.acyclic);
        ( "rho_star",
          match p.rho_star with Some r -> Json.Float r | None -> Json.Null );
+       ("fhw", match p.fhw with Some w -> Json.Float w | None -> Json.Null);
        ("predicted_exponent", Json.Float p.predicted_exponent);
        ("compiled", Json.Bool (p.compiled <> None));
      ]
+    @ (match p.decomposition with
+      | Some td ->
+          [ ("bags", Json.Int (Lb_graph.Tree_decomposition.bag_count td)) ]
+      | None -> [])
     @ (match p.atom_order with
       | Some order ->
           [ ("atom_order", Json.List (List.map (fun i -> Json.Int i) order)) ]
@@ -284,14 +383,25 @@ let overloaded_response ~pending ~max_pending =
       ("max_pending", Json.Int max_pending);
     ]
 
+let timeout_tail ~reason ~ticks ~elapsed_ms ~partial =
+  [
+    ("reason", Json.String reason);
+    ("ticks", Json.Int ticks);
+    ("elapsed_ms", Json.Float elapsed_ms);
+    ("partial", counters_to_json partial);
+  ]
+
 let timeout_response ~plan ~reason ~ticks ~elapsed_ms ~partial =
   versioned
-    [
-      ("status", Json.String "timeout");
-      ("op", Json.String "query");
-      ("plan", plan_to_json plan);
-      ("reason", Json.String reason);
-      ("ticks", Json.Int ticks);
-      ("elapsed_ms", Json.Float elapsed_ms);
-      ("partial", counters_to_json partial);
-    ]
+    ([
+       ("status", Json.String "timeout");
+       ("op", Json.String "query");
+       ("plan", plan_to_json plan);
+     ]
+    @ timeout_tail ~reason ~ticks ~elapsed_ms ~partial)
+
+(* Timeout reply of an op that carries no query plan (colsub). *)
+let timeout_response_op ~op ~reason ~ticks ~elapsed_ms ~partial =
+  versioned
+    ([ ("status", Json.String "timeout"); ("op", Json.String op) ]
+    @ timeout_tail ~reason ~ticks ~elapsed_ms ~partial)

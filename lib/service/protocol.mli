@@ -33,6 +33,27 @@ type query_opts = {
 
 val default_opts : query_opts
 
+(** Evaluation route of the [colsub] op; [Cs_auto] lets the server
+    pick (decomposition when the pattern is small enough to decompose,
+    backtracking otherwise). *)
+type colsub_method = Cs_auto | Cs_backtracking | Cs_csp | Cs_decomposition
+
+(** ["auto"], ["backtracking"], ["csp"], ["decomposition"]. *)
+val colsub_method_name : colsub_method -> string
+
+val colsub_method_of_name : string -> (colsub_method, string) result
+
+type colsub_req = {
+  k : int;  (** pattern vertex count *)
+  pattern_edges : (int * int) list;
+  colors : int list;  (** one color in [\[0, k)] per host vertex *)
+  host_edges : (int * int) list;
+  meth : colsub_method;
+  count : bool;  (** count all colorful embeddings, not just find one *)
+  cs_timeout_ms : int option;
+  cs_max_ticks : int option;
+}
+
 type request =
   | Load of { name : string; attrs : string list; tuples : int list list }
       (** create or replace a relation *)
@@ -41,6 +62,8 @@ type request =
       (** remove tuples; absent tuples are a no-op, not an error *)
   | Drop of { name : string }
   | Query of { text : string; opts : query_opts }
+  | Colsub of colsub_req
+      (** colorful subgraph isomorphism ({!Lb_graph.Colsub}) *)
   | Explain of { text : string }
   | Stats
   | Checkpoint
@@ -83,6 +106,15 @@ val overloaded_response : pending:int -> max_pending:int -> Json.t
 
 val timeout_response :
   plan:Planner.plan ->
+  reason:string ->
+  ticks:int ->
+  elapsed_ms:float ->
+  partial:(string * int) list ->
+  Json.t
+
+(** Timeout reply of an op that carries no query plan (colsub). *)
+val timeout_response_op :
+  op:string ->
   reason:string ->
   ticks:int ->
   elapsed_ms:float ->

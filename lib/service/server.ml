@@ -37,6 +37,8 @@ type config = {
   ivm : bool;
   data_dir : string option;
   snapshot_every : int;
+  snapshot_bytes : int option;
+      (* also checkpoint whenever the WAL exceeds this many bytes *)
 }
 
 let default_config =
@@ -53,6 +55,7 @@ let default_config =
     ivm = true;
     data_dir = None;
     snapshot_every = 64;
+    snapshot_bytes = None;
   }
 
 (* Cached answer: canonical column order, sorted rows. *)
@@ -115,6 +118,10 @@ let runner t : Ivm.runner =
   | Planner.Binary_hash -> fst (Lb_relalg.Binary_plan.run db q)
   | Planner.Generic_join -> Lb_relalg.Generic_join.answer ~ctx db q
   | Planner.Leapfrog -> Lb_relalg.Leapfrog.answer ~ctx db q
+  | Planner.Decomposed ->
+      fst
+        (Lb_relalg.Decomposed_join.answer ~ctx
+           ?decomposition:plan.Planner.decomposition db q)
 
 (* Plans mention cardinalities (engine choice, greedy atom orders), so
    a write to [name] retires the plans of queries that read it; plans
@@ -310,7 +317,17 @@ let log_mutation t record =
       Wal.append d.writer ~version:(Catalog.version t.catalog) record;
       incr t "serve.wal.appends";
       d.since_snapshot <- d.since_snapshot + 1;
-      if d.since_snapshot >= max 1 t.config.snapshot_every then checkpoint t
+      (* Size-based trip: alongside the record-count policy, so a few
+         huge loads cannot balloon replay time under the record cap. *)
+      let bytes_tripped =
+        match t.config.snapshot_bytes with
+        | Some limit when Wal.size d.writer > limit ->
+            incr t "serve.wal.snapshot_bytes_trips";
+            true
+        | _ -> false
+      in
+      if bytes_tripped || d.since_snapshot >= max 1 t.config.snapshot_every
+      then checkpoint t
 
 (* Decoders for the snapshot document; malformed pieces degrade softly
    (a bad cached result is skipped, a bad snapshot ignored entirely). *)
@@ -469,6 +486,9 @@ type task = {
   sink : Metrics.t;
   budget : Budget.t option;
   shards : int;
+  compile : bool;
+      (* the server's compile setting, for engines that lower per bag
+         at execution time (Decomposed) rather than at plan time *)
   view : Shard.view option;
       (* prebuilt in the sequential phase from the catalog's warm
          partitions, so the parallel phase touches no catalog state *)
@@ -530,6 +550,20 @@ let run_engine ?pool (task : task) db =
         stats.Lb_relalg.Binary_plan.max_intermediate;
       Metrics.add sink "binary.total_tuples"
         stats.Lb_relalg.Binary_plan.total_tuples;
+      Option.iter Budget.check budget;
+      rel
+  | Planner.Decomposed ->
+      (* Bag materialization + Yannakakis; the plan carries the
+         realizing decomposition, and the compiled loop-nest tier is
+         applied per bag (bit-identical to interpreted, so the counter
+         stream and caches cannot tell the paths apart). *)
+      Option.iter Budget.check budget;
+      let rel, stats =
+        Lb_relalg.Decomposed_join.answer ~ctx ~compile:task.compile
+          ?decomposition:task.plan.Planner.decomposition db q
+      in
+      Metrics.add sink "decomposed.max_bag_tuples"
+        stats.Lb_relalg.Decomposed_join.max_bag_tuples;
       Option.iter Budget.check budget;
       rel
 
@@ -713,7 +747,9 @@ let prepare_query t text (opts : Protocol.query_opts) =
                         incr t "serve.shard.views";
                         Some view
                     | exception Invalid_argument _ -> None)
-              | Planner.Yannakakis | Planner.Binary_hash -> None
+              | Planner.Yannakakis | Planner.Binary_hash
+              | Planner.Decomposed ->
+                  None
           in
           let task =
             {
@@ -725,6 +761,7 @@ let prepare_query t text (opts : Protocol.query_opts) =
               sink = Metrics.create ();
               budget = None;
               shards;
+              compile = t.config.compile;
               view;
               outcome = Failed "not executed";
               elapsed_ms = 0.0;
@@ -768,6 +805,132 @@ let prepare_query t text (opts : Protocol.query_opts) =
               in
               Pending { task with budget }))
 
+(* --- the colsub op: colorful subgraph isomorphism as a served
+   workload.  Runs synchronously in the sequential phase (it reads no
+   catalog state, so it needs no snapshot), under the same budget
+   defaults and metrics discipline as queries: a per-request sink
+   merged into the lifetime metrics, budget exhaustion surfaced as a
+   timeout reply with partial counters. --- *)
+
+let colsub_budget t (c : Protocol.colsub_req) =
+  let ticks =
+    match c.Protocol.cs_max_ticks with
+    | Some n -> Some n
+    | None -> t.config.default_max_ticks
+  in
+  let seconds =
+    match c.Protocol.cs_timeout_ms with
+    | Some ms -> Some (float_of_int ms /. 1000.)
+    | None ->
+        Option.map (fun ms -> float_of_int ms /. 1000.)
+          t.config.default_timeout_ms
+  in
+  match (ticks, seconds) with
+  | None, None -> None
+  | _ -> Some (Budget.create ?ticks ?seconds ())
+
+let colsub_instance (c : Protocol.colsub_req) =
+  if c.Protocol.k < 0 then Error "\"k\" must be nonnegative"
+  else
+    match
+      let pattern =
+        Lb_graph.Graph.of_edges c.Protocol.k c.Protocol.pattern_edges
+      in
+      let host =
+        Lb_graph.Graph.of_edges
+          (List.length c.Protocol.colors)
+          c.Protocol.host_edges
+      in
+      Lb_graph.Colsub.make ~pattern ~host
+        ~colors:(Array.of_list c.Protocol.colors)
+    with
+    | inst -> Ok inst
+    | exception Invalid_argument msg -> Error msg
+
+let prepare_colsub t (c : Protocol.colsub_req) =
+  incr t "serve.colsubs";
+  match colsub_instance c with
+  | Error msg ->
+      incr t "serve.errors";
+      Ready (Protocol.error_response msg)
+  | Ok inst -> (
+      (* auto = the decomposition DP: its exponent tracks tw(H), the
+         best default the module offers. *)
+      let meth =
+        match c.Protocol.meth with
+        | Protocol.Cs_auto -> Protocol.Cs_decomposition
+        | m -> m
+      in
+      let sink = Metrics.create () in
+      let budget = colsub_budget t c in
+      let ctx = Exec.make ?budget ~metrics:sink () in
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match
+          if c.Protocol.count then
+            `Count
+              (match meth with
+              | Protocol.Cs_backtracking ->
+                  Lb_graph.Colsub.count_backtracking ~ctx inst
+              | Protocol.Cs_csp -> Lb_reductions.Colsub_to_csp.count ~ctx inst
+              | Protocol.Cs_decomposition | Protocol.Cs_auto ->
+                  Lb_graph.Colsub.count_decomposed ~ctx inst)
+          else
+            `Witness
+              (match meth with
+              | Protocol.Cs_backtracking ->
+                  Lb_graph.Colsub.find_backtracking ~ctx inst
+              | Protocol.Cs_csp -> Lb_reductions.Colsub_to_csp.find ~ctx inst
+              | Protocol.Cs_decomposition | Protocol.Cs_auto ->
+                  Lb_graph.Colsub.find_decomposed ~ctx inst)
+        with
+        | r -> r
+        | exception Budget.Budget_exhausted e -> `Timeout e
+        | exception Invalid_argument msg -> `Error msg
+      in
+      let elapsed_ms =
+        Float.round ((Unix.gettimeofday () -. t0) *. 1e6) /. 1e3
+      in
+      Metrics.merge_into ~dst:t.metrics sink;
+      let head = ("method", Json.String (Protocol.colsub_method_name meth)) in
+      let tail =
+        [
+          ("elapsed_ms", Json.Float elapsed_ms);
+          ("counters", Protocol.counters_to_json (Metrics.counters sink));
+        ]
+      in
+      match outcome with
+      | `Timeout e ->
+          incr t "serve.timeouts";
+          Ready
+            (Protocol.timeout_response_op ~op:"colsub"
+               ~reason:(reason_string e.Budget.reason)
+               ~ticks:e.Budget.ticks
+               ~elapsed_ms:(e.Budget.elapsed *. 1000.)
+               ~partial:(Metrics.counters sink))
+      | `Error msg ->
+          incr t "serve.errors";
+          Ready (Protocol.error_response msg)
+      | `Count n ->
+          Ready
+            (Protocol.ok_fields ~op:"colsub"
+               ((head :: [ ("count", Json.Int n) ]) @ tail))
+      | `Witness w ->
+          Ready
+            (Protocol.ok_fields ~op:"colsub"
+               ([ head; ("found", Json.Bool (w <> None)) ]
+               @ (match w with
+                 | Some f ->
+                     [
+                       ( "witness",
+                         Json.List
+                           (List.map
+                              (fun v -> Json.Int v)
+                              (Array.to_list f)) );
+                     ]
+                 | None -> [])
+               @ tail)))
+
 (* A live mutation: apply, WAL-log on success, reply. *)
 let prepare_mutation t op name record =
   match apply_mutation t record with
@@ -794,6 +957,8 @@ let prepare t (req : Protocol.request) =
                    ("compile", Json.Bool t.config.compile);
                    ("ivm", Json.Bool t.config.ivm);
                    ("durable", Json.Bool (t.durable <> None));
+                   ("colsub", Json.Bool true);
+                   ("decompose", Json.Bool true);
                    ( "engines",
                      Json.List
                        (List.map
@@ -869,6 +1034,7 @@ let prepare t (req : Protocol.request) =
   | Protocol.Query { text; opts } ->
       incr t "serve.queries";
       prepare_query t text opts
+  | Protocol.Colsub c -> prepare_colsub t c
 
 (* Sequential phase C: record the outcome into caches/metrics and
    build the reply. *)
@@ -979,8 +1145,8 @@ let process t (items : item list) =
       | Req req -> (
           let barrier =
             match req with
-            | Protocol.Query _ | Protocol.Explain _ | Protocol.Ping
-            | Protocol.Hello ->
+            | Protocol.Query _ | Protocol.Colsub _ | Protocol.Explain _
+            | Protocol.Ping | Protocol.Hello ->
                 false
             | Protocol.Load _ | Protocol.Insert _ | Protocol.Delete _
             | Protocol.Drop _ | Protocol.Stats | Protocol.Checkpoint

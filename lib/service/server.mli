@@ -87,6 +87,11 @@ type config = {
       (** durability root (snapshot + WAL); [None] = in-memory only. *)
   snapshot_every : int;
       (** checkpoint after this many WAL records (min 1). *)
+  snapshot_bytes : int option;
+      (** also checkpoint whenever the WAL file exceeds this many
+          bytes (`--snapshot-bytes`); each trip is counted as
+          [serve.wal.snapshot_bytes_trips].  [None] = record-count
+          policy only. *)
 }
 
 (** 64 pending, 256-entry plan cache, 128-entry result cache, no

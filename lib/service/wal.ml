@@ -243,4 +243,8 @@ let reset w =
   Unix.close fd;
   w.fd <- Unix.openfile w.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
 
+(* Current byte size of the log file (header included): the input of
+   the size-based auto-checkpoint policy. *)
+let size w = (Unix.fstat w.fd).Unix.st_size
+
 let close w = Unix.close w.fd

@@ -46,6 +46,10 @@ val append : writer -> version:int -> record -> unit
     its records). *)
 val reset : writer -> unit
 
+(** Current byte size of the log file, header included - the input of
+    the size-based auto-checkpoint policy ([--snapshot-bytes]). *)
+val size : writer -> int
+
 val close : writer -> unit
 
 (** {2 Shared plumbing}

@@ -1,0 +1,347 @@
+(* Tests for the ColSub(H) workload (Lb_graph.Colsub) and the planner's
+   fhw-aware decomposition route: the three evaluation routes
+   (backtracking, CSP, tree-decomposition DP) are differentials of each
+   other, the clique reduction round-trips, and the planner's
+   decomposition route answers byte-identically to flat WCOJ. *)
+
+module Prng = Lb_util.Prng
+module Budget = Lb_util.Budget
+module Metrics = Lb_util.Metrics
+module Exec = Lb_util.Exec
+module Graph = Lb_graph.Graph
+module Gen = Lb_graph.Generators
+module Colsub = Lb_graph.Colsub
+module Td = Lb_graph.Tree_decomposition
+module Q = Lb_relalg.Query
+module R = Lb_relalg.Relation
+module Db = Lb_relalg.Database
+module Planner = Lb_service.Planner
+
+let check = Alcotest.check
+
+(* A random ColSub instance: a random pattern on k vertices, color
+   classes of 1-3 host vertices each, and host edges drawn between the
+   classes of each pattern edge with probability [p] (plus a few noise
+   edges inside classes, which no embedding may use). *)
+let random_instance rng =
+  let k = 3 + Prng.int rng 3 in
+  let pattern = Gen.gnp rng k 0.6 in
+  let sizes = Array.init k (fun _ -> 1 + Prng.int rng 3) in
+  let offset = Array.make k 0 in
+  let n = ref 0 in
+  Array.iteri
+    (fun i s ->
+      offset.(i) <- !n;
+      n := !n + s)
+    sizes;
+  let colors = Array.make !n 0 in
+  Array.iteri
+    (fun i s ->
+      for j = 0 to s - 1 do
+        colors.(offset.(i) + j) <- i
+      done)
+    sizes;
+  let edges = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      for i = 0 to sizes.(u) - 1 do
+        for j = 0 to sizes.(v) - 1 do
+          if Prng.bernoulli rng 0.5 then
+            edges := (offset.(u) + i, offset.(v) + j) :: !edges
+        done
+      done)
+    pattern;
+  (* noise inside a class: colorful embeddings cannot use these *)
+  Array.iteri
+    (fun i s ->
+      if s >= 2 && Prng.bool rng then
+        edges := (offset.(i), offset.(i) + 1) :: !edges)
+    sizes;
+  let host = Graph.of_edges !n !edges in
+  Colsub.make ~pattern ~host ~colors
+
+(* --- the three routes are differentials of each other --- *)
+
+let routes_agree_prop =
+  QCheck.Test.make
+    ~name:"ColSub: backtracking = CSP = decomposition DP (count + witness)"
+    ~count:60
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let inst = random_instance (Prng.create seed) in
+      let bt = Colsub.count_backtracking inst in
+      let dp = Colsub.count_decomposed inst in
+      let csp = Lb_reductions.Colsub_to_csp.count inst in
+      let w_bt = Colsub.find_backtracking inst in
+      let w_dp = Colsub.find_decomposed inst in
+      let w_csp = Lb_reductions.Colsub_to_csp.find inst in
+      let verifies = function
+        | Some f -> Colsub.verify inst f
+        | None -> bt = 0
+      in
+      bt = dp && dp = csp
+      && (w_bt <> None) = (bt > 0)
+      && (w_dp <> None) = (bt > 0)
+      && (w_csp <> None) = (bt > 0)
+      && verifies w_bt && verifies w_dp && verifies w_csp)
+
+(* On a blown-up ladder every combination embeds: count = n^k exactly,
+   and the DP must agree under any valid decomposition. *)
+let test_ladder_counts () =
+  let pattern = Gen.grid 2 3 in
+  let k = Graph.vertex_count pattern in
+  let n = 3 in
+  let edges = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          edges := ((u * n) + i, (v * n) + j) :: !edges
+        done
+      done)
+    pattern;
+  let host = Graph.of_edges (k * n) !edges in
+  let colors = Array.init (k * n) (fun hv -> hv / n) in
+  let inst = Colsub.make ~pattern ~host ~colors in
+  let expected = int_of_float (float_of_int n ** float_of_int k) in
+  check Alcotest.int "backtracking" expected (Colsub.count_backtracking inst);
+  check Alcotest.int "decomposed" expected (Colsub.count_decomposed inst);
+  let td = Colsub.default_decomposition inst in
+  Alcotest.(check bool)
+    "default decomposition is valid" true
+    (Td.verify td pattern = Ok ());
+  Alcotest.(check bool) "ladder tw 2" true (Td.width td <= 2);
+  check Alcotest.int "explicit decomposition" expected
+    (Colsub.count_decomposed ~decomposition:td inst)
+
+let test_make_validates () =
+  let pattern = Gen.cycle 3 in
+  let host = Gen.cycle 3 in
+  Alcotest.(check bool) "color out of range rejected" true
+    (match Colsub.make ~pattern ~host ~colors:[| 0; 1; 3 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "color count mismatch rejected" true
+    (match Colsub.make ~pattern ~host ~colors:[| 0; 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bad_decomposition_rejected () =
+  let inst =
+    Colsub.make ~pattern:(Gen.cycle 3) ~host:(Gen.cycle 3)
+      ~colors:[| 0; 1; 2 |]
+  in
+  (* A decomposition of the wrong graph: one bag missing an edge. *)
+  let td = Td.make ~bags:[| [| 0; 1 |] |] ~tree:[] in
+  Alcotest.(check bool) "invalid decomposition raises" true
+    (match Colsub.count_decomposed ~decomposition:td inst with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Clique => ColSub (Section 5) --- *)
+
+let clique_roundtrip_prop =
+  QCheck.Test.make
+    ~name:"Clique -> ColSub(K_k) preserves answers and witnesses"
+    ~count:50
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 6 in
+      let g = Gen.gnp rng n 0.5 in
+      let k = 2 + Prng.int rng 3 in
+      Lb_reductions.Clique_to_colsub.preserves g k)
+
+let test_clique_shape () =
+  let g = Gen.cycle 5 in
+  let inst = Lb_reductions.Clique_to_colsub.to_colsub g 3 in
+  check Alcotest.int "host is k copies of V(G)" 15
+    (Graph.vertex_count (Colsub.host inst));
+  check Alcotest.int "pattern is K_k" 3
+    (Graph.vertex_count (Colsub.pattern inst));
+  Alcotest.(check bool) "C5 has no triangle" true
+    (Colsub.find_backtracking inst = None)
+
+(* --- governance: budget + metrics through Subgraph_iso --- *)
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let test_subgraph_iso_governance () =
+  let inst = Lb_reductions.Clique_to_colsub.to_colsub (complete 6) 3 in
+  let metrics = Metrics.create () in
+  let ctx = Exec.make ~metrics () in
+  Alcotest.(check bool) "found" true (Colsub.find_backtracking ~ctx inst <> None);
+  Alcotest.(check bool) "subgraph_iso.nodes counted" true
+    (match Metrics.find_counter metrics "subgraph_iso.nodes" with
+    | Some n -> n > 0
+    | None -> false);
+  let budget = Budget.create ~ticks:1 () in
+  let ctx = Exec.make ~budget () in
+  Alcotest.(check bool) "1-tick budget exhausts" true
+    (match Colsub.count_backtracking ~ctx inst with
+    | exception Budget.Budget_exhausted _ -> true
+    | _ -> false);
+  Budget.reset budget;
+  Alcotest.(check bool) "1-tick budget exhausts the DP too" true
+    (match Colsub.count_decomposed ~ctx inst with
+    | exception Budget.Budget_exhausted _ -> true
+    | _ -> false)
+
+(* --- Fhw.decomposition returns an actual decomposition --- *)
+
+let test_fhw_decomposition () =
+  let q = Q.parse "R(a,b), S(b,c), T(c,d), U(d,e), V(e,a)" in
+  let h = Q.hypergraph q in
+  let w, td = Lb_hypergraph.Fhw.decomposition h in
+  Alcotest.(check bool) "valid over the primal graph" true
+    (Td.verify td (Lb_hypergraph.Hypergraph.primal h) = Ok ());
+  Alcotest.(check bool) "5-cycle fhw 2" true (Float.abs (w -. 2.0) < 1e-6)
+
+(* --- the planner's decomposition route --- *)
+
+let five_cycle = "R(a,b), S(b,c), T(c,d), U(d,e), V(e,a)"
+
+let random_db rng n =
+  List.fold_left
+    (fun db name ->
+      let tuples =
+        List.init (3 * n) (fun _ ->
+            [| Prng.int rng n; Prng.int rng n |])
+      in
+      Db.add db name (R.make [| "x"; "y" |] tuples))
+    Db.empty
+    [ "R"; "S"; "T"; "U"; "V" ]
+
+let canonical q rel =
+  let r = R.project rel (Q.attributes q) in
+  let rows = Array.copy (R.tuples r) in
+  Array.sort compare rows;
+  rows
+
+let test_planner_routes_decomposed () =
+  let q = Q.parse five_cycle in
+  let db = random_db (Prng.create 11) 32 in
+  let plan = Planner.choose db q in
+  Alcotest.(check string)
+    "5-cycle routes through the decomposition" "decomposed"
+    (Planner.engine_name plan.Planner.engine);
+  Alcotest.(check bool) "plan carries fhw < rho*" true
+    (match (plan.Planner.fhw, plan.Planner.rho_star) with
+    | Some fhw, Some rho -> fhw < rho
+    | _ -> false);
+  Alcotest.(check bool) "plan carries the decomposition" true
+    (plan.Planner.decomposition <> None);
+  Alcotest.(check bool) "explanation names the route" true
+    (List.exists
+       (fun l ->
+         String.length l >= 20 && String.sub l 0 20 = "route: decomposition")
+       plan.Planner.explanation);
+  let dec, _ =
+    Lb_relalg.Decomposed_join.answer
+      ?decomposition:plan.Planner.decomposition db q
+  in
+  let gj = Lb_relalg.Generic_join.answer db q in
+  Alcotest.(check bool) "byte-identical to flat WCOJ" true
+    (canonical q dec = canonical q gj)
+
+let test_planner_flat_route_explained () =
+  (* The triangle: rho* = 1.5 and no decomposition can beat it, so the
+     plan stays flat and says why. *)
+  let q = Q.parse "R(a,b), S(b,c), T(c,a)" in
+  let db = random_db (Prng.create 12) 16 in
+  let plan = Planner.choose db q in
+  Alcotest.(check bool) "triangle stays flat" true
+    (plan.Planner.engine <> Planner.Decomposed);
+  Alcotest.(check bool) "flat route line present" true
+    (List.exists
+       (fun l -> String.length l >= 11 && String.sub l 0 11 = "route: flat")
+       plan.Planner.explanation)
+
+(* --- the colsub protocol op end to end --- *)
+
+let colsub_req meth count : Lb_service.Protocol.request =
+  Lb_service.Protocol.Colsub
+    {
+      k = 3;
+      pattern_edges = [ (0, 1); (1, 2); (2, 0) ];
+      colors = [ 0; 0; 1; 1; 2; 2 ];
+      host_edges = [ (0, 2); (2, 4); (0, 4); (1, 3); (3, 5); (1, 5) ];
+      meth;
+      count;
+      cs_timeout_ms = None;
+      cs_max_ticks = None;
+    }
+
+let test_protocol_roundtrip () =
+  let module P = Lb_service.Protocol in
+  let req = colsub_req P.Cs_csp true in
+  match P.decode_request (P.encode_request req) with
+  | Ok (P.Colsub c) ->
+      Alcotest.(check bool) "round-trips" true
+        (c = (match req with P.Colsub c -> c | _ -> assert false))
+  | Ok _ -> Alcotest.fail "decoded to a different op"
+  | Error msg -> Alcotest.fail msg
+
+let test_server_colsub () =
+  let module P = Lb_service.Protocol in
+  let srv = Lb_service.Server.create () in
+  let counts =
+    List.map
+      (fun meth ->
+        let reply = Lb_service.Server.handle srv (colsub_req meth true) in
+        (match Lb_service.Json.string_field "status" reply with
+        | Ok "ok" -> ()
+        | _ -> Alcotest.fail "colsub op failed");
+        match Lb_service.Json.int_field "count" reply with
+        | Ok n -> n
+        | Error msg -> Alcotest.fail msg)
+      [ P.Cs_auto; P.Cs_backtracking; P.Cs_csp; P.Cs_decomposition ]
+  in
+  (match counts with
+  | c :: rest ->
+      Alcotest.(check bool) "all methods agree over the wire" true
+        (List.for_all (( = ) c) rest);
+      check Alcotest.int "two colorful triangles" 2 c
+  | [] -> assert false);
+  let witness = Lb_service.Server.handle srv (colsub_req P.Cs_auto false) in
+  (match Lb_service.Json.member "witness" witness with
+  | Some (Lb_service.Json.List [ _; _; _ ]) -> ()
+  | _ -> Alcotest.fail "witness missing");
+  (* A 1-tick budget answers status=timeout, not an exception. *)
+  let starved =
+    match colsub_req P.Cs_backtracking true with
+    | P.Colsub c -> P.Colsub { c with P.cs_max_ticks = Some 1 }
+    | _ -> assert false
+  in
+  let reply = Lb_service.Server.handle srv starved in
+  match Lb_service.Json.string_field "status" reply with
+  | Ok "timeout" -> ()
+  | _ -> Alcotest.fail "expected a timeout reply"
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest routes_agree_prop;
+    Alcotest.test_case "ladder counts n^k" `Quick test_ladder_counts;
+    Alcotest.test_case "make validates colors" `Quick test_make_validates;
+    Alcotest.test_case "bad decomposition rejected" `Quick
+      test_bad_decomposition_rejected;
+    QCheck_alcotest.to_alcotest clique_roundtrip_prop;
+    Alcotest.test_case "Clique->ColSub shape" `Quick test_clique_shape;
+    Alcotest.test_case "budget + metrics governance" `Quick
+      test_subgraph_iso_governance;
+    Alcotest.test_case "Fhw.decomposition" `Quick test_fhw_decomposition;
+    Alcotest.test_case "planner routes 5-cycle decomposed" `Quick
+      test_planner_routes_decomposed;
+    Alcotest.test_case "planner explains flat routes" `Quick
+      test_planner_flat_route_explained;
+    Alcotest.test_case "colsub protocol round-trip" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "colsub op end to end" `Quick test_server_colsub;
+  ]

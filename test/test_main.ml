@@ -15,6 +15,7 @@ let () =
       ("compile", Test_compile.suite);
       ("csp", Test_csp.suite);
       ("reductions", Test_reductions.suite);
+      ("colsub", Test_colsub.suite);
       ("finegrained", Test_finegrained.suite);
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);
