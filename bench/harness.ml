@@ -126,9 +126,15 @@ let median_time r f =
 
 (* minimum wall time over r fresh runs of f: scheduler and GC
    interference only ever add time, so the minimum is the most stable
-   estimator of a deterministic workload's cost on a loaded machine *)
+   estimator of a deterministic workload's cost on a loaded machine.
+   Each repetition starts from an empty minor heap and no pending major
+   work ([Gc.full_major]), so garbage from run k can never donate a
+   mark slice or collection to run k+1 - without this the minimum
+   systematically favours whichever repetition inherited the cleanest
+   heap. *)
 let min_time r f =
   List.fold_left Float.min Float.infinity
     (List.init r (fun _ ->
+         Gc.full_major ();
          let _, t = time f in
          t))

@@ -663,8 +663,16 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "no-compile" ] ~doc)
   in
+  let gc_stats_arg =
+    let doc =
+      "Report the GC cost of the run: Gc.quick_stat deltas (minor/major \
+       words, collections) across query execution, after the catalog is \
+       loaded.  With --json the delta is a second JSON line."
+    in
+    Arg.(value & flag & info [ "gc-stats" ] ~doc)
+  in
   let run qtext loads engine count_only limit timeout_ms max_ticks shards
-      pool_n no_compile json =
+      pool_n no_compile gc_stats json =
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("error: " ^ s)) fmt in
     if shards < 1 then begin
       fail "--shards must be >= 1";
@@ -748,12 +756,58 @@ let query_cmd =
               { Lb_service.Protocol.engine; count_only; limit; timeout_ms;
                 max_ticks }
             in
+            let gc0 = if gc_stats then Some (Gc.quick_stat ()) else None in
             let reply =
               Lb_service.Server.handle server
                 (Lb_service.Protocol.Query { text = qtext; opts })
             in
+            let report_gc () =
+              match gc0 with
+              | None -> ()
+              | Some g0 ->
+                  let g1 = Gc.quick_stat () in
+                  let minor = int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words)
+                  and major = int_of_float (g1.Gc.major_words -. g0.Gc.major_words)
+                  and promoted =
+                    int_of_float (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+                  in
+                  if json then
+                    print_endline
+                      (Json.to_string
+                         (Json.Obj
+                            [
+                              ( "gc",
+                                Json.Obj
+                                  [
+                                    ("minor_words", Json.Int minor);
+                                    ("promoted_words", Json.Int promoted);
+                                    ("major_words", Json.Int major);
+                                    ( "minor_collections",
+                                      Json.Int
+                                        (g1.Gc.minor_collections
+                                        - g0.Gc.minor_collections) );
+                                    ( "major_collections",
+                                      Json.Int
+                                        (g1.Gc.major_collections
+                                        - g0.Gc.major_collections) );
+                                    ( "compactions",
+                                      Json.Int
+                                        (g1.Gc.compactions - g0.Gc.compactions)
+                                    );
+                                  ] );
+                            ]))
+                  else
+                    Printf.printf
+                      "gc: minor_words=%d promoted_words=%d major_words=%d \
+                       minor=%d major=%d compactions=%d\n"
+                      minor promoted major
+                      (g1.Gc.minor_collections - g0.Gc.minor_collections)
+                      (g1.Gc.major_collections - g0.Gc.major_collections)
+                      (g1.Gc.compactions - g0.Gc.compactions)
+            in
             if json then begin
               print_endline (Json.to_string reply);
+              report_gc ();
               match Json.string_field "status" reply with
               | Ok "ok" -> 0
               | Ok "timeout" -> 3
@@ -789,6 +843,7 @@ let query_cmd =
                       | Some (Json.Bool true) -> print_endline "(truncated)"
                       | _ -> ())
                   | _ -> ());
+                  report_gc ();
                   0
               | Ok "timeout" ->
                   let reason =
@@ -819,7 +874,7 @@ let query_cmd =
     Term.(
       const run $ query_arg $ load_arg $ engine_arg $ count_arg $ limit_arg
       $ timeout_arg $ max_ticks_arg $ shards_arg $ pool_arg $ no_compile_arg
-      $ json_flag)
+      $ gc_stats_arg $ json_flag)
 
 (* --- explain: the plan (and its compiled loop nest) without running --- *)
 

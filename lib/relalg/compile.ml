@@ -38,6 +38,7 @@ module Pool = Lb_util.Pool
 module Budget = Lb_util.Budget
 module Metrics = Lb_util.Metrics
 module Exec = Lb_util.Exec
+module Column = Lb_util.Column
 
 type engine = Generic | Leapfrog
 
@@ -176,36 +177,36 @@ let with_metrics engine metrics c f =
    the bounds checks compiled away; callers guarantee [lo, hi) is a
    valid range of [col]) --- *)
 
-let ugallop_geq (col : int array) lo hi v =
+let ugallop_geq (col : Column.t) lo hi v =
   if lo >= hi then hi
-  else if Array.unsafe_get col lo >= v then lo
+  else if Column.unsafe_get col lo >= v then lo
   else begin
     let base = ref lo and step = ref 1 in
-    while !base + !step < hi && Array.unsafe_get col (!base + !step) < v do
+    while !base + !step < hi && Column.unsafe_get col (!base + !step) < v do
       base := !base + !step;
       step := !step * 2
     done;
     let l = ref (!base + 1) and h = ref (min (!base + !step) hi) in
     while !l < !h do
       let mid = (!l + !h) / 2 in
-      if Array.unsafe_get col mid < v then l := mid + 1 else h := mid
+      if Column.unsafe_get col mid < v then l := mid + 1 else h := mid
     done;
     !l
   end
 
-let ugallop_gt (col : int array) lo hi v =
+let ugallop_gt (col : Column.t) lo hi v =
   if lo >= hi then hi
-  else if Array.unsafe_get col lo > v then lo
+  else if Column.unsafe_get col lo > v then lo
   else begin
     let base = ref lo and step = ref 1 in
-    while !base + !step < hi && Array.unsafe_get col (!base + !step) <= v do
+    while !base + !step < hi && Column.unsafe_get col (!base + !step) <= v do
       base := !base + !step;
       step := !step * 2
     done;
     let l = ref (!base + 1) and h = ref (min (!base + !step) hi) in
     while !l < !h do
       let mid = (!l + !h) / 2 in
-      if Array.unsafe_get col mid <= v then l := mid + 1 else h := mid
+      if Column.unsafe_get col mid <= v then l := mid + 1 else h := mid
     done;
     !l
   end
@@ -219,13 +220,13 @@ type mach = {
   tries : Trie.t array;
   off : int array; (* = ir.lv_off *)
   atom : int array; (* = ir.lv_atom *)
-  cols : int array array; (* slot -> the resolved sorted column *)
+  cols : Column.t array; (* slot -> the resolved sorted column *)
   bud : Budget.t option;
 }
 
 let mach_of_tries ?budget ir tries =
   let n = Array.length ir.lv_atom in
-  let cols = Array.make n [||] in
+  let cols = Array.make n Column.empty in
   for l = 0 to ir.nvars - 1 do
     for s = ir.lv_off.(l) to ir.lv_off.(l + 1) - 1 do
       let t = tries.(ir.lv_atom.(s)) in
@@ -338,7 +339,7 @@ and leaf_gj1 m ws c ~level base st emit =
   let hi = Array.unsafe_get st ((2 * a) + 1) in
   let pos = ref (Array.unsafe_get st (2 * a)) in
   while !pos < hi do
-    let v = Array.unsafe_get col !pos in
+    let v = Column.unsafe_get col !pos in
     let e = ugallop_gt col !pos hi v in
     c.work <- c.work + 1;
     (match m.bud with Some b -> Budget.tick b | None -> ());
@@ -364,14 +365,14 @@ and leaf_gj2 m ws c ~level base st emit =
   let pos = ref (Array.unsafe_get st (2 * la)) in
   let dead = ref false in
   while (not !dead) && !pos < lhi do
-    let v = Array.unsafe_get lcol !pos in
+    let v = Column.unsafe_get lcol !pos in
     let e = ugallop_gt lcol !pos lhi v in
     c.work <- c.work + 1;
     (match m.bud with Some b -> Budget.tick b | None -> ());
     let p = ugallop_geq ocol !ocur ohi v in
     ocur := p;
     if p >= ohi then dead := true
-    else if Array.unsafe_get ocol p = v then begin
+    else if Column.unsafe_get ocol p = v then begin
       Array.unsafe_set ws.assignment level v;
       emit ()
     end;
@@ -386,7 +387,7 @@ and enum_gj1 m ws c ~level ~stop base st st' emit =
   let hi = Array.unsafe_get st ((2 * a) + 1) in
   let pos = ref (Array.unsafe_get st (2 * a)) in
   while !pos < hi do
-    let v = Array.unsafe_get col !pos in
+    let v = Column.unsafe_get col !pos in
     let e = ugallop_gt col !pos hi v in
     c.work <- c.work + 1;
     (match m.bud with Some b -> Budget.tick b | None -> ());
@@ -417,14 +418,14 @@ and enum_gj2 m ws c ~level ~stop base st st' emit =
   let pos = ref (Array.unsafe_get st (2 * la)) in
   let dead = ref false in
   while (not !dead) && !pos < lhi do
-    let v = Array.unsafe_get lcol !pos in
+    let v = Column.unsafe_get lcol !pos in
     let e = ugallop_gt lcol !pos lhi v in
     c.work <- c.work + 1;
     (match m.bud with Some b -> Budget.tick b | None -> ());
     let p = ugallop_geq ocol !ocur ohi v in
     ocur := p;
     if p >= ohi then dead := true
-    else if Array.unsafe_get ocol p = v then begin
+    else if Column.unsafe_get ocol p = v then begin
       Array.unsafe_set st' (2 * oa) p;
       Array.unsafe_set st' ((2 * oa) + 1) (ugallop_gt ocol p ohi v);
       Array.unsafe_set st' (2 * la) !pos;
@@ -461,7 +462,7 @@ and enum_gjn m ws c ~level ~stop base np st st' emit =
     let pos = ref (Array.unsafe_get st (2 * leader)) in
     let dead = ref false in
     while (not !dead) && !pos < lhi do
-      let v = Array.unsafe_get lcol !pos in
+      let v = Column.unsafe_get lcol !pos in
       let e = ugallop_gt lcol !pos lhi v in
       c.work <- c.work + 1;
       (match m.bud with Some b -> Budget.tick b | None -> ());
@@ -478,7 +479,7 @@ and enum_gjn m ws c ~level ~stop base np st st' emit =
             ok := false;
             dead := true
           end
-          else if Array.unsafe_get col p <> v then ok := false
+          else if Column.unsafe_get col p <> v then ok := false
           else begin
             Array.unsafe_set st' (2 * i) p;
             Array.unsafe_set st' ((2 * i) + 1) (ugallop_gt col p hi v)
@@ -534,8 +535,8 @@ and leaf_lf2 m ws c ~level base st emit =
   let p1 = ref (Array.unsafe_get st (2 * a1)) in
   let fin = ref (!p0 >= hi0 || !p1 >= hi1) in
   while not !fin do
-    let k0 = Array.unsafe_get col0 !p0 in
-    let k1 = Array.unsafe_get col1 !p1 in
+    let k0 = Column.unsafe_get col0 !p0 in
+    let k1 = Column.unsafe_get col1 !p1 in
     if k0 = k1 then begin
       (match m.bud with Some b -> Budget.tick b | None -> ());
       let e0 = ugallop_gt col0 !p0 hi0 k0 in
@@ -575,8 +576,8 @@ and enum_lf2 m ws c ~level ~stop base st st' emit =
   let p1 = ref (Array.unsafe_get st (2 * a1)) in
   let fin = ref (!p0 >= hi0 || !p1 >= hi1) in
   while not !fin do
-    let k0 = Array.unsafe_get col0 !p0 in
-    let k1 = Array.unsafe_get col1 !p1 in
+    let k0 = Column.unsafe_get col0 !p0 in
+    let k1 = Column.unsafe_get col1 !p1 in
     if k0 = k1 then begin
       (match m.bud with Some b -> Budget.tick b | None -> ());
       let e0 = ugallop_gt col0 !p0 hi0 k0 in
@@ -618,12 +619,12 @@ and enum_lfn m ws c ~level ~stop base np st st' emit =
     done;
     while not !fin do
       let k0 =
-        Array.unsafe_get (Array.unsafe_get m.cols base) (Array.unsafe_get pos 0)
+        Column.unsafe_get (Array.unsafe_get m.cols base) (Array.unsafe_get pos 0)
       in
       let kmax = ref k0 and kmin = ref k0 in
       for j = 1 to np - 1 do
         let k =
-          Array.unsafe_get
+          Column.unsafe_get
             (Array.unsafe_get m.cols (base + j))
             (Array.unsafe_get pos j)
         in
@@ -659,7 +660,7 @@ and enum_lfn m ws c ~level ~stop base np st st' emit =
         for j = 0 to np - 1 do
           if
             (not !fin)
-            && Array.unsafe_get
+            && Column.unsafe_get
                  (Array.unsafe_get m.cols (base + j))
                  (Array.unsafe_get pos j)
                < mx

@@ -51,13 +51,23 @@ let base t = t.layers.(0).trie
 
 let default_min_compact = 64
 
-let of_relation ?(min_compact = default_min_compact) rel =
+let of_relation ?scratch ?(min_compact = default_min_compact) rel =
   let attrs = Array.copy (Relation.attrs rel) in
-  let base = Trie.build ~order:attrs rel in
+  let base = Trie.build ?scratch ~order:attrs rel in
   {
     attrs;
     layers = [| { trie = base; sign = 1 } |];
     live = Trie.row_count base;
+    delta = 0;
+    compactions = 0;
+    min_compact;
+  }
+
+let of_trie ?(min_compact = default_min_compact) trie =
+  {
+    attrs = Array.copy (Trie.attrs trie);
+    layers = [| { trie; sign = 1 } |];
+    live = Trie.row_count trie;
     delta = 0;
     compactions = 0;
     min_compact;
@@ -185,7 +195,7 @@ let materialize t =
   let n = Array.map (fun l -> Trie.row_count l.trie) t.layers in
   let row_of i =
     let trie = t.layers.(i).trie in
-    Array.init w (fun d -> (Trie.column trie d).(pos.(i)))
+    Array.init w (fun d -> Lb_util.Column.get (Trie.column trie d) pos.(i))
   in
   let out = ref [] and count = ref 0 in
   let rec loop () =

@@ -42,8 +42,16 @@ val base : t -> Trie.t
 (** Wrap a relation as a delta trie with no sides.  [min_compact]
     (default 64) is the delta-row floor below which [apply] never
     compacts; above it, compaction triggers when delta rows exceed a
-    quarter of the live size (or more than 8 sides accumulate). *)
-val of_relation : ?min_compact:int -> Relation.t -> t
+    quarter of the live size (or more than 8 sides accumulate).
+    [scratch] is forwarded to {!Trie.build}: the sort's transient
+    columns come from the arena instead of fresh off-heap buffers. *)
+val of_relation : ?scratch:Lb_util.Arena.t -> ?min_compact:int -> Relation.t -> t
+
+(** Adopt an already-built trie as the base layer, no sides - the
+    zero-copy entry for tries reconstructed from a mapped snapshot
+    image ({!Trie.of_columns}).  The trie is trusted to hold sorted,
+    duplicate-free rows, as every {!Trie} constructor guarantees. *)
+val of_trie : ?min_compact:int -> Trie.t -> t
 
 val root : t -> node
 

@@ -30,6 +30,7 @@ module Pool = Lb_util.Pool
 module Budget = Lb_util.Budget
 module Metrics = Lb_util.Metrics
 module Exec = Lb_util.Exec
+module Column = Lb_util.Column
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -43,7 +44,7 @@ type ctx = {
   natoms : int;
   participants : int array array;
       (* participants.(l): atoms whose schema contains order.(l) *)
-  pcols : int array array array;
+  pcols : Column.t array array;
       (* pcols.(l).(j): the trie column of participants.(l).(j) at the
          depth it has reached when level l is processed *)
   bud : Budget.t option;
@@ -156,7 +157,7 @@ let rec enumerate ctx ws c ~level ~stop on_leaf =
     let pos = ref st.(2 * leader) in
     let dead = ref false in
     while (not !dead) && !pos < lhi do
-      let v = lcol.(!pos) in
+      let v = Column.unsafe_get lcol !pos in
       let e = Trie.gallop_gt lcol !pos lhi v in
       c.intersections <- c.intersections + 1;
       (match ctx.bud with Some b -> Budget.tick b | None -> ());
@@ -176,7 +177,7 @@ let rec enumerate ctx ws c ~level ~stop on_leaf =
             ok := false;
             dead := true
           end
-          else if col.(p) <> v then ok := false
+          else if Column.unsafe_get col p <> v then ok := false
           else begin
             st'.(2 * i) <- p;
             st'.(2 * i + 1) <- Trie.gallop_gt col p hi v

@@ -19,6 +19,7 @@ module Pool = Lb_util.Pool
 module Budget = Lb_util.Budget
 module Metrics = Lb_util.Metrics
 module Exec = Lb_util.Exec
+module Column = Lb_util.Column
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
@@ -29,7 +30,7 @@ type ctx = {
   nvars : int;
   natoms : int;
   participants : int array array;
-  pcols : int array array array;
+  pcols : Column.t array array;
   bud : Budget.t option;
       (* ticked once per agreed key and per seek; shared across domains
          in parallel runs (cooperative - see Generic_join) *)
@@ -119,9 +120,10 @@ let rec enumerate ctx ws c ~level ~stop on_leaf =
     done;
     while not !fin do
       (* current extremes of the key streams *)
-      let kmax = ref cols.(0).(pos.(0)) and kmin = ref cols.(0).(pos.(0)) in
+      let k0 = Column.unsafe_get cols.(0) pos.(0) in
+      let kmax = ref k0 and kmin = ref k0 in
       for j = 1 to np - 1 do
-        let k = cols.(j).(pos.(j)) in
+        let k = Column.unsafe_get cols.(j) pos.(j) in
         if k > !kmax then kmax := k;
         if k < !kmin then kmin := k
       done;
@@ -148,7 +150,7 @@ let rec enumerate ctx ws c ~level ~stop on_leaf =
         (* seek every lagging iterator up to the maximum *)
         let m = !kmax in
         for j = 0 to np - 1 do
-          if (not !fin) && cols.(j).(pos.(j)) < m then begin
+          if (not !fin) && Column.unsafe_get cols.(j) pos.(j) < m then begin
             c.seeks <- c.seeks + 1;
             (match ctx.bud with Some b -> Budget.tick b | None -> ());
             let i = ps.(j) in

@@ -135,8 +135,10 @@ let view ?hook ~attr ~k db (q : Query.t) =
 (* --- merged depth-0 key streams --- *)
 
 module Stream = struct
+  module Column = Lb_util.Column
+
   type t = {
-    cols : int array array;
+    cols : Column.t array;
     his : int array;
     pos : int array;
     mutable live : int;
@@ -149,7 +151,7 @@ module Stream = struct
       (fun i p ->
         if p < s.his.(i) then begin
           incr live;
-          let v = s.cols.(i).(p) in
+          let v = Column.unsafe_get s.cols.(i) p in
           if !first || v < !cur then begin
             cur := v;
             first := false
@@ -163,7 +165,7 @@ module Stream = struct
     let s =
       {
         cols;
-        his = Array.map Array.length cols;
+        his = Array.map Column.length cols;
         pos = Array.map (fun _ -> 0) cols;
         live = 0;
         cur = 0;
@@ -181,7 +183,7 @@ module Stream = struct
   let seek_geq s v =
     Array.iteri
       (fun i p ->
-        if p < s.his.(i) && s.cols.(i).(p) < v then
+        if p < s.his.(i) && Column.unsafe_get s.cols.(i) p < v then
           s.pos.(i) <- Trie.gallop_geq s.cols.(i) p s.his.(i) v)
       s.pos;
     refresh s
@@ -189,7 +191,7 @@ module Stream = struct
   let advance_gt s v =
     Array.iteri
       (fun i p ->
-        if p < s.his.(i) && s.cols.(i).(p) <= v then
+        if p < s.his.(i) && Column.unsafe_get s.cols.(i) p <= v then
           s.pos.(i) <- Trie.gallop_gt s.cols.(i) p s.his.(i) v)
       s.pos;
     refresh s

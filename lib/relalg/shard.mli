@@ -77,7 +77,7 @@ module Stream : sig
   type t
 
   (** [make cols] over the per-shard sorted depth-0 columns. *)
-  val make : int array array -> t
+  val make : Lb_util.Column.t array -> t
 
   val exhausted : t -> bool
 

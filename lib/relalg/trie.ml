@@ -7,21 +7,25 @@
    and sorted lexicographically; a trie node is a row range [lo, hi) at a
    depth, and children are the maximal equal-key subranges at that depth.
 
-   Layout is struct-of-arrays: one flat [int array] per trie level
-   (column), so a seek at depth d scans a single contiguous array instead
-   of hopping through row pointers.  The lexicographic sort is a
-   monomorphic three-way quicksort on (key, permutation) pairs, recursing
-   per equal run into the next column - no polymorphic comparison is
-   involved anywhere in the build.
+   Layout is struct-of-arrays: one flat off-heap {!Lb_util.Column} per
+   trie level, so a seek at depth d scans a single contiguous unboxed
+   buffer instead of hopping through row pointers - and the GC never
+   walks the data, only each column's constant-size header.  The
+   lexicographic sort is a monomorphic three-way quicksort on (key,
+   permutation) pairs, recursing per equal run into the next column - no
+   polymorphic comparison is involved anywhere in the build.
 
    Navigation is galloping (exponential) search seeded at the low end of
    the query range: seeks that advance a cursor by k positions cost
    O(log k), which is what makes LFTJ's amortized seek bound real. *)
 
+module Column = Lb_util.Column
+module Arena = Lb_util.Arena
+
 type t = {
   attrs : string array; (* relation attrs permuted into global order *)
   nrows : int;
-  cols : int array array; (* cols.(depth).(row); columnar, sorted lexicographically *)
+  cols : Column.t array; (* cols.(depth).(row); columnar, sorted lexicographically *)
 }
 
 let attrs t = t.attrs
@@ -32,42 +36,46 @@ let row_count t = t.nrows
 
 let column t depth = t.cols.(depth)
 
-(* --- galloping search primitives on a raw column --- *)
+(* --- galloping search primitives on a raw column ---
+
+   Accesses are unchecked: every probe index lies in [lo, hi), which the
+   callers (trie navigation, the engines' level loops) keep inside the
+   column by construction. *)
 
 (* First index in [lo, hi) with col.(i) >= v, galloping from [lo]; [hi]
    if none.  Cost O(log (result - lo)). *)
-let gallop_geq (col : int array) lo hi v =
+let gallop_geq (col : Column.t) lo hi v =
   if lo >= hi then hi
-  else if col.(lo) >= v then lo
+  else if Column.unsafe_get col lo >= v then lo
   else begin
     (* invariant: col.(base) < v *)
     let base = ref lo and step = ref 1 in
-    while !base + !step < hi && col.(!base + !step) < v do
+    while !base + !step < hi && Column.unsafe_get col (!base + !step) < v do
       base := !base + !step;
       step := !step * 2
     done;
     let l = ref (!base + 1) and h = ref (min (!base + !step) hi) in
     while !l < !h do
       let mid = (!l + !h) / 2 in
-      if col.(mid) < v then l := mid + 1 else h := mid
+      if Column.unsafe_get col mid < v then l := mid + 1 else h := mid
     done;
     !l
   end
 
 (* First index in [lo, hi) with col.(i) > v, galloping from [lo]. *)
-let gallop_gt (col : int array) lo hi v =
+let gallop_gt (col : Column.t) lo hi v =
   if lo >= hi then hi
-  else if col.(lo) > v then lo
+  else if Column.unsafe_get col lo > v then lo
   else begin
     let base = ref lo and step = ref 1 in
-    while !base + !step < hi && col.(!base + !step) <= v do
+    while !base + !step < hi && Column.unsafe_get col (!base + !step) <= v do
       base := !base + !step;
       step := !step * 2
     done;
     let l = ref (!base + 1) and h = ref (min (!base + !step) hi) in
     while !l < !h do
       let mid = (!l + !h) / 2 in
-      if col.(mid) <= v then l := mid + 1 else h := mid
+      if Column.unsafe_get col mid <= v then l := mid + 1 else h := mid
     done;
     !l
   end
@@ -76,39 +84,41 @@ let gallop_gt (col : int array) lo hi v =
 
    Sorts a row permutation so that rows read through it are in
    lexicographic column order.  Per column: pull the range's keys into a
-   scratch array (one cache-friendly contiguous pass), three-way
+   scratch column (one cache-friendly contiguous pass), three-way
    quicksort (key, perm) together with plain int comparisons, then
    recurse into each equal-key run on the next column. *)
 
-let swap2 (key : int array) (perm : int array) i j =
-  let k = key.(i) in
-  key.(i) <- key.(j);
-  key.(j) <- k;
-  let p = perm.(i) in
-  perm.(i) <- perm.(j);
-  perm.(j) <- p
+let swap2 (key : Column.t) (perm : Column.t) i j =
+  let k = Column.unsafe_get key i in
+  Column.unsafe_set key i (Column.unsafe_get key j);
+  Column.unsafe_set key j k;
+  let p = Column.unsafe_get perm i in
+  Column.unsafe_set perm i (Column.unsafe_get perm j);
+  Column.unsafe_set perm j p
 
 (* Insertion sort of (key, perm) on [lo, hi). *)
-let insertion_sort (key : int array) (perm : int array) lo hi =
+let insertion_sort (key : Column.t) (perm : Column.t) lo hi =
   for i = lo + 1 to hi - 1 do
-    let k = key.(i) and p = perm.(i) in
+    let k = Column.unsafe_get key i and p = Column.unsafe_get perm i in
     let j = ref i in
-    while !j > lo && key.(!j - 1) > k do
-      key.(!j) <- key.(!j - 1);
-      perm.(!j) <- perm.(!j - 1);
+    while !j > lo && Column.unsafe_get key (!j - 1) > k do
+      Column.unsafe_set key !j (Column.unsafe_get key (!j - 1));
+      Column.unsafe_set perm !j (Column.unsafe_get perm (!j - 1));
       decr j
     done;
-    key.(!j) <- k;
-    perm.(!j) <- p
+    Column.unsafe_set key !j k;
+    Column.unsafe_set perm !j p
   done
 
 (* Three-way (Dutch-flag) quicksort of (key, perm) on [lo, hi). *)
-let rec sort_pairs (key : int array) (perm : int array) lo hi =
+let rec sort_pairs (key : Column.t) (perm : Column.t) lo hi =
   if hi - lo <= 16 then insertion_sort key perm lo hi
   else begin
     (* median-of-three pivot *)
     let mid = lo + ((hi - lo) / 2) in
-    let a = key.(lo) and b = key.(mid) and c = key.(hi - 1) in
+    let a = Column.unsafe_get key lo
+    and b = Column.unsafe_get key mid
+    and c = Column.unsafe_get key (hi - 1) in
     let pivot =
       if a < b then if b < c then b else if a < c then c else a
       else if a < c then a
@@ -118,7 +128,7 @@ let rec sort_pairs (key : int array) (perm : int array) lo hi =
     (* partition into < pivot | = pivot | > pivot *)
     let lt = ref lo and i = ref lo and gt = ref hi in
     while !i < !gt do
-      let k = key.(!i) in
+      let k = Column.unsafe_get key !i in
       if k < pivot then begin
         swap2 key perm !lt !i;
         incr lt;
@@ -136,20 +146,20 @@ let rec sort_pairs (key : int array) (perm : int array) lo hi =
 
 (* Sort perm.[lo, hi) lexicographically on cols starting at [depth],
    using [key] as scratch. *)
-let rec sort_lex (cols : int array array) (key : int array) (perm : int array)
+let rec sort_lex (cols : Column.t array) (key : Column.t) (perm : Column.t)
     depth lo hi =
   if hi - lo > 1 && depth < Array.length cols then begin
     let col = cols.(depth) in
     for i = lo to hi - 1 do
-      key.(i) <- col.(perm.(i))
+      Column.unsafe_set key i (Column.unsafe_get col (Column.unsafe_get perm i))
     done;
     sort_pairs key perm lo hi;
     (* recurse into equal-key runs on the next column *)
     let i = ref lo in
     while !i < hi do
-      let v = key.(!i) in
+      let v = Column.unsafe_get key !i in
       let j = ref (!i + 1) in
-      while !j < hi && key.(!j) = v do
+      while !j < hi && Column.unsafe_get key !j = v do
         incr j
       done;
       if !j - !i > 1 then sort_lex cols key perm (depth + 1) !i !j;
@@ -159,8 +169,10 @@ let rec sort_lex (cols : int array array) (key : int array) (perm : int array)
 
 (* Build from a relation: permute columns so attributes appear in the
    order induced by [order] (a global variable order containing all of
-   the relation's attributes). *)
-let build ~order rel =
+   the relation's attributes).  The sort scratch (unsorted columns, key,
+   permutation) comes from [scratch] when given and is released before
+   returning; only the final sorted columns are fresh allocations. *)
+let build ?scratch ~order rel =
   let position = Hashtbl.create 16 in
   Array.iteri (fun i x -> Hashtbl.replace position x i) order;
   let cols_spec =
@@ -177,20 +189,32 @@ let build ~order rel =
   let width = Array.length attrs in
   let tuples = Relation.tuples rel in
   let n = Array.length tuples in
+  let amark = Option.map (fun a -> (a, Arena.mark a)) scratch in
+  let salloc len =
+    match scratch with Some a -> Arena.alloc a len | None -> Column.create len
+  in
   (* columnar copy in source row order *)
   let unsorted =
     Array.init width (fun d ->
         let s = src.(d) in
-        Array.init n (fun i -> tuples.(i).(s)))
+        let c = salloc n in
+        for i = 0 to n - 1 do
+          Column.unsafe_set c i tuples.(i).(s)
+        done;
+        c)
   in
-  let perm = Array.init n (fun i -> i) in
-  let key = Array.make (max n 1) 0 in
+  let perm = salloc n in
+  for i = 0 to n - 1 do
+    Column.unsafe_set perm i i
+  done;
+  let key = salloc (max n 1) in
   sort_lex unsorted key perm 0 0 n;
   let cols =
     Array.init width (fun d ->
         let u = unsorted.(d) in
-        Array.init n (fun i -> u.(perm.(i))))
+        Column.init n (fun i -> Column.unsafe_get u (Column.unsafe_get perm i)))
   in
+  (match amark with Some (a, m) -> Arena.release a m | None -> ());
   { attrs; nrows = n; cols }
 
 (* Trusted constructor from pre-sorted distinct rows: columnarize, no
@@ -201,9 +225,22 @@ let of_sorted_rows attrs rows =
   let width = Array.length attrs in
   let n = Array.length rows in
   let cols =
-    Array.init width (fun d -> Array.init n (fun i -> rows.(i).(d)))
+    Array.init width (fun d -> Column.init n (fun i -> rows.(i).(d)))
   in
   { attrs = Array.copy attrs; nrows = n; cols }
+
+(* Trusted zero-copy constructor: adopt already-sorted columns (e.g.
+   views into an mmap'd snapshot image) as trie levels.  Each column
+   must hold [nrows] keys and the implied rows must be lexicographically
+   sorted and distinct - nothing is checked or copied. *)
+let of_columns attrs ~nrows cols =
+  if Array.length cols <> Array.length attrs then
+    invalid_arg "Trie.of_columns: width";
+  Array.iter
+    (fun c ->
+      if Column.length c <> nrows then invalid_arg "Trie.of_columns: length")
+    cols;
+  { attrs = Array.copy attrs; nrows; cols = Array.copy cols }
 
 (* First index in [lo, hi) whose key at [depth] is >= v. *)
 let lower_bound t ~depth ~lo ~hi v = gallop_geq t.cols.(depth) lo hi v
@@ -215,7 +252,8 @@ let upper_bound t ~depth ~lo ~hi v = gallop_gt t.cols.(depth) lo hi v
 let narrow t ~depth ~lo ~hi v =
   let col = t.cols.(depth) in
   let l = gallop_geq col lo hi v in
-  if l >= hi || col.(l) <> v then None else Some (l, gallop_gt col l hi v)
+  if l >= hi || Column.unsafe_get col l <> v then None
+  else Some (l, gallop_gt col l hi v)
 
 (* Iterate the distinct keys at [depth] within [lo, hi); [f v sublo
    subhi] gets each key's child range. *)
@@ -223,13 +261,13 @@ let iter_keys t ~depth ~lo ~hi f =
   let col = t.cols.(depth) in
   let pos = ref lo in
   while !pos < hi do
-    let v = col.(!pos) in
+    let v = Column.unsafe_get col !pos in
     let e = gallop_gt col !pos hi v in
     f v !pos e;
     pos := e
   done
 
-let key_at t ~depth pos = t.cols.(depth).(pos)
+let key_at t ~depth pos = Column.get t.cols.(depth) pos
 
 let distinct_key_count t ~depth ~lo ~hi =
   let c = ref 0 in

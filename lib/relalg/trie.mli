@@ -1,8 +1,9 @@
 (** Sorted columnar tries over a global attribute order: the shared
     relation view of both worst-case-optimal joins.  A trie node is a
-    row range at a depth; storage is one flat [int array] per level
-    (struct-of-arrays), built by a monomorphic lexicographic sort;
-    navigation is galloping search (LFTJ's "seek"). *)
+    row range at a depth; storage is one flat off-heap
+    {!Lb_util.Column} per level (struct-of-arrays, unboxed, invisible
+    to the GC), built by a monomorphic lexicographic sort; navigation
+    is galloping search (LFTJ's "seek"). *)
 
 type t
 
@@ -14,12 +15,14 @@ val row_count : t -> int
 
 (** The sorted column at a depth.  Exposed for the join engines' hot
     loops; callers must not mutate it. *)
-val column : t -> int -> int array
+val column : t -> int -> Lb_util.Column.t
 
 (** Permute the relation's columns into the order induced by the global
     [order] and sort lexicographically.  Raises if some attribute is
-    missing from [order]. *)
-val build : order:string array -> Relation.t -> t
+    missing from [order].  [scratch] backs the sort's temporaries
+    (released before returning); without it they are fresh off-heap
+    columns. *)
+val build : ?scratch:Lb_util.Arena.t -> order:string array -> Relation.t -> t
 
 (** Trusted constructor: [rows] must already be lexicographically
     sorted, duplicate-free, and of width [|attrs|] - no sort, no dedup,
@@ -27,14 +30,21 @@ val build : order:string array -> Relation.t -> t
     path produce exactly this shape. *)
 val of_sorted_rows : string array -> int array array -> t
 
+(** Trusted zero-copy constructor: adopt pre-sorted columns (typically
+    views into an mmap'd snapshot) as the trie levels.  Every column
+    must have length [nrows]; the implied rows must be sorted and
+    distinct.  Nothing is copied or validated beyond the lengths. *)
+val of_columns : string array -> nrows:int -> Lb_util.Column.t array -> t
+
 (** [gallop_geq col lo hi v] is the first index in [\[lo, hi)] with
     [col.(i) >= v] ([hi] if none), by exponential search from [lo]: the
     cost is logarithmic in the distance advanced, so repeated seeks with
-    a moving cursor are amortized. *)
-val gallop_geq : int array -> int -> int -> int -> int
+    a moving cursor are amortized.  Probes are unchecked; [\[lo, hi)]
+    must lie within the column. *)
+val gallop_geq : Lb_util.Column.t -> int -> int -> int -> int
 
 (** Same with [col.(i) > v]. *)
-val gallop_gt : int array -> int -> int -> int -> int
+val gallop_gt : Lb_util.Column.t -> int -> int -> int -> int
 
 (** First index in [\[lo, hi)] whose key at [depth] is [>= v]. *)
 val lower_bound : t -> depth:int -> lo:int -> hi:int -> int -> int

@@ -35,6 +35,9 @@ type t = {
   mutable version : int;
   mutable shards : int; (* default shard count; 1 = unsharded *)
   parts : (string * int * int, int * R.t array) Hashtbl.t;
+  arena : Lb_util.Arena.t;
+      (* sort scratch for trie builds; mutations run single-threaded
+         under the server's write mutex, so one arena is safe *)
 }
 
 let create () =
@@ -45,7 +48,11 @@ let create () =
     version = 0;
     shards = 1;
     parts = Hashtbl.create 16;
+    arena = Lb_util.Arena.create ();
   }
+
+let arena_stats t =
+  Lb_util.Arena.(capacity t.arena, grown t.arena)
 
 let version t = t.version
 
@@ -196,7 +203,8 @@ let load ?shards t ~name ~attrs tuples =
   | exception Invalid_argument msg -> Error msg
   | rel ->
       (match shards with Some k -> set_shards t k | None -> ());
-      Hashtbl.replace t.store name (Delta_trie.of_relation rel);
+      Hashtbl.replace t.store name
+        (Delta_trie.of_relation ~scratch:t.arena rel);
       drop_parts_of t name;
       bump t name (Db.add (without t name) name rel);
       warm_leading t name rel;
@@ -266,21 +274,65 @@ let dump t =
          let rel = Db.find t.db n in
          (n, R.attrs rel, R.tuples rel, rel_version t n))
 
+(* Rows exactly as [dump] wrote them: rectangular, lexicographically
+   sorted, duplicate-free - the precondition for adopting a prebuilt
+   trie and for [R.of_sorted_distinct].  O(n * width). *)
+let dump_shaped attrs (rows : int array array) =
+  let w = Array.length attrs in
+  let n = Array.length rows in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Array.length rows.(i) <> w then ok := false
+    else if i > 0 && R.compare_tuples rows.(i - 1) rows.(i) >= 0 then
+      ok := false
+  done;
+  !ok
+
 (* Restore a snapshot: trusted state (no validation beyond R.make),
    versions set - not bumped - so persisted provenance stamps keep
-   matching.  Existing state is discarded. *)
-let restore ?shards t ~version rels =
+   matching.  Existing state is discarded.
+
+   [tries] is the mapped-snapshot fast path: when it supplies a
+   prebuilt trie whose shape matches the relation (and the snapshot
+   rows are in dump form), the trie is adopted as the delta-trie base
+   with no sort and no columnarization - its levels stay wherever the
+   supplier put them, e.g. in an mmap'd image.  Any mismatch falls
+   back to the ordinary build.  Returns how many relations took the
+   fast path. *)
+let restore ?shards ?tries t ~version rels =
   (match shards with Some k -> set_shards t k | None -> ());
   Hashtbl.reset t.store;
   Hashtbl.reset t.versions;
   Hashtbl.reset t.parts;
   t.db <- Db.empty;
   t.version <- version;
+  let mapped = ref 0 in
   List.iter
     (fun (name, attrs, rows, rv) ->
-      let rel = R.make attrs (Array.to_list rows) in
-      Hashtbl.replace t.store name (Delta_trie.of_relation rel);
+      let prebuilt =
+        match tries with
+        | None -> None
+        | Some hook -> (
+            match hook name with
+            | Some trie
+              when Lb_relalg.Trie.attrs trie = attrs
+                   && Lb_relalg.Trie.row_count trie = Array.length rows
+                   && dump_shaped attrs rows ->
+                Some trie
+            | _ -> None)
+      in
+      let rel, dt =
+        match prebuilt with
+        | Some trie ->
+            incr mapped;
+            (R.of_sorted_distinct attrs rows, Delta_trie.of_trie trie)
+        | None ->
+            let rel = R.make attrs (Array.to_list rows) in
+            (rel, Delta_trie.of_relation ~scratch:t.arena rel)
+      in
+      Hashtbl.replace t.store name dt;
       Hashtbl.replace t.versions name rv;
       t.db <- Db.add t.db name rel;
       warm_leading t name rel)
-    rels
+    rels;
+  !mapped

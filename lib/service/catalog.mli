@@ -35,6 +35,12 @@ val version_vector : t -> string list -> (string * int) list
     relation's delta trie; [None] for unknown names. *)
 val delta_stats : t -> string -> (int * int * int) option
 
+(** [(capacity, growth count)] of the catalog's off-heap sort-scratch
+    arena - the bump allocator trie builds borrow their transient
+    columns from.  Growth settles once the arena has seen the largest
+    relation; a steadily climbing count means builds are thrashing. *)
+val arena_stats : t -> int * int
+
 (** The current immutable database snapshot (safe to share across
     domains while mutations are quiesced). *)
 val database : t -> Lb_relalg.Database.t
@@ -98,10 +104,20 @@ val dump : t -> (string * string array * int array array * int) list
 (** Replace the entire catalog state from a snapshot.  Versions are
     restored, not bumped, so provenance stamps persisted alongside the
     snapshot keep matching.  Warms leading-column partitions when the
-    restored shard count is > 1. *)
+    restored shard count is > 1.
+
+    [tries] is the mapped-image fast path ({!Snapshot.read_image}): a
+    supplied trie whose attrs and row count match the snapshot relation
+    is adopted as the storage base directly - no sort, no
+    columnarization, levels left wherever the supplier put them (an
+    mmap'd region stays mapped).  Shape mismatches silently fall back
+    to the ordinary build, so a stale or hand-edited sidecar can slow
+    recovery but never corrupt it.  Returns the number of relations
+    that took the fast path. *)
 val restore :
   ?shards:int ->
+  ?tries:(string -> Lb_relalg.Trie.t option) ->
   t ->
   version:int ->
   (string * string array * int array array * int) list ->
-  unit
+  int

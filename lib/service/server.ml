@@ -90,6 +90,7 @@ type t = {
   metrics : Metrics.t;
   mutable durable : durable option;
   mutable shutdown : bool;
+  gc0 : Gc.stat; (* baseline at server creation; stats report deltas *)
 }
 
 let catalog t = t.catalog
@@ -297,11 +298,32 @@ let snapshot_doc t =
       ("results", Json.List results);
     ]
 
+(* The snapshot's columnar sidecar: one sorted column per attribute,
+   straight out of the already-sorted dump rows (O(n * width), no sort).
+   Keyed to its JSON document by a digest stamp so recovery can only
+   adopt an image that matches the snapshot it reads. *)
+let snapshot_stamp doc = Digest.to_hex (Digest.string (Json.to_string doc))
+
+let image_of_dump dump =
+  List.map
+    (fun (name, attrs, (rows : int array array), _rv) ->
+      let nrows = Array.length rows in
+      let cols =
+        Array.init (Array.length attrs) (fun d ->
+            Lb_util.Column.init nrows (fun i -> rows.(i).(d)))
+      in
+      (name, nrows, cols))
+    dump
+
 let checkpoint t =
   match t.durable with
   | None -> ()
   | Some d ->
-      Snapshot.write ~path:(snapshot_path d.dir) (snapshot_doc t);
+      let doc = snapshot_doc t in
+      let path = snapshot_path d.dir in
+      Snapshot.write ~path doc;
+      Snapshot.write_image ~path ~stamp:(snapshot_stamp doc)
+        (image_of_dump (Catalog.dump t.catalog));
       Wal.reset d.writer;
       d.since_snapshot <- 0;
       d.snapshot_version <- Catalog.version t.catalog;
@@ -350,7 +372,7 @@ let rows_of_json j =
               rows))
   | _ -> None
 
-let restore_snapshot t doc =
+let restore_snapshot ?image t doc =
   match (Json.int_field "version" doc, Json.member "relations" doc) with
   | Ok version, Some (Json.List rels) ->
       let parsed =
@@ -378,7 +400,29 @@ let restore_snapshot t doc =
             | _ -> None)
           rels
       in
-      Catalog.restore t.catalog ~version parsed;
+      (* Mapped-image fast path: hand the catalog a prebuilt trie over
+         the mmap'd columns for any relation whose image shape matches
+         the snapshot's schema.  The catalog re-checks shape and row
+         form, so a bad sidecar degrades to the ordinary build. *)
+      let tries =
+        Option.map
+          (fun image ->
+            fun name ->
+             match
+               ( List.assoc_opt name
+                   (List.map (fun (n, a, _, _) -> (n, a)) parsed),
+                 List.find_opt (fun (n, _, _) -> n = name) image )
+             with
+             | Some attrs, Some (_, nrows, cols)
+               when Array.length cols = Array.length attrs -> (
+                 match Lb_relalg.Trie.of_columns attrs ~nrows cols with
+                 | exception Invalid_argument _ -> None
+                 | trie -> Some trie)
+             | _ -> None)
+          image
+      in
+      let mapped = Catalog.restore ?tries t.catalog ~version parsed in
+      Metrics.add t.metrics "serve.snapshot.mapped_relations" mapped;
       (* Re-warm persisted cached answers whose provenance still
          matches the restored catalog.  Restore oldest-first so the
          LRU recency order survives the round trip. *)
@@ -429,8 +473,14 @@ let open_durable t dir =
   | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   | Unix.Unix_error _ -> ());
   let snapshot_version =
-    match Snapshot.read (snapshot_path dir) with
-    | Some doc -> restore_snapshot t doc
+    let path = snapshot_path dir in
+    match Snapshot.read path with
+    | Some doc ->
+        (* Canonical serialization makes the reparsed document's stamp
+           equal the one computed at checkpoint, which is what unlocks
+           the columnar sidecar. *)
+        let image = Snapshot.read_image ~path ~stamp:(snapshot_stamp doc) in
+        restore_snapshot ?image t doc
     | None -> 0
   in
   let replayed = Wal.replay (wal_path dir) in
@@ -465,6 +515,7 @@ let create ?(config = default_config) () =
       metrics = Metrics.create ();
       durable = None;
       shutdown = false;
+      gc0 = Gc.quick_stat ();
     }
   in
   Option.iter (open_durable t) config.data_dir;
@@ -648,6 +699,51 @@ let cache_stats name (c : (_, _) Lru.t) =
         ("evictions", Json.Int (Lru.evictions c));
       ] )
 
+(* GC visibility.  [Gc.quick_stat] deltas since server creation give
+   the allocation story (how much work the collector was handed);
+   the pause proxy is maintained by the request loop: a histogram of
+   window wall times restricted to windows during which a major
+   collection ran.  OCaml exposes no direct pause clock, so the top
+   occupied bucket of that histogram is the honest upper estimate of
+   what a major costs a request. *)
+let pause_buckets = [ "le_1"; "le_4"; "le_16"; "le_64"; "gt_64" ]
+
+let pause_bucket_of ms =
+  if ms <= 1.0 then "le_1"
+  else if ms <= 4.0 then "le_4"
+  else if ms <= 16.0 then "le_16"
+  else if ms <= 64.0 then "le_64"
+  else "gt_64"
+
+let top_pause_bucket t =
+  List.fold_left
+    (fun best b ->
+      match Metrics.find_counter t.metrics ("serve.gc.pause_ms_" ^ b) with
+      | Some n when n > 0 -> Some b
+      | _ -> best)
+    None pause_buckets
+
+let gc_json t =
+  let s = Gc.quick_stat () in
+  let words f = Json.Int (int_of_float (f s -. f t.gc0)) in
+  Json.Obj
+    [
+      ("minor_words", words (fun (st : Gc.stat) -> st.Gc.minor_words));
+      ("promoted_words", words (fun (st : Gc.stat) -> st.Gc.promoted_words));
+      ("major_words", words (fun (st : Gc.stat) -> st.Gc.major_words));
+      ( "minor_collections",
+        Json.Int (s.Gc.minor_collections - t.gc0.Gc.minor_collections) );
+      ( "major_collections",
+        Json.Int (s.Gc.major_collections - t.gc0.Gc.major_collections) );
+      ("compactions", Json.Int (s.Gc.compactions - t.gc0.Gc.compactions));
+      ("heap_words", Json.Int s.Gc.heap_words);
+      ("top_heap_words", Json.Int s.Gc.top_heap_words);
+      ( "top_pause_bucket_ms",
+        match top_pause_bucket t with
+        | Some b -> Json.String b
+        | None -> Json.Null );
+    ]
+
 let stats_response t =
   Protocol.ok_fields ~op:"stats"
     [
@@ -655,6 +751,7 @@ let stats_response t =
       ("shards", Json.Int t.config.shards);
       ("ivm", Json.Bool t.config.ivm);
       ("durable", Json.Bool (t.durable <> None));
+      ("gc", gc_json t);
       ( "relations",
         Json.Obj
           (List.map
@@ -1118,6 +1215,8 @@ let run_tasks t (tasks : task list) =
    executes it (possibly pool-parallel), phase C records outcomes and
    fills the reply slots.  Replies come back in item order. *)
 let process t (items : item list) =
+  let gc_majors0 = (Gc.quick_stat ()).Gc.major_collections in
+  let gc_t0 = Unix.gettimeofday () in
   let n = List.length items in
   let slots = Array.make n None in
   let pending = ref [] (* (slot index, task), newest first *) in
@@ -1159,6 +1258,18 @@ let process t (items : item list) =
           | Pending task -> pending := (i, task) :: !pending))
     items;
   flush ();
+  (* Pause proxy: when a major collection ran inside this window, its
+     cost is buried in the window's wall time - bucket it.  Timing
+     counters, so excluded from determinism gates. *)
+  let majors =
+    (Gc.quick_stat ()).Gc.major_collections - gc_majors0
+  in
+  if majors > 0 then begin
+    Metrics.add t.metrics "serve.gc.major_windows" 1;
+    Metrics.add t.metrics "serve.gc.majors_in_windows" majors;
+    let ms = (Unix.gettimeofday () -. gc_t0) *. 1000.0 in
+    incr t ("serve.gc.pause_ms_" ^ pause_bucket_of ms)
+  end;
   Array.to_list
     (Array.map
        (function Some r -> r | None -> Protocol.error_response "internal: unanswered slot")

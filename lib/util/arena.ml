@@ -1,0 +1,65 @@
+(* Bump-pointer scratch allocation over off-heap columns.
+
+   An arena hands out zero-copy [Column.sub] views of a backing chunk
+   by bumping an offset; freeing is O(1) watermark restore.  When a
+   request outgrows the current chunk the arena retires it and opens a
+   larger one - retired chunks stay alive (views into them remain
+   valid) until a watermark at or below them is restored, at which
+   point the off-heap storage is released to the Bigarray finalizer.
+
+   Intended use is per-request scratch on the serve path: [mark] at
+   request entry, allocate trie-build scratch and merge cursors freely,
+   [release] on the way out.  No data survives a release, so the steady
+   state allocates nothing on the OCaml heap beyond the view headers.
+
+   Not domain-safe: one arena per domain (the serve mutation path is
+   single-threaded, which is where this is wired in). *)
+
+type mark = { m_retired : Column.t list; m_chunk : Column.t; m_used : int }
+
+type t = {
+  mutable chunk : Column.t; (* current chunk, filled up to [used] *)
+  mutable used : int;
+  mutable retired : Column.t list; (* outgrown chunks, newest first *)
+  mutable grown : int; (* lifetime chunk promotions, for stats *)
+}
+
+let default_capacity = 1 lsl 12
+
+let create ?(capacity = default_capacity) () =
+  { chunk = Column.create (max capacity 1); used = 0; retired = []; grown = 0 }
+
+let capacity t =
+  List.fold_left
+    (fun acc c -> acc + Column.length c)
+    (Column.length t.chunk) t.retired
+
+let used t =
+  List.fold_left (fun acc c -> acc + Column.length c) t.used t.retired
+
+let grown t = t.grown
+
+let alloc t n =
+  if n < 0 then invalid_arg "Arena.alloc: negative size";
+  if t.used + n > Column.length t.chunk then begin
+    t.retired <- t.chunk :: t.retired;
+    t.chunk <- Column.create (max n (2 * Column.length t.chunk));
+    t.used <- 0;
+    t.grown <- t.grown + 1
+  end;
+  let view = Column.sub t.chunk t.used n in
+  t.used <- t.used + n;
+  view
+
+let mark t = { m_retired = t.retired; m_chunk = t.chunk; m_used = t.used }
+
+let release t m =
+  t.retired <- m.m_retired;
+  t.chunk <- m.m_chunk;
+  t.used <- m.m_used
+
+(* Full reset: keep only the (largest, current) chunk so the arena
+   converges to one right-sized chunk across requests. *)
+let reset t =
+  t.retired <- [];
+  t.used <- 0

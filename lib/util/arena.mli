@@ -1,0 +1,35 @@
+(** Bump-pointer off-heap scratch: zero-copy [Column.sub] views handed
+    out by bumping an offset, freed in O(1) by restoring a watermark.
+    Outgrown chunks are retired (existing views stay valid) and
+    released when the covering watermark is restored.  One arena per
+    domain - not domain-safe. *)
+
+type t
+
+(** Opaque watermark: the arena's state at [mark] time. *)
+type mark
+
+(** [create ?capacity ()]: initial chunk size in elements (default
+    4096).  The arena grows geometrically as needed. *)
+val create : ?capacity:int -> unit -> t
+
+(** Fresh uninitialized view of [n] elements.  Valid until a watermark
+    taken before this allocation is restored. *)
+val alloc : t -> int -> Column.t
+
+val mark : t -> mark
+
+(** Roll back every allocation made since the mark. *)
+val release : t -> mark -> unit
+
+(** Drop everything, keeping the current (largest) chunk. *)
+val reset : t -> unit
+
+(** Total elements across live chunks. *)
+val capacity : t -> int
+
+(** Elements currently allocated. *)
+val used : t -> int
+
+(** Lifetime chunk promotions (growth events). *)
+val grown : t -> int

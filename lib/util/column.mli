@@ -1,0 +1,53 @@
+(** Off-heap unboxed int columns on [Bigarray.Array1] (C layout, native
+    int).  The payload is outside the OCaml heap: the GC scans only the
+    constant-size header, so large columns add nothing to mark work or
+    pause times.  Indexing semantics match [int array]; sub-views and
+    blits are zero-copy over shared storage.  Safe to share across
+    domains for concurrent reads. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Fresh column of [n] uninitialized elements. *)
+val create : int -> t
+
+(** The zero-length column (shared; columns are compared by contents,
+    never by identity). *)
+val empty : t
+
+val length : t -> int
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** Unchecked access - the join engines' hot loops, where the enclosing
+    range arithmetic already guarantees bounds. *)
+val unsafe_get : t -> int -> int
+
+val unsafe_set : t -> int -> int -> unit
+
+(** [sub c pos len]: zero-copy view sharing storage with [c]. *)
+val sub : t -> int -> int -> t
+
+val fill : t -> int -> unit
+
+(** Ranged copy between (possibly overlapping views of) columns. *)
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+val init : int -> (int -> int) -> t
+
+val make : int -> int -> t
+
+val of_array : int array -> t
+
+val to_array : t -> int array
+
+val copy : t -> t
+
+(** Element-wise equality. *)
+val equal : t -> t -> bool
+
+(** Reinterpret a 1-d int genarray (e.g. from [Unix.map_file]) as a
+    column, zero-copy. *)
+val of_genarray :
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Genarray.t -> t

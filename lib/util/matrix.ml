@@ -112,8 +112,8 @@ module Int = struct
 end
 
 module Bool = struct
-  type t = { n : int; m : int; words : int; rows : int array }
-  (* rows is an n*words array; bit j of row i lives in
+  type t = { n : int; m : int; words : int; rows : Column.t }
+  (* rows is an n*words off-heap column; bit j of row i lives in
      rows.(i*words + j/63) bit (j mod 63).  Bits at positions >= m in
      the last word of a row are always 0 — every kernel below relies on
      (and preserves) that. *)
@@ -122,17 +122,20 @@ module Bool = struct
 
   let create n m =
     let words = Bits.words_for ~bits:word_bits m in
-    { n; m; words = max 1 words; rows = Array.make (n * max 1 words) 0 }
+    { n; m; words = max 1 words; rows = Column.make (n * max 1 words) 0 }
 
   let dims t = (t.n, t.m)
 
-  let get t i j = t.rows.((i * t.words) + (j / word_bits)) land (1 lsl (j mod word_bits)) <> 0
+  let get t i j =
+    Column.get t.rows ((i * t.words) + (j / word_bits))
+    land (1 lsl (j mod word_bits))
+    <> 0
 
   let set t i j v =
     let idx = (i * t.words) + (j / word_bits) in
     let bit = 1 lsl (j mod word_bits) in
-    if v then t.rows.(idx) <- t.rows.(idx) lor bit
-    else t.rows.(idx) <- t.rows.(idx) land lnot bit
+    if v then Column.set t.rows idx (Column.get t.rows idx lor bit)
+    else Column.set t.rows idx (Column.get t.rows idx land lnot bit)
 
   let init n m f =
     let t = create n m in
@@ -152,18 +155,14 @@ module Bool = struct
       (fun i r ->
         if Array.length r > t.words then
           invalid_arg "Matrix.Bool.of_packed_rows: row has too many words";
-        Array.blit r 0 t.rows (i * t.words) (Array.length r))
+        Array.iteri (fun w x -> Column.set t.rows ((i * t.words) + w) x) r)
       rows;
     t
 
   let equal a b =
     a.n = b.n && a.m = b.m
     &&
-    let ok = ref true in
-    for i = 0 to Array.length a.rows - 1 do
-      if a.rows.(i) <> b.rows.(i) then ok := false
-    done;
-    !ok
+    Column.equal a.rows b.rows
 
   (* Is every one of the n*m entries set?  Word-parallel: full words
      must be all-ones (lnot 0 over the 63-bit pattern), the last word
@@ -179,9 +178,10 @@ module Bool = struct
       for i = 0 to t.n - 1 do
         let base = i * t.words in
         for w = 0 to full_words - 1 do
-          if t.rows.(base + w) <> full then ok := false
+          if Column.unsafe_get t.rows (base + w) <> full then ok := false
         done;
-        if rem <> 0 && t.rows.(base + t.words - 1) <> last_mask then ok := false
+        if rem <> 0 && Column.unsafe_get t.rows (base + t.words - 1) <> last_mask
+        then ok := false
       done;
       !ok
     end
@@ -205,7 +205,9 @@ module Bool = struct
         if get a i k then begin
           let brow = k * b.words in
           for w = 0 to b.words - 1 do
-            c.rows.(crow + w) <- c.rows.(crow + w) lor b.rows.(brow + w)
+            Column.unsafe_set c.rows (crow + w)
+              (Column.unsafe_get c.rows (crow + w)
+              lor Column.unsafe_get b.rows (brow + w))
           done;
           words := !words + b.words
         end
@@ -239,13 +241,15 @@ module Bool = struct
       for i = ilo to ihi - 1 do
         let arow = i * a.words and crow = i * cw in
         for w = wlo to whi - 1 do
-          let x = ref a.rows.(arow + w) in
+          let x = ref (Column.unsafe_get a.rows (arow + w)) in
           while !x <> 0 do
             let bit = !x land - !x in
             let k = (w * word_bits) + Bits.ctz bit in
             let brow = k * b.words in
             for v = 0 to cw - 1 do
-              c.rows.(crow + v) <- c.rows.(crow + v) lor b.rows.(brow + v)
+              Column.unsafe_set c.rows (crow + v)
+                (Column.unsafe_get c.rows (crow + v)
+                lor Column.unsafe_get b.rows (brow + v))
             done;
             words := !words + cw;
             x := !x land lnot bit
@@ -327,7 +331,8 @@ module Bool = struct
           if k < b.n then begin
             let brow = k * cw in
             for v = 0 to cw - 1 do
-              table.(dst + v) <- table.(parent + v) lor b.rows.(brow + v)
+              table.(dst + v) <-
+                table.(parent + v) lor Column.unsafe_get b.rows (brow + v)
             done
           end
           else Array.blit table parent table dst cw
@@ -344,17 +349,19 @@ module Bool = struct
           for g = g0 to g1 - 1 do
             let gi = g - g0 in
             let w = arow + gword.(gi) and off = goff.(gi) in
-            let lo = a.rows.(w) lsr off in
+            let lo = Column.unsafe_get a.rows w lsr off in
             let e =
               (if off <= word_bits - m4r_group || w + 1 >= arow + a.words
                then lo
-               else lo lor (a.rows.(w + 1) lsl (word_bits - off)))
+               else
+                 lo lor (Column.unsafe_get a.rows (w + 1) lsl (word_bits - off)))
               land 0xff
             in
             if e <> 0 then begin
               let src = ((gi * 256) + e) * cw in
               for v = 0 to cw - 1 do
-                c.rows.(crow + v) <- c.rows.(crow + v) lor table.(src + v)
+                Column.unsafe_set c.rows (crow + v)
+                  (Column.unsafe_get c.rows (crow + v) lor table.(src + v))
               done;
               words := !words + cw
             end
@@ -416,7 +423,11 @@ module Bool = struct
           let brow = j * bt.words in
           let s = ref 0 in
           for w = 0 to a.words - 1 do
-            s := !s + Bits.popcount (a.rows.(arow + w) land bt.rows.(brow + w))
+            s :=
+              !s
+              + Bits.popcount
+                  (Column.unsafe_get a.rows (arow + w)
+                  land Column.unsafe_get bt.rows (brow + w))
           done;
           words := !words + a.words;
           Int.set c i j !s
@@ -460,7 +471,11 @@ module Bool = struct
         let hit = ref false in
         let w = ref 0 in
         while (not !hit) && !w < words do
-          if a.rows.(arow + !w) land b.rows.(brow + !w) <> 0 then hit := true;
+          if
+            Column.unsafe_get a.rows (arow + !w)
+            land Column.unsafe_get b.rows (brow + !w)
+            <> 0
+          then hit := true;
           incr w
         done;
         scanned := !scanned + !w;
@@ -544,7 +559,10 @@ module Bool = struct
     let r1 = i1 * t.words and r2 = i2 * t.words in
     let hit = ref false in
     for w = 0 to t.words - 1 do
-      if t.rows.(r1 + w) land t.rows.(r2 + w) <> 0 then hit := true
+      if
+        Column.unsafe_get t.rows (r1 + w) land Column.unsafe_get t.rows (r2 + w)
+        <> 0
+      then hit := true
     done;
     !hit
 
@@ -556,7 +574,7 @@ module Bool = struct
     for i = 0 to t.n - 1 do
       let base = i * t.words in
       for w = 0 to t.words - 1 do
-        let x = ref t.rows.(base + w) in
+        let x = ref (Column.unsafe_get t.rows (base + w)) in
         while !x <> 0 do
           let bit = !x land - !x in
           set r ((w * word_bits) + Bits.ctz bit) i true;

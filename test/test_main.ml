@@ -11,6 +11,7 @@ let () =
       ("structure", Test_structure.suite);
       ("relalg", Test_relalg.suite);
       ("trie", Test_trie.suite);
+      ("column", Test_column.suite);
       ("join_engine", Test_join_engine.suite);
       ("compile", Test_compile.suite);
       ("csp", Test_csp.suite);
