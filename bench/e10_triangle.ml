@@ -161,7 +161,7 @@ let run () =
   print_newline ();
   let gc = Gen.gnp (Harness.rng 77) 192 0.3 in
   let mtr = Lb_util.Metrics.create () in
-  let c_mm = Tri.count_matmul ~metrics:mtr gc in
+  let c_mm = Tri.count_matmul ~ctx:(Lb_util.Exec.make ~metrics:mtr ()) gc in
   let c_scan = Tri.count_edge_scan gc in
   assert (c_mm = c_scan);
   Printf.printf

@@ -26,14 +26,17 @@ let run () =
         let witness = ref None in
         let t =
           Harness.median_time 3 (fun () ->
-              witness := Ov.solve ~metrics:mtr inst)
+              witness := Ov.solve ~ctx:(Lb_util.Exec.make ~metrics:mtr ()) inst)
         in
         (* blocked route through the matmul kernel: same witness (or
            same absence), banded scan with early exit *)
         let blocked = ref None in
         let t_blocked =
           Harness.median_time 3 (fun () ->
-              blocked := Ov.solve_blocked ~metrics:mtr_blocked inst)
+              blocked :=
+                Ov.solve_blocked
+                  ~ctx:(Lb_util.Exec.make ~metrics:mtr_blocked ())
+                  inst)
         in
         assert (!blocked = !witness);
         rows :=

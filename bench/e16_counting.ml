@@ -51,6 +51,7 @@ let symmetric_worst_case n =
    are bounded by domain^{i-1} (s^5 = N^2.5 here), far below the
    documented 2^62 overflow bound of [Matrix.Int.mul]. *)
 let count_matmul ?metrics db =
+  let ctx = Lb_util.Exec.make ?metrics () in
   let mat name =
     let r = Lb_relalg.Database.find db name in
     let dom =
@@ -69,7 +70,7 @@ let count_matmul ?metrics db =
   match ms with
   | first :: rest ->
       Lb_util.Matrix.Int.trace
-        (List.fold_left (Lb_util.Matrix.Int.mul ?metrics) first rest)
+        (List.fold_left (Lb_util.Matrix.Int.mul ~ctx) first rest)
   | [] -> assert false
 
 let run () =

@@ -44,7 +44,8 @@ let run () =
                   if n = 500 then Lb_util.Metrics.create ()
                   else Lb_util.Metrics.disabled
                 in
-                d_mm := Dist.diameter_matmul ~metrics:mtr g;
+                d_mm :=
+                  Dist.diameter_matmul ~ctx:(Lb_util.Exec.make ~metrics:mtr ()) g;
                 if n = 500 then Harness.counters_of_metrics "E17" mtr)
             |> snd
           in

@@ -35,6 +35,7 @@ let register_all () =
       E23_ivm.experiment;
       E24_colsub.experiment;
       E25_gc.experiment;
+      E26_dist.experiment;
       A1_join_order.experiment;
       A2_ac3.experiment;
       A3_dpll_branching.experiment;

@@ -193,8 +193,9 @@ let matmul_experiment =
             (fun n ->
               let rng = Harness.rng (100 + n) in
               let a = random_matrix rng n and b = random_matrix rng n in
-              let c_pool = B.mul_m4r ~pool a b in
-              let t_pool = timed (reps n) (fun () -> B.mul_m4r ~pool a b) in
+              let ctx = Lb_util.Exec.make ~pool () in
+              let c_pool = B.mul_m4r ~ctx a b in
+              let t_pool = timed (reps n) (fun () -> B.mul_m4r ~ctx a b) in
               (n, c_pool, t_pool))
             ns
         in
@@ -231,8 +232,12 @@ let matmul_experiment =
               (c "matmul.words", c "matmul.table_builds")
             in
             let wn, _ = count (fun m -> B.mul_naive ~metrics:m a b) in
-            let wb, _ = count (fun m -> B.mul_blocked ~metrics:m a b) in
-            let wm, tb = count (fun m -> B.mul_m4r ~metrics:m a b) in
+            let wb, _ =
+              count (fun m -> B.mul_blocked ~ctx:(Lb_util.Exec.make ~metrics:m ()) a b)
+            in
+            let wm, tb =
+              count (fun m -> B.mul_m4r ~ctx:(Lb_util.Exec.make ~metrics:m ()) a b)
+            in
             Harness.counter (nm ^ ".words.naive") wn;
             Harness.counter (nm ^ ".words.blocked") wb;
             Harness.counter (nm ^ ".words.m4r") wm;

@@ -671,9 +671,77 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "gc-stats" ] ~doc)
   in
+  let remote_arg =
+    let doc =
+      "Run the query against a running server (HOST:PORT) through the \
+       typed protocol client instead of an in-process catalog; --load \
+       files are replayed over the same connection first."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "remote" ] ~docv:"HOST:PORT" ~doc)
+  in
   let run qtext loads engine count_only limit timeout_ms max_ticks shards
-      pool_n no_compile gc_stats json =
+      pool_n no_compile gc_stats remote json =
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("error: " ^ s)) fmt in
+    (* Shared tail: render one query reply and pick the exit code. *)
+    let emit_reply reply report_gc =
+      if json then begin
+        print_endline (Json.to_string reply);
+        report_gc ();
+        match Json.string_field "status" reply with
+        | Ok "ok" | Ok "degraded" -> 0
+        | Ok "timeout" -> 3
+        | _ -> 2
+      end
+      else
+        match Json.string_field "status" reply with
+        | Ok "ok" | Ok "degraded" ->
+            (match Json.member "plan" reply with
+            | Some plan -> (
+                match Json.string_field "engine" plan with
+                | Ok e -> Printf.printf "engine: %s\n" e
+                | Error _ -> ())
+            | None -> ());
+            (match Json.int_field "count" reply with
+            | Ok n -> Printf.printf "count: %d\n" n
+            | Error _ -> ());
+            (match Json.member "rows" reply with
+            | Some (Json.List rows) ->
+                List.iter
+                  (function
+                    | Json.List cells ->
+                        print_endline
+                          (String.concat " "
+                             (List.map
+                                (function
+                                  | Json.Int v -> string_of_int v
+                                  | _ -> "?")
+                                cells))
+                    | _ -> ())
+                  rows;
+                (match Json.member "truncated" reply with
+                | Some (Json.Bool true) -> print_endline "(truncated)"
+                | _ -> ())
+            | _ -> ());
+            report_gc ();
+            0
+        | Ok "timeout" ->
+            let reason =
+              match Json.string_field "reason" reply with
+              | Ok r -> r
+              | Error _ -> "budget exhausted"
+            in
+            fail "timeout (%s)" reason;
+            3
+        | Ok _ | Error _ ->
+            let msg =
+              match Json.string_field "message" reply with
+              | Ok m -> m
+              | Error _ -> "query failed"
+            in
+            fail "%s" msg;
+            2
+    in
     if shards < 1 then begin
       fail "--shards must be >= 1";
       2
@@ -687,6 +755,84 @@ let query_cmd =
       | Error msg ->
           fail "%s" msg;
           2
+      | Ok engine when remote <> None -> (
+          (* Remote mode: same requests, over the typed client. *)
+          let addr = Option.get remote in
+          let parsed =
+            match String.rindex_opt addr ':' with
+            | Some i -> (
+                match
+                  int_of_string_opt
+                    (String.sub addr (i + 1) (String.length addr - i - 1))
+                with
+                | Some port -> Ok (String.sub addr 0 i, port)
+                | None -> Error (Printf.sprintf "bad port in %S" addr))
+            | None -> Error (Printf.sprintf "--remote expects HOST:PORT, got %S" addr)
+          in
+          match parsed with
+          | Error msg ->
+              fail "%s" msg;
+              2
+          | Ok (host, port) -> (
+              match Lb_service.Client.connect ~host ~port () with
+              | Error msg ->
+                  fail "cannot connect to %s: %s" addr msg;
+                  2
+              | Ok client ->
+                  Fun.protect
+                    ~finally:(fun () -> Lb_service.Client.close client)
+                  @@ fun () ->
+                  let replay_line file lineno line =
+                    if String.trim line = "" then 0
+                    else
+                      match Lb_service.Client.raw_request client line with
+                      | Error msg ->
+                          fail "%s:%d: %s" file lineno msg;
+                          2
+                      | Ok reply ->
+                          if Lb_service.Client.reply_ok reply then 0
+                          else begin
+                            fail "%s:%d: %s" file lineno
+                              (Lb_service.Client.error_message reply);
+                            2
+                          end
+                  in
+                  let replay_file file =
+                    let ic = if file = "-" then stdin else open_in file in
+                    Fun.protect
+                      ~finally:(fun () -> if file <> "-" then close_in ic)
+                    @@ fun () ->
+                    let rc = ref 0 and lineno = ref 0 in
+                    (try
+                       while !rc = 0 do
+                         let line = input_line ic in
+                         Stdlib.incr lineno;
+                         rc := replay_line file !lineno line
+                       done
+                     with End_of_file -> ());
+                    !rc
+                  in
+                  let rec replay = function
+                    | [] -> 0
+                    | f :: rest ->
+                        let rc = replay_file f in
+                        if rc <> 0 then rc else replay rest
+                  in
+                  let rc = replay loads in
+                  if rc <> 0 then rc
+                  else begin
+                    let opts =
+                      { Lb_service.Protocol.engine; count_only; limit;
+                        timeout_ms; max_ticks }
+                    in
+                    match
+                      Lb_service.Client.query ~opts client qtext
+                    with
+                    | Error msg ->
+                        fail "%s" msg;
+                        2
+                    | Ok reply -> emit_reply reply (fun () -> ())
+                  end))
       | Ok engine ->
           let with_pool f =
             if pool_n = 1 then f None
@@ -805,62 +951,7 @@ let query_cmd =
                       (g1.Gc.major_collections - g0.Gc.major_collections)
                       (g1.Gc.compactions - g0.Gc.compactions)
             in
-            if json then begin
-              print_endline (Json.to_string reply);
-              report_gc ();
-              match Json.string_field "status" reply with
-              | Ok "ok" -> 0
-              | Ok "timeout" -> 3
-              | _ -> 2
-            end
-            else
-              match Json.string_field "status" reply with
-              | Ok "ok" ->
-                  (match Json.member "plan" reply with
-                  | Some plan -> (
-                      match Json.string_field "engine" plan with
-                      | Ok e -> Printf.printf "engine: %s\n" e
-                      | Error _ -> ())
-                  | None -> ());
-                  (match Json.int_field "count" reply with
-                  | Ok n -> Printf.printf "count: %d\n" n
-                  | Error _ -> ());
-                  (match Json.member "rows" reply with
-                  | Some (Json.List rows) ->
-                      List.iter
-                        (function
-                          | Json.List cells ->
-                              print_endline
-                                (String.concat " "
-                                   (List.map
-                                      (function
-                                        | Json.Int v -> string_of_int v
-                                        | _ -> "?")
-                                      cells))
-                          | _ -> ())
-                        rows;
-                      (match Json.member "truncated" reply with
-                      | Some (Json.Bool true) -> print_endline "(truncated)"
-                      | _ -> ())
-                  | _ -> ());
-                  report_gc ();
-                  0
-              | Ok "timeout" ->
-                  let reason =
-                    match Json.string_field "reason" reply with
-                    | Ok r -> r
-                    | Error _ -> "budget exhausted"
-                  in
-                  fail "timeout (%s)" reason;
-                  3
-              | Ok _ | Error _ ->
-                  let msg =
-                    match Json.string_field "message" reply with
-                    | Ok m -> m
-                    | Error _ -> "query failed"
-                  in
-                  fail "%s" msg;
-                  2
+            emit_reply reply report_gc
           end
     end
   in
@@ -874,7 +965,7 @@ let query_cmd =
     Term.(
       const run $ query_arg $ load_arg $ engine_arg $ count_arg $ limit_arg
       $ timeout_arg $ max_ticks_arg $ shards_arg $ pool_arg $ no_compile_arg
-      $ gc_stats_arg $ json_flag)
+      $ gc_stats_arg $ remote_arg $ json_flag)
 
 (* --- explain: the plan (and its compiled loop nest) without running --- *)
 
@@ -1096,9 +1187,52 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let workers_arg =
+    let doc =
+      "Comma-separated HOST:PORT addresses of `lbt worker` processes.  \
+       Turns this server into a coordinator: unbudgeted WCOJ queries \
+       scatter across the workers (worker w of W owns shards {i : i mod \
+       W = w}) and merge back byte-identical to a single-process \
+       --shards K run; mutations fan out with version stamps.  \
+       Requires --shards >= 2.  A dead worker's shards are absorbed \
+       locally and replies marked status \"degraded\"."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "workers" ] ~docv:"ADDRS" ~doc)
+  in
   let run port host max_pending plan_cache result_cache timeout_ms max_ticks
       max_rows pool_n shards no_compile no_ivm data_dir snapshot_every
-      snapshot_bytes stats_json =
+      snapshot_bytes stats_json workers =
+    let parse_workers s =
+      let parts = String.split_on_char ',' s in
+      List.fold_right
+        (fun part acc ->
+          Result.bind acc (fun acc ->
+              match String.rindex_opt part ':' with
+              | Some i -> (
+                  match
+                    int_of_string_opt
+                      (String.sub part (i + 1) (String.length part - i - 1))
+                  with
+                  | Some p -> Ok ((String.sub part 0 i, p) :: acc)
+                  | None -> Error (Printf.sprintf "bad port in %S" part))
+              | None ->
+                  Error (Printf.sprintf "worker %S is not HOST:PORT" part)))
+        parts (Ok [])
+    in
+    let workers =
+      match workers with
+      | None -> Ok []
+      | Some s -> parse_workers s
+    in
+    match workers with
+    | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        2
+    | Ok workers when workers <> [] && shards < 2 ->
+        prerr_endline "error: --workers requires --shards >= 2";
+        2
+    | Ok workers ->
     if shards < 1 then begin
       prerr_endline "error: --shards must be >= 1";
       2
@@ -1130,12 +1264,22 @@ let serve_cmd =
               data_dir;
               snapshot_every;
               snapshot_bytes;
+              protocol_max =
+                (if workers <> [] then Lb_service.Protocol.max_version
+                 else Lb_service.Protocol.version);
             }
           in
           let server = Lb_service.Server.create ~config () in
+          let coord =
+            match workers with
+            | [] -> None
+            | ws ->
+                Some (Lb_service.Coordinator.attach server ~shards ~workers:ws)
+          in
           (match port with
           | Some port -> Lb_service.Server.serve_tcp ~host server ~port
           | None -> Lb_service.Server.serve_pipe server Unix.stdin stdout);
+          Option.iter Lb_service.Coordinator.detach coord;
           if stats_json then
             prerr_endline
               (Json.to_string
@@ -1154,7 +1298,50 @@ let serve_cmd =
       const run $ port_arg $ host_arg $ max_pending_arg $ plan_cache_arg
       $ result_cache_arg $ timeout_arg $ max_ticks_arg $ max_rows_arg
       $ pool_arg $ shards_arg $ no_compile_arg $ no_ivm_arg $ data_dir_arg
-      $ snapshot_every_arg $ snapshot_bytes_arg $ stats_json_arg)
+      $ snapshot_every_arg $ snapshot_bytes_arg $ stats_json_arg
+      $ workers_arg)
+
+(* --- worker: one shard process of a distributed serve topology --- *)
+
+let worker_cmd =
+  let port_arg =
+    let doc = "TCP port to listen on (required)." in
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Address to bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let pool_arg =
+    let doc =
+      "Domains for parallel execution (1 = sequential, 0 = one per core)."
+    in
+    Arg.(value & opt int 1 & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let run port host pool_n =
+    let with_pool f =
+      if pool_n = 1 then f None
+      else
+        let pool =
+          if pool_n = 0 then Lb_util.Pool.recommended ()
+          else Lb_util.Pool.create pool_n
+        in
+        Fun.protect
+          ~finally:(fun () -> Lb_util.Pool.shutdown pool)
+          (fun () -> f (Some pool))
+    in
+    with_pool (fun pool ->
+        let config = { Lb_service.Server.default_config with pool } in
+        Lb_service.Worker.run ~host ~config ~port ();
+        0)
+  in
+  let doc =
+    "Run one shard worker of a distributed serve topology: a protocol-v2 \
+     server whose catalog replica is seeded and kept in step by an `lbt \
+     serve --workers` coordinator, executing the subquery slices it is \
+     assigned.  Also answers ordinary v1 requests directly."
+  in
+  Cmd.v (Cmd.info "worker" ~doc) Term.(const run $ port_arg $ host_arg $ pool_arg)
 
 let () =
   let doc = "lower-bounds toolkit: query analysis per Marx (PODS 2021)" in
@@ -1174,4 +1361,5 @@ let () =
             query_cmd;
             explain_cmd;
             serve_cmd;
+            worker_cmd;
           ]))

@@ -1,0 +1,112 @@
+(* A complete query-service session through the typed protocol client
+   (Lb_service.Client) - the same API the coordinator and `lbt query
+   --remote` use.  Two modes in one program:
+
+   - In-process (default): the scripted session runs through
+     Client.run_script against an embedded server - no sockets, but
+     the real front end (window draining, version gate, admission
+     control).
+   - Remote: pass HOST:PORT of a running `lbt serve --port ...` (or
+     `lbt worker --port ...`) and the same requests go over TCP, with
+     the client negotiating the protocol generation (v2 servers
+     answer the probe; v1 servers draw the structured reject and the
+     client falls back).
+
+   Run from the repository root:
+     dune exec examples/serve_session.exe
+     dune exec examples/serve_session.exe -- 127.0.0.1:7700 *)
+
+module Client = Lb_service.Client
+module Protocol = Lb_service.Protocol
+module Server = Lb_service.Server
+module Json = Lb_service.Json
+
+let script =
+  let q ?(opts = Protocol.default_opts) text = Protocol.Query { text; opts } in
+  [
+    Protocol.Ping;
+    Protocol.Hello;
+    Protocol.Load
+      {
+        name = "E";
+        attrs = [ "u"; "v" ];
+        tuples =
+          [
+            [ 0; 1 ]; [ 1; 0 ]; [ 0; 2 ]; [ 2; 0 ]; [ 1; 2 ];
+            [ 2; 1 ]; [ 1; 3 ]; [ 3; 1 ]; [ 2; 3 ]; [ 3; 2 ];
+          ];
+      };
+    (* cyclic: the planner picks a worst-case-optimal engine *)
+    q "E(x,y), E(y,z), E(z,x)";
+    (* acyclic: Yannakakis *)
+    q "E(x,y), E(y,z)"
+    |> (function
+         | Protocol.Query { text; opts } ->
+             Protocol.Query { text; opts = { opts with count_only = true } }
+         | r -> r);
+    (* the repeat is answered from the result cache *)
+    q "E(x,y), E(y,z), E(z,x)";
+    (* a hard query under a deterministic tick budget times out cleanly *)
+    q "E(x,y), E(y,z), E(z,x), E(x,w), E(w,y)"
+    |> (function
+         | Protocol.Query { text; opts } ->
+             Protocol.Query
+               {
+                 text;
+                 opts = { opts with max_ticks = Some 4; count_only = true };
+               }
+         | r -> r);
+    (* a write invalidates (or incrementally maintains) cached answers *)
+    Protocol.Insert { name = "E"; tuples = [ [ 0; 3 ]; [ 3; 0 ] ] };
+    q "E(x,y), E(y,z), E(z,x)";
+    Protocol.Stats;
+  ]
+
+let show req reply =
+  Printf.printf "-> %s\n<- %s\n\n"
+    (Protocol.request_to_string req)
+    (Json.to_string reply)
+
+let run_in_process () =
+  print_endline "== in-process session (Client.run_script) ==\n";
+  let server = Server.create () in
+  List.iter2 show script (Client.run_script server script)
+
+let run_remote host port =
+  Printf.printf "== remote session against %s:%d ==\n\n" host port;
+  match Client.connect ~timeout_ms:5000 ~host ~port () with
+  | Error msg ->
+      Printf.eprintf "cannot connect: %s\n" msg;
+      exit 1
+  | Ok client ->
+      Printf.printf "negotiated protocol v%d\n\n" (Client.version client);
+      List.iter
+        (fun req ->
+          match Client.request client req with
+          | Ok reply -> show req reply
+          | Error msg ->
+              Printf.eprintf "request failed: %s\n" msg;
+              exit 1)
+        script;
+      Client.close client
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> run_in_process ()
+  | [| _; addr |] -> (
+      match String.rindex_opt addr ':' with
+      | Some i -> (
+          match
+            int_of_string_opt
+              (String.sub addr (i + 1) (String.length addr - i - 1))
+          with
+          | Some port -> run_remote (String.sub addr 0 i) port
+          | None ->
+              prerr_endline "usage: serve_session [HOST:PORT]";
+              exit 2)
+      | None ->
+          prerr_endline "usage: serve_session [HOST:PORT]";
+          exit 2)
+  | _ ->
+      prerr_endline "usage: serve_session [HOST:PORT]";
+      exit 2

@@ -38,8 +38,8 @@ let orthogonal a b =
    witness (i, j), [nl*nr] on a miss, and the completed prefix on a
    budget interrupt.  Plain while-loops instead of iterators + [Exit]
    so the count can't drift when the exit unwinds mid-row. *)
-let solve ?ctx ?budget ?metrics inst =
-  let ex = Lb_util.Exec.resolve ?ctx ?budget ?metrics () in
+let solve ?ctx inst =
+  let ex = Lb_util.Exec.resolve ?ctx () in
   let budget = ex.Lb_util.Exec.budget and metrics = ex.Lb_util.Exec.metrics in
   let nl = Array.length inst.left and nr = Array.length inst.right in
   let res = ref None in
@@ -61,8 +61,8 @@ let solve ?ctx ?budget ?metrics inst =
   done;
   !res
 
-let solve_bounded ?ctx ?budget ?metrics inst =
-  Lb_util.Budget.protect (fun () -> solve ?ctx ?budget ?metrics inst)
+let solve_bounded ?ctx inst =
+  Lb_util.Budget.protect (fun () -> solve ?ctx inst)
 
 (* Blocked route: the packed vectors already use Matrix.Bool's 63-bit
    row layout, so both sides adopt in-place into matrices and the
@@ -72,14 +72,12 @@ let solve_bounded ?ctx ?budget ?metrics inst =
    [ov.pairs_scanned] delta is derived from the witness position, so it
    matches [solve]'s count exactly (and deterministically, even under
    [?pool] where the words actually touched vary). *)
-let solve_blocked ?ctx ?pool ?budget ?metrics inst =
-  let ex = Lb_util.Exec.resolve ?ctx ?pool ?budget ?metrics () in
-  let pool = ex.Lb_util.Exec.pool
-  and budget = ex.Lb_util.Exec.budget
-  and metrics = ex.Lb_util.Exec.metrics in
+let solve_blocked ?ctx inst =
+  let ex = Lb_util.Exec.resolve ?ctx () in
+  let metrics = ex.Lb_util.Exec.metrics in
   let a = Lb_util.Matrix.Bool.of_packed_rows ~m:inst.dim inst.left in
   let b = Lb_util.Matrix.Bool.of_packed_rows ~m:inst.dim inst.right in
-  let res = Lb_util.Matrix.Bool.find_orthogonal_rows ?pool ?budget ~metrics a b in
+  let res = Lb_util.Matrix.Bool.find_orthogonal_rows ?ctx a b in
   let nr = Array.length inst.right in
   let pairs =
     match res with

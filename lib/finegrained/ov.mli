@@ -17,45 +17,27 @@ val of_bool_arrays :
 
 val orthogonal : int array -> int array -> bool
 
-(** Quadratic scan with early exit; witness index pair.  [?budget] is
-    ticked once per left row (raising
-    {!Lb_util.Budget.Budget_exhausted} when spent); [?metrics] records
-    the [ov.pairs_scanned] delta, also on an interrupted run: exactly
-    [i*nr + j + 1] at a witness [(i, j)], [nl*nr] on a miss, and the
-    completed prefix when the budget interrupts the scan.
-
-    Resources may also be passed as a single [?ctx]
-    ({!Lb_util.Exec.t}); the labelled arguments remain as thin
-    deprecated wrappers, an explicit one overriding the corresponding
-    [ctx] field (see {!Lb_util.Exec.resolve}). *)
-val solve :
-  ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  instance ->
-  (int * int) option
+(** Quadratic scan with early exit; witness index pair.  The [ctx]
+    budget is ticked once per left row (raising
+    {!Lb_util.Budget.Budget_exhausted} when spent); the [ctx] metrics
+    sink records the [ov.pairs_scanned] delta, also on an interrupted
+    run: exactly [i*nr + j + 1] at a witness [(i, j)], [nl*nr] on a
+    miss, and the completed prefix when the budget interrupts the
+    scan.  Resources are passed as one [?ctx] ({!Lb_util.Exec.t}); see
+    {!Lb_util.Exec.make}. *)
+val solve : ?ctx:Lb_util.Exec.t -> instance -> (int * int) option
 
 (** Blocked route through {!Lb_util.Matrix.Bool.find_orthogonal_rows}:
     packs both sides into Boolean matrices (zero-copy — the vector
     layout is already the matrix row layout) and finds a zero of
     A * B^T with early exit per band of left rows.  Same witness and
-    the same (deterministic) [ov.pairs_scanned] delta as {!solve};
-    [?pool] parallelizes the bands without changing either. *)
-val solve_blocked :
-  ?ctx:Lb_util.Exec.t ->
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  instance ->
-  (int * int) option
+    the same (deterministic) [ov.pairs_scanned] delta as {!solve}; a
+    [ctx] pool parallelizes the bands without changing either. *)
+val solve_blocked : ?ctx:Lb_util.Exec.t -> instance -> (int * int) option
 
 (** [solve] with budget exhaustion reified as [Exhausted]. *)
 val solve_bounded :
-  ?ctx:Lb_util.Exec.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  instance ->
-  (int * int) option Lb_util.Budget.outcome
+  ?ctx:Lb_util.Exec.t -> instance -> (int * int) option Lb_util.Budget.outcome
 
 (** Random instance; with p ~ 1/2 and dim >> log n orthogonal pairs are
     rare, keeping the scan at its quadratic worst case. *)

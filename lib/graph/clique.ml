@@ -65,9 +65,9 @@ let list_cliques g t =
    t-clique auxiliary graph.  [k] must be positive and divisible by 3.
    Returns a witness clique if one exists.  The auxiliary triangle is
    found through the Boolean product M*M (the kernel's blocked/M4R
-   paths, Domain-parallel under [?pool]) rather than per-pair row
+   paths, Domain-parallel under a [ctx] pool) rather than per-pair row
    intersections. *)
-let find_matmul ?pool ?budget ?metrics g k =
+let find_matmul ?ctx g k =
   if k <= 0 || k mod 3 <> 0 then
     invalid_arg "Clique.find_matmul: k must be a positive multiple of 3";
   let t = k / 3 in
@@ -98,7 +98,7 @@ let find_matmul ?pool ?budget ?metrics g k =
     done;
     (* find a triangle (i,j,l) in the auxiliary graph using the product:
        (M*M)(i,j) && M(i,j). *)
-    let m2 = Matrix.Bool.mul ?pool ?budget ?metrics m m in
+    let m2 = Matrix.Bool.mul ?ctx m m in
     let witness = ref None in
     (try
        for i = 0 to nc - 1 do

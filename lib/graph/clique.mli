@@ -19,12 +19,7 @@ val list_cliques : Graph.t -> int -> int array list
     Boolean matrix multiplication ([?pool]/[?budget]/[?metrics] reach
     the kernel).  Returns a witness clique. *)
 val find_matmul :
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  Graph.t ->
-  int ->
-  int array option
+  ?ctx:Lb_util.Exec.t -> Graph.t -> int -> int array option
 
 (** Maximum clique (Bron-Kerbosch with pivoting). *)
 val max_clique : Graph.t -> int array

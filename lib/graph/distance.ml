@@ -39,13 +39,21 @@ let eccentricity g v =
   if !connected then Some !ecc else None
 
 (* Exact diameter / radius by n BFS runs: O(nm).  [None] on disconnected
-   or empty graphs.  [?pool] spreads the BFS sources over domains (each
-   writes its own slot, so the result is deterministic; the sequential
-   path keeps its early exit on disconnection).  [?budget] is ticked
-   once per source; [?metrics] counts BFS runs under "distance.bfs". *)
-let diameter ?pool ?budget ?(metrics = Lb_util.Metrics.disabled) g =
+   or empty graphs.  A [ctx] pool spreads the BFS sources over domains
+   (each writes its own slot, so the result is deterministic; the
+   sequential path keeps its early exit on disconnection).  The [ctx]
+   budget is ticked once per source; the [ctx] metrics sink counts BFS
+   runs under "distance.bfs". *)
+let diameter ?ctx g =
+  let ex = Lb_util.Exec.resolve ?ctx () in
+  let pool = ex.Lb_util.Exec.pool in
+  let metrics = ex.Lb_util.Exec.metrics in
   let n = Graph.vertex_count g in
-  let tick () = match budget with Some b -> Lb_util.Budget.tick b | None -> () in
+  let tick () =
+    match ex.Lb_util.Exec.budget with
+    | Some b -> Lb_util.Budget.tick b
+    | None -> ()
+  in
   if n = 0 then None
   else begin
     match pool with
@@ -91,7 +99,7 @@ let diameter ?pool ?budget ?(metrics = Lb_util.Metrics.disabled) g =
    — the "fast matrix multiplication" route to distances, against which
    E17 compares the n-BFS baseline.  If squaring reaches a fixpoint
    short of all-ones the graph is disconnected: [None]. *)
-let diameter_matmul ?pool ?budget ?metrics g =
+let diameter_matmul ?ctx g =
   let module B = Lb_util.Matrix.Bool in
   let n = Graph.vertex_count g in
   if n = 0 then None
@@ -104,7 +112,7 @@ let diameter_matmul ?pool ?budget ?metrics g =
       (* powers.(j) = R^(2^j); square until all-ones or fixpoint *)
       let powers = ref [ r1 ] in
       let rec grow last =
-        let next = B.mul ?pool ?budget ?metrics last last in
+        let next = B.mul ?ctx last last in
         if B.all_set next then (
           powers := next :: !powers;
           true)
@@ -124,7 +132,7 @@ let diameter_matmul ?pool ?budget ?metrics g =
         let lo = ref (1 lsl (kk - 1)) in
         let acc = ref ps.(kk - 1) in
         for j = kk - 2 downto 0 do
-          let cand = B.mul ?pool ?budget ?metrics !acc ps.(j) in
+          let cand = B.mul ?ctx !acc ps.(j) in
           if not (B.all_set cand) then begin
             acc := cand;
             lo := !lo + (1 lsl j)

@@ -11,26 +11,17 @@ val bfs : Graph.t -> int -> int array
 val eccentricity : Graph.t -> int -> int option
 
 (** Exact diameter by n BFS runs; [None] on disconnected/empty graphs.
-    [?pool] spreads the sources over domains (deterministic result);
-    [?budget] ticks per source; [?metrics] counts ["distance.bfs"]. *)
-val diameter :
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  Graph.t ->
-  int option
+    A [ctx] pool spreads the sources over domains (deterministic
+    result); the [ctx] budget ticks per source; the [ctx] metrics sink
+    counts ["distance.bfs"]. *)
+val diameter : ?ctx:Lb_util.Exec.t -> Graph.t -> int option
 
 (** Exact diameter by O(log d) Boolean products: repeated squaring of
     [A or I] through the matmul kernel, then binary search over the
     stored powers for the least [d] with [(A or I)^d] all-ones.  Agrees
     with {!diameter} (property-tested), including [None] on
     disconnected graphs (detected as a squaring fixpoint). *)
-val diameter_matmul :
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  Graph.t ->
-  int option
+val diameter_matmul : ?ctx:Lb_util.Exec.t -> Graph.t -> int option
 
 val radius : Graph.t -> int option
 

@@ -61,13 +61,10 @@ let adjacency_bool g =
     g;
   m
 
-let detect_matmul ?ctx ?pool ?budget ?metrics g =
-  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
+let detect_matmul ?ctx g =
+  let ex = Exec.resolve ?ctx () in
   let a = adjacency_bool g in
-  let a2 =
-    Matrix.Bool.mul ?pool:ex.Exec.pool ?budget:ex.Exec.budget
-      ~metrics:ex.Exec.metrics a a
-  in
+  let a2 = Matrix.Bool.mul ~ctx:ex a a in
   let n = Graph.vertex_count g in
   let found = ref None in
   (try
@@ -87,8 +84,8 @@ let detect_matmul ?ctx ?pool ?budget ?metrics g =
    with Exit -> ());
   !found
 
-let detect_heavy_light ?delta ?ctx ?pool ?budget ?metrics g =
-  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
+let detect_heavy_light ?delta ?ctx g =
+  let ex = Exec.resolve ?ctx () in
   let n = Graph.vertex_count g in
   let m = Graph.edge_count g in
   let delta =
@@ -137,13 +134,10 @@ let detect_heavy_light ?delta ?ctx ?pool ?budget ?metrics g =
    neighbors of every pair, so summing C(u,v) over edges {u,v} counts
    each triangle once per corner.  Entries of C are degrees at most, so
    (unlike the old trace(A^3) int-matrix route) nothing can overflow. *)
-let count_matmul ?ctx ?pool ?budget ?metrics g =
-  let ex = Exec.resolve ?ctx ?pool ?budget ?metrics () in
+let count_matmul ?ctx g =
+  let ex = Exec.resolve ?ctx () in
   let a = adjacency_bool g in
-  let c =
-    Matrix.Bool.mul_count ?pool:ex.Exec.pool ?budget:ex.Exec.budget
-      ~metrics:ex.Exec.metrics a a
-  in
+  let c = Matrix.Bool.mul_count ~ctx:ex a a in
   let total = ref 0 in
   Graph.iter_edges (fun u v -> total := !total + Matrix.Int.get c u v) g;
   !total / 3

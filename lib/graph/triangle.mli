@@ -12,42 +12,23 @@ val detect_edge_scan : Graph.t -> (int * int * int) option
 val adjacency_bool : Graph.t -> Lb_util.Matrix.Bool.t
 
 (** Boolean [A^2] against [A]: the "[O(d^omega)]" dense detector.  The
-    [ctx] resources are forwarded to the matmul kernel; the [?pool] /
-    [?budget] / [?metrics] labelled arguments remain as thin deprecated
-    wrappers, an explicit one overriding the corresponding [ctx] field
-    (see {!Lb_util.Exec.resolve}). *)
+    [ctx] resources ({!Lb_util.Exec.t}) are forwarded to the matmul
+    kernel. *)
 val detect_matmul :
-  ?ctx:Lb_util.Exec.t ->
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  Graph.t ->
-  (int * int * int) option
+  ?ctx:Lb_util.Exec.t -> Graph.t -> (int * int * int) option
 
 (** Alon-Yuster-Zwick heavy/light split: light edges by neighborhood
     scan, heavy core by matmul - the [O(m^{2w/(w+1)})] algorithm.
     [delta] overrides the degree threshold (default [sqrt m]); the
     execution resources apply to the heavy phase. *)
 val detect_heavy_light :
-  ?delta:int ->
-  ?ctx:Lb_util.Exec.t ->
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  Graph.t ->
-  (int * int * int) option
+  ?delta:int -> ?ctx:Lb_util.Exec.t -> Graph.t -> (int * int * int) option
 
 (** Exact count via the popcount product: sums common-neighbor counts
     over edges, so every entry is a degree and nothing overflows
     (unlike the former [trace(A^3)] int route — see
     {!Lb_util.Matrix.Int.mul}). *)
-val count_matmul :
-  ?ctx:Lb_util.Exec.t ->
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
-  Graph.t ->
-  int
+val count_matmul : ?ctx:Lb_util.Exec.t -> Graph.t -> int
 
 (** Exact count by edge scanning. *)
 val count_edge_scan : Graph.t -> int

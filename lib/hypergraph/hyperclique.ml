@@ -77,7 +77,7 @@ let is_hyperclique h ~d vs =
    must still be verified against all its d-subsets, and the scan
    continues when verification fails.  Matmul prunes but cannot decide;
    the verification step is where the conjectured n^k hardness hides. *)
-let find_matmul ?pool ?budget ?metrics h ~d ~k =
+let find_matmul ?ctx h ~d ~k =
   if not (Hypergraph.is_uniform h d) then
     invalid_arg "Hyperclique.find_matmul: hypergraph is not d-uniform";
   if k < d then invalid_arg "Hyperclique.find_matmul: k < d";
@@ -128,7 +128,7 @@ let find_matmul ?pool ?budget ?metrics h ~d ~k =
         end
       done
     done;
-    let m2 = B.mul ?pool ?budget ?metrics m m in
+    let m2 = B.mul ?ctx m m in
     let result = ref None in
     (try
        for i = 0 to ns - 1 do

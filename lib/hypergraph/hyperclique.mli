@@ -22,9 +22,7 @@ val is_hyperclique : Hypergraph.t -> d:int -> int array -> bool
     may differ.  Raises [Invalid_argument] unless [d]-uniform,
     [k >= d], and [3 | k]. *)
 val find_matmul :
-  ?pool:Lb_util.Pool.t ->
-  ?budget:Lb_util.Budget.t ->
-  ?metrics:Lb_util.Metrics.t ->
+  ?ctx:Lb_util.Exec.t ->
   Hypergraph.t ->
   d:int ->
   k:int ->

@@ -365,30 +365,6 @@ let exists ?order ?ctx db q =
     false
   with Found -> true
 
-(* The pre-Exec resource triple, kept callable for old call sites but
-   alerted at the signature (see the mli): every wrapper is one
-   [Exec.resolve] away from the primary entry point. *)
-module Legacy = struct
-  let iter ?order ?counters ?ctx ?budget ?metrics db q f =
-    iter ?order ?counters ~ctx:(Exec.resolve ?ctx ?budget ?metrics ()) db q f
-
-  let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-    count ?order ?counters
-      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
-      db q
-
-  let count_bounded ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-    count_bounded ?order ?counters
-      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
-      db q
-
-  let answer ?order ?ctx ?budget ?metrics ?pool db q =
-    answer ?order ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ()) db q
-
-  let exists ?order ?ctx ?budget db q =
-    exists ?order ~ctx:(Exec.resolve ?ctx ?budget ()) db q
-end
-
 (* --- sharded driver --- *)
 
 (* Execution over a Shard.view: shard [s] sees its own tries for the
@@ -403,8 +379,21 @@ end
    per-candidate work, counters and budget ticks replicate the
    unsharded run bit-for-bit. *)
 
-let make_shard_ctxs ?pool ?budget ~metrics ~order (view : Shard.view) =
-  Metrics.incr metrics "generic_join.trie_builds";
+(* A distributed participant executes only a subset of the shards:
+   [owned s] says whether this process runs (and counts) shard [s]'s
+   deep-level work, and exactly one participant is the [lead], which
+   accounts the level-0 stream emulation and the logical trie build.
+   Summing the counters reported by a full cover of participants (each
+   shard owned exactly once, one lead) reproduces the single-process
+   sharded totals bit for bit.  [all_shards] is the single-process
+   case: own everything, lead. *)
+type subset = { owned : int -> bool; lead : bool }
+
+let all_shards = { owned = (fun _ -> true); lead = true }
+
+let make_shard_ctxs ?pool ?budget ?(lead = true) ~metrics ~order
+    (view : Shard.view) =
+  if lead then Metrics.incr metrics "generic_join.trie_builds";
   let k = view.Shard.k in
   let parts = view.Shard.parts in
   let natoms = Array.length parts in
@@ -455,7 +444,12 @@ let sharded_empty ctxs =
    budget accounting over the merged streams, routing each surviving
    candidate to its shard's task list (heavy candidates expand one level
    deeper inside the shard, as gen_tasks does). *)
-let gen_sharded_tasks ctxs c =
+let gen_sharded_tasks ctxs c ~sub =
+  (* level-0 accounting belongs to the lead participant alone; everyone
+     else replays the identical stream walk against a scratch counter
+     (the walk itself is required: probe outcomes and the early abort
+     decide which candidates exist at all) *)
+  let c0 = if sub.lead then c else fresh_counters () in
   let k = Array.length ctxs in
   let ctx0 = ctxs.(0) in
   let ps = ctx0.participants.(0) in
@@ -488,8 +482,8 @@ let gen_sharded_tasks ctxs c =
   let dead = ref false in
   while (not !dead) && not (Shard.Stream.exhausted ls) do
     let v = Shard.Stream.cur ls in
-    c.intersections <- c.intersections + 1;
-    (match ctx0.bud with Some b -> Budget.tick b | None -> ());
+    c0.intersections <- c0.intersections + 1;
+    (match ctx0.bud with Some b when sub.lead -> Budget.tick b | _ -> ());
     let ok = ref true in
     let j = ref 0 in
     while !ok && !j < np do
@@ -506,6 +500,8 @@ let gen_sharded_tasks ctxs c =
     done;
     if !ok then begin
       let s = Shard.shard_of ~k v in
+      if not (sub.owned s) then ()
+      else begin
       let cx = ctxs.(s) in
       let ws = wss.(s) in
       ws.assignment.(0) <- v;
@@ -548,6 +544,7 @@ let gen_sharded_tasks ctxs c =
       in
       if heavy then enumerate cx ws c ~level:1 ~stop:2 (fun () -> push 2)
       else push 1
+      end
     end;
     Shard.Stream.advance_gt ls v
   done;
@@ -610,8 +607,8 @@ let run_units ctxs (tasks : task array array) units pool c ~make_acc ~consume =
     ctrs;
   accs
 
-let sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q ~make_acc
-    ~consume =
+let sharded_drive ?order ?counters ?ctx ?partition ?view ?(subset = all_shards)
+    ~shards db q ~make_acc ~consume =
   if shards < 1 then invalid_arg "Generic_join.run_sharded: shards < 1";
   let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
@@ -639,28 +636,28 @@ let sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q ~make_acc
     in
     let ctxs =
       make_shard_ctxs ?pool:ex.Exec.pool ?budget:ex.Exec.budget
-        ~metrics:ex.Exec.metrics ~order view
+        ~lead:subset.lead ~metrics:ex.Exec.metrics ~order view
     in
     if sharded_empty ctxs then [| make_acc () |]
     else begin
-      let tasks, counts = gen_sharded_tasks ctxs c in
+      let tasks, counts = gen_sharded_tasks ctxs c ~sub:subset in
       let units = units_of counts in
       run_units ctxs tasks units ex.Exec.pool c ~make_acc ~consume
     end
   end
 
-let count_sharded ?order ?counters ?ctx ?partition ?view ~shards db q =
+let count_sharded ?order ?counters ?ctx ?partition ?view ?subset ~shards db q =
   let accs =
-    sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q
+    sharded_drive ?order ?counters ?ctx ?partition ?view ?subset ~shards db q
       ~make_acc:(fun () -> ref 0)
       ~consume:(fun r _ -> incr r)
   in
   Array.fold_left (fun acc r -> acc + !r) 0 accs
 
-let run_sharded ?order ?counters ?ctx ?partition ?view ~shards db q =
+let run_sharded ?order ?counters ?ctx ?partition ?view ?subset ~shards db q =
   let order' = match order with Some o -> o | None -> Query.attributes q in
   let accs =
-    sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q
+    sharded_drive ?order ?counters ?ctx ?partition ?view ?subset ~shards db q
       ~make_acc:(fun () -> ref [])
       ~consume:(fun r a -> r := Array.copy a :: !r)
   in

@@ -19,10 +19,7 @@
     per execution context built.
 
     Execution resources are passed as a single [?ctx]
-    ({!Lb_util.Exec.t}).  The historical [?pool] / [?budget] /
-    [?metrics] labelled arguments live on in {!Legacy}, whose entries
-    are alerted [deprecated] - an explicitly passed one overrides the
-    corresponding [ctx] field (see {!Lb_util.Exec.resolve}). *)
+    ({!Lb_util.Exec.t}); see {!Lb_util.Exec.make}. *)
 
 type counters = { mutable intersections : int; mutable emitted : int }
 
@@ -79,68 +76,6 @@ val exists :
   Query.t ->
   bool
 
-(** The pre-{!Lb_util.Exec} entry points, carrying the resource triple
-    as separate labelled arguments.  Each delegates through
-    {!Lb_util.Exec.resolve} (an explicit argument overrides the [ctx]
-    field) and is alerted so new call sites reach for [?ctx] instead. *)
-module Legacy : sig
-  val iter :
-    ?order:string array ->
-    ?counters:counters ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    Database.t ->
-    Query.t ->
-    (int array -> unit) ->
-    unit
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-
-  val answer :
-    ?order:string array ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    ?pool:Lb_util.Pool.t ->
-    Database.t ->
-    Query.t ->
-    Relation.t
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-
-  val count :
-    ?order:string array ->
-    ?counters:counters ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    ?pool:Lb_util.Pool.t ->
-    Database.t ->
-    Query.t ->
-    int
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-
-  val count_bounded :
-    ?order:string array ->
-    ?counters:counters ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    ?pool:Lb_util.Pool.t ->
-    Database.t ->
-    Query.t ->
-    int Lb_util.Budget.outcome
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-
-  val exists :
-    ?order:string array ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    Database.t ->
-    Query.t ->
-    bool
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-end
-
 (** {2 Sharded execution}
 
     The sharded driver hash-partitions every atom containing the first
@@ -154,6 +89,20 @@ end
     outright (its [k] must equal [shards] and its attribute the first
     variable of the order). *)
 
+(** Which slice of the sharded run this process executes.  [owned s]
+    selects the shards whose deep-level work (and counters, emitted
+    rows, heavy-split expansion) this participant performs; [lead]
+    marks the one participant that accounts the shared level-0 stream
+    emulation and the logical [generic_join.trie_builds] tick.  Over a
+    cover of participants - every shard owned exactly once, exactly one
+    lead - the reported counters sum to the single-process sharded
+    totals bit for bit.  The default, {!all_shards}, owns everything
+    and leads: the single-process case.  Ignored when the variable
+    order is empty (the unsharded fallback runs whole). *)
+type subset = { owned : int -> bool; lead : bool }
+
+val all_shards : subset
+
 (** Materialize the answer through the sharded driver. *)
 val run_sharded :
   ?order:string array ->
@@ -161,6 +110,7 @@ val run_sharded :
   ?ctx:Lb_util.Exec.t ->
   ?partition:(Query.atom -> col:int -> Relation.t array option) ->
   ?view:Shard.view ->
+  ?subset:subset ->
   shards:int ->
   Database.t ->
   Query.t ->
@@ -173,6 +123,7 @@ val count_sharded :
   ?ctx:Lb_util.Exec.t ->
   ?partition:(Query.atom -> col:int -> Relation.t array option) ->
   ?view:Shard.view ->
+  ?subset:subset ->
   shards:int ->
   Database.t ->
   Query.t ->

@@ -319,28 +319,6 @@ let exists ?order ?ctx db q =
     false
   with Found -> true
 
-(* Pre-Exec resource-triple entry points; alerted in the mli. *)
-module Legacy = struct
-  let iter ?order ?counters ?ctx ?budget ?metrics db q f =
-    iter ?order ?counters ~ctx:(Exec.resolve ?ctx ?budget ?metrics ()) db q f
-
-  let count ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-    count ?order ?counters
-      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
-      db q
-
-  let count_bounded ?order ?counters ?ctx ?budget ?metrics ?pool db q =
-    count_bounded ?order ?counters
-      ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ())
-      db q
-
-  let answer ?order ?ctx ?budget ?metrics ?pool db q =
-    answer ?order ~ctx:(Exec.resolve ?ctx ?pool ?budget ?metrics ()) db q
-
-  let exists ?order ?ctx ?budget db q =
-    exists ?order ~ctx:(Exec.resolve ?ctx ?budget ()) db q
-end
-
 (* --- sharded driver --- *)
 
 (* Same scheme as Generic_join's: per-shard contexts over a Shard.view,
@@ -350,8 +328,18 @@ end
    [shard_of v], whose subtree under v is content-identical to the
    unsharded trie's. *)
 
-let make_shard_ctxs ?pool ?budget ~metrics ~order (view : Shard.view) =
-  Metrics.incr metrics "leapfrog.trie_builds";
+(* Distributed-participant slice: see Generic_join.subset.  [owned s]
+   selects the shards whose deep-level work this process performs;
+   the single [lead] accounts the level-0 emulation and the logical
+   trie build, so counters summed over a cover of participants equal
+   the single-process sharded totals. *)
+type subset = { owned : int -> bool; lead : bool }
+
+let all_shards = { owned = (fun _ -> true); lead = true }
+
+let make_shard_ctxs ?pool ?budget ?(lead = true) ~metrics ~order
+    (view : Shard.view) =
+  if lead then Metrics.incr metrics "leapfrog.trie_builds";
   let k = view.Shard.k in
   let parts = view.Shard.parts in
   let natoms = Array.length parts in
@@ -400,7 +388,10 @@ let sharded_empty ctxs =
    exactly the points the unsharded loop charges them, including the
    in-loop [fin] guard that stops seeking the remaining laggards once
    one stream exhausts. *)
-let gen_sharded_tasks ctxs c =
+let gen_sharded_tasks ctxs c ~sub =
+  (* level-0 seek/tick accounting belongs to the lead participant; the
+     others replay the identical stream walk against a scratch counter *)
+  let c0 = if sub.lead then c else fresh_counters () in
   let k = Array.length ctxs in
   let ctx0 = ctxs.(0) in
   let ps = ctx0.participants.(0) in
@@ -431,8 +422,9 @@ let gen_sharded_tasks ctxs c =
     done;
     if !kmin = !kmax then begin
       let v = !kmin in
-      (match ctx0.bud with Some b -> Budget.tick b | None -> ());
+      (match ctx0.bud with Some b when sub.lead -> Budget.tick b | _ -> ());
       let s = Shard.shard_of ~k v in
+      if sub.owned s then begin
       let cx = ctxs.(s) in
       let ws = wss.(s) in
       ws.assignment.(0) <- v;
@@ -474,7 +466,8 @@ let gen_sharded_tasks ctxs c =
         !w > split_threshold
       in
       if heavy then enumerate cx ws c ~level:1 ~stop:2 (fun () -> push 2)
-      else push 1;
+      else push 1
+      end;
       Array.iter
         (fun st ->
           Shard.Stream.advance_gt st v;
@@ -485,8 +478,8 @@ let gen_sharded_tasks ctxs c =
       let m = !kmax in
       for j = 0 to np - 1 do
         if (not !fin) && Shard.Stream.cur streams.(j) < m then begin
-          c.seeks <- c.seeks + 1;
-          (match ctx0.bud with Some b -> Budget.tick b | None -> ());
+          c0.seeks <- c0.seeks + 1;
+          (match ctx0.bud with Some b when sub.lead -> Budget.tick b | _ -> ());
           Shard.Stream.seek_geq streams.(j) m;
           if Shard.Stream.exhausted streams.(j) then fin := true
         end
@@ -548,8 +541,8 @@ let run_units ctxs (tasks : task array array) units pool c ~make_acc ~consume =
     ctrs;
   accs
 
-let sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q ~make_acc
-    ~consume =
+let sharded_drive ?order ?counters ?ctx ?partition ?view ?(subset = all_shards)
+    ~shards db q ~make_acc ~consume =
   if shards < 1 then invalid_arg "Leapfrog.run_sharded: shards < 1";
   let ex = Exec.resolve ?ctx () in
   let order = match order with Some o -> o | None -> Query.attributes q in
@@ -576,28 +569,28 @@ let sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q ~make_acc
     in
     let ctxs =
       make_shard_ctxs ?pool:ex.Exec.pool ?budget:ex.Exec.budget
-        ~metrics:ex.Exec.metrics ~order view
+        ~lead:subset.lead ~metrics:ex.Exec.metrics ~order view
     in
     if sharded_empty ctxs then [| make_acc () |]
     else begin
-      let tasks, counts = gen_sharded_tasks ctxs c in
+      let tasks, counts = gen_sharded_tasks ctxs c ~sub:subset in
       let units = units_of counts in
       run_units ctxs tasks units ex.Exec.pool c ~make_acc ~consume
     end
   end
 
-let count_sharded ?order ?counters ?ctx ?partition ?view ~shards db q =
+let count_sharded ?order ?counters ?ctx ?partition ?view ?subset ~shards db q =
   let accs =
-    sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q
+    sharded_drive ?order ?counters ?ctx ?partition ?view ?subset ~shards db q
       ~make_acc:(fun () -> ref 0)
       ~consume:(fun r _ -> incr r)
   in
   Array.fold_left (fun acc r -> acc + !r) 0 accs
 
-let run_sharded ?order ?counters ?ctx ?partition ?view ~shards db q =
+let run_sharded ?order ?counters ?ctx ?partition ?view ?subset ~shards db q =
   let order' = match order with Some o -> o | None -> Query.attributes q in
   let accs =
-    sharded_drive ?order ?counters ?ctx ?partition ?view ~shards db q
+    sharded_drive ?order ?counters ?ctx ?partition ?view ?subset ~shards db q
       ~make_acc:(fun () -> ref [])
       ~consume:(fun r a -> r := Array.copy a :: !r)
   in

@@ -13,9 +13,7 @@
     [leapfrog.trie_builds] tick per execution context built.
 
     As in {!Generic_join}, resources are passed as a single [?ctx]
-    ({!Lb_util.Exec.t}); the [?pool] / [?budget] / [?metrics] labelled
-    arguments live on in {!Legacy} under a [deprecated] alert, an
-    explicit one overriding the corresponding [ctx] field. *)
+    ({!Lb_util.Exec.t}); see {!Lb_util.Exec.make}. *)
 
 type counters = { mutable seeks : int; mutable emitted : int }
 
@@ -64,65 +62,11 @@ val exists :
   Query.t ->
   bool
 
-(** Same contract as {!Generic_join.Legacy}: the pre-{!Lb_util.Exec}
-    resource-triple entry points, alerted so new call sites use [?ctx]. *)
-module Legacy : sig
-  val iter :
-    ?order:string array ->
-    ?counters:counters ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    Database.t ->
-    Query.t ->
-    (int array -> unit) ->
-    unit
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
+(** Distributed-participant slice; same contract as
+    {!Generic_join.subset}. *)
+type subset = { owned : int -> bool; lead : bool }
 
-  val answer :
-    ?order:string array ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    ?pool:Lb_util.Pool.t ->
-    Database.t ->
-    Query.t ->
-    Relation.t
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-
-  val count :
-    ?order:string array ->
-    ?counters:counters ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    ?pool:Lb_util.Pool.t ->
-    Database.t ->
-    Query.t ->
-    int
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-
-  val count_bounded :
-    ?order:string array ->
-    ?counters:counters ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    ?metrics:Lb_util.Metrics.t ->
-    ?pool:Lb_util.Pool.t ->
-    Database.t ->
-    Query.t ->
-    int Lb_util.Budget.outcome
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-
-  val exists :
-    ?order:string array ->
-    ?ctx:Lb_util.Exec.t ->
-    ?budget:Lb_util.Budget.t ->
-    Database.t ->
-    Query.t ->
-    bool
-  [@@alert deprecated "pass ?ctx (Lb_util.Exec.make) instead"]
-end
+val all_shards : subset
 
 (** Sharded driver; same contract and determinism guarantees as
     {!Generic_join.run_sharded}, with the level-0 leapfrog emulated over
@@ -133,6 +77,7 @@ val run_sharded :
   ?ctx:Lb_util.Exec.t ->
   ?partition:(Query.atom -> col:int -> Relation.t array option) ->
   ?view:Shard.view ->
+  ?subset:subset ->
   shards:int ->
   Database.t ->
   Query.t ->
@@ -144,6 +89,7 @@ val count_sharded :
   ?ctx:Lb_util.Exec.t ->
   ?partition:(Query.atom -> col:int -> Relation.t array option) ->
   ?view:Shard.view ->
+  ?subset:subset ->
   shards:int ->
   Database.t ->
   Query.t ->

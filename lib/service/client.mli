@@ -1,0 +1,86 @@
+(** Typed client for the serve line protocol - the one wire surface
+    shared by the coordinator, [lbt query --remote], the tests, and
+    the examples.
+
+    {!connect} negotiates the protocol generation: it probes with
+    [{"op":"hello","v":2}]; a v2 server ({!Server.config.protocol_max}
+    >= 2) answers with its negotiated version, while a v1 server
+    rejects the probe with the structured [unsupported_version] error
+    and the client falls back to a plain v1 hello - so the same client
+    binary talks to both generations, and v1 servers never see v2
+    requests.
+
+    Every receive is guarded by the connection's [timeout_ms] (via
+    [select]), so a dead peer yields [Error "timeout waiting for
+    reply"] instead of a hang - the property the coordinator's
+    degraded mode is built on. *)
+
+type t
+
+(** TCP connect + version negotiation.  [timeout_ms] bounds every
+    subsequent receive (default: wait forever).  [host] defaults to
+    127.0.0.1. *)
+val connect :
+  ?timeout_ms:int -> ?host:string -> port:int -> unit -> (t, string) result
+
+(** Negotiated protocol version: 1 or 2. *)
+val version : t -> int
+
+val close : t -> unit
+
+(** Send one request (canonical encoding) and read one reply. *)
+val request : t -> Protocol.request -> (Json.t, string) result
+
+(** Send a raw line (need not be well-formed - protocol tests splice
+    arbitrary fields) and read one reply. *)
+val raw_request : t -> string -> (Json.t, string) result
+
+(** ["status"] field of a reply, if present. *)
+val reply_status : Json.t -> string option
+
+val reply_ok : Json.t -> bool
+
+(** ["code"] field of a structured error reply. *)
+val error_code : Json.t -> string option
+
+val error_message : Json.t -> string
+
+(** {2 Convenience wrappers} *)
+
+val ping : t -> (Json.t, string) result
+
+val hello : t -> (Json.t, string) result
+
+val stats : t -> (Json.t, string) result
+
+val query :
+  ?opts:Protocol.query_opts -> t -> string -> (Json.t, string) result
+
+val load :
+  t ->
+  name:string ->
+  attrs:string list ->
+  int list list ->
+  (Json.t, string) result
+
+val insert : t -> name:string -> int list list -> (Json.t, string) result
+
+val delete : t -> name:string -> int list list -> (Json.t, string) result
+
+val drop : t -> name:string -> (Json.t, string) result
+
+val shutdown : t -> (Json.t, string) result
+
+(** {2 In-process scripted sessions}
+
+    Run a whole request script through {!Server.serve_pipe} against an
+    in-process server - the real front end (window draining, admission
+    control, version gate) without sockets.  Replies come back in
+    request order, one per line. *)
+
+val run_script_lines : Server.t -> string list -> string list
+
+(** {!run_script_lines} over canonically-encoded requests, replies
+    parsed.  Raises {!Json.Parse_error} if the server emits a
+    malformed line (it never should). *)
+val run_script : Server.t -> Protocol.request list -> Json.t list

@@ -1,0 +1,50 @@
+(** The coordinator side of distributed serve.
+
+    {!attach} injects a {!Server.dispatcher} into an ordinary server:
+    unbudgeted WCOJ reads are scattered as [subquery] slices across
+    worker replicas and the ordered per-worker streams merged
+    ({!Lb_relalg.Shard.merge_sorted}) into the task's answer; catalog
+    mutations fan out as version-stamped [apply] requests.
+
+    Slice assignment is static and liveness-independent: worker [w] of
+    [W] owns shard indices [{i : i mod W = w}] of the server's [K]
+    shards, and slice 0 carries the lead flag.  A dead worker's slice -
+    owned set {e and} lead flag - is absorbed locally through
+    {!Server.exec_subquery}, so every shard executes exactly once and
+    exactly one participant counts global level-0 work regardless of
+    failures: answers and summed counters stay byte-identical to a
+    single-process [--shards K] run, and the reply is merely marked
+    ["status":"degraded"].  Budgeted queries are never scattered (they
+    run the identical local sharded path), so timeout partials cannot
+    diverge.
+
+    Replication: each worker holds a full catalog replica.  The
+    coordinator reseeds a replica ([partition_load]* then [sync] at
+    the coordinator's catalog version) whenever its known version
+    disagrees - first use, reconnect after a crash, or a missed
+    mutation ([stale_replica]) - and otherwise keeps it in step with
+    one [apply] per mutation.  A restarted worker therefore rejoins
+    automatically at its next scatter. *)
+
+type t
+
+(** [attach server ~shards ~workers] wires the dispatcher into
+    [server] (see {!Server.set_dispatcher}) and returns the
+    coordinator handle.  [shards] must equal the server's
+    [config.shards]; [workers] are [(host, port)] addresses of
+    {!Worker} processes.  [timeout_ms] (default 5000) bounds every
+    receive from a worker, so a dead worker costs a bounded wait, not
+    a hang.  Connections are opened lazily at first use. *)
+val attach :
+  ?timeout_ms:int ->
+  Server.t ->
+  shards:int ->
+  workers:(string * int) list ->
+  t
+
+(** The attached [(host, port)] list, in slice order. *)
+val workers : t -> (string * int) list
+
+(** Close every worker connection (they reopen lazily; a detached
+    coordinator's next scatter reconnects and reseeds). *)
+val detach : t -> unit

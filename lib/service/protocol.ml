@@ -1,12 +1,22 @@
 (* Typed requests/responses for the line protocol, with a canonical
    JSON encoding (fixed field order, defaults omitted).
 
-   Versioning (v1): every response carries "v":1 as its first field; a
-   request may carry "v" (accepted iff it is 1, so a future client
-   can fail fast against an old server); unknown request fields are
-   ignored and reported to the caller so the server can count them. *)
+   Versioning: replies to the classic ops carry "v":1 as their first
+   field; a request may carry "v" (accepted iff it is a version this
+   module knows, so a client built against a future protocol fails
+   fast against an old server); unknown request fields are ignored and
+   reported to the caller so the server can count them.
+
+   v2 adds the worker-facing ops of the distributed tier - subquery,
+   partition_load, sync, apply - which must be requested with "v":2
+   and are answered with "v":2 replies.  Whether a given server
+   *serves* v2 is a server property (its [protocol_max]), enforced at
+   the server layer with a structured reject; this module merely
+   decodes both generations. *)
 
 let version = 1
+
+let max_version = 2
 
 type query_opts = {
   engine : Planner.engine option;
@@ -70,13 +80,28 @@ type request =
   | Hello
   | Ping
   | Shutdown
+  | Subquery of {
+      text : string;
+      engine : string;
+      shards : int;
+      owned : int list;
+      lead : bool;
+    }
+  | Partition_load of {
+      name : string;
+      attrs : string list;
+      tuples : int list list;
+      rel_version : int;
+    }
+  | Sync of { version : int; shards : int }
+  | Apply of { version : int; mutation : request }
 
 (* --- encoding --- *)
 
 let tuples_to_json tuples =
   Json.List (List.map (fun t -> Json.List (List.map (fun v -> Json.Int v) t)) tuples)
 
-let encode_request = function
+let rec encode_request = function
   | Load { name; attrs; tuples } ->
       Json.Obj
         [
@@ -136,8 +161,56 @@ let encode_request = function
   | Hello -> Json.Obj [ ("op", Json.String "hello") ]
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+  (* v2 worker ops always carry their version explicitly. *)
+  | Subquery { text; engine; shards; owned; lead } ->
+      Json.Obj
+        [
+          ("op", Json.String "subquery");
+          ("v", Json.Int 2);
+          ("q", Json.String text);
+          ("engine", Json.String engine);
+          ("shards", Json.Int shards);
+          ("owned", Json.List (List.map (fun i -> Json.Int i) owned));
+          ("lead", Json.Bool lead);
+        ]
+  | Partition_load { name; attrs; tuples; rel_version } ->
+      Json.Obj
+        [
+          ("op", Json.String "partition_load");
+          ("v", Json.Int 2);
+          ("name", Json.String name);
+          ("attrs", Json.List (List.map (fun a -> Json.String a) attrs));
+          ("tuples", tuples_to_json tuples);
+          ("rel_version", Json.Int rel_version);
+        ]
+  | Sync { version; shards } ->
+      Json.Obj
+        [
+          ("op", Json.String "sync");
+          ("v", Json.Int 2);
+          ("version", Json.Int version);
+          ("shards", Json.Int shards);
+        ]
+  | Apply { version; mutation } ->
+      Json.Obj
+        [
+          ("op", Json.String "apply");
+          ("v", Json.Int 2);
+          ("version", Json.Int version);
+          ("mutation", encode_request mutation);
+        ]
 
 let request_to_string r = Json.to_string (encode_request r)
+
+(* The canonical line with the protocol version pinned explicitly -
+   what a client uses to probe a server's generation ("v" is spliced
+   right after "op" when the canonical encoding omits it). *)
+let request_line ?v r =
+  match (v, encode_request r) with
+  | None, j -> Json.to_string j
+  | Some n, Json.Obj (("op", op) :: rest) when not (List.mem_assoc "v" rest) ->
+      Json.to_string (Json.Obj (("op", op) :: ("v", Json.Int n) :: rest))
+  | Some _, j -> Json.to_string j
 
 (* --- decoding --- *)
 
@@ -189,6 +262,10 @@ let known_fields = function
       [ "op"; "v"; "k"; "pattern"; "colors"; "host"; "method"; "count";
         "timeout_ms"; "max_ticks" ]
   | "explain" -> [ "op"; "v"; "q" ]
+  | "subquery" -> [ "op"; "v"; "q"; "engine"; "shards"; "owned"; "lead" ]
+  | "partition_load" -> [ "op"; "v"; "name"; "attrs"; "tuples"; "rel_version" ]
+  | "sync" -> [ "op"; "v"; "version"; "shards" ]
+  | "apply" -> [ "op"; "v"; "version"; "mutation" ]
   | _ -> [ "op"; "v" ]
 
 (* [[u,v], ...] edge lists of the colsub op. *)
@@ -231,16 +308,26 @@ let decode_colsub v =
        { k; pattern_edges; colors; host_edges; meth; count; cs_timeout_ms;
          cs_max_ticks })
 
-let decode_request v =
+(* The version a request asked for: absent = 1; anything outside
+   [1, max_version] fails decoding (a v3 client cannot be
+   half-understood). *)
+let requested_version v =
+  match Json.opt_int_field "v" v with
+  | Ok None -> Ok 1
+  | Ok (Some n) when n >= 1 && n <= max_version -> Ok n
+  | Ok (Some n) -> Error (Printf.sprintf "unsupported protocol version %d" n)
+  | Error _ -> Error "\"v\" must be an integer"
+
+let rec decode_request v =
   match v with
   | Json.Obj _ -> (
       let* op = Json.string_field "op" v in
+      let* rv = requested_version v in
       let* () =
-        match Json.opt_int_field "v" v with
-        | Ok (Some n) when n <> version ->
-            Error (Printf.sprintf "unsupported protocol version %d" n)
-        | Ok _ -> Ok ()
-        | Error _ -> Error "\"v\" must be an integer"
+        match op with
+        | ("subquery" | "partition_load" | "sync" | "apply") when rv < 2 ->
+            Error (Printf.sprintf "op %S requires \"v\":2" op)
+        | _ -> Ok ()
       in
       match op with
       | "load" ->
@@ -281,11 +368,52 @@ let decode_request v =
       | "hello" -> Ok Hello
       | "ping" -> Ok Ping
       | "shutdown" -> Ok Shutdown
+      | "subquery" ->
+          let* text = Json.string_field "q" v in
+          let* engine = Json.string_field "engine" v in
+          let* shards = Json.int_field "shards" v in
+          let* owned = decode_int_list "owned" v in
+          let* lead = Json.opt_bool_field "lead" v in
+          Ok (Subquery { text; engine; shards; owned; lead })
+      | "partition_load" ->
+          let* name = Json.string_field "name" v in
+          let* attrs_json = Json.list_field "attrs" v in
+          let* attrs =
+            List.fold_right
+              (fun a acc ->
+                let* acc = acc in
+                match a with
+                | Json.String s -> Ok (s :: acc)
+                | _ -> Error "\"attrs\" must be an array of strings")
+              attrs_json (Ok [])
+          in
+          let* tuples = decode_tuples v in
+          let* rel_version = Json.int_field "rel_version" v in
+          Ok (Partition_load { name; attrs; tuples; rel_version })
+      | "sync" ->
+          let* version = Json.int_field "version" v in
+          let* shards = Json.int_field "shards" v in
+          Ok (Sync { version; shards })
+      | "apply" ->
+          let* version = Json.int_field "version" v in
+          let* mj =
+            match Json.member "mutation" v with
+            | Some m -> Ok m
+            | None -> Error "missing field \"mutation\""
+          in
+          let* mutation = decode_request mj in
+          let* () =
+            match mutation with
+            | Load _ | Insert _ | Delete _ | Drop _ -> Ok ()
+            | _ -> Error "\"mutation\" must be a load/insert/delete/drop"
+          in
+          Ok (Apply { version; mutation })
       | op -> Error (Printf.sprintf "unknown op %S" op))
   | _ -> Error "request must be a JSON object"
 
 let decode_request_ext v =
   let* req = decode_request v in
+  let* rv = requested_version v in
   let ignored =
     match v with
     | Json.Obj fields ->
@@ -299,14 +427,15 @@ let decode_request_ext v =
           fields
     | _ -> []
   in
-  Ok (req, ignored)
+  Ok (req, ignored, rv)
 
 let request_of_string_ext s =
   match Json.parse s with
   | v -> decode_request_ext v
   | exception Json.Parse_error msg -> Error ("invalid JSON: " ^ msg)
 
-let request_of_string s = Result.map fst (request_of_string_ext s)
+let request_of_string s =
+  Result.map (fun (req, _, _) -> req) (request_of_string_ext s)
 
 (* --- shared encoders --- *)
 
@@ -369,11 +498,32 @@ let analysis_to_json (a : Lowerbounds.Bounds.analysis) =
 
 let versioned fields = Json.Obj (("v", Json.Int version) :: fields)
 
-let ok_fields ~op fields =
-  versioned (("status", Json.String "ok") :: ("op", Json.String op) :: fields)
+(* v2 ops are answered in kind; everything else keeps the v1 shape. *)
+let versioned2 fields = Json.Obj (("v", Json.Int 2) :: fields)
 
-let error_response msg =
-  versioned [ ("status", Json.String "error"); ("message", Json.String msg) ]
+let ok_fields ?(status = "ok") ~op fields =
+  versioned
+    (("status", Json.String status) :: ("op", Json.String op) :: fields)
+
+let ok_fields_v2 ~op fields =
+  versioned2 (("status", Json.String "ok") :: ("op", Json.String op) :: fields)
+
+let error_response ?code ?(fields = []) msg =
+  versioned
+    ([ ("status", Json.String "error") ]
+    @ (match code with Some c -> [ ("code", Json.String c) ] | None -> [])
+    @ [ ("message", Json.String msg) ]
+    @ fields)
+
+(* The server-layer structured reject of a request whose version
+   exceeds what this server serves (a plain server refusing "v":2):
+   distinguishable from a parse failure by its "code", and carrying
+   the ceiling so the client can renegotiate. *)
+let unsupported_version_response ~got ~max_supported =
+  error_response ~code:"unsupported_version"
+    ~fields:[ ("max_version", Json.Int max_supported) ]
+    (Printf.sprintf "protocol version %d exceeds this server's maximum %d" got
+       max_supported)
 
 let overloaded_response ~pending ~max_pending =
   versioned

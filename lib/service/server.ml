@@ -39,6 +39,9 @@ type config = {
   snapshot_every : int;
   snapshot_bytes : int option;
       (* also checkpoint whenever the WAL exceeds this many bytes *)
+  protocol_max : int;
+      (* highest request "v" this server accepts; 1 = classic serve,
+         2 = the worker/coordinator surface is live *)
 }
 
 let default_config =
@@ -56,6 +59,7 @@ let default_config =
     data_dir = None;
     snapshot_every = 64;
     snapshot_bytes = None;
+    protocol_max = Protocol.version;
   }
 
 (* Cached answer: canonical column order, sorted rows. *)
@@ -82,6 +86,30 @@ type durable = {
   mutable snapshot_version : int; (* catalog version the snapshot holds *)
 }
 
+(* What a distributed scatter hands back to the server: the merged
+   sorted rows, the per-name sums of the participants' engine
+   counters, and whether any dead worker's shards had to be absorbed
+   locally (the reply is then "status":"degraded" - still complete and
+   byte-identical). *)
+type dispatch_outcome = {
+  d_attributes : string array;
+  d_rows : int array array;
+  d_counters : (string * int) list;
+  d_degraded : bool;
+}
+
+(* The coordinator side of the distributed tier, injected after
+   creation (the coordinator holds the server, so the reference cannot
+   be built at [create] time).  [dispatch_query] scatters one
+   read-only unbudgeted query; [Error] falls back to ordinary local
+   execution.  [notify_mutation] fans a just-applied mutation out to
+   the worker replicas with its post-apply catalog version. *)
+type dispatcher = {
+  dispatch_query :
+    text:string -> engine:Planner.engine -> (dispatch_outcome, string) result;
+  notify_mutation : version:int -> Wal.record -> unit;
+}
+
 type t = {
   config : config;
   catalog : Catalog.t;
@@ -90,12 +118,17 @@ type t = {
   metrics : Metrics.t;
   mutable durable : durable option;
   mutable shutdown : bool;
+  mutable dispatcher : dispatcher option;
+  mutable pending_seed : (string * string array * int array array * int) list;
+      (* partition_load buffer, newest first, committed by sync *)
   gc0 : Gc.stat; (* baseline at server creation; stats report deltas *)
 }
 
 let catalog t = t.catalog
 
 let metrics t = t.metrics
+
+let set_dispatcher t d = t.dispatcher <- Some d
 
 let shutdown_requested t = t.shutdown
 
@@ -515,6 +548,8 @@ let create ?(config = default_config) () =
       metrics = Metrics.create ();
       durable = None;
       shutdown = false;
+      dispatcher = None;
+      pending_seed = [];
       gc0 = Gc.quick_stat ();
     }
   in
@@ -548,6 +583,8 @@ type task = {
   mutable collapsed : bool;
       (* answered by another task of the same window with the same
          plan signature, without its own execution *)
+  mutable degraded : bool;
+      (* a distributed scatter absorbed a dead worker's shards locally *)
 }
 
 (* Batch-compatibility key: same catalog version and canonical text
@@ -667,11 +704,16 @@ let query_response t (task : task) ~cached ans ~with_counters =
       fields @ [ ("counters", Protocol.counters_to_json (Metrics.counters task.sink)) ]
     else fields
   in
-  Protocol.ok_fields ~op:"query" fields
+  let status = if task.degraded then "degraded" else "ok" in
+  Protocol.ok_fields ~status ~op:"query" fields
 
 (* --- the window processor --- *)
 
-type item = Req of Protocol.request | Bad of string | Shed
+type item =
+  | Req of Protocol.request * int (* request, requested protocol version *)
+  | Bad of string
+  | Vreject of int (* requested version beyond this server's protocol_max *)
+  | Shed
 
 (* Sequential prepare: either a finished reply or a task to execute. *)
 type prepared = Ready of Json.t | Pending of task
@@ -863,6 +905,7 @@ let prepare_query t text (opts : Protocol.query_opts) =
               outcome = Failed "not executed";
               elapsed_ms = 0.0;
               collapsed = false;
+              degraded = false;
             }
           in
           let cached =
@@ -1033,16 +1076,208 @@ let prepare_mutation t op name record =
   match apply_mutation t record with
   | Ok n ->
       log_mutation t record;
+      (match t.dispatcher with
+      | Some d ->
+          d.notify_mutation ~version:(Catalog.version t.catalog) record
+      | None -> ());
       Ready (mutation_response t op name (if n < 0 then None else Some n))
   | Error msg ->
       incr t "serve.errors";
       Ready (Protocol.error_response msg)
 
-let prepare t (req : Protocol.request) =
+(* --- the v2 worker surface --- *)
+
+(* One scatter slice: run the sharded WCOJ driver over the shard view,
+   deep-executing only the [owned] shard indices and counting level-0
+   work iff [lead].  Always interpreted: the compiled tier is
+   bit-identical to the interpreted drivers, so a coordinator that ran
+   compiled still sums to the same counters.  The reply returns every
+   owned row (shaping is the coordinator's job) plus the slice's
+   counter deltas. *)
+let exec_subquery t ~text ~engine ~shards ~owned ~lead =
+  incr t "serve.dist.subqueries";
+  let fail msg =
+    incr t "serve.errors";
+    Protocol.error_response msg
+  in
+  match Planner.engine_of_name engine with
+  | Error msg -> fail msg
+  | Ok engine -> (
+      match Q.parse text with
+      | exception Q.Parse_error msg -> fail ("parse error: " ^ msg)
+      | q -> (
+          let attrs = Q.attributes q in
+          if shards < 2 then fail "\"shards\" must be >= 2"
+          else if Array.length attrs = 0 then
+            fail "subquery needs at least one variable"
+          else
+            let db = Catalog.database t.catalog in
+            match
+              Shard.view
+                ~hook:(Catalog.partition_hook t.catalog ~k:shards)
+                ~attr:attrs.(0) ~k:shards db q
+            with
+            | exception Invalid_argument msg -> fail msg
+            | view -> (
+                incr t "serve.shard.views";
+                let owned_arr = Array.make shards false in
+                List.iter
+                  (fun i ->
+                    if i >= 0 && i < shards then owned_arr.(i) <- true)
+                  owned;
+                let sink = Metrics.create () in
+                let ctx = Exec.make ?pool:t.config.pool ~metrics:sink () in
+                match
+                  match engine with
+                  | Planner.Generic_join ->
+                      let subset =
+                        {
+                          Lb_relalg.Generic_join.owned =
+                            (fun i -> owned_arr.(i));
+                          lead;
+                        }
+                      in
+                      Ok
+                        (Lb_relalg.Generic_join.run_sharded ~ctx ~view ~subset
+                           ~shards db q)
+                  | Planner.Leapfrog ->
+                      let subset =
+                        { Lb_relalg.Leapfrog.owned = (fun i -> owned_arr.(i));
+                          lead }
+                      in
+                      Ok
+                        (Lb_relalg.Leapfrog.run_sharded ~ctx ~view ~subset
+                           ~shards db q)
+                  | e ->
+                      Error
+                        (Printf.sprintf "engine %s is not distributable"
+                           (Planner.engine_name e))
+                with
+                | Error msg -> fail msg
+                | exception Invalid_argument msg -> fail msg
+                | exception Failure msg -> fail msg
+                | Ok rel ->
+                    let ans = Ivm.canonical q rel in
+                    (* The slice's engine counters travel in the reply
+                       only: the coordinator sums them into the
+                       scattered task's sink, which [finish] merges
+                       into lifetime metrics exactly once - also when
+                       this slice is a local absorption of a dead
+                       worker's shards. *)
+                    Protocol.ok_fields_v2 ~op:"subquery"
+                      [
+                        ("version", Json.Int (Catalog.version t.catalog));
+                        ( "attributes",
+                          Json.List
+                            (List.map
+                               (fun a -> Json.String a)
+                               (Array.to_list ans.attributes)) );
+                        ("count", Json.Int (Array.length ans.rows));
+                        ( "rows",
+                          Json.List
+                            (List.map row_json (Array.to_list ans.rows)) );
+                        ( "counters",
+                          Protocol.counters_to_json (Metrics.counters sink) );
+                      ])))
+
+let wal_record_of_mutation = function
+  | Protocol.Load { name; attrs; tuples } ->
+      Some
+        (Wal.Load
+           {
+             name;
+             attrs = Array.of_list attrs;
+             tuples = List.map Array.of_list tuples;
+           })
+  | Protocol.Insert { name; tuples } ->
+      Some (Wal.Insert { name; tuples = List.map Array.of_list tuples })
+  | Protocol.Delete { name; tuples } ->
+      Some (Wal.Delete { name; tuples = List.map Array.of_list tuples })
+  | Protocol.Drop { name } -> Some (Wal.Drop { name })
+  | _ -> None
+
+(* Buffer one reseed relation (committed wholesale by [sync]). *)
+let prepare_partition_load t ~name ~attrs ~tuples ~rel_version =
+  t.pending_seed <-
+    ( name,
+      Array.of_list attrs,
+      Array.of_list (List.map Array.of_list tuples),
+      rel_version )
+    :: t.pending_seed;
+  Ready
+    (Protocol.ok_fields_v2 ~op:"partition_load"
+       [
+         ("relation", Json.String name);
+         ("buffered", Json.Int (List.length t.pending_seed));
+       ])
+
+(* Commit the buffered reseed: replace the replica's catalog state at
+   the coordinator's version and drop both caches (plans embed
+   statistics of the old state; results carry stale provenance). *)
+let prepare_sync t ~version ~shards =
+  let parsed = List.rev t.pending_seed in
+  t.pending_seed <- [];
+  if shards < 1 then begin
+    incr t "serve.errors";
+    Ready (Protocol.error_response "\"shards\" must be >= 1")
+  end
+  else begin
+    let mapped = Catalog.restore ~shards t.catalog ~version parsed in
+    ignore mapped;
+    Lru.clear t.plan_cache;
+    Lru.clear t.result_cache;
+    incr t "serve.dist.syncs";
+    Ready
+      (Protocol.ok_fields_v2 ~op:"sync"
+         [
+           ("version", Json.Int (Catalog.version t.catalog));
+           ("relations", Json.Int (List.length parsed));
+           ("shards", Json.Int shards);
+         ])
+  end
+
+(* Apply one forwarded mutation iff the replica is exactly one version
+   behind its post-apply stamp; anything else is stale and must reseed
+   (structured "stale_replica" reject so the coordinator knows). *)
+let prepare_apply t ~version ~mutation =
+  match wal_record_of_mutation mutation with
+  | None ->
+      incr t "serve.errors";
+      Ready
+        (Protocol.error_response "\"mutation\" must be a load/insert/delete/drop")
+  | Some record ->
+      if Catalog.version t.catalog <> version - 1 then begin
+        incr t "serve.dist.stale_applies";
+        Ready
+          (Protocol.error_response ~code:"stale_replica"
+             ~fields:[ ("version", Json.Int (Catalog.version t.catalog)) ]
+             (Printf.sprintf
+                "replica at version %d cannot apply version %d"
+                (Catalog.version t.catalog) version))
+      end
+      else begin
+        match apply_mutation t record with
+        | Ok n ->
+            log_mutation t record;
+            incr t "serve.dist.applies";
+            Ready
+              (Protocol.ok_fields_v2 ~op:"apply"
+                 ([ ("version", Json.Int (Catalog.version t.catalog)) ]
+                 @ if n < 0 then [] else [ ("rows", Json.Int n) ]))
+        | Error msg ->
+            incr t "serve.errors";
+            Ready (Protocol.error_response msg)
+      end
+
+let prepare t ~req_v (req : Protocol.request) =
   incr t "serve.requests";
   match req with
   | Protocol.Ping -> Ready (Protocol.ok_fields ~op:"ping" [])
   | Protocol.Hello ->
+      (* [negotiated] is the generation this session speaks: the
+         requested version, already gated by [protocol_max] upstream.
+         The [protocol] capability advertises the ceiling so a v1
+         client can discover that v2 is available. *)
       Ready
         (Protocol.ok_fields ~op:"hello"
            [
@@ -1061,7 +1296,11 @@ let prepare t (req : Protocol.request) =
                        (List.map
                           (fun e -> Json.String (Planner.engine_name e))
                           Planner.all_engines) );
+                   ( "protocol",
+                     Json.Obj
+                       [ ("max_version", Json.Int t.config.protocol_max) ] );
                  ] );
+             ("negotiated", Json.Int (min req_v t.config.protocol_max));
            ])
   | Protocol.Shutdown ->
       (* A clean shutdown checkpoints, so restart recovers from the
@@ -1132,6 +1371,12 @@ let prepare t (req : Protocol.request) =
       incr t "serve.queries";
       prepare_query t text opts
   | Protocol.Colsub c -> prepare_colsub t c
+  | Protocol.Subquery { text; engine; shards; owned; lead } ->
+      Ready (exec_subquery t ~text ~engine ~shards ~owned ~lead)
+  | Protocol.Partition_load { name; attrs; tuples; rel_version } ->
+      prepare_partition_load t ~name ~attrs ~tuples ~rel_version
+  | Protocol.Sync { version; shards } -> prepare_sync t ~version ~shards
+  | Protocol.Apply { version; mutation } -> prepare_apply t ~version ~mutation
 
 (* Sequential phase C: record the outcome into caches/metrics and
    build the reply. *)
@@ -1172,6 +1417,34 @@ let finish t (task : task) =
    Per-request deadlines stay individual: a task with its own budget
    never joins a group (its outcome could diverge - shed or time out
    that task alone, never the whole batch). *)
+(* One distributed execution: scatter through the coordinator's
+   dispatcher, adopt the merged rows as the answer and the summed
+   per-worker counters as the task's sink (so the reply's "counters"
+   and the lifetime merge are byte-identical to a single-process
+   sharded run).  A dispatch-level failure falls back to ordinary
+   local execution - per-worker failures never surface here (the
+   coordinator absorbs them and reports [d_degraded]). *)
+let execute_dist t disp (task : task) db =
+  let t0 = Unix.gettimeofday () in
+  match
+    disp.dispatch_query ~text:task.canonical
+      ~engine:task.plan.Planner.engine
+  with
+  | Ok o ->
+      List.iter (fun (k, v) -> Metrics.add task.sink k v) o.d_counters;
+      task.degraded <- o.d_degraded;
+      if o.d_degraded then incr t "serve.dist.degraded";
+      task.outcome <-
+        Answered { attributes = o.d_attributes; rows = o.d_rows };
+      task.elapsed_ms <-
+        Float.round ((Unix.gettimeofday () -. t0) *. 1e6) /. 1e3
+  | Error _ ->
+      incr t "serve.dist.fallbacks";
+      execute ?pool:t.config.pool task db
+  | exception _ ->
+      incr t "serve.dist.fallbacks";
+      execute ?pool:t.config.pool task db
+
 let run_tasks t (tasks : task list) =
   let db = Catalog.database t.catalog in
   let reps = Hashtbl.create 8 in
@@ -1191,20 +1464,38 @@ let run_tasks t (tasks : task list) =
       tasks
   in
   Metrics.add t.metrics "serve.batch.groups" (List.length to_run);
-  (match to_run with
+  (* Distributable slice: unbudgeted sharded WCOJ executions when a
+     dispatcher is attached.  Budgeted queries are NEVER distributed -
+     they run the identical single-process sharded path locally, so
+     timeout partials cannot diverge from a plain [--shards K] server.
+     Scatters run sequentially (one wire conversation at a time); the
+     rest of the window keeps its pool fan-out. *)
+  let dist, local =
+    match t.dispatcher with
+    | Some _ when t.config.shards > 1 ->
+        List.partition
+          (fun (task : task) -> task.budget = None && task.view <> None)
+          to_run
+    | _ -> ([], to_run)
+  in
+  (match t.dispatcher with
+  | Some disp -> List.iter (fun task -> execute_dist t disp task db) dist
+  | None -> ());
+  (match local with
   | [] -> ()
   | [ task ] -> execute ?pool:t.config.pool task db
-  | to_run -> (
+  | local -> (
       match t.config.pool with
       | Some pool when Pool.size pool > 1 ->
-          let arr = Array.of_list to_run in
+          let arr = Array.of_list local in
           Pool.run pool ~chunks:(Array.length arr) (fun i -> execute arr.(i) db)
-      | _ -> List.iter (fun task -> execute ?pool:t.config.pool task db) to_run));
+      | _ -> List.iter (fun task -> execute ?pool:t.config.pool task db) local));
   List.iter
     (fun (task : task) ->
       if task.collapsed then begin
         let rep = Hashtbl.find reps (plan_signature task) in
         task.outcome <- rep.outcome;
+        task.degraded <- rep.degraded;
         task.elapsed_ms <- 0.0
       end)
     tasks
@@ -1241,19 +1532,28 @@ let process t (items : item list) =
           incr t "serve.requests";
           incr t "serve.errors";
           slots.(i) <- Some (Protocol.error_response msg)
-      | Req req -> (
+      | Vreject got ->
+          incr t "serve.requests";
+          incr t "serve.errors";
+          incr t "serve.protocol.rejected_version";
+          slots.(i) <-
+            Some
+              (Protocol.unsupported_version_response ~got
+                 ~max_supported:t.config.protocol_max)
+      | Req (req, req_v) -> (
           let barrier =
             match req with
             | Protocol.Query _ | Protocol.Colsub _ | Protocol.Explain _
-            | Protocol.Ping | Protocol.Hello ->
+            | Protocol.Ping | Protocol.Hello | Protocol.Subquery _ ->
                 false
             | Protocol.Load _ | Protocol.Insert _ | Protocol.Delete _
             | Protocol.Drop _ | Protocol.Stats | Protocol.Checkpoint
-            | Protocol.Shutdown ->
+            | Protocol.Shutdown | Protocol.Partition_load _ | Protocol.Sync _
+            | Protocol.Apply _ ->
                 true
           in
           if barrier then flush ();
-          match prepare t req with
+          match prepare t ~req_v req with
           | Ready r -> slots.(i) <- Some r
           | Pending task -> pending := (i, task) :: !pending))
     items;
@@ -1280,7 +1580,7 @@ let process t (items : item list) =
 let submit_window t reqs =
   let items =
     List.mapi
-      (fun i r -> if i < t.config.max_pending then Req r else Shed)
+      (fun i r -> if i < t.config.max_pending then Req (r, 1) else Shed)
       reqs
   in
   process t items
@@ -1290,19 +1590,25 @@ let handle t req =
   | [ r ] -> r
   | _ -> Protocol.error_response "internal: window of one produced no reply"
 
+(* Parse one line into a window item, applying the version gate: a
+   request whose "v" exceeds [protocol_max] is rejected with the
+   structured "unsupported_version" error (v >= 3 already failed
+   decoding with the generic message). *)
+let item_of_line t line =
+  match Protocol.request_of_string_ext line with
+  | Ok (_, _, rv) when rv > t.config.protocol_max -> Vreject rv
+  | Ok (req, ignored, rv) ->
+      Metrics.add t.metrics "serve.protocol.ignored_fields"
+        (List.length ignored);
+      Req (req, rv)
+  | Error msg -> Bad msg
+
 let handle_line t line =
-  let reply =
-    match Protocol.request_of_string_ext line with
-    | Ok (req, ignored) ->
-        Metrics.add t.metrics "serve.protocol.ignored_fields"
-          (List.length ignored);
-        handle t req
-    | Error msg ->
-        incr t "serve.requests";
-        incr t "serve.errors";
-        Protocol.error_response msg
-  in
-  Json.to_string reply
+  match process t [ item_of_line t line ] with
+  | [ r ] -> Json.to_string r
+  | _ ->
+      Json.to_string
+        (Protocol.error_response "internal: window of one produced no reply")
 
 (* --- line-delimited serving over a file descriptor --- *)
 
@@ -1381,15 +1687,7 @@ let serve_pipe t fd oc =
             if not (is_blank line) then
               if !accepted < t.config.max_pending then begin
                 Stdlib.incr accepted;
-                let item =
-                  match Protocol.request_of_string_ext line with
-                  | Ok (req, ignored) ->
-                      Metrics.add t.metrics "serve.protocol.ignored_fields"
-                        (List.length ignored);
-                      Req req
-                  | Error msg -> Bad msg
-                in
-                items := item :: !items
+                items := item_of_line t line :: !items
               end
               else begin
                 Stdlib.incr shed;

@@ -92,16 +92,66 @@ type config = {
           bytes (`--snapshot-bytes`); each trip is counted as
           [serve.wal.snapshot_bytes_trips].  [None] = record-count
           policy only. *)
+  protocol_max : int;
+      (** highest request ["v"] accepted on the wire
+          ({!Protocol.version} = classic serve; {!Protocol.max_version}
+          additionally enables the worker-facing ops [subquery] /
+          [partition_load] / [sync] / [apply]).  A line whose ["v"]
+          exceeds this is rejected with the structured
+          [unsupported_version] error and counted as
+          [serve.protocol.rejected_version]. *)
 }
 
 (** 64 pending, 256-entry plan cache, 128-entry result cache, no
     default budgets, 10_000 returned rows, no pool, 1 shard,
-    compilation on, IVM on, no data dir, snapshot every 64 records. *)
+    compilation on, IVM on, no data dir, snapshot every 64 records,
+    [protocol_max] = {!Protocol.version} (v2 ops off). *)
 val default_config : config
+
+(** Result of a distributed scatter adopted as a task's answer: merged
+    sorted rows, summed per-worker engine counters, and whether a dead
+    worker's shards were absorbed locally (the reply then carries
+    ["status":"degraded"] - still a complete, byte-identical answer). *)
+type dispatch_outcome = {
+  d_attributes : string array;
+  d_rows : int array array;
+  d_counters : (string * int) list;
+  d_degraded : bool;
+}
+
+(** Injected by {!Coordinator.attach}: scatters unbudgeted WCOJ reads
+    across worker replicas and fans catalog mutations out to them.
+    [dispatch_query] returning [Error] falls back to ordinary local
+    execution ([serve.dist.fallbacks]). *)
+type dispatcher = {
+  dispatch_query :
+    text:string -> engine:Planner.engine -> (dispatch_outcome, string) result;
+  notify_mutation : version:int -> Wal.record -> unit;
+}
 
 type t
 
 val create : ?config:config -> unit -> t
+
+(** Attach the coordinator side of the distributed tier (set after
+    [create]; the coordinator needs the server to execute local
+    fallbacks). *)
+val set_dispatcher : t -> dispatcher -> unit
+
+(** Execute one scatter slice locally: the sharded interpreted WCOJ
+    driver over shard [view]s, deep-executing only the [owned] shard
+    indices, with level-0 counters recorded iff [lead].  Returns the
+    full [subquery] reply ({!Protocol.ok_fields_v2}) - the same shape a
+    remote worker would send - so the coordinator has one merge path
+    for live and absorbed slices. *)
+val exec_subquery :
+  t ->
+  text:string ->
+  engine:string ->
+  shards:int ->
+  owned:int list ->
+  lead:bool ->
+  Json.t
 
 val catalog : t -> Catalog.t
 

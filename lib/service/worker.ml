@@ -1,0 +1,13 @@
+(* A worker is an ordinary server with the v2 ops enabled, serving
+   TCP.  Its catalog is a full replica seeded and kept in step by the
+   coordinator (partition_load/sync/apply); subqueries deep-execute
+   only the shard indices the coordinator assigns. *)
+
+let create ?(config = Server.default_config) () =
+  Server.create
+    ~config:{ config with Server.protocol_max = Protocol.max_version }
+    ()
+
+let run ?host ?config ~port () =
+  let t = create ?config () in
+  Server.serve_tcp ?host t ~port

@@ -103,6 +103,12 @@ module Int = struct
     merge_slots metrics "matmul.int_ops" slots;
     c
 
+  (* The public surface takes the execution resources as one [?ctx]
+     (Exec.t); the labelled triple above stays private. *)
+  let mul ?ctx a b =
+    let ex = Exec.resolve ?ctx () in
+    mul ?pool:ex.Exec.pool ~metrics:ex.Exec.metrics ?budget:ex.Exec.budget a b
+
   let trace t =
     let s = ref 0 in
     for i = 0 to min t.n t.m - 1 do
@@ -583,4 +589,33 @@ module Bool = struct
       done
     done;
     r
+
+  (* --- public surface: one [?ctx] (Exec.t) instead of the labelled
+     resource triple; the internal kernels above keep the explicit
+     labels.  [mul_naive] stays label-free apart from [?metrics]: it is
+     the sequential oracle path and takes neither pool nor budget. *)
+
+  let mul_blocked ?ctx a b =
+    let ex = Exec.resolve ?ctx () in
+    mul_blocked ?pool:ex.Exec.pool ~metrics:ex.Exec.metrics
+      ?budget:ex.Exec.budget a b
+
+  let mul_m4r ?ctx a b =
+    let ex = Exec.resolve ?ctx () in
+    mul_m4r ?pool:ex.Exec.pool ~metrics:ex.Exec.metrics ?budget:ex.Exec.budget
+      a b
+
+  let mul ?ctx a b =
+    let ex = Exec.resolve ?ctx () in
+    mul ?pool:ex.Exec.pool ~metrics:ex.Exec.metrics ?budget:ex.Exec.budget a b
+
+  let mul_count ?ctx a b =
+    let ex = Exec.resolve ?ctx () in
+    mul_count ?pool:ex.Exec.pool ~metrics:ex.Exec.metrics
+      ?budget:ex.Exec.budget a b
+
+  let find_orthogonal_rows ?ctx a b =
+    let ex = Exec.resolve ?ctx () in
+    find_orthogonal_rows ?pool:ex.Exec.pool ~metrics:ex.Exec.metrics
+      ?budget:ex.Exec.budget a b
 end

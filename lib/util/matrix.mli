@@ -5,8 +5,10 @@
     The [Bool] kernel layer offers four product paths — naive word
     loop, cache-blocked word-scan, Method of Four Russians, and each of
     those under Domain parallelism — that produce bit-identical
-    outputs.  [?metrics] counters: ["matmul.words"] (words OR'd or
-    AND-popcounted), ["matmul.table_builds"] (M4R group tables built),
+    outputs.  Execution resources (pool, budget, metrics) are passed as
+    one [?ctx] ({!Exec.t}); the [ctx] metrics sink receives
+    ["matmul.words"] (words OR'd or AND-popcounted),
+    ["matmul.table_builds"] (M4R group tables built), and
     ["matmul.int_ops"] (scalar multiply-adds in [Int.mul]). *)
 
 module Int : sig
@@ -31,10 +33,9 @@ module Int : sig
       for a single product of 0/1 matrices prefer [Bool.mul_count],
       whose entries are popcounts bounded by the shared dimension.
 
-      [?pool] parallelizes over bands of left rows with deterministic
-      output; [?budget] is ticked once per band. *)
-  val mul :
-    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
+      A [ctx] pool parallelizes over bands of left rows with
+      deterministic output; the [ctx] budget is ticked once per band. *)
+  val mul : ?ctx:Exec.t -> t -> t -> t
 
   val trace : t -> int
 end
@@ -67,45 +68,36 @@ module Bool : sig
 
   (** Boolean product, automatically dispatching between the naive,
       blocked, and Four-Russians kernels by size.  All paths are
-      bit-identical; [?pool] parallelizes over bands of left rows
+      bit-identical; a [ctx] pool parallelizes over bands of left rows
       without changing the output. *)
-  val mul :
-    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
+  val mul : ?ctx:Exec.t -> t -> t -> t
 
-  (** The naive per-bit loop: small-case and oracle path. *)
+  (** The naive per-bit loop: small-case and oracle path (sequential,
+      unbudgeted - hence no [?ctx]). *)
   val mul_naive : ?metrics:Metrics.t -> t -> t -> t
 
   (** Cache-blocked word-scan over k-blocks of 252 columns. *)
-  val mul_blocked :
-    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
+  val mul_blocked : ?ctx:Exec.t -> t -> t -> t
 
   (** Method of Four Russians: per 8-row group of the right operand,
       precompute the 256 OR-combinations, then each left row costs one
       table OR per group instead of up to 8 row-ORs. *)
-  val mul_m4r :
-    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> t
+  val mul_m4r : ?ctx:Exec.t -> t -> t -> t
 
   (** Int-valued product of 0/1 matrices via popcount of
       [row(a) AND row(b^T)]: entry (i,j) counts the common witnesses,
       bounded by the shared dimension — no overflow, unlike an
       [Int.mul] power chain. *)
-  val mul_count :
-    ?pool:Pool.t -> ?metrics:Metrics.t -> ?budget:Budget.t -> t -> t -> Int.t
+  val mul_count : ?ctx:Exec.t -> t -> t -> Int.t
 
   (** First [(i, j)] in row-major order with rows [i] of [a] and [j] of
       [b] disjoint — the first zero of A * B^T; [None] if every pair
       intersects.  The blocked Orthogonal Vectors kernel: sequential
-      scan early-exits at the witness; under [?pool], whole bands of
-      left rows run on domains with a band-skip protocol that keeps the
-      returned pair deterministic (always the row-major-first one).
+      scan early-exits at the witness; under a [ctx] pool, whole bands
+      of left rows run on domains with a band-skip protocol that keeps
+      the returned pair deterministic (always the row-major-first one).
       Requires equal column counts. *)
-  val find_orthogonal_rows :
-    ?pool:Pool.t ->
-    ?metrics:Metrics.t ->
-    ?budget:Budget.t ->
-    t ->
-    t ->
-    (int * int) option
+  val find_orthogonal_rows : ?ctx:Exec.t -> t -> t -> (int * int) option
 
   (** Does the product have a [true] on its diagonal? Early-exits without
       materializing it. *)

@@ -1,0 +1,6 @@
+(* Standalone runner for the distributed-serve suite: it forks worker
+   processes, and OCaml 5 forbids Unix.fork once any other domain has
+   been spawned - so these tests cannot share a process with the
+   pool-using suites in test_main. *)
+
+let () = Alcotest.run "lowerbounds-dist" [ ("dist", Test_dist.suite) ]

@@ -142,22 +142,24 @@ let test_ov_pairs_scanned_exact () =
   (* seed 11: p = 0.5, dim 16, n = 32 - witnesses exist *)
   let rng = Prng.create 11 in
   let inst = Ov.random rng ~n:32 ~dim:16 ~p:0.5 in
-  let w, pairs = scan_count (fun m i -> Ov.solve ~metrics:m i) inst in
+  let solve_m m i = Ov.solve ~ctx:(Lb_util.Exec.make ~metrics:m ()) i in
+  let blocked_m m i =
+    Ov.solve_blocked ~ctx:(Lb_util.Exec.make ~metrics:m ()) i
+  in
+  let w, pairs = scan_count solve_m inst in
   (match w with
   | Some (i, j) -> check Alcotest.int "witness prefix" ((i * 32) + j + 1) pairs
   | None -> check Alcotest.int "full scan" (32 * 32) pairs);
-  let wb, pairs_b = scan_count (fun m i -> Ov.solve_blocked ~metrics:m i) inst in
+  let wb, pairs_b = scan_count blocked_m inst in
   Alcotest.(check bool) "same witness" true (wb = w);
   check Alcotest.int "blocked counter matches" pairs pairs_b;
   (* seed 12: p = 0.9, dim 32 - no orthogonal pair, both scan nl*nr *)
   let rng = Prng.create 12 in
   let inst2 = Ov.random rng ~n:20 ~dim:32 ~p:0.9 in
-  let w2, pairs2 = scan_count (fun m i -> Ov.solve ~metrics:m i) inst2 in
+  let w2, pairs2 = scan_count solve_m inst2 in
   Alcotest.(check bool) "no witness" true (w2 = None);
   check Alcotest.int "exhaustive count" (20 * 20) pairs2;
-  let w2b, pairs2b =
-    scan_count (fun m i -> Ov.solve_blocked ~metrics:m i) inst2
-  in
+  let w2b, pairs2b = scan_count blocked_m inst2 in
   Alcotest.(check bool) "no witness blocked" true (w2b = None);
   check Alcotest.int "exhaustive blocked" (20 * 20) pairs2b
 
@@ -169,7 +171,7 @@ let test_ov_pairs_scanned_budget () =
   let inst = Ov.random rng ~n:24 ~dim:32 ~p:0.9 in
   let m = Lb_util.Metrics.create () in
   let budget = Lb_util.Budget.create ~ticks:10 () in
-  (match Ov.solve_bounded ~budget ~metrics:m inst with
+  (match Ov.solve_bounded ~ctx:(Lb_util.Exec.make ~budget ~metrics:m ()) inst with
   | Lb_util.Budget.Exhausted _ -> ()
   | Lb_util.Budget.Done _ -> Alcotest.fail "expected exhaustion");
   (* tick precedes each row scan, so 10 ticks admit 10 full rows; the

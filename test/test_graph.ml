@@ -506,11 +506,12 @@ let pooled_distance_and_triangle_agree_prop =
       let n = 2 + Prng.int rng 20 in
       let g = Gen.gnp rng n 0.25 in
       Lb_util.Pool.with_pool 2 (fun pool ->
-          Dist.diameter ~pool g = Dist.diameter g
-          && Dist.diameter_matmul ~pool g = Dist.diameter_matmul g
-          && (Triangle.detect_matmul ~pool g <> None)
+          let ctx = Lb_util.Exec.make ~pool () in
+          Dist.diameter ~ctx g = Dist.diameter g
+          && Dist.diameter_matmul ~ctx g = Dist.diameter_matmul g
+          && (Triangle.detect_matmul ~ctx g <> None)
              = (Triangle.detect_matmul g <> None)
-          && Triangle.count_matmul ~pool g = Triangle.count_matmul g))
+          && Triangle.count_matmul ~ctx g = Triangle.count_matmul g))
 
 let subgraph_iso_matches_clique_prop =
   QCheck.Test.make ~name:"subgraph iso finds k-cliques iff brute force does"

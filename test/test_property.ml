@@ -324,10 +324,12 @@ let matmul_kernels_agree () =
       let cb = B.mul_blocked a b in
       let cm = B.mul_m4r a b in
       let cp =
-        Lb_util.Pool.with_pool 2 (fun pool -> B.mul_m4r ~pool a b)
+        Lb_util.Pool.with_pool 2 (fun pool ->
+            B.mul_m4r ~ctx:(Lb_util.Exec.make ~pool ()) a b)
       in
       let cbp =
-        Lb_util.Pool.with_pool 2 (fun pool -> B.mul_blocked ~pool a b)
+        Lb_util.Pool.with_pool 2 (fun pool ->
+            B.mul_blocked ~ctx:(Lb_util.Exec.make ~pool ()) a b)
       in
       let cd = B.mul a b in
       let n, m = B.dims a and _, p = B.dims b in
@@ -385,7 +387,8 @@ let ov_blocked_vs_quadratic () =
       let reference = Ov.solve inst in
       Ov.solve_blocked inst = reference
       && Lb_util.Pool.with_pool 2 (fun pool ->
-             Ov.solve_blocked ~pool inst = reference))
+             let ctx = Lb_util.Exec.make ~pool () in
+             Ov.solve_blocked ~ctx inst = reference))
 
 (* --- sharded execution vs unsharded --- *)
 

@@ -18,6 +18,8 @@ module Protocol = Lb_service.Protocol
 module Planner = Lb_service.Planner
 module Catalog = Lb_service.Catalog
 module Server = Lb_service.Server
+module Client = Lb_service.Client
+module Worker = Lb_service.Worker
 module Q = Lb_relalg.Query
 module R = Lb_relalg.Relation
 module Db = Lb_relalg.Database
@@ -385,21 +387,10 @@ let test_serve_pipe_session () =
       {|{"op":"shutdown"}|};
     ]
   in
-  let input = String.concat "\n" lines ^ "\n" in
-  let r_in, w_in = Unix.pipe () in
-  let r_out, w_out = Unix.pipe () in
-  let written = Unix.write_substring w_in input 0 (String.length input) in
-  check Alcotest.int "wrote the session" (String.length input) written;
-  Unix.close w_in;
   let srv = Server.create () in
-  let oc = Unix.out_channel_of_descr w_out in
-  Server.serve_pipe srv r_in oc;
-  flush oc;
-  close_out oc;
-  Unix.close r_in;
-  let ic = Unix.in_channel_of_descr r_out in
-  let replies = List.map (fun _ -> input_line ic) lines in
-  close_in ic;
+  let replies = Client.run_script_lines srv lines in
+  check Alcotest.int "one reply per line" (List.length lines)
+    (List.length replies);
   check Alcotest.bool "shutdown reached" true (Server.shutdown_requested srv);
   let statuses =
     List.map (fun line -> status (Json.parse line)) replies
@@ -448,13 +439,39 @@ let test_protocol_versioning () =
       ("stats", Protocol.Stats);
       ("ping", Protocol.Ping);
     ];
-  (* requests may pin "v":1; any other version is rejected up front *)
+  (* requests may pin "v":1 or "v":2; beyond max_version is a decode
+     error *)
   (match Protocol.request_of_string {|{"op":"ping","v":1}|} with
   | Ok Protocol.Ping -> ()
   | Ok _ | Error _ -> Alcotest.fail "a v:1 request should decode");
-  match Protocol.request_of_string {|{"op":"ping","v":2}|} with
+  (match Protocol.request_of_string {|{"op":"ping","v":2}|} with
+  | Ok Protocol.Ping -> ()
+  | Ok _ | Error _ -> Alcotest.fail "a v:2 request should decode");
+  (match Protocol.request_of_string {|{"op":"ping","v":3}|} with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "a v:2 request should be rejected"
+  | Ok _ -> Alcotest.fail "a v:3 request should be rejected");
+  (* a server without worker support rejects v2 requests with a
+     structured error, not a parse failure *)
+  let reply = Json.parse (Server.handle_line srv {|{"op":"ping","v":2}|}) in
+  check Alcotest.string "v2 on a v1 server rejected" "error" (status reply);
+  (match field "code" reply with
+  | Json.String "unsupported_version" -> ()
+  | other ->
+      Alcotest.failf "expected code unsupported_version, got %s"
+        (Json.to_string other));
+  check Alcotest.int "advertised maximum" 1 (int_of (field "max_version" reply));
+  check
+    Alcotest.(option int)
+    "rejection counted" (Some 1)
+    (Metrics.find_counter (Server.metrics srv) "serve.protocol.rejected_version");
+  (* the v2 ops themselves need "v":2 even at the decode layer *)
+  (match Protocol.request_of_string {|{"op":"sync","version":1,"shards":2}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a v2-only op without v:2 should be rejected");
+  (* a v2-enabled worker accepts the same line a plain server rejects *)
+  let wrk = Worker.create () in
+  let reply = Json.parse (Server.handle_line wrk {|{"op":"ping","v":2}|}) in
+  expect_ok "v2 ping on a worker" reply
 
 let test_hello_capabilities () =
   let config = { Server.default_config with shards = 4 } in
@@ -492,7 +509,7 @@ let test_unknown_field_tolerance () =
      Protocol.request_of_string_ext
        {|{"op":"query","q":"R(a,b)","shiny":true,"future":[1]}|}
    with
-  | Ok (Protocol.Query _, ignored) ->
+  | Ok (Protocol.Query _, ignored, _) ->
       check
         Alcotest.(list string)
         "ignored names" [ "future"; "shiny" ]
@@ -525,7 +542,7 @@ let test_unknown_field_fuzz () =
     in
     match Protocol.request_of_string_ext spliced with
     | Error msg -> Alcotest.failf "seed %d: %s (%s)" seed msg spliced
-    | Ok (req', ignored) ->
+    | Ok (req', ignored, _) ->
         if req' <> req then
           Alcotest.failf "seed %d: junk field changed the decode (%s)" seed
             spliced;
@@ -581,20 +598,8 @@ let test_batch_timeout_isolation () =
   in
   let plain = Printf.sprintf {|{"op":"query","q":"%s"}|} triangle_text in
   let lines = [ load_line; hard; plain; plain; {|{"op":"shutdown"}|} ] in
-  let input = String.concat "\n" lines ^ "\n" in
-  let r_in, w_in = Unix.pipe () in
-  let r_out, w_out = Unix.pipe () in
-  ignore (Unix.write_substring w_in input 0 (String.length input));
-  Unix.close w_in;
   let srv = Server.create () in
-  let oc = Unix.out_channel_of_descr w_out in
-  Server.serve_pipe srv r_in oc;
-  flush oc;
-  close_out oc;
-  Unix.close r_in;
-  let ic = Unix.in_channel_of_descr r_out in
-  let replies = List.map (fun _ -> Json.parse (input_line ic)) lines in
-  close_in ic;
+  let replies = List.map Json.parse (Client.run_script_lines srv lines) in
   check
     Alcotest.(list string)
     "statuses in order"
